@@ -1,0 +1,122 @@
+/// Ablation: post-classification matching. The survey's "matching"
+/// dimension (one-to-one vs many-to-many) interacts with the assignment
+/// algorithm; this bench compares none / greedy 1:1 / optimal (Hungarian)
+/// 1:1 on quality and runtime, plus clustering choices for the multi-
+/// database output.
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "linkage/clustering.h"
+#include "linkage/comparison.h"
+#include "linkage/matching.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  std::printf("# Ablation: matching and clustering choices\n\n");
+  std::printf("## (a) one-to-one assignment algorithm (threshold 0.72)\n\n");
+  PrintHeader({"n", "algorithm", "precision", "recall", "F1", "seconds"});
+  for (size_t n : {200, 400}) {
+    auto [a, b] = TwoDatabases(n, 1.5);
+    const GroundTruth truth(a, b);
+    PipelineConfig config;
+    const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+    const auto fa = encoder.EncodeDatabase(a).value();
+    const auto fb = encoder.EncodeDatabase(b).value();
+    const ComparisonEngine engine(
+        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    const auto scored = engine.Compare(fa, fb, FullPairs(n, n), 0.72);
+
+    {
+      Timer timer;
+      const auto counts = EvaluateMatches(scored, truth);
+      PrintRow({Fmt(n), "many-to-many", Fmt(counts.Precision()), Fmt(counts.Recall()),
+                Fmt(counts.F1()), Fmt(timer.ElapsedSeconds(), 3)});
+    }
+    {
+      Timer timer;
+      const auto matches = GreedyOneToOne(scored);
+      const double secs = timer.ElapsedSeconds();
+      const auto counts = EvaluateMatches(matches, truth);
+      PrintRow({Fmt(n), "greedy 1:1", Fmt(counts.Precision()), Fmt(counts.Recall()),
+                Fmt(counts.F1()), Fmt(secs, 3)});
+    }
+    {
+      Timer timer;
+      const auto matches = HungarianOneToOne(scored);
+      const double secs = timer.ElapsedSeconds();
+      const auto counts = EvaluateMatches(matches, truth);
+      PrintRow({Fmt(n), "hungarian 1:1", Fmt(counts.Precision()), Fmt(counts.Recall()),
+                Fmt(counts.F1()), Fmt(secs, 3)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: 1:1 constraints lift precision sharply over\n"
+      "many-to-many at equal recall. Note the instructive negative result:\n"
+      "the score-optimal (Hungarian) assignment is WORSE on F1 than greedy,\n"
+      "because maximising total similarity happily adds extra moderate-\n"
+      "score pairs that greedy's highest-first policy leaves unmatched —\n"
+      "and those extras are mostly false positives. Optimal-for-the-\n"
+      "objective is not optimal-for-linkage, at O(n^3) extra cost.\n\n");
+
+  std::printf("## (b) clustering the match graph (3 databases)\n\n");
+  GeneratorConfig gc;
+  DataGenerator gen(gc);
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 200;
+  scenario.num_databases = 3;
+  scenario.overlap = 0.4;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  std::vector<std::vector<BitVector>> filters;
+  for (const auto& db : *dbs) filters.push_back(encoder.EncodeDatabase(db).value());
+
+  // Pairwise edges between all database pairs.
+  std::vector<MatchEdge> edges;
+  const ComparisonEngine engine(
+      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  for (uint32_t d1 = 0; d1 < 3; ++d1) {
+    for (uint32_t d2 = d1 + 1; d2 < 3; ++d2) {
+      const auto scored = engine.Compare(filters[d1], filters[d2],
+                                         FullPairs(filters[d1].size(), filters[d2].size()),
+                                         0.78);
+      for (const auto& s : scored) {
+        edges.push_back({{d1, s.a}, {d2, s.b}, s.score});
+      }
+    }
+  }
+
+  auto purity = [&](const std::vector<Cluster>& clusters) {
+    size_t pure = 0, total = 0;
+    for (const auto& cluster : clusters) {
+      if (cluster.size() < 2) continue;
+      ++total;
+      std::set<uint64_t> entities;
+      for (const auto& ref : cluster) {
+        entities.insert((*dbs)[ref.database].records[ref.record].entity_id);
+      }
+      if (entities.size() == 1) ++pure;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(pure) / static_cast<double>(total);
+  };
+
+  PrintHeader({"algorithm", "clusters", "purity of multi-record clusters"});
+  const auto components = ConnectedComponents(edges);
+  PrintRow({"connected components", Fmt(components.size()), Fmt(purity(components))});
+  const auto stars = StarClustering(edges);
+  PrintRow({"star clustering", Fmt(stars.size()), Fmt(purity(stars))});
+  std::printf(
+      "\nExpected shape: star clustering splits the chain-merges connected\n"
+      "components commits to, yielding more clusters at comparable purity;\n"
+      "the difference grows with dirtier data (more weak bridge edges).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// E13 (survey §3.1 two-party protocols, [38]): the iterative two-party
+/// protocol classifies most pairs after revealing only a fraction of the
+/// Bloom filters, trading rounds for disclosure — the middle ground between
+/// "ship everything to an LU" and full SMC.
+///
+/// Regenerates the disclosure/quality table vs threshold and round count,
+/// with the LU model (100% of encodings disclosed to a third party) as the
+/// reference line.
+
+#include "bench/bench_util.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "linkage/matching.h"
+#include "linkage/two_party_iterative.h"
+#include "pipeline/pipeline.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  const size_t n = 400;
+  auto [a, b] = TwoDatabases(n, 1.0);
+  const GroundTruth truth(a, b);
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  const auto fa = encoder.EncodeDatabase(a).value();
+  const auto fb = encoder.EncodeDatabase(b).value();
+  const auto candidates = FullPairs(n, n);
+
+  std::printf("# E13: iterative two-party protocol [38] (n=%zu, all pairs)\n\n", n);
+  std::printf("## (a) disclosure vs round granularity (threshold 0.8)\n\n");
+  PrintHeader({"rounds", "mean fraction revealed", "KiB exchanged", "F1"});
+  for (size_t rounds : {2, 5, 10, 20, 50}) {
+    IterativeProtocolParams params;
+    params.dice_threshold = 0.8;
+    params.num_rounds = rounds;
+    auto result = IterativeTwoPartyLink(fa, fb, candidates, params);
+    if (!result.ok()) continue;
+    const double f1 =
+        EvaluateMatches(GreedyOneToOne(result->matches), truth).F1();
+    PrintRow({Fmt(rounds), Fmt(result->mean_revealed_fraction),
+              Fmt(static_cast<double>(result->bytes) / 1024.0, 1), Fmt(f1)});
+  }
+  std::printf(
+      "\nExpected shape: more (smaller) rounds let obvious non-matches be\n"
+      "dropped after a sliver of the filter, pushing mean disclosure down\n"
+      "at identical quality (decisions are exact-bound based). The LU\n"
+      "baseline would sit at disclosure 1.0 toward a third party.\n\n");
+
+  std::printf("## (b) disclosure vs match threshold (20 rounds)\n\n");
+  PrintHeader({"dice threshold", "mean fraction revealed", "matches", "F1"});
+  for (double threshold : {0.7, 0.75, 0.8, 0.85, 0.9}) {
+    IterativeProtocolParams params;
+    params.dice_threshold = threshold;
+    params.num_rounds = 20;
+    auto result = IterativeTwoPartyLink(fa, fb, candidates, params);
+    if (!result.ok()) continue;
+    const double f1 =
+        EvaluateMatches(GreedyOneToOne(result->matches), truth).F1();
+    PrintRow({Fmt(threshold, 2), Fmt(result->mean_revealed_fraction),
+              Fmt(result->matches.size()), Fmt(f1)});
+  }
+  std::printf(
+      "\nExpected shape: higher thresholds reject typical pairs earlier\n"
+      "(their optimistic bound dips under the threshold sooner), so mean\n"
+      "disclosure falls as the threshold rises.\n");
+  return 0;
+}

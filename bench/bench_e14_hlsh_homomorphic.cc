@@ -1,0 +1,106 @@
+/// E14 (survey §3.4 blocking, [18]): the LSH-blocking + homomorphic-
+/// matching combination of Karapiperis & Verykios — candidates are found
+/// with Hamming-LSH over the Bloom filters and the surviving pairs are
+/// matched by *secure* Hamming distance on Paillier ciphertexts, so the
+/// matcher never sees either party's filter.
+///
+/// Regenerates the protocol's cost/quality profile against the plain
+/// "reveal filters to an LU" baseline, showing exactly what the extra
+/// cryptography costs and that it changes no decisions.
+
+#include "bench/bench_util.h"
+#include "blocking/lsh_blocking.h"
+#include "common/timer.h"
+#include "crypto/secure_vector.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "linkage/matching.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  // Small n: each secure comparison costs hundreds of Paillier ops. The
+  // shared key pair is generated once (in [18] the LU holds it).
+  const size_t n = 60;
+  auto [a, b] = TwoDatabases(n, 1.0);
+  const GroundTruth truth(a, b);
+  PipelineConfig config;
+  config.bloom.num_bits = 500;  // keep ciphertext volume manageable
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  const auto fa = encoder.EncodeDatabase(a).value();
+  const auto fb = encoder.EncodeDatabase(b).value();
+
+  // LSH blocking (both variants share it).
+  Rng rng(3);
+  const HammingLshBlocker blocker(config.bloom.num_bits, 10, 25, rng);
+  const auto candidates =
+      HammingLshBlocker::CandidatePairs(blocker.BuildIndex(fa), blocker.BuildIndex(fb));
+
+  std::printf("# E14: HLSH blocking + homomorphic matching [18] (n=%zu, %zu candidates)\n\n",
+              n, candidates.size());
+
+  // --- Baseline: LU sees the filters and computes Hamming directly. -------
+  Timer plain_timer;
+  std::vector<ScoredPair> plain_scored;
+  const double max_distance = 0.16 * static_cast<double>(config.bloom.num_bits);
+  for (const CandidatePair& pair : candidates) {
+    const double d = static_cast<double>(fa[pair.a].XorCount(fb[pair.b]));
+    if (d <= max_distance) {
+      plain_scored.push_back({pair.a, pair.b, 1.0 - d / config.bloom.num_bits});
+    }
+  }
+  const double plain_seconds = plain_timer.ElapsedSeconds();
+
+  // --- Homomorphic: same decisions, filters never revealed. ---------------
+  // One Paillier key pair; Alice encrypts each of her candidate filters
+  // once, Bob folds homomorphically per pair.
+  Timer secure_timer;
+  auto paillier = Paillier::Generate(rng, 128);
+  std::vector<ScoredPair> secure_scored;
+  size_t encryptions = 0, homomorphic_ops = 0;
+  std::vector<int> encrypted_index(fa.size(), -1);
+  std::vector<EncryptedBitVector> encrypted;
+  for (const CandidatePair& pair : candidates) {
+    if (encrypted_index[pair.a] < 0) {
+      auto enc = EncryptBitVector(*paillier, fa[pair.a], rng);
+      if (!enc.ok()) continue;
+      encrypted_index[pair.a] = static_cast<int>(encrypted.size());
+      encrypted.push_back(std::move(enc).value());
+      encryptions += config.bloom.num_bits;
+    }
+    const auto& ex = encrypted[static_cast<size_t>(encrypted_index[pair.a])];
+    const PaillierCiphertext d_cipher =
+        HomomorphicHammingDistance(*paillier, ex, fb[pair.b]);
+    homomorphic_ops += config.bloom.num_bits + fb[pair.b].Count();
+    auto d_plain = paillier->Decrypt(d_cipher);
+    if (!d_plain.ok()) continue;
+    const double d = static_cast<double>(d_plain.value().ToInt64());
+    if (d <= max_distance) {
+      secure_scored.push_back({pair.a, pair.b, 1.0 - d / config.bloom.num_bits});
+    }
+  }
+  const double secure_seconds = secure_timer.ElapsedSeconds();
+
+  // --- Compare. -------------------------------------------------------------
+  const auto plain_matches = GreedyOneToOne(plain_scored);
+  const auto secure_matches = GreedyOneToOne(secure_scored);
+  PrintHeader({"variant", "accepted pairs", "F1", "seconds", "crypto ops"});
+  PrintRow({"LU sees filters", Fmt(plain_scored.size()),
+            Fmt(EvaluateMatches(plain_matches, truth).F1()), Fmt(plain_seconds, 3), "0"});
+  PrintRow({"homomorphic", Fmt(secure_scored.size()),
+            Fmt(EvaluateMatches(secure_matches, truth).F1()), Fmt(secure_seconds, 1),
+            Fmt(encryptions + homomorphic_ops)});
+  const bool identical = plain_scored.size() == secure_scored.size();
+  std::printf(
+      "\ndecisions identical: %s\n"
+      "Expected shape: the homomorphic variant accepts exactly the same\n"
+      "pairs (Hamming distances are computed exactly) while costing several\n"
+      "orders of magnitude more time — the privacy premium of removing the\n"
+      "trusted-LU assumption, already amortised by LSH having cut the\n"
+      "candidate count [18].\n",
+      identical ? "yes" : "NO");
+  return 0;
+}

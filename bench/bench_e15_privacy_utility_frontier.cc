@@ -1,0 +1,154 @@
+/// E15 (survey §5.2/§5.3, Figure 3): the privacy/utility frontier. "The
+/// trade-off between quality and privacy needs to be handled carefully for
+/// different privacy masking functions" — this bench measures BOTH axes on
+/// the same workload for every masking variant: end-to-end linkage F1
+/// (utility) and re-identification success of the two attacks (privacy).
+///
+/// One row per masking function = one point on the frontier.
+
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "encoding/bloom_filter.h"
+#include "encoding/hardening.h"
+#include "eval/metrics.h"
+#include "linkage/classifier.h"
+#include "linkage/comparison.h"
+#include "linkage/matching.h"
+#include "pipeline/pipeline.h"
+#include "privacy/attacks.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+namespace {
+
+using HardenFn = std::function<BitVector(const BitVector&, size_t record_index)>;
+
+struct FrontierPoint {
+  std::string name;
+  double f1 = 0;
+  double dict_attack = 0;
+  double pattern_attack = 0;
+  double threshold = 0;
+};
+
+}  // namespace
+
+int main() {
+  const size_t n = 500;
+  auto [a, b] = TwoDatabases(n, 1.0);
+  const GroundTruth truth(a, b);
+
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  const auto raw_fa = encoder.EncodeDatabase(a).value();
+  const auto raw_fb = encoder.EncodeDatabase(b).value();
+
+  // Attack side: the attacker sees B's published filters and knows the
+  // population's last-name distribution (from A's own records here, playing
+  // the public census table).
+  std::vector<std::pair<std::string, double>> dictionary;
+  {
+    std::map<std::string, size_t> counts;
+    for (const Record& r : a.records) ++counts[r.values[1]];
+    std::vector<std::pair<size_t, std::string>> ranked;
+    for (const auto& [name, count] : counts) ranked.push_back({count, name});
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    for (const auto& [count, name] : ranked) {
+      dictionary.push_back({name, static_cast<double>(count) / n});
+    }
+  }
+  // Last-name-only filters are what the attack re-identifies (the published
+  // CLK mixes fields; attacking the dedicated surname filter isolates the
+  // encoding comparison from the multi-field mixing). The attack population
+  // is a larger sample from the same name distribution — frequency attacks
+  // need enough records for the frequency profile to stabilise.
+  BloomFilterParams surname_params;
+  surname_params.num_bits = 1000;
+  surname_params.num_hashes = 10;
+  const BloomFilterEncoder surname_encoder(surname_params);
+  std::vector<int> attack_truth;
+  std::vector<BitVector> surname_filters_raw;
+  {
+    // Real surname distributions are strongly skewed; give the attack
+    // population the skew a census table would show (and publish matching
+    // frequencies to the attacker).
+    Rng attack_rng(31);
+    const ZipfDistribution surname_zipf(dictionary.size(), 1.2);
+    for (size_t d = 0; d < dictionary.size(); ++d) {
+      dictionary[d].second = surname_zipf.Pmf(d);
+    }
+    const size_t attack_population = 3000;
+    for (size_t r = 0; r < attack_population; ++r) {
+      const size_t idx = surname_zipf.Sample(attack_rng);
+      surname_filters_raw.push_back(
+          surname_encoder.EncodeString(dictionary[idx].first));
+      attack_truth.push_back(static_cast<int>(idx));
+    }
+  }
+  std::vector<std::string> dict_values;
+  for (const auto& [v, f] : dictionary) dict_values.push_back(v);
+
+  Rng blip_rng(5);
+  const std::vector<std::pair<std::string, HardenFn>> variants = {
+      {"plain", [](const BitVector& f, size_t) { return f; }},
+      {"balance", [](const BitVector& f, size_t) { return Balance(f, 99); }},
+      {"xor-fold", [](const BitVector& f, size_t) { return XorFold(f); }},
+      {"blip 0.02",
+       [&blip_rng](const BitVector& f, size_t) { return Blip(f, 0.02, blip_rng); }},
+      {"blip 0.05",
+       [&blip_rng](const BitVector& f, size_t) { return Blip(f, 0.05, blip_rng); }},
+      {"blip 0.10",
+       [&blip_rng](const BitVector& f, size_t) { return Blip(f, 0.10, blip_rng); }},
+      {"blip 0.20",
+       [&blip_rng](const BitVector& f, size_t) { return Blip(f, 0.20, blip_rng); }},
+  };
+
+  std::printf("# E15: privacy/utility frontier (n=%zu per db, corruption 1.0)\n\n", n);
+  PrintHeader({"masking", "linkage F1", "dict-attack", "pattern-attack",
+               "threshold used"});
+  for (const auto& [name, harden] : variants) {
+    // Utility: full linkage on hardened CLKs; pick the variant's best
+    // threshold by a small sweep (each masking shifts the score scale).
+    std::vector<BitVector> fa, fb;
+    for (size_t i = 0; i < raw_fa.size(); ++i) fa.push_back(harden(raw_fa[i], i));
+    for (size_t i = 0; i < raw_fb.size(); ++i) fb.push_back(harden(raw_fb[i], i));
+    const ComparisonEngine engine(
+        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    const auto scored = engine.Compare(fa, fb, FullPairs(n, n), 0.3);
+    double best_f1 = 0, best_threshold = 0;
+    for (double t = 0.4; t <= 0.95; t += 0.025) {
+      const auto matches =
+          GreedyOneToOne(ThresholdClassifier(t, t).SelectMatches(scored));
+      const double f1 = EvaluateMatches(matches, truth).F1();
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best_threshold = t;
+      }
+    }
+
+    // Privacy: both attacks on the hardened surname filters.
+    std::vector<BitVector> attacked;
+    for (size_t i = 0; i < surname_filters_raw.size(); ++i) {
+      attacked.push_back(harden(surname_filters_raw[i], i));
+    }
+    AttackResult dict_attack =
+        BloomDictionaryAttack(attacked, dict_values, surname_encoder);
+    const double dict_success = ScoreAttack(dict_attack, attack_truth);
+    AttackResult pattern = BloomPatternMiningAttack(attacked, dictionary);
+    const double pattern_success = ScoreAttack(pattern, attack_truth);
+
+    PrintRow({name, Fmt(best_f1), Fmt(dict_success), Fmt(pattern_success),
+              Fmt(best_threshold, 3)});
+  }
+  std::printf(
+      "\nExpected shape: the frontier. Plain sits at max utility and max\n"
+      "vulnerability; structural hardenings kill the dictionary attack for\n"
+      "free; increasing BLIP noise walks down both columns — privacy is\n"
+      "bought with linkage quality, and the practitioner picks the point\n"
+      "(survey Figure 3's quality/privacy tension made quantitative).\n");
+  return 0;
+}

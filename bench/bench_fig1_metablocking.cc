@@ -1,0 +1,111 @@
+/// E5 (survey Figure 1, "meta-blocking" [16, 28]): restructuring a block
+/// collection prunes comparisons beyond what blocking alone achieves.
+///
+/// Regenerates the claim on multi-key blocking (soundex + postcode + LSH
+/// keys): purging, filtering, and common-block pruning each trade a little
+/// completeness for large candidate reductions; block scheduling orders
+/// work cheapest-first.
+
+#include <set>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "blocking/blocking.h"
+#include "blocking/lsh_blocking.h"
+#include "blocking/metablocking.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+namespace {
+
+/// Multi-key blocking: soundex of names plus exact postcode, giving records
+/// several blocks each (the precondition for meta-blocking to matter).
+BlockingKeyFunction MultiKey() {
+  const auto soundex = SoundexNameKey("k");
+  const auto postcode = ExactAttributeKey("postcode", "k");
+  return [soundex, postcode](const Schema& schema, const Record& r) {
+    auto keys = soundex(schema, r);
+    for (auto& k : postcode(schema, r)) keys.push_back(std::move(k));
+    return keys;
+  };
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = 2000;
+  auto [a, b] = TwoDatabases(n, 1.0);
+  const GroundTruth truth(a, b);
+  const StandardBlocker blocker(MultiKey());
+
+  std::printf("# E5 / Figure 1: meta-blocking on multi-key blocks (n=%zu)\n\n", n);
+  PrintHeader({"variant", "candidates", "reduction", "pairs-compl.", "pairs-quality"});
+
+  auto report = [&](const char* name, const std::vector<CandidatePair>& candidates) {
+    const auto q = EvaluateBlocking(candidates, truth, n, n);
+    PrintRow({name, Fmt(candidates.size()), Fmt(q.reduction_ratio),
+              Fmt(q.pairs_completeness), Fmt(q.pairs_quality, 4)});
+  };
+
+  // Baseline: raw multi-key blocking.
+  BlockIndex ia = blocker.BuildIndex(a);
+  BlockIndex ib = blocker.BuildIndex(b);
+  report("multi-key blocking", StandardBlocker::CandidatePairs(ia, ib));
+
+  // Block purging at several limits.
+  for (size_t limit : {10000, 2500, 500}) {
+    BlockIndex pa = ia, pb = ib;
+    PurgeBlocks(pa, pb, limit);
+    report(("+ purge@" + std::to_string(limit)).c_str(),
+           StandardBlocker::CandidatePairs(pa, pb));
+  }
+
+  // Block filtering: keep each record's smaller blocks only.
+  for (double keep : {0.8, 0.5}) {
+    BlockIndex fa = ia, fb = ib;
+    FilterBlocks(fa, keep);
+    FilterBlocks(fb, keep);
+    report(("+ filter keep=" + Fmt(keep, 1)).c_str(),
+           StandardBlocker::CandidatePairs(fa, fb));
+  }
+
+  // Common-block pruning (needs >= 2 shared blocks).
+  report("+ prune common>=2", PruneByCommonBlocks(ia, ib, 2));
+
+  // Scheduling: cumulative completeness if processing stops early.
+  std::printf("\n## block scheduling: completeness vs comparison budget [28]\n\n");
+  const auto schedule = ScheduleBlocks(ia, ib);
+  PrintHeader({"% of comparisons spent", "pairs-completeness reached"});
+  size_t total_comparisons = 0;
+  for (const auto& entry : schedule) total_comparisons += entry.comparisons;
+  size_t spent = 0;
+  std::set<std::pair<uint32_t, uint32_t>> found;
+  const double checkpoints[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+  size_t ci = 0;
+  for (const auto& entry : schedule) {
+    spent += entry.comparisons;
+    const auto& a_records = ia[entry.key];
+    const auto& b_records = ib[entry.key];
+    for (uint32_t ra : a_records) {
+      for (uint32_t rb : b_records) {
+        if (truth.IsMatch(ra, rb)) found.insert({ra, rb});
+      }
+    }
+    while (ci < 5 && static_cast<double>(spent) >=
+                         checkpoints[ci] * static_cast<double>(total_comparisons)) {
+      PrintRow({Fmt(checkpoints[ci] * 100, 0),
+                Fmt(static_cast<double>(found.size()) /
+                    static_cast<double>(truth.num_matches()))});
+      ++ci;
+    }
+  }
+  std::printf(
+      "\nExpected shape: small (cheap, precise) blocks already recover most\n"
+      "matches, so an early-stopping scheduler spends a fraction of the\n"
+      "comparison budget for most of the completeness [28].\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// E10 (survey §3.1 "schema optimization", [3, 36]): Bayesian optimisation
+/// reaches strong parameter settings in fewer pipeline evaluations than
+/// grid or random search because it conditions on past evaluations.
+///
+/// Regenerates the convergence table (best F1 after k evaluations, averaged
+/// over seeds).
+
+#include "bench/bench_util.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+#include "tuning/tuner.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  auto [a, b] = TwoDatabases(300, 1.5);
+  const GroundTruth truth(a, b);
+
+  const std::vector<ParamSpec> space = {
+      {"num_bits", 200, 2000, true},
+      {"num_hashes_scale", 0.3, 2.0, false},  // multiplies default per-field k
+      {"threshold", 0.55, 0.95, false},
+  };
+  const Objective objective = [&](const ParamPoint& p) {
+    PipelineConfig config;
+    config.bloom.num_bits = static_cast<size_t>(p[0]);
+    config.fields = PprlPipeline::DefaultFieldConfigs();
+    for (auto& field : config.fields) {
+      field.num_hashes = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(field.num_hashes) * p[1]));
+    }
+    config.match_threshold = p[2];
+    config.blocking = BlockingScheme::kNone;
+    auto output = PprlPipeline(config).Link(a, b);
+    if (!output.ok()) return 0.0;
+    return EvaluateMatches(output->matches, truth).F1();
+  };
+
+  const size_t budget = 27;
+  const size_t num_seeds = 3;
+  std::printf("# E10: parameter tuning strategies (budget %zu, %zu seeds)\n\n", budget,
+              num_seeds);
+  PrintHeader({"k evals", "grid (3^3)", "random", "bayesian"});
+
+  std::vector<double> grid_curve(budget, 0), random_curve(budget, 0),
+      bayes_curve(budget, 0);
+  for (uint64_t seed = 0; seed < num_seeds; ++seed) {
+    Rng rng_random(seed * 2 + 1);
+    Rng rng_bayes(seed * 2 + 2);
+    const TuningResult grid = GridSearch(space, objective, 3);  // 27 = budget
+    const TuningResult random = RandomSearch(space, objective, budget, rng_random);
+    const TuningResult bayes = BayesianOptimization(space, objective, budget, rng_bayes);
+    for (size_t k = 1; k <= budget; ++k) {
+      grid_curve[k - 1] += grid.BestAfter(k) / num_seeds;
+      random_curve[k - 1] += random.BestAfter(k) / num_seeds;
+      bayes_curve[k - 1] += bayes.BestAfter(k) / num_seeds;
+    }
+  }
+  for (size_t k : {3, 6, 9, 12, 18, 27}) {
+    PrintRow({Fmt(k), Fmt(grid_curve[k - 1]), Fmt(random_curve[k - 1]),
+              Fmt(bayes_curve[k - 1])});
+  }
+  std::printf(
+      "\nExpected shape: grid search is hostage to its lattice order and\n"
+      "random search to luck; Bayesian optimisation pulls ahead after its\n"
+      "warm-up because each pick conditions on all previous evaluations\n"
+      "[36]. (All three converge eventually on this smooth objective.)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// E2 (survey Figure 2, right): neighbourhood Bloom-filter encoding of
+/// numeric QIDs preserves absolute-difference similarity [40].
+///
+/// Regenerates the claim as the measured Dice-vs-difference curve against
+/// the analytic expectation, plus the same for dates in day space.
+
+#include <cmath>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "encoding/bloom_filter.h"
+#include "encoding/numeric_encoding.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  const double step = 1.0;
+  const size_t neighbors = 10;
+  const BloomFilterEncoder encoder({1000, 10, BloomHashScheme::kDoubleHashing, ""});
+
+  auto encode_numeric = [&](double v) {
+    auto tokens = NumericNeighborhoodTokens(std::to_string(v), step, neighbors);
+    return encoder.EncodeTokens(tokens.value());
+  };
+
+  std::printf("# E2 / Figure 2 (right): numeric neighbourhood encoding\n\n");
+  std::printf("## (a) Dice vs absolute difference (step=1, neighbours=10)\n\n");
+  PrintHeader({"|a-b|", "measured dice", "analytic dice"});
+  const double base = 500;
+  const BitVector base_filter = encode_numeric(base);
+  for (double diff : {0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 25.0, 40.0}) {
+    const BitVector other = encode_numeric(base + diff);
+    PrintRow({Fmt(diff, 1), Fmt(DiceSimilarity(base_filter, other)),
+              Fmt(ExpectedNumericDice(base, base + diff, step, neighbors))});
+  }
+  std::printf(
+      "\nExpected shape: linear decay hitting ~0 at |a-b| = 2*neighbours+1,\n"
+      "tracking the analytic curve (small positive offset from collisions).\n\n");
+
+  std::printf("## (b) date-of-birth neighbourhood encoding (days, neighbours=15)\n\n");
+  DateEncodingParams date_params;
+  date_params.num_neighbors = 15;
+  auto encode_date = [&](const std::string& iso) {
+    auto tokens = DateNeighborhoodTokens(iso, date_params);
+    return encoder.EncodeTokens(tokens.value());
+  };
+  const BitVector anchor = encode_date("1980-06-15");
+  PrintHeader({"date b", "day gap", "measured dice"});
+  for (const char* other : {"1980-06-15", "1980-06-16", "1980-06-18", "1980-06-25",
+                            "1980-07-15", "1981-06-15"}) {
+    const auto gap = DaysSinceEpoch(other).value() - DaysSinceEpoch("1980-06-15").value();
+    PrintRow({other, Fmt(static_cast<size_t>(std::llabs(gap))),
+              Fmt(DiceSimilarity(anchor, encode_date(other)))});
+  }
+  std::printf(
+      "\nExpected shape: one-day typos keep high similarity; a month or a\n"
+      "year off falls outside the neighbourhood and scores ~0.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// E1 (survey Figure 2, left): Bloom-filter encoding of string QIDs
+/// preserves q-gram Dice similarity.
+///
+/// Regenerates the figure's claim as two tables:
+///   (a) encoded vs. raw Dice for name pairs across similarity levels, with
+///       the Pearson correlation of the two series;
+///   (b) the collision bias |encoded - raw| as a function of filter length
+///       l and hash count k (the parameter trade-off practitioners tune).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "datagen/corruptor.h"
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  // A spread of name pairs from identical to unrelated, plus generated
+  // typo variants for the middle of the range.
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"katherine", "katherine"}, {"katherine", "catherine"},
+      {"jonathan", "jonathon"},   {"smith", "smyth"},
+      {"garcia", "garzia"},       {"elizabeth", "elisabet"},
+      {"peter", "pedro"},         {"anderson", "andresen"},
+      {"williams", "willems"},    {"smith", "jones"},
+      {"katherine", "zhao"},      {"brown", "nguyen"},
+  };
+  Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    const std::string base = std::string("surname") + static_cast<char>('a' + i);
+    pairs.push_back({base, corruption::KeyboardTypo(base, rng)});
+  }
+
+  std::printf("# E1 / Figure 2 (left): string Bloom-filter similarity preservation\n\n");
+  std::printf("## (a) encoded vs raw Dice (l=1000, k=30, q=2)\n\n");
+  const BloomFilterEncoder encoder({1000, 30, BloomHashScheme::kDoubleHashing, ""});
+  PrintHeader({"pair", "raw q-gram dice", "encoded dice", "abs error"});
+  std::vector<double> raw_series, encoded_series;
+  for (const auto& [a, b] : pairs) {
+    const double raw = QGramDiceSimilarity(a, b);
+    const double enc =
+        DiceSimilarity(encoder.EncodeString(a), encoder.EncodeString(b));
+    raw_series.push_back(raw);
+    encoded_series.push_back(enc);
+    PrintRow({a + " / " + b, Fmt(raw), Fmt(enc), Fmt(std::abs(raw - enc))});
+  }
+  std::printf("\nPearson correlation (raw, encoded) = %.4f  [paper: near-perfect]\n\n",
+              PearsonCorrelation(raw_series, encoded_series));
+
+  std::printf("## (b) mean collision bias vs filter length and hash count\n\n");
+  PrintHeader({"l", "k", "mean |encoded - raw|", "mean fill fraction"});
+  for (size_t l : {250, 500, 1000, 2000, 4000}) {
+    for (size_t k : {10, 30, 50}) {
+      const BloomFilterEncoder e({l, k, BloomHashScheme::kDoubleHashing, ""});
+      RunningStats bias, fill;
+      for (const auto& [a, b] : pairs) {
+        const BitVector fa = e.EncodeString(a);
+        const BitVector fb = e.EncodeString(b);
+        bias.Add(std::abs(QGramDiceSimilarity(a, b) - DiceSimilarity(fa, fb)));
+        fill.Add(static_cast<double>(fa.Count()) / static_cast<double>(l));
+      }
+      PrintRow({Fmt(l), Fmt(k), Fmt(bias.mean(), 4), Fmt(fill.mean(), 3)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: bias shrinks as l grows and explodes when k*grams\n"
+      "approaches l (saturated filters) — the standard l/k trade-off.\n");
+  return 0;
+}

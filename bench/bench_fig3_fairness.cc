@@ -1,0 +1,63 @@
+/// E11 (survey §3.3 "correctness and fairness", §5.2, [46]): linkage errors
+/// are not uniform across protected subgroups. When one group's records are
+/// systematically dirtier (differential data quality is the documented
+/// real-world mechanism), threshold matching under-links that group, and
+/// the fairness gap widens as the threshold tightens.
+
+#include "bench/bench_util.h"
+#include "datagen/corruptor.h"
+#include "datagen/generator.h"
+#include "eval/fairness.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  // Generate a scenario, then re-corrupt female records harder in B —
+  // modelling a subgroup whose data is recorded less consistently.
+  GeneratorConfig gc;
+  gc.seed = 9;
+  DataGenerator gen(gc);
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 800;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 0.5;
+  auto dbs = gen.GenerateScenario(scenario);
+  Database a = std::move((*dbs)[0]);
+  Database b = std::move((*dbs)[1]);
+  const int sex_idx = a.schema.FieldIndex("sex");
+  Corruptor extra(CorruptorConfig{}, 1234);
+  for (Record& r : b.records) {
+    if (r.values[static_cast<size_t>(sex_idx)] == "f") {
+      r = extra.CorruptExactly(b.schema, r, 2);
+    }
+  }
+  const GroundTruth truth(a, b);
+
+  std::printf("# E11 / fairness: per-group linkage quality vs threshold\n\n");
+  PrintHeader({"threshold", "recall m", "recall f", "recall gap", "precision gap",
+               "overall F1"});
+  for (double threshold : {0.65, 0.70, 0.75, 0.80, 0.85, 0.90}) {
+    PipelineConfig config;
+    config.match_threshold = threshold;
+    config.blocking = BlockingScheme::kNone;
+    auto output = PprlPipeline(config).Link(a, b);
+    if (!output.ok()) continue;
+    const auto by_group = EvaluateByGroup(output->matches, truth, a, "sex");
+    const FairnessGaps gaps = ComputeFairnessGaps(by_group);
+    const double recall_m = by_group.count("m") ? by_group.at("m").Recall() : 0;
+    const double recall_f = by_group.count("f") ? by_group.at("f").Recall() : 0;
+    PrintRow({Fmt(threshold, 2), Fmt(recall_m), Fmt(recall_f), Fmt(gaps.recall_gap),
+              Fmt(gaps.precision_gap),
+              Fmt(EvaluateMatches(output->matches, truth).F1())});
+  }
+  std::printf(
+      "\nExpected shape: the group with dirtier data loses recall first as\n"
+      "the threshold rises, so the recall gap grows exactly where overall\n"
+      "F1 still looks acceptable — the blind spot fairness-aware PPRL is\n"
+      "meant to expose [46]. Fairness-bias mitigation for PPRL is open\n"
+      "research per the survey; this bench provides the measurement side.\n");
+  return 0;
+}

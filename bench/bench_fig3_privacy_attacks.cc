@@ -1,0 +1,145 @@
+/// E7 (survey Figure 3, "privacy"; §3.2 attacks, §5.3 hardening): plain
+/// Bloom filters and SLKs are re-identifiable from public frequency
+/// knowledge; hardening degrades the attacks at a measurable quality cost.
+///
+/// Regenerates the attack-success table per encoding/hardening variant,
+/// together with the privacy metrics of §3.3 (disclosure risk, entropy)
+/// and the linkage quality retained under each variant.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "encoding/bloom_filter.h"
+#include "encoding/hardening.h"
+#include "encoding/slk.h"
+#include "datagen/lookup_data.h"
+#include "privacy/attacks.h"
+#include "privacy/privacy_metrics.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  // Skewed population of last names (the attacker's frequency knowledge).
+  const size_t kDict = 60;
+  const size_t kRecords = 3000;
+  const ZipfDistribution zipf(kDict, 1.2);
+  Rng rng(17);
+  std::vector<std::pair<std::string, double>> dictionary;
+  for (size_t i = 0; i < kDict; ++i) {
+    dictionary.push_back({std::string(datagen::kLastNames[i]), zipf.Pmf(i)});
+  }
+  std::vector<std::string> plaintexts;
+  std::vector<int> truth;
+  for (size_t r = 0; r < kRecords; ++r) {
+    const size_t rank = zipf.Sample(rng);
+    plaintexts.push_back(dictionary[rank].first);
+    truth.push_back(static_cast<int>(rank));
+  }
+  std::vector<std::string> dict_values;
+  for (const auto& [v, f] : dictionary) dict_values.push_back(v);
+
+  std::printf("# E7 / Figure 3 (privacy): attacks vs hardening\n\n");
+  std::printf("## (a) Bloom-filter variants (l=1000, k=10)\n\n");
+  PrintHeader({"variant", "dict-attack", "pattern-attack", "bit-freq spread",
+               "smith~smyth dice"});
+
+  BloomFilterParams params;
+  params.num_bits = 1000;
+  params.num_hashes = 10;
+  const BloomFilterEncoder plain_encoder(params);
+  BloomFilterParams keyed_params = params;
+  keyed_params.scheme = BloomHashScheme::kKeyedHmac;
+  keyed_params.secret_key = "org-shared-secret";
+  const BloomFilterEncoder keyed_encoder(keyed_params);
+
+  struct Variant {
+    std::string name;
+    std::function<BitVector(const std::string&, size_t)> encode;
+  };
+  Rng blip_rng(5);
+  const std::vector<Variant> variants = {
+      {"plain double-hash",
+       [&](const std::string& v, size_t) { return plain_encoder.EncodeString(v); }},
+      {"keyed HMAC",
+       [&](const std::string& v, size_t) { return keyed_encoder.EncodeString(v); }},
+      {"plain + balance",
+       [&](const std::string& v, size_t) {
+         return Balance(plain_encoder.EncodeString(v), 99);
+       }},
+      {"plain + xor-fold",
+       [&](const std::string& v, size_t) {
+         return XorFold(plain_encoder.EncodeString(v));
+       }},
+      {"plain + rule90",
+       [&](const std::string& v, size_t) {
+         return Rule90(plain_encoder.EncodeString(v));
+       }},
+      {"plain + blip 0.05",
+       [&](const std::string& v, size_t) {
+         return Blip(plain_encoder.EncodeString(v), 0.05, blip_rng);
+       }},
+      {"plain + blip 0.15",
+       [&](const std::string& v, size_t) {
+         return Blip(plain_encoder.EncodeString(v), 0.15, blip_rng);
+       }},
+      {"plain + salt(YOB)",
+       [&](const std::string& v, size_t record) {
+         // Per-record salt from a stable attribute (here: synthetic YOB),
+         // prefixed to every q-gram so same-salt records stay comparable.
+         const std::string salt =
+             RecordSalt(std::to_string(1940 + record % 60), "salt-key");
+         std::vector<std::string> tokens = QGrams(NormalizeQid(v));
+         for (std::string& token : tokens) token = salt + token;
+         return plain_encoder.EncodeTokens(tokens);
+       }},
+  };
+
+  for (const auto& variant : variants) {
+    std::vector<BitVector> filters;
+    filters.reserve(kRecords);
+    for (size_t r = 0; r < kRecords; ++r) {
+      filters.push_back(variant.encode(plaintexts[r], r));
+    }
+    AttackResult dict_attack = BloomDictionaryAttack(filters, dict_values, plain_encoder);
+    const double dict_success = ScoreAttack(dict_attack, truth);
+    AttackResult pattern = BloomPatternMiningAttack(filters, dictionary);
+    const double pattern_success = ScoreAttack(pattern, truth);
+    const double quality = DiceSimilarity(variant.encode("smith", 1),
+                                          variant.encode("smyth", 1));
+    PrintRow({variant.name, Fmt(dict_success), Fmt(pattern_success),
+              Fmt(BitFrequencySpread(filters), 4), Fmt(quality)});
+  }
+
+  std::printf(
+      "\nExpected shape: plain double-hashing is fully broken by the\n"
+      "dictionary attack [7]; a secret key or any structural hardening\n"
+      "kills it. The frequency pattern attack [23] survives permutation-\n"
+      "style hardening and only noise (BLIP) or salting suppress it —\n"
+      "each at a visible similarity cost.\n\n");
+
+  std::printf("## (b) hashed SLK-581 under frequency alignment [31, 41]\n\n");
+  PrintHeader({"encoding", "freq-attack success", "unique-code risk", "entropy bits"});
+  // SLKs built from last name + fixed other fields, hashed with a secret.
+  std::vector<std::string> slk_codes;
+  for (size_t r = 0; r < kRecords; ++r) {
+    SlkInput input;
+    input.first_name = "alex";
+    input.last_name = plaintexts[r];
+    input.dob = "1980-01-01";
+    input.sex = "f";
+    slk_codes.push_back(HashedSlk581(input, "secret").value());
+  }
+  AttackResult slk_attack = FrequencyAlignmentAttack(slk_codes, dictionary);
+  PrintRow({"hashed SLK-581", Fmt(ScoreAttack(slk_attack, truth)),
+            Fmt(UniqueCodeDisclosureRisk(slk_codes)), Fmt(CodeEntropyBits(slk_codes), 2)});
+  std::printf(
+      "\nExpected shape: deterministic SLK codes preserve the frequency\n"
+      "profile, so rank alignment re-identifies the frequent names even\n"
+      "though the key is secret — the 'limited privacy protection' of [31].\n");
+  return 0;
+}

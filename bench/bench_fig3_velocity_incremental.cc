@@ -1,0 +1,68 @@
+/// E9 (survey Figure 3, "velocity"; §5.1, [43]): streaming records must be
+/// linked as they arrive. Incremental clustering compares each arrival only
+/// against cluster representatives, while naive batch re-linkage recomputes
+/// everything per arrival window.
+///
+/// Regenerates the throughput/comparison-count table per stream size.
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "encoding/bloom_filter.h"
+#include "linkage/clustering.h"
+#include "linkage/comparison.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  std::printf("# E9 / Figure 3 (velocity): incremental vs batch re-linkage\n\n");
+  PrintHeader({"stream size", "incremental comparisons", "batch comparisons",
+               "incremental s", "batch s", "clusters"});
+
+  for (size_t n : {250, 500, 1000, 2000}) {
+    auto [a, b] = TwoDatabases(n / 2, 1.0);
+    PipelineConfig config;
+    const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+    const auto fa = encoder.EncodeDatabase(a).value();
+    const auto fb = encoder.EncodeDatabase(b).value();
+
+    // The stream interleaves records of both databases.
+    std::vector<std::pair<RecordRef, const BitVector*>> stream;
+    for (uint32_t i = 0; i < fa.size(); ++i) stream.push_back({{0, i}, &fa[i]});
+    for (uint32_t i = 0; i < fb.size(); ++i) stream.push_back({{1, i}, &fb[i]});
+    Rng rng(n);
+    rng.Shuffle(stream);
+
+    // Incremental: one pass, compare against representatives only.
+    Timer inc_timer;
+    IncrementalClusterer clusterer(
+        0.78, [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    for (const auto& [ref, filter] : stream) clusterer.Insert(ref, *filter);
+    const double inc_seconds = inc_timer.ElapsedSeconds();
+
+    // Batch: after every arrival, re-compare the arrival against everything
+    // seen so far (the cost of naively re-running pairwise linkage).
+    Timer batch_timer;
+    size_t batch_comparisons = 0;
+    std::vector<const BitVector*> seen;
+    for (const auto& [ref, filter] : stream) {
+      for (const BitVector* prior : seen) {
+        DiceSimilarity(*prior, *filter);
+        ++batch_comparisons;
+      }
+      seen.push_back(filter);
+    }
+    const double batch_seconds = batch_timer.ElapsedSeconds();
+
+    PrintRow({Fmt(n), Fmt(clusterer.comparisons()), Fmt(batch_comparisons),
+              Fmt(inc_seconds, 3), Fmt(batch_seconds, 3),
+              Fmt(clusterer.clusters().size())});
+  }
+  std::printf(
+      "\nExpected shape: batch comparisons grow ~n^2/2 while incremental\n"
+      "comparisons grow ~n * clusters — a widening gap as the stream grows,\n"
+      "which is what makes (near) real-time PPRL feasible [43].\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// E8 (survey Figure 3, "veracity"; §5.2 + [30]): linkage quality under
+/// increasing data dirtiness, for each classifier, with the unencoded
+/// baseline alongside — reproducing Randall et al.'s finding that
+/// probabilistic encodings achieve quality comparable to unencoded linkage.
+
+#include "bench/bench_util.h"
+#include "datagen/corruptor.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "linkage/classifier.h"
+#include "linkage/comparison.h"
+#include "linkage/matching.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+namespace {
+
+/// Unencoded baseline: q-gram Dice on raw concatenated QIDs with the same
+/// threshold + 1:1 matching.
+double UnencodedF1(const Database& a, const Database& b, const GroundTruth& truth,
+                   double threshold) {
+  auto key = [](const Record& r) {
+    return NormalizeQid(r.values[0] + " " + r.values[1] + " " + r.values[3] + " " +
+                        r.values[4]);
+  };
+  std::vector<ScoredPair> scored;
+  for (uint32_t i = 0; i < a.records.size(); ++i) {
+    for (uint32_t j = 0; j < b.records.size(); ++j) {
+      const double sim = QGramDiceSimilarity(key(a.records[i]), key(b.records[j]));
+      if (sim >= threshold) scored.push_back({i, j, sim});
+    }
+  }
+  return EvaluateMatches(GreedyOneToOne(std::move(scored)), truth).F1();
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = 500;
+  std::printf("# E8 / Figure 3 (veracity): linkage quality vs corruption\n\n");
+  PrintHeader({"mean corruptions", "unencoded dice F1", "CLK threshold F1",
+               "CLK fellegi-sunter F1"});
+
+  for (double corruption : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    auto [a, b] = TwoDatabases(n, corruption);
+    const GroundTruth truth(a, b);
+
+    // Unencoded baseline.
+    const double raw_f1 = UnencodedF1(a, b, truth, 0.75);
+
+    // CLK + threshold pipeline.
+    PipelineConfig config;
+    config.blocking = BlockingScheme::kNone;
+    config.match_threshold = 0.78;
+    auto output = PprlPipeline(config).Link(a, b);
+    const double clk_f1 =
+        output.ok() ? EvaluateMatches(output->matches, truth).F1() : 0.0;
+
+    // Field-level Bloom filters + Fellegi-Sunter EM.
+    BloomFilterParams field_params;
+    field_params.num_bits = 500;
+    field_params.num_hashes = 15;
+    const BloomFilterEncoder encoder(field_params);
+    const std::vector<std::string> fields = {"first_name", "last_name", "dob", "city"};
+    std::vector<std::vector<BitVector>> fa(fields.size()), fb(fields.size());
+    for (size_t f = 0; f < fields.size(); ++f) {
+      const int idx = a.schema.FieldIndex(fields[f]);
+      for (const Record& r : a.records) {
+        fa[f].push_back(encoder.EncodeString(r.values[static_cast<size_t>(idx)]));
+      }
+      for (const Record& r : b.records) {
+        fb[f].push_back(encoder.EncodeString(r.values[static_cast<size_t>(idx)]));
+      }
+    }
+    const auto pairs = CompareFieldwise(
+        fa, fb, FullPairs(a.size(), b.size()),
+        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    FellegiSunterClassifier::Params fs_params;
+    fs_params.agreement_threshold = 0.65;
+    fs_params.initial_prevalence = 0.01;
+    FellegiSunterClassifier fs(fs_params);
+    double fs_f1 = 0;
+    if (fs.Fit(pairs).ok()) {
+      std::vector<ScoredPair> fs_scored;
+      for (const auto& p : fs.SelectMatches(pairs, 0.0)) {
+        fs_scored.push_back({p.a, p.b, fs.Weight(p.field_scores)});
+      }
+      fs_f1 = EvaluateMatches(GreedyOneToOne(std::move(fs_scored)), truth).F1();
+    }
+
+    PrintRow({Fmt(corruption, 1), Fmt(raw_f1), Fmt(clk_f1), Fmt(fs_f1)});
+  }
+  std::printf(
+      "\nExpected shape: all curves decay with dirtiness; the encoded CLK\n"
+      "column stays within a few points of the unencoded baseline [30],\n"
+      "and EM-based Fellegi-Sunter is competitive without any labels.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// E4 (survey Figure 3, "volume"; §3.4 complexity reduction): blocking, LSH
+/// and PPJoin filtering cut the quadratic comparison space by orders of
+/// magnitude at small recall cost, and runtime scales accordingly.
+///
+/// Regenerates the scalability table: candidates, reduction ratio, pairs
+/// completeness, and wall-clock per method per database size.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "blocking/blocking.h"
+#include "blocking/lsh_blocking.h"
+#include "common/timer.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "filtering/ppjoin.h"
+#include "linkage/comparison.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  std::printf("# E4 / Figure 3 (volume): comparison-space reduction\n\n");
+  PrintHeader({"n per db", "method", "candidates", "reduction", "pairs-compl.",
+               "seconds"});
+
+  for (size_t n : {500, 1000, 2000, 4000, 8000}) {
+    auto [a, b] = TwoDatabases(n, 1.0);
+    const GroundTruth truth(a, b);
+    PipelineConfig config;
+    const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+    const auto fa = encoder.EncodeDatabase(a).value();
+    const auto fb = encoder.EncodeDatabase(b).value();
+    const ComparisonEngine engine(
+        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+
+    // --- naive all pairs (skipped at the largest size to keep runtime sane,
+    // the quadratic trend is already visible).
+    if (n <= 2000) {
+      Timer timer;
+      const auto candidates = FullPairs(n, n);
+      engine.Compare(fa, fb, candidates, 0.8);
+      const auto quality = EvaluateBlocking(candidates, truth, n, n);
+      PrintRow({Fmt(n), "naive", Fmt(candidates.size()), Fmt(quality.reduction_ratio),
+                Fmt(quality.pairs_completeness), Fmt(timer.ElapsedSeconds(), 2)});
+    }
+
+    // --- keyed soundex standard blocking.
+    {
+      Timer timer;
+      const StandardBlocker blocker(SoundexNameKey("k"));
+      const auto candidates =
+          StandardBlocker::CandidatePairs(blocker.BuildIndex(a), blocker.BuildIndex(b));
+      engine.Compare(fa, fb, candidates, 0.8);
+      const auto quality = EvaluateBlocking(candidates, truth, n, n);
+      PrintRow({Fmt(n), "soundex-block", Fmt(candidates.size()),
+                Fmt(quality.reduction_ratio), Fmt(quality.pairs_completeness),
+                Fmt(timer.ElapsedSeconds(), 2)});
+    }
+
+    // --- Hamming LSH over the CLKs.
+    {
+      Timer timer;
+      Rng rng(7);
+      const HammingLshBlocker blocker(config.bloom.num_bits, 20, 18, rng);
+      const auto candidates =
+          HammingLshBlocker::CandidatePairs(blocker.BuildIndex(fa), blocker.BuildIndex(fb));
+      engine.Compare(fa, fb, candidates, 0.8);
+      const auto quality = EvaluateBlocking(candidates, truth, n, n);
+      PrintRow({Fmt(n), "hamming-lsh", Fmt(candidates.size()),
+                Fmt(quality.reduction_ratio), Fmt(quality.pairs_completeness),
+                Fmt(timer.ElapsedSeconds(), 2)});
+    }
+
+    // --- PPJoin threshold join (no blocking; lossless at its threshold).
+    // Filtering power on dense CLKs grows with the threshold — at moderate
+    // thresholds the near-uniform position frequencies defeat the prefix
+    // filter, which is why [34] pairs it with high-threshold workloads.
+    // (Skipped at the largest size: the quadratic verify cost is the point
+    // the smaller sizes already demonstrate.)
+    if (n > 4000) continue;
+    for (double dice : {0.8, 0.9, 0.95}) {
+      Timer timer;
+      const PpjoinIndex index(fb, dice);
+      const auto matches = index.Join(fa);
+      const auto& stats = index.last_stats();
+      PrintRow({Fmt(n), "ppjoin@" + Fmt(dice, 2), Fmt(stats.verified),
+                Fmt(1.0 - static_cast<double>(stats.verified) /
+                              (static_cast<double>(n) * static_cast<double>(n))),
+                "1.000 (lossless)", Fmt(timer.ElapsedSeconds(), 2)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: naive grows quadratically; blocking/LSH keep\n"
+      "candidates near-linear with pairs-completeness ~0.8-1.0; PPJoin\n"
+      "prunes losslessly. [paper: blocking restricts comparisons to\n"
+      "same-block records; LSH adds probabilistic guarantees]\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#ifndef PPRL_BENCH_BENCH_UTIL_H_
+#define PPRL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+
+namespace pprl::bench {
+
+/// Prints a Markdown-style table header: "| col1 | col2 | ... |".
+inline void PrintHeader(const std::vector<std::string>& columns) {
+  std::string line = "|";
+  std::string rule = "|";
+  for (const auto& c : columns) {
+    line += " " + c + " |";
+    rule += std::string(c.size() + 2, '-') + "|";
+  }
+  std::printf("%s\n%s\n", line.c_str(), rule.c_str());
+}
+
+/// Prints one row of formatted cells.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  std::string line = "|";
+  for (const auto& c : cells) line += " " + c + " |";
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Fmt(size_t v) { return std::to_string(v); }
+
+/// Standard two-database scenario used across benches.
+inline std::pair<Database, Database> TwoDatabases(size_t n, double corruption_mean,
+                                                  uint64_t seed = 42,
+                                                  double overlap = 0.5) {
+  GeneratorConfig gc;
+  gc.seed = seed;
+  DataGenerator gen(gc);
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = n;
+  scenario.overlap = overlap;
+  scenario.corruption.mean_corruptions = corruption_mean;
+  auto dbs = gen.GenerateScenario(scenario);
+  return {std::move((*dbs)[0]), std::move((*dbs)[1])};
+}
+
+}  // namespace pprl::bench
+
+#endif  // PPRL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,123 @@
+/// Attack & harden (survey §3.2 / §5.3): plays both sides of the Bloom-
+/// filter privacy arms race.
+///
+/// A database owner publishes encoded last names; an attacker armed with a
+/// public name-frequency table mounts (1) a dictionary attack re-encoding
+/// candidate names and (2) a frequency-driven pattern-mining attack. The
+/// example then applies each hardening technique and reports how far the
+/// attack success drops — and what the hardening costs in linkage quality
+/// on a matched pair.
+///
+/// Build & run:   ./build/examples/attack_and_harden
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/lookup_data.h"
+#include "encoding/bloom_filter.h"
+#include "encoding/hardening.h"
+#include "privacy/attacks.h"
+#include "similarity/similarity.h"
+
+namespace {
+
+using namespace pprl;
+
+struct Population {
+  std::vector<std::string> plaintexts;
+  std::vector<int> truth;
+  std::vector<std::pair<std::string, double>> dictionary;
+};
+
+Population SamplePopulation(size_t n, uint64_t seed) {
+  Population pop;
+  const size_t dict = 60;
+  const ZipfDistribution zipf(dict, 1.2);
+  Rng rng(seed);
+  for (size_t i = 0; i < dict; ++i) {
+    pop.dictionary.push_back({std::string(datagen::kLastNames[i]), zipf.Pmf(i)});
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const size_t rank = zipf.Sample(rng);
+    pop.plaintexts.push_back(pop.dictionary[rank].first);
+    pop.truth.push_back(static_cast<int>(rank));
+  }
+  return pop;
+}
+
+double QualityProbe(const std::vector<BitVector>& encode_smith_smyth) {
+  return DiceSimilarity(encode_smith_smyth[0], encode_smith_smyth[1]);
+}
+
+}  // namespace
+
+int main() {
+  const Population pop = SamplePopulation(2000, 7);
+  BloomFilterParams params;
+  params.num_bits = 1000;
+  params.num_hashes = 10;
+  const BloomFilterEncoder encoder(params);
+
+  std::vector<std::string> dict_values;
+  for (const auto& [v, f] : pop.dictionary) dict_values.push_back(v);
+
+  struct Variant {
+    const char* name;
+    std::vector<BitVector> filters;
+    std::vector<BitVector> probe;  // {smith, smyth} under the same hardening
+  };
+  std::vector<Variant> variants;
+
+  auto encode_all = [&](auto&& transform) {
+    std::vector<BitVector> filters;
+    filters.reserve(pop.plaintexts.size());
+    for (const auto& name : pop.plaintexts) {
+      filters.push_back(transform(encoder.EncodeString(name)));
+    }
+    std::vector<BitVector> probe = {transform(encoder.EncodeString("smith")),
+                                    transform(encoder.EncodeString("smyth"))};
+    return std::make_pair(std::move(filters), std::move(probe));
+  };
+
+  {
+    auto [f, p] = encode_all([](BitVector bf) { return bf; });
+    variants.push_back({"plain double-hashing", std::move(f), std::move(p)});
+  }
+  {
+    auto [f, p] = encode_all([](BitVector bf) { return Balance(bf, 99); });
+    variants.push_back({"balanced (+permute)", std::move(f), std::move(p)});
+  }
+  {
+    auto [f, p] = encode_all([](BitVector bf) { return XorFold(bf); });
+    variants.push_back({"xor-folded", std::move(f), std::move(p)});
+  }
+  {
+    auto [f, p] = encode_all([](BitVector bf) { return Rule90(bf); });
+    variants.push_back({"rule-90", std::move(f), std::move(p)});
+  }
+  {
+    Rng noise(123);
+    auto [f, p] = encode_all([&noise](BitVector bf) { return Blip(bf, 0.1, noise); });
+    variants.push_back({"BLIP f=0.10", std::move(f), std::move(p)});
+  }
+
+  std::printf("%-22s %-18s %-18s %-14s\n", "encoding", "dictionary-attack",
+              "pattern-attack", "smith~smyth");
+  for (auto& variant : variants) {
+    AttackResult dict_attack =
+        BloomDictionaryAttack(variant.filters, dict_values, encoder);
+    const double dict_success = ScoreAttack(dict_attack, pop.truth);
+    AttackResult pattern_attack =
+        BloomPatternMiningAttack(variant.filters, pop.dictionary);
+    const double pattern_success = ScoreAttack(pattern_attack, pop.truth);
+    std::printf("%-22s %-18.3f %-18.3f %-14.3f\n", variant.name, dict_success,
+                pattern_success, QualityProbe(variant.probe));
+  }
+  std::printf(
+      "\nReading: hardening should push both attack columns toward 0 while\n"
+      "keeping the similarity column (matching utility) high — the\n"
+      "privacy/quality trade-off of survey Figure 3.\n");
+  return 0;
+}

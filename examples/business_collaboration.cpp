@@ -1,0 +1,91 @@
+/// Business collaboration (survey §4.3): a retailer and an insurer want to
+/// know (a) how many customers they share and (b) the combined annual spend
+/// of the shared customers — without exchanging customer lists or letting
+/// either side attach the other's spend values to identified people.
+///
+/// Protocol:
+///   1. Both encode customers as keyed CLKs and a linkage unit matches them
+///      (fuzzy matching so typo'd duplicates count).
+///   2. The matched-pair *count* is released with output-constrained DP
+///      noise [14], so the presence of any single non-shared customer is
+///      hidden.
+///   3. The shared-customer spend total is computed by secure summation
+///      across the three parties (retailer share, insurer share, LU as the
+///      third mask holder), so only the aggregate is revealed.
+///
+/// Build & run:   ./build/examples/business_collaboration
+
+#include <cstdio>
+
+#include "crypto/secret_sharing.h"
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+#include "privacy/dp.h"
+
+int main() {
+  using namespace pprl;
+
+  // Customer bases with 30% true overlap; spends are synthetic per record.
+  DataGenerator generator(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 1200;
+  scenario.overlap = 0.3;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto databases = generator.GenerateScenario(scenario);
+  if (!databases.ok()) {
+    std::fprintf(stderr, "%s\n", databases.status().ToString().c_str());
+    return 1;
+  }
+  const Database& retailer = (*databases)[0];
+  const Database& insurer = (*databases)[1];
+  Rng rng(11);
+  std::vector<uint64_t> retailer_spend(retailer.size()), insurer_spend(insurer.size());
+  for (auto& s : retailer_spend) s = 100 + rng.NextUint64(4900);
+  for (auto& s : insurer_spend) s = 200 + rng.NextUint64(1800);
+
+  // 1. Keyed fuzzy linkage at the LU.
+  PipelineConfig config;
+  config.bloom.scheme = BloomHashScheme::kKeyedHmac;
+  config.bloom.secret_key = "retailer<->insurer 2026 campaign";
+  config.match_threshold = 0.8;
+  auto output = PprlPipeline(config).Link(retailer, insurer);
+  if (!output.ok()) {
+    std::fprintf(stderr, "%s\n", output.status().ToString().c_str());
+    return 1;
+  }
+  const GroundTruth truth(retailer, insurer);
+  const ConfusionCounts counts = EvaluateMatches(output->matches, truth);
+
+  // 2. DP release of the shared-customer count.
+  const double epsilon = 0.5;
+  const size_t noisy_shared = NoisyCount(output->matches.size(), epsilon, rng);
+
+  // 3. Secure summation of the shared spend: the retailer sums its side,
+  //    the insurer its side, the LU contributes 0 but completes the ring.
+  uint64_t retailer_total = 0, insurer_total = 0;
+  for (const ScoredPair& m : output->matches) {
+    retailer_total += retailer_spend[m.a];
+    insurer_total += insurer_spend[m.b];
+  }
+  auto sum = SecureSum({retailer_total, insurer_total, 0},
+                       SecureSumProtocol::kMaskedRing, rng);
+  if (!sum.ok()) return 1;
+
+  std::printf("customers per business       : %zu\n", retailer.size());
+  std::printf("true shared customers        : %zu\n", truth.num_matches());
+  std::printf("matched (found) pairs        : %zu  (precision %.3f, recall %.3f)\n",
+              output->matches.size(), counts.Precision(), counts.Recall());
+  std::printf("DP-released shared count     : %zu  (epsilon %.1f)\n", noisy_shared,
+              epsilon);
+  std::printf("secure joint spend           : %llu  (exact: %llu)\n",
+              static_cast<unsigned long long>(sum->sum),
+              static_cast<unsigned long long>(retailer_total + insurer_total));
+  std::printf("summation cost               : %zu messages, %zu rounds\n",
+              sum->messages, sum->rounds);
+  std::printf(
+      "\nReading: each business learns the aggregate overlap and joint\n"
+      "spend — enough for the campaign decision — and nothing about which\n"
+      "of the other's customers are shared.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// Health-registry linkage (survey §4.1): a hospital and a cancer registry
+/// link patient records across three institutions without revealing
+/// identities, then select the patients present in at least two of the
+/// three registries (subset matching, [43]).
+///
+/// This walks the composable API rather than the one-call pipeline:
+/// per-field CLK encoding, incremental multi-party clustering, and subset
+/// selection — the shape of the Swiss childhood-cancer study [20] scaled
+/// down to a laptop.
+///
+/// Build & run:   ./build/examples/health_registry_linkage
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "datagen/generator.h"
+#include "encoding/bloom_filter.h"
+#include "linkage/clustering.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+int main() {
+  using namespace pprl;
+
+  // Three registries share 40% of their patients.
+  DataGenerator generator(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 600;
+  scenario.num_databases = 3;
+  scenario.overlap = 0.4;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto registries = generator.GenerateScenario(scenario);
+  if (!registries.ok()) {
+    std::fprintf(stderr, "%s\n", registries.status().ToString().c_str());
+    return 1;
+  }
+
+  // Every registry encodes locally with the shared CLK configuration.
+  PipelineConfig shared_config;
+  shared_config.bloom.num_bits = 1000;
+  const ClkEncoder encoder(shared_config.bloom, PprlPipeline::DefaultFieldConfigs());
+
+  // A linkage unit clusters the incoming encodings incrementally — records
+  // can arrive registry by registry (or as a stream: §5.1 velocity).
+  IncrementalClusterer clusterer(
+      0.76, [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  clusterer.set_one_per_database(true);
+
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> entity_of;  // evaluation only
+  for (uint32_t d = 0; d < registries->size(); ++d) {
+    const Database& db = (*registries)[d];
+    auto filters = encoder.EncodeDatabase(db);
+    if (!filters.ok()) {
+      std::fprintf(stderr, "%s\n", filters.status().ToString().c_str());
+      return 1;
+    }
+    for (uint32_t r = 0; r < db.records.size(); ++r) {
+      clusterer.Insert({d, r}, (*filters)[r]);
+      entity_of[{d, r}] = db.records[r].entity_id;
+    }
+    std::printf("registry %u ingested (%zu records, %zu clusters so far)\n", d,
+                db.records.size(), clusterer.clusters().size());
+  }
+
+  // Subset matching: patients appearing in >= 2 of the 3 registries.
+  const auto multi = ClustersInAtLeast(clusterer.clusters(), 2);
+  const auto all_three = ClustersInAtLeast(clusterer.clusters(), 3);
+
+  // Evaluate cluster purity against ground truth.
+  size_t pure = 0;
+  for (const auto& cluster : all_three) {
+    std::set<uint64_t> entities;
+    for (const auto& ref : cluster) entities.insert(entity_of[{ref.database, ref.record}]);
+    if (entities.size() == 1) ++pure;
+  }
+
+  std::printf("\nclusters total                 : %zu\n", clusterer.clusters().size());
+  std::printf("patients in >= 2 registries    : %zu\n", multi.size());
+  std::printf("patients in all 3 registries   : %zu (true shared: %zu)\n",
+              all_three.size(),
+              static_cast<size_t>(0.4 * scenario.records_per_database));
+  std::printf("3-way cluster purity           : %.3f\n",
+              all_three.empty() ? 0.0
+                                : static_cast<double>(pure) /
+                                      static_cast<double>(all_three.size()));
+  std::printf("representative comparisons     : %zu\n", clusterer.comparisons());
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// National-security watchlist screening (survey §4.4): an agency holds a
+/// small watchlist; an airline holds a large passenger manifest. The
+/// airline must learn nothing about the watchlist and the agency must learn
+/// only which manifest rows hit.
+///
+/// Two protocols are contrasted on the same data:
+///   1. exact PSI via SRA commutative encryption (two-party, no linkage
+///      unit) — exact-identity hits only;
+///   2. fuzzy screening via keyed CLKs + PPJoin filtering at a linkage unit
+///      — catches spelling variants, at some privacy cost.
+///
+/// Build & run:   ./build/examples/national_security_watchlist
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "crypto/sra.h"
+#include "datagen/corruptor.h"
+#include "datagen/generator.h"
+#include "encoding/bloom_filter.h"
+#include "filtering/ppjoin.h"
+
+int main() {
+  using namespace pprl;
+
+  // Build a manifest of 2000 passengers; plant 25 watchlisted identities,
+  // 15 exact and 10 with typos (as a document mismatch would produce).
+  DataGenerator generator(GeneratorConfig{});
+  Database manifest = generator.GenerateClean(2000);
+  const Schema schema = manifest.schema;
+
+  auto full_name = [&schema](const Record& r) {
+    return NormalizeQid(r.values[0] + " " + r.values[1] + " " + r.values[3]);
+  };
+
+  Corruptor corruptor(CorruptorConfig{}, 77);
+  std::vector<std::string> watchlist;
+  std::vector<size_t> planted_rows;
+  for (size_t i = 0; i < 25; ++i) {
+    const size_t row = 40 * i;  // spread through the manifest
+    planted_rows.push_back(row);
+    if (i < 15) {
+      watchlist.push_back(full_name(manifest.records[row]));
+    } else {
+      // Watchlist knows the true identity; the manifest has a typo.
+      watchlist.push_back(full_name(manifest.records[row]));
+      manifest.records[row] =
+          corruptor.CorruptExactly(schema, manifest.records[row], 1);
+    }
+  }
+
+  std::vector<std::string> manifest_names;
+  manifest_names.reserve(manifest.records.size());
+  for (const Record& r : manifest.records) manifest_names.push_back(full_name(r));
+
+  // --- Protocol 1: exact PSI with commutative encryption. -----------------
+  Rng rng(1);
+  const SraDomain domain = SraDomain::Generate(rng, 128);
+  size_t psi_bytes = 0;
+  const auto psi_hits =
+      SraPrivateSetIntersection(manifest_names, watchlist, domain, rng, &psi_bytes);
+
+  // --- Protocol 2: fuzzy screening with keyed CLKs + PPJoin. --------------
+  BloomFilterParams params;
+  params.num_bits = 1000;
+  params.num_hashes = 12;
+  params.scheme = BloomHashScheme::kKeyedHmac;
+  params.secret_key = "agency<->airline shared key";
+  const BloomFilterEncoder encoder(params);
+  std::vector<BitVector> manifest_filters, watch_filters;
+  for (const auto& name : manifest_names) {
+    manifest_filters.push_back(encoder.EncodeString(name));
+  }
+  for (const auto& name : watchlist) watch_filters.push_back(encoder.EncodeString(name));
+  const PpjoinIndex index(watch_filters, /*dice_threshold=*/0.85);
+  const auto fuzzy_hits = index.Join(manifest_filters);
+
+  // --- Score both against the planted rows. --------------------------------
+  auto count_found = [&planted_rows](const std::vector<size_t>& rows) {
+    size_t found = 0;
+    for (size_t planted : planted_rows) {
+      for (size_t row : rows) {
+        if (row == planted) {
+          ++found;
+          break;
+        }
+      }
+    }
+    return found;
+  };
+  std::vector<size_t> psi_rows(psi_hits.begin(), psi_hits.end());
+  std::vector<size_t> fuzzy_rows;
+  for (const auto& hit : fuzzy_hits) fuzzy_rows.push_back(hit.a);
+
+  std::printf("watchlist size            : %zu (15 exact + 10 typo identities)\n",
+              watchlist.size());
+  std::printf("manifest size             : %zu\n", manifest.records.size());
+  std::printf("\nexact PSI (SRA)           : %zu hits, %zu/25 planted found, %.1f KiB\n",
+              psi_hits.size(), count_found(psi_rows),
+              static_cast<double>(psi_bytes) / 1024.0);
+  std::printf("fuzzy CLK + PPJoin        : %zu hits, %zu/25 planted found\n",
+              fuzzy_hits.size(), count_found(fuzzy_rows));
+  std::printf(
+      "\nReading: exact PSI misses the typo'd identities by construction;\n"
+      "fuzzy encoded matching recovers them — the accuracy/privacy trade\n"
+      "the survey's application section describes.\n");
+  return 0;
+}

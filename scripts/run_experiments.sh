@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table into results/<experiment>.md plus the
+# combined bench_output.txt. Run from the repository root after building:
+#
+#   cmake -B build -G Ninja && cmake --build build
+#   ./scripts/run_experiments.sh
+#
+# Each bench binary is deterministic (fixed seeds), so reruns reproduce the
+# tables recorded in EXPERIMENTS.md up to wall-clock timing columns.
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-results}"
+mkdir -p "$OUT_DIR"
+
+combined="bench_output.txt"
+: > "$combined"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name"
+  "$bench" | tee "$OUT_DIR/$name.md" >> "$combined"
+  echo >> "$combined"
+done
+
+echo "wrote $OUT_DIR/*.md and $combined"

@@ -1,0 +1,63 @@
+#include "blocking/canopy.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pprl {
+
+CanopyBlocker::CanopyBlocker(double loose_threshold, double tight_threshold,
+                             uint64_t seed)
+    : loose_threshold_(std::min(loose_threshold, tight_threshold)),
+      tight_threshold_(std::max(loose_threshold, tight_threshold)),
+      rng_(seed) {}
+
+std::vector<CandidatePair> CanopyBlocker::CandidatePairs(
+    const std::vector<MinHashSignature>& a_signatures,
+    const std::vector<MinHashSignature>& b_signatures) {
+  struct Item {
+    uint32_t index;
+    bool from_a;
+  };
+  std::vector<Item> pool;
+  pool.reserve(a_signatures.size() + b_signatures.size());
+  for (uint32_t i = 0; i < a_signatures.size(); ++i) pool.push_back({i, true});
+  for (uint32_t i = 0; i < b_signatures.size(); ++i) pool.push_back({i, false});
+  rng_.Shuffle(pool);
+
+  auto signature_of = [&](const Item& item) -> const MinHashSignature& {
+    return item.from_a ? a_signatures[item.index] : b_signatures[item.index];
+  };
+
+  std::vector<bool> removed(pool.size(), false);
+  std::set<CandidatePair> pairs;
+  last_num_canopies_ = 0;
+
+  for (size_t seed_pos = 0; seed_pos < pool.size(); ++seed_pos) {
+    if (removed[seed_pos]) continue;
+    // This record seeds a canopy.
+    removed[seed_pos] = true;
+    ++last_num_canopies_;
+    std::vector<size_t> members = {seed_pos};
+    const MinHashSignature& seed_sig = signature_of(pool[seed_pos]);
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (j == seed_pos) continue;
+      const double sim = MinHasher::EstimateJaccard(seed_sig, signature_of(pool[j]));
+      if (sim >= loose_threshold_) {
+        // Canopies overlap: a record already claimed by an earlier canopy
+        // can still be a member here — only future *seeding* is suppressed.
+        members.push_back(j);
+        if (sim >= tight_threshold_) removed[j] = true;
+      }
+    }
+    // Cross-database pairs within the canopy.
+    for (size_t x : members) {
+      for (size_t y : members) {
+        if (!pool[x].from_a || pool[y].from_a) continue;
+        pairs.insert({pool[x].index, pool[y].index});
+      }
+    }
+  }
+  return std::vector<CandidatePair>(pairs.begin(), pairs.end());
+}
+
+}  // namespace pprl

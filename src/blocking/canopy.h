@@ -1,0 +1,45 @@
+#ifndef PPRL_BLOCKING_CANOPY_H_
+#define PPRL_BLOCKING_CANOPY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "blocking/blocking.h"
+#include "encoding/minhash.h"
+
+namespace pprl {
+
+/// Canopy clustering over MinHash signatures (the cheap-distance canopy
+/// technique applied to encoded records).
+///
+/// Records of both databases are thrown into overlapping "canopies" using
+/// the inexpensive MinHash Jaccard estimate: a random seed record collects
+/// everything within `loose_threshold`; records within `tight_threshold`
+/// are removed from the seed pool. Candidate pairs are cross-database pairs
+/// sharing a canopy. Unlike exact-key blocking this tolerates fuzzy
+/// similarity; unlike LSH it produces variable-radius clusters.
+class CanopyBlocker {
+ public:
+  /// `tight_threshold` must be >= `loose_threshold` (both Jaccard in [0,1]).
+  CanopyBlocker(double loose_threshold, double tight_threshold, uint64_t seed);
+
+  /// Builds canopies over the union of both signature sets and returns the
+  /// cross-database candidate pairs.
+  std::vector<CandidatePair> CandidatePairs(
+      const std::vector<MinHashSignature>& a_signatures,
+      const std::vector<MinHashSignature>& b_signatures);
+
+  /// Number of canopies formed by the last CandidatePairs call.
+  size_t last_num_canopies() const { return last_num_canopies_; }
+
+ private:
+  double loose_threshold_;
+  double tight_threshold_;
+  Rng rng_;
+  size_t last_num_canopies_ = 0;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_BLOCKING_CANOPY_H_

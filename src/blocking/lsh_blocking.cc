@@ -1,0 +1,94 @@
+#include "blocking/lsh_blocking.h"
+
+#include <cmath>
+
+namespace pprl {
+
+HammingLshBlocker::HammingLshBlocker(size_t filter_bits, size_t num_tables,
+                                     size_t bits_per_key, Rng& rng)
+    : filter_bits_(filter_bits) {
+  positions_.resize(num_tables);
+  for (auto& table : positions_) {
+    table.reserve(bits_per_key);
+    for (size_t i = 0; i < bits_per_key; ++i) {
+      table.push_back(static_cast<uint32_t>(rng.NextUint64(filter_bits)));
+    }
+  }
+}
+
+std::vector<std::string> HammingLshBlocker::Keys(const BitVector& bf) const {
+  std::vector<std::string> keys;
+  keys.reserve(positions_.size());
+  for (size_t t = 0; t < positions_.size(); ++t) {
+    std::string key = "t" + std::to_string(t) + ":";
+    key.reserve(key.size() + positions_[t].size());
+    for (uint32_t pos : positions_[t]) key += bf.Get(pos) ? '1' : '0';
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+BlockIndex HammingLshBlocker::BuildIndex(const std::vector<BitVector>& filters) const {
+  BlockIndex index;
+  for (uint32_t i = 0; i < filters.size(); ++i) {
+    for (std::string& key : Keys(filters[i])) {
+      index[std::move(key)].push_back(i);
+    }
+  }
+  return index;
+}
+
+std::vector<CandidatePair> HammingLshBlocker::CandidatePairs(const BlockIndex& a,
+                                                             const BlockIndex& b) {
+  return StandardBlocker::CandidatePairs(a, b);
+}
+
+double HammingLshBlocker::CollisionProbability(size_t hamming_distance) const {
+  if (filter_bits_ == 0 || positions_.empty()) return 0;
+  const double agree =
+      1.0 - static_cast<double>(hamming_distance) / static_cast<double>(filter_bits_);
+  const double per_table = std::pow(agree, static_cast<double>(bits_per_key()));
+  return 1.0 - std::pow(1.0 - per_table, static_cast<double>(num_tables()));
+}
+
+MinHashLshBlocker::MinHashLshBlocker(size_t bands, size_t rows_per_band)
+    : bands_(bands), rows_per_band_(rows_per_band) {}
+
+std::vector<std::string> MinHashLshBlocker::Keys(const MinHashSignature& signature) const {
+  std::vector<std::string> keys;
+  keys.reserve(bands_);
+  for (size_t band = 0; band < bands_; ++band) {
+    std::string key = "b" + std::to_string(band) + ":";
+    for (size_t r = 0; r < rows_per_band_; ++r) {
+      const size_t idx = band * rows_per_band_ + r;
+      if (idx >= signature.size()) break;
+      key += std::to_string(signature[idx]);
+      key += ',';
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+BlockIndex MinHashLshBlocker::BuildIndex(
+    const std::vector<MinHashSignature>& signatures) const {
+  BlockIndex index;
+  for (uint32_t i = 0; i < signatures.size(); ++i) {
+    for (std::string& key : Keys(signatures[i])) {
+      index[std::move(key)].push_back(i);
+    }
+  }
+  return index;
+}
+
+std::vector<CandidatePair> MinHashLshBlocker::CandidatePairs(const BlockIndex& a,
+                                                             const BlockIndex& b) {
+  return StandardBlocker::CandidatePairs(a, b);
+}
+
+double MinHashLshBlocker::CollisionProbability(double jaccard) const {
+  const double per_band = std::pow(jaccard, static_cast<double>(rows_per_band_));
+  return 1.0 - std::pow(1.0 - per_band, static_cast<double>(bands_));
+}
+
+}  // namespace pprl

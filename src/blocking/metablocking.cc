@@ -1,0 +1,84 @@
+#include "blocking/metablocking.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace pprl {
+
+void PurgeBlocks(BlockIndex& a, BlockIndex& b, size_t max_comparisons_per_block) {
+  std::vector<std::string> to_remove;
+  for (const auto& [key, a_records] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) continue;
+    if (a_records.size() * it->second.size() > max_comparisons_per_block) {
+      to_remove.push_back(key);
+    }
+  }
+  for (const std::string& key : to_remove) {
+    a.erase(key);
+    b.erase(key);
+  }
+}
+
+void FilterBlocks(BlockIndex& index, double keep_fraction) {
+  keep_fraction = std::clamp(keep_fraction, 0.0, 1.0);
+  // Gather each record's blocks with their sizes.
+  std::unordered_map<uint32_t, std::vector<std::pair<size_t, const std::string*>>> per_record;
+  for (const auto& [key, records] : index) {
+    for (uint32_t r : records) {
+      per_record[r].push_back({records.size(), &key});
+    }
+  }
+  // Decide which (record, key) assignments survive.
+  std::unordered_map<uint32_t, std::vector<const std::string*>> kept;
+  for (auto& [record, blocks] : per_record) {
+    std::sort(blocks.begin(), blocks.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(blocks.size()) * keep_fraction));
+    auto& lst = kept[record];
+    for (size_t i = 0; i < keep && i < blocks.size(); ++i) lst.push_back(blocks[i].second);
+  }
+  // Rebuild the index with only surviving assignments.
+  BlockIndex filtered;
+  for (const auto& [record, keys] : kept) {
+    for (const std::string* key : keys) filtered[*key].push_back(record);
+  }
+  for (auto& [key, records] : filtered) std::sort(records.begin(), records.end());
+  index = std::move(filtered);
+}
+
+std::vector<CandidatePair> PruneByCommonBlocks(const BlockIndex& a, const BlockIndex& b,
+                                               size_t min_common_blocks) {
+  std::map<CandidatePair, size_t> weight;
+  for (const auto& [key, a_records] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) continue;
+    for (uint32_t ra : a_records) {
+      for (uint32_t rb : it->second) ++weight[{ra, rb}];
+    }
+  }
+  std::vector<CandidatePair> out;
+  for (const auto& [pair, w] : weight) {
+    if (w >= min_common_blocks) out.push_back(pair);
+  }
+  return out;
+}
+
+std::vector<BlockScheduleEntry> ScheduleBlocks(const BlockIndex& a, const BlockIndex& b) {
+  std::vector<BlockScheduleEntry> schedule;
+  for (const auto& [key, a_records] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) continue;
+    schedule.push_back({key, a_records.size() * it->second.size()});
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const BlockScheduleEntry& x, const BlockScheduleEntry& y) {
+              return x.comparisons != y.comparisons ? x.comparisons < y.comparisons
+                                                    : x.key < y.key;
+            });
+  return schedule;
+}
+
+}  // namespace pprl

@@ -1,0 +1,47 @@
+#ifndef PPRL_BLOCKING_METABLOCKING_H_
+#define PPRL_BLOCKING_METABLOCKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "blocking/blocking.h"
+
+namespace pprl {
+
+/// Meta-blocking: restructuring a generated block collection so unnecessary
+/// comparisons are pruned before matching (survey §3.4 "Meta-blocking",
+/// [16, 28]).
+
+/// Block purging: removes every block whose comparison load (|a_block| *
+/// |b_block|) exceeds `max_comparisons_per_block`. Oversized blocks stem
+/// from frequent key values ("smith") and contribute mostly non-matches.
+/// Returns the purged copies of both indexes (keys absent from either side
+/// are kept; they cost nothing).
+void PurgeBlocks(BlockIndex& a, BlockIndex& b, size_t max_comparisons_per_block);
+
+/// Block filtering: each record keeps only its `keep_fraction` smallest
+/// blocks (by that database's block size), dropping it from its largest —
+/// least discriminating — blocks.
+void FilterBlocks(BlockIndex& index, double keep_fraction);
+
+/// Comparison weighting + pruning (weighted node pruning): candidate pairs
+/// are scored by how many blocks they co-occur in (common-blocks scheme);
+/// pairs below `min_common_blocks` are pruned. With single-key blocking this
+/// is a no-op; with multi-key/LSH blocking it removes chance collisions.
+std::vector<CandidatePair> PruneByCommonBlocks(const BlockIndex& a, const BlockIndex& b,
+                                               size_t min_common_blocks);
+
+/// Block-size statistics used by the scheduling heuristics of [28].
+struct BlockScheduleEntry {
+  std::string key;
+  size_t comparisons = 0;  ///< |a_block| * |b_block|
+};
+
+/// Orders blocks by ascending comparison load — processing cheap,
+/// high-precision blocks first lets multi-database pipelines stop early
+/// once enough matches are found (block scheduling, [28]).
+std::vector<BlockScheduleEntry> ScheduleBlocks(const BlockIndex& a, const BlockIndex& b);
+
+}  // namespace pprl
+
+#endif  // PPRL_BLOCKING_METABLOCKING_H_

@@ -1,0 +1,87 @@
+#include "common/base64.h"
+
+namespace pprl {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int DecodeChar(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string Base64Encode(const std::vector<uint8_t>& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const uint32_t triple = (static_cast<uint32_t>(data[i]) << 16) |
+                            (static_cast<uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out += kAlphabet[(triple >> 18) & 0x3f];
+    out += kAlphabet[(triple >> 12) & 0x3f];
+    out += kAlphabet[(triple >> 6) & 0x3f];
+    out += kAlphabet[triple & 0x3f];
+    i += 3;
+  }
+  const size_t rest = data.size() - i;
+  if (rest == 1) {
+    const uint32_t triple = static_cast<uint32_t>(data[i]) << 16;
+    out += kAlphabet[(triple >> 18) & 0x3f];
+    out += kAlphabet[(triple >> 12) & 0x3f];
+    out += "==";
+  } else if (rest == 2) {
+    const uint32_t triple = (static_cast<uint32_t>(data[i]) << 16) |
+                            (static_cast<uint32_t>(data[i + 1]) << 8);
+    out += kAlphabet[(triple >> 18) & 0x3f];
+    out += kAlphabet[(triple >> 12) & 0x3f];
+    out += kAlphabet[(triple >> 6) & 0x3f];
+    out += '=';
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> Base64Decode(const std::string& text) {
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length must be a multiple of 4");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int values[4] = {0, 0, 0, 0};
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + static_cast<size_t>(j)];
+      if (c == '=') {
+        // Padding only allowed in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          return Status::InvalidArgument("unexpected base64 padding");
+        }
+        ++pad;
+        continue;
+      }
+      if (pad > 0) return Status::InvalidArgument("data after base64 padding");
+      const int v = DecodeChar(c);
+      if (v < 0) {
+        return Status::InvalidArgument(std::string("invalid base64 character '") + c +
+                                       "'");
+      }
+      values[j] = v;
+    }
+    const uint32_t triple = (static_cast<uint32_t>(values[0]) << 18) |
+                            (static_cast<uint32_t>(values[1]) << 12) |
+                            (static_cast<uint32_t>(values[2]) << 6) |
+                            static_cast<uint32_t>(values[3]);
+    out.push_back(static_cast<uint8_t>((triple >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<uint8_t>((triple >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<uint8_t>(triple & 0xff));
+  }
+  return out;
+}
+
+}  // namespace pprl

@@ -1,0 +1,21 @@
+#ifndef PPRL_COMMON_BASE64_H_
+#define PPRL_COMMON_BASE64_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pprl {
+
+/// Standard base64 (RFC 4648, with '=' padding) used to serialise encoded
+/// filters for file interchange between database owners and linkage units.
+std::string Base64Encode(const std::vector<uint8_t>& data);
+
+/// Decodes base64; rejects characters outside the alphabet and bad padding.
+Result<std::vector<uint8_t>> Base64Decode(const std::string& text);
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_BASE64_H_

@@ -1,0 +1,145 @@
+#include "common/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace pprl {
+
+namespace {
+constexpr size_t kWordBits = 64;
+
+size_t NumWords(size_t num_bits) { return (num_bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), words_(NumWords(num_bits), 0), cached_count_(0) {}
+
+void BitVector::Set(size_t pos, bool value) {
+  assert(pos < num_bits_);
+  const uint64_t mask = uint64_t{1} << (pos % kWordBits);
+  if (value) {
+    words_[pos / kWordBits] |= mask;
+  } else {
+    words_[pos / kWordBits] &= ~mask;
+  }
+  InvalidateCount();
+}
+
+void BitVector::Flip(size_t pos) {
+  assert(pos < num_bits_);
+  words_[pos / kWordBits] ^= uint64_t{1} << (pos % kWordBits);
+  InvalidateCount();
+}
+
+bool BitVector::Get(size_t pos) const {
+  assert(pos < num_bits_);
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+}
+
+void BitVector::Clear() {
+  words_.assign(words_.size(), 0);
+  cached_count_ = 0;
+}
+
+size_t BitVector::Count() const {
+  if (cached_count_ != kNoCount) return cached_count_;
+  size_t count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  cached_count_ = count;
+  return count;
+}
+
+size_t BitVector::AndCount(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] & other.words_[i]);
+  }
+  return count;
+}
+
+size_t BitVector::OrCount(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] | other.words_[i]);
+  }
+  return count;
+}
+
+size_t BitVector::XorCount(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  return count;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  InvalidateCount();
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  InvalidateCount();
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  InvalidateCount();
+  return *this;
+}
+
+void BitVector::Concat(const BitVector& other) {
+  BitVector result(num_bits_ + other.num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) result.Set(i);
+  }
+  for (size_t i = 0; i < other.num_bits_; ++i) {
+    if (other.Get(i)) result.Set(num_bits_ + i);
+  }
+  *this = std::move(result);
+}
+
+std::vector<uint32_t> BitVector::SetPositions() const {
+  std::vector<uint32_t> positions;
+  positions.reserve(Count());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      positions.push_back(static_cast<uint32_t>(w * kWordBits + bit));
+      word &= word - 1;
+    }
+  }
+  return positions;
+}
+
+std::string BitVector::ToString() const {
+  std::string out(num_bits_, '0');
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) out[i] = '1';
+  }
+  return out;
+}
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector out(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      out.Set(i);
+    } else if (bits[i] != '0') {
+      return BitVector();
+    }
+  }
+  return out;
+}
+
+}  // namespace pprl

@@ -1,0 +1,96 @@
+#ifndef PPRL_COMMON_BITVECTOR_H_
+#define PPRL_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pprl {
+
+/// A fixed-length bit vector backed by 64-bit words.
+///
+/// This is the storage type for Bloom-filter encodings (Figure 2 of the
+/// survey). It provides the word-parallel population-count operations that
+/// Dice/Jaccard/Hamming similarity computations (and their PPJoin-style
+/// filters) are built on.
+class BitVector {
+ public:
+  /// Creates an all-zero vector of `num_bits` bits.
+  explicit BitVector(size_t num_bits = 0);
+
+  /// Number of addressable bits.
+  size_t size() const { return num_bits_; }
+
+  /// Whether the vector has zero bits.
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Sets bit `pos` to `value`. `pos` must be < size().
+  void Set(size_t pos, bool value = true);
+
+  /// Flips bit `pos`. `pos` must be < size().
+  void Flip(size_t pos);
+
+  /// Returns bit `pos`. `pos` must be < size().
+  bool Get(size_t pos) const;
+
+  /// Sets all bits to zero without changing the length.
+  void Clear();
+
+  /// Number of set bits (the Hamming weight); cached after first call until
+  /// the vector is mutated.
+  size_t Count() const;
+
+  /// Number of positions set in both `this` and `other`. Sizes must match.
+  size_t AndCount(const BitVector& other) const;
+
+  /// Number of positions set in `this` or `other`. Sizes must match.
+  size_t OrCount(const BitVector& other) const;
+
+  /// Number of positions that differ (Hamming distance). Sizes must match.
+  size_t XorCount(const BitVector& other) const;
+
+  /// In-place bitwise AND. Sizes must match.
+  BitVector& operator&=(const BitVector& other);
+
+  /// In-place bitwise OR. Sizes must match.
+  BitVector& operator|=(const BitVector& other);
+
+  /// In-place bitwise XOR. Sizes must match.
+  BitVector& operator^=(const BitVector& other);
+
+  /// Appends `other` to the end of this vector (used by record-level
+  /// concatenated encodings).
+  void Concat(const BitVector& other);
+
+  /// Returns the positions of all set bits in increasing order.
+  std::vector<uint32_t> SetPositions() const;
+
+  /// Renders as a '0'/'1' string, bit 0 first (test/debug aid).
+  std::string ToString() const;
+
+  /// Parses a '0'/'1' string produced by ToString(). Other characters are
+  /// rejected by returning an empty vector.
+  static BitVector FromString(const std::string& bits);
+
+  /// Underlying words, little-endian bit order within each word. The last
+  /// word's bits past size() are guaranteed zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  void InvalidateCount() { cached_count_ = kNoCount; }
+
+  static constexpr size_t kNoCount = static_cast<size_t>(-1);
+
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+  mutable size_t cached_count_ = kNoCount;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_BITVECTOR_H_

@@ -1,0 +1,38 @@
+#ifndef PPRL_COMMON_CSV_H_
+#define PPRL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pprl {
+
+/// An in-memory CSV table: a header row plus data rows.
+///
+/// Used to load/store the synthetic person databases produced by
+/// `pprl::datagen` and to export benchmark result series.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header, or -1 when absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+/// Parses RFC-4180-style CSV text (quoted fields, embedded commas/quotes and
+/// newlines inside quotes). The first record is treated as the header.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Serialises `table` to CSV, quoting fields that contain separators.
+std::string WriteCsv(const CsvTable& table);
+
+/// Reads and parses the file at `path`.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Writes `table` to `path`, replacing any existing file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_CSV_H_

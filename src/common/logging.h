@@ -1,0 +1,47 @@
+#ifndef PPRL_COMMON_LOGGING_H_
+#define PPRL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pprl {
+
+/// Severity levels for library diagnostics.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+/// Emits `message` to stderr when `level` passes the threshold.
+/// Thread-safe; one line per call.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style helper behind the PPRL_LOG macro.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pprl
+
+/// Usage: PPRL_LOG(kInfo) << "compared " << n << " pairs";
+#define PPRL_LOG(severity) ::pprl::internal::LogStream(::pprl::LogLevel::severity)
+
+#endif  // PPRL_COMMON_LOGGING_H_

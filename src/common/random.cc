@@ -1,0 +1,69 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pprl {
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+uint64_t Rng::NextUint64() { return engine_(); }
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::NextLaplace(double scale) {
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+  // x = -scale * sgn(u) * ln(1 - 2|u|).
+  double u = NextDouble() - 0.5;
+  // Guard against u == -0.5 exactly, which would take log(0).
+  if (u <= -0.5) u = -0.499999999999;
+  const double sign = u < 0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfDistribution::ZipfDistribution(size_t n, double skew) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace pprl

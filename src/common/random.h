@@ -1,0 +1,78 @@
+#ifndef PPRL_COMMON_RANDOM_H_
+#define PPRL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pprl {
+
+/// Deterministic pseudo-random source used across the library.
+///
+/// Every randomised component (data generator, LSH seeds, BLIP noise, ...)
+/// takes an explicit `Rng` so experiments are reproducible from a single seed,
+/// matching the survey's call for reproducible evaluation frameworks [41].
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer over the full 64-bit range.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Laplace(0, scale) sample — the noise distribution of the differential-
+  /// privacy mechanisms in `pprl::privacy`.
+  double NextLaplace(double scale);
+
+  /// Bernoulli trial that succeeds with probability `p`.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[NextUint64(i)]);
+    }
+  }
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed sampler over ranks {0, ..., n-1}.
+///
+/// Person-name frequencies are strongly skewed; the data generator uses this
+/// to reproduce the frequency structure that frequency attacks on Bloom
+/// filters exploit (survey §3.2).
+class ZipfDistribution {
+ public:
+  /// `n` must be > 0; `skew` is the Zipf exponent (1.0 is classic Zipf).
+  ZipfDistribution(size_t n, double skew);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `k`.
+  double Pmf(size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_RANDOM_H_

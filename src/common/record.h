@@ -1,0 +1,62 @@
+#ifndef PPRL_COMMON_RECORD_H_
+#define PPRL_COMMON_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pprl {
+
+/// QID data types distinguished by the survey's linkage-schema dimension
+/// (§3.1): strings, numeric values, categorical codes, and dates each get
+/// their own encoding and similarity treatment.
+enum class FieldType {
+  kString,
+  kNumeric,
+  kCategorical,
+  kDate,  ///< ISO "YYYY-MM-DD"
+};
+
+/// Description of one QID column.
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::kString;
+};
+
+/// The common schema agreed between database owners before linkage.
+struct Schema {
+  std::vector<FieldSpec> fields;
+
+  /// Index of the field called `name`, or -1 when absent.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  size_t size() const { return fields.size(); }
+};
+
+/// One person record as held by a database owner.
+///
+/// `entity_id` is the ground-truth identity used only by the evaluation
+/// module; a real deployment would not have it, and no protocol code reads
+/// it.
+struct Record {
+  uint64_t id = 0;          ///< unique within one database
+  uint64_t entity_id = 0;   ///< ground-truth entity (evaluation only)
+  std::vector<std::string> values;  ///< one value per schema field
+};
+
+/// A database owner's table: schema plus records.
+struct Database {
+  Schema schema;
+  std::vector<Record> records;
+
+  size_t size() const { return records.size(); }
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_RECORD_H_

@@ -1,0 +1,51 @@
+#ifndef PPRL_COMMON_STATS_H_
+#define PPRL_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pprl {
+
+/// Streaming descriptive statistics (Welford's algorithm).
+///
+/// Used by the benchmark harnesses to report mean/stddev over repeated runs
+/// and by the tuner to summarise objective evaluations.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& xs);
+
+/// The p-th percentile (0 <= p <= 100) by linear interpolation on the sorted
+/// copy of `xs`; 0 for an empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Shannon entropy (bits) of a discrete distribution given by counts.
+double EntropyBits(const std::vector<size_t>& counts);
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_STATS_H_

@@ -1,0 +1,119 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <map>
+
+namespace pprl {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      return parts;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StripNonAlnum(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+std::string NormalizeQid(std::string_view s) {
+  const std::string lowered = ToLower(Trim(s));
+  std::string out;
+  out.reserve(lowered.size());
+  bool prev_space = false;
+  for (char c : lowered) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!prev_space && !out.empty()) out += ' ';
+      prev_space = true;
+    } else {
+      out += c;
+      prev_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view s, const QGramOptions& options) {
+  const size_t q = options.q == 0 ? 1 : options.q;
+  std::string padded;
+  if (options.pad && q > 1) {
+    padded.assign(q - 1, '_');
+    padded += s;
+    padded.append(q - 1, '_');
+  } else {
+    padded.assign(s);
+  }
+  std::vector<std::string> grams;
+  if (padded.size() < q) {
+    if (!padded.empty()) grams.push_back(padded);
+    return grams;
+  }
+  std::map<std::string, int> seen;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    std::string gram = padded.substr(i, q);
+    if (options.positional_dedup) {
+      const int occurrence = seen[gram]++;
+      if (occurrence > 0) {
+        gram += '#';
+        gram += std::to_string(occurrence);
+      }
+    }
+    grams.push_back(std::move(gram));
+  }
+  return grams;
+}
+
+bool IsInteger(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace pprl

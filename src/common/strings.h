@@ -1,0 +1,57 @@
+#ifndef PPRL_COMMON_STRINGS_H_
+#define PPRL_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pprl {
+
+/// Returns `s` lower-cased (ASCII only; QID normalisation in the survey's
+/// pre-processing step operates on ASCII person data).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` upper-cased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on `delim`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Removes every character that is not an ASCII letter or digit.
+std::string StripNonAlnum(std::string_view s);
+
+/// Canonical QID normalisation used before encoding: lower-case, trim, and
+/// collapse internal runs of whitespace to a single space.
+std::string NormalizeQid(std::string_view s);
+
+/// Options for q-gram extraction.
+struct QGramOptions {
+  /// Sub-string length (q). The survey's Bloom-filter examples use q = 2.
+  size_t q = 2;
+  /// If true, pad with q-1 leading/trailing '_' so boundary characters
+  /// appear in q q-grams, as in Schnell-style CLK encodings.
+  bool pad = true;
+  /// If true, append a positional index to repeated q-grams so the output is
+  /// a set even when the string has duplicate q-grams ("aa" in "aaaa").
+  bool positional_dedup = true;
+};
+
+/// Extracts the q-gram token set of `s` (Figure 2, left).
+///
+/// With `positional_dedup`, the i-th occurrence of a repeated gram `g` is
+/// emitted as `g` + '#' + i for i >= 1, preserving multiplicity information
+/// in a set representation.
+std::vector<std::string> QGrams(std::string_view s, const QGramOptions& options = {});
+
+/// True if `s` consists only of ASCII digits (possibly with one leading '-').
+bool IsInteger(std::string_view s);
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_STRINGS_H_

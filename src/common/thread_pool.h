@@ -1,0 +1,57 @@
+#ifndef PPRL_COMMON_THREAD_POOL_H_
+#define PPRL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pprl {
+
+/// A fixed-size worker pool for the parallel/distributed complexity-reduction
+/// branch of the taxonomy (survey §3.4 "Parallel/distributed processing").
+///
+/// Blocks can be compared on different workers; `ParallelFor` partitions an
+/// index range across the pool and joins before returning.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end), distributing contiguous chunks
+/// over `pool`. Blocks until all iterations complete.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_THREAD_POOL_H_

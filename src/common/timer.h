@@ -1,0 +1,32 @@
+#ifndef PPRL_COMMON_TIMER_H_
+#define PPRL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pprl {
+
+/// Wall-clock stopwatch for the empirical efficiency measurements the
+/// survey's evaluation model calls for (§3.3: runtime costs).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_COMMON_TIMER_H_

@@ -1,0 +1,479 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pprl {
+
+namespace {
+constexpr uint64_t kBase = uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Avoid overflow at INT64_MIN by working in unsigned space.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  size_t bits = (limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t i) const {
+  const size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& rhs) const {
+  if (negative_ != rhs.negative_) return negative_ ? -1 : 1;
+  const int mag = CompareMagnitude(*this, rhs);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b) {
+  assert(CompareMagnitude(a, b) >= 0);
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= static_cast<int64_t>(b.limbs_[i]);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  if (negative_ == rhs.negative_) {
+    BigInt out = AddMagnitude(*this, rhs);
+    out.negative_ = negative_ && !out.is_zero();
+    return out;
+  }
+  const int mag = CompareMagnitude(*this, rhs);
+  if (mag == 0) return BigInt();
+  if (mag > 0) {
+    BigInt out = SubMagnitude(*this, rhs);
+    out.negative_ = negative_ && !out.is_zero();
+    return out;
+  }
+  BigInt out = SubMagnitude(rhs, *this);
+  out.negative_ = rhs.negative_ && !out.is_zero();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = limbs_[i];
+    for (size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const uint64_t cur = static_cast<uint64_t>(out.limbs_[i + j]) + ai * rhs.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      const uint64_t cur = static_cast<uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.negative_ = negative_ != rhs.negative_;
+  out.Trim();
+  return out;
+}
+
+// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, specialised to 32-bit limbs.
+void BigInt::DivModMagnitude(const BigInt& a, const BigInt& b, BigInt* quotient,
+                             BigInt* remainder) {
+  assert(!b.is_zero());
+  if (CompareMagnitude(a, b) < 0) {
+    if (quotient) *quotient = BigInt();
+    if (remainder) {
+      *remainder = a;
+      remainder->negative_ = false;
+    }
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    // Short division by a single limb.
+    const uint64_t divisor = b.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      const uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / divisor);
+      rem = cur % divisor;
+    }
+    q.Trim();
+    if (quotient) *quotient = std::move(q);
+    if (remainder) *remainder = BigInt(static_cast<int64_t>(rem));
+    return;
+  }
+
+  // Normalise so the divisor's top limb has its high bit set.
+  int shift = 0;
+  {
+    uint32_t top = b.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigInt u = a.ShiftLeft(shift);
+  const BigInt v = b.ShiftLeft(shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+
+  std::vector<uint32_t> un(u.limbs_);
+  un.push_back(0);  // u has m+n+1 limbs during the loop
+  const std::vector<uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat from the top two limbs of the current remainder window.
+    const uint64_t numerator = (static_cast<uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    uint64_t qhat = numerator / vn[n - 1];
+    uint64_t rhat = numerator % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract qhat * v from the window un[j .. j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t product = qhat * vn[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(un[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(un[j + n]) - static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    un[j + n] = static_cast<uint32_t>(diff & 0xffffffff);
+
+    // Add back when the estimate was one too large.
+    if (negative) {
+      --qhat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t sum = static_cast<uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<uint32_t>(sum & 0xffffffffu);
+        carry2 = sum >> 32;
+      }
+      un[j + n] = static_cast<uint32_t>(un[j + n] + carry2);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  q.Trim();
+  if (quotient) *quotient = std::move(q);
+  if (remainder) {
+    BigInt r;
+    r.limbs_.assign(un.begin(), un.begin() + static_cast<long>(n));
+    r.Trim();
+    *remainder = r.ShiftRight(shift);
+  }
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt q;
+  DivModMagnitude(*this, rhs, &q, nullptr);
+  q.negative_ = (negative_ != rhs.negative_) && !q.is_zero();
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt r;
+  DivModMagnitude(*this, rhs, nullptr, &r);
+  r.negative_ = negative_ && !r.is_zero();
+  return r;
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t shifted = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(shifted & 0xffffffffu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(shifted >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  const size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t cur = static_cast<uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      cur |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(cur & 0xffffffffu);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::FromDecimal(const std::string& text) {
+  BigInt out;
+  size_t i = 0;
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  for (; i < text.size(); ++i) {
+    assert(text[i] >= '0' && text[i] <= '9');
+    out = out * BigInt(10) + BigInt(text[i] - '0');
+  }
+  if (negative && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (is_zero()) return "0";
+  BigInt value = *this;
+  value.negative_ = false;
+  std::string digits;
+  const BigInt ten(10);
+  while (!value.is_zero()) {
+    BigInt q, r;
+    DivModMagnitude(value, ten, &q, &r);
+    digits += static_cast<char>('0' + r.ToInt64());
+    value = std::move(q);
+  }
+  if (negative_) digits += '-';
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+int64_t BigInt::ToInt64() const {
+  uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() >= 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  assert(limbs_.size() <= 2);
+  return negative_ ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+}
+
+BigInt BigInt::Random(Rng& rng, const BigInt& bound) {
+  assert(bound > BigInt(0));
+  const size_t bits = bound.BitLength();
+  // Rejection sampling from [0, 2^bits) keeps the result uniform.
+  while (true) {
+    BigInt candidate;
+    candidate.limbs_.resize((bits + 31) / 32, 0);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<uint32_t>(rng.NextUint64() & 0xffffffffu);
+    }
+    // Mask the limbs above `bits`.
+    const size_t top_bits = bits % 32;
+    if (top_bits != 0) {
+      candidate.limbs_.back() &= (uint32_t{1} << top_bits) - 1;
+    }
+    candidate.Trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::RandomBits(Rng& rng, size_t bits) {
+  assert(bits > 0);
+  BigInt out;
+  out.limbs_.resize((bits + 31) / 32, 0);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<uint32_t>(rng.NextUint64() & 0xffffffffu);
+  }
+  const size_t top_bits = (bits - 1) % 32;
+  // Clear bits above the requested width, then force the top bit on.
+  uint32_t& top_limb = out.limbs_.back();
+  if (top_bits != 31) top_limb &= (uint32_t{1} << (top_bits + 1)) - 1;
+  top_limb |= uint32_t{1} << top_bits;
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::RandomPrime(Rng& rng, size_t bits) {
+  while (true) {
+    BigInt candidate = RandomBits(rng, bits);
+    if (!candidate.is_odd()) candidate += BigInt(1);
+    if (candidate.BitLength() != bits) continue;
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+BigInt Mod(const BigInt& a, const BigInt& m) {
+  BigInt r = a % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt MulMod(const BigInt& a, const BigInt& b, const BigInt& m) { return Mod(a * b, m); }
+
+BigInt PowMod(const BigInt& base, const BigInt& exponent, const BigInt& m) {
+  assert(!exponent.is_negative());
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  const size_t bits = exponent.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exponent.Bit(i)) result = MulMod(result, b, m);
+    b = MulMod(b, b, m);
+  }
+  return result;
+}
+
+BigInt Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.is_negative() ? -a : a;
+  BigInt y = b.is_negative() ? -b : b;
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt Lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt(0);
+  const BigInt g = Gcd(a, b);
+  BigInt out = (a / g) * b;
+  if (out.is_negative()) out = -out;
+  return out;
+}
+
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid on (a mod m, m).
+  BigInt r0 = Mod(a, m);
+  BigInt r1 = m;
+  BigInt s0(1), s1(0);
+  while (!r1.is_zero()) {
+    const BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    BigInt s2 = s0 - q * s1;
+    s0 = std::move(s1);
+    s1 = std::move(s2);
+  }
+  if (r0 != BigInt(1)) {
+    return Status::InvalidArgument("ModInverse: values are not coprime");
+  }
+  return Mod(s0, m);
+}
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (int64_t p : {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if (Mod(n, bp).is_zero()) return false;
+  }
+  // Write n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (!d.is_odd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = BigInt(2) + BigInt::Random(rng, n - BigInt(4));
+    BigInt x = PowMod(a, d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+}  // namespace pprl

@@ -1,0 +1,123 @@
+#ifndef PPRL_CRYPTO_BIGINT_H_
+#define PPRL_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Arbitrary-precision signed integer.
+///
+/// This is the number-theoretic substrate for the cryptographic branch of the
+/// survey's taxonomy (§3.4 "Cryptography"): Paillier homomorphic encryption,
+/// SRA commutative encryption, and secure multi-party summation all run on
+/// top of it. Magnitudes are stored as little-endian 32-bit limbs; division
+/// uses Knuth's Algorithm D. Sizes in this library are modest (<= a few
+/// thousand bits), so schoolbook multiplication is appropriate.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a native signed integer.
+  BigInt(int64_t value);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+
+  /// Parses a decimal string with optional leading '-'. Returns zero on an
+  /// empty string; non-digit characters are a programming error (asserted).
+  static BigInt FromDecimal(const std::string& text);
+
+  /// Uniformly random value in [0, bound). `bound` must be positive.
+  static BigInt Random(Rng& rng, const BigInt& bound);
+
+  /// Random integer with exactly `bits` bits (top bit set).
+  static BigInt RandomBits(Rng& rng, size_t bits);
+
+  /// Random prime with exactly `bits` bits (Miller-Rabin, 30 rounds).
+  static BigInt RandomPrime(Rng& rng, size_t bits);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  /// Value of magnitude bit `i` (little-endian).
+  bool Bit(size_t i) const;
+
+  /// Decimal rendering with leading '-' when negative.
+  std::string ToDecimal() const;
+
+  /// Low 64 bits of the magnitude, negated if the value is negative.
+  /// Precondition: the value fits in int64_t.
+  int64_t ToInt64() const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Truncated division (C++ semantics). `rhs` must be nonzero.
+  BigInt operator/(const BigInt& rhs) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& rhs) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+
+  /// Left shift of the magnitude by `bits`.
+  BigInt ShiftLeft(size_t bits) const;
+  /// Right shift of the magnitude by `bits` (arithmetic on magnitude).
+  BigInt ShiftRight(size_t bits) const;
+
+  /// Comparison of signed values: -1, 0, or +1.
+  int Compare(const BigInt& rhs) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) { return a.Compare(b) == 0; }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return a.Compare(b) != 0; }
+  friend bool operator<(const BigInt& a, const BigInt& b) { return a.Compare(b) < 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return a.Compare(b) <= 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) { return a.Compare(b) > 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return a.Compare(b) >= 0; }
+
+ private:
+  void Trim();
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
+  static void DivModMagnitude(const BigInt& a, const BigInt& b, BigInt* quotient,
+                              BigInt* remainder);
+
+  bool negative_ = false;
+  std::vector<uint32_t> limbs_;  // little-endian; empty means zero
+};
+
+/// Non-negative remainder: ((a % m) + m) % m. `m` must be positive.
+BigInt Mod(const BigInt& a, const BigInt& m);
+
+/// (a * b) mod m for non-negative inputs reduced mod m.
+BigInt MulMod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// a^e mod m via square-and-multiply. `e` must be non-negative, `m` positive.
+BigInt PowMod(const BigInt& base, const BigInt& exponent, const BigInt& m);
+
+/// Greatest common divisor of |a| and |b|.
+BigInt Gcd(const BigInt& a, const BigInt& b);
+
+/// Least common multiple of |a| and |b|.
+BigInt Lcm(const BigInt& a, const BigInt& b);
+
+/// Modular inverse of a mod m; fails when gcd(a, m) != 1.
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+/// Miller-Rabin primality test with `rounds` random bases.
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 30);
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_BIGINT_H_

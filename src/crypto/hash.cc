@@ -1,0 +1,258 @@
+#include "crypto/hash.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pprl {
+
+namespace {
+
+uint32_t RotL32(uint32_t x, int n) { return std::rotl(x, n); }
+uint32_t RotR32(uint32_t x, int n) { return std::rotr(x, n); }
+
+/// Appends the 0x80 byte, zero padding, and the 64-bit message-length field
+/// shared by the MD5/SHA-1/SHA-256 Merkle-Damgard constructions.
+std::vector<uint8_t> PadMessage(std::string_view data, bool big_endian_length) {
+  std::vector<uint8_t> msg(data.begin(), data.end());
+  const uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) msg.push_back(0);
+  if (big_endian_length) {
+    for (int i = 7; i >= 0; --i) msg.push_back(static_cast<uint8_t>(bit_len >> (8 * i)));
+  } else {
+    for (int i = 0; i < 8; ++i) msg.push_back(static_cast<uint8_t>(bit_len >> (8 * i)));
+  }
+  return msg;
+}
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+constexpr uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391};
+
+constexpr int kMd5Shift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                               5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+                               4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                               6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+}  // namespace
+
+std::array<uint8_t, 16> Md5(std::string_view data) {
+  uint32_t a0 = 0x67452301, b0 = 0xefcdab89, c0 = 0x98badcfe, d0 = 0x10325476;
+  const std::vector<uint8_t> msg = PadMessage(data, /*big_endian_length=*/false);
+  for (size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i) m[i] = LoadLe32(&msg[chunk + 4 * static_cast<size_t>(i)]);
+    uint32_t a = a0, b = b0, c = c0, d = d0;
+    for (int i = 0; i < 64; ++i) {
+      uint32_t f;
+      int g;
+      if (i < 16) {
+        f = (b & c) | (~b & d);
+        g = i;
+      } else if (i < 32) {
+        f = (d & b) | (~d & c);
+        g = (5 * i + 1) % 16;
+      } else if (i < 48) {
+        f = b ^ c ^ d;
+        g = (3 * i + 5) % 16;
+      } else {
+        f = c ^ (b | ~d);
+        g = (7 * i) % 16;
+      }
+      f = f + a + kMd5K[i] + m[g];
+      a = d;
+      d = c;
+      c = b;
+      b = b + RotL32(f, kMd5Shift[i]);
+    }
+    a0 += a;
+    b0 += b;
+    c0 += c;
+    d0 += d;
+  }
+  std::array<uint8_t, 16> digest;
+  const uint32_t regs[4] = {a0, b0, c0, d0};
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      digest[static_cast<size_t>(4 * r + i)] = static_cast<uint8_t>(regs[r] >> (8 * i));
+    }
+  }
+  return digest;
+}
+
+std::array<uint8_t, 20> Sha1(std::string_view data) {
+  uint32_t h[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0};
+  const std::vector<uint8_t> msg = PadMessage(data, /*big_endian_length=*/true);
+  for (size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) w[i] = LoadBe32(&msg[chunk + 4 * static_cast<size_t>(i)]);
+    for (int i = 16; i < 80; ++i) {
+      w[i] = RotL32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdc;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6;
+      }
+      const uint32_t temp = RotL32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = RotL32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+  std::array<uint8_t, 20> digest;
+  for (int r = 0; r < 5; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      digest[static_cast<size_t>(4 * r + i)] = static_cast<uint8_t>(h[r] >> (8 * (3 - i)));
+    }
+  }
+  return digest;
+}
+
+std::array<uint8_t, 32> Sha256(std::string_view data) {
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  const std::vector<uint8_t> msg = PadMessage(data, /*big_endian_length=*/true);
+  for (size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) w[i] = LoadBe32(&msg[chunk + 4 * static_cast<size_t>(i)]);
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 = RotR32(w[i - 15], 7) ^ RotR32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 = RotR32(w[i - 2], 17) ^ RotR32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = RotR32(e, 6) ^ RotR32(e, 11) ^ RotR32(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t temp1 = hh + s1 + ch + kSha256K[i] + w[i];
+      const uint32_t s0 = RotR32(a, 2) ^ RotR32(a, 13) ^ RotR32(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t temp2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+  std::array<uint8_t, 32> digest;
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      digest[static_cast<size_t>(4 * r + i)] = static_cast<uint8_t>(h[r] >> (8 * (3 - i)));
+    }
+  }
+  return digest;
+}
+
+std::array<uint8_t, 32> HmacSha256(std::string_view key, std::string_view data) {
+  constexpr size_t kBlockSize = 64;
+  std::array<uint8_t, kBlockSize> key_block{};
+  if (key.size() > kBlockSize) {
+    const auto hashed = Sha256(key);
+    std::memcpy(key_block.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+  std::string inner;
+  inner.reserve(kBlockSize + data.size());
+  for (uint8_t b : key_block) inner += static_cast<char>(b ^ 0x36);
+  inner.append(data);
+  const auto inner_digest = Sha256(inner);
+  std::string outer;
+  outer.reserve(kBlockSize + inner_digest.size());
+  for (uint8_t b : key_block) outer += static_cast<char>(b ^ 0x5c);
+  outer.append(reinterpret_cast<const char*>(inner_digest.data()), inner_digest.size());
+  return Sha256(outer);
+}
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  Rng rng(seed);
+  for (auto& row : table_) {
+    for (auto& cell : row) cell = rng.NextUint64();
+  }
+}
+
+uint64_t TabulationHash::Hash64(uint64_t x) const {
+  uint64_t h = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    h ^= table_[i][(x >> (8 * i)) & 0xff];
+  }
+  return h;
+}
+
+uint64_t TabulationHash::Hash(std::string_view data) const {
+  // FNV-1a fold to 64 bits, then one tabulation round for independence
+  // across differently seeded instances.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return Hash64(h);
+}
+
+}  // namespace pprl

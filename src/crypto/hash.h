@@ -1,0 +1,68 @@
+#ifndef PPRL_CRYPTO_HASH_H_
+#define PPRL_CRYPTO_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pprl {
+
+/// MD5 digest (16 bytes). Used only as one leg of the classic
+/// double-hashing scheme for Bloom-filter encodings [33]; not for security.
+std::array<uint8_t, 16> Md5(std::string_view data);
+
+/// SHA-1 digest (20 bytes).
+std::array<uint8_t, 20> Sha1(std::string_view data);
+
+/// SHA-256 digest (32 bytes).
+std::array<uint8_t, 32> Sha256(std::string_view data);
+
+/// HMAC-SHA-256. Keyed hashing is the survey's standard defence that keeps a
+/// dictionary-equipped adversary from hashing candidate QID values itself.
+std::array<uint8_t, 32> HmacSha256(std::string_view key, std::string_view data);
+
+/// First 8 bytes of a digest as a little-endian integer, for use as a hash
+/// value in [0, 2^64).
+template <size_t N>
+uint64_t DigestToUint64(const std::array<uint8_t, N>& digest) {
+  static_assert(N >= 8);
+  uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | digest[static_cast<size_t>(i)];
+  return out;
+}
+
+/// Hex rendering of a digest (lower-case).
+template <size_t N>
+std::string DigestToHex(const std::array<uint8_t, N>& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * N);
+  for (uint8_t b : digest) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+/// 64-bit tabulation hash family: cheap, 3-independent, seedable.
+/// Used for MinHash signatures and LSH where cryptographic strength is not
+/// required but independence across seeds is.
+class TabulationHash {
+ public:
+  /// Builds the 8x256 random table from `seed`.
+  explicit TabulationHash(uint64_t seed);
+
+  /// Hashes an arbitrary byte string.
+  uint64_t Hash(std::string_view data) const;
+
+  /// Hashes a 64-bit value.
+  uint64_t Hash64(uint64_t x) const;
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> table_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_HASH_H_

@@ -1,0 +1,110 @@
+#include "crypto/paillier.h"
+
+namespace pprl {
+
+namespace {
+
+/// L_m(x) = (x - 1) / m, the Paillier L-function on residues mod m^2.
+BigInt LFunction(const BigInt& x, const BigInt& m) { return (x - BigInt(1)) / m; }
+
+}  // namespace
+
+Result<Paillier> Paillier::Generate(Rng& rng, size_t modulus_bits) {
+  if (modulus_bits < 16) {
+    return Status::InvalidArgument("Paillier modulus must be at least 16 bits");
+  }
+  const size_t prime_bits = modulus_bits / 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const BigInt p = BigInt::RandomPrime(rng, prime_bits);
+    const BigInt q = BigInt::RandomPrime(rng, modulus_bits - prime_bits);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    // gcd(n, (p-1)(q-1)) == 1 holds automatically for distinct primes of
+    // similar size, but verify to keep the key mathematically valid.
+    const BigInt p1 = p - BigInt(1);
+    const BigInt q1 = q - BigInt(1);
+    if (Gcd(n, p1 * q1) != BigInt(1)) continue;
+
+    // CRT precomputation with g = n + 1:
+    //   hp = (L_p(g^(p-1) mod p^2))^-1 mod p, likewise hq.
+    const BigInt p_squared = p * p;
+    const BigInt q_squared = q * q;
+    const BigInt g = n + BigInt(1);
+    auto hp = ModInverse(LFunction(PowMod(g, p1, p_squared), p), p);
+    auto hq = ModInverse(LFunction(PowMod(g, q1, q_squared), q), q);
+    auto q_inv_p = ModInverse(q, p);
+    if (!hp.ok() || !hq.ok() || !q_inv_p.ok()) continue;
+
+    PaillierPublicKey pub{n, n * n};
+    PaillierPrivateKey priv{p,
+                            q,
+                            p_squared,
+                            q_squared,
+                            std::move(hp).value(),
+                            std::move(hq).value(),
+                            std::move(q_inv_p).value()};
+    return Paillier(std::move(pub), std::move(priv));
+  }
+  return Status::Internal("Paillier key generation failed repeatedly");
+}
+
+Result<PaillierCiphertext> Paillier::Encrypt(const BigInt& plaintext, Rng& rng) const {
+  if (plaintext.is_negative() || plaintext >= public_key_.n) {
+    return Status::OutOfRange("Paillier plaintext must be in [0, n)");
+  }
+  // g = n + 1, so g^m = 1 + m*n (mod n^2), avoiding one modexp.
+  const BigInt gm = Mod(BigInt(1) + plaintext * public_key_.n, public_key_.n_squared);
+  BigInt r = BigInt::Random(rng, public_key_.n);
+  while (r.is_zero() || Gcd(r, public_key_.n) != BigInt(1)) {
+    r = BigInt::Random(rng, public_key_.n);
+  }
+  const BigInt rn = PowMod(r, public_key_.n, public_key_.n_squared);
+  return PaillierCiphertext{MulMod(gm, rn, public_key_.n_squared)};
+}
+
+Result<BigInt> Paillier::Decrypt(const PaillierCiphertext& ciphertext) const {
+  if (ciphertext.value.is_negative() || ciphertext.value >= public_key_.n_squared) {
+    return Status::OutOfRange("Paillier ciphertext out of range");
+  }
+  // CRT decryption (Paillier 1999, sec. 7):
+  //   m_p = L_p(c^(p-1) mod p^2) * hp mod p
+  //   m_q = L_q(c^(q-1) mod q^2) * hq mod q
+  // then recombine m from (m_p, m_q) via Garner's formula.
+  const PaillierPrivateKey& k = private_key_;
+  const BigInt cp = Mod(ciphertext.value, k.p_squared);
+  const BigInt cq = Mod(ciphertext.value, k.q_squared);
+  const BigInt mp = MulMod(LFunction(PowMod(cp, k.p - BigInt(1), k.p_squared), k.p),
+                           k.hp, k.p);
+  const BigInt mq = MulMod(LFunction(PowMod(cq, k.q - BigInt(1), k.q_squared), k.q),
+                           k.hq, k.q);
+  // m = mq + q * ((mp - mq) * q^-1 mod p)
+  const BigInt t = MulMod(Mod(mp - mq, k.p), k.q_inv_p, k.p);
+  return Mod(mq + k.q * t, public_key_.n);
+}
+
+PaillierCiphertext Paillier::AddCiphertexts(const PaillierCiphertext& a,
+                                            const PaillierCiphertext& b) const {
+  return {MulMod(a.value, b.value, public_key_.n_squared)};
+}
+
+PaillierCiphertext Paillier::AddPlaintext(const PaillierCiphertext& a, const BigInt& k) const {
+  const BigInt gk = Mod(BigInt(1) + Mod(k, public_key_.n) * public_key_.n,
+                        public_key_.n_squared);
+  return {MulMod(a.value, gk, public_key_.n_squared)};
+}
+
+PaillierCiphertext Paillier::MultiplyPlaintext(const PaillierCiphertext& a,
+                                               const BigInt& k) const {
+  return {PowMod(a.value, Mod(k, public_key_.n), public_key_.n_squared)};
+}
+
+PaillierCiphertext Paillier::Rerandomize(const PaillierCiphertext& a, Rng& rng) const {
+  BigInt r = BigInt::Random(rng, public_key_.n);
+  while (r.is_zero() || Gcd(r, public_key_.n) != BigInt(1)) {
+    r = BigInt::Random(rng, public_key_.n);
+  }
+  const BigInt rn = PowMod(r, public_key_.n, public_key_.n_squared);
+  return {MulMod(a.value, rn, public_key_.n_squared)};
+}
+
+}  // namespace pprl

@@ -1,0 +1,85 @@
+#ifndef PPRL_CRYPTO_PAILLIER_H_
+#define PPRL_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/bigint.h"
+
+namespace pprl {
+
+/// Public key of the Paillier cryptosystem: n = p*q and g = n + 1.
+struct PaillierPublicKey {
+  BigInt n;
+  BigInt n_squared;
+
+  /// Bits of plaintext the modulus can carry.
+  size_t PlaintextBits() const { return n.BitLength() - 1; }
+};
+
+/// Private key. Decryption runs in CRT form: two half-size exponentiations
+/// modulo p^2 and q^2 instead of one full-size one modulo n^2 (~4x faster),
+/// using the precomputed per-prime inverses hp/hq from Paillier's paper.
+struct PaillierPrivateKey {
+  BigInt p;
+  BigInt q;
+  BigInt p_squared;
+  BigInt q_squared;
+  BigInt hp;       ///< (L_p(g^(p-1) mod p^2))^-1 mod p
+  BigInt hq;       ///< (L_q(g^(q-1) mod q^2))^-1 mod q
+  BigInt q_inv_p;  ///< q^-1 mod p, for the CRT recombination
+};
+
+/// A Paillier ciphertext; element of Z*_{n^2}.
+struct PaillierCiphertext {
+  BigInt value;
+};
+
+/// Paillier additively homomorphic encryption.
+///
+/// This is the homomorphic-encryption instance of the survey's
+/// "Cryptography" privacy technology (§3.4): Enc(a) * Enc(b) = Enc(a + b)
+/// and Enc(a)^k = Enc(k * a), which is exactly what the secure-summation and
+/// secure-edit-distance protocols need. Keys here are sized for protocol
+/// benchmarking on a laptop, not for production security; the key size is a
+/// constructor parameter so the cost/security trade-off is measurable.
+class Paillier {
+ public:
+  /// Generates a fresh key pair with an n of roughly `modulus_bits` bits.
+  /// `modulus_bits` must be >= 16.
+  static Result<Paillier> Generate(Rng& rng, size_t modulus_bits);
+
+  const PaillierPublicKey& public_key() const { return public_key_; }
+
+  /// Encrypts `plaintext` (must be in [0, n)).
+  Result<PaillierCiphertext> Encrypt(const BigInt& plaintext, Rng& rng) const;
+
+  /// Decrypts to the canonical representative in [0, n).
+  Result<BigInt> Decrypt(const PaillierCiphertext& ciphertext) const;
+
+  /// Homomorphic addition: Dec(AddCiphertexts(Enc(a), Enc(b))) = a + b mod n.
+  PaillierCiphertext AddCiphertexts(const PaillierCiphertext& a,
+                                    const PaillierCiphertext& b) const;
+
+  /// Homomorphic plaintext addition: Enc(a) -> Enc(a + k mod n).
+  PaillierCiphertext AddPlaintext(const PaillierCiphertext& a, const BigInt& k) const;
+
+  /// Homomorphic scalar multiplication: Enc(a) -> Enc(k * a mod n).
+  PaillierCiphertext MultiplyPlaintext(const PaillierCiphertext& a, const BigInt& k) const;
+
+  /// Re-randomises a ciphertext without changing the plaintext, so repeated
+  /// values are unlinkable on the wire.
+  PaillierCiphertext Rerandomize(const PaillierCiphertext& a, Rng& rng) const;
+
+ private:
+  Paillier(PaillierPublicKey pub, PaillierPrivateKey priv)
+      : public_key_(std::move(pub)), private_key_(std::move(priv)) {}
+
+  PaillierPublicKey public_key_;
+  PaillierPrivateKey private_key_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_PAILLIER_H_

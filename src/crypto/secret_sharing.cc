@@ -1,0 +1,90 @@
+#include "crypto/secret_sharing.h"
+
+namespace pprl {
+
+std::vector<uint64_t> ShareAdditive(uint64_t secret, size_t num_shares, Rng& rng) {
+  std::vector<uint64_t> shares(num_shares, 0);
+  if (num_shares == 0) return shares;
+  uint64_t acc = 0;
+  for (size_t i = 0; i + 1 < num_shares; ++i) {
+    shares[i] = rng.NextUint64();
+    acc += shares[i];
+  }
+  shares[num_shares - 1] = secret - acc;  // mod 2^64 wraparound is the point
+  return shares;
+}
+
+uint64_t ReconstructAdditive(const std::vector<uint64_t>& shares) {
+  uint64_t sum = 0;
+  for (uint64_t s : shares) sum += s;
+  return sum;
+}
+
+Result<SecureSumResult> SecureSum(const std::vector<uint64_t>& inputs,
+                                  SecureSumProtocol protocol, Rng& rng) {
+  const size_t p = inputs.size();
+  if (p < 2) return Status::InvalidArgument("secure summation needs >= 2 parties");
+  SecureSumResult result;
+  constexpr size_t kWordBytes = 8;
+
+  switch (protocol) {
+    case SecureSumProtocol::kMaskedRing: {
+      // Party 0 adds a random mask, the partial sum travels the ring once,
+      // then party 0 removes the mask and broadcasts.
+      const uint64_t mask = rng.NextUint64();
+      uint64_t running = inputs[0] + mask;
+      for (size_t i = 1; i < p; ++i) {
+        running += inputs[i];
+        ++result.messages;  // party i-1 -> party i
+        result.bytes += kWordBytes;
+      }
+      ++result.messages;  // party p-1 -> party 0
+      result.bytes += kWordBytes;
+      result.sum = running - mask;
+      result.messages += p - 1;  // broadcast of the final sum
+      result.bytes += (p - 1) * kWordBytes;
+      result.rounds = p + 1;
+      break;
+    }
+    case SecureSumProtocol::kFullSharing: {
+      // Phase 1: party i sends share j of its input to party j.
+      std::vector<std::vector<uint64_t>> received(p);
+      for (size_t i = 0; i < p; ++i) {
+        const std::vector<uint64_t> shares = ShareAdditive(inputs[i], p, rng);
+        for (size_t j = 0; j < p; ++j) {
+          received[j].push_back(shares[j]);
+          if (i != j) {
+            ++result.messages;
+            result.bytes += kWordBytes;
+          }
+        }
+      }
+      // Phase 2: each party publishes the sum of the shares it holds.
+      uint64_t total = 0;
+      for (size_t j = 0; j < p; ++j) {
+        total += ReconstructAdditive(received[j]);
+        result.messages += p - 1;  // broadcast of the share-sum
+        result.bytes += (p - 1) * kWordBytes;
+      }
+      result.sum = total;
+      result.rounds = 2;
+      break;
+    }
+  }
+  return result;
+}
+
+size_t MinColludersToBreak(SecureSumProtocol protocol, size_t num_parties) {
+  switch (protocol) {
+    case SecureSumProtocol::kMaskedRing:
+      // The two ring neighbours of a victim see x_in and x_in + v, so two
+      // colluders recover v exactly (the weakness highlighted in [29]).
+      return num_parties >= 3 ? 2 : num_parties;
+    case SecureSumProtocol::kFullSharing:
+      // All other p-1 parties must pool their shares of the victim's input.
+      return num_parties >= 1 ? num_parties - 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace pprl

@@ -1,0 +1,54 @@
+#ifndef PPRL_CRYPTO_SECRET_SHARING_H_
+#define PPRL_CRYPTO_SECRET_SHARING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Additive secret sharing over Z_{2^64}.
+///
+/// Splits `secret` into `num_shares` values whose sum (mod 2^64) is the
+/// secret; any strict subset of shares is uniformly random. This is the
+/// "secret sharing" entry of the survey's cryptography technology branch.
+std::vector<uint64_t> ShareAdditive(uint64_t secret, size_t num_shares, Rng& rng);
+
+/// Reconstructs the secret from all shares.
+uint64_t ReconstructAdditive(const std::vector<uint64_t>& shares);
+
+/// Outcome of a secure multi-party summation run.
+struct SecureSumResult {
+  uint64_t sum = 0;              ///< the (mod 2^64) total
+  size_t messages = 0;           ///< number of point-to-point messages
+  size_t bytes = 0;              ///< metered communication volume
+  size_t rounds = 0;             ///< protocol rounds
+};
+
+/// Protocol flavours analysed by Ranbaduge et al. [29] for collusion
+/// resistance.
+enum class SecureSumProtocol {
+  /// Classic ring with a random mask added by party 0 and removed at the end.
+  /// A single pair of colluding neighbours isolates the party between them.
+  kMaskedRing,
+  /// Every party splits its input into one share per participant and sends
+  /// share j to party j; each party publishes only its share-sum.
+  /// Resistant to collusion of up to p-2 parties.
+  kFullSharing,
+};
+
+/// Runs a semi-honest secure summation over `inputs` (one value per party).
+/// Needs at least 2 parties (3 for the masked ring to be meaningful).
+Result<SecureSumResult> SecureSum(const std::vector<uint64_t>& inputs,
+                                  SecureSumProtocol protocol, Rng& rng);
+
+/// Analytic collusion audit for a summation protocol (cf. [29]): returns the
+/// minimum number of colluding parties that can recover some honest party's
+/// private input exactly.
+size_t MinColludersToBreak(SecureSumProtocol protocol, size_t num_parties);
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_SECRET_SHARING_H_

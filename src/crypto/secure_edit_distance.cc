@@ -1,0 +1,145 @@
+#include "crypto/secure_edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/paillier.h"
+
+namespace pprl {
+
+namespace {
+
+constexpr size_t kAlphabetSize = 28;  // a-z, space, other
+
+size_t CharSlot(char c) {
+  if (c >= 'a' && c <= 'z') return static_cast<size_t>(c - 'a');
+  if (c == ' ') return 26;
+  return 27;
+}
+
+}  // namespace
+
+size_t PlainEditDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+Result<SecureEditDistanceStats> SecureEditDistance(const std::string& a,
+                                                   const std::string& b, Rng& rng,
+                                                   size_t modulus_bits) {
+  auto paillier_or = Paillier::Generate(rng, modulus_bits);
+  if (!paillier_or.ok()) return paillier_or.status();
+  const Paillier& he = paillier_or.value();
+  SecureEditDistanceStats stats;
+  const size_t cipher_bytes = (he.public_key().n_squared.BitLength() + 7) / 8;
+
+  // --- Alice's setup: encrypted one-hot vectors of her characters. ---------
+  // onehot[i][c] = Enc(1) if a[i] has slot c else Enc(0).
+  std::vector<std::vector<PaillierCiphertext>> onehot(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    onehot[i].reserve(kAlphabetSize);
+    for (size_t c = 0; c < kAlphabetSize; ++c) {
+      const BigInt bit(CharSlot(a[i]) == c ? 1 : 0);
+      auto enc = he.Encrypt(bit, rng);
+      if (!enc.ok()) return enc.status();
+      onehot[i].push_back(std::move(enc).value());
+      ++stats.encryptions;
+    }
+  }
+  stats.messages += 1;  // Alice ships all one-hot vectors in one message.
+  stats.bytes += a.size() * kAlphabetSize * cipher_bytes;
+
+  // --- Bob's DP over ciphertexts. ------------------------------------------
+  // D[i][j] is held by Bob as Enc(d_ij). Row 0 / column 0 are public.
+  const size_t n = a.size();
+  const size_t m = b.size();
+  auto encrypt_public = [&](uint64_t v) -> Result<PaillierCiphertext> {
+    auto enc = he.Encrypt(BigInt(static_cast<int64_t>(v)), rng);
+    if (enc.ok()) ++stats.encryptions;
+    return enc;
+  };
+
+  std::vector<PaillierCiphertext> prev_row;
+  prev_row.reserve(m + 1);
+  for (size_t j = 0; j <= m; ++j) {
+    auto enc = encrypt_public(j);
+    if (!enc.ok()) return enc.status();
+    prev_row.push_back(std::move(enc).value());
+  }
+
+  // Blinded three-way min: Bob adds one shared random offset r to all three
+  // candidates and sends them to Alice; Alice decrypts, takes the minimum,
+  // re-encrypts, and returns it; Bob strips r homomorphically.
+  auto secure_min3 = [&](const PaillierCiphertext& x, const PaillierCiphertext& y,
+                         const PaillierCiphertext& z) -> Result<PaillierCiphertext> {
+    // Keep the blind far below n to avoid wrap-around: DP values are <= n+m.
+    const uint64_t blind = rng.NextUint64(uint64_t{1} << 32);
+    const BigInt r(static_cast<int64_t>(blind));
+    const PaillierCiphertext bx = he.AddPlaintext(x, r);
+    const PaillierCiphertext by = he.AddPlaintext(y, r);
+    const PaillierCiphertext bz = he.AddPlaintext(z, r);
+    ++stats.messages;
+    stats.bytes += 3 * cipher_bytes;
+    BigInt best;
+    bool first = true;
+    for (const PaillierCiphertext* c : {&bx, &by, &bz}) {
+      auto dec = he.Decrypt(*c);
+      if (!dec.ok()) return dec.status();
+      ++stats.decryptions;
+      if (first || dec.value() < best) best = std::move(dec).value();
+      first = false;
+    }
+    auto re = he.Encrypt(best, rng);
+    if (!re.ok()) return re.status();
+    ++stats.encryptions;
+    ++stats.messages;
+    stats.bytes += cipher_bytes;
+    // Strip the blind: Enc(min) * Enc(-r) = Enc(min - r).
+    return he.AddPlaintext(std::move(re).value(), -r);
+  };
+
+  for (size_t i = 1; i <= n; ++i) {
+    std::vector<PaillierCiphertext> cur_row;
+    cur_row.reserve(m + 1);
+    auto first_cell = encrypt_public(i);
+    if (!first_cell.ok()) return first_cell.status();
+    cur_row.push_back(std::move(first_cell).value());
+    for (size_t j = 1; j <= m; ++j) {
+      // Substitution cost 1 - eq where Enc(eq) = onehot[i-1][slot(b[j-1])]:
+      // Enc(cost) = Enc(1) * Enc(eq)^{-1} = AddPlaintext(Mul(eq, -1), 1).
+      const PaillierCiphertext& eq = onehot[i - 1][CharSlot(b[j - 1])];
+      PaillierCiphertext cost = he.MultiplyPlaintext(eq, BigInt(-1));
+      cost = he.AddPlaintext(cost, BigInt(1));
+
+      const PaillierCiphertext del = he.AddPlaintext(prev_row[j], BigInt(1));
+      const PaillierCiphertext ins = he.AddPlaintext(cur_row[j - 1], BigInt(1));
+      const PaillierCiphertext sub = he.AddCiphertexts(prev_row[j - 1], cost);
+      auto min_cell = secure_min3(del, ins, sub);
+      if (!min_cell.ok()) return min_cell.status();
+      cur_row.push_back(std::move(min_cell).value());
+    }
+    prev_row = std::move(cur_row);
+  }
+
+  // Bob sends the final ciphertext to Alice, who decrypts the distance.
+  ++stats.messages;
+  stats.bytes += cipher_bytes;
+  auto final_dec = he.Decrypt(prev_row[m]);
+  if (!final_dec.ok()) return final_dec.status();
+  ++stats.decryptions;
+  stats.distance = static_cast<size_t>(final_dec.value().ToInt64());
+  return stats;
+}
+
+}  // namespace pprl

@@ -1,0 +1,52 @@
+#ifndef PPRL_CRYPTO_SECURE_EDIT_DISTANCE_H_
+#define PPRL_CRYPTO_SECURE_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Metering of one secure-edit-distance run.
+struct SecureEditDistanceStats {
+  size_t distance = 0;           ///< the edit distance itself
+  size_t encryptions = 0;        ///< Paillier Encrypt calls
+  size_t decryptions = 0;        ///< Paillier Decrypt calls
+  size_t messages = 0;           ///< simulated wire messages
+  size_t bytes = 0;              ///< simulated wire volume
+};
+
+/// Two-party secure edit distance in the style of Atallah et al. [1].
+///
+/// Alice holds `a` (and the Paillier key pair); Bob holds `b`. Bob maintains
+/// every dynamic-programming cell as a Paillier ciphertext:
+///   * substitution costs come from homomorphically selecting one entry of
+///     Alice's encrypted one-hot character vector, so neither side learns the
+///     other's characters;
+///   * additions are ciphertext-plaintext homomorphic operations local to Bob;
+///   * each cell's three-way min is computed interactively: Bob blinds the
+///     candidates with a shared random offset and Alice returns the
+///     re-encrypted minimum (the standard blinded-min of the semi-honest
+///     construction; Alice learns only differences between the three
+///     candidates, which the DP recurrence already bounds by +-2).
+///
+/// The protocol is quadratic in the string lengths with a public-key
+/// operation per cell — this is the survey's "provably secure and highly
+/// accurate, however computationally expensive" cryptographic baseline,
+/// benchmarked against Bloom-filter matching in experiment E3.
+///
+/// `modulus_bits` sizes the Paillier keys; lowercase ASCII letters plus space
+/// make up the supported alphabet (other bytes are mapped to one slot).
+Result<SecureEditDistanceStats> SecureEditDistance(const std::string& a,
+                                                   const std::string& b, Rng& rng,
+                                                   size_t modulus_bits = 256);
+
+/// Plain (non-private) Levenshtein distance; the correctness oracle for the
+/// secure protocol and the unencoded baseline for benchmarks.
+size_t PlainEditDistance(const std::string& a, const std::string& b);
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_SECURE_EDIT_DISTANCE_H_

@@ -1,0 +1,74 @@
+#include "crypto/secure_vector.h"
+
+namespace pprl {
+
+Result<EncryptedBitVector> EncryptBitVector(const Paillier& paillier,
+                                            const BitVector& filter, Rng& rng) {
+  EncryptedBitVector out;
+  out.bits.reserve(filter.size());
+  for (size_t i = 0; i < filter.size(); ++i) {
+    auto c = paillier.Encrypt(BigInt(filter.Get(i) ? 1 : 0), rng);
+    if (!c.ok()) return c.status();
+    out.bits.push_back(std::move(c).value());
+  }
+  return out;
+}
+
+PaillierCiphertext HomomorphicDotProduct(const Paillier& paillier,
+                                         const EncryptedBitVector& encrypted_x,
+                                         const BitVector& y) {
+  // Start from Enc(0) = g^0 * r^n with r = 1: the ciphertext "1" is a valid
+  // (non-randomised) encryption of zero; callers re-randomise if it leaves
+  // the local machine.
+  PaillierCiphertext acc{BigInt(1)};
+  for (uint32_t pos : y.SetPositions()) {
+    if (pos < encrypted_x.bits.size()) {
+      acc = paillier.AddCiphertexts(acc, encrypted_x.bits[pos]);
+    }
+  }
+  return acc;
+}
+
+PaillierCiphertext HomomorphicHammingDistance(const Paillier& paillier,
+                                              const EncryptedBitVector& encrypted_x,
+                                              const BitVector& y) {
+  // sum_i x_i (homomorphic), then d = |y| + sum_x - 2*dot.
+  PaillierCiphertext sum_x{BigInt(1)};
+  for (const PaillierCiphertext& bit : encrypted_x.bits) {
+    sum_x = paillier.AddCiphertexts(sum_x, bit);
+  }
+  const PaillierCiphertext dot = HomomorphicDotProduct(paillier, encrypted_x, y);
+  const PaillierCiphertext minus_two_dot =
+      paillier.MultiplyPlaintext(dot, BigInt(-2));
+  PaillierCiphertext d = paillier.AddCiphertexts(sum_x, minus_two_dot);
+  d = paillier.AddPlaintext(d, BigInt(static_cast<int64_t>(y.Count())));
+  return d;
+}
+
+Result<SecureDistanceStats> SecureHammingDistance(const BitVector& x, const BitVector& y,
+                                                  Rng& rng, size_t modulus_bits) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("secure Hamming distance needs equal lengths");
+  }
+  auto paillier = Paillier::Generate(rng, modulus_bits);
+  if (!paillier.ok()) return paillier.status();
+  SecureDistanceStats stats;
+  auto encrypted = EncryptBitVector(*paillier, x, rng);
+  if (!encrypted.ok()) return encrypted.status();
+  stats.encryptions = x.size();
+  const size_t cipher_bytes = (paillier->public_key().n_squared.BitLength() + 7) / 8;
+  stats.bytes += x.size() * cipher_bytes;  // Alice -> Bob
+
+  PaillierCiphertext d = HomomorphicHammingDistance(*paillier, encrypted.value(), y);
+  stats.homomorphic_ops = x.size() + y.Count() + 2;
+  // Bob re-randomises before returning so Alice cannot replay components.
+  d = paillier->Rerandomize(d, rng);
+  stats.bytes += cipher_bytes;  // Bob -> Alice
+
+  auto plain = paillier->Decrypt(d);
+  if (!plain.ok()) return plain.status();
+  stats.distance = static_cast<size_t>(plain.value().ToInt64());
+  return stats;
+}
+
+}  // namespace pprl

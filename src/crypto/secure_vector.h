@@ -1,0 +1,58 @@
+#ifndef PPRL_CRYPTO_SECURE_VECTOR_H_
+#define PPRL_CRYPTO_SECURE_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/paillier.h"
+
+namespace pprl {
+
+/// Secure two-party vector operations on Paillier ciphertexts — the
+/// "secure vector operations" entry of the survey's cryptography branch
+/// [25] and the matching primitive of the homomorphic HLSH protocol of
+/// Karapiperis & Verykios [18].
+///
+/// Roles: Alice holds the key pair and her (encrypted) vector; Bob holds
+/// his plaintext vector and computes on Alice's ciphertexts without
+/// learning her entries.
+
+/// Alice's encrypted bit vector: one ciphertext per position.
+struct EncryptedBitVector {
+  std::vector<PaillierCiphertext> bits;
+};
+
+/// Encrypts Alice's filter position-wise.
+Result<EncryptedBitVector> EncryptBitVector(const Paillier& paillier,
+                                            const BitVector& filter, Rng& rng);
+
+/// Bob's side: Enc(dot(x, y)) = prod over positions with y_i = 1 of Enc(x_i).
+/// Purely homomorphic — Bob learns nothing; Alice decrypts the dot product.
+PaillierCiphertext HomomorphicDotProduct(const Paillier& paillier,
+                                         const EncryptedBitVector& encrypted_x,
+                                         const BitVector& y);
+
+/// Bob's side: Enc(hamming(x, y)) using
+///   d = |y| + sum_i x_i - 2 * dot(x, y)
+/// computed entirely on ciphertexts (|y| and the homomorphic sum of x).
+PaillierCiphertext HomomorphicHammingDistance(const Paillier& paillier,
+                                              const EncryptedBitVector& encrypted_x,
+                                              const BitVector& y);
+
+/// End-to-end secure Hamming distance with cost metering: Alice encrypts,
+/// Bob folds, Alice decrypts. The value both learn is the distance only.
+struct SecureDistanceStats {
+  size_t distance = 0;
+  size_t encryptions = 0;
+  size_t homomorphic_ops = 0;
+  size_t bytes = 0;
+};
+Result<SecureDistanceStats> SecureHammingDistance(const BitVector& x, const BitVector& y,
+                                                  Rng& rng, size_t modulus_bits = 256);
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_SECURE_VECTOR_H_

@@ -1,0 +1,129 @@
+#include "crypto/sra.h"
+
+#include <algorithm>
+#include <string>
+
+#include "crypto/hash.h"
+
+namespace pprl {
+
+SraDomain SraDomain::Generate(Rng& rng, size_t bits) {
+  // Find q prime with 2q + 1 also prime (safe prime p).
+  while (true) {
+    const BigInt q = BigInt::RandomPrime(rng, bits - 1);
+    const BigInt p = q.ShiftLeft(1) + BigInt(1);
+    if (IsProbablePrime(p, rng)) {
+      return SraDomain{p, q};
+    }
+  }
+}
+
+Result<SraCipher> SraCipher::Generate(const SraDomain& domain, Rng& rng) {
+  const BigInt p_minus_1 = domain.p - BigInt(1);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const BigInt e = BigInt(3) + BigInt::Random(rng, p_minus_1 - BigInt(3));
+    auto d = ModInverse(e, p_minus_1);
+    if (!d.ok()) continue;
+    return SraCipher(domain, e, std::move(d).value());
+  }
+  return Status::Internal("SRA exponent generation failed repeatedly");
+}
+
+Result<BigInt> SraCipher::Encrypt(const BigInt& x) const {
+  if (x <= BigInt(0) || x >= domain_.p) {
+    return Status::OutOfRange("SRA plaintext must be in (0, p)");
+  }
+  return PowMod(x, e_, domain_.p);
+}
+
+Result<BigInt> SraCipher::Decrypt(const BigInt& y) const {
+  if (y <= BigInt(0) || y >= domain_.p) {
+    return Status::OutOfRange("SRA ciphertext must be in (0, p)");
+  }
+  return PowMod(y, d_, domain_.p);
+}
+
+namespace {
+
+/// Hashes `value` to a nonzero element of Z*_p and squares it so the result
+/// lies in the quadratic-residue subgroup of order q.
+BigInt HashToGroup(std::string_view value, const SraDomain& domain) {
+  const size_t target_bits = domain.p.BitLength();
+  std::string material(value);
+  BigInt x;
+  int counter = 0;
+  do {
+    // Expand the digest until it covers the modulus width, then reduce.
+    std::string expanded;
+    size_t blocks = (target_bits + 255) / 256;
+    for (size_t b = 0; b < blocks; ++b) {
+      const auto digest = Sha256(material + "#" + std::to_string(b) + "#" +
+                                 std::to_string(counter));
+      expanded.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+    }
+    BigInt acc;
+    for (char c : expanded) {
+      acc = acc.ShiftLeft(8) + BigInt(static_cast<uint8_t>(c));
+    }
+    x = Mod(acc, domain.p);
+    ++counter;
+  } while (x.is_zero());
+  return MulMod(x, x, domain.p);
+}
+
+}  // namespace
+
+BigInt SraCipher::EncryptString(std::string_view value) const {
+  const BigInt element = HashToGroup(value, domain_);
+  // element is guaranteed in (0, p), so Encrypt cannot fail.
+  return PowMod(element, e_, domain_.p);
+}
+
+std::vector<size_t> SraPrivateSetIntersection(const std::vector<std::string>& a_values,
+                                              const std::vector<std::string>& b_values,
+                                              const SraDomain& domain, Rng& rng,
+                                              size_t* bytes_exchanged) {
+  auto cipher_a = SraCipher::Generate(domain, rng);
+  auto cipher_b = SraCipher::Generate(domain, rng);
+  if (!cipher_a.ok() || !cipher_b.ok()) return {};
+  const size_t element_bytes = (domain.p.BitLength() + 7) / 8;
+  size_t bytes = 0;
+
+  // Round 1: each party encrypts its own values and sends them across.
+  std::vector<BigInt> ea(a_values.size());
+  for (size_t i = 0; i < a_values.size(); ++i) ea[i] = cipher_a->EncryptString(a_values[i]);
+  std::vector<BigInt> eb(b_values.size());
+  for (size_t i = 0; i < b_values.size(); ++i) eb[i] = cipher_b->EncryptString(b_values[i]);
+  bytes += (ea.size() + eb.size()) * element_bytes;
+
+  // Round 2: each party encrypts the other's ciphertexts with its own key.
+  // Commutativity makes E_b(E_a(x)) == E_a(E_b(x)), so equal plaintexts
+  // collide. B shuffles before returning so A cannot align positions.
+  std::vector<BigInt> eab(ea.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    auto enc = cipher_b->Encrypt(ea[i]);
+    eab[i] = std::move(enc).value();
+  }
+  std::vector<BigInt> eba(eb.size());
+  for (size_t i = 0; i < eb.size(); ++i) {
+    auto enc = cipher_a->Encrypt(eb[i]);
+    eba[i] = std::move(enc).value();
+  }
+  rng.Shuffle(eba);
+  bytes += (eab.size() + eba.size()) * element_bytes;
+
+  // A intersects the double encryptions. Sort-merge on decimal form.
+  std::vector<std::string> b_keys(eba.size());
+  for (size_t i = 0; i < eba.size(); ++i) b_keys[i] = eba[i].ToDecimal();
+  std::sort(b_keys.begin(), b_keys.end());
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < eab.size(); ++i) {
+    if (std::binary_search(b_keys.begin(), b_keys.end(), eab[i].ToDecimal())) {
+      matches.push_back(i);
+    }
+  }
+  if (bytes_exchanged != nullptr) *bytes_exchanged = bytes;
+  return matches;
+}
+
+}  // namespace pprl

@@ -1,0 +1,69 @@
+#ifndef PPRL_CRYPTO_SRA_H_
+#define PPRL_CRYPTO_SRA_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/bigint.h"
+
+namespace pprl {
+
+/// Shared public parameters of an SRA (Pohlig-Hellman style) commutative
+/// cipher: a safe prime p = 2q + 1. All parties exponentiate modulo the same
+/// p, so E_a(E_b(x)) == E_b(E_a(x)).
+struct SraDomain {
+  BigInt p;  ///< safe prime modulus
+  BigInt q;  ///< (p - 1) / 2, prime
+
+  /// Generates a fresh domain whose modulus has `bits` bits.
+  static SraDomain Generate(Rng& rng, size_t bits);
+};
+
+/// One party's keyed commutative encryption function.
+///
+/// Commutative encryption underlies private set intersection for PPRL: each
+/// party encrypts its own hashed QIDs, exchanges, encrypts the other side's
+/// values with its own key, and matches double-encrypted values — the
+/// "two-party, no linkage unit" corner of the survey's linkage-model taxonomy
+/// (§3.1). Honest-but-curious model.
+class SraCipher {
+ public:
+  /// Draws a random exponent e coprime to p-1 (and its inverse d).
+  static Result<SraCipher> Generate(const SraDomain& domain, Rng& rng);
+
+  /// Encrypts a group element x in [1, p). Encryption is x^e mod p.
+  Result<BigInt> Encrypt(const BigInt& x) const;
+
+  /// Inverts Encrypt (y^d mod p).
+  Result<BigInt> Decrypt(const BigInt& y) const;
+
+  /// Maps an arbitrary string into the quadratic-residue subgroup so that
+  /// encryption order does not leak Legendre-symbol information, then
+  /// encrypts it. This is the entry point used by set-intersection protocols.
+  BigInt EncryptString(std::string_view value) const;
+
+  const SraDomain& domain() const { return domain_; }
+
+ private:
+  SraCipher(SraDomain domain, BigInt e, BigInt d)
+      : domain_(std::move(domain)), e_(std::move(e)), d_(std::move(d)) {}
+
+  SraDomain domain_;
+  BigInt e_;
+  BigInt d_;
+};
+
+/// Private set intersection via commutative encryption (semi-honest,
+/// two-party, no linkage unit). Returns the indices into `a_values` whose
+/// value also occurs in `b_values`. Communication is simulated in-process;
+/// `bytes_exchanged`, if non-null, receives the metered wire volume.
+std::vector<size_t> SraPrivateSetIntersection(const std::vector<std::string>& a_values,
+                                              const std::vector<std::string>& b_values,
+                                              const SraDomain& domain, Rng& rng,
+                                              size_t* bytes_exchanged = nullptr);
+
+}  // namespace pprl
+
+#endif  // PPRL_CRYPTO_SRA_H_

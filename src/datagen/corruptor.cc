@@ -1,0 +1,232 @@
+#include "datagen/corruptor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/lookup_data.h"
+#include "encoding/numeric_encoding.h"
+
+namespace pprl {
+
+namespace corruption {
+
+std::string KeyboardTypo(const std::string& value, Rng& rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  const size_t pos = rng.NextUint64(out.size());
+  switch (rng.NextUint64(4)) {
+    case 0: {  // adjacent-key substitution
+      const std::string_view neighbors = datagen::KeyboardNeighbors(out[pos]);
+      if (!neighbors.empty()) {
+        out[pos] = neighbors[rng.NextUint64(neighbors.size())];
+      } else {
+        out[pos] = static_cast<char>('a' + rng.NextUint64(26));
+      }
+      break;
+    }
+    case 1: {  // insertion of an adjacent key
+      const std::string_view neighbors = datagen::KeyboardNeighbors(out[pos]);
+      const char inserted = neighbors.empty()
+                                ? static_cast<char>('a' + rng.NextUint64(26))
+                                : neighbors[rng.NextUint64(neighbors.size())];
+      out.insert(out.begin() + static_cast<long>(pos), inserted);
+      break;
+    }
+    case 2:  // deletion
+      out.erase(out.begin() + static_cast<long>(pos));
+      break;
+    default:  // transposition
+      if (pos + 1 < out.size()) {
+        std::swap(out[pos], out[pos + 1]);
+      } else if (out.size() >= 2) {
+        std::swap(out[out.size() - 2], out[out.size() - 1]);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string OcrError(const std::string& value, Rng& rng) {
+  // Collect applicable confusions, then apply one at a random site.
+  std::vector<std::pair<size_t, size_t>> sites;  // (position, confusion index)
+  for (size_t c = 0; c < datagen::kNumOcrConfusions; ++c) {
+    const auto& pair = datagen::kOcrConfusions[c];
+    size_t pos = value.find(pair.from);
+    while (pos != std::string::npos) {
+      sites.emplace_back(pos, c);
+      pos = value.find(pair.from, pos + 1);
+    }
+  }
+  if (sites.empty()) return KeyboardTypo(value, rng);
+  const auto [pos, c] = sites[rng.NextUint64(sites.size())];
+  const auto& pair = datagen::kOcrConfusions[c];
+  std::string out = value;
+  out.replace(pos, pair.from.size(), pair.to);
+  return out;
+}
+
+std::string PhoneticVariation(const std::string& value, Rng& rng) {
+  // Sound-preserving rewrite rules, applied once at a random eligible site.
+  static constexpr std::pair<std::string_view, std::string_view> kRules[] = {
+      {"ph", "f"},  {"f", "ph"},  {"c", "k"},   {"k", "c"},   {"z", "s"},
+      {"s", "z"},   {"ie", "ei"}, {"ei", "ie"}, {"y", "i"},   {"i", "y"},
+      {"ll", "l"},  {"l", "ll"},  {"nn", "n"},  {"tt", "t"},  {"t", "tt"},
+      {"mm", "m"},  {"ou", "u"},  {"gh", ""},   {"ck", "k"},  {"x", "ks"},
+  };
+  std::vector<std::pair<size_t, size_t>> sites;
+  for (size_t r = 0; r < sizeof(kRules) / sizeof(kRules[0]); ++r) {
+    size_t pos = value.find(kRules[r].first);
+    while (pos != std::string::npos) {
+      sites.emplace_back(pos, r);
+      pos = value.find(kRules[r].first, pos + 1);
+    }
+  }
+  if (sites.empty()) return KeyboardTypo(value, rng);
+  const auto [pos, r] = sites[rng.NextUint64(sites.size())];
+  std::string out = value;
+  out.replace(pos, kRules[r].first.size(), kRules[r].second);
+  if (out.empty()) return value;  // "gh" deletion could empty a tiny string
+  return out;
+}
+
+std::string NicknameVariation(const std::string& value, Rng& rng) {
+  std::vector<std::string_view> options;
+  for (size_t i = 0; i < datagen::kNumNicknames; ++i) {
+    if (datagen::kNicknames[i].canonical == value) {
+      options.push_back(datagen::kNicknames[i].variant);
+    } else if (datagen::kNicknames[i].variant == value) {
+      options.push_back(datagen::kNicknames[i].canonical);
+    }
+  }
+  if (options.empty()) return value;
+  return std::string(options[rng.NextUint64(options.size())]);
+}
+
+namespace {
+
+std::string FormatIsoDate(int64_t days_since_epoch) {
+  // Inverse of DaysSinceEpoch (civil_from_days).
+  int64_t z = days_since_epoch + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint64_t doe = static_cast<uint64_t>(z - era * 146097);
+  const uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint64_t mp = (5 * doy + 2) / 153;
+  const uint64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const uint64_t m = mp < 10 ? mp + 3 : mp - 9;
+  const int64_t year = y + (m <= 2 ? 1 : 0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", static_cast<int>(year),
+                static_cast<unsigned>(m), static_cast<unsigned>(d));
+  return buf;
+}
+
+}  // namespace
+
+std::string DateError(const std::string& iso_date, Rng& rng) {
+  auto days = DaysSinceEpoch(iso_date);
+  if (!days.ok()) return iso_date;
+  switch (rng.NextUint64(4)) {
+    case 0:  // day off by 1..3
+      return FormatIsoDate(days.value() + rng.NextInt(1, 3) * (rng.NextBool() ? 1 : -1));
+    case 1:  // month off by one (approximately 30 days)
+      return FormatIsoDate(days.value() + (rng.NextBool() ? 30 : -30));
+    case 2: {  // day/month swap when it yields a valid date
+      const std::string swapped =
+          iso_date.substr(0, 5) + iso_date.substr(8, 2) + "-" + iso_date.substr(5, 2);
+      if (DaysSinceEpoch(swapped).ok() && swapped.substr(5, 2) <= "12") return swapped;
+      return FormatIsoDate(days.value() + 1);
+    }
+    default:  // year off by one
+      return FormatIsoDate(days.value() + (rng.NextBool() ? 365 : -365));
+  }
+}
+
+}  // namespace corruption
+
+Corruptor::Corruptor(CorruptorConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void Corruptor::ApplyOneCorruption(const Schema& schema, Record& record) {
+  if (record.values.empty()) return;
+  // Pick a non-empty field, preferring QID fields over id-like ones.
+  size_t field = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    field = rng_.NextUint64(record.values.size());
+    if (!record.values[field].empty()) break;
+  }
+  std::string& value = record.values[field];
+  if (value.empty()) return;
+
+  if (rng_.NextBool(config_.missing_value_prob)) {
+    value.clear();
+    return;
+  }
+
+  const FieldType type = field < schema.fields.size() ? schema.fields[field].type
+                                                      : FieldType::kString;
+  switch (type) {
+    case FieldType::kDate:
+      value = corruption::DateError(value, rng_);
+      break;
+    case FieldType::kNumeric: {
+      value = corruption::KeyboardTypo(value, rng_);
+      break;
+    }
+    case FieldType::kCategorical:
+      // Categorical errors flip to a missing value (clearing is realistic
+      // for sex/state codes).
+      value.clear();
+      break;
+    case FieldType::kString: {
+      switch (rng_.NextUint64(4)) {
+        case 0:
+          value = corruption::KeyboardTypo(value, rng_);
+          break;
+        case 1:
+          value = corruption::OcrError(value, rng_);
+          break;
+        case 2:
+          value = corruption::PhoneticVariation(value, rng_);
+          break;
+        default: {
+          const std::string varied = corruption::NicknameVariation(value, rng_);
+          value = varied == value ? corruption::KeyboardTypo(value, rng_) : varied;
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+Record Corruptor::Corrupt(const Schema& schema, const Record& record) {
+  Record out = record;
+  // Optional full-field swap of first and last name.
+  const int first_idx = schema.FieldIndex("first_name");
+  const int last_idx = schema.FieldIndex("last_name");
+  if (first_idx >= 0 && last_idx >= 0 && rng_.NextBool(config_.name_swap_prob)) {
+    std::swap(out.values[static_cast<size_t>(first_idx)],
+              out.values[static_cast<size_t>(last_idx)]);
+  }
+  const double per_trial = config_.max_corruptions_per_record == 0
+                               ? 0
+                               : config_.mean_corruptions /
+                                     static_cast<double>(config_.max_corruptions_per_record);
+  for (size_t i = 0; i < config_.max_corruptions_per_record; ++i) {
+    if (rng_.NextBool(std::min(1.0, per_trial))) ApplyOneCorruption(schema, out);
+  }
+  return out;
+}
+
+Record Corruptor::CorruptExactly(const Schema& schema, const Record& record,
+                                 size_t num_ops) {
+  Record out = record;
+  for (size_t i = 0; i < num_ops; ++i) ApplyOneCorruption(schema, out);
+  return out;
+}
+
+}  // namespace pprl

@@ -1,0 +1,75 @@
+#ifndef PPRL_DATAGEN_CORRUPTOR_H_
+#define PPRL_DATAGEN_CORRUPTOR_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/record.h"
+
+namespace pprl {
+
+/// The corruption operators of a GeCo-style data corruptor [37]. Each takes
+/// a clean value and returns a realistically dirtied variant; which fields
+/// they apply to is decided by the `Corruptor` driver.
+namespace corruption {
+
+/// One keyboard typo: substitution with an adjacent key, insertion,
+/// deletion, or transposition of neighbouring characters.
+std::string KeyboardTypo(const std::string& value, Rng& rng);
+
+/// One OCR confusion ("m" -> "rn", "o" -> "0", ...). Falls back to a typo
+/// when no confusable substring occurs.
+std::string OcrError(const std::string& value, Rng& rng);
+
+/// A phonetic respelling (sound-preserving edit such as "ph" -> "f",
+/// doubling/undoubling letters, vowel swaps).
+std::string PhoneticVariation(const std::string& value, Rng& rng);
+
+/// Replaces a first name by a known nickname (or the reverse); returns the
+/// input unchanged when no nickname is known.
+std::string NicknameVariation(const std::string& value, Rng& rng);
+
+/// Perturbs an ISO date by one of: day +-1..3, month +-1, day/month swap
+/// (when valid), or year +-1.
+std::string DateError(const std::string& iso_date, Rng& rng);
+
+}  // namespace corruption
+
+/// Per-record corruption policy.
+struct CorruptorConfig {
+  /// Average number of corruption operations applied to a duplicate record.
+  /// The actual count is Poisson-like: each of `max_corruptions_per_record`
+  /// trials fires with probability mean/max.
+  double mean_corruptions = 2.0;
+  size_t max_corruptions_per_record = 5;
+  /// Probability that a corruption hitting a field clears it entirely
+  /// (missing value), as dirty real-world data does.
+  double missing_value_prob = 0.1;
+  /// Probability of swapping first and last name when both exist.
+  double name_swap_prob = 0.05;
+};
+
+/// Applies realistic corruption to records under a schema with the standard
+/// generator fields (first_name, last_name, sex, dob, city, ...).
+class Corruptor {
+ public:
+  Corruptor(CorruptorConfig config, uint64_t seed);
+
+  /// Returns a corrupted copy of `record`; `schema` tells the corruptor the
+  /// type of each field.
+  Record Corrupt(const Schema& schema, const Record& record);
+
+  /// Applies exactly `num_ops` corruption operations (for parameter sweeps
+  /// that control dirtiness exactly).
+  Record CorruptExactly(const Schema& schema, const Record& record, size_t num_ops);
+
+ private:
+  void ApplyOneCorruption(const Schema& schema, Record& record);
+
+  CorruptorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_DATAGEN_CORRUPTOR_H_

@@ -1,0 +1,177 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "datagen/lookup_data.h"
+
+namespace pprl {
+
+DataGenerator::DataGenerator(GeneratorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+Schema DataGenerator::StandardSchema() {
+  return Schema{{
+      {"first_name", FieldType::kString},
+      {"last_name", FieldType::kString},
+      {"sex", FieldType::kCategorical},
+      {"dob", FieldType::kDate},
+      {"city", FieldType::kString},
+      {"street", FieldType::kString},
+      {"postcode", FieldType::kString},
+      {"phone", FieldType::kString},
+  }};
+}
+
+namespace {
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+std::string TwoDigits(int v) {
+  std::string s = std::to_string(v);
+  return s.size() < 2 ? "0" + s : s;
+}
+
+}  // namespace
+
+Record DataGenerator::GenerateRecord(uint64_t record_id, uint64_t entity_id) {
+  // Lazily built Zipf samplers shared across calls.
+  static thread_local double cached_skew = -1;
+  static thread_local std::unique_ptr<ZipfDistribution> female, male, last, city, street;
+  if (cached_skew != config_.zipf_skew) {
+    const double s = config_.zipf_skew;
+    female = std::make_unique<ZipfDistribution>(datagen::kNumFemaleFirstNames, s);
+    male = std::make_unique<ZipfDistribution>(datagen::kNumMaleFirstNames, s);
+    last = std::make_unique<ZipfDistribution>(datagen::kNumLastNames, s);
+    city = std::make_unique<ZipfDistribution>(datagen::kNumCities, s);
+    street = std::make_unique<ZipfDistribution>(datagen::kNumStreetNames, s);
+    cached_skew = s;
+  }
+
+  Record r;
+  r.id = record_id;
+  r.entity_id = entity_id;
+  const bool is_female = rng_.NextBool();
+  const std::string first_name(
+      is_female ? datagen::kFemaleFirstNames[female->Sample(rng_)]
+                : datagen::kMaleFirstNames[male->Sample(rng_)]);
+  const std::string last_name(datagen::kLastNames[last->Sample(rng_)]);
+
+  const int year = static_cast<int>(
+      rng_.NextInt(config_.min_birth_year, config_.max_birth_year));
+  const int month = static_cast<int>(rng_.NextInt(1, 12));
+  const int day = static_cast<int>(rng_.NextInt(1, DaysInMonth(year, month)));
+  const std::string dob =
+      std::to_string(year) + "-" + TwoDigits(month) + "-" + TwoDigits(day);
+
+  const std::string house = std::to_string(rng_.NextInt(1, 999));
+  const std::string street_name(datagen::kStreetNames[street->Sample(rng_)]);
+  const std::string postcode = std::to_string(rng_.NextInt(1000, 9999));
+  std::string phone = "04";
+  for (int i = 0; i < 8; ++i) phone += static_cast<char>('0' + rng_.NextUint64(10));
+
+  r.values = {first_name,
+              last_name,
+              is_female ? "f" : "m",
+              dob,
+              std::string(datagen::kCities[city->Sample(rng_)]),
+              house + " " + street_name,
+              postcode,
+              phone};
+  return r;
+}
+
+Database DataGenerator::GenerateClean(size_t n, uint64_t first_entity) {
+  Database db;
+  db.schema = StandardSchema();
+  db.records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    db.records.push_back(GenerateRecord(i, first_entity + i));
+  }
+  return db;
+}
+
+Database DataGenerator::GenerateHouseholds(size_t num_households,
+                                           double mean_household_size,
+                                           uint64_t first_entity) {
+  Database db;
+  db.schema = StandardSchema();
+  uint64_t next_entity = first_entity;
+  uint64_t record_id = 0;
+  for (size_t h = 0; h < num_households; ++h) {
+    // Household head defines the shared fields.
+    Record head = GenerateRecord(record_id++, next_entity++);
+    db.records.push_back(head);
+    // Additional members: geometric-ish tail around the requested mean.
+    size_t extra = 0;
+    const double p_extra = 1.0 - 1.0 / std::max(1.0, mean_household_size);
+    while (extra < 7 && rng_.NextBool(p_extra)) ++extra;
+    for (size_t m = 0; m < extra; ++m) {
+      Record member = GenerateRecord(record_id++, next_entity++);
+      // Shared family fields: last_name, city, street, postcode, phone.
+      member.values[1] = head.values[1];
+      member.values[4] = head.values[4];
+      member.values[5] = head.values[5];
+      member.values[6] = head.values[6];
+      member.values[7] = head.values[7];
+      db.records.push_back(std::move(member));
+    }
+  }
+  return db;
+}
+
+Result<std::vector<Database>> DataGenerator::GenerateScenario(
+    const LinkageScenarioConfig& config) {
+  if (config.num_databases < 2) {
+    return Status::InvalidArgument("a linkage scenario needs >= 2 databases");
+  }
+  if (config.overlap < 0 || config.overlap > 1) {
+    return Status::InvalidArgument("overlap must be in [0, 1]");
+  }
+  const size_t n = config.records_per_database;
+  const size_t shared = static_cast<size_t>(static_cast<double>(n) * config.overlap);
+
+  // Entity pool: `shared` entities appear in every database; each database
+  // additionally gets (n - shared) entities of its own.
+  const Schema schema = StandardSchema();
+  std::vector<Record> shared_masters;
+  shared_masters.reserve(shared);
+  uint64_t next_entity = 0;
+  for (size_t i = 0; i < shared; ++i) {
+    shared_masters.push_back(GenerateRecord(0, next_entity++));
+  }
+
+  Corruptor corruptor(config.corruption, config_.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<Database> out(config.num_databases);
+  for (size_t d = 0; d < config.num_databases; ++d) {
+    Database& db = out[d];
+    db.schema = schema;
+    db.records.reserve(n);
+    uint64_t record_id = 0;
+    for (const Record& master : shared_masters) {
+      Record copy = master;
+      copy.id = record_id++;
+      const bool corrupt = config.corrupt_all_databases || d > 0;
+      db.records.push_back(corrupt ? corruptor.Corrupt(schema, copy) : copy);
+    }
+    for (size_t i = shared; i < n; ++i) {
+      Record r = GenerateRecord(record_id++, next_entity++);
+      db.records.push_back(std::move(r));
+    }
+    // Shuffle so shared entities are not a positional prefix.
+    rng_.Shuffle(db.records);
+    for (size_t i = 0; i < db.records.size(); ++i) db.records[i].id = i;
+  }
+  return out;
+}
+
+}  // namespace pprl

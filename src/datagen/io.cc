@@ -1,0 +1,95 @@
+#include "datagen/io.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace pprl {
+
+namespace {
+
+FieldType GuessType(const std::string& column_name) {
+  const std::string name = ToLower(column_name);
+  if (name == "dob" || name == "date_of_birth" || name == "birth_date") {
+    return FieldType::kDate;
+  }
+  if (name == "sex" || name == "gender" || name == "state") {
+    return FieldType::kCategorical;
+  }
+  if (name == "age" || name == "income" || name == "weight" || name == "height") {
+    return FieldType::kNumeric;
+  }
+  return FieldType::kString;
+}
+
+}  // namespace
+
+Result<Database> DatabaseFromCsv(const CsvTable& table) {
+  const int id_col = table.ColumnIndex("id");
+  const int entity_col = table.ColumnIndex("entity_id");
+
+  Database db;
+  for (size_t c = 0; c < table.header.size(); ++c) {
+    if (static_cast<int>(c) == id_col || static_cast<int>(c) == entity_col) continue;
+    db.schema.fields.push_back({table.header[c], GuessType(table.header[c])});
+  }
+  if (db.schema.fields.empty()) {
+    return Status::InvalidArgument("CSV has no QID columns");
+  }
+
+  db.records.reserve(table.rows.size());
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    Record record;
+    record.id = r;
+    if (id_col >= 0 && IsInteger(row[static_cast<size_t>(id_col)])) {
+      record.id = static_cast<uint64_t>(
+          std::strtoull(row[static_cast<size_t>(id_col)].c_str(), nullptr, 10));
+    }
+    if (entity_col >= 0 && IsInteger(row[static_cast<size_t>(entity_col)])) {
+      record.entity_id = static_cast<uint64_t>(
+          std::strtoull(row[static_cast<size_t>(entity_col)].c_str(), nullptr, 10));
+    }
+    record.values.reserve(db.schema.size());
+    for (size_t c = 0; c < table.header.size(); ++c) {
+      if (static_cast<int>(c) == id_col || static_cast<int>(c) == entity_col) continue;
+      record.values.push_back(row[c]);
+    }
+    db.records.push_back(std::move(record));
+  }
+  return db;
+}
+
+Result<Database> ReadDatabaseCsv(const std::string& path) {
+  auto table = ReadCsvFile(path);
+  if (!table.ok()) return table.status();
+  return DatabaseFromCsv(table.value());
+}
+
+CsvTable DatabaseToCsv(const Database& db, bool include_entity_ids) {
+  CsvTable table;
+  if (include_entity_ids) {
+    table.header = {"id", "entity_id"};
+  } else {
+    table.header = {"id"};
+  }
+  for (const FieldSpec& field : db.schema.fields) table.header.push_back(field.name);
+  table.rows.reserve(db.records.size());
+  for (const Record& record : db.records) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(record.id));
+    if (include_entity_ids) row.push_back(std::to_string(record.entity_id));
+    for (size_t c = 0; c < db.schema.size(); ++c) {
+      row.push_back(c < record.values.size() ? record.values[c] : "");
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status WriteDatabaseCsv(const std::string& path, const Database& db,
+                        bool include_entity_ids) {
+  return WriteCsvFile(path, DatabaseToCsv(db, include_entity_ids));
+}
+
+}  // namespace pprl

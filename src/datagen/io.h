@@ -1,0 +1,38 @@
+#ifndef PPRL_DATAGEN_IO_H_
+#define PPRL_DATAGEN_IO_H_
+
+#include <string>
+
+#include "common/csv.h"
+#include "common/record.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// CSV import/export of databases, so the toolkit links real files, not
+/// only generated data.
+///
+/// The on-disk layout is one header row naming the QID columns, with two
+/// optional leading bookkeeping columns:
+///   * "id"        — per-database record id (generated if absent)
+///   * "entity_id" — ground-truth entity (evaluation only; 0 if absent)
+/// All remaining columns become string-typed schema fields unless their
+/// name is recognised ("dob" -> date, "sex" -> categorical).
+
+/// Converts a parsed CSV table into a Database.
+Result<Database> DatabaseFromCsv(const CsvTable& table);
+
+/// Reads and converts a CSV file.
+Result<Database> ReadDatabaseCsv(const std::string& path);
+
+/// Converts a database into a CSV table (id and entity_id included when
+/// `include_entity_ids`; omit them for files leaving the evaluation realm).
+CsvTable DatabaseToCsv(const Database& db, bool include_entity_ids = true);
+
+/// Writes a database to a CSV file.
+Status WriteDatabaseCsv(const std::string& path, const Database& db,
+                        bool include_entity_ids = true);
+
+}  // namespace pprl
+
+#endif  // PPRL_DATAGEN_IO_H_

@@ -1,0 +1,166 @@
+#include "datagen/lookup_data.h"
+
+namespace pprl::datagen {
+
+const std::string_view kFemaleFirstNames[] = {
+    "mary",      "patricia",  "jennifer",  "linda",     "elizabeth", "barbara",
+    "susan",     "jessica",   "sarah",     "karen",     "lisa",      "nancy",
+    "betty",     "margaret",  "sandra",    "ashley",    "kimberly",  "emily",
+    "donna",     "michelle",  "carol",     "amanda",    "dorothy",   "melissa",
+    "deborah",   "stephanie", "rebecca",   "sharon",    "laura",     "cynthia",
+    "kathleen",  "amy",       "angela",    "shirley",   "anna",      "brenda",
+    "pamela",    "emma",      "nicole",    "helen",     "samantha",  "katherine",
+    "christine", "debra",     "rachel",    "carolyn",   "janet",     "catherine",
+    "maria",     "heather",   "diane",     "ruth",      "julie",     "olivia",
+    "joyce",     "virginia",  "victoria",  "kelly",     "lauren",    "christina",
+    "joan",      "evelyn",    "judith",    "megan",     "andrea",    "cheryl",
+    "hannah",    "jacqueline", "martha",   "gloria",    "teresa",    "ann",
+    "sara",      "madison",   "frances",   "kathryn",   "janice",    "jean",
+    "abigail",   "alice",     "julia",     "judy",      "sophia",    "grace",
+    "denise",    "amber",     "doris",     "marilyn",   "danielle",  "beverly",
+    "isabella",  "theresa",   "diana",     "natalie",   "brittany",  "charlotte",
+    "marie",     "kayla",     "alexis",    "lori",
+};
+const size_t kNumFemaleFirstNames = sizeof(kFemaleFirstNames) / sizeof(kFemaleFirstNames[0]);
+
+const std::string_view kMaleFirstNames[] = {
+    "james",    "robert",   "john",     "michael",  "david",    "william",
+    "richard",  "joseph",   "thomas",   "charles",  "christopher", "daniel",
+    "matthew",  "anthony",  "mark",     "donald",   "steven",   "paul",
+    "andrew",   "joshua",   "kenneth",  "kevin",    "brian",    "george",
+    "timothy",  "ronald",   "edward",   "jason",    "jeffrey",  "ryan",
+    "jacob",    "gary",     "nicholas", "eric",     "jonathan", "stephen",
+    "larry",    "justin",   "scott",    "brandon",  "benjamin", "samuel",
+    "gregory",  "alexander", "frank",   "patrick",  "raymond",  "jack",
+    "dennis",   "jerry",    "tyler",    "aaron",    "jose",     "adam",
+    "nathan",   "henry",    "douglas",  "zachary",  "peter",    "kyle",
+    "ethan",    "walter",   "noah",     "jeremy",   "christian", "keith",
+    "roger",    "terry",    "gerald",   "harold",   "sean",     "austin",
+    "carl",     "arthur",   "lawrence", "dylan",    "jesse",    "jordan",
+    "bryan",    "billy",    "joe",      "bruce",    "gabriel",  "logan",
+    "albert",   "willie",   "alan",     "juan",     "wayne",    "elijah",
+    "randy",    "roy",      "vincent",  "ralph",    "eugene",   "russell",
+    "bobby",    "mason",    "philip",   "louis",
+};
+const size_t kNumMaleFirstNames = sizeof(kMaleFirstNames) / sizeof(kMaleFirstNames[0]);
+
+const std::string_view kLastNames[] = {
+    "smith",     "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller",    "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez",  "wilson",   "anderson", "thomas",   "taylor",   "moore",
+    "jackson",   "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",    "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",    "young",    "allen",    "king",     "wright",   "scott",
+    "torres",    "nguyen",   "hill",     "flores",   "green",    "adams",
+    "nelson",    "baker",    "hall",     "rivera",   "campbell", "mitchell",
+    "carter",    "roberts",  "gomez",    "phillips", "evans",    "turner",
+    "diaz",      "parker",   "cruz",     "edwards",  "collins",  "reyes",
+    "stewart",   "morris",   "morales",  "murphy",   "cook",     "rogers",
+    "gutierrez", "ortiz",    "morgan",   "cooper",   "peterson", "bailey",
+    "reed",      "kelly",    "howard",   "ramos",    "kim",      "cox",
+    "ward",      "richardson", "watson", "brooks",   "chavez",   "wood",
+    "james",     "bennett",  "gray",     "mendoza",  "ruiz",     "hughes",
+    "price",     "alvarez",  "castillo", "sanders",  "patel",    "myers",
+    "long",      "ross",     "foster",   "jimenez",
+};
+const size_t kNumLastNames = sizeof(kLastNames) / sizeof(kLastNames[0]);
+
+const std::string_view kCities[] = {
+    "springfield", "riverton",   "fairview",   "greenville", "bristol",
+    "clinton",     "franklin",   "salem",      "madison",    "georgetown",
+    "arlington",   "ashland",    "burlington", "manchester", "oxford",
+    "clayton",     "milton",     "dover",      "newport",    "hudson",
+    "kingston",    "lexington",  "milford",    "winchester", "oakland",
+    "jackson",     "auburn",     "dayton",     "lancaster",  "monroe",
+    "glendale",    "centerville", "hamilton",  "aurora",     "florence",
+    "lebanon",     "portland",   "richmond",   "danville",   "hillsboro",
+    "brookfield",  "camden",     "chester",    "columbia",   "dallas",
+    "eastwood",    "edgewater",  "elmwood",    "everett",    "freeport",
+};
+const size_t kNumCities = sizeof(kCities) / sizeof(kCities[0]);
+
+const std::string_view kStreetNames[] = {
+    "main st",    "oak ave",    "park rd",    "maple dr",    "cedar ln",
+    "elm st",     "pine st",    "washington ave", "lake rd", "hill st",
+    "church st",  "high st",    "school rd",  "mill ln",     "river rd",
+    "spring st",  "ridge ave",  "valley dr",  "forest ln",   "meadow ct",
+    "sunset blvd", "broadway",  "market st",  "union st",    "franklin ave",
+    "highland ave", "prospect st", "grove st", "chestnut st", "walnut st",
+};
+const size_t kNumStreetNames = sizeof(kStreetNames) / sizeof(kStreetNames[0]);
+
+const NicknamePair kNicknames[] = {
+    {"william", "bill"},    {"william", "will"},    {"robert", "bob"},
+    {"robert", "rob"},      {"richard", "dick"},    {"richard", "rick"},
+    {"james", "jim"},       {"james", "jimmy"},     {"john", "jack"},
+    {"michael", "mike"},    {"christopher", "chris"}, {"joseph", "joe"},
+    {"thomas", "tom"},      {"charles", "chuck"},   {"charles", "charlie"},
+    {"daniel", "dan"},      {"matthew", "matt"},    {"anthony", "tony"},
+    {"donald", "don"},      {"steven", "steve"},    {"andrew", "andy"},
+    {"joshua", "josh"},     {"kenneth", "ken"},     {"timothy", "tim"},
+    {"edward", "ed"},       {"edward", "ted"},      {"jeffrey", "jeff"},
+    {"nicholas", "nick"},   {"jonathan", "jon"},    {"stephen", "steve"},
+    {"benjamin", "ben"},    {"samuel", "sam"},      {"gregory", "greg"},
+    {"alexander", "alex"},  {"patrick", "pat"},     {"raymond", "ray"},
+    {"elizabeth", "liz"},   {"elizabeth", "beth"},  {"elizabeth", "betty"},
+    {"jennifer", "jen"},    {"jennifer", "jenny"},  {"patricia", "pat"},
+    {"patricia", "patty"},  {"margaret", "maggie"}, {"margaret", "peggy"},
+    {"barbara", "barb"},    {"susan", "sue"},       {"deborah", "debbie"},
+    {"rebecca", "becky"},   {"kathleen", "kathy"},  {"katherine", "kate"},
+    {"katherine", "katie"}, {"christine", "chris"}, {"jacqueline", "jackie"},
+    {"victoria", "vicky"},  {"kimberly", "kim"},    {"samantha", "sam"},
+    {"abigail", "abby"},    {"sandra", "sandy"},    {"pamela", "pam"},
+};
+const size_t kNumNicknames = sizeof(kNicknames) / sizeof(kNicknames[0]);
+
+const OcrPair kOcrConfusions[] = {
+    {"o", "0"}, {"0", "o"}, {"l", "1"}, {"1", "l"}, {"i", "1"}, {"s", "5"},
+    {"5", "s"}, {"b", "6"}, {"g", "9"}, {"z", "2"}, {"rn", "m"}, {"m", "rn"},
+    {"cl", "d"}, {"d", "cl"}, {"vv", "w"}, {"w", "vv"}, {"e", "c"}, {"c", "e"},
+    {"u", "v"}, {"v", "u"}, {"nn", "m"}, {"h", "b"},
+};
+const size_t kNumOcrConfusions = sizeof(kOcrConfusions) / sizeof(kOcrConfusions[0]);
+
+std::string_view KeyboardNeighbors(char c) {
+  switch (c) {
+    case 'q': return "wa";
+    case 'w': return "qes";
+    case 'e': return "wrd";
+    case 'r': return "etf";
+    case 't': return "ryg";
+    case 'y': return "tuh";
+    case 'u': return "yij";
+    case 'i': return "uok";
+    case 'o': return "ipl";
+    case 'p': return "ol";
+    case 'a': return "qsz";
+    case 's': return "awdx";
+    case 'd': return "sefc";
+    case 'f': return "drgv";
+    case 'g': return "fthb";
+    case 'h': return "gyjn";
+    case 'j': return "hukm";
+    case 'k': return "jilm";
+    case 'l': return "kop";
+    case 'z': return "asx";
+    case 'x': return "zsdc";
+    case 'c': return "xdfv";
+    case 'v': return "cfgb";
+    case 'b': return "vghn";
+    case 'n': return "bhjm";
+    case 'm': return "njk";
+    case '0': return "19";
+    case '1': return "02";
+    case '2': return "13";
+    case '3': return "24";
+    case '4': return "35";
+    case '5': return "46";
+    case '6': return "57";
+    case '7': return "68";
+    case '8': return "79";
+    case '9': return "80";
+    default: return "";
+  }
+}
+
+}  // namespace pprl::datagen

@@ -1,0 +1,51 @@
+#ifndef PPRL_DATAGEN_LOOKUP_DATA_H_
+#define PPRL_DATAGEN_LOOKUP_DATA_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace pprl::datagen {
+
+/// Embedded lookup tables for the synthetic person-data generator, in
+/// descending real-world frequency order so Zipf sampling reproduces the
+/// skewed value distributions that frequency attacks exploit.
+
+extern const std::string_view kFemaleFirstNames[];
+extern const size_t kNumFemaleFirstNames;
+
+extern const std::string_view kMaleFirstNames[];
+extern const size_t kNumMaleFirstNames;
+
+extern const std::string_view kLastNames[];
+extern const size_t kNumLastNames;
+
+extern const std::string_view kCities[];
+extern const size_t kNumCities;
+
+extern const std::string_view kStreetNames[];
+extern const size_t kNumStreetNames;
+
+/// Nickname pairs (canonical, variant) used by the corruptor's name-variation
+/// operator.
+struct NicknamePair {
+  std::string_view canonical;
+  std::string_view variant;
+};
+extern const NicknamePair kNicknames[];
+extern const size_t kNumNicknames;
+
+/// OCR confusion pairs (read, misread) used by the OCR corruption operator.
+struct OcrPair {
+  std::string_view from;
+  std::string_view to;
+};
+extern const OcrPair kOcrConfusions[];
+extern const size_t kNumOcrConfusions;
+
+/// QWERTY adjacency for keyboard typos: for a lower-case letter or digit,
+/// returns the string of neighbouring keys (empty when unknown).
+std::string_view KeyboardNeighbors(char c);
+
+}  // namespace pprl::datagen
+
+#endif  // PPRL_DATAGEN_LOOKUP_DATA_H_

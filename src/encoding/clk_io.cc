@@ -1,0 +1,84 @@
+#include "encoding/clk_io.h"
+
+#include <cstdlib>
+
+#include "common/base64.h"
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace pprl {
+
+std::vector<uint8_t> BitVectorToBytes(const BitVector& bv) {
+  std::vector<uint8_t> out((bv.size() + 7) / 8, 0);
+  for (uint32_t pos : bv.SetPositions()) {
+    out[pos / 8] |= static_cast<uint8_t>(1u << (pos % 8));
+  }
+  return out;
+}
+
+Result<BitVector> BitVectorFromBytes(const std::vector<uint8_t>& bytes,
+                                     size_t num_bits) {
+  if (bytes.size() * 8 < num_bits) {
+    return Status::InvalidArgument("byte buffer shorter than declared bit length");
+  }
+  BitVector bv(num_bits);
+  for (size_t i = 0; i < num_bits; ++i) {
+    if ((bytes[i / 8] >> (i % 8)) & 1u) bv.Set(i);
+  }
+  return bv;
+}
+
+Status WriteEncodedDatabase(const std::string& path, const EncodedDatabase& encoded) {
+  if (encoded.ids.size() != encoded.filters.size()) {
+    return Status::InvalidArgument("ids and filters must have equal length");
+  }
+  CsvTable table;
+  table.header = {"id", "bits", "clk"};
+  table.rows.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (!encoded.filters.empty() &&
+        encoded.filters[i].size() != encoded.filters[0].size()) {
+      return Status::InvalidArgument("all filters must share one bit length");
+    }
+    table.rows.push_back({std::to_string(encoded.ids[i]),
+                          std::to_string(encoded.filters[i].size()),
+                          Base64Encode(BitVectorToBytes(encoded.filters[i]))});
+  }
+  return WriteCsvFile(path, table);
+}
+
+Result<EncodedDatabase> ReadEncodedDatabase(const std::string& path) {
+  auto table = ReadCsvFile(path);
+  if (!table.ok()) return table.status();
+  const int id_col = table->ColumnIndex("id");
+  const int bits_col = table->ColumnIndex("bits");
+  const int clk_col = table->ColumnIndex("clk");
+  if (id_col < 0 || bits_col < 0 || clk_col < 0) {
+    return Status::InvalidArgument("encoded file needs id, bits, clk columns");
+  }
+  EncodedDatabase out;
+  out.ids.reserve(table->rows.size());
+  out.filters.reserve(table->rows.size());
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    const auto& row = table->rows[r];
+    if (!IsInteger(row[static_cast<size_t>(id_col)]) ||
+        !IsInteger(row[static_cast<size_t>(bits_col)])) {
+      return Status::InvalidArgument("bad id/bits in row " + std::to_string(r));
+    }
+    auto bytes = Base64Decode(row[static_cast<size_t>(clk_col)]);
+    if (!bytes.ok()) return bytes.status();
+    const size_t bits = static_cast<size_t>(
+        std::strtoull(row[static_cast<size_t>(bits_col)].c_str(), nullptr, 10));
+    auto filter = BitVectorFromBytes(bytes.value(), bits);
+    if (!filter.ok()) return filter.status();
+    if (!out.filters.empty() && filter->size() != out.filters[0].size()) {
+      return Status::InvalidArgument("inconsistent filter lengths in encoded file");
+    }
+    out.ids.push_back(static_cast<uint64_t>(
+        std::strtoull(row[static_cast<size_t>(id_col)].c_str(), nullptr, 10)));
+    out.filters.push_back(std::move(filter).value());
+  }
+  return out;
+}
+
+}  // namespace pprl

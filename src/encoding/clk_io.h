@@ -1,0 +1,45 @@
+#ifndef PPRL_ENCODING_CLK_IO_H_
+#define PPRL_ENCODING_CLK_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Interchange format for encoded databases (the artefact a database owner
+/// actually ships to a linkage unit): a CSV with columns
+///   id, bits, clk
+/// where `clk` is the base64-encoded little-endian byte serialisation of
+/// the filter and `bits` its exact bit length. No quasi-identifiers leave
+/// the owner — this is the file-level equivalent of the clkhash/anonlink
+/// workflow.
+
+/// An encoded database ready for file exchange.
+struct EncodedDatabase {
+  std::vector<uint64_t> ids;
+  std::vector<BitVector> filters;
+
+  size_t size() const { return filters.size(); }
+};
+
+/// Serialises a filter to its byte form (little-endian, bit 0 = LSB of
+/// byte 0; trailing bits zero).
+std::vector<uint8_t> BitVectorToBytes(const BitVector& bv);
+
+/// Inverse of BitVectorToBytes; `num_bits` trims the final byte.
+Result<BitVector> BitVectorFromBytes(const std::vector<uint8_t>& bytes, size_t num_bits);
+
+/// Writes an encoded database to `path`. `ids` and `filters` must have the
+/// same length and all filters one common bit length.
+Status WriteEncodedDatabase(const std::string& path, const EncodedDatabase& encoded);
+
+/// Reads an encoded database written by WriteEncodedDatabase.
+Result<EncodedDatabase> ReadEncodedDatabase(const std::string& path);
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_CLK_IO_H_

@@ -1,0 +1,59 @@
+#include "encoding/counting_bloom_filter.h"
+
+namespace pprl {
+
+CountingBloomFilter::CountingBloomFilter(size_t num_positions)
+    : counts_(num_positions, 0) {}
+
+CountingBloomFilter CountingBloomFilter::FromBitVector(const BitVector& bits) {
+  CountingBloomFilter cbf(bits.size());
+  for (uint32_t pos : bits.SetPositions()) cbf.counts_[pos] = 1;
+  return cbf;
+}
+
+Status CountingBloomFilter::Add(const CountingBloomFilter& other) {
+  if (other.size() != size()) {
+    return Status::InvalidArgument("CBF size mismatch in Add");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  return Status::OK();
+}
+
+Status CountingBloomFilter::Add(const BitVector& bits) {
+  if (bits.size() != size()) {
+    return Status::InvalidArgument("CBF/BitVector size mismatch in Add");
+  }
+  for (uint32_t pos : bits.SetPositions()) ++counts_[pos];
+  return Status::OK();
+}
+
+size_t CountingBloomFilter::PositionsWithCount(uint32_t value) const {
+  size_t n = 0;
+  for (uint32_t c : counts_) {
+    if (c == value) ++n;
+  }
+  return n;
+}
+
+size_t CountingBloomFilter::PositionsWithCountAtLeast(uint32_t value) const {
+  size_t n = 0;
+  for (uint32_t c : counts_) {
+    if (c >= value) ++n;
+  }
+  return n;
+}
+
+double CountingBloomFilter::MultiPartyDice(size_t num_parties) const {
+  if (num_parties == 0) return 0;
+  uint64_t total = 0;
+  size_t common = 0;
+  for (uint32_t c : counts_) {
+    total += c;
+    if (c == num_parties) ++common;
+  }
+  if (total == 0) return 0;
+  return static_cast<double>(num_parties) * static_cast<double>(common) /
+         static_cast<double>(total);
+}
+
+}  // namespace pprl

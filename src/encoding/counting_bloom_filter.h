@@ -1,0 +1,56 @@
+#ifndef PPRL_ENCODING_COUNTING_BLOOM_FILTER_H_
+#define PPRL_ENCODING_COUNTING_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// A Bloom filter with per-position counters.
+///
+/// Summing the Bloom filters of p parties position-wise yields a counting
+/// Bloom filter from which the p-wise intersection (positions with count p)
+/// and the per-party set sizes can be read — the basis of the multi-party
+/// protocol of Vatsalan, Christen & Rahm [42], where the summation itself is
+/// done securely so no party sees another's individual filter.
+class CountingBloomFilter {
+ public:
+  /// All-zero counters of the given length.
+  explicit CountingBloomFilter(size_t num_positions = 0);
+
+  /// Builds a CBF from one bit vector (counts are 0/1).
+  static CountingBloomFilter FromBitVector(const BitVector& bits);
+
+  size_t size() const { return counts_.size(); }
+  uint32_t Count(size_t pos) const { return counts_[pos]; }
+
+  /// Position-wise addition. Sizes must match.
+  Status Add(const CountingBloomFilter& other);
+
+  /// Position-wise addition of a plain Bloom filter. Sizes must match.
+  Status Add(const BitVector& bits);
+
+  /// Number of positions whose count is exactly `value`.
+  size_t PositionsWithCount(uint32_t value) const;
+
+  /// Number of positions whose count is at least `value`.
+  size_t PositionsWithCountAtLeast(uint32_t value) const;
+
+  /// Dice similarity across p parties computed from the summed filter:
+  ///   p * |positions with count == p| / sum of all counts.
+  /// `num_parties` must be >= 1 and the CBF must be the sum of exactly that
+  /// many Bloom filters for the result to be meaningful.
+  double MultiPartyDice(size_t num_parties) const;
+
+  const std::vector<uint32_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<uint32_t> counts_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_COUNTING_BLOOM_FILTER_H_

@@ -1,0 +1,61 @@
+#include "encoding/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/secure_edit_distance.h"
+
+namespace pprl {
+
+Result<StringEmbedder> StringEmbedder::Create(size_t dimensions, size_t reference_length,
+                                              Rng& rng) {
+  if (dimensions == 0) return Status::InvalidArgument("dimensions must be > 0");
+  if (reference_length == 0) {
+    return Status::InvalidArgument("reference_length must be > 0");
+  }
+  std::vector<std::string> refs;
+  refs.reserve(dimensions);
+  for (size_t i = 0; i < dimensions; ++i) {
+    std::string ref;
+    ref.reserve(reference_length);
+    for (size_t j = 0; j < reference_length; ++j) {
+      ref += static_cast<char>('a' + rng.NextUint64(26));
+    }
+    refs.push_back(std::move(ref));
+  }
+  return StringEmbedder(std::move(refs));
+}
+
+StringEmbedder::StringEmbedder(std::vector<std::string> reference_set)
+    : reference_set_(std::move(reference_set)) {}
+
+std::vector<double> StringEmbedder::Embed(const std::string& value) const {
+  std::vector<double> out;
+  out.reserve(reference_set_.size());
+  for (const std::string& ref : reference_set_) {
+    out.push_back(static_cast<double>(PlainEditDistance(value, ref)));
+  }
+  return out;
+}
+
+double StringEmbedder::ChebyshevDistance(const std::vector<double>& a,
+                                         const std::vector<double>& b) {
+  double max_diff = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+double StringEmbedder::EuclideanDistance(const std::vector<double>& a,
+                                         const std::vector<double>& b) {
+  double sum = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    sum += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace pprl

@@ -1,0 +1,56 @@
+#ifndef PPRL_ENCODING_EMBEDDING_H_
+#define PPRL_ENCODING_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Reference-set string embedding into a metric space.
+///
+/// The embedding branch of the survey's privacy-technology taxonomy (§3.4,
+/// [32, 17]): each party maps its strings to vectors of (contracted) edit
+/// distances to a shared random reference set, so linkage can run on
+/// vectors without exchanging the strings themselves. Lipschitz embeddings
+/// of this form are contractive: the L-infinity distance between two
+/// embedded vectors lower-bounds the true edit distance, which makes the
+/// embedding usable for threshold filtering with no false dismissals.
+class StringEmbedder {
+ public:
+  /// Builds a reference set of `dimensions` random strings of length
+  /// `reference_length` drawn from lower-case letters using `rng`. Both
+  /// parties must construct this from a shared seed. `dimensions` must be
+  /// > 0.
+  static Result<StringEmbedder> Create(size_t dimensions, size_t reference_length,
+                                       Rng& rng);
+
+  /// Builds the embedder from an explicit reference set (e.g. frequent names
+  /// agreed between parties).
+  explicit StringEmbedder(std::vector<std::string> reference_set);
+
+  /// Embeds `value`: component i is the edit distance to reference string i.
+  std::vector<double> Embed(const std::string& value) const;
+
+  size_t dimensions() const { return reference_set_.size(); }
+  const std::vector<std::string>& reference_set() const { return reference_set_; }
+
+  /// L-infinity distance between two embedded vectors; contractive bound on
+  /// the edit distance of the originals.
+  static double ChebyshevDistance(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+  /// Euclidean distance between embedded vectors (the similarity used by
+  /// [32]'s matching step).
+  static double EuclideanDistance(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+ private:
+  std::vector<std::string> reference_set_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_EMBEDDING_H_

@@ -1,0 +1,77 @@
+#include "encoding/hardening.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "crypto/hash.h"
+
+namespace pprl {
+
+BitVector Balance(const BitVector& bf, uint64_t permutation_key) {
+  const size_t l = bf.size();
+  BitVector doubled(2 * l);
+  for (size_t i = 0; i < l; ++i) {
+    if (bf.Get(i)) {
+      doubled.Set(i);
+    } else {
+      doubled.Set(l + i);  // complement half
+    }
+  }
+  // Keyed Fisher-Yates permutation of the doubled filter.
+  std::vector<uint32_t> perm(2 * l);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(permutation_key);
+  rng.Shuffle(perm);
+  BitVector out(2 * l);
+  for (size_t i = 0; i < 2 * l; ++i) {
+    if (doubled.Get(perm[i])) out.Set(i);
+  }
+  return out;
+}
+
+BitVector XorFold(const BitVector& bf) {
+  assert(bf.size() % 2 == 0);
+  const size_t half = bf.size() / 2;
+  BitVector out(half);
+  for (size_t i = 0; i < half; ++i) {
+    if (bf.Get(i) != bf.Get(half + i)) out.Set(i);
+  }
+  return out;
+}
+
+BitVector Rule90(const BitVector& bf) {
+  const size_t l = bf.size();
+  BitVector out(l);
+  if (l == 0) return out;
+  for (size_t i = 0; i < l; ++i) {
+    const bool left = bf.Get((i + l - 1) % l);
+    const bool right = bf.Get((i + 1) % l);
+    if (left != right) out.Set(i);
+  }
+  return out;
+}
+
+BitVector Blip(const BitVector& bf, double flip_prob, Rng& rng) {
+  assert(flip_prob >= 0 && flip_prob < 0.5);
+  BitVector out = bf;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng.NextBool(flip_prob)) out.Flip(i);
+  }
+  return out;
+}
+
+double BlipEpsilon(double flip_prob) {
+  if (flip_prob <= 0) return std::numeric_limits<double>::infinity();
+  return std::log((1.0 - flip_prob) / flip_prob);
+}
+
+std::string RecordSalt(const std::string& stable_attribute_value,
+                       const std::string& secret_key) {
+  return DigestToHex(HmacSha256(secret_key, "salt\x1f" + stable_attribute_value))
+      .substr(0, 16);
+}
+
+}  // namespace pprl

@@ -1,0 +1,52 @@
+#ifndef PPRL_ENCODING_HARDENING_H_
+#define PPRL_ENCODING_HARDENING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+
+namespace pprl {
+
+/// Bloom-filter hardening techniques.
+///
+/// The survey (§5.3) notes that plain Bloom filters are vulnerable to
+/// frequency and cryptanalysis attacks [7, 23] and that encodings must be
+/// hardened [33]. Each function below is one published hardening; the E7
+/// benchmark measures how much each degrades the attacks from
+/// `pprl::privacy` and what it costs in linkage quality.
+
+/// Balancing: append the bitwise complement, then apply a keyed permutation.
+/// Every balanced filter has exactly 50% ones, removing the Hamming-weight
+/// signal frequency attacks use. Output length is 2x the input.
+BitVector Balance(const BitVector& bf, uint64_t permutation_key);
+
+/// XOR-folding: XOR the first half onto the second, halving the length and
+/// breaking the alignment between bit positions and q-grams. Input length
+/// must be even.
+BitVector XorFold(const BitVector& bf);
+
+/// Rule-90 hardening: each output bit is the XOR of its two neighbours
+/// (cyclic), diffusing each q-gram's positions across the filter.
+BitVector Rule90(const BitVector& bf);
+
+/// BLIP (permanent randomized response): flips every bit independently with
+/// probability `flip_prob`, giving differential-privacy-style plausible
+/// deniability per bit. `flip_prob` in [0, 0.5).
+BitVector Blip(const BitVector& bf, double flip_prob, Rng& rng);
+
+/// Epsilon of the per-bit randomized response: ln((1-f)/f).
+double BlipEpsilon(double flip_prob);
+
+/// Salting: returns the per-record salt to append to every token before
+/// hashing, derived from a stable attribute value (e.g. year of birth).
+/// Records with differing salt values share no hash mapping, which destroys
+/// cross-record frequency alignment at the cost of missing matches whose
+/// salt attribute was recorded inconsistently.
+std::string RecordSalt(const std::string& stable_attribute_value,
+                       const std::string& secret_key);
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_HARDENING_H_

@@ -1,0 +1,43 @@
+#include "encoding/minhash.h"
+
+#include <limits>
+
+#include "common/random.h"
+#include "crypto/hash.h"
+
+namespace pprl {
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed)
+    : num_hashes_(num_hashes), base_seed_(seed) {
+  Rng rng(seed);
+  mult_.reserve(num_hashes);
+  add_.reserve(num_hashes);
+  for (size_t i = 0; i < num_hashes; ++i) {
+    mult_.push_back(rng.NextUint64() | 1);  // odd multiplier is invertible mod 2^64
+    add_.push_back(rng.NextUint64());
+  }
+}
+
+MinHashSignature MinHasher::Sign(const std::vector<std::string>& tokens) const {
+  MinHashSignature sig(num_hashes_, std::numeric_limits<uint64_t>::max());
+  const TabulationHash base(base_seed_);
+  for (const std::string& token : tokens) {
+    const uint64_t h = base.Hash(token);
+    for (size_t i = 0; i < num_hashes_; ++i) {
+      const uint64_t hi = mult_[i] * h + add_[i];
+      if (hi < sig[i]) sig[i] = hi;
+    }
+  }
+  return sig;
+}
+
+double MinHasher::EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b) {
+  if (a.size() != b.size() || a.empty()) return 0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace pprl

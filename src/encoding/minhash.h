@@ -1,0 +1,42 @@
+#ifndef PPRL_ENCODING_MINHASH_H_
+#define PPRL_ENCODING_MINHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pprl {
+
+/// A MinHash signature: one 64-bit minimum per hash function.
+using MinHashSignature = std::vector<uint64_t>;
+
+/// MinHash signatures over token sets.
+///
+/// E[fraction of agreeing components] equals the Jaccard similarity of the
+/// token sets, which is what MinHash-LSH blocking (survey §3.4 "Blocking",
+/// randomized LSH methods [12, 18]) exploits: banding the signature gives a
+/// blocking scheme with provable recall for similar pairs.
+class MinHasher {
+ public:
+  /// `num_hashes` independent tabulation-hash functions seeded from `seed`.
+  MinHasher(size_t num_hashes, uint64_t seed);
+
+  /// Signature of a token set (order and duplicates do not matter).
+  MinHashSignature Sign(const std::vector<std::string>& tokens) const;
+
+  size_t num_hashes() const { return num_hashes_; }
+
+  /// Fraction of agreeing components, the unbiased Jaccard estimate.
+  static double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
+
+ private:
+  size_t num_hashes_;
+  // Pairwise-independent mixing: h_i(x) = a_i * base(x) + b_i over 2^64.
+  std::vector<uint64_t> mult_;
+  std::vector<uint64_t> add_;
+  uint64_t base_seed_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_MINHASH_H_

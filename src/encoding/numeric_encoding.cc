@@ -1,0 +1,75 @@
+#include "encoding/numeric_encoding.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pprl {
+
+Result<std::vector<std::string>> NumericNeighborhoodTokens(const std::string& value,
+                                                           double step,
+                                                           size_t num_neighbors) {
+  if (step <= 0) return Status::InvalidArgument("numeric step must be positive");
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || (end != nullptr && *end != '\0')) {
+    return Status::InvalidArgument("not a numeric value: '" + value + "'");
+  }
+  // Snap to the step grid so neighbouring values produce identical tokens.
+  const int64_t center = static_cast<int64_t>(std::llround(v / step));
+  std::vector<std::string> tokens;
+  tokens.reserve(2 * num_neighbors + 1);
+  for (int64_t d = -static_cast<int64_t>(num_neighbors);
+       d <= static_cast<int64_t>(num_neighbors); ++d) {
+    tokens.push_back("n" + std::to_string(center + d));
+  }
+  return tokens;
+}
+
+double ExpectedNumericDice(double a, double b, double step, size_t num_neighbors) {
+  if (step <= 0) return 0;
+  const int64_t ca = static_cast<int64_t>(std::llround(a / step));
+  const int64_t cb = static_cast<int64_t>(std::llround(b / step));
+  const int64_t width = 2 * static_cast<int64_t>(num_neighbors) + 1;
+  const int64_t gap = std::llabs(ca - cb);
+  const int64_t overlap = std::max<int64_t>(0, width - gap);
+  return static_cast<double>(2 * overlap) / static_cast<double>(2 * width);
+}
+
+Result<int64_t> DaysSinceEpoch(const std::string& iso_date) {
+  if (iso_date.size() != 10 || iso_date[4] != '-' || iso_date[7] != '-') {
+    return Status::InvalidArgument("date must be YYYY-MM-DD: '" + iso_date + "'");
+  }
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (iso_date[i] < '0' || iso_date[i] > '9') {
+      return Status::InvalidArgument("date must be YYYY-MM-DD: '" + iso_date + "'");
+    }
+  }
+  const int y = std::stoi(iso_date.substr(0, 4));
+  const int m = std::stoi(iso_date.substr(5, 2));
+  const int d = std::stoi(iso_date.substr(8, 2));
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("date out of range: '" + iso_date + "'");
+  }
+  // Howard Hinnant's days_from_civil algorithm (proleptic Gregorian).
+  const int yy = y - (m <= 2 ? 1 : 0);
+  const int era = (yy >= 0 ? yy : yy - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(yy - era * 400);
+  const unsigned doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+Result<std::vector<std::string>> DateNeighborhoodTokens(const std::string& iso_date,
+                                                        const DateEncodingParams& params) {
+  auto days = DaysSinceEpoch(iso_date);
+  if (!days.ok()) return days.status();
+  std::vector<std::string> tokens;
+  tokens.reserve(2 * params.num_neighbors + 1);
+  for (int64_t d = -static_cast<int64_t>(params.num_neighbors);
+       d <= static_cast<int64_t>(params.num_neighbors); ++d) {
+    tokens.push_back("d" + std::to_string(days.value() + d));
+  }
+  return tokens;
+}
+
+}  // namespace pprl

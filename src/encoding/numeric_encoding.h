@@ -1,0 +1,46 @@
+#ifndef PPRL_ENCODING_NUMERIC_ENCODING_H_
+#define PPRL_ENCODING_NUMERIC_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Tokens for the numeric-neighbourhood Bloom-filter encoding of Vatsalan &
+/// Christen [40] (Figure 2, right).
+///
+/// A numeric value v is represented by the token multiset
+///   { round(v - n*step), ..., round(v), ..., round(v + n*step) },
+/// so two values within n*step of each other share tokens in proportion to
+/// their closeness, and the Dice similarity of the resulting Bloom filters
+/// decays linearly with absolute difference.
+///
+/// `value` must parse as a floating-point number; `step` must be positive.
+Result<std::vector<std::string>> NumericNeighborhoodTokens(const std::string& value,
+                                                           double step,
+                                                           size_t num_neighbors);
+
+/// Expected Dice similarity of two neighbourhood encodings for values `a` and
+/// `b` (the analytic curve the E2 benchmark checks the measured one against).
+double ExpectedNumericDice(double a, double b, double step, size_t num_neighbors);
+
+/// Parameters for encoding dates as neighbourhoods in day space.
+struct DateEncodingParams {
+  size_t num_neighbors = 15;  ///< +- days included
+};
+
+/// Encodes an ISO "YYYY-MM-DD" date as day-number neighbourhood tokens, so
+/// near-miss birth dates (typos of one day/month) still overlap.
+Result<std::vector<std::string>> DateNeighborhoodTokens(const std::string& iso_date,
+                                                        const DateEncodingParams& params);
+
+/// Days since 1970-01-01 for an ISO date (proleptic Gregorian); rejects
+/// malformed input.
+Result<int64_t> DaysSinceEpoch(const std::string& iso_date);
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_NUMERIC_ENCODING_H_

@@ -1,0 +1,276 @@
+#include "encoding/phonetic.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace pprl {
+
+namespace {
+
+/// Keeps only ASCII letters, upper-cased.
+std::string CleanName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';  // vowels, H, W, Y
+  }
+}
+
+bool IsVowel(char c) { return c == 'A' || c == 'E' || c == 'I' || c == 'O' || c == 'U'; }
+
+void ReplacePrefix(std::string& s, std::string_view from, std::string_view to) {
+  if (s.rfind(from, 0) == 0) s = std::string(to) + s.substr(from.size());
+}
+
+void ReplaceSuffix(std::string& s, std::string_view from, std::string_view to) {
+  if (s.size() >= from.size() && s.compare(s.size() - from.size(), from.size(), from) == 0) {
+    s = s.substr(0, s.size() - from.size()) + std::string(to);
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  const std::string clean = CleanName(name);
+  if (clean.empty()) return "Z000";
+  std::string code(1, clean[0]);
+  char prev_digit = SoundexDigit(clean[0]);
+  for (size_t i = 1; i < clean.size() && code.size() < 4; ++i) {
+    const char c = clean[i];
+    const char digit = SoundexDigit(c);
+    if (digit != '0' && digit != prev_digit) code += digit;
+    // H and W are transparent: they do not reset the previous digit.
+    if (c != 'H' && c != 'W') prev_digit = digit;
+  }
+  while (code.size() < 4) code += '0';
+  return code;
+}
+
+std::string Nysiis(std::string_view name) {
+  std::string s = CleanName(name);
+  if (s.empty()) return "";
+
+  // Prefix transcodings.
+  ReplacePrefix(s, "MAC", "MCC");
+  ReplacePrefix(s, "KN", "NN");
+  ReplacePrefix(s, "K", "C");
+  ReplacePrefix(s, "PH", "FF");
+  ReplacePrefix(s, "PF", "FF");
+  ReplacePrefix(s, "SCH", "SSS");
+  // Suffix transcodings.
+  ReplaceSuffix(s, "EE", "Y");
+  ReplaceSuffix(s, "IE", "Y");
+  for (const char* suffix : {"DT", "RT", "RD", "NT", "ND"}) {
+    ReplaceSuffix(s, suffix, "D");
+  }
+
+  std::string key(1, s[0]);
+  std::string prev(1, s[0]);
+  size_t i = 1;
+  while (i < s.size()) {
+    std::string cur(1, s[i]);
+    size_t advance = 1;
+    if (s.compare(i, 2, "EV") == 0) {
+      cur = "AF";
+      advance = 2;
+    } else if (IsVowel(s[i]) || s[i] == 'Y') {
+      // Y is treated as a vowel so spelling variants (Smith/Smyth,
+      // Brian/Bryan) converge, matching NYSIIS's intent for person names.
+      cur = "A";
+    } else if (s[i] == 'Q') {
+      cur = "G";
+    } else if (s[i] == 'Z') {
+      cur = "S";
+    } else if (s[i] == 'M') {
+      cur = "N";
+    } else if (s.compare(i, 2, "KN") == 0) {
+      cur = "N";
+      advance = 2;
+    } else if (s[i] == 'K') {
+      cur = "C";
+    } else if (s.compare(i, 3, "SCH") == 0) {
+      cur = "SSS";
+      advance = 3;
+    } else if (s.compare(i, 2, "PH") == 0) {
+      cur = "FF";
+      advance = 2;
+    } else if (s[i] == 'H' &&
+               (!IsVowel(s[i - 1]) || (i + 1 < s.size() && !IsVowel(s[i + 1])))) {
+      cur = prev;
+    } else if (s[i] == 'W' && IsVowel(s[i - 1])) {
+      cur = prev;
+    }
+    if (!cur.empty() && cur != prev) key += cur;
+    prev = cur;
+    i += advance;
+  }
+
+  // Trailing-S and AY/A cleanup.
+  if (key.size() > 1 && key.back() == 'S') key.pop_back();
+  if (key.size() > 2 && key.compare(key.size() - 2, 2, "AY") == 0) {
+    key = key.substr(0, key.size() - 2) + "Y";
+  }
+  if (key.size() > 1 && key.back() == 'A') key.pop_back();
+  if (key.size() > 6) key = key.substr(0, 6);
+  return key;
+}
+
+std::string Metaphone(std::string_view name, size_t max_length) {
+  std::string s = CleanName(name);
+  if (s.empty()) return "";
+
+  // Initial-letter exceptions.
+  ReplacePrefix(s, "KN", "N");
+  ReplacePrefix(s, "GN", "N");
+  ReplacePrefix(s, "PN", "N");
+  ReplacePrefix(s, "WR", "R");
+  ReplacePrefix(s, "X", "S");
+
+  std::string code;
+  for (size_t i = 0; i < s.size() && code.size() < max_length; ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    // Skip doubled letters except C.
+    if (i > 0 && c == s[i - 1] && c != 'C') continue;
+    switch (c) {
+      case 'A':
+      case 'E':
+      case 'I':
+      case 'O':
+      case 'U':
+        if (i == 0) code += c;  // vowels kept only at the start
+        break;
+      case 'B':
+        // Silent terminal B after M (e.g. "LAMB").
+        if (!(i + 1 == s.size() && i > 0 && s[i - 1] == 'M')) code += 'B';
+        break;
+      case 'C':
+        if (next == 'H') {
+          code += 'X';  // CH -> X ("church")
+          ++i;
+        } else if (next == 'I' || next == 'E' || next == 'Y') {
+          code += 'S';
+        } else {
+          code += 'K';
+        }
+        break;
+      case 'D':
+        if (next == 'G' && i + 2 < s.size() &&
+            (s[i + 2] == 'E' || s[i + 2] == 'I' || s[i + 2] == 'Y')) {
+          code += 'J';
+          ++i;
+        } else {
+          code += 'T';
+        }
+        break;
+      case 'G':
+        if (next == 'H' && (i + 2 >= s.size() || !IsVowel(s[i + 2]))) {
+          ++i;  // silent GH: consume the H too ("wright", "night")
+          break;
+        }
+        if (next == 'N') break;  // silent GN
+        if (next == 'I' || next == 'E' || next == 'Y') {
+          code += 'J';
+        } else {
+          code += 'K';
+        }
+        break;
+      case 'H':
+        if (i > 0 && IsVowel(s[i - 1]) && !IsVowel(next)) break;  // silent H
+        code += 'H';
+        break;
+      case 'K':
+        if (i > 0 && s[i - 1] == 'C') break;  // CK -> K already emitted
+        code += 'K';
+        break;
+      case 'P':
+        if (next == 'H') {
+          code += 'F';
+          ++i;
+        } else {
+          code += 'P';
+        }
+        break;
+      case 'Q':
+        code += 'K';
+        break;
+      case 'S':
+        if (next == 'H') {
+          code += 'X';
+          ++i;
+        } else if (next == 'I' && i + 2 < s.size() &&
+                   (s[i + 2] == 'O' || s[i + 2] == 'A')) {
+          code += 'X';  // -SIO-, -SIA-
+        } else {
+          code += 'S';
+        }
+        break;
+      case 'T':
+        if (next == 'H') {
+          code += '0';  // theta
+          ++i;
+        } else if (next == 'I' && i + 2 < s.size() &&
+                   (s[i + 2] == 'O' || s[i + 2] == 'A')) {
+          code += 'X';
+        } else {
+          code += 'T';
+        }
+        break;
+      case 'V':
+        code += 'F';
+        break;
+      case 'W':
+      case 'Y':
+        if (IsVowel(next)) code += c;  // kept only before a vowel
+        break;
+      case 'X':
+        code += "KS";
+        break;
+      case 'Z':
+        code += 'S';
+        break;
+      default:
+        code += c;  // F, J, L, M, N, R pass through
+        break;
+    }
+  }
+  if (code.size() > max_length) code = code.substr(0, max_length);
+  return code;
+}
+
+}  // namespace pprl

@@ -1,0 +1,29 @@
+#ifndef PPRL_ENCODING_PHONETIC_H_
+#define PPRL_ENCODING_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace pprl {
+
+/// Phonetic encodings used as (privacy-friendlier) blocking keys: records
+/// whose names sound alike land in the same block even under spelling
+/// variations, which is what standard blocking on QIDs needs to survive the
+/// dirty data the survey's veracity challenge describes.
+
+/// American Soundex: one letter + three digits ("Robert" -> "R163").
+/// Non-alphabetic input yields "Z000".
+std::string Soundex(std::string_view name);
+
+/// NYSIIS (New York State Identification and Intelligence System), the
+/// standard refinement of Soundex for person names. Returns an upper-case
+/// code of at most 6 characters; empty input yields "".
+std::string Nysiis(std::string_view name);
+
+/// A compact Metaphone variant: consonant-skeleton code of up to
+/// `max_length` characters capturing English pronunciation classes.
+std::string Metaphone(std::string_view name, size_t max_length = 6);
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_PHONETIC_H_

@@ -1,0 +1,65 @@
+#include "encoding/slk.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "crypto/hash.h"
+
+namespace pprl {
+
+namespace {
+
+/// Letter at 1-based position `pos` of the cleaned name, or '2' when the
+/// name is too short (AIHW rule for missing characters).
+char LetterAt(const std::string& cleaned, size_t pos) {
+  if (pos == 0 || pos > cleaned.size()) return '2';
+  return cleaned[pos - 1];
+}
+
+std::string CleanedUpper(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> Slk581(const SlkInput& input) {
+  if (input.dob.size() != 10 || input.dob[4] != '-' || input.dob[7] != '-') {
+    return Status::InvalidArgument("SLK-581 needs a YYYY-MM-DD date of birth");
+  }
+  const std::string first = CleanedUpper(input.first_name);
+  const std::string last = CleanedUpper(input.last_name);
+
+  std::string key;
+  key += LetterAt(last, 2);
+  key += LetterAt(last, 3);
+  key += LetterAt(last, 5);
+  key += LetterAt(first, 2);
+  key += LetterAt(first, 3);
+  // DDMMYYYY
+  key += input.dob.substr(8, 2);
+  key += input.dob.substr(5, 2);
+  key += input.dob.substr(0, 4);
+  // Sex digit: 1 = male, 2 = female, 9 = unknown.
+  char sex = '9';
+  if (!input.sex.empty()) {
+    const char s = static_cast<char>(std::tolower(static_cast<unsigned char>(input.sex[0])));
+    if (s == 'm') sex = '1';
+    if (s == 'f') sex = '2';
+  }
+  key += sex;
+  return key;
+}
+
+Result<std::string> HashedSlk581(const SlkInput& input, const std::string& secret_key) {
+  auto key = Slk581(input);
+  if (!key.ok()) return key.status();
+  return DigestToHex(HmacSha256(secret_key, key.value()));
+}
+
+}  // namespace pprl

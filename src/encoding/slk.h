@@ -1,0 +1,34 @@
+#ifndef PPRL_ENCODING_SLK_H_
+#define PPRL_ENCODING_SLK_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace pprl {
+
+/// Inputs to the statistical linkage key.
+struct SlkInput {
+  std::string first_name;
+  std::string last_name;
+  std::string dob;   ///< ISO "YYYY-MM-DD"
+  std::string sex;   ///< "m"/"f" (case-insensitive; first letter used)
+};
+
+/// SLK-581, the statistical linkage key of the Australian Institute of
+/// Health and Welfare [31]: letters 2+3 of the first name, letters 2,3,5 of
+/// the surname, the full date of birth (DDMMYYYY), and a sex digit.
+/// Missing letters are replaced by '2' per the AIHW specification.
+///
+/// The survey cites [31] to show SLK-based linkage has limited privacy
+/// protection and poor sensitivity; experiment E12 quantifies both against
+/// Bloom-filter linkage.
+Result<std::string> Slk581(const SlkInput& input);
+
+/// SLK-581 followed by keyed hashing (HMAC-SHA256, hex), the usual way the
+/// key is actually exchanged between organisations.
+Result<std::string> HashedSlk581(const SlkInput& input, const std::string& secret_key);
+
+}  // namespace pprl
+
+#endif  // PPRL_ENCODING_SLK_H_

@@ -1,0 +1,58 @@
+#include "eval/fairness.h"
+
+#include <algorithm>
+
+namespace pprl {
+
+GroupConfusion EvaluateByGroup(const std::vector<ScoredPair>& predicted,
+                               const GroundTruth& truth, const Database& a,
+                               const std::string& protected_field) {
+  GroupConfusion by_group;
+  const int field = a.schema.FieldIndex(protected_field);
+
+  auto group_of = [&](uint32_t a_index) -> std::string {
+    if (field < 0 || a_index >= a.records.size()) return "<missing>";
+    const std::string& value = a.records[a_index].values[static_cast<size_t>(field)];
+    return value.empty() ? "<missing>" : value;
+  };
+
+  std::set<std::pair<uint32_t, uint32_t>> predicted_set;
+  for (const ScoredPair& pair : predicted) predicted_set.insert({pair.a, pair.b});
+
+  for (const auto& pair : predicted_set) {
+    ConfusionCounts& counts = by_group[group_of(pair.first)];
+    if (truth.pairs().count(pair) > 0) {
+      ++counts.true_positives;
+    } else {
+      ++counts.false_positives;
+    }
+  }
+  for (const auto& pair : truth.pairs()) {
+    if (predicted_set.count(pair) == 0) {
+      ++by_group[group_of(pair.first)].false_negatives;
+    }
+  }
+  return by_group;
+}
+
+FairnessGaps ComputeFairnessGaps(const GroupConfusion& by_group) {
+  FairnessGaps gaps;
+  if (by_group.empty()) return gaps;
+  double min_recall = 1, max_recall = 0;
+  double min_precision = 1, max_precision = 0;
+  double min_f1 = 1, max_f1 = 0;
+  for (const auto& [group, counts] : by_group) {
+    min_recall = std::min(min_recall, counts.Recall());
+    max_recall = std::max(max_recall, counts.Recall());
+    min_precision = std::min(min_precision, counts.Precision());
+    max_precision = std::max(max_precision, counts.Precision());
+    min_f1 = std::min(min_f1, counts.F1());
+    max_f1 = std::max(max_f1, counts.F1());
+  }
+  gaps.recall_gap = std::max(0.0, max_recall - min_recall);
+  gaps.precision_gap = std::max(0.0, max_precision - min_precision);
+  gaps.f1_gap = std::max(0.0, max_f1 - min_f1);
+  return gaps;
+}
+
+}  // namespace pprl

@@ -1,0 +1,43 @@
+#ifndef PPRL_EVAL_FAIRNESS_H_
+#define PPRL_EVAL_FAIRNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "eval/metrics.h"
+
+namespace pprl {
+
+/// Fairness evaluation of linkage results (survey §3.3 "Correctness and
+/// fairness" and §5.2, [46]): linkage quality measured per protected group,
+/// because linkage errors that concentrate in one subgroup bias every
+/// downstream analysis.
+
+/// Per-group confusion counts keyed by the protected attribute's value. A
+/// pair belongs to the group of its database-A record.
+using GroupConfusion = std::map<std::string, ConfusionCounts>;
+
+/// Splits the evaluation of `predicted` by the protected field of `a`'s
+/// records (e.g. "sex"). Records with an empty protected value land in the
+/// group "<missing>".
+GroupConfusion EvaluateByGroup(const std::vector<ScoredPair>& predicted,
+                               const GroundTruth& truth, const Database& a,
+                               const std::string& protected_field);
+
+/// Fairness-gap summaries over a group confusion map.
+struct FairnessGaps {
+  /// Max - min recall across groups ("equal opportunity" gap: do true
+  /// matches in every group have the same chance of being found?).
+  double recall_gap = 0;
+  /// Max - min precision across groups.
+  double precision_gap = 0;
+  /// Max - min F1 across groups.
+  double f1_gap = 0;
+};
+FairnessGaps ComputeFairnessGaps(const GroupConfusion& by_group);
+
+}  // namespace pprl
+
+#endif  // PPRL_EVAL_FAIRNESS_H_

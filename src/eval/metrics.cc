@@ -1,0 +1,149 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pprl {
+
+GroundTruth::GroundTruth(const Database& a, const Database& b) {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> b_by_entity;
+  for (uint32_t j = 0; j < b.records.size(); ++j) {
+    b_by_entity[b.records[j].entity_id].push_back(j);
+  }
+  for (uint32_t i = 0; i < a.records.size(); ++i) {
+    const auto it = b_by_entity.find(a.records[i].entity_id);
+    if (it == b_by_entity.end()) continue;
+    for (uint32_t j : it->second) pairs_.insert({i, j});
+  }
+}
+
+bool GroundTruth::IsMatch(uint32_t a_index, uint32_t b_index) const {
+  return pairs_.count({a_index, b_index}) > 0;
+}
+
+double ConfusionCounts::Precision() const {
+  const size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::Recall() const {
+  const size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r == 0 ? 0 : 2 * p * r / (p + r);
+}
+
+ConfusionCounts EvaluateMatches(const std::vector<ScoredPair>& predicted,
+                                const GroundTruth& truth) {
+  ConfusionCounts counts;
+  std::set<std::pair<uint32_t, uint32_t>> predicted_set;
+  for (const ScoredPair& pair : predicted) predicted_set.insert({pair.a, pair.b});
+  for (const auto& pair : predicted_set) {
+    if (truth.pairs().count(pair) > 0) {
+      ++counts.true_positives;
+    } else {
+      ++counts.false_positives;
+    }
+  }
+  counts.false_negatives = truth.num_matches() - counts.true_positives;
+  return counts;
+}
+
+BlockingQuality EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                                 const GroundTruth& truth, size_t size_a,
+                                 size_t size_b) {
+  BlockingQuality quality;
+  quality.num_candidates = candidates.size();
+  const double total_pairs = static_cast<double>(size_a) * static_cast<double>(size_b);
+  quality.reduction_ratio =
+      total_pairs == 0 ? 0 : 1.0 - static_cast<double>(candidates.size()) / total_pairs;
+  size_t true_in_candidates = 0;
+  for (const CandidatePair& pair : candidates) {
+    if (truth.IsMatch(pair.a, pair.b)) ++true_in_candidates;
+  }
+  quality.pairs_completeness =
+      truth.num_matches() == 0
+          ? 1.0
+          : static_cast<double>(true_in_candidates) /
+                static_cast<double>(truth.num_matches());
+  quality.pairs_quality = candidates.empty()
+                              ? 0
+                              : static_cast<double>(true_in_candidates) /
+                                    static_cast<double>(candidates.size());
+  return quality;
+}
+
+double AreaUnderRoc(const std::vector<ScoredPair>& scored, const GroundTruth& truth) {
+  // Rank-sum formulation: AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos * n_neg)
+  // where R_pos is the rank sum of positive scores (average ranks on ties).
+  std::vector<std::pair<double, bool>> labelled;
+  labelled.reserve(scored.size());
+  for (const ScoredPair& pair : scored) {
+    labelled.push_back({pair.score, truth.IsMatch(pair.a, pair.b)});
+  }
+  std::sort(labelled.begin(), labelled.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  const size_t n = labelled.size();
+  size_t n_pos = 0;
+  double rank_sum_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && labelled[j].first == labelled[i].first) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (labelled[k].second) {
+        ++n_pos;
+        rank_sum_pos += avg_rank;
+      }
+    }
+    i = j;
+  }
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  return (rank_sum_pos - static_cast<double>(n_pos) * static_cast<double>(n_pos + 1) / 2.0) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::vector<ThresholdPoint> ThresholdSweep(const std::vector<ScoredPair>& scored,
+                                           const GroundTruth& truth) {
+  // Sort descending; walking down the list adds pairs to the predicted set.
+  std::vector<ScoredPair> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(), [](const ScoredPair& x, const ScoredPair& y) {
+    return x.score > y.score;
+  });
+  std::vector<ThresholdPoint> points;
+  size_t tp = 0, fp = 0;
+  const size_t total_matches = truth.num_matches();
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) {
+      if (truth.IsMatch(sorted[j].a, sorted[j].b)) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++j;
+    }
+    ThresholdPoint point;
+    point.threshold = sorted[i].score;
+    point.precision = tp + fp == 0 ? 0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    point.recall = total_matches == 0
+                       ? 1.0
+                       : static_cast<double>(tp) / static_cast<double>(total_matches);
+    point.f1 = point.precision + point.recall == 0
+                   ? 0
+                   : 2 * point.precision * point.recall / (point.precision + point.recall);
+    points.push_back(point);
+    i = j;
+  }
+  std::reverse(points.begin(), points.end());  // ascending threshold
+  return points;
+}
+
+}  // namespace pprl

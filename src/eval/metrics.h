@@ -1,0 +1,78 @@
+#ifndef PPRL_EVAL_METRICS_H_
+#define PPRL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/record.h"
+#include "blocking/blocking.h"
+#include "linkage/comparison.h"
+
+namespace pprl {
+
+/// Ground truth of a two-database linkage: the set of true (a, b) index
+/// pairs, built from generator entity ids. Only the evaluation layer sees
+/// this.
+class GroundTruth {
+ public:
+  /// Records with equal entity_id across `a` and `b` form the true matches.
+  GroundTruth(const Database& a, const Database& b);
+
+  bool IsMatch(uint32_t a_index, uint32_t b_index) const;
+  size_t num_matches() const { return pairs_.size(); }
+  const std::set<std::pair<uint32_t, uint32_t>>& pairs() const { return pairs_; }
+
+ private:
+  std::set<std::pair<uint32_t, uint32_t>> pairs_;
+};
+
+/// Confusion counts of predicted pairs against ground truth.
+struct ConfusionCounts {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Compares a predicted match set with the truth (correctness, §3.3).
+ConfusionCounts EvaluateMatches(const std::vector<ScoredPair>& predicted,
+                                const GroundTruth& truth);
+
+/// Blocking-quality metrics (§3.3 efficiency/quality trade-off):
+struct BlockingQuality {
+  /// 1 - candidates / (|A| * |B|); higher = fewer comparisons.
+  double reduction_ratio = 0;
+  /// Fraction of true matches surviving blocking (blocking recall).
+  double pairs_completeness = 0;
+  /// Fraction of candidates that are true matches (blocking precision).
+  double pairs_quality = 0;
+  size_t num_candidates = 0;
+};
+BlockingQuality EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                                 const GroundTruth& truth, size_t size_a, size_t size_b);
+
+/// Area under the ROC curve of scored pairs against the truth. Uses the
+/// rank statistic (equivalent to the Mann-Whitney U), ties counted half.
+double AreaUnderRoc(const std::vector<ScoredPair>& scored, const GroundTruth& truth);
+
+/// Precision/recall/F1 at every distinct threshold of `scored`, for
+/// threshold-sweep plots. Entries are sorted by ascending threshold.
+/// False negatives at each threshold count all true matches not predicted,
+/// including those never scored.
+struct ThresholdPoint {
+  double threshold = 0;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+std::vector<ThresholdPoint> ThresholdSweep(const std::vector<ScoredPair>& scored,
+                                           const GroundTruth& truth);
+
+}  // namespace pprl
+
+#endif  // PPRL_EVAL_METRICS_H_

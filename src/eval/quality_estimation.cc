@@ -1,0 +1,132 @@
+#include "eval/quality_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pprl {
+
+namespace {
+
+double NormalPdf(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return std::exp(-z * z / 2) / (stddev * std::sqrt(2 * M_PI));
+}
+
+double NormalCdf(double x, double mean, double stddev) {
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+}
+
+}  // namespace
+
+double ScoreMixtureModel::MatchPosterior(double score) const {
+  const double pm = match_weight * NormalPdf(score, match_mean, match_stddev);
+  const double pn =
+      (1 - match_weight) * NormalPdf(score, non_match_mean, non_match_stddev);
+  if (pm + pn <= 0) return score > non_match_mean ? 1.0 : 0.0;
+  return pm / (pm + pn);
+}
+
+double ScoreMixtureModel::EstimatedPrecision(double threshold) const {
+  // P(match AND score >= t) / P(score >= t).
+  const double match_above =
+      match_weight * (1 - NormalCdf(threshold, match_mean, match_stddev));
+  const double non_above =
+      (1 - match_weight) * (1 - NormalCdf(threshold, non_match_mean, non_match_stddev));
+  const double total = match_above + non_above;
+  if (total <= 0) return 0;
+  return match_above / total;
+}
+
+double ScoreMixtureModel::EstimatedRecall(double threshold) const {
+  return 1 - NormalCdf(threshold, match_mean, match_stddev);
+}
+
+double ScoreMixtureModel::SuggestThreshold() const {
+  double best_threshold = match_mean;
+  double best_f1 = -1;
+  for (double t = 0.0; t <= 1.0; t += 0.005) {
+    const double p = EstimatedPrecision(t);
+    const double r = EstimatedRecall(t);
+    if (p + r <= 0) continue;
+    const double f1 = 2 * p * r / (p + r);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+Result<ScoreMixtureModel> FitScoreMixture(const std::vector<double>& scores,
+                                          size_t em_iterations) {
+  if (scores.size() < 10) {
+    return Status::InvalidArgument("need at least 10 scores to fit the mixture");
+  }
+  if (StdDev(scores) < 1e-9) {
+    return Status::InvalidArgument("scores have no spread; nothing to separate");
+  }
+
+  ScoreMixtureModel model;
+  // Initialise the components at the 10th/90th percentiles.
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  model.non_match_mean = sorted[sorted.size() / 10];
+  model.match_mean = sorted[sorted.size() - 1 - sorted.size() / 10];
+  if (model.match_mean - model.non_match_mean < 0.05) {
+    model.match_mean = model.non_match_mean + 0.05;
+  }
+  model.match_stddev = model.non_match_stddev = std::max(0.02, StdDev(scores) / 2);
+  model.match_weight = 0.05;
+  constexpr double kMinStd = 1e-3;
+  constexpr double kMinWeight = 1e-4;
+
+  std::vector<double> resp(scores.size());
+  for (size_t iter = 0; iter < em_iterations; ++iter) {
+    // E-step.
+    for (size_t i = 0; i < scores.size(); ++i) {
+      resp[i] = model.MatchPosterior(scores[i]);
+    }
+    // M-step.
+    double w = 0, mean_m = 0, mean_n = 0, wn = 0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      w += resp[i];
+      wn += 1 - resp[i];
+      mean_m += resp[i] * scores[i];
+      mean_n += (1 - resp[i]) * scores[i];
+    }
+    if (w < kMinWeight || wn < kMinWeight) break;
+    mean_m /= w;
+    mean_n /= wn;
+    double var_m = 0, var_n = 0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      var_m += resp[i] * (scores[i] - mean_m) * (scores[i] - mean_m);
+      var_n += (1 - resp[i]) * (scores[i] - mean_n) * (scores[i] - mean_n);
+    }
+    model.match_weight = std::clamp(w / static_cast<double>(scores.size()),
+                                    kMinWeight, 1 - kMinWeight);
+    // Keep the identification "match component = the higher-mean one".
+    if (mean_m < mean_n) {
+      std::swap(mean_m, mean_n);
+      std::swap(var_m, var_n);
+      std::swap(w, wn);
+      model.match_weight = 1 - model.match_weight;
+    }
+    model.match_mean = mean_m;
+    model.non_match_mean = mean_n;
+    model.match_stddev = std::max(kMinStd, std::sqrt(var_m / w));
+    model.non_match_stddev = std::max(kMinStd, std::sqrt(var_n / wn));
+  }
+  return model;
+}
+
+Result<ScoreMixtureModel> FitScoreMixture(const std::vector<ScoredPair>& pairs,
+                                          size_t em_iterations) {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const ScoredPair& pair : pairs) scores.push_back(pair.score);
+  return FitScoreMixture(scores, em_iterations);
+}
+
+}  // namespace pprl

@@ -1,0 +1,56 @@
+#ifndef PPRL_EVAL_QUALITY_ESTIMATION_H_
+#define PPRL_EVAL_QUALITY_ESTIMATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linkage/comparison.h"
+
+namespace pprl {
+
+/// Ground-truth-free linkage-quality estimation (survey §5.2: "assessing
+/// the linkage quality in a PPRL project is very challenging because it is
+/// generally not possible to inspect linked records"; heuristic measures
+/// "require more research").
+///
+/// The estimator fits a two-component Gaussian mixture to the similarity
+/// scores of the compared pairs via EM: one component for non-matches (low
+/// scores, the overwhelming majority) and one for matches (high scores).
+/// From the fitted mixture it predicts, for any threshold, the expected
+/// precision/recall WITHOUT any labels — the heuristic evaluation the
+/// survey asks for.
+struct ScoreMixtureModel {
+  double match_weight = 0.05;  ///< mixture proportion of the match component
+  double match_mean = 0.9;
+  double match_stddev = 0.05;
+  double non_match_mean = 0.3;
+  double non_match_stddev = 0.1;
+
+  /// Probability a pair with this score is a match (posterior).
+  double MatchPosterior(double score) const;
+
+  /// Estimated precision of classifying at `threshold`.
+  double EstimatedPrecision(double threshold) const;
+
+  /// Estimated recall (fraction of the match component above `threshold`).
+  double EstimatedRecall(double threshold) const;
+
+  /// Threshold maximising the estimated F1.
+  double SuggestThreshold() const;
+};
+
+/// Fits the mixture to `scores`. Feed it the similarity scores of the
+/// *plausible candidate* pairs (e.g. everything above a loose floor like
+/// 0.5), not the full quadratic pair set: against millions of unrelated
+/// pairs the tiny match component is statistically invisible to a
+/// two-component fit. Needs at least 10 scores with nonzero spread.
+Result<ScoreMixtureModel> FitScoreMixture(const std::vector<double>& scores,
+                                          size_t em_iterations = 100);
+
+/// Convenience: extracts scores from compared pairs and fits.
+Result<ScoreMixtureModel> FitScoreMixture(const std::vector<ScoredPair>& pairs,
+                                          size_t em_iterations = 100);
+
+}  // namespace pprl
+
+#endif  // PPRL_EVAL_QUALITY_ESTIMATION_H_

@@ -1,0 +1,143 @@
+#include "filtering/ppjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pprl {
+
+double DiceToJaccardThreshold(double dice_threshold) {
+  if (dice_threshold >= 2.0) return 1.0;
+  return dice_threshold / (2.0 - dice_threshold);
+}
+
+CardinalityRange JaccardLengthBounds(size_t cardinality, double jaccard_threshold) {
+  if (jaccard_threshold <= 0) {
+    return {0, static_cast<size_t>(-1)};
+  }
+  const double c = static_cast<double>(cardinality);
+  return {static_cast<size_t>(std::ceil(c * jaccard_threshold)),
+          static_cast<size_t>(std::floor(c / jaccard_threshold))};
+}
+
+namespace {
+
+/// Prefix length for Jaccard threshold t on a record with `size` tokens:
+/// size - ceil(t * size) + 1 (at least one shared token must fall in it).
+size_t PrefixLength(size_t size, double t) {
+  if (size == 0) return 0;
+  const size_t required =
+      static_cast<size_t>(std::ceil(t * static_cast<double>(size)));
+  return size - std::min(size, required) + 1;
+}
+
+}  // namespace
+
+PpjoinIndex::PpjoinIndex(std::vector<BitVector> b_filters, double dice_threshold)
+    : jaccard_threshold_(DiceToJaccardThreshold(dice_threshold)),
+      b_filters_(std::move(b_filters)) {
+  b_tokens_.reserve(b_filters_.size());
+  for (const BitVector& bf : b_filters_) {
+    b_tokens_.push_back(bf.SetPositions());
+    num_tokens_ = std::max(num_tokens_, bf.size());
+  }
+
+  // Canonical token order: ascending document frequency over the indexed
+  // collection, so prefixes hold the rarest tokens. This is what makes the
+  // prefix filter selective — without it, dense Bloom filters would share
+  // prefix tokens with almost every record.
+  std::vector<uint32_t> df(num_tokens_, 0);
+  for (const auto& tokens : b_tokens_) {
+    for (uint32_t t : tokens) ++df[t];
+  }
+  std::vector<uint32_t> order(num_tokens_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&df](uint32_t x, uint32_t y) {
+    return df[x] != df[y] ? df[x] < df[y] : x < y;
+  });
+  token_rank_.assign(num_tokens_, 0);
+  for (uint32_t r = 0; r < order.size(); ++r) token_rank_[order[r]] = r;
+
+  for (auto& tokens : b_tokens_) SortByRank(tokens);
+
+  inverted_.resize(num_tokens_);
+  for (uint32_t r = 0; r < b_tokens_.size(); ++r) {
+    const auto& tokens = b_tokens_[r];
+    const size_t prefix = PrefixLength(tokens.size(), jaccard_threshold_);
+    for (uint32_t p = 0; p < prefix && p < tokens.size(); ++p) {
+      inverted_[tokens[p]].push_back({r, p});
+    }
+  }
+}
+
+void PpjoinIndex::SortByRank(std::vector<uint32_t>& tokens) const {
+  // Tokens outside the indexed universe (probe-only positions) are rarest of
+  // all: they can never collide, so they sort to the front of the prefix.
+  auto rank = [this](uint32_t t) -> uint64_t {
+    return t < token_rank_.size() ? static_cast<uint64_t>(token_rank_[t]) + num_tokens_
+                                  : t;
+  };
+  std::sort(tokens.begin(), tokens.end(),
+            [&rank](uint32_t x, uint32_t y) { return rank(x) < rank(y); });
+}
+
+std::vector<PpjoinIndex::Match> PpjoinIndex::Join(
+    const std::vector<BitVector>& a_filters) const {
+  stats_ = JoinStats{};
+  std::vector<Match> matches;
+  std::vector<uint32_t> candidate_overlap(b_filters_.size(), 0);
+  std::vector<uint32_t> touched;
+
+  for (uint32_t a_idx = 0; a_idx < a_filters.size(); ++a_idx) {
+    std::vector<uint32_t> a_tokens = a_filters[a_idx].SetPositions();
+    SortByRank(a_tokens);
+    const size_t a_size = a_tokens.size();
+    const CardinalityRange bounds = JaccardLengthBounds(a_size, jaccard_threshold_);
+    const size_t a_prefix = PrefixLength(a_size, jaccard_threshold_);
+
+    touched.clear();
+    for (size_t p = 0; p < a_prefix && p < a_tokens.size(); ++p) {
+      const uint32_t token = a_tokens[p];
+      if (token >= inverted_.size()) continue;
+      for (const PostingEntry& entry : inverted_[token]) {
+        const size_t b_size = b_tokens_[entry.record].size();
+        if (b_size < bounds.min_count || b_size > bounds.max_count) {
+          ++stats_.length_pruned;
+          continue;
+        }
+        // Position filter: tokens left after this position in either record
+        // bound the final overlap. required = ceil(t/(1+t) * (|a|+|b|)).
+        const double t = jaccard_threshold_;
+        const size_t required = static_cast<size_t>(
+            std::ceil(t / (1.0 + t) * static_cast<double>(a_size + b_size)));
+        const size_t remaining =
+            1 + std::min(a_size - p - 1, b_size - entry.prefix_pos - 1);
+        if (candidate_overlap[entry.record] == 0 && remaining < required) {
+          ++stats_.position_pruned;
+          continue;
+        }
+        if (candidate_overlap[entry.record] == 0) touched.push_back(entry.record);
+        ++candidate_overlap[entry.record];
+      }
+    }
+    stats_.prefix_candidates += touched.size();
+
+    for (uint32_t b_idx : touched) {
+      candidate_overlap[b_idx] = 0;
+      ++stats_.verified;
+      const size_t inter = a_filters[a_idx].AndCount(b_filters_[b_idx]);
+      const size_t total = a_size + b_tokens_[b_idx].size();
+      if (total == 0) continue;
+      const double dice = 2.0 * static_cast<double>(inter) / static_cast<double>(total);
+      const double jaccard =
+          static_cast<double>(inter) / static_cast<double>(total - inter);
+      if (jaccard + 1e-12 >= jaccard_threshold_) {
+        matches.push_back({a_idx, b_idx, dice});
+        ++stats_.matches;
+      }
+    }
+  }
+  return matches;
+}
+
+}  // namespace pprl

@@ -1,0 +1,78 @@
+#ifndef PPRL_FILTERING_PPJOIN_H_
+#define PPRL_FILTERING_PPJOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "blocking/blocking.h"
+
+namespace pprl {
+
+/// Threshold-aware filtering for Bloom-filter similarity joins
+/// (survey §3.4 "Filtering"; PPJoin for PPRL, Sehili et al. [34]).
+///
+/// All filters are *lossless* for the chosen threshold: a pair they prune
+/// provably cannot reach it. Dice thresholds are internally converted to the
+/// equivalent Jaccard threshold t_j = t_d / (2 - t_d).
+
+/// Converts a Dice threshold to the equivalent Jaccard threshold.
+double DiceToJaccardThreshold(double dice_threshold);
+
+/// Length filter: for Jaccard >= t, the partner's cardinality must lie in
+/// [ceil(t * c), floor(c / t)] where c is this record's cardinality.
+struct CardinalityRange {
+  size_t min_count = 0;
+  size_t max_count = 0;
+};
+CardinalityRange JaccardLengthBounds(size_t cardinality, double jaccard_threshold);
+
+/// A similarity self-/RS-join over Bloom filters with length, prefix, and
+/// position filtering, returning exactly the pairs whose Dice similarity
+/// reaches `dice_threshold`.
+class PpjoinIndex {
+ public:
+  /// Indexes database B's filters (copied in) for joins against probes from
+  /// A. `dice_threshold` in (0, 1].
+  PpjoinIndex(std::vector<BitVector> b_filters, double dice_threshold);
+
+  /// Pairs (a_index, b_index, dice) with dice >= threshold, for all probes.
+  struct Match {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    double dice = 0;
+  };
+  std::vector<Match> Join(const std::vector<BitVector>& a_filters) const;
+
+  /// Candidate statistics of the last Join (how much each filter pruned),
+  /// for the E4 benchmark.
+  struct JoinStats {
+    size_t length_pruned = 0;
+    size_t prefix_candidates = 0;
+    size_t position_pruned = 0;
+    size_t verified = 0;
+    size_t matches = 0;
+  };
+  const JoinStats& last_stats() const { return stats_; }
+
+ private:
+  struct PostingEntry {
+    uint32_t record = 0;
+    uint32_t prefix_pos = 0;  ///< index of this token within the record's sorted tokens
+  };
+
+  /// Sorts a token list into the canonical rarest-first order.
+  void SortByRank(std::vector<uint32_t>& tokens) const;
+
+  double jaccard_threshold_;
+  std::vector<BitVector> b_filters_;
+  std::vector<std::vector<uint32_t>> b_tokens_;       // tokens per record, rarest first
+  std::vector<uint32_t> token_rank_;                  // token -> frequency rank
+  std::vector<std::vector<PostingEntry>> inverted_;   // token -> postings
+  size_t num_tokens_ = 0;
+  mutable JoinStats stats_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_FILTERING_PPJOIN_H_

@@ -1,0 +1,88 @@
+#ifndef PPRL_LINKAGE_CLUSTERING_H_
+#define PPRL_LINKAGE_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "linkage/comparison.h"
+
+namespace pprl {
+
+/// A record reference in a multi-database setting.
+struct RecordRef {
+  uint32_t database = 0;
+  uint32_t record = 0;
+
+  friend bool operator==(const RecordRef& x, const RecordRef& y) {
+    return x.database == y.database && x.record == y.record;
+  }
+  friend bool operator<(const RecordRef& x, const RecordRef& y) {
+    return x.database != y.database ? x.database < y.database : x.record < y.record;
+  }
+};
+
+/// A cluster of records believed to be the same entity.
+using Cluster = std::vector<RecordRef>;
+
+/// An edge between records of (possibly different) databases.
+struct MatchEdge {
+  RecordRef x;
+  RecordRef y;
+  double score = 0;
+};
+
+/// Connected-components clustering over match edges: the transitive closure
+/// of pairwise matches. Fast but merges over-eagerly on chains.
+std::vector<Cluster> ConnectedComponents(const std::vector<MatchEdge>& edges);
+
+/// Star clustering: sorts records by how strongly they are connected, makes
+/// the strongest unassigned record a cluster centre, assigns its unassigned
+/// neighbours to it. Avoids the chain-merging of connected components.
+std::vector<Cluster> StarClustering(const std::vector<MatchEdge>& edges);
+
+/// Incremental clustering for multi-party PPRL [43]: records arrive one at a
+/// time (velocity!) and are compared against existing cluster
+/// representatives only; a record joins the best cluster above `threshold`
+/// or founds a new one. The representative is the bitwise majority of the
+/// cluster's encodings.
+class IncrementalClusterer {
+ public:
+  /// `similarity` compares an encoding against a cluster representative.
+  IncrementalClusterer(double threshold, PairSimilarityFunction similarity);
+
+  /// Inserts one encoded record; returns the cluster index it joined.
+  size_t Insert(const RecordRef& ref, const BitVector& encoding);
+
+  /// A cluster may only contain one record per database when
+  /// `one_per_database` is set (entities appear at most once per source).
+  void set_one_per_database(bool value) { one_per_database_ = value; }
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// Number of representative comparisons performed so far (the metric the
+  /// E9 benchmark reports against batch re-linkage).
+  size_t comparisons() const { return comparisons_; }
+
+ private:
+  void UpdateRepresentative(size_t cluster_index, const BitVector& encoding);
+
+  double threshold_;
+  PairSimilarityFunction similarity_;
+  bool one_per_database_ = false;
+  std::vector<Cluster> clusters_;
+  std::vector<BitVector> representatives_;
+  /// Per-cluster, per-position counts of one-bits, for majority voting.
+  std::vector<std::vector<uint32_t>> bit_counts_;
+  size_t comparisons_ = 0;
+};
+
+/// Subset matching across p databases [43]: returns the clusters that
+/// contain records from at least `min_databases` distinct databases (e.g.
+/// "patients seen in at least 3 of 5 hospitals").
+std::vector<Cluster> ClustersInAtLeast(const std::vector<Cluster>& clusters,
+                                       size_t min_databases);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_CLUSTERING_H_

@@ -1,0 +1,70 @@
+#include "linkage/comparison.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace pprl {
+
+ComparisonEngine::ComparisonEngine(PairSimilarityFunction similarity)
+    : similarity_(std::move(similarity)) {}
+
+std::vector<ScoredPair> ComparisonEngine::Compare(
+    const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
+    const std::vector<CandidatePair>& candidates, double min_score) const {
+  std::vector<ScoredPair> out;
+  out.reserve(candidates.size());
+  for (const CandidatePair& pair : candidates) {
+    const double score = similarity_(a_filters[pair.a], b_filters[pair.b]);
+    if (score >= min_score) out.push_back({pair.a, pair.b, score});
+  }
+  last_comparisons_ = candidates.size();
+  return out;
+}
+
+std::vector<ScoredPair> ComparisonEngine::CompareParallel(
+    const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
+    const std::vector<CandidatePair>& candidates, double min_score,
+    size_t num_threads) const {
+  std::vector<ScoredPair> scored(candidates.size());
+  std::vector<uint8_t> keep(candidates.size(), 0);
+  ThreadPool pool(num_threads);
+  ParallelFor(pool, 0, candidates.size(), [&](size_t i) {
+    const CandidatePair& pair = candidates[i];
+    const double score = similarity_(a_filters[pair.a], b_filters[pair.b]);
+    scored[i] = {pair.a, pair.b, score};
+    keep[i] = score >= min_score ? 1 : 0;
+  });
+  std::vector<ScoredPair> out;
+  out.reserve(candidates.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    if (keep[i]) out.push_back(scored[i]);
+  }
+  last_comparisons_ = candidates.size();
+  return out;
+}
+
+std::vector<FieldwiseScoredPair> CompareFieldwise(
+    const std::vector<std::vector<BitVector>>& a_field_filters,
+    const std::vector<std::vector<BitVector>>& b_field_filters,
+    const std::vector<CandidatePair>& candidates,
+    const PairSimilarityFunction& similarity) {
+  std::vector<FieldwiseScoredPair> out;
+  out.reserve(candidates.size());
+  const size_t num_fields = a_field_filters.size();
+  for (const CandidatePair& pair : candidates) {
+    FieldwiseScoredPair fsp;
+    fsp.a = pair.a;
+    fsp.b = pair.b;
+    fsp.field_scores.reserve(num_fields);
+    for (size_t f = 0; f < num_fields; ++f) {
+      fsp.field_scores.push_back(
+          similarity(a_field_filters[f][pair.a], b_field_filters[f][pair.b]));
+    }
+    out.push_back(std::move(fsp));
+  }
+  return out;
+}
+
+}  // namespace pprl

@@ -1,0 +1,76 @@
+#ifndef PPRL_LINKAGE_COMPARISON_H_
+#define PPRL_LINKAGE_COMPARISON_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "blocking/blocking.h"
+
+namespace pprl {
+
+/// A compared record pair with its similarity score.
+struct ScoredPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double score = 0;
+
+  friend bool operator==(const ScoredPair& x, const ScoredPair& y) {
+    return x.a == y.a && x.b == y.b && x.score == y.score;
+  }
+};
+
+/// Similarity of two encoded records (e.g. Dice of Bloom filters).
+using PairSimilarityFunction = std::function<double(const BitVector&, const BitVector&)>;
+
+/// The comparison step of the PPRL pipeline: evaluates the similarity
+/// function on every candidate pair. This is the bottleneck the survey's
+/// complexity-reduction technologies exist to shrink, so the engine counts
+/// exactly how many comparisons it performs.
+class ComparisonEngine {
+ public:
+  explicit ComparisonEngine(PairSimilarityFunction similarity);
+
+  /// Scores all candidate pairs; `min_score` drops pairs below it early
+  /// (pass 0 to keep everything).
+  std::vector<ScoredPair> Compare(const std::vector<BitVector>& a_filters,
+                                  const std::vector<BitVector>& b_filters,
+                                  const std::vector<CandidatePair>& candidates,
+                                  double min_score = 0) const;
+
+  /// Multi-threaded variant for the parallel-PPRL experiments; results are
+  /// in candidate order, identical to Compare().
+  std::vector<ScoredPair> CompareParallel(const std::vector<BitVector>& a_filters,
+                                          const std::vector<BitVector>& b_filters,
+                                          const std::vector<CandidatePair>& candidates,
+                                          double min_score, size_t num_threads) const;
+
+  /// Comparisons performed by the last Compare*/ call.
+  size_t last_comparison_count() const { return last_comparisons_; }
+
+ private:
+  PairSimilarityFunction similarity_;
+  mutable size_t last_comparisons_ = 0;
+};
+
+/// Per-field similarity vectors for multi-attribute classifiers: one
+/// encoded filter per field per record.
+struct FieldwiseScoredPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  std::vector<double> field_scores;
+};
+
+/// Compares candidate pairs field by field (field-level Bloom filters),
+/// producing the similarity vectors that rule-based, Fellegi-Sunter and ML
+/// classifiers consume.
+std::vector<FieldwiseScoredPair> CompareFieldwise(
+    const std::vector<std::vector<BitVector>>& a_field_filters,
+    const std::vector<std::vector<BitVector>>& b_field_filters,
+    const std::vector<CandidatePair>& candidates,
+    const PairSimilarityFunction& similarity);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_COMPARISON_H_

@@ -1,0 +1,137 @@
+#include "linkage/interactive_review.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace pprl {
+
+namespace {
+
+/// Pads both values to a common length and returns the shared random order
+/// in which positions are revealed.
+struct AlignedValues {
+  std::string a;
+  std::string b;
+  std::vector<uint32_t> order;
+};
+
+AlignedValues Align(const std::string& a, const std::string& b, uint64_t seed) {
+  AlignedValues out;
+  const size_t len = std::max(a.size(), b.size());
+  out.a = a + std::string(len - a.size(), '\x04');
+  out.b = b + std::string(len - b.size(), '\x04');
+  out.order.resize(len);
+  std::iota(out.order.begin(), out.order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(out.order);
+  return out;
+}
+
+}  // namespace
+
+MaskedPair MaskPair(const std::string& a, const std::string& b, size_t revealed,
+                    uint64_t order_seed) {
+  const AlignedValues aligned = Align(a, b, order_seed);
+  MaskedPair out;
+  out.a.assign(aligned.a.size(), '*');
+  out.b.assign(aligned.b.size(), '*');
+  for (size_t i = 0; i < revealed && i < aligned.order.size(); ++i) {
+    const uint32_t pos = aligned.order[i];
+    out.a[pos] = aligned.a[pos] == '\x04' ? '_' : aligned.a[pos];
+    out.b[pos] = aligned.b[pos] == '\x04' ? '_' : aligned.b[pos];
+  }
+  // Trim the padding back to each value's true length for display.
+  out.a.resize(a.size());
+  out.b.resize(b.size());
+  return out;
+}
+
+Result<ReviewOutcome> ReviewPair(const Schema& schema, const Record& a, const Record& b,
+                                 const std::vector<std::string>& fields,
+                                 const ReviewPolicy& policy, uint64_t order_seed) {
+  if (fields.empty()) return Status::InvalidArgument("review needs at least one field");
+  if (policy.max_rounds == 0) {
+    return Status::InvalidArgument("max_rounds must be > 0");
+  }
+
+  // Concatenate the reviewed fields (normalised), as the reviewer sees them.
+  std::string va, vb;
+  for (const std::string& field : fields) {
+    const int idx = schema.FieldIndex(field);
+    if (idx < 0) return Status::InvalidArgument("unknown review field: " + field);
+    if (static_cast<size_t>(idx) >= a.values.size() ||
+        static_cast<size_t>(idx) >= b.values.size()) {
+      return Status::InvalidArgument("record lacks value for field: " + field);
+    }
+    va += NormalizeQid(a.values[static_cast<size_t>(idx)]) + "\x1f";
+    vb += NormalizeQid(b.values[static_cast<size_t>(idx)]) + "\x1f";
+  }
+
+  const AlignedValues aligned = Align(va, vb, order_seed);
+  const size_t total = aligned.order.size();
+  ReviewOutcome outcome;
+  if (total == 0) {
+    outcome.decided = true;
+    outcome.is_match = true;  // both empty
+    return outcome;
+  }
+
+  const size_t per_round = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(policy.reveal_fraction_per_round *
+                                       static_cast<double>(total))));
+  size_t revealed = 0;
+  size_t agree = 0;
+  for (size_t round = 1; round <= policy.max_rounds && revealed < total; ++round) {
+    const size_t new_end = std::min(total, revealed + per_round);
+    for (size_t i = revealed; i < new_end; ++i) {
+      const uint32_t pos = aligned.order[i];
+      if (aligned.a[pos] == aligned.b[pos]) ++agree;
+    }
+    revealed = new_end;
+    outcome.rounds_used = round;
+    const double agreement =
+        static_cast<double>(agree) / static_cast<double>(revealed);
+    if (agreement >= policy.decide_margin) {
+      outcome.decided = true;
+      outcome.is_match = true;
+      break;
+    }
+    if (agreement <= 1.0 - policy.decide_margin) {
+      outcome.decided = true;
+      outcome.is_match = false;
+      break;
+    }
+  }
+  outcome.fraction_revealed =
+      static_cast<double>(revealed) / static_cast<double>(total);
+  return outcome;
+}
+
+Result<BatchReviewResult> ReviewPairs(
+    const Schema& schema,
+    const std::vector<std::pair<const Record*, const Record*>>& pairs,
+    const std::vector<std::string>& fields, const ReviewPolicy& policy,
+    uint64_t order_seed) {
+  BatchReviewResult result;
+  result.outcomes.reserve(pairs.size());
+  double total_fraction = 0;
+  uint64_t pair_seed = order_seed;
+  for (const auto& [a, b] : pairs) {
+    // Each pair gets its own disclosure order so revealed positions of one
+    // pair say nothing about another.
+    pair_seed = pair_seed * 6364136223846793005ull + 1442695040888963407ull;
+    auto outcome = ReviewPair(schema, *a, *b, fields, policy, pair_seed);
+    if (!outcome.ok()) return outcome.status();
+    total_fraction += outcome->fraction_revealed;
+    if (!outcome->decided) ++result.undecided;
+    result.outcomes.push_back(std::move(outcome).value());
+  }
+  result.mean_fraction_revealed =
+      pairs.empty() ? 0 : total_fraction / static_cast<double>(pairs.size());
+  return result;
+}
+
+}  // namespace pprl

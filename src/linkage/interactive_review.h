@@ -1,0 +1,76 @@
+#ifndef PPRL_LINKAGE_INTERACTIVE_REVIEW_H_
+#define PPRL_LINKAGE_INTERACTIVE_REVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/record.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Interactive PPRL with incremental value disclosure, after Kum et al.
+/// [22] (survey §5.2): possible matches that automated classification
+/// cannot decide are sent to a human reviewer, but instead of the raw
+/// values the reviewer sees *masked* values whose characters are revealed a
+/// few at a time — only as many as needed to decide — so the privacy
+/// compromise is metered and minimal.
+
+/// Governs how much is revealed per round and when to stop.
+struct ReviewPolicy {
+  /// Fraction of characters newly revealed per round (of each value).
+  double reveal_fraction_per_round = 0.2;
+  size_t max_rounds = 5;
+  /// Decide "match" when the agreement rate over revealed characters is at
+  /// least this, and "non-match" when at most (1 - it).
+  double decide_margin = 0.85;
+};
+
+/// One pair's review result.
+struct ReviewOutcome {
+  bool decided = false;
+  bool is_match = false;
+  size_t rounds_used = 0;
+  /// Privacy cost: fraction of the pair's characters that were disclosed.
+  double fraction_revealed = 0;
+};
+
+/// A masked rendering of two values with the same revealed positions, as
+/// the reviewer would see them ('*' hides a character).
+struct MaskedPair {
+  std::string a;
+  std::string b;
+};
+
+/// Produces the masked view of `a` and `b` with the first `revealed`
+/// positions of the shared random order disclosed (exposed for tests/UIs).
+MaskedPair MaskPair(const std::string& a, const std::string& b, size_t revealed,
+                    uint64_t order_seed);
+
+/// Reviews one candidate pair by incremental disclosure. The decision is
+/// made automatically from the agreement rate over revealed characters —
+/// standing in for the human reviewer of [22] — but the disclosure
+/// schedule, metering, and outcome layout match the interactive protocol.
+///
+/// `fields` lists the schema fields shown to the reviewer. Records must
+/// carry values for all of them.
+Result<ReviewOutcome> ReviewPair(const Schema& schema, const Record& a, const Record& b,
+                                 const std::vector<std::string>& fields,
+                                 const ReviewPolicy& policy, uint64_t order_seed);
+
+/// Batch review of many pairs; returns outcomes plus the total privacy
+/// budget consumed (mean fraction revealed).
+struct BatchReviewResult {
+  std::vector<ReviewOutcome> outcomes;
+  double mean_fraction_revealed = 0;
+  size_t undecided = 0;
+};
+Result<BatchReviewResult> ReviewPairs(
+    const Schema& schema, const std::vector<std::pair<const Record*, const Record*>>& pairs,
+    const std::vector<std::string>& fields, const ReviewPolicy& policy,
+    uint64_t order_seed);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_INTERACTIVE_REVIEW_H_

@@ -1,0 +1,112 @@
+#include "linkage/matching.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pprl {
+
+std::vector<ScoredPair> GreedyOneToOne(std::vector<ScoredPair> scored) {
+  std::sort(scored.begin(), scored.end(), [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  std::unordered_set<uint32_t> used_a, used_b;
+  std::vector<ScoredPair> out;
+  for (const ScoredPair& pair : scored) {
+    if (used_a.count(pair.a) || used_b.count(pair.b)) continue;
+    used_a.insert(pair.a);
+    used_b.insert(pair.b);
+    out.push_back(pair);
+  }
+  return out;
+}
+
+std::vector<ScoredPair> HungarianOneToOne(const std::vector<ScoredPair>& scored) {
+  if (scored.empty()) return {};
+  // Compact the record ids that actually occur.
+  std::unordered_map<uint32_t, size_t> a_ids, b_ids;
+  std::vector<uint32_t> a_rev, b_rev;
+  for (const ScoredPair& pair : scored) {
+    if (a_ids.emplace(pair.a, a_rev.size()).second) a_rev.push_back(pair.a);
+    if (b_ids.emplace(pair.b, b_rev.size()).second) b_rev.push_back(pair.b);
+  }
+  const size_t n = std::max(a_rev.size(), b_rev.size());
+  // Maximise total similarity == minimise (1 - score). A non-edge costs the
+  // same as a zero-score edge so the assignment maximises raw total score
+  // with no hidden bias toward higher cardinality.
+  constexpr double kMissingCost = 1.0;
+  std::vector<std::vector<double>> cost(n + 1,
+                                        std::vector<double>(n + 1, kMissingCost));
+  for (const ScoredPair& pair : scored) {
+    double& cell = cost[a_ids[pair.a] + 1][b_ids[pair.b] + 1];
+    cell = std::min(cell, 1.0 - pair.score);  // in [0, 1], below kMissingCost
+  }
+
+  // Hungarian algorithm with potentials (1-indexed, square matrix).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0), v(n + 1, 0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0][j] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<ScoredPair> out;
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = p[j];
+    if (i == 0 || i > a_rev.size() || j > b_rev.size()) continue;
+    const double c = cost[i][j];
+    if (c >= kMissingCost - 1e-12) continue;  // padding or zero-score edge
+    out.push_back({a_rev[i - 1], b_rev[j - 1], 1.0 - c});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredPair& x, const ScoredPair& y) {
+    return x.score > y.score;
+  });
+  return out;
+}
+
+std::vector<ScoredPair> ManyToMany(std::vector<ScoredPair> scored) {
+  std::sort(scored.begin(), scored.end(), [](const ScoredPair& x, const ScoredPair& y) {
+    return x.score > y.score;
+  });
+  return scored;
+}
+
+}  // namespace pprl

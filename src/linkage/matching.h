@@ -1,0 +1,31 @@
+#ifndef PPRL_LINKAGE_MATCHING_H_
+#define PPRL_LINKAGE_MATCHING_H_
+
+#include <vector>
+
+#include "linkage/comparison.h"
+
+namespace pprl {
+
+/// One-to-one matching (survey §3.4 "Matching"): when both databases are
+/// internally de-duplicated, each record may match at most one partner.
+
+/// Greedy one-to-one assignment: repeatedly takes the highest-scoring
+/// remaining pair whose endpoints are both free. Linearithmic and within a
+/// factor 2 of the optimal total weight.
+std::vector<ScoredPair> GreedyOneToOne(std::vector<ScoredPair> scored);
+
+/// Optimal one-to-one assignment by total score via the Hungarian algorithm
+/// on the bipartite graph induced by `scored` (missing edges are
+/// impossible). Intended for block-sized inputs — cost is
+/// O((n_a + n_b)^3) on the records that occur in `scored`.
+std::vector<ScoredPair> HungarianOneToOne(const std::vector<ScoredPair>& scored);
+
+/// Many-to-many matching keeps every pair (databases with internal
+/// duplicates). Provided for symmetry; simply returns its input sorted by
+/// descending score.
+std::vector<ScoredPair> ManyToMany(std::vector<ScoredPair> scored);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_MATCHING_H_

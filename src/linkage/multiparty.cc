@@ -1,0 +1,154 @@
+#include "linkage/multiparty.h"
+
+#include <cmath>
+
+namespace pprl {
+
+namespace {
+
+/// One party's masked contribution: its filter bits plus its mask share.
+/// Masks are generated pairwise so they cancel in the total: party i adds
+/// r_i and subtracts r_{i-1} (indices cyclic), all modulo 2^32.
+std::vector<uint32_t> MaskedContribution(const BitVector& filter, uint32_t own_mask_seed,
+                                         uint32_t prev_mask_seed, size_t length) {
+  std::vector<uint32_t> out(length, 0);
+  Rng own(own_mask_seed);
+  Rng prev(prev_mask_seed);
+  for (size_t i = 0; i < length; ++i) {
+    const uint32_t bit = i < filter.size() && filter.Get(i) ? 1 : 0;
+    const uint32_t own_mask = static_cast<uint32_t>(own.NextUint64());
+    const uint32_t prev_mask = static_cast<uint32_t>(prev.NextUint64());
+    out[i] = bit + own_mask - prev_mask;  // mod 2^32
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> SecureCbfAggregate(
+    const std::vector<const BitVector*>& party_filters, CommunicationPattern pattern,
+    Rng& rng, MultiPartyCost* cost) {
+  const size_t p = party_filters.size();
+  if (p < 3) {
+    return Status::InvalidArgument(
+        "secure CBF aggregation needs >= 3 parties for masking to hide inputs");
+  }
+  const size_t length = party_filters[0]->size();
+  for (const BitVector* f : party_filters) {
+    if (f->size() != length) {
+      return Status::InvalidArgument("all party filters must have equal length");
+    }
+  }
+
+  // Pairwise-cancelling mask seeds: party i shares seed s_i with party
+  // (i+1) mod p, set up once out of band.
+  std::vector<uint32_t> seeds(p);
+  for (auto& s : seeds) s = static_cast<uint32_t>(rng.NextUint64());
+
+  std::vector<std::vector<uint32_t>> contributions(p);
+  for (size_t i = 0; i < p; ++i) {
+    contributions[i] =
+        MaskedContribution(*party_filters[i], seeds[i], seeds[(i + p - 1) % p], length);
+  }
+
+  MultiPartyCost metered;
+  const size_t message_bytes = length * sizeof(uint32_t);
+  std::vector<uint32_t> total(length, 0);
+
+  switch (pattern) {
+    case CommunicationPattern::kStar:
+      // Every party sends its masked vector to the LU in one round.
+      for (size_t i = 0; i < p; ++i) {
+        for (size_t j = 0; j < length; ++j) total[j] += contributions[i][j];
+        ++metered.messages;
+        metered.bytes += message_bytes;
+      }
+      metered.rounds = 1;
+      break;
+    case CommunicationPattern::kSequential:
+      // Chain: party 0 -> 1 -> ... -> p-1; last party holds the sum.
+      for (size_t i = 0; i < p; ++i) {
+        for (size_t j = 0; j < length; ++j) total[j] += contributions[i][j];
+        if (i + 1 < p) {
+          ++metered.messages;
+          metered.bytes += message_bytes;
+        }
+      }
+      metered.rounds = p - 1;
+      break;
+    case CommunicationPattern::kRing:
+      // Chain plus the final hop back to the initiator.
+      for (size_t i = 0; i < p; ++i) {
+        for (size_t j = 0; j < length; ++j) total[j] += contributions[i][j];
+        ++metered.messages;
+        metered.bytes += message_bytes;
+      }
+      metered.rounds = p;
+      break;
+    case CommunicationPattern::kTree: {
+      // Pairwise reduction: ceil(log2 p) rounds, p-1 messages.
+      std::vector<std::vector<uint32_t>> level = std::move(contributions);
+      while (level.size() > 1) {
+        std::vector<std::vector<uint32_t>> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+          std::vector<uint32_t> merged(length);
+          for (size_t j = 0; j < length; ++j) merged[j] = level[i][j] + level[i + 1][j];
+          next.push_back(std::move(merged));
+          ++metered.messages;
+          metered.bytes += message_bytes;
+        }
+        if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+        level = std::move(next);
+        ++metered.rounds;
+      }
+      total = std::move(level[0]);
+      break;
+    }
+  }
+
+  if (cost != nullptr) *cost = metered;
+  return total;
+}
+
+Result<double> SecureMultiPartyDice(const std::vector<const BitVector*>& party_filters,
+                                    CommunicationPattern pattern, Rng& rng,
+                                    MultiPartyCost* cost) {
+  auto counts = SecureCbfAggregate(party_filters, pattern, rng, cost);
+  if (!counts.ok()) return counts.status();
+  const size_t p = party_filters.size();
+  uint64_t total = 0;
+  size_t common = 0;
+  for (uint32_t c : counts.value()) {
+    total += c;
+    if (c == p) ++common;
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(p) * static_cast<double>(common) /
+         static_cast<double>(total);
+}
+
+MultiPartyCost PatternCost(CommunicationPattern pattern, size_t p, size_t value_bytes) {
+  MultiPartyCost cost;
+  switch (pattern) {
+    case CommunicationPattern::kStar:
+      cost.messages = p;
+      cost.rounds = 1;
+      break;
+    case CommunicationPattern::kSequential:
+      cost.messages = p - 1;
+      cost.rounds = p - 1;
+      break;
+    case CommunicationPattern::kRing:
+      cost.messages = p;
+      cost.rounds = p;
+      break;
+    case CommunicationPattern::kTree:
+      cost.messages = p - 1;
+      cost.rounds = static_cast<size_t>(std::ceil(std::log2(static_cast<double>(p))));
+      break;
+  }
+  cost.bytes = cost.messages * value_bytes;
+  return cost;
+}
+
+}  // namespace pprl

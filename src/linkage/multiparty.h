@@ -1,0 +1,58 @@
+#ifndef PPRL_LINKAGE_MULTIPARTY_H_
+#define PPRL_LINKAGE_MULTIPARTY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// Communication patterns for multi-party PPRL (survey §3.4 "Advanced
+/// communication patterns", [42]).
+enum class CommunicationPattern {
+  /// Every party sends to a single linkage unit (star).
+  kStar,
+  /// Values travel party -> party in a chain, accumulating on the way.
+  kSequential,
+  /// A ring: like sequential but the result returns to the initiator.
+  kRing,
+  /// Pairwise tree reduction: ceil(log2 p) rounds.
+  kTree,
+};
+
+/// Cost metering of one multi-party aggregation.
+struct MultiPartyCost {
+  size_t messages = 0;
+  size_t bytes = 0;
+  size_t rounds = 0;
+};
+
+/// Securely aggregates the Bloom filters of p parties into a counting Bloom
+/// filter using additive masking (per-position secure summation): each party
+/// adds a random mask share that cancels over the full round, so no party or
+/// linkage unit sees another's individual filter — the CBF protocol of [42].
+///
+/// Returns the position-wise counts plus the communication cost of the
+/// chosen pattern. All filters must share one length; >= 3 parties required
+/// for the masking to hide anything.
+Result<std::vector<uint32_t>> SecureCbfAggregate(
+    const std::vector<const BitVector*>& party_filters, CommunicationPattern pattern,
+    Rng& rng, MultiPartyCost* cost);
+
+/// Multi-party Dice similarity computed from the securely aggregated CBF:
+///   p * |positions with count == p| / sum(counts).
+Result<double> SecureMultiPartyDice(const std::vector<const BitVector*>& party_filters,
+                                    CommunicationPattern pattern, Rng& rng,
+                                    MultiPartyCost* cost);
+
+/// Analytic message count of aggregating one value of `value_bytes` bytes
+/// among `p` parties under `pattern` (used by the E6 benchmark to plot cost
+/// versus party count without running every size).
+MultiPartyCost PatternCost(CommunicationPattern pattern, size_t p, size_t value_bytes);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_MULTIPARTY_H_

@@ -1,0 +1,53 @@
+#ifndef PPRL_LINKAGE_TWO_PARTY_ITERATIVE_H_
+#define PPRL_LINKAGE_TWO_PARTY_ITERATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "blocking/blocking.h"
+#include "linkage/comparison.h"
+
+namespace pprl {
+
+/// The iterative two-party protocol of Vatsalan & Christen [38]: two
+/// database owners classify candidate pairs WITHOUT a linkage unit by
+/// revealing their Bloom filters one random segment at a time.
+///
+/// After each round, both parties know the exact overlap on the revealed
+/// positions and can bound the final Dice similarity from above and below:
+///   * if even the optimistic bound misses the threshold, the pair is
+///     dropped as a non-match (no more of it is revealed);
+///   * if the pessimistic bound already clears the threshold, it is
+///     accepted as a match early.
+/// Only the undecided pairs survive to the next round, so most non-matches
+/// are discarded after seeing a small fraction of the filters — the
+/// protocol's privacy argument.
+struct IterativeProtocolParams {
+  double dice_threshold = 0.8;
+  size_t num_rounds = 10;   ///< the filters are cut into this many segments
+};
+
+/// Outcome of the protocol for metering and evaluation.
+struct IterativeProtocolResult {
+  std::vector<ScoredPair> matches;  ///< score = exact Dice of accepted pairs
+  /// Decided-per-round counts (accepted + rejected), length num_rounds.
+  std::vector<size_t> decided_per_round;
+  /// Average fraction of filter bits revealed per candidate pair before its
+  /// decision (1.0 would mean "everything revealed", i.e. no privacy gain).
+  double mean_revealed_fraction = 0;
+  size_t messages = 0;
+  size_t bytes = 0;
+};
+
+/// Runs the protocol over the candidate pairs. Filters of both parties
+/// must share one length, which must be >= params.num_rounds.
+Result<IterativeProtocolResult> IterativeTwoPartyLink(
+    const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
+    const std::vector<CandidatePair>& candidates, const IterativeProtocolParams& params,
+    uint64_t segment_seed = 42);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_TWO_PARTY_ITERATIVE_H_

@@ -1,0 +1,26 @@
+#include "pipeline/channel.h"
+
+namespace pprl {
+
+size_t Channel::Send(const std::string& from, const std::string& to,
+                     size_t payload_bytes, const std::string& tag) {
+  ++total_messages_;
+  total_bytes_ += payload_bytes;
+  bytes_by_route_[{from, to}] += payload_bytes;
+  bytes_by_tag_[tag] += payload_bytes;
+  return total_messages_;
+}
+
+size_t Channel::BytesBetween(const std::string& from, const std::string& to) const {
+  const auto it = bytes_by_route_.find({from, to});
+  return it == bytes_by_route_.end() ? 0 : it->second;
+}
+
+void Channel::Reset() {
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  bytes_by_route_.clear();
+  bytes_by_tag_.clear();
+}
+
+}  // namespace pprl

@@ -1,0 +1,47 @@
+#ifndef PPRL_PIPELINE_CHANNEL_H_
+#define PPRL_PIPELINE_CHANNEL_H_
+
+#include <cstddef>
+#include <utility>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pprl {
+
+/// An in-process stand-in for the network between parties.
+///
+/// Every protocol message is routed through a `Channel`, which meters the
+/// number of messages and bytes per sender/receiver pair — the
+/// communication-cost axis of the survey's evaluation model (§3.3). The
+/// channel also enforces the who-sees-what discipline: protocol code can
+/// only obtain another party's data by an explicit, metered Send.
+class Channel {
+ public:
+  /// Delivers `payload_bytes` worth of data from `from` to `to` under a
+  /// human-readable `tag` (e.g. "encoded-filters"). Returns a message id.
+  size_t Send(const std::string& from, const std::string& to, size_t payload_bytes,
+              const std::string& tag);
+
+  size_t total_messages() const { return total_messages_; }
+  size_t total_bytes() const { return total_bytes_; }
+
+  /// Bytes sent from `from` to `to` so far.
+  size_t BytesBetween(const std::string& from, const std::string& to) const;
+
+  /// Per-tag byte totals, for cost breakdowns in benchmark output.
+  const std::map<std::string, size_t>& bytes_by_tag() const { return bytes_by_tag_; }
+
+  /// Forgets all metering (fresh protocol run).
+  void Reset();
+
+ private:
+  size_t total_messages_ = 0;
+  size_t total_bytes_ = 0;
+  std::map<std::pair<std::string, std::string>, size_t> bytes_by_route_;
+  std::map<std::string, size_t> bytes_by_tag_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_PIPELINE_CHANNEL_H_

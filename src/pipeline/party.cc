@@ -1,0 +1,106 @@
+#include "pipeline/party.h"
+
+#include "blocking/lsh_blocking.h"
+#include "common/random.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+
+DatabaseOwner::DatabaseOwner(std::string name, Database database)
+    : name_(std::move(name)), database_(std::move(database)) {}
+
+Status DatabaseOwner::Encode(const ClkEncoder& encoder) {
+  auto filters = encoder.EncodeDatabase(database_);
+  if (!filters.ok()) return filters.status();
+  filters_ = std::move(filters).value();
+  encoded_ = true;
+  return Status::OK();
+}
+
+Result<EncodedDatabase> DatabaseOwner::ShipEncodings(Channel& channel,
+                                                     const std::string& recipient) const {
+  if (!encoded_) {
+    return Status::FailedPrecondition("owner '" + name_ + "' has not encoded yet");
+  }
+  EncodedDatabase shipment;
+  shipment.ids.reserve(database_.records.size());
+  for (const Record& r : database_.records) shipment.ids.push_back(r.id);
+  shipment.filters = filters_;
+  const size_t filter_bytes =
+      filters_.empty() ? 0 : (filters_[0].size() + 7) / 8;
+  channel.Send(name_, recipient, filters_.size() * (filter_bytes + 8),
+               "encoded-filters");
+  return shipment;
+}
+
+std::vector<uint64_t> DatabaseOwner::EntityIdsForEvaluation() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(database_.records.size());
+  for (const Record& r : database_.records) ids.push_back(r.entity_id);
+  return ids;
+}
+
+LinkageUnitService::LinkageUnitService(std::string name) : name_(std::move(name)) {}
+
+Status LinkageUnitService::Receive(const std::string& owner, EncodedDatabase encoded) {
+  if (encoded.ids.size() != encoded.filters.size()) {
+    return Status::InvalidArgument("shipment ids/filters size mismatch");
+  }
+  if (!databases_.empty() && !encoded.filters.empty() &&
+      !databases_[0].filters.empty() &&
+      encoded.filters[0].size() != databases_[0].filters[0].size()) {
+    return Status::InvalidArgument("shipment filter length differs from earlier owners");
+  }
+  for (const std::string& existing : owners_) {
+    if (existing == owner) {
+      return Status::AlreadyExists("owner '" + owner + "' already shipped");
+    }
+  }
+  owners_.push_back(owner);
+  databases_.push_back(std::move(encoded));
+  return Status::OK();
+}
+
+Result<MultiPartyLinkageResult> LinkageUnitService::Link(
+    const MultiPartyLinkageOptions& options) const {
+  if (databases_.size() < 2) {
+    return Status::FailedPrecondition("linkage needs >= 2 shipped databases");
+  }
+  const size_t filter_bits =
+      databases_[0].filters.empty() ? 0 : databases_[0].filters[0].size();
+  if (filter_bits == 0) {
+    return Status::InvalidArgument("first shipment is empty");
+  }
+
+  MultiPartyLinkageResult result;
+  Rng rng(options.lsh_seed);
+  const HammingLshBlocker blocker(filter_bits, options.lsh_tables,
+                                  options.lsh_bits_per_key, rng);
+  // Pre-build every database's LSH index once.
+  std::vector<BlockIndex> indexes;
+  indexes.reserve(databases_.size());
+  for (const EncodedDatabase& db : databases_) {
+    indexes.push_back(blocker.BuildIndex(db.filters));
+  }
+
+  for (uint32_t d1 = 0; d1 < databases_.size(); ++d1) {
+    for (uint32_t d2 = d1 + 1; d2 < databases_.size(); ++d2) {
+      const auto candidates =
+          HammingLshBlocker::CandidatePairs(indexes[d1], indexes[d2]);
+      result.candidate_pairs += candidates.size();
+      for (const CandidatePair& pair : candidates) {
+        ++result.comparisons;
+        const double dice = DiceSimilarity(databases_[d1].filters[pair.a],
+                                           databases_[d2].filters[pair.b]);
+        if (dice + 1e-12 >= options.dice_threshold) {
+          result.edges.push_back({{d1, pair.a}, {d2, pair.b}, dice});
+        }
+      }
+    }
+  }
+  result.clusters = options.use_star_clustering ? StarClustering(result.edges)
+                                                : ConnectedComponents(result.edges);
+  return result;
+}
+
+}  // namespace pprl

@@ -1,0 +1,97 @@
+#ifndef PPRL_PIPELINE_PARTY_H_
+#define PPRL_PIPELINE_PARTY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+#include "encoding/bloom_filter.h"
+#include "encoding/clk_io.h"
+#include "linkage/clustering.h"
+#include "pipeline/channel.h"
+
+namespace pprl {
+
+/// A database owner in a simulated multi-party deployment.
+///
+/// The class makes the survey's who-sees-what discipline *structural*: the
+/// raw `Database` is private state with no accessor, and the only outbound
+/// method ships encodings through the metered `Channel`. Protocol code that
+/// wants a party's QIDs simply cannot get them.
+class DatabaseOwner {
+ public:
+  DatabaseOwner(std::string name, Database database);
+
+  /// Local pre-processing + encoding step (nothing leaves the machine).
+  Status Encode(const ClkEncoder& encoder);
+
+  /// Ships the encodings to `recipient` over `channel` (metered). Encode()
+  /// must have run.
+  Result<EncodedDatabase> ShipEncodings(Channel& channel,
+                                        const std::string& recipient) const;
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return database_.records.size(); }
+
+  /// Evaluation-only escape hatch: ground-truth entity ids (never used by
+  /// protocol code; the evaluator needs them to score results).
+  std::vector<uint64_t> EntityIdsForEvaluation() const;
+
+ private:
+  std::string name_;
+  Database database_;
+  std::vector<BitVector> filters_;
+  bool encoded_ = false;
+};
+
+/// Options for the linkage unit's multi-database run.
+struct MultiPartyLinkageOptions {
+  double dice_threshold = 0.8;
+  /// Hamming-LSH blocking across every database pair.
+  size_t lsh_tables = 20;
+  size_t lsh_bits_per_key = 18;
+  uint64_t lsh_seed = 42;
+  /// If true, clusters come from star clustering; else connected components.
+  bool use_star_clustering = true;
+};
+
+/// Result of a multi-database linkage run at the linkage unit.
+struct MultiPartyLinkageResult {
+  /// Clusters over (database index, record index) references, in the order
+  /// the owners registered.
+  std::vector<Cluster> clusters;
+  /// The pairwise match edges behind the clusters.
+  std::vector<MatchEdge> edges;
+  size_t comparisons = 0;
+  size_t candidate_pairs = 0;
+};
+
+/// The linkage unit of a star-topology deployment: owners ship encodings
+/// in; the unit blocks, compares, and clusters across all databases. It
+/// never sees a quasi-identifier.
+class LinkageUnitService {
+ public:
+  explicit LinkageUnitService(std::string name);
+
+  /// Registers a shipment from `owner`. Owners must send equal-length
+  /// filters; the first shipment fixes the length.
+  Status Receive(const std::string& owner, EncodedDatabase encoded);
+
+  /// Runs pairwise blocking + matching + clustering over all received
+  /// databases. Needs >= 2 shipments.
+  Result<MultiPartyLinkageResult> Link(const MultiPartyLinkageOptions& options) const;
+
+  const std::string& name() const { return name_; }
+  size_t num_databases() const { return owners_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> owners_;
+  std::vector<EncodedDatabase> databases_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_PIPELINE_PARTY_H_

@@ -1,0 +1,187 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+
+#include "blocking/blocking.h"
+#include "blocking/lsh_blocking.h"
+#include "common/timer.h"
+#include "eval/quality_estimation.h"
+#include "encoding/hardening.h"
+#include "linkage/classifier.h"
+#include "linkage/matching.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+
+PprlPipeline::PprlPipeline(PipelineConfig config) : config_(std::move(config)) {
+  if (config_.fields.empty()) config_.fields = DefaultFieldConfigs();
+}
+
+std::vector<ClkFieldConfig> PprlPipeline::DefaultFieldConfigs() {
+  // Hash-count weighting roughly by discriminating power: names highest,
+  // then date of birth, then location fields.
+  std::vector<ClkFieldConfig> fields;
+  ClkFieldConfig first;
+  first.field_name = "first_name";
+  first.num_hashes = 20;
+  fields.push_back(first);
+  ClkFieldConfig last;
+  last.field_name = "last_name";
+  last.num_hashes = 20;
+  fields.push_back(last);
+  ClkFieldConfig dob;
+  dob.field_name = "dob";
+  dob.num_hashes = 20;
+  dob.q = 2;
+  fields.push_back(dob);
+  ClkFieldConfig city;
+  city.field_name = "city";
+  city.num_hashes = 10;
+  fields.push_back(city);
+  return fields;
+}
+
+Result<double> PprlPipeline::CalibrateThreshold(const PipelineConfig& config,
+                                                const Database& a, const Database& b,
+                                                double floor) {
+  PipelineConfig probe = config;
+  probe.match_threshold = floor;
+  probe.one_to_one = false;  // the mixture needs the raw score sample
+  auto output = PprlPipeline(probe).Link(a, b);
+  if (!output.ok()) return output.status();
+  auto model = FitScoreMixture(output->matches);
+  if (!model.ok()) return model.status();
+  return model->SuggestThreshold();
+}
+
+Result<std::vector<BitVector>> PprlPipeline::EncodeDatabase(const Database& db,
+                                                            uint64_t party_seed) const {
+  const ClkEncoder encoder(config_.bloom, config_.fields);
+  auto encoded = encoder.EncodeDatabase(db);
+  if (!encoded.ok()) return encoded.status();
+  std::vector<BitVector> filters = std::move(encoded).value();
+
+  // Hardening must be identical across parties, so keys/flip decisions are
+  // derived from the shared configuration (BLIP noise is per record but its
+  // rng must differ per record, not per party run, so seed on record index).
+  switch (config_.hardening) {
+    case HardeningScheme::kNone:
+      break;
+    case HardeningScheme::kBalance:
+      for (BitVector& f : filters) f = Balance(f, config_.hardening_key);
+      break;
+    case HardeningScheme::kXorFold:
+      for (BitVector& f : filters) f = XorFold(f);
+      break;
+    case HardeningScheme::kRule90:
+      for (BitVector& f : filters) f = Rule90(f);
+      break;
+    case HardeningScheme::kBlip: {
+      for (size_t i = 0; i < filters.size(); ++i) {
+        Rng rng(party_seed ^ (i * 0x9e3779b97f4a7c15ull));
+        filters[i] = Blip(filters[i], config_.blip_flip_prob, rng);
+      }
+      break;
+    }
+  }
+  return filters;
+}
+
+Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) const {
+  PPRL_RETURN_IF_ERROR(config_.bloom.Validate());
+  LinkageOutput out;
+  Channel channel;
+  Timer timer;
+
+  // --- Each database owner encodes locally. -------------------------------
+  auto a_encoded = EncodeDatabase(a, config_.seed ^ 0xA);
+  if (!a_encoded.ok()) return a_encoded.status();
+  auto b_encoded = EncodeDatabase(b, config_.seed ^ 0xB);
+  if (!b_encoded.ok()) return b_encoded.status();
+  const std::vector<BitVector>& fa = a_encoded.value();
+  const std::vector<BitVector>& fb = b_encoded.value();
+  out.encode_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+
+  const size_t filter_bytes = fa.empty() ? 0 : (fa[0].size() + 7) / 8;
+  const std::string matcher =
+      config_.model == LinkageModel::kTwoPartyDirect ? "party-a" : "lu-match";
+
+  // --- Ship encodings according to the linkage model. ----------------------
+  switch (config_.model) {
+    case LinkageModel::kTwoPartyLinkageUnit:
+    case LinkageModel::kDualLinkageUnit:
+      channel.Send("party-a", matcher, fa.size() * filter_bytes, "encoded-filters");
+      channel.Send("party-b", matcher, fb.size() * filter_bytes, "encoded-filters");
+      break;
+    case LinkageModel::kTwoPartyDirect:
+      channel.Send("party-b", matcher, fb.size() * filter_bytes, "encoded-filters");
+      break;
+  }
+
+  // --- Blocking. ------------------------------------------------------------
+  std::vector<CandidatePair> candidates;
+  switch (config_.blocking) {
+    case BlockingScheme::kNone:
+      candidates = FullPairs(a.records.size(), b.records.size());
+      break;
+    case BlockingScheme::kSoundex: {
+      const StandardBlocker blocker(SoundexNameKey(config_.secret_key));
+      const BlockIndex ia = blocker.BuildIndex(a);
+      const BlockIndex ib = blocker.BuildIndex(b);
+      // In the dual-LU model the blocking keys go to a separate LU that
+      // never sees the encodings.
+      if (config_.model == LinkageModel::kDualLinkageUnit) {
+        channel.Send("party-a", "lu-block", a.records.size() * 16, "blocking-keys");
+        channel.Send("party-b", "lu-block", b.records.size() * 16, "blocking-keys");
+      }
+      candidates = StandardBlocker::CandidatePairs(ia, ib);
+      break;
+    }
+    case BlockingScheme::kHammingLsh: {
+      Rng lsh_rng(config_.seed);
+      const size_t filter_bits = fa.empty() ? config_.bloom.num_bits : fa[0].size();
+      const HammingLshBlocker blocker(filter_bits, config_.lsh_tables,
+                                      config_.lsh_bits_per_key, lsh_rng);
+      if (config_.model == LinkageModel::kDualLinkageUnit) {
+        const size_t key_bytes = (config_.lsh_bits_per_key + 7) / 8 + 2;
+        channel.Send("party-a", "lu-block", a.records.size() * config_.lsh_tables * key_bytes,
+                     "lsh-keys");
+        channel.Send("party-b", "lu-block", b.records.size() * config_.lsh_tables * key_bytes,
+                     "lsh-keys");
+      }
+      candidates =
+          HammingLshBlocker::CandidatePairs(blocker.BuildIndex(fa), blocker.BuildIndex(fb));
+      break;
+    }
+  }
+  if (config_.model == LinkageModel::kDualLinkageUnit) {
+    channel.Send("lu-block", matcher, candidates.size() * 8, "candidate-pairs");
+  }
+  out.candidate_pairs = candidates.size();
+  out.block_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+
+  // --- Comparison + classification at the matcher. --------------------------
+  const ComparisonEngine engine(
+      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  std::vector<ScoredPair> scored =
+      engine.Compare(fa, fb, candidates, config_.match_threshold);
+  out.comparisons = engine.last_comparison_count();
+
+  const ThresholdClassifier classifier(config_.match_threshold, config_.match_threshold);
+  std::vector<ScoredPair> matches = classifier.SelectMatches(scored);
+  if (config_.one_to_one) matches = GreedyOneToOne(std::move(matches));
+  out.compare_seconds = timer.ElapsedSeconds();
+
+  // Matcher announces the linked pair ids back to the owners.
+  channel.Send(matcher, "party-a", matches.size() * 8, "match-ids");
+  channel.Send(matcher, "party-b", matches.size() * 8, "match-ids");
+
+  out.matches = std::move(matches);
+  out.messages = channel.total_messages();
+  out.bytes = channel.total_bytes();
+  return out;
+}
+
+}  // namespace pprl

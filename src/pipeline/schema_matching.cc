@@ -1,0 +1,137 @@
+#include "pipeline/schema_matching.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+
+namespace {
+
+/// Character-class histogram + summary stats of a column sample.
+struct ColumnProfile {
+  double mean_length = 0;
+  double digit_fraction = 0;
+  double alpha_fraction = 0;
+  double space_fraction = 0;
+  double dash_fraction = 0;
+  double distinct_ratio = 0;
+  double empty_fraction = 0;
+};
+
+ColumnProfile ProfileOf(const std::vector<std::string>& sample) {
+  ColumnProfile profile;
+  if (sample.empty()) return profile;
+  size_t total_chars = 0, digits = 0, alphas = 0, spaces = 0, dashes = 0, empties = 0;
+  std::set<std::string> distinct;
+  for (const std::string& value : sample) {
+    if (value.empty()) ++empties;
+    distinct.insert(value);
+    total_chars += value.size();
+    for (char c : value) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (std::isdigit(u)) ++digits;
+      if (std::isalpha(u)) ++alphas;
+      if (std::isspace(u)) ++spaces;
+      if (c == '-') ++dashes;
+    }
+  }
+  const double n = static_cast<double>(sample.size());
+  profile.mean_length = static_cast<double>(total_chars) / n;
+  if (total_chars > 0) {
+    const double tc = static_cast<double>(total_chars);
+    profile.digit_fraction = static_cast<double>(digits) / tc;
+    profile.alpha_fraction = static_cast<double>(alphas) / tc;
+    profile.space_fraction = static_cast<double>(spaces) / tc;
+    profile.dash_fraction = static_cast<double>(dashes) / tc;
+  }
+  profile.distinct_ratio = static_cast<double>(distinct.size()) / n;
+  profile.empty_fraction = static_cast<double>(empties) / n;
+  return profile;
+}
+
+double FeatureSimilarity(double x, double y, double scale) {
+  return std::max(0.0, 1.0 - std::abs(x - y) / scale);
+}
+
+/// Normalises column names for comparison: lower-case, strip separators
+/// ("First_Name" ~ "firstname").
+std::string CanonicalName(const std::string& name) {
+  return StripNonAlnum(ToLower(name));
+}
+
+}  // namespace
+
+double ColumnProfileSimilarity(const std::vector<std::string>& a_sample,
+                               const std::vector<std::string>& b_sample) {
+  const ColumnProfile pa = ProfileOf(a_sample);
+  const ColumnProfile pb = ProfileOf(b_sample);
+  double sim = 0;
+  sim += FeatureSimilarity(pa.mean_length, pb.mean_length, 15.0);
+  sim += FeatureSimilarity(pa.digit_fraction, pb.digit_fraction, 1.0);
+  sim += FeatureSimilarity(pa.alpha_fraction, pb.alpha_fraction, 1.0);
+  sim += FeatureSimilarity(pa.space_fraction, pb.space_fraction, 0.5);
+  sim += FeatureSimilarity(pa.dash_fraction, pb.dash_fraction, 0.5);
+  sim += FeatureSimilarity(pa.distinct_ratio, pb.distinct_ratio, 1.0);
+  sim += FeatureSimilarity(pa.empty_fraction, pb.empty_fraction, 1.0);
+  return sim / 7.0;
+}
+
+std::vector<SchemaCorrespondence> MatchSchemas(const Database& a, const Database& b,
+                                               const SchemaMatchOptions& options) {
+  // Sample values per column.
+  auto sample_column = [&options](const Database& db, size_t field) {
+    std::vector<std::string> sample;
+    const size_t n = std::min(options.sample_size, db.records.size());
+    sample.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (field < db.records[i].values.size()) {
+        sample.push_back(db.records[i].values[field]);
+      }
+    }
+    return sample;
+  };
+
+  std::vector<SchemaCorrespondence> all;
+  for (size_t fa = 0; fa < a.schema.size(); ++fa) {
+    const auto a_sample = sample_column(a, fa);
+    for (size_t fb = 0; fb < b.schema.size(); ++fb) {
+      SchemaCorrespondence corr;
+      corr.a_field = static_cast<int>(fa);
+      corr.b_field = static_cast<int>(fb);
+      corr.name_similarity =
+          JaroWinklerSimilarity(CanonicalName(a.schema.fields[fa].name),
+                                CanonicalName(b.schema.fields[fb].name));
+      corr.value_similarity = ColumnProfileSimilarity(a_sample, sample_column(b, fb));
+      corr.confidence = options.name_weight * corr.name_similarity +
+                        (1 - options.name_weight) * corr.value_similarity;
+      // Declared-type mismatch is strong negative evidence.
+      if (a.schema.fields[fa].type != b.schema.fields[fb].type) {
+        corr.confidence *= 0.5;
+      }
+      all.push_back(corr);
+    }
+  }
+
+  // Greedy 1:1 alignment, highest confidence first.
+  std::sort(all.begin(), all.end(),
+            [](const SchemaCorrespondence& x, const SchemaCorrespondence& y) {
+              return x.confidence > y.confidence;
+            });
+  std::set<int> used_a, used_b;
+  std::vector<SchemaCorrespondence> aligned;
+  for (const SchemaCorrespondence& corr : all) {
+    if (corr.confidence < options.min_confidence) break;
+    if (used_a.count(corr.a_field) || used_b.count(corr.b_field)) continue;
+    used_a.insert(corr.a_field);
+    used_b.insert(corr.b_field);
+    aligned.push_back(corr);
+  }
+  return aligned;
+}
+
+}  // namespace pprl

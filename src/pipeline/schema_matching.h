@@ -1,0 +1,49 @@
+#ifndef PPRL_PIPELINE_SCHEMA_MATCHING_H_
+#define PPRL_PIPELINE_SCHEMA_MATCHING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// One aligned column pair with the evidence behind it.
+struct SchemaCorrespondence {
+  int a_field = -1;
+  int b_field = -1;
+  double name_similarity = 0;   ///< string similarity of the column names
+  double value_similarity = 0;  ///< distribution similarity of sampled values
+  double confidence = 0;        ///< combined score in [0,1]
+};
+
+/// Options for schema matching.
+struct SchemaMatchOptions {
+  /// Records sampled from each side for value-profile comparison.
+  size_t sample_size = 100;
+  /// Minimum combined confidence for a correspondence to be emitted.
+  double min_confidence = 0.5;
+  /// Weight of name similarity vs value-profile similarity in [0,1].
+  double name_weight = 0.4;
+};
+
+/// Schema matching across database owners (survey §3.1: "schema matching
+/// identifies the common schema across different databases" [32]).
+///
+/// Combines column-name similarity (Jaro-Winkler on normalised names) with
+/// a value-profile similarity computed from samples: type compatibility,
+/// mean value length, character-class histogram, and distinct-value ratio.
+/// Returns a greedy 1:1 alignment, best correspondences first. The value
+/// profiles reveal only aggregate shape, not record values, so in a PPRL
+/// setting they can be exchanged with far less risk than raw data.
+std::vector<SchemaCorrespondence> MatchSchemas(const Database& a, const Database& b,
+                                               const SchemaMatchOptions& options = {});
+
+/// Value-profile similarity of two columns in [0,1] (exposed for tests).
+double ColumnProfileSimilarity(const std::vector<std::string>& a_sample,
+                               const std::vector<std::string>& b_sample);
+
+}  // namespace pprl
+
+#endif  // PPRL_PIPELINE_SCHEMA_MATCHING_H_

@@ -1,0 +1,87 @@
+#include "privacy/accountability.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "crypto/hash.h"
+
+namespace pprl {
+
+namespace {
+
+/// Canonical, locale-independent serialisation of one record.
+std::string Canonical(const ComparisonRecord& record) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u|%u|%.12f", record.a, record.b, record.score);
+  return buf;
+}
+
+}  // namespace
+
+ComputationCommitment CommitToComparisons(const std::vector<ComparisonRecord>& records) {
+  // Hash chain: h_0 = H("pprl-audit-v1"), h_i = H(h_{i-1} || record_i).
+  std::array<uint8_t, 32> digest = Sha256("pprl-audit-v1");
+  for (const ComparisonRecord& record : records) {
+    std::string material(reinterpret_cast<const char*>(digest.data()), digest.size());
+    material += Canonical(record);
+    digest = Sha256(material);
+  }
+  ComputationCommitment commitment;
+  commitment.digest_hex = DigestToHex(digest);
+  commitment.num_records = records.size();
+  return commitment;
+}
+
+Result<AuditReport> AuditComparisons(
+    const ComputationCommitment& commitment,
+    const std::vector<ComparisonRecord>& claimed,
+    const std::vector<CandidatePair>& expected_candidates,
+    const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
+    const PairSimilarityFunction& similarity, size_t sample_size, Rng& rng,
+    double tolerance) {
+  AuditReport report;
+
+  // 1. The claimed records must re-hash to the published commitment.
+  const ComputationCommitment recomputed = CommitToComparisons(claimed);
+  report.commitment_valid = recomputed.digest_hex == commitment.digest_hex &&
+                            recomputed.num_records == commitment.num_records;
+
+  // Index the claimed scores for sampling.
+  std::map<std::pair<uint32_t, uint32_t>, double> claimed_scores;
+  for (const ComparisonRecord& record : claimed) {
+    claimed_scores[{record.a, record.b}] = record.score;
+  }
+
+  // 2. Sample expected candidate pairs and recompute.
+  if (expected_candidates.empty()) {
+    return report;
+  }
+  const size_t k = std::min(sample_size, expected_candidates.size());
+  for (size_t s = 0; s < k; ++s) {
+    const CandidatePair& pair =
+        expected_candidates[rng.NextUint64(expected_candidates.size())];
+    if (pair.a >= a_filters.size() || pair.b >= b_filters.size()) {
+      return Status::InvalidArgument("candidate pair outside the filter arrays");
+    }
+    ++report.audited;
+    const auto it = claimed_scores.find({pair.a, pair.b});
+    if (it == claimed_scores.end()) {
+      ++report.missing_pairs;
+      continue;
+    }
+    const double recomputed_score = similarity(a_filters[pair.a], b_filters[pair.b]);
+    if (std::abs(recomputed_score - it->second) > tolerance) {
+      ++report.mismatches;
+    }
+  }
+  return report;
+}
+
+double DetectionProbability(double cheat_fraction, size_t sample_size) {
+  if (cheat_fraction <= 0) return 0;
+  if (cheat_fraction >= 1) return 1;
+  return 1.0 - std::pow(1.0 - cheat_fraction, static_cast<double>(sample_size));
+}
+
+}  // namespace pprl

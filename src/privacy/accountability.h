@@ -1,0 +1,77 @@
+#ifndef PPRL_PRIVACY_ACCOUNTABILITY_H_
+#define PPRL_PRIVACY_ACCOUNTABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "linkage/comparison.h"
+
+namespace pprl {
+
+/// Accountable computing for PPRL (survey §3.2: "hybrid models, such as
+/// accountable computing and covert models, lie in between the semi-honest
+/// model, which is not realistic, and the malicious model, which requires
+/// computationally expensive techniques").
+///
+/// Instead of cryptographically preventing a cheating linkage unit, the LU
+/// *commits* to its computation and the database owners can later audit a
+/// random sample of it. A lazy or malicious LU that skipped or falsified
+/// comparisons is caught with probability 1 - (1 - f)^k for cheating
+/// fraction f and k audited pairs — enough deterrence at a tiny fraction of
+/// the malicious-model cost.
+
+/// The linkage unit's signed record of one comparison.
+struct ComparisonRecord {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double score = 0;
+};
+
+/// A tamper-evident commitment to a full comparison run: a hash chain over
+/// the canonical serialisation of all comparison records.
+struct ComputationCommitment {
+  std::string digest_hex;   ///< SHA-256 chain head
+  size_t num_records = 0;
+};
+
+/// Computes the commitment the LU publishes before results are released.
+ComputationCommitment CommitToComparisons(const std::vector<ComparisonRecord>& records);
+
+/// One audit outcome.
+struct AuditReport {
+  size_t audited = 0;
+  size_t mismatches = 0;       ///< score disagreements beyond tolerance
+  size_t missing_pairs = 0;    ///< sampled pairs absent from the LU's record
+  bool commitment_valid = false;  ///< records re-hash to the commitment
+
+  bool Passed() const {
+    return commitment_valid && mismatches == 0 && missing_pairs == 0;
+  }
+};
+
+/// Audits the LU's claimed comparisons:
+///   1. re-hashes `claimed` and checks it against `commitment`;
+///   2. samples `sample_size` of the candidate pairs the LU was supposed to
+///      compare and recomputes their similarity from the owners' filters;
+///   3. reports any pair the LU omitted or whose score deviates by more
+///      than `tolerance`.
+/// `similarity` must be the agreed comparison function of the protocol.
+Result<AuditReport> AuditComparisons(
+    const ComputationCommitment& commitment,
+    const std::vector<ComparisonRecord>& claimed,
+    const std::vector<CandidatePair>& expected_candidates,
+    const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
+    const PairSimilarityFunction& similarity, size_t sample_size, Rng& rng,
+    double tolerance = 1e-9);
+
+/// Probability that an audit of `sample_size` pairs catches an LU that
+/// falsified a fraction `cheat_fraction` of `total_pairs` comparisons.
+double DetectionProbability(double cheat_fraction, size_t sample_size);
+
+}  // namespace pprl
+
+#endif  // PPRL_PRIVACY_ACCOUNTABILITY_H_

@@ -1,0 +1,176 @@
+#include "privacy/attacks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace pprl {
+
+AttackResult FrequencyAlignmentAttack(
+    const std::vector<std::string>& encoded,
+    const std::vector<std::pair<std::string, double>>& dictionary) {
+  AttackResult result;
+  result.guesses.assign(encoded.size(), -1);
+
+  // Rank encoded values by observed frequency.
+  std::unordered_map<std::string, size_t> counts;
+  for (const std::string& code : encoded) ++counts[code];
+  std::vector<std::pair<size_t, std::string>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [code, count] : counts) ranked.push_back({count, code});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+
+  // Dictionary is already most-frequent-first; align rank i <-> rank i.
+  std::unordered_map<std::string, int> code_to_guess;
+  for (size_t i = 0; i < ranked.size() && i < dictionary.size(); ++i) {
+    code_to_guess[ranked[i].second] = static_cast<int>(i);
+  }
+  for (size_t r = 0; r < encoded.size(); ++r) {
+    const auto it = code_to_guess.find(encoded[r]);
+    if (it != code_to_guess.end()) result.guesses[r] = it->second;
+  }
+  return result;
+}
+
+AttackResult BloomDictionaryAttack(const std::vector<BitVector>& filters,
+                                   const std::vector<std::string>& dictionary,
+                                   const BloomFilterEncoder& attacker_encoder,
+                                   double min_dice) {
+  AttackResult result;
+  result.guesses.assign(filters.size(), -1);
+  // Pre-encode the dictionary once.
+  std::vector<BitVector> dict_filters;
+  dict_filters.reserve(dictionary.size());
+  for (const std::string& value : dictionary) {
+    dict_filters.push_back(attacker_encoder.EncodeString(value));
+  }
+  for (size_t r = 0; r < filters.size(); ++r) {
+    double best = min_dice;
+    int best_idx = -1;
+    for (size_t d = 0; d < dict_filters.size(); ++d) {
+      if (dict_filters[d].size() != filters[r].size()) continue;
+      const size_t inter = filters[r].AndCount(dict_filters[d]);
+      const size_t total = filters[r].Count() + dict_filters[d].Count();
+      if (total == 0) continue;
+      const double dice = 2.0 * static_cast<double>(inter) / static_cast<double>(total);
+      if (dice > best) {
+        best = dice;
+        best_idx = static_cast<int>(d);
+      }
+    }
+    result.guesses[r] = best_idx;
+  }
+  return result;
+}
+
+AttackResult BloomPatternMiningAttack(
+    const std::vector<BitVector>& filters,
+    const std::vector<std::pair<std::string, double>>& dictionary, size_t q) {
+  AttackResult result;
+  result.guesses.assign(filters.size(), -1);
+  if (filters.empty() || dictionary.empty()) return result;
+  const size_t l = filters[0].size();
+  const double n = static_cast<double>(filters.size());
+
+  // Observed frequency of each bit position across the filters.
+  std::vector<double> bit_freq(l, 0);
+  for (const BitVector& bf : filters) {
+    for (uint32_t pos : bf.SetPositions()) bit_freq[pos] += 1.0;
+  }
+  for (double& f : bit_freq) f /= n;
+
+  // Expected occurrence frequency of each q-gram across the dictionary
+  // (weighted by value frequency).
+  QGramOptions opts;
+  opts.q = q;
+  std::map<std::string, double> gram_freq;
+  double total_weight = 0;
+  for (const auto& [value, freq] : dictionary) total_weight += freq;
+  for (const auto& [value, freq] : dictionary) {
+    const double w = total_weight > 0 ? freq / total_weight : 0;
+    for (const std::string& gram : QGrams(NormalizeQid(value), opts)) {
+      gram_freq[gram] += w;
+    }
+  }
+
+  // Attribute to each frequent q-gram the bit positions whose observed
+  // frequency is closest to the gram's expected frequency. A position can
+  // serve several grams (hash collisions do the same).
+  struct GramInfo {
+    std::string gram;
+    double freq;
+    std::vector<uint32_t> positions;
+  };
+  std::vector<GramInfo> grams;
+  grams.reserve(gram_freq.size());
+  for (const auto& [gram, freq] : gram_freq) grams.push_back({gram, freq, {}});
+  std::sort(grams.begin(), grams.end(),
+            [](const GramInfo& x, const GramInfo& y) { return x.freq > y.freq; });
+  // Tolerance band around the expected frequency; Bloom collisions push the
+  // observed frequency up, so the band is asymmetric.
+  constexpr double kBand = 0.05;
+  for (GramInfo& info : grams) {
+    for (uint32_t pos = 0; pos < l; ++pos) {
+      if (bit_freq[pos] >= info.freq - kBand && bit_freq[pos] <= info.freq + 2 * kBand) {
+        info.positions.push_back(pos);
+      }
+    }
+  }
+
+  // Score each filter against each dictionary value: fraction of the
+  // value's grams whose attributed positions are (mostly) set.
+  for (size_t r = 0; r < filters.size(); ++r) {
+    double best_score = 0.5;  // demand better-than-chance evidence
+    int best_idx = -1;
+    for (size_t d = 0; d < dictionary.size(); ++d) {
+      const auto value_grams = QGrams(NormalizeQid(dictionary[d].first), opts);
+      if (value_grams.empty()) continue;
+      double supported = 0;
+      double considered = 0;
+      for (const std::string& gram : value_grams) {
+        // Find the gram's attributed positions.
+        const auto it =
+            std::find_if(grams.begin(), grams.end(),
+                         [&gram](const GramInfo& g) { return g.gram == gram; });
+        if (it == grams.end() || it->positions.empty()) continue;
+        considered += 1;
+        size_t set_count = 0;
+        for (uint32_t pos : it->positions) {
+          if (filters[r].Get(pos)) ++set_count;
+        }
+        supported += static_cast<double>(set_count) /
+                     static_cast<double>(it->positions.size());
+      }
+      if (considered == 0) continue;
+      const double score = supported / considered;
+      if (score > best_score) {
+        best_score = score;
+        best_idx = static_cast<int>(d);
+      }
+    }
+    result.guesses[r] = best_idx;
+  }
+  return result;
+}
+
+double ScoreAttack(AttackResult& result, const std::vector<int>& true_indices) {
+  if (result.guesses.empty() || result.guesses.size() != true_indices.size()) {
+    result.success_rate = 0;
+    return 0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < result.guesses.size(); ++i) {
+    if (result.guesses[i] >= 0 && result.guesses[i] == true_indices[i]) ++correct;
+  }
+  result.success_rate =
+      static_cast<double>(correct) / static_cast<double>(result.guesses.size());
+  return result.success_rate;
+}
+
+}  // namespace pprl

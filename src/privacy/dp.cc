@@ -1,0 +1,51 @@
+#include "privacy/dp.h"
+
+#include <cmath>
+
+namespace pprl {
+
+double LaplaceMechanism(double true_value, double sensitivity, double epsilon, Rng& rng) {
+  if (epsilon <= 0) return true_value;  // no privacy requested
+  return true_value + rng.NextLaplace(sensitivity / epsilon);
+}
+
+bool RandomizedResponse(bool true_bit, double epsilon, Rng& rng) {
+  const double keep_prob = std::exp(epsilon) / (1.0 + std::exp(epsilon));
+  return rng.NextBool(keep_prob) ? true_bit : !true_bit;
+}
+
+double RandomizedResponseEstimate(size_t observed_ones, size_t n, double epsilon) {
+  if (n == 0) return 0;
+  const double p = std::exp(epsilon) / (1.0 + std::exp(epsilon));
+  // E[observed] = true*p + (n-true)*(1-p)  =>  true = (observed - n(1-p)) / (2p-1).
+  if (std::abs(2 * p - 1) < 1e-12) return static_cast<double>(n) / 2;
+  return (static_cast<double>(observed_ones) - static_cast<double>(n) * (1 - p)) /
+         (2 * p - 1);
+}
+
+bool PrivacyBudget::Spend(double epsilon) {
+  if (epsilon < 0) return false;
+  if (spent_ + epsilon > total_ + 1e-12) return false;
+  spent_ += epsilon;
+  return true;
+}
+
+size_t NoisyCount(size_t true_count, double epsilon, Rng& rng) {
+  if (epsilon <= 0) return true_count;
+  // Two-sided geometric noise with parameter alpha = e^-eps.
+  const double alpha = std::exp(-epsilon);
+  // Sample by inversion: noise magnitude k >= 1 w.p. proportional to alpha^k.
+  const double u = rng.NextDouble();
+  const double p_zero = (1 - alpha) / (1 + alpha);
+  double acc = p_zero;
+  int64_t k = 0;
+  while (u > acc && k < 1000) {
+    ++k;
+    acc += p_zero * std::pow(alpha, static_cast<double>(k)) * 2;  // +k and -k
+  }
+  if (k != 0 && rng.NextBool()) k = -k;
+  const int64_t noisy = static_cast<int64_t>(true_count) + k;
+  return noisy < 0 ? 0 : static_cast<size_t>(noisy);
+}
+
+}  // namespace pprl

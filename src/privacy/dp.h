@@ -1,0 +1,53 @@
+#ifndef PPRL_PRIVACY_DP_H_
+#define PPRL_PRIVACY_DP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pprl {
+
+/// Differential-privacy primitives used by PPRL protocols (survey §3.4
+/// "Differential privacy", [14, 41]).
+
+/// Laplace mechanism: `true_value` + Laplace(sensitivity / epsilon) noise.
+/// Used to perturb counts (block sizes, candidate counts) that protocols
+/// reveal, so the presence of a single record is hidden.
+double LaplaceMechanism(double true_value, double sensitivity, double epsilon, Rng& rng);
+
+/// Randomized response for one bit: returns the true bit with probability
+/// e^eps / (1 + e^eps), otherwise the flipped bit. Per-bit epsilon-DP.
+bool RandomizedResponse(bool true_bit, double epsilon, Rng& rng);
+
+/// Unbiased estimate of the true count of ones among `n` randomized-response
+/// bits of which `observed_ones` came back one.
+double RandomizedResponseEstimate(size_t observed_ones, size_t n, double epsilon);
+
+/// A simple epsilon accountant: protocols register every DP release and the
+/// total budget consumed is reported in the evaluation output (basic
+/// composition).
+class PrivacyBudget {
+ public:
+  explicit PrivacyBudget(double total_epsilon) : total_(total_epsilon) {}
+
+  /// Tries to consume `epsilon`; returns false (and consumes nothing) when
+  /// the remaining budget is insufficient.
+  bool Spend(double epsilon);
+
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+ private:
+  double total_;
+  double spent_ = 0;
+};
+
+/// Output-constrained DP noise for match-count release (in the spirit of
+/// He et al. [14]): adds two-sided geometric (discrete Laplace) noise to a
+/// count, clamped at zero.
+size_t NoisyCount(size_t true_count, double epsilon, Rng& rng);
+
+}  // namespace pprl
+
+#endif  // PPRL_PRIVACY_DP_H_

@@ -1,0 +1,44 @@
+#include "privacy/dp_blocking.h"
+
+#include <cmath>
+
+#include "privacy/dp.h"
+
+namespace pprl {
+
+DpBlockingStats PadBlocksWithDummies(BlockIndex& index, double epsilon,
+                                     uint32_t dummy_id_start, Rng& rng,
+                                     int padding_offset) {
+  DpBlockingStats stats;
+  uint32_t next_dummy = dummy_id_start;
+  for (auto& [key, records] : index) {
+    ++stats.blocks;
+    stats.real_records += records.size();
+    // Noisy target size: true + offset + two-sided geometric noise.
+    const size_t noisy =
+        NoisyCount(records.size() + static_cast<size_t>(padding_offset), epsilon, rng);
+    if (noisy > records.size()) {
+      const size_t dummies = noisy - records.size();
+      for (size_t i = 0; i < dummies; ++i) records.push_back(next_dummy++);
+      stats.dummies_added += dummies;
+    }
+    stats.epsilon_spent += epsilon;
+  }
+  return stats;
+}
+
+std::vector<BitVector> MakeDummyFilters(size_t count, size_t num_bits,
+                                        double fill_fraction, Rng& rng) {
+  std::vector<BitVector> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BitVector bv(num_bits);
+    for (size_t b = 0; b < num_bits; ++b) {
+      if (rng.NextBool(fill_fraction)) bv.Set(b);
+    }
+    out.push_back(std::move(bv));
+  }
+  return out;
+}
+
+}  // namespace pprl

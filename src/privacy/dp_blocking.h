@@ -1,0 +1,48 @@
+#ifndef PPRL_PRIVACY_DP_BLOCKING_H_
+#define PPRL_PRIVACY_DP_BLOCKING_H_
+
+#include <cstddef>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "blocking/blocking.h"
+
+namespace pprl {
+
+/// Differentially private blocking (survey §3.4 DP + [14]): the block-size
+/// histogram a linkage unit (or the other party) observes is itself a
+/// disclosure channel — "how many people share this soundex code" can
+/// single out rare names. Padding each block with dummy records to a
+/// noisy target makes the observed sizes insensitive to any one record.
+
+/// Result of protecting one block index.
+struct DpBlockingStats {
+  size_t real_records = 0;
+  size_t dummies_added = 0;
+  size_t blocks = 0;
+  double epsilon_spent = 0;
+};
+
+/// Pads every block of `index` with dummy record ids so the observed block
+/// size equals true size + max(0, two-sided-geometric noise + padding
+/// offset). Dummy ids start at `dummy_id_start` (pick it above every real
+/// record id; downstream comparison treats dummies as never-matching
+/// because their filters are random).
+///
+/// Each block's size release is epsilon-DP (sensitivity 1, discrete
+/// Laplace); `padding_offset` shifts the noise up so truncation at zero —
+/// which would bias sizes and break DP at the tails — is rare.
+DpBlockingStats PadBlocksWithDummies(BlockIndex& index, double epsilon,
+                                     uint32_t dummy_id_start, Rng& rng,
+                                     int padding_offset = 3);
+
+/// Generates the dummy filters that make padded blocks look real on the
+/// wire: random bit vectors with the same length and a plausible weight.
+/// Dummies never reach the match threshold against real encodings (their
+/// bits are uniform), so linkage quality is unaffected.
+std::vector<BitVector> MakeDummyFilters(size_t count, size_t num_bits,
+                                        double fill_fraction, Rng& rng);
+
+}  // namespace pprl
+
+#endif  // PPRL_PRIVACY_DP_BLOCKING_H_

@@ -1,0 +1,86 @@
+#include "privacy/privacy_metrics.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace pprl {
+
+namespace {
+
+std::unordered_map<std::string, size_t> CountCodes(const std::vector<std::string>& codes) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const std::string& code : codes) ++counts[code];
+  return counts;
+}
+
+}  // namespace
+
+double UniqueCodeDisclosureRisk(const std::vector<std::string>& codes) {
+  if (codes.empty()) return 0;
+  const auto counts = CountCodes(codes);
+  size_t unique = 0;
+  for (const auto& [code, count] : counts) {
+    if (count == 1) ++unique;
+  }
+  return static_cast<double>(unique) / static_cast<double>(codes.size());
+}
+
+double MeanDisclosureRisk(const std::vector<std::string>& codes) {
+  if (codes.empty()) return 0;
+  const auto counts = CountCodes(codes);
+  // Each of the `count` records in a group carries risk 1/count, so every
+  // group contributes exactly 1 to the total.
+  const double risk = static_cast<double>(counts.size());
+  return risk / static_cast<double>(codes.size());
+}
+
+double CodeEntropyBits(const std::vector<std::string>& codes) {
+  const auto counts = CountCodes(codes);
+  std::vector<size_t> values;
+  values.reserve(counts.size());
+  for (const auto& [code, count] : counts) values.push_back(count);
+  return EntropyBits(values);
+}
+
+double InformationGainBits(const std::vector<std::string>& plaintexts,
+                           const std::vector<std::string>& codes) {
+  if (plaintexts.size() != codes.size() || plaintexts.empty()) return 0;
+  const double h_plain = CodeEntropyBits(plaintexts);
+  // Conditional entropy H(plaintext | code) = sum_c p(c) H(plaintext | c).
+  std::map<std::string, std::unordered_map<std::string, size_t>> by_code;
+  for (size_t i = 0; i < codes.size(); ++i) ++by_code[codes[i]][plaintexts[i]];
+  double h_cond = 0;
+  for (const auto& [code, plain_counts] : by_code) {
+    size_t group = 0;
+    std::vector<size_t> values;
+    values.reserve(plain_counts.size());
+    for (const auto& [plain, count] : plain_counts) {
+      group += count;
+      values.push_back(count);
+    }
+    const double weight = static_cast<double>(group) / static_cast<double>(codes.size());
+    h_cond += weight * EntropyBits(values);
+  }
+  return h_plain - h_cond;
+}
+
+std::vector<double> BitFrequencies(const std::vector<BitVector>& filters) {
+  if (filters.empty()) return {};
+  std::vector<double> freq(filters[0].size(), 0);
+  for (const BitVector& bf : filters) {
+    for (uint32_t pos : bf.SetPositions()) {
+      if (pos < freq.size()) freq[pos] += 1.0;
+    }
+  }
+  for (double& f : freq) f /= static_cast<double>(filters.size());
+  return freq;
+}
+
+double BitFrequencySpread(const std::vector<BitVector>& filters) {
+  return StdDev(BitFrequencies(filters));
+}
+
+}  // namespace pprl

@@ -1,0 +1,46 @@
+#ifndef PPRL_PRIVACY_PRIVACY_METRICS_H_
+#define PPRL_PRIVACY_PRIVACY_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace pprl {
+
+/// Empirical privacy metrics for PPRL evaluation (survey §3.3 "Privacy
+/// guarantees", [41]).
+
+/// Disclosure risk of a set of opaque codes: the probability that a record
+/// drawn uniformly can be re-identified from its code alone, i.e. the
+/// fraction of records whose code is unique (1/k-anonymity style, k = 1).
+double UniqueCodeDisclosureRisk(const std::vector<std::string>& codes);
+
+/// Mean disclosure risk 1/k over the code groups: a record sharing its code
+/// with k-1 others is re-identified with probability 1/k.
+double MeanDisclosureRisk(const std::vector<std::string>& codes);
+
+/// Shannon entropy (bits) of the code distribution — higher is better for
+/// privacy (uniform codes carry no frequency signal).
+double CodeEntropyBits(const std::vector<std::string>& codes);
+
+/// Information gain of an encoding: entropy of the plaintext distribution
+/// minus the conditional entropy of plaintexts given codes, both estimated
+/// from the paired sample. 0 means the code reveals nothing about which
+/// plaintext group a record belongs to; H(plaintext) means full disclosure.
+double InformationGainBits(const std::vector<std::string>& plaintexts,
+                           const std::vector<std::string>& codes);
+
+/// Per-position one-bit frequencies of a Bloom-filter collection; the
+/// variance of this vector is the raw material of pattern attacks, so
+/// hardened encodings should push it toward a flat profile.
+std::vector<double> BitFrequencies(const std::vector<BitVector>& filters);
+
+/// Standard deviation of BitFrequencies — a single-number "frequency
+/// signal" indicator (0.0 for perfectly balanced encodings).
+double BitFrequencySpread(const std::vector<BitVector>& filters);
+
+}  // namespace pprl
+
+#endif  // PPRL_PRIVACY_PRIVACY_METRICS_H_

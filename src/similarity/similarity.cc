@@ -1,0 +1,166 @@
+#include "similarity/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace pprl {
+
+double DiceSimilarity(const BitVector& a, const BitVector& b) {
+  const size_t xa = a.Count();
+  const size_t xb = b.Count();
+  if (xa + xb == 0) return 1.0;
+  return 2.0 * static_cast<double>(a.AndCount(b)) / static_cast<double>(xa + xb);
+}
+
+double DiceSimilarity(const std::vector<const BitVector*>& filters) {
+  if (filters.empty()) return 0.0;
+  if (filters.size() == 1) return 1.0;
+  size_t total = 0;
+  for (const BitVector* f : filters) total += f->Count();
+  if (total == 0) return 1.0;
+  // Common positions: AND of all filters.
+  BitVector common = *filters[0];
+  for (size_t i = 1; i < filters.size(); ++i) common &= *filters[i];
+  return static_cast<double>(filters.size()) * static_cast<double>(common.Count()) /
+         static_cast<double>(total);
+}
+
+double JaccardSimilarity(const BitVector& a, const BitVector& b) {
+  const size_t uni = a.OrCount(b);
+  if (uni == 0) return 1.0;
+  return static_cast<double>(a.AndCount(b)) / static_cast<double>(uni);
+}
+
+double HammingSimilarity(const BitVector& a, const BitVector& b) {
+  if (a.size() == 0) return 1.0;
+  return 1.0 - static_cast<double>(a.XorCount(b)) / static_cast<double>(a.size());
+}
+
+double OverlapSimilarity(const BitVector& a, const BitVector& b) {
+  const size_t smaller = std::min(a.Count(), b.Count());
+  if (smaller == 0) return a.Count() == b.Count() ? 1.0 : 0.0;
+  return static_cast<double>(a.AndCount(b)) / static_cast<double>(smaller);
+}
+
+double CosineSimilarity(const BitVector& a, const BitVector& b) {
+  const size_t xa = a.Count();
+  const size_t xb = b.Count();
+  if (xa == 0 && xb == 0) return 1.0;
+  if (xa == 0 || xb == 0) return 0.0;
+  return static_cast<double>(a.AndCount(b)) /
+         std::sqrt(static_cast<double>(xa) * static_cast<double>(xb));
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return 1.0 - static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t window =
+      a.size() > b.size() ? a.size() / 2 : b.size() / 2;
+  const size_t match_window = window == 0 ? 0 : window - 1;
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > match_window ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) + m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double QGramDiceSimilarity(std::string_view a, std::string_view b, size_t q) {
+  QGramOptions opts;
+  opts.q = q;
+  const std::vector<std::string> ga = QGrams(a, opts);
+  const std::vector<std::string> gb = QGrams(b, opts);
+  if (ga.empty() && gb.empty()) return 1.0;
+  std::unordered_set<std::string> set_a(ga.begin(), ga.end());
+  size_t common = 0;
+  for (const std::string& g : gb) {
+    if (set_a.count(g) > 0) ++common;
+  }
+  return 2.0 * static_cast<double>(common) / static_cast<double>(ga.size() + gb.size());
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  constexpr int kMatch = 2;
+  constexpr int kMismatch = -1;
+  constexpr int kGap = -1;
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      const int diag = prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      const int up = prev[j] + kGap;
+      const int left = cur[j - 1] + kGap;
+      cur[j] = std::max({0, diag, up, left});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  const double denom = static_cast<double>(kMatch) * static_cast<double>(std::min(n, m));
+  return static_cast<double>(best) / denom;
+}
+
+double NumericAbsoluteSimilarity(double a, double b, double max_abs_diff) {
+  if (max_abs_diff <= 0) return a == b ? 1.0 : 0.0;
+  const double diff = std::abs(a - b);
+  return std::max(0.0, 1.0 - diff / max_abs_diff);
+}
+
+}  // namespace pprl

@@ -1,0 +1,63 @@
+#ifndef PPRL_SIMILARITY_SIMILARITY_H_
+#define PPRL_SIMILARITY_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace pprl {
+
+/// Token-based similarity functions on bit vectors — the functions PPRL
+/// matches Bloom-filter encodings with (survey §3.4 "Linkage technologies").
+/// All return values lie in [0, 1]; two empty filters compare as 1.
+
+/// Dice coefficient 2c / (x1 + x2).
+double DiceSimilarity(const BitVector& a, const BitVector& b);
+
+/// Multi-party Dice p*c / sum(x_i) over p >= 2 filters, the generalisation
+/// used by multi-database protocols [39, 42].
+double DiceSimilarity(const std::vector<const BitVector*>& filters);
+
+/// Jaccard coefficient |a AND b| / |a OR b|.
+double JaccardSimilarity(const BitVector& a, const BitVector& b);
+
+/// 1 - hamming_distance / length.
+double HammingSimilarity(const BitVector& a, const BitVector& b);
+
+/// Overlap coefficient c / min(x1, x2).
+double OverlapSimilarity(const BitVector& a, const BitVector& b);
+
+/// Cosine similarity c / sqrt(x1 * x2).
+double CosineSimilarity(const BitVector& a, const BitVector& b);
+
+/// String similarity functions for unencoded baselines and for the
+/// interactive/quality-evaluation paths that may see raw values.
+
+/// Levenshtein distance normalised to [0,1]: 1 - d / max(len).
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with the standard 0.1 prefix scale and 4-char prefix cap.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over q-gram sets of the raw strings — the unencoded
+/// reference value the Bloom-filter Dice approximates (experiment E1).
+double QGramDiceSimilarity(std::string_view a, std::string_view b, size_t q = 2);
+
+/// Smith-Waterman local-alignment similarity: best local alignment score
+/// (match +2, mismatch -1, gap -1) normalised by 2 * min(len) so a string
+/// fully contained in the other scores 1. The classic choice when one QID
+/// may be embedded in a longer free-text field ("anna" in "anna-maria").
+double SmithWatermanSimilarity(std::string_view a, std::string_view b);
+
+/// Similarity of two numeric values with a maximum tolerated absolute
+/// difference: max(0, 1 - |a-b| / max_abs_diff).
+double NumericAbsoluteSimilarity(double a, double b, double max_abs_diff);
+
+}  // namespace pprl
+
+#endif  // PPRL_SIMILARITY_SIMILARITY_H_

@@ -1,0 +1,219 @@
+#include "tuning/tuner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pprl {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Maps a normalised [0,1] coordinate to the spec's range (rounding for
+/// integer parameters).
+double Denormalize(double unit, const ParamSpec& spec) {
+  double v = spec.min_value + unit * (spec.max_value - spec.min_value);
+  if (spec.is_integer) v = std::round(v);
+  return std::clamp(v, spec.min_value, spec.max_value);
+}
+
+ParamPoint DenormalizePoint(const std::vector<double>& unit,
+                            const std::vector<ParamSpec>& space) {
+  ParamPoint point(space.size());
+  for (size_t d = 0; d < space.size(); ++d) point[d] = Denormalize(unit[d], space[d]);
+  return point;
+}
+
+/// Squared-exponential kernel on normalised coordinates.
+double RbfKernel(const std::vector<double>& x, const std::vector<double>& y,
+                 double length_scale) {
+  double sq = 0;
+  for (size_t d = 0; d < x.size(); ++d) sq += (x[d] - y[d]) * (x[d] - y[d]);
+  return std::exp(-sq / (2 * length_scale * length_scale));
+}
+
+/// In-place Cholesky decomposition A = L L^T (lower triangle). Returns
+/// false when A is not positive definite.
+bool Cholesky(std::vector<std::vector<double>>& a) {
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i][k] * a[j][k];
+      if (i == j) {
+        if (sum <= 0) return false;
+        a[i][i] = std::sqrt(sum);
+      } else {
+        a[i][j] = sum / a[j][j];
+      }
+    }
+    for (size_t j = i + 1; j < n; ++j) a[i][j] = 0;
+  }
+  return true;
+}
+
+/// Solves L y = b (forward substitution).
+std::vector<double> ForwardSolve(const std::vector<std::vector<double>>& l,
+                                 const std::vector<double>& b) {
+  const size_t n = l.size();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l[i][k] * y[k];
+    y[i] = sum / l[i][i];
+  }
+  return y;
+}
+
+/// Solves L^T x = y (backward substitution).
+std::vector<double> BackwardSolve(const std::vector<std::vector<double>>& l,
+                                  const std::vector<double>& y) {
+  const size_t n = l.size();
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l[k][i] * x[k];
+    x[i] = sum / l[i][i];
+  }
+  return x;
+}
+
+double NormalPdf(double z) { return std::exp(-z * z / 2) / std::sqrt(2 * M_PI); }
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+void Record(TuningResult& result, ParamPoint point, double value) {
+  result.history.push_back({std::move(point), value});
+  if (result.history.size() == 1 || value > result.best.value) {
+    result.best = result.history.back();
+  }
+}
+
+}  // namespace
+
+double TuningResult::BestAfter(size_t k) const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < history.size() && i < k; ++i) {
+    best = std::max(best, history[i].value);
+  }
+  return best;
+}
+
+TuningResult GridSearch(const std::vector<ParamSpec>& space, const Objective& objective,
+                        size_t points_per_dimension) {
+  TuningResult result;
+  const size_t levels = std::max<size_t>(1, points_per_dimension);
+  std::vector<size_t> index(space.size(), 0);
+  while (true) {
+    std::vector<double> unit(space.size());
+    for (size_t d = 0; d < space.size(); ++d) {
+      unit[d] = levels == 1 ? 0.5
+                            : static_cast<double>(index[d]) /
+                                  static_cast<double>(levels - 1);
+    }
+    ParamPoint point = DenormalizePoint(unit, space);
+    Record(result, point, objective(point));
+    // Odometer increment.
+    size_t d = 0;
+    while (d < space.size()) {
+      if (++index[d] < levels) break;
+      index[d] = 0;
+      ++d;
+    }
+    if (d == space.size()) break;
+  }
+  return result;
+}
+
+TuningResult RandomSearch(const std::vector<ParamSpec>& space, const Objective& objective,
+                          size_t budget, Rng& rng) {
+  TuningResult result;
+  for (size_t i = 0; i < budget; ++i) {
+    std::vector<double> unit(space.size());
+    for (double& u : unit) u = rng.NextDouble();
+    ParamPoint point = DenormalizePoint(unit, space);
+    Record(result, point, objective(point));
+  }
+  return result;
+}
+
+TuningResult BayesianOptimization(const std::vector<ParamSpec>& space,
+                                  const Objective& objective, size_t budget, Rng& rng,
+                                  const BayesianOptOptions& options) {
+  TuningResult result;
+  std::vector<std::vector<double>> unit_points;  // normalised coordinates
+  std::vector<double> values;
+
+  auto evaluate = [&](const std::vector<double>& unit) {
+    ParamPoint point = DenormalizePoint(unit, space);
+    const double value = objective(point);
+    unit_points.push_back(unit);
+    values.push_back(value);
+    Record(result, std::move(point), value);
+  };
+
+  const size_t warmup = std::min(budget, options.initial_random);
+  for (size_t i = 0; i < warmup; ++i) {
+    std::vector<double> unit(space.size());
+    for (double& u : unit) u = rng.NextDouble();
+    evaluate(unit);
+  }
+
+  for (size_t step = warmup; step < budget; ++step) {
+    // Fit the GP: K = kernel matrix + noise, alpha = K^-1 (y - mean).
+    const size_t n = unit_points.size();
+    double mean = 0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(n);
+
+    std::vector<std::vector<double>> k(n, std::vector<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        k[i][j] = RbfKernel(unit_points[i], unit_points[j], options.kernel_length_scale);
+      }
+      k[i][i] += options.noise;
+    }
+    std::vector<double> centered(n);
+    for (size_t i = 0; i < n; ++i) centered[i] = values[i] - mean;
+    if (!Cholesky(k)) {
+      // Numerical failure: fall back to a random probe this step.
+      std::vector<double> unit(space.size());
+      for (double& u : unit) u = rng.NextDouble();
+      evaluate(unit);
+      continue;
+    }
+    const std::vector<double> alpha = BackwardSolve(k, ForwardSolve(k, centered));
+
+    // Expected improvement over the incumbent at random candidates.
+    const double best_value = result.best.value;
+    double best_ei = -1;
+    std::vector<double> best_unit(space.size(), 0.5);
+    for (size_t s = 0; s < options.acquisition_samples; ++s) {
+      std::vector<double> unit(space.size());
+      for (double& u : unit) u = Clamp01(rng.NextDouble());
+      std::vector<double> k_star(n);
+      for (size_t i = 0; i < n; ++i) {
+        k_star[i] = RbfKernel(unit, unit_points[i], options.kernel_length_scale);
+      }
+      double mu = mean;
+      for (size_t i = 0; i < n; ++i) mu += k_star[i] * alpha[i];
+      // Predictive variance: k(x,x) - v^T v with v = L^-1 k_star.
+      const std::vector<double> v = ForwardSolve(k, k_star);
+      double var = 1.0 + options.noise;
+      for (double vi : v) var -= vi * vi;
+      const double sigma = std::sqrt(std::max(var, 1e-12));
+      const double z = (mu - best_value) / sigma;
+      const double ei = (mu - best_value) * NormalCdf(z) + sigma * NormalPdf(z);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_unit = unit;
+      }
+    }
+    evaluate(best_unit);
+  }
+  return result;
+}
+
+}  // namespace pprl

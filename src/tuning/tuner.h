@@ -1,0 +1,69 @@
+#ifndef PPRL_TUNING_TUNER_H_
+#define PPRL_TUNING_TUNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pprl {
+
+/// One tunable parameter of a PPRL pipeline (Bloom-filter length, number of
+/// hash functions, match threshold, LSH table count, ...).
+struct ParamSpec {
+  std::string name;
+  double min_value = 0;
+  double max_value = 1;
+  bool is_integer = false;
+};
+
+/// A full assignment: one value per ParamSpec, in spec order.
+using ParamPoint = std::vector<double>;
+
+/// Black-box objective to MAXIMISE (e.g. F1 of a linkage run).
+using Objective = std::function<double(const ParamPoint&)>;
+
+/// One evaluated configuration.
+struct Evaluation {
+  ParamPoint point;
+  double value = 0;
+};
+
+/// Result of a tuning run: every evaluation plus the incumbent.
+struct TuningResult {
+  std::vector<Evaluation> history;
+  Evaluation best;
+
+  /// Best objective value seen after the first `k` evaluations, for
+  /// convergence plots (experiment E10).
+  double BestAfter(size_t k) const;
+};
+
+/// Exhaustive grid search with `points_per_dimension` levels per parameter
+/// (§3.1: tunes "in an isolated way disregarding past evaluations").
+TuningResult GridSearch(const std::vector<ParamSpec>& space, const Objective& objective,
+                        size_t points_per_dimension);
+
+/// Uniform random search with `budget` evaluations [3].
+TuningResult RandomSearch(const std::vector<ParamSpec>& space, const Objective& objective,
+                          size_t budget, Rng& rng);
+
+/// Bayesian optimisation with a Gaussian-process surrogate and expected-
+/// improvement acquisition [36]: uses everything seen so far to pick the
+/// next configuration, which is what the survey recommends over grid and
+/// random search for PPRL parameter tuning.
+struct BayesianOptOptions {
+  size_t initial_random = 5;      ///< warm-up evaluations before the GP
+  size_t acquisition_samples = 500;  ///< candidate points scored per step
+  double kernel_length_scale = 0.2;  ///< RBF length scale in normalised [0,1] space
+  double noise = 1e-6;            ///< observation noise added to the kernel diagonal
+};
+TuningResult BayesianOptimization(const std::vector<ParamSpec>& space,
+                                  const Objective& objective, size_t budget, Rng& rng,
+                                  const BayesianOptOptions& options = {});
+
+}  // namespace pprl
+
+#endif  // PPRL_TUNING_TUNER_H_

@@ -1,0 +1,131 @@
+#include "privacy/accountability.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+PairSimilarityFunction Dice() {
+  return [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); };
+}
+
+struct AuditFixture {
+  std::vector<BitVector> fa;
+  std::vector<BitVector> fb;
+  std::vector<CandidatePair> candidates;
+  std::vector<ComparisonRecord> honest;
+};
+
+AuditFixture MakeSetup() {
+  AuditFixture s;
+  const BloomFilterEncoder encoder({300, 10, BloomHashScheme::kDoubleHashing, ""});
+  const std::vector<std::string> names = {"smith", "jones", "garcia", "chen", "patel"};
+  for (const auto& n : names) {
+    s.fa.push_back(encoder.EncodeString(n));
+    s.fb.push_back(encoder.EncodeString(n + "x"));
+  }
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = 0; j < 5; ++j) {
+      s.candidates.push_back({i, j});
+      s.honest.push_back({i, j, DiceSimilarity(s.fa[i], s.fb[j])});
+    }
+  }
+  return s;
+}
+
+TEST(CommitmentTest, DeterministicAndOrderSensitive) {
+  const AuditFixture s = MakeSetup();
+  const auto c1 = CommitToComparisons(s.honest);
+  const auto c2 = CommitToComparisons(s.honest);
+  EXPECT_EQ(c1.digest_hex, c2.digest_hex);
+  EXPECT_EQ(c1.num_records, 25u);
+  auto reordered = s.honest;
+  std::swap(reordered[0], reordered[1]);
+  EXPECT_NE(CommitToComparisons(reordered).digest_hex, c1.digest_hex);
+}
+
+TEST(CommitmentTest, SensitiveToScores) {
+  const AuditFixture s = MakeSetup();
+  auto tampered = s.honest;
+  tampered[3].score += 0.001;
+  EXPECT_NE(CommitToComparisons(tampered).digest_hex,
+            CommitToComparisons(s.honest).digest_hex);
+}
+
+TEST(AuditTest, HonestLuPasses) {
+  const AuditFixture s = MakeSetup();
+  const auto commitment = CommitToComparisons(s.honest);
+  Rng rng(1);
+  auto report = AuditComparisons(commitment, s.honest, s.candidates, s.fa, s.fb,
+                                 Dice(), 20, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Passed());
+  EXPECT_TRUE(report->commitment_valid);
+  EXPECT_EQ(report->mismatches, 0u);
+  EXPECT_EQ(report->missing_pairs, 0u);
+}
+
+TEST(AuditTest, TamperedScoresCaught) {
+  const AuditFixture s = MakeSetup();
+  auto lying = s.honest;
+  for (size_t i = 0; i < lying.size(); i += 2) lying[i].score = 0.0;  // falsify half
+  // The LU commits to the *lie*, so the chain verifies — the sampling must
+  // catch the score deviations.
+  const auto commitment = CommitToComparisons(lying);
+  Rng rng(2);
+  auto report =
+      AuditComparisons(commitment, lying, s.candidates, s.fa, s.fb, Dice(), 25, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->commitment_valid);
+  EXPECT_GT(report->mismatches, 0u);
+  EXPECT_FALSE(report->Passed());
+}
+
+TEST(AuditTest, SkippedComparisonsCaught) {
+  const AuditFixture s = MakeSetup();
+  std::vector<ComparisonRecord> lazy(s.honest.begin(), s.honest.begin() + 10);
+  const auto commitment = CommitToComparisons(lazy);
+  Rng rng(3);
+  auto report =
+      AuditComparisons(commitment, lazy, s.candidates, s.fa, s.fb, Dice(), 25, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->missing_pairs, 0u);
+  EXPECT_FALSE(report->Passed());
+}
+
+TEST(AuditTest, SwappedCommitmentDetected) {
+  const AuditFixture s = MakeSetup();
+  auto altered = s.honest;
+  altered[0].score = 0.42;
+  // LU publishes a commitment to the honest run but reports altered records.
+  const auto commitment = CommitToComparisons(s.honest);
+  Rng rng(4);
+  auto report =
+      AuditComparisons(commitment, altered, s.candidates, s.fa, s.fb, Dice(), 5, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->commitment_valid);
+  EXPECT_FALSE(report->Passed());
+}
+
+TEST(AuditTest, RejectsOutOfRangeCandidates) {
+  const AuditFixture s = MakeSetup();
+  const auto commitment = CommitToComparisons(s.honest);
+  Rng rng(5);
+  const std::vector<CandidatePair> bad = {{99, 0}};
+  EXPECT_FALSE(
+      AuditComparisons(commitment, s.honest, bad, s.fa, s.fb, Dice(), 5, rng).ok());
+}
+
+TEST(DetectionProbabilityTest, Formula) {
+  EXPECT_DOUBLE_EQ(DetectionProbability(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(DetectionProbability(1.0, 1), 1.0);
+  EXPECT_NEAR(DetectionProbability(0.1, 22), 1 - std::pow(0.9, 22), 1e-12);
+  // The deterrence headline: 5% cheating, 60 samples -> caught with ~95%.
+  EXPECT_GT(DetectionProbability(0.05, 60), 0.95);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,50 @@
+#include "common/base64.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pprl {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(Bytes("")), "");
+  EXPECT_EQ(Base64Encode(Bytes("f")), "Zg==");
+  EXPECT_EQ(Base64Encode(Bytes("fo")), "Zm8=");
+  EXPECT_EQ(Base64Encode(Bytes("foo")), "Zm9v");
+  EXPECT_EQ(Base64Encode(Bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode(Bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode(Bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeVectors) {
+  EXPECT_EQ(Base64Decode("Zm9vYmFy").value(), Bytes("foobar"));
+  EXPECT_EQ(Base64Decode("Zg==").value(), Bytes("f"));
+  EXPECT_EQ(Base64Decode("").value(), Bytes(""));
+}
+
+TEST(Base64Test, RejectsMalformedInput) {
+  EXPECT_FALSE(Base64Decode("abc").ok());        // not multiple of 4
+  EXPECT_FALSE(Base64Decode("ab!d").ok());       // bad character
+  EXPECT_FALSE(Base64Decode("=abc").ok());       // padding at the start
+  EXPECT_FALSE(Base64Decode("a=bc").ok());       // data after padding
+  EXPECT_FALSE(Base64Decode("Zg==Zg==").ok());   // padding mid-stream
+}
+
+TEST(Base64Test, RoundTripRandomBinary) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> data(rng.NextUint64(200));
+    for (auto& b : data) b = static_cast<uint8_t>(rng.NextUint64(256));
+    auto decoded = Base64Decode(Base64Encode(data));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,190 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(BigIntTest, ConstructionAndDecimal) {
+  EXPECT_EQ(BigInt().ToDecimal(), "0");
+  EXPECT_EQ(BigInt(0).ToDecimal(), "0");
+  EXPECT_EQ(BigInt(42).ToDecimal(), "42");
+  EXPECT_EQ(BigInt(-42).ToDecimal(), "-42");
+  EXPECT_EQ(BigInt(INT64_MAX).ToDecimal(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToDecimal(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromDecimalRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigInt::FromDecimal(big).ToDecimal(), big);
+  EXPECT_EQ(BigInt::FromDecimal("-" + big).ToDecimal(), "-" + big);
+  EXPECT_EQ(BigInt::FromDecimal("0").ToDecimal(), "0");
+  EXPECT_EQ(BigInt::FromDecimal("-0").ToDecimal(), "0");
+  EXPECT_EQ(BigInt::FromDecimal("007").ToDecimal(), "7");
+}
+
+TEST(BigIntTest, AdditionWithCarries) {
+  const BigInt a = BigInt::FromDecimal("99999999999999999999999999");
+  EXPECT_EQ((a + BigInt(1)).ToDecimal(), "100000000000000000000000000");
+  EXPECT_EQ((a + a).ToDecimal(), "199999999999999999999999998");
+}
+
+TEST(BigIntTest, SignedAddSub) {
+  EXPECT_EQ((BigInt(5) + BigInt(-8)).ToDecimal(), "-3");
+  EXPECT_EQ((BigInt(-5) + BigInt(8)).ToDecimal(), "3");
+  EXPECT_EQ((BigInt(-5) + BigInt(-8)).ToDecimal(), "-13");
+  EXPECT_EQ((BigInt(5) - BigInt(8)).ToDecimal(), "-3");
+  EXPECT_EQ((BigInt(-5) - BigInt(-5)).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  const BigInt a = BigInt::FromDecimal("123456789012345678901234567890");
+  const BigInt b = BigInt::FromDecimal("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToDecimal(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ((a * BigInt(0)).ToDecimal(), "0");
+  EXPECT_EQ((a * BigInt(-1)).ToDecimal(), "-123456789012345678901234567890");
+}
+
+TEST(BigIntTest, DivisionAndRemainder) {
+  const BigInt a = BigInt::FromDecimal("1000000000000000000000");
+  const BigInt b = BigInt::FromDecimal("7777777777");
+  const BigInt q = a / b;
+  const BigInt r = a % b;
+  EXPECT_EQ((q * b + r), a);
+  EXPECT_TRUE(r >= BigInt(0));
+  EXPECT_TRUE(r < b);
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToDecimal(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToDecimal(), "-3");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).ToDecimal(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToDecimal(), "-1");
+}
+
+TEST(BigIntTest, DivisionBySingleLimb) {
+  const BigInt a = BigInt::FromDecimal("123456789012345678901234567890");
+  EXPECT_EQ((a / BigInt(10)).ToDecimal(), "12345678901234567890123456789");
+  EXPECT_EQ((a % BigInt(10)).ToDecimal(), "0");
+}
+
+/// Randomised divmod invariant: a == q*b + r, 0 <= |r| < |b|.
+TEST(BigIntProperty, DivModInvariant) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BigInt a = BigInt::RandomBits(rng, 16 + rng.NextUint64(200));
+    const BigInt b = BigInt::RandomBits(rng, 1 + rng.NextUint64(120));
+    const BigInt q = a / b;
+    const BigInt r = a % b;
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b);
+    EXPECT_TRUE(r >= BigInt(0));
+  }
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_TRUE(BigInt(-5) < BigInt(3));
+  EXPECT_TRUE(BigInt(3) < BigInt(5));
+  EXPECT_TRUE(BigInt(-5) < BigInt(-3));
+  EXPECT_TRUE(BigInt(5) == BigInt(5));
+  EXPECT_TRUE(BigInt(5) != BigInt(-5));
+  EXPECT_TRUE(BigInt::FromDecimal("10000000000000000000") >
+              BigInt::FromDecimal("9999999999999999999"));
+}
+
+TEST(BigIntTest, Shifts) {
+  EXPECT_EQ(BigInt(1).ShiftLeft(100).ToDecimal(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt(1).ShiftLeft(100).ShiftRight(100), BigInt(1));
+  EXPECT_EQ(BigInt(255).ShiftRight(4).ToDecimal(), "15");
+  EXPECT_EQ(BigInt(1).ShiftRight(1).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, BitLengthAndBit) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_TRUE(BigInt(5).Bit(0));
+  EXPECT_FALSE(BigInt(5).Bit(1));
+  EXPECT_TRUE(BigInt(5).Bit(2));
+  EXPECT_FALSE(BigInt(5).Bit(64));
+}
+
+TEST(BigIntTest, PowMod) {
+  // 3^20 mod 1000 = 3486784401 mod 1000 = 401.
+  EXPECT_EQ(PowMod(BigInt(3), BigInt(20), BigInt(1000)).ToDecimal(), "401");
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigInt p(1000003);
+  EXPECT_EQ(PowMod(BigInt(12345), p - BigInt(1), p), BigInt(1));
+  EXPECT_EQ(PowMod(BigInt(5), BigInt(0), BigInt(7)), BigInt(1));
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(Gcd(BigInt(48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(Gcd(BigInt(-48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(Gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(Gcd(BigInt(0), BigInt(9)), BigInt(9));
+  EXPECT_EQ(Lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(Lcm(BigInt(0), BigInt(6)), BigInt(0));
+}
+
+TEST(BigIntTest, ModInverse) {
+  auto inv = ModInverse(BigInt(3), BigInt(11));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv.value(), BigInt(4));  // 3*4 = 12 = 1 mod 11
+  EXPECT_FALSE(ModInverse(BigInt(6), BigInt(9)).ok());  // gcd 3
+}
+
+TEST(BigIntProperty, ModInverseRandom) {
+  Rng rng(7);
+  const BigInt m = BigInt::RandomPrime(rng, 64);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BigInt a = BigInt(1) + BigInt::Random(rng, m - BigInt(1));
+    auto inv = ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(MulMod(a, inv.value(), m), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, MillerRabinKnownValues) {
+  Rng rng(3);
+  EXPECT_FALSE(IsProbablePrime(BigInt(0), rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(1), rng));
+  EXPECT_TRUE(IsProbablePrime(BigInt(2), rng));
+  EXPECT_TRUE(IsProbablePrime(BigInt(97), rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(561), rng));   // Carmichael number
+  EXPECT_FALSE(IsProbablePrime(BigInt(8911), rng));  // Carmichael number
+  EXPECT_TRUE(IsProbablePrime(BigInt::FromDecimal("170141183460469231731687303715884105727"),
+                              rng));  // 2^127 - 1
+  EXPECT_FALSE(IsProbablePrime(BigInt::FromDecimal("170141183460469231731687303715884105725"),
+                               rng));
+}
+
+TEST(BigIntTest, RandomPrimeHasRequestedBits) {
+  Rng rng(31);
+  for (size_t bits : {16, 24, 48}) {
+    const BigInt p = BigInt::RandomPrime(rng, bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(BigIntTest, RandomIsBounded) {
+  Rng rng(41);
+  const BigInt bound = BigInt::FromDecimal("1000000000000");
+  for (int i = 0; i < 100; ++i) {
+    const BigInt r = BigInt::Random(rng, bound);
+    EXPECT_TRUE(r >= BigInt(0));
+    EXPECT_TRUE(r < bound);
+  }
+}
+
+TEST(BigIntTest, ToInt64) {
+  EXPECT_EQ(BigInt(12345).ToInt64(), 12345);
+  EXPECT_EQ(BigInt(-12345).ToInt64(), -12345);
+  EXPECT_EQ(BigInt(0).ToInt64(), 0);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,180 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pprl {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.Count(), 0u);
+  for (size_t i = 0; i < bv.size(); ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bv(100);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(99));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Count(), 4u);
+}
+
+TEST(BitVectorTest, SetFalseClearsBit) {
+  BitVector bv(10);
+  bv.Set(5);
+  EXPECT_TRUE(bv.Get(5));
+  bv.Set(5, false);
+  EXPECT_FALSE(bv.Get(5));
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVectorTest, FlipTogglesBit) {
+  BitVector bv(70);
+  bv.Flip(65);
+  EXPECT_TRUE(bv.Get(65));
+  bv.Flip(65);
+  EXPECT_FALSE(bv.Get(65));
+}
+
+TEST(BitVectorTest, CountCachedAcrossMutation) {
+  BitVector bv(128);
+  for (size_t i = 0; i < 128; i += 2) bv.Set(i);
+  EXPECT_EQ(bv.Count(), 64u);
+  bv.Set(1);
+  EXPECT_EQ(bv.Count(), 65u);  // cache must be invalidated by Set
+  bv.Flip(1);
+  EXPECT_EQ(bv.Count(), 64u);
+  bv.Clear();
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVectorTest, AndOrXorCounts) {
+  BitVector a(200), b(200);
+  a.Set(3);
+  a.Set(100);
+  a.Set(150);
+  b.Set(100);
+  b.Set(150);
+  b.Set(199);
+  EXPECT_EQ(a.AndCount(b), 2u);
+  EXPECT_EQ(a.OrCount(b), 4u);
+  EXPECT_EQ(a.XorCount(b), 2u);
+}
+
+TEST(BitVectorTest, InPlaceOperators) {
+  BitVector a(65), b(65);
+  a.Set(0);
+  a.Set(64);
+  b.Set(64);
+  BitVector and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Get(64));
+
+  BitVector or_result = a;
+  or_result |= b;
+  EXPECT_EQ(or_result.Count(), 2u);
+
+  BitVector xor_result = a;
+  xor_result ^= b;
+  EXPECT_EQ(xor_result.Count(), 1u);
+  EXPECT_TRUE(xor_result.Get(0));
+}
+
+TEST(BitVectorTest, ConcatPreservesBothHalves) {
+  BitVector a(3), b(4);
+  a.Set(1);
+  b.Set(0);
+  b.Set(3);
+  a.Concat(b);
+  EXPECT_EQ(a.size(), 7u);
+  EXPECT_FALSE(a.Get(0));
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(3));
+  EXPECT_TRUE(a.Get(6));
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(BitVectorTest, SetPositionsRoundTrip) {
+  BitVector bv(300);
+  const std::vector<uint32_t> expected = {0, 5, 63, 64, 128, 299};
+  for (uint32_t pos : expected) bv.Set(pos);
+  EXPECT_EQ(bv.SetPositions(), expected);
+}
+
+TEST(BitVectorTest, ToStringFromStringRoundTrip) {
+  BitVector bv(9);
+  bv.Set(2);
+  bv.Set(8);
+  const std::string s = bv.ToString();
+  EXPECT_EQ(s, "001000001");
+  EXPECT_EQ(BitVector::FromString(s), bv);
+}
+
+TEST(BitVectorTest, FromStringRejectsBadChars) {
+  EXPECT_TRUE(BitVector::FromString("01x").empty());
+}
+
+TEST(BitVectorTest, EqualityRequiresSameLength) {
+  BitVector a(5), b(6);
+  EXPECT_FALSE(a == b);
+  BitVector c(5);
+  EXPECT_TRUE(a == c);
+  c.Set(0);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bv;
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_EQ(bv.ToString(), "");
+  EXPECT_TRUE(bv.SetPositions().empty());
+}
+
+/// Property: for random vectors, |a| + |b| == |a AND b| + |a OR b|.
+TEST(BitVectorProperty, InclusionExclusion) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.NextUint64(500);
+    BitVector a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.3)) a.Set(i);
+      if (rng.NextBool(0.3)) b.Set(i);
+    }
+    EXPECT_EQ(a.Count() + b.Count(), a.AndCount(b) + a.OrCount(b));
+    EXPECT_EQ(a.XorCount(b), a.OrCount(b) - a.AndCount(b));
+  }
+}
+
+class BitVectorSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitVectorSizeTest, CountMatchesSetPositions) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  BitVector bv(n);
+  size_t expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.4)) {
+      bv.Set(i);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(bv.Count(), expected);
+  EXPECT_EQ(bv.SetPositions().size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129, 1000, 4096));
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,218 @@
+#include "encoding/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+BloomFilterParams SmallParams() {
+  BloomFilterParams params;
+  params.num_bits = 500;
+  params.num_hashes = 15;
+  return params;
+}
+
+TEST(BloomFilterParamsTest, Validation) {
+  EXPECT_TRUE(SmallParams().Validate().ok());
+  BloomFilterParams zero_bits = SmallParams();
+  zero_bits.num_bits = 0;
+  EXPECT_FALSE(zero_bits.Validate().ok());
+  BloomFilterParams zero_hashes = SmallParams();
+  zero_hashes.num_hashes = 0;
+  EXPECT_FALSE(zero_hashes.Validate().ok());
+  BloomFilterParams keyed = SmallParams();
+  keyed.scheme = BloomHashScheme::kKeyedHmac;
+  EXPECT_FALSE(keyed.Validate().ok());  // missing key
+  keyed.secret_key = "k";
+  EXPECT_TRUE(keyed.Validate().ok());
+}
+
+TEST(BloomFilterEncoderTest, DeterministicEncoding) {
+  const BloomFilterEncoder encoder(SmallParams());
+  EXPECT_EQ(encoder.EncodeString("smith"), encoder.EncodeString("smith"));
+  EXPECT_NE(encoder.EncodeString("smith"), encoder.EncodeString("jones"));
+}
+
+TEST(BloomFilterEncoderTest, TokenPositionsWithinRange) {
+  const BloomFilterEncoder encoder(SmallParams());
+  const auto positions = encoder.TokenPositions("ab");
+  EXPECT_EQ(positions.size(), SmallParams().num_hashes);
+  for (uint32_t pos : positions) EXPECT_LT(pos, SmallParams().num_bits);
+}
+
+TEST(BloomFilterEncoderTest, AllTokenBitsAreSet) {
+  const BloomFilterEncoder encoder(SmallParams());
+  const std::vector<std::string> tokens = {"ab", "bc", "cd"};
+  const BitVector filter = encoder.EncodeTokens(tokens);
+  for (const std::string& token : tokens) {
+    for (uint32_t pos : encoder.TokenPositions(token)) {
+      EXPECT_TRUE(filter.Get(pos));
+    }
+  }
+}
+
+TEST(BloomFilterEncoderTest, KeyedSchemeDiffersByKey) {
+  BloomFilterParams p1 = SmallParams();
+  p1.scheme = BloomHashScheme::kKeyedHmac;
+  p1.secret_key = "key-one";
+  BloomFilterParams p2 = p1;
+  p2.secret_key = "key-two";
+  const BloomFilterEncoder e1(p1), e2(p2);
+  EXPECT_NE(e1.EncodeString("smith"), e2.EncodeString("smith"));
+}
+
+TEST(BloomFilterEncoderTest, NormalizationBeforeEncoding) {
+  const BloomFilterEncoder encoder(SmallParams());
+  EXPECT_EQ(encoder.EncodeString("  SMITH "), encoder.EncodeString("smith"));
+}
+
+/// The core Figure-2 property: Dice of encoded filters tracks the Dice of
+/// the underlying q-gram sets for similar and dissimilar names.
+TEST(BloomFilterEncoderTest, DicePreservation) {
+  const BloomFilterEncoder encoder(SmallParams());
+  const BitVector smith = encoder.EncodeString("smith");
+  const BitVector smyth = encoder.EncodeString("smyth");
+  const BitVector jones = encoder.EncodeString("jones");
+  const double sim_close = DiceSimilarity(smith, smyth);
+  const double sim_far = DiceSimilarity(smith, jones);
+  const double raw_close = QGramDiceSimilarity("smith", "smyth");
+  EXPECT_GT(sim_close, sim_far);
+  EXPECT_NEAR(sim_close, raw_close, 0.15);  // collisions bias upward slightly
+  EXPECT_EQ(DiceSimilarity(smith, smith), 1.0);
+}
+
+TEST(ClkEncoderTest, EncodesStandardRecord) {
+  const Schema schema = DataGenerator::StandardSchema();
+  Record record;
+  record.values = {"mary", "smith", "f", "1980-02-29", "springfield",
+                   "12 main st", "2000", "0412345678"};
+  BloomFilterParams params;
+  params.num_bits = 1000;
+  std::vector<ClkFieldConfig> fields;
+  ClkFieldConfig first;
+  first.field_name = "first_name";
+  fields.push_back(first);
+  ClkFieldConfig dob;
+  dob.field_name = "dob";
+  fields.push_back(dob);
+  const ClkEncoder encoder(params, fields);
+  auto clk = encoder.Encode(schema, record);
+  ASSERT_TRUE(clk.ok());
+  EXPECT_GT(clk->Count(), 0u);
+  EXPECT_EQ(clk->size(), 1000u);
+}
+
+TEST(ClkEncoderTest, UnknownFieldFails) {
+  const Schema schema = DataGenerator::StandardSchema();
+  Record record;
+  record.values.assign(schema.size(), "x");
+  ClkFieldConfig bogus;
+  bogus.field_name = "no_such_field";
+  const ClkEncoder encoder(SmallParams(), {bogus});
+  EXPECT_FALSE(encoder.Encode(schema, record).ok());
+}
+
+TEST(ClkEncoderTest, ShortRecordFails) {
+  const Schema schema = DataGenerator::StandardSchema();
+  Record record;  // no values at all
+  ClkFieldConfig first;
+  first.field_name = "first_name";
+  const ClkEncoder encoder(SmallParams(), {first});
+  EXPECT_FALSE(encoder.Encode(schema, record).ok());
+}
+
+TEST(ClkEncoderTest, FieldSeparationPreventsCrossFieldCollisions) {
+  // Identical value in different fields must produce different positions.
+  const Schema schema = DataGenerator::StandardSchema();
+  Record r1, r2;
+  r1.values = {"jo", "", "", "", "", "", "", ""};
+  r2.values = {"", "jo", "", "", "", "", "", ""};
+  ClkFieldConfig first, last;
+  first.field_name = "first_name";
+  last.field_name = "last_name";
+  const ClkEncoder encoder(SmallParams(), {first, last});
+  auto c1 = encoder.Encode(schema, r1);
+  auto c2 = encoder.Encode(schema, r2);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1.value(), c2.value());
+}
+
+TEST(ClkEncoderTest, NumericFieldUsesNeighborhoodTokens) {
+  Schema schema;
+  schema.fields = {{"age", FieldType::kNumeric}};
+  Record r30, r31, r60;
+  r30.values = {"30"};
+  r31.values = {"31"};
+  r60.values = {"60"};
+  ClkFieldConfig age;
+  age.field_name = "age";
+  age.numeric_step = 1.0;
+  age.numeric_neighbors = 5;
+  BloomFilterParams params;
+  params.num_bits = 1000;
+  const ClkEncoder encoder(params, {age});
+  const BitVector f30 = encoder.Encode(schema, r30).value();
+  const BitVector f31 = encoder.Encode(schema, r31).value();
+  const BitVector f60 = encoder.Encode(schema, r60).value();
+  EXPECT_GT(DiceSimilarity(f30, f31), 0.8);
+  // Far-apart values share no tokens; only hash collisions remain.
+  EXPECT_LT(DiceSimilarity(f30, f60), 0.3);
+}
+
+TEST(ClkEncoderTest, NonNumericValueInNumericFieldFails) {
+  Schema schema;
+  schema.fields = {{"age", FieldType::kNumeric}};
+  Record bad;
+  bad.values = {"not-a-number"};
+  ClkFieldConfig age;
+  age.field_name = "age";
+  age.numeric_step = 1.0;
+  const ClkEncoder encoder(SmallParams(), {age});
+  EXPECT_FALSE(encoder.Encode(schema, bad).ok());
+}
+
+TEST(ClkEncoderTest, EncodeDatabaseMatchesPerRecord) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(20);
+  BloomFilterParams params;
+  params.num_bits = 800;
+  ClkFieldConfig first;
+  first.field_name = "first_name";
+  const ClkEncoder encoder(params, {first});
+  auto all = encoder.EncodeDatabase(db);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), db.records.size());
+  for (size_t i = 0; i < db.records.size(); ++i) {
+    EXPECT_EQ((*all)[i], encoder.Encode(db.schema, db.records[i]).value());
+  }
+}
+
+class BloomLengthSweep : public ::testing::TestWithParam<size_t> {};
+
+/// Property: longer filters reduce collision bias, so encoded Dice converges
+/// to raw q-gram Dice from above as l grows.
+TEST_P(BloomLengthSweep, CollisionBiasShrinksWithLength) {
+  BloomFilterParams params;
+  params.num_bits = GetParam();
+  params.num_hashes = 10;
+  const BloomFilterEncoder encoder(params);
+  const double raw = QGramDiceSimilarity("katherine", "catherine");
+  const double encoded = DiceSimilarity(encoder.EncodeString("katherine"),
+                                        encoder.EncodeString("catherine"));
+  const double bias = std::abs(encoded - raw);
+  // At l = 4000 the bias must be tiny; at 250 it may be sizable.
+  if (GetParam() >= 4000) {
+    EXPECT_LT(bias, 0.05);
+  } else {
+    EXPECT_LT(bias, 0.4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BloomLengthSweep,
+                         ::testing::Values(250, 500, 1000, 2000, 4000));
+
+}  // namespace
+}  // namespace pprl

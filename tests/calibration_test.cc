@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+
+namespace pprl {
+namespace {
+
+TEST(CalibrateThresholdTest, SuggestedThresholdIsNearOptimal) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 300;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  const Database& a = (*dbs)[0];
+  const Database& b = (*dbs)[1];
+
+  PipelineConfig config;
+  auto threshold = PprlPipeline::CalibrateThreshold(config, a, b);
+  ASSERT_TRUE(threshold.ok()) << threshold.status().ToString();
+  EXPECT_GT(threshold.value(), 0.55);
+  EXPECT_LT(threshold.value(), 0.98);
+
+  // Linking at the calibrated threshold must come close to the best F1
+  // found by an exhaustive (ground-truth-using) threshold sweep.
+  const GroundTruth truth(a, b);
+  auto run_at = [&](double t) {
+    PipelineConfig c = config;
+    c.match_threshold = t;
+    auto output = PprlPipeline(c).Link(a, b);
+    return output.ok() ? EvaluateMatches(output->matches, truth).F1() : 0.0;
+  };
+  const double calibrated_f1 = run_at(threshold.value());
+  double best_f1 = 0;
+  for (double t = 0.6; t <= 0.95; t += 0.05) best_f1 = std::max(best_f1, run_at(t));
+  EXPECT_GT(calibrated_f1, best_f1 - 0.12);
+}
+
+TEST(CalibrateThresholdTest, PropagatesPipelineErrors) {
+  PipelineConfig broken;
+  broken.bloom.num_bits = 0;
+  Database empty;
+  empty.schema = DataGenerator::StandardSchema();
+  EXPECT_FALSE(PprlPipeline::CalibrateThreshold(broken, empty, empty).ok());
+}
+
+TEST(CalibrateThresholdTest, TooFewScoresFails) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database tiny = gen.GenerateClean(2);
+  PipelineConfig config;
+  config.blocking = BlockingScheme::kNone;
+  // 4 candidate scores < the mixture's minimum sample.
+  EXPECT_FALSE(PprlPipeline::CalibrateThreshold(config, tiny, tiny).ok());
+}
+
+}  // namespace
+}  // namespace pprl

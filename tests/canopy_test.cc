@@ -1,0 +1,87 @@
+#include "blocking/canopy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "eval/metrics.h"
+#include "datagen/generator.h"
+
+namespace pprl {
+namespace {
+
+MinHashSignature Sign(const MinHasher& hasher, const std::string& value) {
+  return hasher.Sign(QGrams(NormalizeQid(value)));
+}
+
+TEST(CanopyBlockerTest, SimilarRecordsShareCanopy) {
+  const MinHasher hasher(128, 1);
+  const std::vector<MinHashSignature> a = {Sign(hasher, "katherine"),
+                                           Sign(hasher, "wilson")};
+  const std::vector<MinHashSignature> b = {Sign(hasher, "catherine"),
+                                           Sign(hasher, "nguyen")};
+  CanopyBlocker blocker(0.3, 0.8, 7);
+  const auto pairs = blocker.CandidatePairs(a, b);
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.a == 0 && p.b == 0) found = true;
+    EXPECT_FALSE(p.a == 1 && p.b == 1);  // wilson/nguyen unrelated
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CanopyBlockerTest, EmptyInputs) {
+  CanopyBlocker blocker(0.3, 0.8, 1);
+  EXPECT_TRUE(blocker.CandidatePairs({}, {}).empty());
+  const MinHasher hasher(64, 2);
+  const std::vector<MinHashSignature> a = {Sign(hasher, "x")};
+  EXPECT_TRUE(blocker.CandidatePairs(a, {}).empty());
+}
+
+TEST(CanopyBlockerTest, SwappedThresholdsReordered) {
+  // (loose, tight) passed reversed must still work.
+  const MinHasher hasher(64, 3);
+  const std::vector<MinHashSignature> a = {Sign(hasher, "smith")};
+  const std::vector<MinHashSignature> b = {Sign(hasher, "smith")};
+  CanopyBlocker blocker(0.9, 0.2, 5);
+  EXPECT_EQ(blocker.CandidatePairs(a, b).size(), 1u);
+}
+
+TEST(CanopyBlockerTest, CountsCanopies) {
+  const MinHasher hasher(64, 4);
+  const std::vector<MinHashSignature> a = {Sign(hasher, "alpha"), Sign(hasher, "zzzz")};
+  const std::vector<MinHashSignature> b = {Sign(hasher, "alpha"), Sign(hasher, "qqqq")};
+  CanopyBlocker blocker(0.4, 0.9, 11);
+  blocker.CandidatePairs(a, b);
+  EXPECT_GE(blocker.last_num_canopies(), 2u);
+  EXPECT_LE(blocker.last_num_canopies(), 4u);
+}
+
+TEST(CanopyBlockerTest, ReducesPairsOnGeneratedData) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 200;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  const MinHasher hasher(128, 5);
+  auto signatures = [&](const Database& db) {
+    std::vector<MinHashSignature> sigs;
+    for (const Record& r : db.records) {
+      sigs.push_back(hasher.Sign(QGrams(
+          NormalizeQid(r.values[0] + " " + r.values[1] + " " + r.values[3]))));
+    }
+    return sigs;
+  };
+  const auto sa = signatures((*dbs)[0]);
+  const auto sb = signatures((*dbs)[1]);
+  CanopyBlocker blocker(0.25, 0.7, 13);
+  const auto pairs = blocker.CandidatePairs(sa, sb);
+  const GroundTruth truth((*dbs)[0], (*dbs)[1]);
+  const auto quality = EvaluateBlocking(pairs, truth, 200, 200);
+  EXPECT_GT(quality.reduction_ratio, 0.5);
+  EXPECT_GT(quality.pairs_completeness, 0.6);
+}
+
+}  // namespace
+}  // namespace pprl

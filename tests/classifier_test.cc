@@ -1,0 +1,166 @@
+#include "linkage/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pprl {
+namespace {
+
+TEST(ThresholdClassifierTest, ThreeBands) {
+  const ThresholdClassifier classifier(0.6, 0.8);
+  EXPECT_EQ(classifier.Classify(0.9), MatchDecision::kMatch);
+  EXPECT_EQ(classifier.Classify(0.8), MatchDecision::kMatch);
+  EXPECT_EQ(classifier.Classify(0.7), MatchDecision::kPossibleMatch);
+  EXPECT_EQ(classifier.Classify(0.5), MatchDecision::kNonMatch);
+}
+
+TEST(ThresholdClassifierTest, DegenerateBand) {
+  const ThresholdClassifier classifier(0.8, 0.8);
+  EXPECT_EQ(classifier.Classify(0.79), MatchDecision::kNonMatch);
+  EXPECT_EQ(classifier.Classify(0.8), MatchDecision::kMatch);
+}
+
+TEST(ThresholdClassifierTest, SwappedBoundsAreReordered) {
+  const ThresholdClassifier classifier(0.9, 0.6);
+  EXPECT_EQ(classifier.Classify(0.7), MatchDecision::kPossibleMatch);
+}
+
+TEST(ThresholdClassifierTest, SelectMatches) {
+  const ThresholdClassifier classifier(0.8, 0.8);
+  const std::vector<ScoredPair> scored = {{0, 0, 0.9}, {1, 1, 0.7}, {2, 2, 0.85}};
+  const auto matches = classifier.SelectMatches(scored);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].a, 0u);
+  EXPECT_EQ(matches[1].a, 2u);
+}
+
+TEST(RuleBasedClassifierTest, DisjunctionOfConjunctions) {
+  // Rule 1: field0 >= 0.9 AND field1 >= 0.8. Rule 2: field2 >= 0.95.
+  const RuleBasedClassifier classifier({
+      MatchRule{{{0, 0.9}, {1, 0.8}}},
+      MatchRule{{{2, 0.95}}},
+  });
+  EXPECT_TRUE(classifier.Matches({0.95, 0.85, 0.0}));
+  EXPECT_TRUE(classifier.Matches({0.0, 0.0, 0.99}));
+  EXPECT_FALSE(classifier.Matches({0.95, 0.7, 0.9}));
+}
+
+TEST(RuleBasedClassifierTest, MissingFieldFailsRule) {
+  const RuleBasedClassifier classifier({MatchRule{{{5, 0.5}}}});
+  EXPECT_FALSE(classifier.Matches({0.9}));  // field 5 absent
+}
+
+TEST(RuleBasedClassifierTest, EmptyRuleNeverFires) {
+  const RuleBasedClassifier classifier({MatchRule{}});
+  EXPECT_FALSE(classifier.Matches({1.0, 1.0}));
+}
+
+/// Generates a labelled mixture: matches agree on most fields, non-matches
+/// rarely agree.
+std::vector<FieldwiseScoredPair> SyntheticPairs(size_t num_matches, size_t num_non,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FieldwiseScoredPair> pairs;
+  uint32_t id = 0;
+  for (size_t i = 0; i < num_matches; ++i) {
+    FieldwiseScoredPair p;
+    p.a = id;
+    p.b = id;
+    ++id;
+    for (int f = 0; f < 3; ++f) {
+      p.field_scores.push_back(rng.NextBool(0.9) ? 0.95 : 0.3);
+    }
+    pairs.push_back(std::move(p));
+  }
+  for (size_t i = 0; i < num_non; ++i) {
+    FieldwiseScoredPair p;
+    p.a = id;
+    p.b = id + 100000;
+    ++id;
+    for (int f = 0; f < 3; ++f) {
+      p.field_scores.push_back(rng.NextBool(0.08) ? 0.95 : 0.2);
+    }
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+TEST(FellegiSunterTest, EmRecoversMAndU) {
+  const auto pairs = SyntheticPairs(300, 2700, 42);
+  FellegiSunterClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(pairs).ok());
+  // True m ~ 0.9, true u ~ 0.08, prevalence ~ 0.1.
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_GT(classifier.m()[f], 0.7) << "field " << f;
+    EXPECT_LT(classifier.u()[f], 0.2) << "field " << f;
+  }
+  EXPECT_NEAR(classifier.prevalence(), 0.1, 0.05);
+}
+
+TEST(FellegiSunterTest, WeightsSeparateClasses) {
+  const auto pairs = SyntheticPairs(300, 2700, 43);
+  FellegiSunterClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(pairs).ok());
+  const double agree_weight = classifier.Weight({0.95, 0.95, 0.95});
+  const double disagree_weight = classifier.Weight({0.1, 0.1, 0.1});
+  EXPECT_GT(agree_weight, 0);
+  EXPECT_LT(disagree_weight, 0);
+  EXPECT_GT(classifier.MatchProbability({0.95, 0.95, 0.95}), 0.9);
+  EXPECT_LT(classifier.MatchProbability({0.1, 0.1, 0.1}), 0.1);
+}
+
+TEST(FellegiSunterTest, SelectMatchesByWeight) {
+  const auto pairs = SyntheticPairs(100, 900, 44);
+  FellegiSunterClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(pairs).ok());
+  const auto matches = classifier.SelectMatches(pairs, 0.0);
+  // Roughly the planted 10% should survive a zero-weight cut.
+  EXPECT_GT(matches.size(), 50u);
+  EXPECT_LT(matches.size(), 250u);
+}
+
+TEST(FellegiSunterTest, FitValidatesInput) {
+  FellegiSunterClassifier classifier;
+  EXPECT_FALSE(classifier.Fit({}).ok());
+  FieldwiseScoredPair empty_fields;
+  EXPECT_FALSE(classifier.Fit({empty_fields}).ok());
+  FieldwiseScoredPair two;
+  two.field_scores = {0.5, 0.5};
+  FieldwiseScoredPair three;
+  three.field_scores = {0.5, 0.5, 0.5};
+  EXPECT_FALSE(classifier.Fit({two, three}).ok());  // inconsistent widths
+}
+
+TEST(LogisticClassifierTest, LearnsLinearSeparation) {
+  Rng rng(7);
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool match = rng.NextBool(0.5);
+    std::vector<double> f(2);
+    f[0] = match ? 0.8 + 0.2 * rng.NextDouble() : 0.2 * rng.NextDouble();
+    f[1] = match ? 0.7 + 0.3 * rng.NextDouble() : 0.3 * rng.NextDouble();
+    features.push_back(std::move(f));
+    labels.push_back(match ? 1 : 0);
+  }
+  LogisticClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(features, labels).ok());
+  EXPECT_GT(classifier.Predict({0.9, 0.9}), 0.9);
+  EXPECT_LT(classifier.Predict({0.05, 0.05}), 0.1);
+}
+
+TEST(LogisticClassifierTest, FitValidatesInput) {
+  LogisticClassifier classifier;
+  EXPECT_FALSE(classifier.Fit({}, {}).ok());
+  EXPECT_FALSE(classifier.Fit({{1.0}}, {1, 0}).ok());
+  EXPECT_FALSE(classifier.Fit({{1.0}, {1.0, 2.0}}, {1, 0}).ok());
+}
+
+TEST(LogisticClassifierTest, UntrainedPredictsHalf) {
+  const LogisticClassifier classifier;
+  EXPECT_DOUBLE_EQ(classifier.Predict({0.5, 0.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,94 @@
+#include "encoding/clk_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "encoding/bloom_filter.h"
+#include "pipeline/pipeline.h"
+
+namespace pprl {
+namespace {
+
+TEST(BitVectorBytesTest, RoundTrip) {
+  Rng rng(1);
+  for (size_t bits : {1, 7, 8, 9, 63, 64, 65, 1000}) {
+    BitVector bv(bits);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.NextBool(0.4)) bv.Set(i);
+    }
+    auto restored = BitVectorFromBytes(BitVectorToBytes(bv), bits);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), bv) << bits << " bits";
+  }
+}
+
+TEST(BitVectorBytesTest, LayoutIsLittleEndianPerByte) {
+  BitVector bv(16);
+  bv.Set(0);
+  bv.Set(9);
+  const auto bytes = BitVectorToBytes(bv);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+}
+
+TEST(BitVectorBytesTest, RejectsShortBuffer) {
+  EXPECT_FALSE(BitVectorFromBytes({0xff}, 9).ok());
+}
+
+TEST(EncodedDatabaseIoTest, FileRoundTrip) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(20);
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  EncodedDatabase encoded;
+  encoded.filters = encoder.EncodeDatabase(db).value();
+  for (const Record& r : db.records) encoded.ids.push_back(r.id);
+
+  const std::string path = ::testing::TempDir() + "/pprl_clk_io_test.csv";
+  ASSERT_TRUE(WriteEncodedDatabase(path, encoded).ok());
+  auto restored = ReadEncodedDatabase(path);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_EQ(restored->ids[i], encoded.ids[i]);
+    EXPECT_EQ(restored->filters[i], encoded.filters[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EncodedDatabaseIoTest, ValidatesShape) {
+  EncodedDatabase bad;
+  bad.ids = {1, 2};
+  bad.filters = {BitVector(8)};
+  EXPECT_FALSE(WriteEncodedDatabase("/tmp/never-written.csv", bad).ok());
+  EncodedDatabase mixed;
+  mixed.ids = {1, 2};
+  mixed.filters = {BitVector(8), BitVector(16)};
+  EXPECT_FALSE(WriteEncodedDatabase("/tmp/never-written.csv", mixed).ok());
+}
+
+TEST(EncodedDatabaseIoTest, RejectsBadFiles) {
+  const std::string path = ::testing::TempDir() + "/pprl_clk_io_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("id,bits,clk\n1,16,@@@@\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadEncodedDatabase(path).ok());
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("id,clk\n1,Zg==\n", f);  // missing bits column
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadEncodedDatabase(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,127 @@
+#include "linkage/clustering.h"
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+RecordRef R(uint32_t db, uint32_t rec) { return RecordRef{db, rec}; }
+
+TEST(ConnectedComponentsTest, MergesTransitively) {
+  const std::vector<MatchEdge> edges = {
+      {R(0, 1), R(1, 1), 0.9},
+      {R(1, 1), R(2, 1), 0.9},
+      {R(0, 2), R(1, 2), 0.8},
+  };
+  const auto clusters = ConnectedComponents(edges);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size(), 3u);  // the chained triple
+  EXPECT_EQ(clusters[1].size(), 2u);
+}
+
+TEST(ConnectedComponentsTest, EmptyEdges) {
+  EXPECT_TRUE(ConnectedComponents({}).empty());
+}
+
+TEST(ConnectedComponentsTest, SelfContainedPairs) {
+  const auto clusters = ConnectedComponents({{R(0, 0), R(1, 0), 1.0}});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (Cluster{R(0, 0), R(1, 0)}));
+}
+
+TEST(StarClusteringTest, AvoidsChainMerging) {
+  // A weak bridge between two strong pairs: star keeps them apart when the
+  // bridge endpoint is claimed by a stronger centre first.
+  const std::vector<MatchEdge> edges = {
+      {R(0, 0), R(1, 0), 0.95},
+      {R(0, 1), R(1, 1), 0.95},
+      {R(1, 0), R(0, 1), 0.55},  // bridge
+  };
+  const auto star = StarClustering(edges);
+  const auto components = ConnectedComponents(edges);
+  EXPECT_EQ(components.size(), 1u);  // components over-merge
+  EXPECT_EQ(star.size(), 2u);        // star does not
+}
+
+TEST(StarClusteringTest, EveryRecordAssignedOnce) {
+  const std::vector<MatchEdge> edges = {
+      {R(0, 0), R(1, 0), 0.9}, {R(0, 0), R(1, 1), 0.8}, {R(1, 0), R(2, 2), 0.7}};
+  const auto clusters = StarClustering(edges);
+  std::set<RecordRef> seen;
+  for (const auto& cluster : clusters) {
+    for (const auto& ref : cluster) EXPECT_TRUE(seen.insert(ref).second);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+class IncrementalClustererTest : public ::testing::Test {
+ protected:
+  static BitVector Encode(const std::string& name) {
+    const BloomFilterEncoder encoder({500, 15, BloomHashScheme::kDoubleHashing, ""});
+    return encoder.EncodeString(name);
+  }
+  static PairSimilarityFunction Dice() {
+    return [](const BitVector& a, const BitVector& b) { return DiceSimilarity(a, b); };
+  }
+};
+
+TEST_F(IncrementalClustererTest, GroupsSimilarRecords) {
+  IncrementalClusterer clusterer(0.7, Dice());
+  const size_t c1 = clusterer.Insert(R(0, 0), Encode("katherine"));
+  const size_t c2 = clusterer.Insert(R(1, 0), Encode("catherine"));
+  const size_t c3 = clusterer.Insert(R(2, 0), Encode("zzzzyyyy"));
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  EXPECT_EQ(clusterer.clusters().size(), 2u);
+}
+
+TEST_F(IncrementalClustererTest, OnePerDatabaseConstraint) {
+  IncrementalClusterer clusterer(0.7, Dice());
+  clusterer.set_one_per_database(true);
+  clusterer.Insert(R(0, 0), Encode("smith"));
+  // Same database: must open a new cluster even though identical.
+  const size_t c = clusterer.Insert(R(0, 1), Encode("smith"));
+  EXPECT_EQ(c, 1u);
+  // Different database: may join.
+  const size_t c2 = clusterer.Insert(R(1, 0), Encode("smith"));
+  EXPECT_TRUE(c2 == 0u || c2 == 1u);
+}
+
+TEST_F(IncrementalClustererTest, ComparisonsGrowSubQuadraticallyWithClusters) {
+  IncrementalClusterer clusterer(0.95, Dice());
+  // 20 distinct names -> ~20 clusters; comparisons <= n * clusters.
+  for (uint32_t i = 0; i < 20; ++i) {
+    clusterer.Insert(R(0, i), Encode("name" + std::to_string(i * 7919)));
+  }
+  EXPECT_LE(clusterer.comparisons(), 20u * 20u);
+  EXPECT_GT(clusterer.comparisons(), 0u);
+}
+
+TEST_F(IncrementalClustererTest, RepresentativeIsMajority) {
+  IncrementalClusterer clusterer(0.5, Dice());
+  clusterer.Insert(R(0, 0), Encode("smith"));
+  clusterer.Insert(R(1, 0), Encode("smith"));
+  clusterer.Insert(R(2, 0), Encode("smyth"));
+  // All three should have landed in one cluster.
+  ASSERT_EQ(clusterer.clusters().size(), 1u);
+  EXPECT_EQ(clusterer.clusters()[0].size(), 3u);
+}
+
+TEST(ClustersInAtLeastTest, SubsetMatching) {
+  const std::vector<Cluster> clusters = {
+      {R(0, 0), R(1, 0), R(2, 0)},      // 3 databases
+      {R(0, 1), R(1, 1)},               // 2 databases
+      {R(0, 2), R(0, 3)},               // 1 database (internal duplicate)
+  };
+  EXPECT_EQ(ClustersInAtLeast(clusters, 3).size(), 1u);
+  EXPECT_EQ(ClustersInAtLeast(clusters, 2).size(), 2u);
+  EXPECT_EQ(ClustersInAtLeast(clusters, 1).size(), 3u);
+  EXPECT_TRUE(ClustersInAtLeast(clusters, 4).empty());
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,84 @@
+#include "encoding/counting_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+TEST(CountingBloomFilterTest, FromBitVector) {
+  BitVector bv(10);
+  bv.Set(2);
+  bv.Set(7);
+  const auto cbf = CountingBloomFilter::FromBitVector(bv);
+  EXPECT_EQ(cbf.size(), 10u);
+  EXPECT_EQ(cbf.Count(2), 1u);
+  EXPECT_EQ(cbf.Count(7), 1u);
+  EXPECT_EQ(cbf.Count(0), 0u);
+}
+
+TEST(CountingBloomFilterTest, AddAccumulates) {
+  BitVector a(5), b(5);
+  a.Set(1);
+  a.Set(3);
+  b.Set(3);
+  CountingBloomFilter cbf(5);
+  ASSERT_TRUE(cbf.Add(a).ok());
+  ASSERT_TRUE(cbf.Add(b).ok());
+  EXPECT_EQ(cbf.Count(1), 1u);
+  EXPECT_EQ(cbf.Count(3), 2u);
+  EXPECT_EQ(cbf.PositionsWithCount(2), 1u);
+  EXPECT_EQ(cbf.PositionsWithCount(0), 3u);
+  EXPECT_EQ(cbf.PositionsWithCountAtLeast(1), 2u);
+}
+
+TEST(CountingBloomFilterTest, AddCbf) {
+  CountingBloomFilter x(4), y(4);
+  BitVector bv(4);
+  bv.Set(0);
+  ASSERT_TRUE(x.Add(bv).ok());
+  ASSERT_TRUE(y.Add(bv).ok());
+  ASSERT_TRUE(x.Add(y).ok());
+  EXPECT_EQ(x.Count(0), 2u);
+}
+
+TEST(CountingBloomFilterTest, SizeMismatchRejected) {
+  CountingBloomFilter cbf(5);
+  EXPECT_FALSE(cbf.Add(BitVector(6)).ok());
+  EXPECT_FALSE(cbf.Add(CountingBloomFilter(4)).ok());
+}
+
+TEST(CountingBloomFilterTest, MultiPartyDiceMatchesDirectDice) {
+  // For p parties, the CBF-derived Dice must equal DiceSimilarity over the
+  // same filters (this equality is what lets the protocol avoid sharing
+  // individual filters).
+  const BloomFilterEncoder encoder({200, 8, BloomHashScheme::kDoubleHashing, ""});
+  const std::vector<std::string> names = {"smith", "smyth", "smithe"};
+  std::vector<BitVector> filters;
+  std::vector<const BitVector*> pointers;
+  for (const auto& name : names) filters.push_back(encoder.EncodeString(name));
+  for (const auto& f : filters) pointers.push_back(&f);
+
+  CountingBloomFilter cbf(200);
+  for (const auto& f : filters) ASSERT_TRUE(cbf.Add(f).ok());
+  EXPECT_NEAR(cbf.MultiPartyDice(3), DiceSimilarity(pointers), 1e-12);
+}
+
+TEST(CountingBloomFilterTest, MultiPartyDiceEdgeCases) {
+  CountingBloomFilter empty(10);
+  EXPECT_DOUBLE_EQ(empty.MultiPartyDice(3), 0.0);  // all-zero counts
+  EXPECT_DOUBLE_EQ(empty.MultiPartyDice(0), 0.0);
+}
+
+TEST(CountingBloomFilterTest, IdenticalFiltersGiveDiceOne) {
+  BitVector bv(50);
+  for (size_t i = 0; i < 50; i += 5) bv.Set(i);
+  CountingBloomFilter cbf(50);
+  for (int p = 0; p < 4; ++p) ASSERT_TRUE(cbf.Add(bv).ok());
+  EXPECT_DOUBLE_EQ(cbf.MultiPartyDice(4), 1.0);
+}
+
+}  // namespace
+}  // namespace pprl

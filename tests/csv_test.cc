@@ -1,0 +1,92 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto table = ParseCsv("name,notes\n\"smith, john\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "smith, john");
+  EXPECT_EQ(table->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, HandlesNewlineInQuotes) {
+  auto table = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, MissingFinalNewlineOk) {
+  auto table = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a,b\n\"oops,2\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, ColumnIndex) {
+  auto table = ParseCsv("x,y,z\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("y"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"smith, john", "said \"hi\""}, {"plain", "multi\nline"}};
+  auto parsed = ParseCsv(WriteCsv(table));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{"1"}, {"2"}};
+  const std::string path = ::testing::TempDir() + "/pprl_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pprl

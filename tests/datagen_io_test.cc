@@ -1,0 +1,89 @@
+#include "datagen/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace pprl {
+namespace {
+
+TEST(DatabaseCsvTest, RoundTripPreservesEverything) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(25, 100);
+  const CsvTable table = DatabaseToCsv(db);
+  auto restored = DatabaseFromCsv(table);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->records.size(), db.records.size());
+  EXPECT_EQ(restored->schema.size(), db.schema.size());
+  for (size_t i = 0; i < db.records.size(); ++i) {
+    EXPECT_EQ(restored->records[i].id, db.records[i].id);
+    EXPECT_EQ(restored->records[i].entity_id, db.records[i].entity_id);
+    EXPECT_EQ(restored->records[i].values, db.records[i].values);
+  }
+}
+
+TEST(DatabaseCsvTest, OmittingEntityIdsZeroesThem) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(5, 100);
+  auto restored = DatabaseFromCsv(DatabaseToCsv(db, /*include_entity_ids=*/false));
+  ASSERT_TRUE(restored.ok());
+  for (const Record& r : restored->records) EXPECT_EQ(r.entity_id, 0u);
+}
+
+TEST(DatabaseCsvTest, TypeGuessing) {
+  CsvTable table;
+  table.header = {"first_name", "dob", "sex", "age"};
+  table.rows = {{"mary", "1980-01-01", "f", "44"}};
+  auto db = DatabaseFromCsv(table);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->schema.fields[0].type, FieldType::kString);
+  EXPECT_EQ(db->schema.fields[1].type, FieldType::kDate);
+  EXPECT_EQ(db->schema.fields[2].type, FieldType::kCategorical);
+  EXPECT_EQ(db->schema.fields[3].type, FieldType::kNumeric);
+}
+
+TEST(DatabaseCsvTest, MissingBookkeepingColumnsGenerated) {
+  CsvTable table;
+  table.header = {"first_name"};
+  table.rows = {{"a"}, {"b"}};
+  auto db = DatabaseFromCsv(table);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->records[0].id, 0u);
+  EXPECT_EQ(db->records[1].id, 1u);
+  EXPECT_EQ(db->records[0].entity_id, 0u);
+}
+
+TEST(DatabaseCsvTest, RejectsIdOnlyTables) {
+  CsvTable table;
+  table.header = {"id", "entity_id"};
+  table.rows = {{"1", "2"}};
+  EXPECT_FALSE(DatabaseFromCsv(table).ok());
+}
+
+TEST(DatabaseCsvTest, FileRoundTrip) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(10);
+  const std::string path = ::testing::TempDir() + "/pprl_db_io_test.csv";
+  ASSERT_TRUE(WriteDatabaseCsv(path, db).ok());
+  auto restored = ReadDatabaseCsv(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->records.size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseCsvTest, ValuesWithCommasAndQuotesSurvive) {
+  Database db;
+  db.schema.fields = {{"street", FieldType::kString}};
+  Record r;
+  r.id = 0;
+  r.values = {"12 \"main\" st, apt 4\nrear"};
+  db.records.push_back(r);
+  auto restored = DatabaseFromCsv(DatabaseToCsv(db));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->records[0].values[0], "12 \"main\" st, apt 4\nrear");
+}
+
+}  // namespace
+}  // namespace pprl

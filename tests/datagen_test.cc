@@ -1,0 +1,221 @@
+#include "datagen/generator.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/corruptor.h"
+#include "datagen/lookup_data.h"
+#include "encoding/numeric_encoding.h"
+
+namespace pprl {
+namespace {
+
+TEST(GeneratorTest, StandardSchemaFields) {
+  const Schema schema = DataGenerator::StandardSchema();
+  EXPECT_EQ(schema.size(), 8u);
+  EXPECT_EQ(schema.FieldIndex("first_name"), 0);
+  EXPECT_EQ(schema.FieldIndex("dob"), 3);
+  EXPECT_EQ(schema.FieldIndex("nope"), -1);
+  EXPECT_EQ(schema.fields[3].type, FieldType::kDate);
+  EXPECT_EQ(schema.fields[2].type, FieldType::kCategorical);
+}
+
+TEST(GeneratorTest, CleanDatabaseShape) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(50, 1000);
+  EXPECT_EQ(db.size(), 50u);
+  for (size_t i = 0; i < db.records.size(); ++i) {
+    const Record& r = db.records[i];
+    EXPECT_EQ(r.entity_id, 1000 + i);
+    ASSERT_EQ(r.values.size(), db.schema.size());
+    EXPECT_FALSE(r.values[0].empty());  // first name
+    EXPECT_TRUE(r.values[2] == "m" || r.values[2] == "f");
+    EXPECT_TRUE(DaysSinceEpoch(r.values[3]).ok()) << r.values[3];
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GeneratorConfig config;
+  config.seed = 5;
+  DataGenerator g1(config), g2(config);
+  const Database a = g1.GenerateClean(10);
+  const Database b = g2.GenerateClean(10);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(a.records[i].values, b.records[i].values);
+}
+
+TEST(GeneratorTest, ZipfSkewMakesNamesRepeat) {
+  GeneratorConfig config;
+  config.zipf_skew = 1.4;
+  DataGenerator gen(config);
+  const Database db = gen.GenerateClean(500);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& r : db.records) ++counts[r.values[1]];
+  int max_count = 0;
+  for (const auto& [name, count] : counts) max_count = std::max(max_count, count);
+  // With strong skew the top surname must dominate.
+  EXPECT_GT(max_count, 25);
+}
+
+TEST(GeneratorScenarioTest, OverlapProducesSharedEntities) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig config;
+  config.records_per_database = 200;
+  config.overlap = 0.4;
+  auto dbs = gen.GenerateScenario(config);
+  ASSERT_TRUE(dbs.ok());
+  ASSERT_EQ(dbs->size(), 2u);
+  std::set<uint64_t> ea, eb;
+  for (const auto& r : (*dbs)[0].records) ea.insert(r.entity_id);
+  for (const auto& r : (*dbs)[1].records) eb.insert(r.entity_id);
+  std::set<uint64_t> shared;
+  for (uint64_t e : ea) {
+    if (eb.count(e)) shared.insert(e);
+  }
+  EXPECT_EQ(shared.size(), 80u);  // 0.4 * 200
+}
+
+TEST(GeneratorScenarioTest, MultiDatabaseScenario) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig config;
+  config.records_per_database = 100;
+  config.num_databases = 4;
+  config.overlap = 0.3;
+  auto dbs = gen.GenerateScenario(config);
+  ASSERT_TRUE(dbs.ok());
+  ASSERT_EQ(dbs->size(), 4u);
+  // The 30 shared entities must appear in every database.
+  std::set<uint64_t> shared;
+  for (const auto& r : (*dbs)[0].records) {
+    if (r.entity_id < 30) shared.insert(r.entity_id);
+  }
+  EXPECT_EQ(shared.size(), 30u);
+  for (const auto& db : *dbs) {
+    size_t found = 0;
+    for (const auto& r : db.records) {
+      if (r.entity_id < 30) ++found;
+    }
+    EXPECT_EQ(found, 30u);
+  }
+}
+
+TEST(GeneratorScenarioTest, ValidatesArguments) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig bad;
+  bad.num_databases = 1;
+  EXPECT_FALSE(gen.GenerateScenario(bad).ok());
+  bad.num_databases = 2;
+  bad.overlap = 1.5;
+  EXPECT_FALSE(gen.GenerateScenario(bad).ok());
+}
+
+TEST(GeneratorScenarioTest, RecordIdsAreConsecutive) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig config;
+  config.records_per_database = 50;
+  auto dbs = gen.GenerateScenario(config);
+  ASSERT_TRUE(dbs.ok());
+  for (const auto& db : *dbs) {
+    for (size_t i = 0; i < db.records.size(); ++i) EXPECT_EQ(db.records[i].id, i);
+  }
+}
+
+TEST(CorruptorTest, KeyboardTypoChangesOneEdit) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = corruption::KeyboardTypo("elizabeth", rng);
+    EXPECT_NE(out, "");
+    const size_t len_diff =
+        out.size() > 9 ? out.size() - 9 : 9 - out.size();
+    EXPECT_LE(len_diff, 1u);
+  }
+}
+
+TEST(CorruptorTest, OcrErrorUsesConfusionTable) {
+  Rng rng(2);
+  // "mole" contains 'o' and 'l' and 'm' confusions.
+  bool changed = false;
+  for (int i = 0; i < 20; ++i) {
+    if (corruption::OcrError("mole", rng) != "mole") changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(CorruptorTest, NicknameVariationKnownNames) {
+  Rng rng(3);
+  const std::string varied = corruption::NicknameVariation("william", rng);
+  EXPECT_TRUE(varied == "bill" || varied == "will");
+  EXPECT_EQ(corruption::NicknameVariation("xqzw", rng), "xqzw");
+  // Reverse direction: nickname back to a canonical name.
+  const std::string canonical = corruption::NicknameVariation("bill", rng);
+  EXPECT_EQ(canonical, "william");
+}
+
+TEST(CorruptorTest, DateErrorStaysValid) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = corruption::DateError("1980-06-15", rng);
+    EXPECT_TRUE(DaysSinceEpoch(out).ok()) << out;
+    EXPECT_NE(out, "1980-06-15");
+  }
+}
+
+TEST(CorruptorTest, PhoneticVariationChangesSpelling) {
+  Rng rng(5);
+  bool changed = false;
+  for (int i = 0; i < 20; ++i) {
+    if (corruption::PhoneticVariation("phillip", rng) != "phillip") changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(CorruptorTest, CorruptExactlyAppliesRequestedOps) {
+  const Schema schema = DataGenerator::StandardSchema();
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(1);
+  Corruptor corruptor(CorruptorConfig{}, 7);
+  const Record zero = corruptor.CorruptExactly(schema, db.records[0], 0);
+  EXPECT_EQ(zero.values, db.records[0].values);
+  const Record five = corruptor.CorruptExactly(schema, db.records[0], 5);
+  EXPECT_NE(five.values, db.records[0].values);
+}
+
+TEST(CorruptorTest, MeanCorruptionsControlsDirtiness) {
+  const Schema schema = DataGenerator::StandardSchema();
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateClean(200);
+  CorruptorConfig light;
+  light.mean_corruptions = 0.2;
+  CorruptorConfig heavy;
+  heavy.mean_corruptions = 4.0;
+  Corruptor light_corruptor(light, 11), heavy_corruptor(heavy, 11);
+  int light_changed = 0, heavy_changed = 0;
+  for (const auto& r : db.records) {
+    if (light_corruptor.Corrupt(schema, r).values != r.values) ++light_changed;
+    if (heavy_corruptor.Corrupt(schema, r).values != r.values) ++heavy_changed;
+  }
+  EXPECT_LT(light_changed, heavy_changed);
+  EXPECT_GT(heavy_changed, 150);
+}
+
+TEST(LookupDataTest, TablesNonEmptyAndLowerCase) {
+  EXPECT_GT(datagen::kNumFemaleFirstNames, 50u);
+  EXPECT_GT(datagen::kNumMaleFirstNames, 50u);
+  EXPECT_GT(datagen::kNumLastNames, 50u);
+  for (size_t i = 0; i < datagen::kNumLastNames; ++i) {
+    for (char c : datagen::kLastNames[i]) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ');
+    }
+  }
+}
+
+TEST(LookupDataTest, KeyboardNeighborsSymmetricSample) {
+  // 'q' and 'w' neighbour each other.
+  EXPECT_NE(datagen::KeyboardNeighbors('q').find('w'), std::string_view::npos);
+  EXPECT_NE(datagen::KeyboardNeighbors('w').find('q'), std::string_view::npos);
+  EXPECT_TRUE(datagen::KeyboardNeighbors('!').empty());
+}
+
+}  // namespace
+}  // namespace pprl

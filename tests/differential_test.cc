@@ -1,0 +1,171 @@
+/// Differential (model-based) property tests: the optimised library
+/// implementations are cross-checked against trivially correct reference
+/// models on thousands of random instances.
+
+#include <bitset>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "crypto/bigint.h"
+#include "crypto/secure_edit_distance.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+/// BitVector vs a plain std::vector<bool> model.
+TEST(DifferentialTest, BitVectorAgainstBoolVector) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextUint64(300);
+    BitVector real(n);
+    std::vector<bool> model(n, false);
+    // Random operation sequence.
+    for (int op = 0; op < 64; ++op) {
+      const size_t pos = rng.NextUint64(n);
+      switch (rng.NextUint64(3)) {
+        case 0:
+          real.Set(pos);
+          model[pos] = true;
+          break;
+        case 1:
+          real.Set(pos, false);
+          model[pos] = false;
+          break;
+        default:
+          real.Flip(pos);
+          model[pos] = !model[pos];
+          break;
+      }
+    }
+    size_t expected_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(real.Get(i), model[i]);
+      expected_count += model[i] ? 1 : 0;
+    }
+    EXPECT_EQ(real.Count(), expected_count);
+  }
+}
+
+TEST(DifferentialTest, BitVectorPairOpsAgainstModel) {
+  Rng rng(102);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextUint64(256);
+    BitVector a(n), b(n);
+    std::vector<bool> ma(n), mb(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.5)) {
+        a.Set(i);
+        ma[i] = true;
+      }
+      if (rng.NextBool(0.5)) {
+        b.Set(i);
+        mb[i] = true;
+      }
+    }
+    size_t and_count = 0, or_count = 0, xor_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      and_count += (ma[i] && mb[i]) ? 1 : 0;
+      or_count += (ma[i] || mb[i]) ? 1 : 0;
+      xor_count += (ma[i] != mb[i]) ? 1 : 0;
+    }
+    EXPECT_EQ(a.AndCount(b), and_count);
+    EXPECT_EQ(a.OrCount(b), or_count);
+    EXPECT_EQ(a.XorCount(b), xor_count);
+  }
+}
+
+/// BigInt arithmetic vs native __int128.
+TEST(DifferentialTest, BigIntAgainstInt128) {
+  Rng rng(103);
+  auto to_int128 = [](const BigInt& v) {
+    // Via decimal; values in these tests fit comfortably.
+    __int128 out = 0;
+    const std::string dec = v.ToDecimal();
+    size_t i = 0;
+    bool negative = false;
+    if (!dec.empty() && dec[0] == '-') {
+      negative = true;
+      i = 1;
+    }
+    for (; i < dec.size(); ++i) out = out * 10 + (dec[i] - '0');
+    return negative ? -out : out;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const int64_t x = rng.NextInt(-1000000000LL, 1000000000LL);
+    const int64_t y = rng.NextInt(-1000000000LL, 1000000000LL);
+    const BigInt bx(x), by(y);
+    EXPECT_EQ(to_int128(bx + by), static_cast<__int128>(x) + y);
+    EXPECT_EQ(to_int128(bx - by), static_cast<__int128>(x) - y);
+    EXPECT_EQ(to_int128(bx * by), static_cast<__int128>(x) * y);
+    if (y != 0) {
+      EXPECT_EQ(to_int128(bx / by), static_cast<__int128>(x) / y);
+      EXPECT_EQ(to_int128(bx % by), static_cast<__int128>(x) % y);
+    }
+    EXPECT_EQ(bx < by, x < y);
+    EXPECT_EQ(bx == by, x == y);
+  }
+}
+
+/// Edit distance vs a simple exponential-free recursive model (memoised
+/// naive implementation) on short strings.
+TEST(DifferentialTest, EditDistanceAgainstNaiveModel) {
+  Rng rng(104);
+  auto naive = [](const std::string& a, const std::string& b) {
+    std::vector<std::vector<size_t>> dp(a.size() + 1,
+                                        std::vector<size_t>(b.size() + 1, 0));
+    for (size_t i = 0; i <= a.size(); ++i) dp[i][0] = i;
+    for (size_t j = 0; j <= b.size(); ++j) dp[0][j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      for (size_t j = 1; j <= b.size(); ++j) {
+        dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                             dp[i - 1][j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      }
+    }
+    return dp[a.size()][b.size()];
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    auto random_string = [&rng]() {
+      std::string s;
+      const size_t len = rng.NextUint64(12);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.NextUint64(4));  // small alphabet: collisions
+      }
+      return s;
+    };
+    const std::string a = random_string();
+    const std::string b = random_string();
+    EXPECT_EQ(PlainEditDistance(a, b), naive(a, b)) << a << " vs " << b;
+  }
+}
+
+/// Jaro similarity sanity model: symmetric, bounded, identity.
+TEST(DifferentialTest, JaroProperties) {
+  Rng rng(105);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto random_string = [&rng]() {
+      std::string s;
+      const size_t len = rng.NextUint64(10);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.NextUint64(6));
+      }
+      return s;
+    };
+    const std::string a = random_string();
+    const std::string b = random_string();
+    const double ab = JaroSimilarity(a, b);
+    EXPECT_DOUBLE_EQ(ab, JaroSimilarity(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(JaroSimilarity(a, a), 1.0);
+    const double jw = JaroWinklerSimilarity(a, b);
+    EXPECT_GE(jw + 1e-12, ab);  // prefix boost never hurts
+    EXPECT_LE(jw, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pprl

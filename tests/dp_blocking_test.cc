@@ -1,0 +1,88 @@
+#include "privacy/dp_blocking.h"
+
+#include <set>
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+BlockIndex MakeIndex() {
+  BlockIndex index;
+  index["a"] = {0, 1, 2};
+  index["b"] = {3};
+  index["c"] = {4, 5, 6, 7, 8};
+  return index;
+}
+
+TEST(DpBlockingTest, NeverRemovesRealRecords) {
+  Rng rng(1);
+  BlockIndex index = MakeIndex();
+  const DpBlockingStats stats = PadBlocksWithDummies(index, 1.0, 1000, rng);
+  EXPECT_EQ(stats.real_records, 9u);
+  EXPECT_EQ(stats.blocks, 3u);
+  // Every original record still present, in its block.
+  EXPECT_EQ(index["a"][0], 0u);
+  EXPECT_EQ(index["b"][0], 3u);
+  for (uint32_t r = 0; r < 9; ++r) {
+    bool found = false;
+    for (const auto& [key, records] : index) {
+      for (uint32_t rec : records) {
+        if (rec == r) found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "record " << r;
+  }
+}
+
+TEST(DpBlockingTest, DummiesComeFromReservedRange) {
+  Rng rng(2);
+  BlockIndex index = MakeIndex();
+  const DpBlockingStats stats = PadBlocksWithDummies(index, 1.0, 1000, rng);
+  size_t dummies_seen = 0;
+  for (const auto& [key, records] : index) {
+    for (uint32_t r : records) {
+      if (r >= 1000) ++dummies_seen;
+    }
+  }
+  EXPECT_EQ(dummies_seen, stats.dummies_added);
+  EXPECT_GT(stats.dummies_added, 0u);  // offset 3 per block makes this near-sure
+}
+
+TEST(DpBlockingTest, EpsilonAccounting) {
+  Rng rng(3);
+  BlockIndex index = MakeIndex();
+  const DpBlockingStats stats = PadBlocksWithDummies(index, 0.5, 1000, rng);
+  EXPECT_DOUBLE_EQ(stats.epsilon_spent, 1.5);  // 3 blocks x 0.5
+}
+
+TEST(DpBlockingTest, SizesAreNoisy) {
+  // Across many runs, observed block sizes for the same true size vary.
+  std::set<size_t> observed;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    BlockIndex index;
+    index["x"] = {0, 1, 2, 3};
+    PadBlocksWithDummies(index, 0.8, 100, rng);
+    observed.insert(index["x"].size());
+  }
+  EXPECT_GT(observed.size(), 2u);
+  for (size_t size : observed) EXPECT_GE(size, 4u);  // truncation never drops reals
+}
+
+TEST(MakeDummyFiltersTest, ShapeAndWeight) {
+  Rng rng(5);
+  const auto dummies = MakeDummyFilters(20, 500, 0.2, rng);
+  ASSERT_EQ(dummies.size(), 20u);
+  for (const auto& f : dummies) {
+    EXPECT_EQ(f.size(), 500u);
+    EXPECT_GT(f.Count(), 50u);
+    EXPECT_LT(f.Count(), 160u);
+  }
+  // Dummies are mutually dissimilar (uniform random bits).
+  EXPECT_LT(static_cast<double>(dummies[0].AndCount(dummies[1])) /
+                static_cast<double>(dummies[0].OrCount(dummies[1])),
+            0.3);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,104 @@
+#include "privacy/dp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(LaplaceMechanismTest, NoiseCenteredOnTruth) {
+  Rng rng(1);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += LaplaceMechanism(100.0, 1.0, 0.5, rng);
+  EXPECT_NEAR(sum / n, 100.0, 0.2);
+}
+
+TEST(LaplaceMechanismTest, SmallerEpsilonMoreNoise) {
+  Rng rng(2);
+  double var_tight = 0, var_loose = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double tight = LaplaceMechanism(0, 1.0, 2.0, rng);
+    const double loose = LaplaceMechanism(0, 1.0, 0.2, rng);
+    var_tight += tight * tight;
+    var_loose += loose * loose;
+  }
+  EXPECT_GT(var_loose, 10 * var_tight);
+}
+
+TEST(LaplaceMechanismTest, ZeroEpsilonReturnsTruth) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(LaplaceMechanism(42.0, 1.0, 0.0, rng), 42.0);
+}
+
+TEST(RandomizedResponseTest, KeepProbabilityMatchesEpsilon) {
+  Rng rng(4);
+  const double epsilon = 1.0;
+  const double expected_keep = std::exp(epsilon) / (1 + std::exp(epsilon));
+  int kept = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (RandomizedResponse(true, epsilon, rng)) ++kept;
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / n, expected_keep, 0.02);
+}
+
+TEST(RandomizedResponseTest, EstimatorIsUnbiased) {
+  Rng rng(5);
+  const double epsilon = 1.5;
+  const size_t n = 10000;
+  const size_t true_ones = 3000;
+  size_t observed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool bit = i < true_ones;
+    if (RandomizedResponse(bit, epsilon, rng)) ++observed;
+  }
+  const double estimate = RandomizedResponseEstimate(observed, n, epsilon);
+  EXPECT_NEAR(estimate, static_cast<double>(true_ones), 300);
+}
+
+TEST(RandomizedResponseTest, EstimatorEdgeCases) {
+  EXPECT_DOUBLE_EQ(RandomizedResponseEstimate(5, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(RandomizedResponseEstimate(50, 100, 0.0), 50.0);  // 2p-1 = 0
+}
+
+TEST(PrivacyBudgetTest, SpendAndExhaust) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Spend(0.4));
+  EXPECT_TRUE(budget.Spend(0.6));
+  EXPECT_FALSE(budget.Spend(0.01));
+  EXPECT_NEAR(budget.spent(), 1.0, 1e-12);
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+}
+
+TEST(PrivacyBudgetTest, RejectsNegativeAndOverspend) {
+  PrivacyBudget budget(0.5);
+  EXPECT_FALSE(budget.Spend(-0.1));
+  EXPECT_FALSE(budget.Spend(0.6));
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.0);
+}
+
+TEST(NoisyCountTest, NeverNegative) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(NoisyCount(2, 0.5, rng), 0u);
+  }
+}
+
+TEST(NoisyCountTest, CenteredOnTruth) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(NoisyCount(1000, 1.0, rng));
+  EXPECT_NEAR(sum / n, 1000.0, 1.0);
+}
+
+TEST(NoisyCountTest, ZeroEpsilonIsIdentity) {
+  Rng rng(8);
+  EXPECT_EQ(NoisyCount(77, 0.0, rng), 77u);
+}
+
+}  // namespace
+}  // namespace pprl

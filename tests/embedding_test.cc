@@ -1,0 +1,81 @@
+#include "encoding/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secure_edit_distance.h"
+
+namespace pprl {
+namespace {
+
+TEST(StringEmbedderTest, CreateValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(StringEmbedder::Create(0, 5, rng).ok());
+  EXPECT_FALSE(StringEmbedder::Create(5, 0, rng).ok());
+  auto ok = StringEmbedder::Create(8, 5, rng);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->dimensions(), 8u);
+}
+
+TEST(StringEmbedderTest, SharedSeedGivesSharedReferenceSet) {
+  Rng rng_a(99), rng_b(99);
+  auto a = StringEmbedder::Create(6, 5, rng_a);
+  auto b = StringEmbedder::Create(6, 5, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->reference_set(), b->reference_set());
+  EXPECT_EQ(a->Embed("smith"), b->Embed("smith"));
+}
+
+TEST(StringEmbedderTest, EmbeddingComponentsAreEditDistances) {
+  const StringEmbedder embedder({"abc", "xyz"});
+  const auto v = embedder.Embed("abd");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);  // abc -> abd
+  EXPECT_DOUBLE_EQ(v[1], 3.0);  // xyz -> abd
+}
+
+TEST(StringEmbedderTest, IdenticalStringsEmbedIdentically) {
+  Rng rng(5);
+  auto embedder = StringEmbedder::Create(10, 6, rng);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_EQ(embedder->Embed("garcia"), embedder->Embed("garcia"));
+  EXPECT_DOUBLE_EQ(
+      StringEmbedder::ChebyshevDistance(embedder->Embed("garcia"), embedder->Embed("garcia")),
+      0.0);
+}
+
+/// The contractive (Lipschitz) property: Chebyshev distance of embeddings
+/// lower-bounds true edit distance — the guarantee threshold filtering uses.
+TEST(StringEmbedderTest, ChebyshevLowerBoundsEditDistance) {
+  Rng rng(7);
+  auto embedder = StringEmbedder::Create(12, 6, rng);
+  ASSERT_TRUE(embedder.ok());
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"smith", "smyth"},   {"jones", "johnson"},  {"garcia", "garza"},
+      {"anderson", "andersen"}, {"a", "zzzzzz"}, {"", "abc"},
+  };
+  for (const auto& [a, b] : pairs) {
+    const double cheb =
+        StringEmbedder::ChebyshevDistance(embedder->Embed(a), embedder->Embed(b));
+    EXPECT_LE(cheb, static_cast<double>(PlainEditDistance(a, b)) + 1e-9)
+        << a << " vs " << b;
+  }
+}
+
+TEST(StringEmbedderTest, EuclideanDistanceBasics) {
+  EXPECT_DOUBLE_EQ(StringEmbedder::EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(StringEmbedder::EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(StringEmbedderTest, SimilarStringsCloserThanDissimilar) {
+  Rng rng(11);
+  auto embedder = StringEmbedder::Create(16, 6, rng);
+  ASSERT_TRUE(embedder.ok());
+  const auto smith = embedder->Embed("smith");
+  const auto smyth = embedder->Embed("smyth");
+  const auto wilson = embedder->Embed("wilson");
+  EXPECT_LT(StringEmbedder::EuclideanDistance(smith, smyth),
+            StringEmbedder::EuclideanDistance(smith, wilson));
+}
+
+}  // namespace
+}  // namespace pprl

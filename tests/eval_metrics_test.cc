@@ -1,0 +1,168 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace pprl {
+namespace {
+
+/// Two tiny databases with a known entity overlap.
+struct Fixture {
+  Database a;
+  Database b;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.a.schema = DataGenerator::StandardSchema();
+  f.b.schema = f.a.schema;
+  // a: entities 1,2,3 ; b: entities 2,3,4  -> true matches (1,0) and (2,1).
+  for (uint64_t e : {1, 2, 3}) {
+    Record r;
+    r.id = f.a.records.size();
+    r.entity_id = e;
+    r.values.assign(f.a.schema.size(), "x");
+    f.a.records.push_back(std::move(r));
+  }
+  for (uint64_t e : {2, 3, 4}) {
+    Record r;
+    r.id = f.b.records.size();
+    r.entity_id = e;
+    r.values.assign(f.b.schema.size(), "x");
+    f.b.records.push_back(std::move(r));
+  }
+  return f;
+}
+
+TEST(GroundTruthTest, PairsFromEntityIds) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  EXPECT_EQ(truth.num_matches(), 2u);
+  EXPECT_TRUE(truth.IsMatch(1, 0));  // entity 2
+  EXPECT_TRUE(truth.IsMatch(2, 1));  // entity 3
+  EXPECT_FALSE(truth.IsMatch(0, 0));
+}
+
+TEST(GroundTruthTest, DuplicateEntitiesProduceAllPairs) {
+  Database a, b;
+  a.schema = b.schema = DataGenerator::StandardSchema();
+  for (int i = 0; i < 2; ++i) {
+    Record r;
+    r.entity_id = 7;
+    r.values.assign(a.schema.size(), "x");
+    a.records.push_back(r);
+    b.records.push_back(r);
+  }
+  const GroundTruth truth(a, b);
+  EXPECT_EQ(truth.num_matches(), 4u);  // 2x2
+}
+
+TEST(ConfusionCountsTest, Formulas) {
+  ConfusionCounts counts;
+  counts.true_positives = 8;
+  counts.false_positives = 2;
+  counts.false_negatives = 4;
+  EXPECT_DOUBLE_EQ(counts.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(counts.Recall(), 8.0 / 12.0);
+  EXPECT_NEAR(counts.F1(), 2 * 0.8 * (2.0 / 3) / (0.8 + 2.0 / 3), 1e-12);
+  const ConfusionCounts zeros;
+  EXPECT_DOUBLE_EQ(zeros.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.F1(), 0.0);
+}
+
+TEST(EvaluateMatchesTest, CountsAgainstTruth) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const std::vector<ScoredPair> predicted = {
+      {1, 0, 0.9},  // true positive
+      {0, 0, 0.8},  // false positive
+  };
+  const ConfusionCounts counts = EvaluateMatches(predicted, truth);
+  EXPECT_EQ(counts.true_positives, 1u);
+  EXPECT_EQ(counts.false_positives, 1u);
+  EXPECT_EQ(counts.false_negatives, 1u);  // (2,1) missed
+}
+
+TEST(EvaluateMatchesTest, DuplicatePredictionsCountOnce) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const std::vector<ScoredPair> predicted = {{1, 0, 0.9}, {1, 0, 0.95}};
+  const ConfusionCounts counts = EvaluateMatches(predicted, truth);
+  EXPECT_EQ(counts.true_positives, 1u);
+  EXPECT_EQ(counts.false_positives, 0u);
+}
+
+TEST(EvaluateBlockingTest, Metrics) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  // Candidates keep 1 of 2 true matches in 3 candidates out of 9 pairs.
+  const std::vector<CandidatePair> candidates = {{1, 0}, {0, 0}, {2, 2}};
+  const BlockingQuality q = EvaluateBlocking(candidates, truth, 3, 3);
+  EXPECT_NEAR(q.reduction_ratio, 1.0 - 3.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q.pairs_completeness, 0.5);
+  EXPECT_NEAR(q.pairs_quality, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateBlockingTest, EmptyCandidates) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const BlockingQuality q = EvaluateBlocking({}, truth, 3, 3);
+  EXPECT_DOUBLE_EQ(q.reduction_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(q.pairs_completeness, 0.0);
+  EXPECT_DOUBLE_EQ(q.pairs_quality, 0.0);
+}
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const std::vector<ScoredPair> scored = {
+      {1, 0, 0.9}, {2, 1, 0.8}, {0, 0, 0.3}, {0, 1, 0.2}};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scored, truth), 1.0);
+}
+
+TEST(AucTest, ReversedScoresGiveZero) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const std::vector<ScoredPair> scored = {
+      {1, 0, 0.1}, {2, 1, 0.2}, {0, 0, 0.8}, {0, 1, 0.9}};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scored, truth), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const std::vector<ScoredPair> scored = {
+      {1, 0, 0.5}, {2, 1, 0.5}, {0, 0, 0.5}, {0, 1, 0.5}};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scored, truth), 0.5);
+}
+
+TEST(AucTest, DegenerateClassesGiveHalf) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({{0, 0, 0.9}}, truth), 0.5);  // only negatives
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({}, truth), 0.5);
+}
+
+TEST(ThresholdSweepTest, MonotoneRecall) {
+  const Fixture f = MakeFixture();
+  const GroundTruth truth(f.a, f.b);
+  const std::vector<ScoredPair> scored = {
+      {1, 0, 0.9}, {2, 1, 0.6}, {0, 0, 0.7}, {0, 1, 0.4}};
+  const auto points = ThresholdSweep(scored, truth);
+  ASSERT_EQ(points.size(), 4u);
+  // Thresholds ascend; recall must descend (or stay) as threshold rises.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].threshold, points[i - 1].threshold);
+    EXPECT_LE(points[i].recall, points[i - 1].recall + 1e-12);
+  }
+  // At the lowest threshold every pair is predicted: recall 1.
+  EXPECT_DOUBLE_EQ(points.front().recall, 1.0);
+  // At the highest threshold only (1,0): precision 1, recall 0.5.
+  EXPECT_DOUBLE_EQ(points.back().precision, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().recall, 0.5);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,94 @@
+#include "eval/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace pprl {
+namespace {
+
+/// Databases where group "m" records always match correctly and group "f"
+/// records are systematically missed.
+struct BiasedFixture {
+  Database a;
+  Database b;
+  std::vector<ScoredPair> predicted;
+};
+
+BiasedFixture MakeBiased() {
+  BiasedFixture f;
+  f.a.schema = f.b.schema = DataGenerator::StandardSchema();
+  const int sex_idx = f.a.schema.FieldIndex("sex");
+  // 4 male entities (0-3) and 4 female entities (4-7), all shared.
+  for (uint64_t e = 0; e < 8; ++e) {
+    Record r;
+    r.id = e;
+    r.entity_id = e;
+    r.values.assign(f.a.schema.size(), "x");
+    r.values[static_cast<size_t>(sex_idx)] = e < 4 ? "m" : "f";
+    f.a.records.push_back(r);
+    f.b.records.push_back(r);
+  }
+  // Predictions: all male matches found, only 1 of 4 female matches.
+  for (uint32_t i = 0; i < 4; ++i) f.predicted.push_back({i, i, 0.9});
+  f.predicted.push_back({4, 4, 0.9});
+  return f;
+}
+
+TEST(EvaluateByGroupTest, SplitsByProtectedField) {
+  const BiasedFixture f = MakeBiased();
+  const GroundTruth truth(f.a, f.b);
+  const GroupConfusion by_group = EvaluateByGroup(f.predicted, truth, f.a, "sex");
+  ASSERT_EQ(by_group.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_group.at("m").Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(by_group.at("f").Recall(), 0.25);
+  EXPECT_EQ(by_group.at("f").false_negatives, 3u);
+}
+
+TEST(EvaluateByGroupTest, MissingProtectedValueGroup) {
+  BiasedFixture f = MakeBiased();
+  const int sex_idx = f.a.schema.FieldIndex("sex");
+  f.a.records[0].values[static_cast<size_t>(sex_idx)].clear();
+  const GroundTruth truth(f.a, f.b);
+  const GroupConfusion by_group = EvaluateByGroup(f.predicted, truth, f.a, "sex");
+  EXPECT_EQ(by_group.count("<missing>"), 1u);
+}
+
+TEST(EvaluateByGroupTest, UnknownFieldFallsBackToSingleGroup) {
+  const BiasedFixture f = MakeBiased();
+  const GroundTruth truth(f.a, f.b);
+  const GroupConfusion by_group =
+      EvaluateByGroup(f.predicted, truth, f.a, "not_a_field");
+  ASSERT_EQ(by_group.size(), 1u);
+  EXPECT_EQ(by_group.count("<missing>"), 1u);
+}
+
+TEST(FairnessGapsTest, DetectsRecallGap) {
+  const BiasedFixture f = MakeBiased();
+  const GroundTruth truth(f.a, f.b);
+  const FairnessGaps gaps =
+      ComputeFairnessGaps(EvaluateByGroup(f.predicted, truth, f.a, "sex"));
+  EXPECT_DOUBLE_EQ(gaps.recall_gap, 0.75);
+  EXPECT_DOUBLE_EQ(gaps.precision_gap, 0.0);  // both groups precise
+  EXPECT_GT(gaps.f1_gap, 0.3);
+}
+
+TEST(FairnessGapsTest, FairPredictionsHaveZeroGaps) {
+  BiasedFixture f = MakeBiased();
+  f.predicted.clear();
+  for (uint32_t i = 0; i < 8; ++i) f.predicted.push_back({i, i, 0.9});
+  const GroundTruth truth(f.a, f.b);
+  const FairnessGaps gaps =
+      ComputeFairnessGaps(EvaluateByGroup(f.predicted, truth, f.a, "sex"));
+  EXPECT_DOUBLE_EQ(gaps.recall_gap, 0.0);
+  EXPECT_DOUBLE_EQ(gaps.precision_gap, 0.0);
+  EXPECT_DOUBLE_EQ(gaps.f1_gap, 0.0);
+}
+
+TEST(FairnessGapsTest, EmptyGroups) {
+  const FairnessGaps gaps = ComputeFairnessGaps({});
+  EXPECT_DOUBLE_EQ(gaps.recall_gap, 0.0);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,135 @@
+#include "encoding/hardening.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+BitVector EncodedName(const std::string& name) {
+  const BloomFilterEncoder encoder({1000, 20, BloomHashScheme::kDoubleHashing, ""});
+  return encoder.EncodeString(name);
+}
+
+TEST(BalanceTest, ProducesExactlyHalfOnes) {
+  const BitVector bf = EncodedName("smith");
+  const BitVector balanced = Balance(bf, 42);
+  EXPECT_EQ(balanced.size(), 2 * bf.size());
+  EXPECT_EQ(balanced.Count(), bf.size());  // exactly 50% ones
+}
+
+TEST(BalanceTest, DeterministicPerKey) {
+  const BitVector bf = EncodedName("smith");
+  EXPECT_EQ(Balance(bf, 1), Balance(bf, 1));
+  EXPECT_NE(Balance(bf, 1), Balance(bf, 2));
+}
+
+TEST(BalanceTest, PreservesSimilarityOrdering) {
+  const BitVector smith = Balance(EncodedName("smith"), 7);
+  const BitVector smyth = Balance(EncodedName("smyth"), 7);
+  const BitVector jones = Balance(EncodedName("jones"), 7);
+  EXPECT_GT(DiceSimilarity(smith, smyth), DiceSimilarity(smith, jones));
+}
+
+TEST(XorFoldTest, HalvesLength) {
+  const BitVector bf = EncodedName("smith");
+  const BitVector folded = XorFold(bf);
+  EXPECT_EQ(folded.size(), bf.size() / 2);
+}
+
+TEST(XorFoldTest, FoldIsXorOfHalves) {
+  BitVector bf(8);
+  bf.Set(0);
+  bf.Set(4);  // cancel at position 0
+  bf.Set(1);  // survive at position 1
+  const BitVector folded = XorFold(bf);
+  EXPECT_FALSE(folded.Get(0));
+  EXPECT_TRUE(folded.Get(1));
+}
+
+TEST(XorFoldTest, PreservesSimilarityOrdering) {
+  const BitVector smith = XorFold(EncodedName("smith"));
+  const BitVector smyth = XorFold(EncodedName("smyth"));
+  const BitVector jones = XorFold(EncodedName("jones"));
+  EXPECT_GT(DiceSimilarity(smith, smyth), DiceSimilarity(smith, jones));
+}
+
+TEST(Rule90Test, KnownPattern) {
+  // 00100 -> neighbours of each cell: 01010.
+  const BitVector input = BitVector::FromString("00100");
+  const BitVector output = Rule90(input);
+  EXPECT_EQ(output.ToString(), "01010");
+}
+
+TEST(Rule90Test, EmptyInputOk) { EXPECT_EQ(Rule90(BitVector()).size(), 0u); }
+
+TEST(Rule90Test, PreservesLength) {
+  const BitVector bf = EncodedName("smith");
+  EXPECT_EQ(Rule90(bf).size(), bf.size());
+}
+
+TEST(BlipTest, FlipFractionNearProbability) {
+  Rng rng(5);
+  const BitVector bf = EncodedName("smith");
+  const BitVector noisy = Blip(bf, 0.1, rng);
+  const double flipped =
+      static_cast<double>(bf.XorCount(noisy)) / static_cast<double>(bf.size());
+  EXPECT_NEAR(flipped, 0.1, 0.03);
+}
+
+TEST(BlipTest, ZeroProbabilityIsIdentity) {
+  Rng rng(5);
+  const BitVector bf = EncodedName("smith");
+  EXPECT_EQ(Blip(bf, 0.0, rng), bf);
+}
+
+TEST(BlipTest, SimilarityDegradesGracefully) {
+  Rng rng(6);
+  const BitVector smith = EncodedName("smith");
+  const BitVector smyth = EncodedName("smyth");
+  const double clean = DiceSimilarity(smith, smyth);
+  const double noisy =
+      DiceSimilarity(Blip(smith, 0.05, rng), Blip(smyth, 0.05, rng));
+  EXPECT_LT(std::abs(clean - noisy), 0.25);
+}
+
+TEST(BlipEpsilonTest, KnownValues) {
+  EXPECT_NEAR(BlipEpsilon(0.1), std::log(9.0), 1e-12);
+  EXPECT_NEAR(BlipEpsilon(0.25), std::log(3.0), 1e-12);
+  EXPECT_TRUE(std::isinf(BlipEpsilon(0.0)));
+}
+
+TEST(RecordSaltTest, StablePerValueAndKey) {
+  EXPECT_EQ(RecordSalt("1980", "k"), RecordSalt("1980", "k"));
+  EXPECT_NE(RecordSalt("1980", "k"), RecordSalt("1981", "k"));
+  EXPECT_NE(RecordSalt("1980", "k1"), RecordSalt("1980", "k2"));
+  EXPECT_EQ(RecordSalt("1980", "k").size(), 16u);
+}
+
+class BlipSweep : public ::testing::TestWithParam<double> {};
+
+/// Property: hardened encodings reduce the per-position frequency signal as
+/// flip probability rises, at the cost of similarity fidelity.
+TEST_P(BlipSweep, HigherNoiseLowersSimilarity) {
+  Rng rng(17);
+  const double f = GetParam();
+  const BitVector a = EncodedName("katherine");
+  const BitVector b = EncodedName("catherine");
+  const double noisy = DiceSimilarity(Blip(a, f, rng), Blip(b, f, rng));
+  const double clean = DiceSimilarity(a, b);
+  if (f > 0.0) {
+    EXPECT_LT(noisy, clean + 0.05);
+  }
+  // Even heavy noise must not invert the relationship with an unrelated name.
+  const BitVector unrelated = EncodedName("zzzyyqq");
+  EXPECT_GT(noisy, DiceSimilarity(Blip(a, f, rng), Blip(unrelated, f, rng)) - 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlipProbs, BlipSweep, ::testing::Values(0.0, 0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace pprl

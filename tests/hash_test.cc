@@ -1,0 +1,95 @@
+#include "crypto/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+// RFC 1321 / FIPS 180 reference vectors.
+
+TEST(Md5Test, ReferenceVectors) {
+  EXPECT_EQ(DigestToHex(Md5("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(DigestToHex(Md5("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(DigestToHex(Md5("message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(DigestToHex(Md5("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Sha1Test, ReferenceVectors) {
+  EXPECT_EQ(DigestToHex(Sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(DigestToHex(Sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(DigestToHex(Sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha256Test, ReferenceVectors) {
+  EXPECT_EQ(DigestToHex(Sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(DigestToHex(Sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestToHex(Sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MultiBlockMessage) {
+  // One million 'a' characters (NIST long-message vector).
+  const std::string million(1000000, 'a');
+  EXPECT_EQ(DigestToHex(Sha256(million)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacTest, Rfc4231Vectors) {
+  // RFC 4231 test case 2.
+  EXPECT_EQ(DigestToHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Wikipedia's classic example.
+  EXPECT_EQ(DigestToHex(HmacSha256("key", "The quick brown fox jumps over the lazy dog")),
+            "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  const std::string long_key(200, 'k');
+  // Consistency: must equal HMAC with SHA256(long_key) as the key material.
+  const auto direct = HmacSha256(long_key, "data");
+  const auto hashed_key = Sha256(long_key);
+  const std::string key_str(reinterpret_cast<const char*>(hashed_key.data()),
+                            hashed_key.size());
+  EXPECT_EQ(DigestToHex(direct), DigestToHex(HmacSha256(key_str, "data")));
+}
+
+TEST(HmacTest, KeySeparation) {
+  EXPECT_NE(DigestToHex(HmacSha256("key1", "data")),
+            DigestToHex(HmacSha256("key2", "data")));
+}
+
+TEST(DigestHelpersTest, DigestToUint64LittleEndian) {
+  std::array<uint8_t, 8> digest = {1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(DigestToUint64(digest), 1u);
+  digest = {0, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_EQ(DigestToUint64(digest), uint64_t{1} << 56);
+}
+
+TEST(TabulationHashTest, DeterministicPerSeed) {
+  const TabulationHash h1(42), h2(42), h3(43);
+  EXPECT_EQ(h1.Hash("hello"), h2.Hash("hello"));
+  EXPECT_NE(h1.Hash("hello"), h3.Hash("hello"));
+  EXPECT_EQ(h1.Hash64(12345), h2.Hash64(12345));
+}
+
+TEST(TabulationHashTest, SpreadsBits) {
+  const TabulationHash h(7);
+  // Rough avalanche check: flipping one input bit flips ~half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    const uint64_t a = h.Hash64(0);
+    const uint64_t b = h.Hash64(uint64_t{1} << bit);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 20.0);
+  EXPECT_LT(avg, 44.0);
+}
+
+}  // namespace
+}  // namespace pprl

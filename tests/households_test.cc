@@ -1,0 +1,98 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocking.h"
+#include "datagen/generator.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+TEST(HouseholdsTest, MembersShareFamilyFields) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateHouseholds(100, 3.0);
+  EXPECT_GE(db.size(), 100u);
+  // Group by the shared phone (unique per household by construction).
+  std::map<std::string, std::vector<const Record*>> by_phone;
+  for (const Record& r : db.records) by_phone[r.values[7]].push_back(&r);
+  size_t multi = 0;
+  for (const auto& [phone, members] : by_phone) {
+    if (members.size() < 2) continue;
+    ++multi;
+    for (const Record* m : members) {
+      EXPECT_EQ(m->values[1], members[0]->values[1]);  // last name
+      EXPECT_EQ(m->values[4], members[0]->values[4]);  // city
+      EXPECT_EQ(m->values[5], members[0]->values[5]);  // street
+      EXPECT_EQ(m->values[6], members[0]->values[6]);  // postcode
+    }
+  }
+  EXPECT_GT(multi, 20u);  // mean size 3 -> plenty of multi-member households
+}
+
+TEST(HouseholdsTest, MembersAreDistinctEntities) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateHouseholds(50, 2.5);
+  std::set<uint64_t> entities;
+  for (const Record& r : db.records) EXPECT_TRUE(entities.insert(r.entity_id).second);
+}
+
+TEST(HouseholdsTest, MeanSizeRoughlyHonoured) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateHouseholds(500, 2.6);
+  const double mean = static_cast<double>(db.size()) / 500.0;
+  EXPECT_GT(mean, 1.8);
+  EXPECT_LT(mean, 3.6);
+}
+
+TEST(HouseholdsTest, SizeOneHouseholds) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateHouseholds(30, 1.0);
+  EXPECT_EQ(db.size(), 30u);  // p_extra = 0 -> singletons only
+}
+
+/// The realism this exists for: family members are hard non-matches (agree
+/// on most QIDs), so one-to-one matching and tight thresholds must hold up.
+TEST(HouseholdsTest, FamilyMembersAreHardNonMatches) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateHouseholds(200, 3.0);
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  auto filters = encoder.EncodeDatabase(db);
+  ASSERT_TRUE(filters.ok());
+  // Find a multi-member household and compare siblings vs strangers.
+  std::map<std::string, std::vector<size_t>> by_phone;
+  for (size_t i = 0; i < db.records.size(); ++i) {
+    by_phone[db.records[i].values[7]].push_back(i);
+  }
+  double sibling_sim = -1;
+  for (const auto& [phone, members] : by_phone) {
+    if (members.size() >= 2) {
+      sibling_sim = DiceSimilarity((*filters)[members[0]], (*filters)[members[1]]);
+      break;
+    }
+  }
+  ASSERT_GE(sibling_sim, 0.0) << "no multi-member household generated";
+  // Siblings agree on surname+city (part of the CLK) but differ on first
+  // name and DOB: similarity should land in the dangerous middle band,
+  // clearly above strangers but below a same-person threshold of ~0.9.
+  EXPECT_GT(sibling_sim, 0.35);
+  EXPECT_LT(sibling_sim, 0.9);
+}
+
+TEST(HouseholdsTest, HouseholdBlockingSkew) {
+  // Address blocking over household data yields many same-block pairs per
+  // block — the skew meta-blocking (E5) exists to handle.
+  DataGenerator gen(GeneratorConfig{});
+  const Database db = gen.GenerateHouseholds(150, 3.0);
+  const StandardBlocker blocker(ExactAttributeKey("street", "k"));
+  const BlockIndex index = blocker.BuildIndex(db);
+  size_t max_block = 0;
+  for (const auto& [key, records] : index) max_block = std::max(max_block, records.size());
+  EXPECT_GE(max_block, 3u);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,190 @@
+/// End-to-end integration tests spanning datagen -> encoding -> blocking ->
+/// comparison -> classification -> clustering -> evaluation, i.e. the whole
+/// PPRL process of the survey's overview section.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/lsh_blocking.h"
+#include "datagen/generator.h"
+#include "encoding/bloom_filter.h"
+#include "eval/fairness.h"
+#include "eval/metrics.h"
+#include "filtering/ppjoin.h"
+#include "linkage/classifier.h"
+#include "linkage/clustering.h"
+#include "linkage/comparison.h"
+#include "linkage/matching.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+TEST(IntegrationTest, ManualPipelineMatchesHighLevelApi) {
+  // Build the same linkage once through the composable pieces and once
+  // through PprlPipeline; the results must coincide.
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 150;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  const Database& a = (*dbs)[0];
+  const Database& b = (*dbs)[1];
+
+  PipelineConfig config;
+  config.blocking = BlockingScheme::kNone;  // deterministic comparison set
+  config.match_threshold = 0.8;
+  auto high_level = PprlPipeline(config).Link(a, b);
+  ASSERT_TRUE(high_level.ok());
+
+  // Manual: CLK encode, full pairs, Dice, threshold, greedy 1:1.
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  auto fa = encoder.EncodeDatabase(a);
+  auto fb = encoder.EncodeDatabase(b);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  const ComparisonEngine engine(
+      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  auto scored = engine.Compare(*fa, *fb, FullPairs(a.size(), b.size()), 0.8);
+  auto matches = GreedyOneToOne(ThresholdClassifier(0.8, 0.8).SelectMatches(scored));
+
+  ASSERT_EQ(matches.size(), high_level->matches.size());
+}
+
+TEST(IntegrationTest, PpjoinAgreesWithFullComparison) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 120;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  auto fa = encoder.EncodeDatabase((*dbs)[0]);
+  auto fb = encoder.EncodeDatabase((*dbs)[1]);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+
+  const double threshold = 0.8;
+  const PpjoinIndex index(*fb, threshold);
+  const auto joined = index.Join(*fa);
+
+  const ComparisonEngine engine(
+      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  const auto scored =
+      engine.Compare(*fa, *fb, FullPairs(fa->size(), fb->size()), threshold);
+  EXPECT_EQ(joined.size(), scored.size());
+}
+
+TEST(IntegrationTest, MultiDatabaseClusteringFindsSharedEntities) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 80;
+  scenario.num_databases = 3;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 0.5;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  IncrementalClusterer clusterer(
+      0.75, [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  clusterer.set_one_per_database(true);
+
+  // Stream all records through the incremental clusterer.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> entity_of;
+  for (uint32_t d = 0; d < 3; ++d) {
+    const Database& db = (*dbs)[d];
+    auto filters = encoder.EncodeDatabase(db);
+    ASSERT_TRUE(filters.ok());
+    for (uint32_t r = 0; r < db.records.size(); ++r) {
+      clusterer.Insert({d, r}, (*filters)[r]);
+      entity_of[{d, r}] = db.records[r].entity_id;
+    }
+  }
+
+  // Shared entities (ids < 40) should mostly form 3-database clusters.
+  const auto full_clusters = ClustersInAtLeast(clusterer.clusters(), 3);
+  size_t pure = 0;
+  for (const auto& cluster : full_clusters) {
+    std::set<uint64_t> entities;
+    for (const auto& ref : cluster) entities.insert(entity_of[{ref.database, ref.record}]);
+    if (entities.size() == 1) ++pure;
+  }
+  EXPECT_GT(full_clusters.size(), 20u);
+  // Most 3-way clusters must be pure (same true entity).
+  EXPECT_GT(static_cast<double>(pure) / static_cast<double>(full_clusters.size()), 0.8);
+}
+
+TEST(IntegrationTest, FellegiSunterOnEncodedFieldsBeatsLooseThreshold) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 150;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  const Database& a = (*dbs)[0];
+  const Database& b = (*dbs)[1];
+  const GroundTruth truth(a, b);
+
+  // Field-level Bloom filters for four QIDs.
+  BloomFilterParams params;
+  params.num_bits = 500;
+  params.num_hashes = 15;
+  const BloomFilterEncoder encoder(params);
+  const std::vector<std::string> fields = {"first_name", "last_name", "dob", "city"};
+  std::vector<std::vector<BitVector>> fa(fields.size()), fb(fields.size());
+  for (size_t f = 0; f < fields.size(); ++f) {
+    const int idx = a.schema.FieldIndex(fields[f]);
+    ASSERT_GE(idx, 0);
+    for (const Record& r : a.records) {
+      fa[f].push_back(encoder.EncodeString(r.values[static_cast<size_t>(idx)]));
+    }
+    for (const Record& r : b.records) {
+      fb[f].push_back(encoder.EncodeString(r.values[static_cast<size_t>(idx)]));
+    }
+  }
+  const auto pairs = CompareFieldwise(
+      fa, fb, FullPairs(a.size(), b.size()),
+      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+
+  FellegiSunterClassifier::Params fs_params;
+  fs_params.agreement_threshold = 0.65;
+  fs_params.initial_prevalence = 0.01;
+  FellegiSunterClassifier fs(fs_params);
+  ASSERT_TRUE(fs.Fit(pairs).ok());
+  const auto fs_matches = fs.SelectMatches(pairs, 0.0);
+  std::vector<ScoredPair> fs_scored;
+  for (const auto& p : fs_matches) fs_scored.push_back({p.a, p.b, 1.0});
+  const double fs_f1 = EvaluateMatches(fs_scored, truth).F1();
+  EXPECT_GT(fs_f1, 0.6);
+}
+
+TEST(IntegrationTest, FairnessMeasurableOnPipelineOutput) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 200;
+  scenario.corruption.mean_corruptions = 1.5;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  const Database& a = (*dbs)[0];
+  const Database& b = (*dbs)[1];
+  PipelineConfig config;
+  config.match_threshold = 0.8;
+  auto output = PprlPipeline(config).Link(a, b);
+  ASSERT_TRUE(output.ok());
+  const GroundTruth truth(a, b);
+  const auto by_group = EvaluateByGroup(output->matches, truth, a, "sex");
+  EXPECT_GE(by_group.size(), 2u);
+  const FairnessGaps gaps = ComputeFairnessGaps(by_group);
+  EXPECT_GE(gaps.recall_gap, 0.0);
+  EXPECT_LE(gaps.recall_gap, 1.0);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,123 @@
+#include "linkage/interactive_review.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corruptor.h"
+#include "datagen/generator.h"
+
+namespace pprl {
+namespace {
+
+Record MakeRecord(const std::string& first, const std::string& last,
+                  const std::string& dob) {
+  Record r;
+  r.values = {first, last, "f", dob, "springfield", "1 main st", "2000", "0400000000"};
+  return r;
+}
+
+const std::vector<std::string> kReviewFields = {"first_name", "last_name", "dob"};
+
+TEST(MaskPairTest, RevealsRequestedPositions) {
+  const MaskedPair none = MaskPair("smith", "smyth", 0, 1);
+  EXPECT_EQ(none.a, "*****");
+  EXPECT_EQ(none.b, "*****");
+  const MaskedPair all = MaskPair("smith", "smyth", 5, 1);
+  EXPECT_EQ(all.a, "smith");
+  EXPECT_EQ(all.b, "smyth");
+  const MaskedPair partial = MaskPair("smith", "smyth", 2, 1);
+  size_t visible = 0;
+  for (char c : partial.a) {
+    if (c != '*') ++visible;
+  }
+  EXPECT_EQ(visible, 2u);
+}
+
+TEST(MaskPairTest, UnequalLengths) {
+  const MaskedPair m = MaskPair("ab", "abcdef", 6, 3);
+  EXPECT_EQ(m.a.size(), 2u);
+  EXPECT_EQ(m.b.size(), 6u);
+}
+
+TEST(ReviewPairTest, IdenticalRecordsDecidedQuickly) {
+  const Schema schema = DataGenerator::StandardSchema();
+  const Record r = MakeRecord("mary", "smith", "1980-01-01");
+  ReviewPolicy policy;
+  auto outcome = ReviewPair(schema, r, r, kReviewFields, policy, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->decided);
+  EXPECT_TRUE(outcome->is_match);
+  EXPECT_EQ(outcome->rounds_used, 1u);
+  EXPECT_LT(outcome->fraction_revealed, 0.45);
+}
+
+TEST(ReviewPairTest, DifferentRecordsRejected) {
+  const Schema schema = DataGenerator::StandardSchema();
+  const Record a = MakeRecord("mary", "smith", "1980-01-01");
+  const Record b = MakeRecord("john", "nguyen", "1955-12-31");
+  ReviewPolicy policy;
+  auto outcome = ReviewPair(schema, a, b, kReviewFields, policy, 2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->decided);
+  EXPECT_FALSE(outcome->is_match);
+}
+
+TEST(ReviewPairTest, NearMatchNeedsMoreRounds) {
+  const Schema schema = DataGenerator::StandardSchema();
+  const Record a = MakeRecord("katherine", "anderson", "1980-01-01");
+  const Record b = MakeRecord("catherine", "andersen", "1980-01-01");
+  ReviewPolicy policy;
+  policy.decide_margin = 0.93;
+  auto outcome = ReviewPair(schema, a, b, kReviewFields, policy, 3);
+  ASSERT_TRUE(outcome.ok());
+  // Whatever the decision, it must have cost more disclosure than an
+  // identical pair does.
+  const Record same = MakeRecord("katherine", "anderson", "1980-01-01");
+  auto easy = ReviewPair(schema, same, same, kReviewFields, policy, 3);
+  ASSERT_TRUE(easy.ok());
+  EXPECT_GE(outcome->rounds_used, easy->rounds_used);
+}
+
+TEST(ReviewPairTest, ValidatesArguments) {
+  const Schema schema = DataGenerator::StandardSchema();
+  const Record r = MakeRecord("a", "b", "1980-01-01");
+  EXPECT_FALSE(ReviewPair(schema, r, r, {}, ReviewPolicy{}, 1).ok());
+  EXPECT_FALSE(ReviewPair(schema, r, r, {"no_field"}, ReviewPolicy{}, 1).ok());
+  ReviewPolicy zero;
+  zero.max_rounds = 0;
+  EXPECT_FALSE(ReviewPair(schema, r, r, kReviewFields, zero, 1).ok());
+}
+
+TEST(ReviewPairsTest, BatchMetersPrivacyBudget) {
+  const Schema schema = DataGenerator::StandardSchema();
+  DataGenerator gen(GeneratorConfig{});
+  Database db = gen.GenerateClean(30);
+  Corruptor corruptor(CorruptorConfig{}, 5);
+  std::vector<Record> corrupted;
+  corrupted.reserve(30);
+  for (const Record& r : db.records) {
+    corrupted.push_back(corruptor.CorruptExactly(schema, r, 1));
+  }
+  std::vector<std::pair<const Record*, const Record*>> pairs;
+  for (size_t i = 0; i < 30; ++i) {
+    // Half true pairs (corrupted copies), half cross pairs (different people).
+    if (i % 2 == 0) {
+      pairs.push_back({&db.records[i], &corrupted[i]});
+    } else {
+      pairs.push_back({&db.records[i], &db.records[(i + 7) % 30]});
+    }
+  }
+  ReviewPolicy policy;
+  auto result = ReviewPairs(schema, pairs, kReviewFields, policy, 99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes.size(), 30u);
+  // The whole point of [22]: deciding must not require full disclosure.
+  EXPECT_LT(result->mean_fraction_revealed, 0.9);
+  EXPECT_GT(result->mean_fraction_revealed, 0.0);
+  // Most pairs here are easy; the batch should be mostly decided.
+  size_t decided = 0;
+  for (const auto& o : result->outcomes) decided += o.decided ? 1 : 0;
+  EXPECT_GT(decided, 20u);
+}
+
+}  // namespace
+}  // namespace pprl

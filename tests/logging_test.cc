@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedBelowThresholdAndEmittedAbove) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  LogMessage(LogLevel::kInfo, "should not appear");
+  LogMessage(LogLevel::kError, "should appear");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamMacroFormats) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  PPRL_LOG(kInfo) << "compared " << 42 << " pairs";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[pprl INFO] compared 42 pairs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,144 @@
+#include "blocking/lsh_blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "encoding/bloom_filter.h"
+
+namespace pprl {
+namespace {
+
+std::vector<BitVector> EncodeNames(const std::vector<std::string>& names) {
+  const BloomFilterEncoder encoder({1000, 20, BloomHashScheme::kDoubleHashing, ""});
+  std::vector<BitVector> out;
+  for (const auto& name : names) out.push_back(encoder.EncodeString(name));
+  return out;
+}
+
+TEST(HammingLshTest, KeysPerTable) {
+  Rng rng(1);
+  const HammingLshBlocker blocker(1000, 5, 10, rng);
+  EXPECT_EQ(blocker.num_tables(), 5u);
+  EXPECT_EQ(blocker.bits_per_key(), 10u);
+  const auto filters = EncodeNames({"smith"});
+  const auto keys = blocker.Keys(filters[0]);
+  EXPECT_EQ(keys.size(), 5u);
+  // Keys are table-scoped.
+  EXPECT_EQ(keys[0].substr(0, 3), "t0:");
+  EXPECT_EQ(keys[4].substr(0, 3), "t4:");
+}
+
+TEST(HammingLshTest, IdenticalFiltersAlwaysCollide) {
+  Rng rng(2);
+  const HammingLshBlocker blocker(1000, 10, 20, rng);
+  const auto fa = EncodeNames({"smith"});
+  const auto fb = EncodeNames({"smith"});
+  const auto pairs =
+      HammingLshBlocker::CandidatePairs(blocker.BuildIndex(fa), blocker.BuildIndex(fb));
+  ASSERT_EQ(pairs.size(), 1u);
+}
+
+TEST(HammingLshTest, SimilarCollideDissimilarRarely) {
+  Rng rng(3);
+  const HammingLshBlocker blocker(1000, 20, 16, rng);
+  const auto fa = EncodeNames({"katherine"});
+  const auto fb = EncodeNames({"catherine", "zzzzqqqq"});
+  const auto pairs =
+      HammingLshBlocker::CandidatePairs(blocker.BuildIndex(fa), blocker.BuildIndex(fb));
+  bool found_similar = false, found_dissimilar = false;
+  for (const auto& p : pairs) {
+    if (p.b == 0) found_similar = true;
+    if (p.b == 1) found_dissimilar = true;
+  }
+  EXPECT_TRUE(found_similar);
+  EXPECT_FALSE(found_dissimilar);
+}
+
+TEST(HammingLshTest, CollisionProbabilityFormula) {
+  Rng rng(4);
+  const HammingLshBlocker blocker(1000, 10, 20, rng);
+  EXPECT_DOUBLE_EQ(blocker.CollisionProbability(0), 1.0);
+  EXPECT_LT(blocker.CollisionProbability(500), 0.01);
+  // Monotone decreasing in distance.
+  EXPECT_GT(blocker.CollisionProbability(50), blocker.CollisionProbability(150));
+}
+
+TEST(HammingLshTest, EmpiricalRecallMatchesTheory) {
+  Rng rng(5);
+  const size_t l = 500;
+  const HammingLshBlocker blocker(l, 8, 12, rng);
+  // Pairs at controlled Hamming distance d: flip d bits of a random filter.
+  const size_t d = 60;
+  size_t collisions = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    BitVector x(l);
+    for (size_t i = 0; i < l; ++i) {
+      if (rng.NextBool(0.3)) x.Set(i);
+    }
+    BitVector y = x;
+    // flip d distinct random positions
+    std::vector<uint32_t> positions(l);
+    for (size_t i = 0; i < l; ++i) positions[i] = static_cast<uint32_t>(i);
+    rng.Shuffle(positions);
+    for (size_t i = 0; i < d; ++i) y.Flip(positions[i]);
+    const auto ka = blocker.Keys(x);
+    const auto kb = blocker.Keys(y);
+    for (size_t tbl = 0; tbl < ka.size(); ++tbl) {
+      if (ka[tbl] == kb[tbl]) {
+        ++collisions;
+        break;
+      }
+    }
+  }
+  const double empirical = static_cast<double>(collisions) / trials;
+  const double theory = blocker.CollisionProbability(d);
+  EXPECT_NEAR(empirical, theory, 0.1);
+}
+
+TEST(MinHashLshTest, BandKeys) {
+  const MinHashLshBlocker blocker(4, 3);
+  MinHashSignature sig(12);
+  for (size_t i = 0; i < 12; ++i) sig[i] = i;
+  const auto keys = blocker.Keys(sig);
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys[0], "b0:0,1,2,");
+  EXPECT_EQ(keys[3], "b3:9,10,11,");
+}
+
+TEST(MinHashLshTest, IdenticalSignaturesCollide) {
+  const MinHashLshBlocker blocker(8, 4);
+  MinHashSignature sig(32, 7);
+  const auto ia = blocker.BuildIndex({sig});
+  const auto ib = blocker.BuildIndex({sig});
+  EXPECT_EQ(MinHashLshBlocker::CandidatePairs(ia, ib).size(), 1u);
+}
+
+TEST(MinHashLshTest, CollisionProbabilitySCurve) {
+  const MinHashLshBlocker blocker(20, 5);
+  EXPECT_NEAR(blocker.CollisionProbability(1.0), 1.0, 1e-12);
+  EXPECT_LT(blocker.CollisionProbability(0.2), 0.01);
+  EXPECT_GT(blocker.CollisionProbability(0.9), 0.99);
+  // S-curve: steeper in the middle.
+  const double low = blocker.CollisionProbability(0.4);
+  const double mid = blocker.CollisionProbability(0.6);
+  const double high = blocker.CollisionProbability(0.8);
+  EXPECT_GT(mid - low, 0.0);
+  EXPECT_GT(high - mid, 0.0);
+}
+
+class LshTableSweep : public ::testing::TestWithParam<size_t> {};
+
+/// Property: recall grows with table count (at fixed key width).
+TEST_P(LshTableSweep, MoreTablesHigherCollisionProbability) {
+  Rng rng(7);
+  const HammingLshBlocker few(1000, GetParam(), 16, rng);
+  Rng rng2(7);
+  const HammingLshBlocker more(1000, GetParam() * 2, 16, rng2);
+  EXPECT_LE(few.CollisionProbability(100), more.CollisionProbability(100) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, LshTableSweep, ::testing::Values(1, 5, 10, 20));
+
+}  // namespace
+}  // namespace pprl

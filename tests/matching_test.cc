@@ -1,0 +1,113 @@
+#include "linkage/matching.h"
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pprl {
+namespace {
+
+TEST(GreedyOneToOneTest, TakesHighestScoresFirst) {
+  const std::vector<ScoredPair> scored = {
+      {0, 0, 0.9}, {0, 1, 0.95}, {1, 0, 0.99}, {1, 1, 0.5}};
+  const auto matched = GreedyOneToOne(scored);
+  // (1,0) at 0.99 first, then (0,1) at 0.95.
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_EQ(matched[0], (ScoredPair{1, 0, 0.99}));
+  EXPECT_EQ(matched[1], (ScoredPair{0, 1, 0.95}));
+}
+
+TEST(GreedyOneToOneTest, EachRecordUsedOnce) {
+  Rng rng(3);
+  std::vector<ScoredPair> scored;
+  for (uint32_t i = 0; i < 20; ++i) {
+    for (uint32_t j = 0; j < 20; ++j) scored.push_back({i, j, rng.NextDouble()});
+  }
+  const auto matched = GreedyOneToOne(scored);
+  EXPECT_EQ(matched.size(), 20u);
+  std::set<uint32_t> used_a, used_b;
+  for (const auto& m : matched) {
+    EXPECT_TRUE(used_a.insert(m.a).second);
+    EXPECT_TRUE(used_b.insert(m.b).second);
+  }
+}
+
+TEST(GreedyOneToOneTest, EmptyInput) { EXPECT_TRUE(GreedyOneToOne({}).empty()); }
+
+TEST(HungarianTest, OptimalBeatsGreedyOnClassicTrap) {
+  // Greedy takes (0,0)=0.9 then must pair (1,1)=0.1: total 1.0.
+  // Optimal takes (0,1)=0.8 and (1,0)=0.8: total 1.6.
+  const std::vector<ScoredPair> scored = {
+      {0, 0, 0.9}, {0, 1, 0.8}, {1, 0, 0.8}, {1, 1, 0.1}};
+  const auto greedy = GreedyOneToOne(scored);
+  const auto optimal = HungarianOneToOne(scored);
+  auto total = [](const std::vector<ScoredPair>& pairs) {
+    double sum = 0;
+    for (const auto& p : pairs) sum += p.score;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(total(greedy), 1.0);
+  EXPECT_DOUBLE_EQ(total(optimal), 1.6);
+}
+
+TEST(HungarianTest, OneToOneConstraint) {
+  Rng rng(5);
+  std::vector<ScoredPair> scored;
+  for (uint32_t i = 0; i < 12; ++i) {
+    for (uint32_t j = 0; j < 15; ++j) {
+      if (rng.NextBool(0.6)) scored.push_back({i, j, rng.NextDouble()});
+    }
+  }
+  const auto matched = HungarianOneToOne(scored);
+  std::set<uint32_t> used_a, used_b;
+  for (const auto& m : matched) {
+    EXPECT_TRUE(used_a.insert(m.a).second);
+    EXPECT_TRUE(used_b.insert(m.b).second);
+    EXPECT_GE(m.score, 0.0);
+  }
+}
+
+TEST(HungarianTest, NeverWorseThanGreedy) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ScoredPair> scored;
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextUint64(8));
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (rng.NextBool(0.7)) scored.push_back({i, j, rng.NextDouble()});
+      }
+    }
+    auto total = [](const std::vector<ScoredPair>& pairs) {
+      double sum = 0;
+      for (const auto& p : pairs) sum += p.score;
+      return sum;
+    };
+    const double greedy_total = total(GreedyOneToOne(scored));
+    const double optimal_total = total(HungarianOneToOne(scored));
+    EXPECT_GE(optimal_total + 1e-9, greedy_total) << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, EmptyAndSingle) {
+  EXPECT_TRUE(HungarianOneToOne({}).empty());
+  const auto single = HungarianOneToOne({{3, 4, 0.7}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], (ScoredPair{3, 4, 0.7}));
+}
+
+TEST(HungarianTest, DuplicateEdgesKeepBest) {
+  const auto matched = HungarianOneToOne({{0, 0, 0.3}, {0, 0, 0.8}});
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(matched[0].score, 0.8);
+}
+
+TEST(ManyToManyTest, KeepsAllSorted) {
+  const auto out = ManyToMany({{0, 0, 0.2}, {1, 1, 0.9}, {2, 2, 0.5}});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(out[2].score, 0.2);
+}
+
+}  // namespace
+}  // namespace pprl

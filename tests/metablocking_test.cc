@@ -1,0 +1,94 @@
+#include "blocking/metablocking.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+BlockIndex MakeIndex(std::initializer_list<std::pair<std::string, std::vector<uint32_t>>> items) {
+  BlockIndex index;
+  for (const auto& [key, records] : items) index[key] = records;
+  return index;
+}
+
+TEST(PurgeBlocksTest, RemovesOversizedBlocks) {
+  BlockIndex a = MakeIndex({{"big", {0, 1, 2, 3}}, {"small", {4}}});
+  BlockIndex b = MakeIndex({{"big", {0, 1, 2, 3}}, {"small", {5}}});
+  PurgeBlocks(a, b, /*max_comparisons_per_block=*/8);  // big = 16 comparisons
+  EXPECT_EQ(a.count("big"), 0u);
+  EXPECT_EQ(b.count("big"), 0u);
+  EXPECT_EQ(a.count("small"), 1u);
+}
+
+TEST(PurgeBlocksTest, KeepsBlocksMissingFromOneSide) {
+  BlockIndex a = MakeIndex({{"solo", {0, 1, 2, 3, 4, 5}}});
+  BlockIndex b = MakeIndex({{"other", {0}}});
+  PurgeBlocks(a, b, 4);
+  EXPECT_EQ(a.count("solo"), 1u);  // costs nothing; no partner block
+}
+
+TEST(FilterBlocksTest, KeepsSmallestBlocksPerRecord) {
+  // Record 0 occurs in a size-3 block and a size-1 block; keep_fraction 0.5
+  // keeps only the size-1 block.
+  BlockIndex index = MakeIndex({{"large", {0, 1, 2}}, {"tiny", {0}}, {"mid", {1, 2}}});
+  FilterBlocks(index, 0.5);
+  ASSERT_EQ(index.count("tiny"), 1u);
+  EXPECT_EQ(index["tiny"], (std::vector<uint32_t>{0}));
+  // Record 0 must no longer be in "large".
+  if (index.count("large")) {
+    for (uint32_t r : index["large"]) EXPECT_NE(r, 0u);
+  }
+}
+
+TEST(FilterBlocksTest, KeepFractionOneIsIdentityUpToOrder) {
+  BlockIndex index = MakeIndex({{"x", {0, 1}}, {"y", {1, 2}}});
+  FilterBlocks(index, 1.0);
+  EXPECT_EQ(index["x"], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(index["y"], (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(FilterBlocksTest, AlwaysKeepsAtLeastOneBlock) {
+  BlockIndex index = MakeIndex({{"only", {0, 1, 2, 3, 4}}});
+  FilterBlocks(index, 0.01);
+  EXPECT_EQ(index.count("only"), 1u);
+  EXPECT_EQ(index["only"].size(), 5u);
+}
+
+TEST(PruneByCommonBlocksTest, CountsCoOccurrence) {
+  // Pair (0,0) shares two blocks, (1,1) shares one.
+  BlockIndex a = MakeIndex({{"k1", {0}}, {"k2", {0}}, {"k3", {1}}});
+  BlockIndex b = MakeIndex({{"k1", {0}}, {"k2", {0}}, {"k3", {1}}});
+  const auto strict = PruneByCommonBlocks(a, b, 2);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict[0], (CandidatePair{0, 0}));
+  const auto loose = PruneByCommonBlocks(a, b, 1);
+  EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(PruneByCommonBlocksTest, EmptyIndexes) {
+  BlockIndex a, b;
+  EXPECT_TRUE(PruneByCommonBlocks(a, b, 1).empty());
+}
+
+TEST(ScheduleBlocksTest, AscendingComparisonLoad) {
+  BlockIndex a = MakeIndex({{"big", {0, 1, 2}}, {"small", {3}}, {"mid", {4, 5}}});
+  BlockIndex b = MakeIndex({{"big", {0, 1, 2}}, {"small", {3}}, {"mid", {4}}});
+  const auto schedule = ScheduleBlocks(a, b);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].key, "small");
+  EXPECT_EQ(schedule[0].comparisons, 1u);
+  EXPECT_EQ(schedule[1].key, "mid");
+  EXPECT_EQ(schedule[2].key, "big");
+  EXPECT_EQ(schedule[2].comparisons, 9u);
+}
+
+TEST(ScheduleBlocksTest, SkipsUnmatchedKeys) {
+  BlockIndex a = MakeIndex({{"only-a", {0}}, {"shared", {1}}});
+  BlockIndex b = MakeIndex({{"only-b", {0}}, {"shared", {1}}});
+  const auto schedule = ScheduleBlocks(a, b);
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_EQ(schedule[0].key, "shared");
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,88 @@
+#include "encoding/minhash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace pprl {
+namespace {
+
+double TrueJaccard(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& x : sa) inter += sb.count(x);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+TEST(MinHashTest, SignatureLength) {
+  const MinHasher hasher(64, 1);
+  const auto sig = hasher.Sign({"a", "b", "c"});
+  EXPECT_EQ(sig.size(), 64u);
+}
+
+TEST(MinHashTest, DeterministicPerSeed) {
+  const MinHasher h1(32, 5), h2(32, 5), h3(32, 6);
+  const std::vector<std::string> tokens = {"ab", "bc", "cd"};
+  EXPECT_EQ(h1.Sign(tokens), h2.Sign(tokens));
+  EXPECT_NE(h1.Sign(tokens), h3.Sign(tokens));
+}
+
+TEST(MinHashTest, OrderAndDuplicatesIrrelevant) {
+  const MinHasher hasher(32, 9);
+  EXPECT_EQ(hasher.Sign({"x", "y", "z"}), hasher.Sign({"z", "x", "y", "x"}));
+}
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  const MinHasher hasher(64, 2);
+  const auto sig = hasher.Sign({"ab", "bc"});
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(sig, sig), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  const MinHasher hasher(128, 3);
+  const auto sa = hasher.Sign({"aa", "bb", "cc", "dd"});
+  const auto sb = hasher.Sign({"ee", "ff", "gg", "hh"});
+  EXPECT_LT(MinHasher::EstimateJaccard(sa, sb), 0.1);
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccard) {
+  const MinHasher hasher(256, 7);
+  const auto ga = QGrams("katherine");
+  const auto gb = QGrams("catherine");
+  const double estimated = MinHasher::EstimateJaccard(hasher.Sign(ga), hasher.Sign(gb));
+  EXPECT_NEAR(estimated, TrueJaccard(ga, gb), 0.12);
+}
+
+TEST(MinHashTest, MismatchedSignaturesReturnZero) {
+  const MinHasher h32(32, 1), h64(64, 1);
+  EXPECT_DOUBLE_EQ(
+      MinHasher::EstimateJaccard(h32.Sign({"a"}), h64.Sign({"a"})), 0.0);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard({}, {}), 0.0);
+}
+
+class MinHashAccuracySweep : public ::testing::TestWithParam<size_t> {};
+
+/// Property: estimation error shrinks as the signature grows (~1/sqrt(k)).
+TEST_P(MinHashAccuracySweep, ErrorWithinStatisticalBound) {
+  const size_t k = GetParam();
+  const MinHasher hasher(k, 11);
+  const auto ga = QGrams("elizabeth taylor");
+  const auto gb = QGrams("elisabeth tailor");
+  const double truth = TrueJaccard(ga, gb);
+  const double estimate = MinHasher::EstimateJaccard(hasher.Sign(ga), hasher.Sign(gb));
+  // 4-sigma bound on a Bernoulli mean with k trials.
+  const double bound = 4.0 * std::sqrt(truth * (1 - truth) / static_cast<double>(k));
+  EXPECT_NEAR(estimate, truth, bound + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(SignatureSizes, MinHashAccuracySweep,
+                         ::testing::Values(16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,119 @@
+#include "linkage/multiparty.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+std::vector<BitVector> EncodeNames(const std::vector<std::string>& names) {
+  const BloomFilterEncoder encoder({300, 10, BloomHashScheme::kDoubleHashing, ""});
+  std::vector<BitVector> out;
+  for (const auto& n : names) out.push_back(encoder.EncodeString(n));
+  return out;
+}
+
+std::vector<const BitVector*> Pointers(const std::vector<BitVector>& filters) {
+  std::vector<const BitVector*> out;
+  for (const auto& f : filters) out.push_back(&f);
+  return out;
+}
+
+class SecureCbfTest : public ::testing::TestWithParam<CommunicationPattern> {};
+
+TEST_P(SecureCbfTest, AggregateEqualsPlainCounts) {
+  Rng rng(5);
+  const auto filters = EncodeNames({"smith", "smyth", "smithe", "smit"});
+  const auto pointers = Pointers(filters);
+  MultiPartyCost cost;
+  auto counts = SecureCbfAggregate(pointers, GetParam(), rng, &cost);
+  ASSERT_TRUE(counts.ok());
+  // The masks must cancel exactly: counts == plain sum of bits.
+  for (size_t pos = 0; pos < filters[0].size(); ++pos) {
+    uint32_t expected = 0;
+    for (const auto& f : filters) expected += f.Get(pos) ? 1 : 0;
+    EXPECT_EQ((*counts)[pos], expected) << "position " << pos;
+  }
+  EXPECT_GT(cost.messages, 0u);
+  EXPECT_GT(cost.bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SecureCbfTest,
+                         ::testing::Values(CommunicationPattern::kStar,
+                                           CommunicationPattern::kSequential,
+                                           CommunicationPattern::kRing,
+                                           CommunicationPattern::kTree));
+
+TEST(SecureCbfTest, RejectsFewerThanThreeParties) {
+  Rng rng(1);
+  const auto filters = EncodeNames({"a", "b"});
+  EXPECT_FALSE(
+      SecureCbfAggregate(Pointers(filters), CommunicationPattern::kStar, rng, nullptr)
+          .ok());
+}
+
+TEST(SecureCbfTest, RejectsMismatchedLengths) {
+  Rng rng(1);
+  BitVector a(100), b(100), c(200);
+  EXPECT_FALSE(
+      SecureCbfAggregate({&a, &b, &c}, CommunicationPattern::kStar, rng, nullptr).ok());
+}
+
+TEST(SecureMultiPartyDiceTest, MatchesDirectDice) {
+  Rng rng(9);
+  const auto filters = EncodeNames({"katherine", "catherine", "katharine"});
+  const auto pointers = Pointers(filters);
+  auto secure = SecureMultiPartyDice(pointers, CommunicationPattern::kRing, rng, nullptr);
+  ASSERT_TRUE(secure.ok());
+  EXPECT_NEAR(secure.value(), DiceSimilarity(pointers), 1e-12);
+}
+
+TEST(SecureMultiPartyDiceTest, IdenticalFiltersGiveOne) {
+  Rng rng(11);
+  const auto filters = EncodeNames({"smith", "smith", "smith"});
+  auto secure =
+      SecureMultiPartyDice(Pointers(filters), CommunicationPattern::kTree, rng, nullptr);
+  ASSERT_TRUE(secure.ok());
+  EXPECT_DOUBLE_EQ(secure.value(), 1.0);
+}
+
+TEST(PatternCostTest, AnalyticCosts) {
+  const size_t p = 8;
+  const auto star = PatternCost(CommunicationPattern::kStar, p, 100);
+  EXPECT_EQ(star.messages, 8u);
+  EXPECT_EQ(star.rounds, 1u);
+  const auto seq = PatternCost(CommunicationPattern::kSequential, p, 100);
+  EXPECT_EQ(seq.messages, 7u);
+  EXPECT_EQ(seq.rounds, 7u);
+  const auto ring = PatternCost(CommunicationPattern::kRing, p, 100);
+  EXPECT_EQ(ring.messages, 8u);
+  EXPECT_EQ(ring.rounds, 8u);
+  const auto tree = PatternCost(CommunicationPattern::kTree, p, 100);
+  EXPECT_EQ(tree.messages, 7u);
+  EXPECT_EQ(tree.rounds, 3u);  // ceil(log2 8)
+  EXPECT_EQ(tree.bytes, 700u);
+}
+
+TEST(PatternCostTest, TreeRoundsLogarithmic) {
+  EXPECT_EQ(PatternCost(CommunicationPattern::kTree, 16, 1).rounds, 4u);
+  EXPECT_EQ(PatternCost(CommunicationPattern::kTree, 17, 1).rounds, 5u);
+}
+
+TEST(SecureCbfTest, TreeFewerRoundsThanSequential) {
+  Rng rng(13);
+  const auto filters =
+      EncodeNames({"a", "b", "c", "d", "e", "f", "g", "h"});
+  const auto pointers = Pointers(filters);
+  MultiPartyCost seq_cost, tree_cost;
+  ASSERT_TRUE(SecureCbfAggregate(pointers, CommunicationPattern::kSequential, rng,
+                                 &seq_cost)
+                  .ok());
+  ASSERT_TRUE(
+      SecureCbfAggregate(pointers, CommunicationPattern::kTree, rng, &tree_cost).ok());
+  EXPECT_LT(tree_cost.rounds, seq_cost.rounds);
+}
+
+}  // namespace
+}  // namespace pprl

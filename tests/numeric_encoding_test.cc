@@ -1,0 +1,109 @@
+#include "encoding/numeric_encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(NumericNeighborhoodTest, TokenCountAndCenter) {
+  auto tokens = NumericNeighborhoodTokens("100", 1.0, 3);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 7u);
+  EXPECT_EQ((*tokens)[3], "n100");  // center token
+  EXPECT_EQ(tokens->front(), "n97");
+  EXPECT_EQ(tokens->back(), "n103");
+}
+
+TEST(NumericNeighborhoodTest, StepGridSnapping) {
+  // 102 with step 5 snaps to grid cell 20 (=100).
+  auto tokens = NumericNeighborhoodTokens("102", 5.0, 1);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"n19", "n20", "n21"}));
+}
+
+TEST(NumericNeighborhoodTest, OverlapDecaysWithDistance) {
+  auto t0 = NumericNeighborhoodTokens("50", 1.0, 5);
+  auto t2 = NumericNeighborhoodTokens("52", 1.0, 5);
+  auto t20 = NumericNeighborhoodTokens("70", 1.0, 5);
+  ASSERT_TRUE(t0.ok() && t2.ok() && t20.ok());
+  auto overlap = [](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+    size_t n = 0;
+    for (const auto& x : a) {
+      for (const auto& y : b) {
+        if (x == y) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(overlap(*t0, *t2), 9u);   // 11 - 2
+  EXPECT_EQ(overlap(*t0, *t20), 0u);  // out of range
+}
+
+TEST(NumericNeighborhoodTest, RejectsBadInput) {
+  EXPECT_FALSE(NumericNeighborhoodTokens("abc", 1.0, 3).ok());
+  EXPECT_FALSE(NumericNeighborhoodTokens("12x", 1.0, 3).ok());
+  EXPECT_FALSE(NumericNeighborhoodTokens("12", 0.0, 3).ok());
+  EXPECT_FALSE(NumericNeighborhoodTokens("12", -1.0, 3).ok());
+}
+
+TEST(NumericNeighborhoodTest, AcceptsFloats) {
+  auto tokens = NumericNeighborhoodTokens("3.7", 0.5, 2);
+  ASSERT_TRUE(tokens.ok());
+  // 3.7 / 0.5 = 7.4 -> rounds to 7
+  EXPECT_EQ((*tokens)[2], "n7");
+}
+
+TEST(ExpectedNumericDiceTest, MatchesOverlapFormula) {
+  // Same value -> 1; gap >= width -> 0; linear in between.
+  EXPECT_DOUBLE_EQ(ExpectedNumericDice(10, 10, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(ExpectedNumericDice(10, 21, 1.0, 5), 0.0);
+  EXPECT_NEAR(ExpectedNumericDice(10, 12, 1.0, 5), 9.0 / 11.0, 1e-12);
+}
+
+TEST(DaysSinceEpochTest, KnownDates) {
+  EXPECT_EQ(DaysSinceEpoch("1970-01-01").value(), 0);
+  EXPECT_EQ(DaysSinceEpoch("1970-01-02").value(), 1);
+  EXPECT_EQ(DaysSinceEpoch("1969-12-31").value(), -1);
+  EXPECT_EQ(DaysSinceEpoch("2000-03-01").value(), 11017);
+  EXPECT_EQ(DaysSinceEpoch("2026-07-06").value(), 20640);
+}
+
+TEST(DaysSinceEpochTest, LeapYearHandling) {
+  EXPECT_EQ(DaysSinceEpoch("2000-02-29").value() + 1,
+            DaysSinceEpoch("2000-03-01").value());
+  EXPECT_EQ(DaysSinceEpoch("1900-02-28").value() + 1,
+            DaysSinceEpoch("1900-03-01").value());  // 1900 is not a leap year
+}
+
+TEST(DaysSinceEpochTest, RejectsMalformed) {
+  EXPECT_FALSE(DaysSinceEpoch("1980/01/01").ok());
+  EXPECT_FALSE(DaysSinceEpoch("01-01-1980").ok());
+  EXPECT_FALSE(DaysSinceEpoch("1980-13-01").ok());
+  EXPECT_FALSE(DaysSinceEpoch("1980-00-01").ok());
+  EXPECT_FALSE(DaysSinceEpoch("1980-01-32").ok());
+  EXPECT_FALSE(DaysSinceEpoch("198a-01-01").ok());
+  EXPECT_FALSE(DaysSinceEpoch("").ok());
+}
+
+TEST(DateNeighborhoodTest, NearbyDatesShareTokens) {
+  DateEncodingParams params;
+  params.num_neighbors = 3;
+  auto t1 = DateNeighborhoodTokens("1985-06-15", params);
+  auto t2 = DateNeighborhoodTokens("1985-06-16", params);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(t1->size(), 7u);
+  size_t shared = 0;
+  for (const auto& x : *t1) {
+    for (const auto& y : *t2) {
+      if (x == y) ++shared;
+    }
+  }
+  EXPECT_EQ(shared, 6u);
+}
+
+TEST(DateNeighborhoodTest, PropagatesDateErrors) {
+  EXPECT_FALSE(DateNeighborhoodTokens("junk", DateEncodingParams{}).ok());
+}
+
+}  // namespace
+}  // namespace pprl

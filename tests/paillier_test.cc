@@ -1,0 +1,108 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(2024);
+    auto generated = Paillier::Generate(rng, 128);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    paillier_ = std::make_unique<Paillier>(std::move(generated).value());
+    rng_ = std::make_unique<Rng>(77);
+  }
+
+  std::unique_ptr<Paillier> paillier_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (int64_t v : {0, 1, 2, 255, 123456, 99999999}) {
+    auto c = paillier_->Encrypt(BigInt(v), *rng_);
+    ASSERT_TRUE(c.ok());
+    auto d = paillier_->Decrypt(c.value());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d.value(), BigInt(v)) << "value " << v;
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  auto c1 = paillier_->Encrypt(BigInt(5), *rng_);
+  auto c2 = paillier_->Encrypt(BigInt(5), *rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1->value, c2->value);  // semantic security needs fresh randomness
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  auto ca = paillier_->Encrypt(BigInt(1234), *rng_);
+  auto cb = paillier_->Encrypt(BigInt(8766), *rng_);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  const auto sum = paillier_->AddCiphertexts(ca.value(), cb.value());
+  EXPECT_EQ(paillier_->Decrypt(sum).value(), BigInt(10000));
+}
+
+TEST_F(PaillierTest, HomomorphicPlaintextAddition) {
+  auto c = paillier_->Encrypt(BigInt(100), *rng_);
+  ASSERT_TRUE(c.ok());
+  const auto shifted = paillier_->AddPlaintext(c.value(), BigInt(23));
+  EXPECT_EQ(paillier_->Decrypt(shifted).value(), BigInt(123));
+}
+
+TEST_F(PaillierTest, NegativePlaintextAdditionWraps) {
+  auto c = paillier_->Encrypt(BigInt(100), *rng_);
+  ASSERT_TRUE(c.ok());
+  const auto shifted = paillier_->AddPlaintext(c.value(), BigInt(-30));
+  EXPECT_EQ(paillier_->Decrypt(shifted).value(), BigInt(70));
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiplication) {
+  auto c = paillier_->Encrypt(BigInt(111), *rng_);
+  ASSERT_TRUE(c.ok());
+  const auto tripled = paillier_->MultiplyPlaintext(c.value(), BigInt(3));
+  EXPECT_EQ(paillier_->Decrypt(tripled).value(), BigInt(333));
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
+  auto c = paillier_->Encrypt(BigInt(555), *rng_);
+  ASSERT_TRUE(c.ok());
+  const auto r = paillier_->Rerandomize(c.value(), *rng_);
+  EXPECT_NE(r.value, c->value);
+  EXPECT_EQ(paillier_->Decrypt(r).value(), BigInt(555));
+}
+
+TEST_F(PaillierTest, RejectsOutOfRangePlaintext) {
+  EXPECT_FALSE(paillier_->Encrypt(BigInt(-1), *rng_).ok());
+  EXPECT_FALSE(paillier_->Encrypt(paillier_->public_key().n, *rng_).ok());
+}
+
+TEST_F(PaillierTest, RejectsOutOfRangeCiphertext) {
+  EXPECT_FALSE(paillier_->Decrypt({paillier_->public_key().n_squared}).ok());
+  EXPECT_FALSE(paillier_->Decrypt({BigInt(-3)}).ok());
+}
+
+TEST(PaillierGenerateTest, RejectsTinyModulus) {
+  Rng rng(1);
+  EXPECT_FALSE(Paillier::Generate(rng, 8).ok());
+}
+
+TEST(PaillierGenerateTest, SumOfManyEncryptions) {
+  Rng rng(5);
+  auto paillier = Paillier::Generate(rng, 96);
+  ASSERT_TRUE(paillier.ok());
+  // Homomorphically accumulate 0..19.
+  auto acc = paillier->Encrypt(BigInt(0), rng);
+  ASSERT_TRUE(acc.ok());
+  PaillierCiphertext total = acc.value();
+  for (int64_t i = 0; i < 20; ++i) {
+    auto c = paillier->Encrypt(BigInt(i), rng);
+    ASSERT_TRUE(c.ok());
+    total = paillier->AddCiphertexts(total, c.value());
+  }
+  EXPECT_EQ(paillier->Decrypt(total).value(), BigInt(190));
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,93 @@
+#include "encoding/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(SoundexTest, ClassicExamples) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // H is transparent
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("o'brien"), Soundex("OBRIEN"));
+  EXPECT_EQ(Soundex("smith"), Soundex("  S m i t h  "));
+}
+
+TEST(SoundexTest, SimilarSoundingNamesCollide) {
+  EXPECT_EQ(Soundex("Smith"), Soundex("Smyth"));
+  EXPECT_EQ(Soundex("Catherine"), Soundex("Katherine").substr(0, 4).replace(0, 1, "C"));
+}
+
+TEST(SoundexTest, EmptyAndNonAlpha) {
+  EXPECT_EQ(Soundex(""), "Z000");
+  EXPECT_EQ(Soundex("123"), "Z000");
+}
+
+TEST(SoundexTest, PadsShortCodes) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("Wu"), "W000");
+}
+
+TEST(NysiisTest, StableKnownCodes) {
+  // Codes pinned against this implementation; the important property is
+  // that sound-alike pairs share a code.
+  EXPECT_EQ(Nysiis("Smith"), Nysiis("Smyth"));
+  EXPECT_EQ(Nysiis("Bryan"), Nysiis("Brian"));
+  EXPECT_EQ(Nysiis("Phillip"), Nysiis("Filip"));
+  EXPECT_NE(Nysiis("Smith"), Nysiis("Jones"));
+}
+
+TEST(NysiisTest, MaxSixChars) {
+  EXPECT_LE(Nysiis("Wolfeschlegelstein").size(), 6u);
+}
+
+TEST(NysiisTest, EmptyInput) { EXPECT_EQ(Nysiis(""), ""); }
+
+TEST(NysiisTest, KnightMatchesNight) { EXPECT_EQ(Nysiis("Knight"), Nysiis("Night")); }
+
+TEST(MetaphoneTest, SoundAlikePairsCollide) {
+  EXPECT_EQ(Metaphone("Smith"), Metaphone("Smyth"));
+  EXPECT_EQ(Metaphone("Phillip"), Metaphone("Filip"));
+  EXPECT_EQ(Metaphone("Knight"), Metaphone("Night"));
+  EXPECT_EQ(Metaphone("Wright"), Metaphone("Rite"));
+}
+
+TEST(MetaphoneTest, DistinguishesDifferentNames) {
+  EXPECT_NE(Metaphone("Smith"), Metaphone("Jones"));
+  EXPECT_NE(Metaphone("Brown"), Metaphone("Green"));
+}
+
+TEST(MetaphoneTest, RespectsMaxLength) {
+  EXPECT_LE(Metaphone("Wolfeschlegelsteinhausen", 4).size(), 4u);
+  EXPECT_LE(Metaphone("Wolfeschlegelsteinhausen").size(), 6u);
+}
+
+TEST(MetaphoneTest, EmptyInput) { EXPECT_EQ(Metaphone(""), ""); }
+
+TEST(MetaphoneTest, InitialVowelKept) {
+  EXPECT_EQ(Metaphone("Adam")[0], 'A');
+  EXPECT_EQ(Metaphone("Eve")[0], 'E');
+}
+
+TEST(PhoneticTest, TypoRobustnessForBlocking) {
+  // The property blocking needs: common single-typo variants usually keep
+  // the same phonetic code.
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"johnson", "jonson"}, {"thompson", "tompson"}, {"connor", "conor"},
+  };
+  int same_soundex = 0;
+  for (const auto& [a, b] : variants) {
+    if (Soundex(a) == Soundex(b)) ++same_soundex;
+  }
+  EXPECT_GE(same_soundex, 2);
+}
+
+}  // namespace
+}  // namespace pprl

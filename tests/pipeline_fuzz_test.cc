@@ -1,0 +1,160 @@
+/// Robustness fuzzing: random but type-valid pipeline configurations and
+/// degenerate databases must never crash, and every reported metric must be
+/// internally consistent. This is the failure-injection layer of the test
+/// suite.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/corruptor.h"
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+
+namespace pprl {
+namespace {
+
+PipelineConfig RandomConfig(Rng& rng) {
+  PipelineConfig config;
+  config.bloom.num_bits = 64 + rng.NextUint64(2000);
+  config.bloom.num_hashes = 1 + rng.NextUint64(40);
+  if (rng.NextBool(0.3)) {
+    config.bloom.scheme = BloomHashScheme::kKeyedHmac;
+    config.bloom.secret_key = "fuzz-key";
+  }
+  switch (rng.NextUint64(3)) {
+    case 0:
+      config.hardening = HardeningScheme::kNone;
+      break;
+    case 1:
+      config.hardening = HardeningScheme::kRule90;
+      break;
+    default:
+      config.hardening = HardeningScheme::kBlip;
+      config.blip_flip_prob = rng.NextDouble() * 0.3;
+      break;
+  }
+  switch (rng.NextUint64(3)) {
+    case 0:
+      config.blocking = BlockingScheme::kNone;
+      break;
+    case 1:
+      config.blocking = BlockingScheme::kSoundex;
+      break;
+    default:
+      config.blocking = BlockingScheme::kHammingLsh;
+      config.lsh_tables = 1 + rng.NextUint64(30);
+      config.lsh_bits_per_key = 1 + rng.NextUint64(40);
+      break;
+  }
+  config.match_threshold = 0.3 + rng.NextDouble() * 0.69;
+  config.one_to_one = rng.NextBool();
+  config.model = static_cast<LinkageModel>(rng.NextUint64(3));
+  config.seed = rng.NextUint64();
+  return config;
+}
+
+class PipelineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineFuzzTest, RandomConfigsNeverCrashAndStayConsistent) {
+  Rng rng(GetParam());
+  DataGenerator gen(GeneratorConfig{rng.NextUint64(), 1.0, 1950, 2000});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 20 + rng.NextUint64(60);
+  scenario.overlap = rng.NextDouble();
+  scenario.corruption.mean_corruptions = rng.NextDouble() * 4;
+  scenario.corruption.missing_value_prob = rng.NextDouble() * 0.5;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+
+  const PipelineConfig config = RandomConfig(rng);
+  auto output = PprlPipeline(config).Link((*dbs)[0], (*dbs)[1]);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // Internal consistency of every reported number.
+  const size_t n = scenario.records_per_database;
+  EXPECT_LE(output->candidate_pairs, n * n);
+  EXPECT_EQ(output->comparisons, output->candidate_pairs);
+  EXPECT_LE(output->matches.size(), output->candidate_pairs);
+  for (const ScoredPair& m : output->matches) {
+    EXPECT_LT(m.a, n);
+    EXPECT_LT(m.b, n);
+    EXPECT_GE(m.score, config.match_threshold - 1e-9);
+    EXPECT_LE(m.score, 1.0 + 1e-9);
+  }
+  if (config.one_to_one) {
+    std::set<uint32_t> used_a, used_b;
+    for (const ScoredPair& m : output->matches) {
+      EXPECT_TRUE(used_a.insert(m.a).second);
+      EXPECT_TRUE(used_b.insert(m.b).second);
+    }
+  }
+  EXPECT_GT(output->messages, 0u);
+  EXPECT_GT(output->bytes, 0u);
+
+  // Metrics must be computable and bounded.
+  const GroundTruth truth((*dbs)[0], (*dbs)[1]);
+  const ConfusionCounts counts = EvaluateMatches(output->matches, truth);
+  EXPECT_LE(counts.Precision(), 1.0);
+  EXPECT_LE(counts.Recall(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest, ::testing::Range<uint64_t>(0, 24));
+
+TEST(PipelineDegenerateTest, EmptyDatabases) {
+  Database empty;
+  empty.schema = DataGenerator::StandardSchema();
+  PipelineConfig config;
+  auto output = PprlPipeline(config).Link(empty, empty);
+  ASSERT_TRUE(output.ok());
+  EXPECT_TRUE(output->matches.empty());
+  EXPECT_EQ(output->candidate_pairs, 0u);
+}
+
+TEST(PipelineDegenerateTest, SingleRecordEachSide) {
+  DataGenerator gen(GeneratorConfig{});
+  Database a = gen.GenerateClean(1);
+  Database b = a;
+  PipelineConfig config;
+  config.blocking = BlockingScheme::kNone;
+  auto output = PprlPipeline(config).Link(a, b);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->matches.size(), 1u);
+}
+
+TEST(PipelineDegenerateTest, AllValuesMissing) {
+  Database a;
+  a.schema = DataGenerator::StandardSchema();
+  for (int i = 0; i < 5; ++i) {
+    Record r;
+    r.id = static_cast<uint64_t>(i);
+    r.entity_id = static_cast<uint64_t>(i);
+    r.values.assign(a.schema.size(), "");
+    a.records.push_back(std::move(r));
+  }
+  PipelineConfig config;
+  config.blocking = BlockingScheme::kNone;
+  auto output = PprlPipeline(config).Link(a, a);
+  // Must not crash; empty filters compare as all-zero (Dice 1 by our
+  // convention), so matches may or may not appear — only stability matters.
+  ASSERT_TRUE(output.ok());
+}
+
+TEST(PipelineDegenerateTest, HeavilyCorruptedStillRuns) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 40;
+  scenario.corruption.mean_corruptions = 5.0;
+  scenario.corruption.max_corruptions_per_record = 10;
+  scenario.corruption.missing_value_prob = 0.6;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  PipelineConfig config;
+  auto output = PprlPipeline(config).Link((*dbs)[0], (*dbs)[1]);
+  ASSERT_TRUE(output.ok());
+}
+
+}  // namespace
+}  // namespace pprl

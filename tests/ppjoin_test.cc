@@ -1,0 +1,139 @@
+#include "filtering/ppjoin.h"
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "encoding/bloom_filter.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+TEST(DiceJaccardThresholdTest, Conversion) {
+  EXPECT_NEAR(DiceToJaccardThreshold(0.8), 0.8 / 1.2, 1e-12);
+  EXPECT_DOUBLE_EQ(DiceToJaccardThreshold(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(DiceToJaccardThreshold(2.0), 1.0);
+}
+
+TEST(LengthBoundsTest, Formula) {
+  const auto bounds = JaccardLengthBounds(100, 0.5);
+  EXPECT_EQ(bounds.min_count, 50u);
+  EXPECT_EQ(bounds.max_count, 200u);
+  const auto all = JaccardLengthBounds(100, 0.0);
+  EXPECT_EQ(all.min_count, 0u);
+}
+
+/// Oracle check: PPJoin returns exactly the pairs a brute-force Dice scan
+/// finds at the same threshold — the filters must be lossless.
+TEST(PpjoinTest, MatchesBruteForce) {
+  Rng rng(3);
+  const size_t l = 300;
+  const size_t n = 80;
+  auto random_filters = [&](size_t count) {
+    std::vector<BitVector> filters;
+    for (size_t i = 0; i < count; ++i) {
+      BitVector f(l);
+      const double density = 0.05 + rng.NextDouble() * 0.2;
+      for (size_t j = 0; j < l; ++j) {
+        if (rng.NextBool(density)) f.Set(j);
+      }
+      filters.push_back(std::move(f));
+    }
+    return filters;
+  };
+  // Include some near-duplicates so matches exist.
+  std::vector<BitVector> b_filters = random_filters(n);
+  std::vector<BitVector> a_filters = random_filters(n / 2);
+  for (size_t i = 0; i < 20; ++i) {
+    BitVector copy = b_filters[i];
+    if (i % 2 == 0) copy.Flip(i);  // near-duplicate
+    a_filters.push_back(std::move(copy));
+  }
+
+  for (double threshold : {0.6, 0.8, 0.95}) {
+    const PpjoinIndex index(b_filters, threshold);
+    const auto joined = index.Join(a_filters);
+    std::set<std::pair<uint32_t, uint32_t>> ppjoin_pairs;
+    for (const auto& m : joined) ppjoin_pairs.insert({m.a, m.b});
+
+    std::set<std::pair<uint32_t, uint32_t>> brute_pairs;
+    for (uint32_t i = 0; i < a_filters.size(); ++i) {
+      for (uint32_t j = 0; j < b_filters.size(); ++j) {
+        if (a_filters[i].Count() == 0 && b_filters[j].Count() == 0) continue;
+        if (DiceSimilarity(a_filters[i], b_filters[j]) + 1e-12 >= threshold) {
+          brute_pairs.insert({i, j});
+        }
+      }
+    }
+    EXPECT_EQ(ppjoin_pairs, brute_pairs) << "threshold " << threshold;
+  }
+}
+
+TEST(PpjoinTest, ReportsDiceScores) {
+  const BloomFilterEncoder encoder({400, 15, BloomHashScheme::kDoubleHashing, ""});
+  const std::vector<BitVector> b = {encoder.EncodeString("smith"),
+                                    encoder.EncodeString("jones")};
+  const std::vector<BitVector> a = {encoder.EncodeString("smith")};
+  const PpjoinIndex index(b, 0.9);
+  const auto matches = index.Join(a);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].b, 0u);
+  EXPECT_DOUBLE_EQ(matches[0].dice, 1.0);
+}
+
+TEST(PpjoinTest, FiltersActuallyPrune) {
+  Rng rng(7);
+  const size_t l = 500;
+  std::vector<BitVector> filters;
+  for (size_t i = 0; i < 200; ++i) {
+    BitVector f(l);
+    for (size_t j = 0; j < l; ++j) {
+      if (rng.NextBool(0.1)) f.Set(j);
+    }
+    filters.push_back(std::move(f));
+  }
+  const PpjoinIndex index(filters, 0.9);
+  index.Join(filters);
+  const auto& stats = index.last_stats();
+  // Verified candidates must be far fewer than the 200*200 cross product.
+  EXPECT_LT(stats.verified, 10000u);
+  EXPECT_GE(stats.matches, 200u);  // every filter matches itself
+}
+
+TEST(PpjoinTest, EmptyInputs) {
+  const PpjoinIndex index({}, 0.8);
+  EXPECT_TRUE(index.Join({}).empty());
+  const std::vector<BitVector> probe = {BitVector(100)};
+  EXPECT_TRUE(index.Join(probe).empty());
+}
+
+class PpjoinThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PpjoinThresholdSweep, NoFalseDismissals) {
+  const double threshold = GetParam();
+  const BloomFilterEncoder encoder({300, 10, BloomHashScheme::kDoubleHashing, ""});
+  const std::vector<std::string> names = {"smith", "smyth", "smithe", "jones",
+                                          "johnson", "jonson"};
+  std::vector<BitVector> filters;
+  for (const auto& n : names) filters.push_back(encoder.EncodeString(n));
+  const PpjoinIndex index(filters, threshold);
+  const auto matches = index.Join(filters);
+  std::set<std::pair<uint32_t, uint32_t>> found;
+  for (const auto& m : matches) found.insert({m.a, m.b});
+  for (uint32_t i = 0; i < filters.size(); ++i) {
+    for (uint32_t j = 0; j < filters.size(); ++j) {
+      if (DiceSimilarity(filters[i], filters[j]) + 1e-12 >= threshold) {
+        EXPECT_TRUE(found.count({i, j})) << names[i] << " vs " << names[j];
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PpjoinThresholdSweep,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 1.0));
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,101 @@
+#include "privacy/privacy_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/bloom_filter.h"
+#include "encoding/hardening.h"
+
+namespace pprl {
+namespace {
+
+TEST(DisclosureRiskTest, UniqueCodesFullyDisclose) {
+  const std::vector<std::string> codes = {"a", "b", "c", "d"};
+  EXPECT_DOUBLE_EQ(UniqueCodeDisclosureRisk(codes), 1.0);
+  EXPECT_DOUBLE_EQ(MeanDisclosureRisk(codes), 1.0);
+}
+
+TEST(DisclosureRiskTest, SharedCodesLowerRisk) {
+  const std::vector<std::string> codes = {"a", "a", "a", "a"};
+  EXPECT_DOUBLE_EQ(UniqueCodeDisclosureRisk(codes), 0.0);
+  EXPECT_DOUBLE_EQ(MeanDisclosureRisk(codes), 0.25);  // one group of 4
+}
+
+TEST(DisclosureRiskTest, MixedGroups) {
+  // Two singletons and one pair: unique risk 2/4, mean risk 3 groups / 4.
+  const std::vector<std::string> codes = {"a", "b", "c", "c"};
+  EXPECT_DOUBLE_EQ(UniqueCodeDisclosureRisk(codes), 0.5);
+  EXPECT_DOUBLE_EQ(MeanDisclosureRisk(codes), 0.75);
+}
+
+TEST(DisclosureRiskTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(UniqueCodeDisclosureRisk({}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanDisclosureRisk({}), 0.0);
+}
+
+TEST(CodeEntropyTest, UniformVsPointMass) {
+  EXPECT_NEAR(CodeEntropyBits({"a", "b", "c", "d"}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CodeEntropyBits({"a", "a", "a"}), 0.0);
+}
+
+TEST(InformationGainTest, FullDisclosureEqualsPlaintextEntropy) {
+  // Code == plaintext: knowing the code pins the plaintext exactly.
+  const std::vector<std::string> plain = {"x", "x", "y", "z"};
+  EXPECT_NEAR(InformationGainBits(plain, plain), CodeEntropyBits(plain), 1e-12);
+}
+
+TEST(InformationGainTest, ConstantCodeRevealsNothing) {
+  const std::vector<std::string> plain = {"x", "x", "y", "z"};
+  const std::vector<std::string> code = {"c", "c", "c", "c"};
+  EXPECT_NEAR(InformationGainBits(plain, code), 0.0, 1e-12);
+}
+
+TEST(InformationGainTest, PartialDisclosure) {
+  // Code distinguishes {x} from {y,z}: gain = H(plain) - 0.5*H(y,z)
+  const std::vector<std::string> plain = {"x", "x", "y", "z"};
+  const std::vector<std::string> code = {"a", "a", "b", "b"};
+  const double gain = InformationGainBits(plain, code);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_LT(gain, CodeEntropyBits(plain));
+}
+
+TEST(InformationGainTest, SizeMismatchIsZero) {
+  EXPECT_DOUBLE_EQ(InformationGainBits({"a"}, {"a", "b"}), 0.0);
+}
+
+TEST(BitFrequenciesTest, CountsPerPosition) {
+  BitVector a(4), b(4);
+  a.Set(0);
+  a.Set(1);
+  b.Set(1);
+  const auto freq = BitFrequencies({a, b});
+  ASSERT_EQ(freq.size(), 4u);
+  EXPECT_DOUBLE_EQ(freq[0], 0.5);
+  EXPECT_DOUBLE_EQ(freq[1], 1.0);
+  EXPECT_DOUBLE_EQ(freq[2], 0.0);
+}
+
+TEST(BitFrequencySpreadTest, BalancingFlattensProfile) {
+  const BloomFilterEncoder encoder({400, 12, BloomHashScheme::kDoubleHashing, ""});
+  // A skewed population: many "smith", few others.
+  std::vector<BitVector> plain, balanced;
+  std::vector<std::string> names;
+  for (int i = 0; i < 60; ++i) names.push_back("smith");
+  for (int i = 0; i < 20; ++i) names.push_back("name" + std::to_string(i));
+  for (const auto& name : names) {
+    const BitVector bf = encoder.EncodeString(name);
+    plain.push_back(bf);
+    balanced.push_back(Balance(bf, 5));
+  }
+  // Balanced filters all have exactly 50% weight; the per-position variance
+  // may remain, but the aggregate weight signal disappears. Check weights:
+  for (const auto& f : balanced) EXPECT_EQ(f.Count(), 400u);
+  EXPECT_GT(BitFrequencySpread(plain), 0.1);
+}
+
+TEST(BitFrequenciesTest, EmptyCollection) {
+  EXPECT_TRUE(BitFrequencies({}).empty());
+  EXPECT_DOUBLE_EQ(BitFrequencySpread({}), 0.0);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,115 @@
+#include "eval/quality_estimation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+
+namespace pprl {
+namespace {
+
+/// Synthetic score sample from a known mixture.
+std::vector<double> MixtureSample(size_t n, double match_weight, double match_mean,
+                                  double non_mean, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> scores;
+  scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(match_weight)) {
+      scores.push_back(std::clamp(rng.NextGaussian(match_mean, 0.04), 0.0, 1.0));
+    } else {
+      scores.push_back(std::clamp(rng.NextGaussian(non_mean, 0.08), 0.0, 1.0));
+    }
+  }
+  return scores;
+}
+
+TEST(FitScoreMixtureTest, RecoversPlantedComponents) {
+  const auto scores = MixtureSample(5000, 0.1, 0.9, 0.3, 1);
+  auto model = FitScoreMixture(scores);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->match_weight, 0.1, 0.04);
+  EXPECT_NEAR(model->match_mean, 0.9, 0.05);
+  EXPECT_NEAR(model->non_match_mean, 0.3, 0.05);
+}
+
+TEST(FitScoreMixtureTest, PosteriorSeparates) {
+  const auto scores = MixtureSample(5000, 0.1, 0.9, 0.3, 2);
+  auto model = FitScoreMixture(scores);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->MatchPosterior(0.92), 0.9);
+  EXPECT_LT(model->MatchPosterior(0.3), 0.1);
+}
+
+TEST(FitScoreMixtureTest, PrecisionRecallMonotone) {
+  const auto scores = MixtureSample(4000, 0.15, 0.85, 0.25, 3);
+  auto model = FitScoreMixture(scores);
+  ASSERT_TRUE(model.ok());
+  // Recall falls and precision (weakly) rises with the threshold.
+  EXPECT_GT(model->EstimatedRecall(0.5), model->EstimatedRecall(0.9));
+  EXPECT_LE(model->EstimatedPrecision(0.5), model->EstimatedPrecision(0.9) + 1e-9);
+  EXPECT_GE(model->EstimatedRecall(0.0), 0.99);
+}
+
+TEST(FitScoreMixtureTest, SuggestedThresholdBetweenComponents) {
+  const auto scores = MixtureSample(4000, 0.1, 0.9, 0.3, 4);
+  auto model = FitScoreMixture(scores);
+  ASSERT_TRUE(model.ok());
+  const double t = model->SuggestThreshold();
+  EXPECT_GT(t, model->non_match_mean);
+  EXPECT_LT(t, model->match_mean + 0.05);
+}
+
+TEST(FitScoreMixtureTest, ValidatesInput) {
+  EXPECT_FALSE(FitScoreMixture(std::vector<double>{0.5}).ok());
+  EXPECT_FALSE(FitScoreMixture(std::vector<double>(100, 0.7)).ok());  // zero spread
+}
+
+/// The headline use case: estimate quality of a real pipeline run without
+/// ground truth, then check the estimate against the (hidden) truth.
+TEST(QualityEstimationIntegrationTest, EstimatesTrackTruth) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 300;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  PipelineConfig config;
+  // Fit over the plausible-candidate region: LSH candidates scored >= 0.5.
+  // Against the full quadratic pair set the one-in-600 match bump would be
+  // invisible to a two-component fit (see the estimator's documentation).
+  config.blocking = BlockingScheme::kHammingLsh;
+  config.match_threshold = 0.5;
+  config.one_to_one = false;
+  auto output = PprlPipeline(config).Link((*dbs)[0], (*dbs)[1]);
+  ASSERT_TRUE(output.ok());
+
+  auto model = FitScoreMixture(output->matches);
+  ASSERT_TRUE(model.ok());
+
+  // Truth (not available to the estimator).
+  const GroundTruth truth((*dbs)[0], (*dbs)[1]);
+  size_t true_in_sample = 0;
+  for (const auto& p : output->matches) {
+    if (truth.IsMatch(p.a, p.b)) ++true_in_sample;
+  }
+  const double true_prevalence = static_cast<double>(true_in_sample) /
+                                 static_cast<double>(output->matches.size());
+  EXPECT_NEAR(model->match_weight, true_prevalence, true_prevalence * 0.7 + 0.05);
+
+  // The estimated precision at a sensible threshold should be in the same
+  // ballpark as the measured precision.
+  const double threshold = 0.8;
+  std::vector<ScoredPair> accepted;
+  for (const auto& p : output->matches) {
+    if (p.score >= threshold) accepted.push_back(p);
+  }
+  const double true_precision = EvaluateMatches(accepted, truth).Precision();
+  EXPECT_NEAR(model->EstimatedPrecision(threshold), true_precision, 0.25);
+}
+
+}  // namespace
+}  // namespace pprl

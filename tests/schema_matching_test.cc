@@ -1,0 +1,98 @@
+#include "pipeline/schema_matching.h"
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace pprl {
+namespace {
+
+/// Builds a copy of `db` with renamed/permuted columns.
+Database RenameAndPermute(const Database& db) {
+  Database out;
+  // Permutation: reverse the field order; rename with common aliases.
+  const std::vector<std::string> aliases = {"PhoneNumber", "post_code", "street_addr",
+                                            "town",        "BirthDate", "Gender",
+                                            "Surname",     "GivenName"};
+  const size_t n = db.schema.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = n - 1 - i;
+    out.schema.fields.push_back({aliases[i], db.schema.fields[src].type});
+  }
+  for (const Record& r : db.records) {
+    Record copy = r;
+    copy.values.clear();
+    for (size_t i = 0; i < n; ++i) copy.values.push_back(r.values[n - 1 - i]);
+    out.records.push_back(std::move(copy));
+  }
+  return out;
+}
+
+TEST(SchemaMatchingTest, AlignsIdenticalSchemas) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database a = gen.GenerateClean(150);
+  const Database b = gen.GenerateClean(150, 1000);
+  const auto aligned = MatchSchemas(a, b);
+  ASSERT_EQ(aligned.size(), a.schema.size());
+  for (const auto& corr : aligned) {
+    EXPECT_EQ(corr.a_field, corr.b_field);
+    EXPECT_GT(corr.confidence, 0.8);
+  }
+}
+
+TEST(SchemaMatchingTest, AlignsRenamedPermutedColumns) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database a = gen.GenerateClean(200);
+  const Database b = RenameAndPermute(gen.GenerateClean(200, 1000));
+  const auto aligned = MatchSchemas(a, b);
+  // Count correctly recovered correspondences (a field i should map to
+  // b field n-1-i by construction).
+  const int n = static_cast<int>(a.schema.size());
+  int correct = 0;
+  for (const auto& corr : aligned) {
+    if (corr.b_field == n - 1 - corr.a_field) ++correct;
+  }
+  // Value profiles plus names like "Surname"/"last_name" should recover
+  // most columns; demand a clear majority.
+  EXPECT_GE(correct, n / 2 + 1) << "aligned " << aligned.size();
+}
+
+TEST(SchemaMatchingTest, OneToOneOutput) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database a = gen.GenerateClean(100);
+  const Database b = gen.GenerateClean(100, 500);
+  const auto aligned = MatchSchemas(a, b);
+  std::set<int> used_a, used_b;
+  for (const auto& corr : aligned) {
+    EXPECT_TRUE(used_a.insert(corr.a_field).second);
+    EXPECT_TRUE(used_b.insert(corr.b_field).second);
+  }
+}
+
+TEST(SchemaMatchingTest, MinConfidenceFilters) {
+  DataGenerator gen(GeneratorConfig{});
+  const Database a = gen.GenerateClean(100);
+  const Database b = gen.GenerateClean(100, 500);
+  SchemaMatchOptions strict;
+  strict.min_confidence = 0.99;
+  const auto aligned = MatchSchemas(a, b, strict);
+  for (const auto& corr : aligned) EXPECT_GE(corr.confidence, 0.99);
+}
+
+TEST(ColumnProfileSimilarityTest, DiscriminatesColumnTypes) {
+  const std::vector<std::string> names = {"mary", "john", "peter", "anna"};
+  const std::vector<std::string> more_names = {"susan", "carl", "nina", "omar"};
+  const std::vector<std::string> phones = {"0412345678", "0498765432", "0411111111",
+                                           "0422222222"};
+  EXPECT_GT(ColumnProfileSimilarity(names, more_names),
+            ColumnProfileSimilarity(names, phones));
+}
+
+TEST(ColumnProfileSimilarityTest, EmptySamples) {
+  EXPECT_GE(ColumnProfileSimilarity({}, {}), 0.0);
+  EXPECT_LE(ColumnProfileSimilarity({}, {"x"}), 1.0);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,104 @@
+#include "crypto/secret_sharing.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(SecretSharingTest, ReconstructionIsExact) {
+  Rng rng(1);
+  for (uint64_t secret : {0ull, 1ull, 123456789ull, ~0ull}) {
+    const auto shares = ShareAdditive(secret, 5, rng);
+    EXPECT_EQ(shares.size(), 5u);
+    EXPECT_EQ(ReconstructAdditive(shares), secret);
+  }
+}
+
+TEST(SecretSharingTest, SingleShareIsSecret) {
+  Rng rng(2);
+  const auto shares = ShareAdditive(42, 1, rng);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0], 42u);
+}
+
+TEST(SecretSharingTest, SharesLookRandom) {
+  Rng rng(3);
+  // The first n-1 shares are uniform; check they differ across runs.
+  const auto s1 = ShareAdditive(100, 3, rng);
+  const auto s2 = ShareAdditive(100, 3, rng);
+  EXPECT_NE(s1[0], s2[0]);
+  EXPECT_EQ(ReconstructAdditive(s1), ReconstructAdditive(s2));
+}
+
+TEST(SecureSumTest, MaskedRingComputesSum) {
+  Rng rng(5);
+  auto result = SecureSum({10, 20, 30, 40, 50}, SecureSumProtocol::kMaskedRing, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sum, 150u);
+  EXPECT_GT(result->messages, 0u);
+}
+
+TEST(SecureSumTest, FullSharingComputesSum) {
+  Rng rng(7);
+  auto result = SecureSum({1, 2, 3, 4}, SecureSumProtocol::kFullSharing, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sum, 10u);
+  EXPECT_EQ(result->rounds, 2u);
+}
+
+TEST(SecureSumTest, WraparoundIsModular) {
+  Rng rng(9);
+  auto result = SecureSum({~0ull, 2}, SecureSumProtocol::kFullSharing, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sum, 1u);  // 2^64 - 1 + 2 mod 2^64
+}
+
+TEST(SecureSumTest, NeedsTwoParties) {
+  Rng rng(11);
+  EXPECT_FALSE(SecureSum({5}, SecureSumProtocol::kMaskedRing, rng).ok());
+  EXPECT_FALSE(SecureSum({}, SecureSumProtocol::kFullSharing, rng).ok());
+}
+
+TEST(SecureSumTest, FullSharingCostsMoreMessages) {
+  Rng rng(13);
+  auto ring = SecureSum({1, 2, 3, 4, 5, 6}, SecureSumProtocol::kMaskedRing, rng);
+  auto full = SecureSum({1, 2, 3, 4, 5, 6}, SecureSumProtocol::kFullSharing, rng);
+  ASSERT_TRUE(ring.ok() && full.ok());
+  // The collusion-resistant protocol pays O(p^2) messages vs O(p).
+  EXPECT_GT(full->messages, ring->messages);
+  EXPECT_LT(full->rounds, ring->rounds);
+}
+
+TEST(CollusionAnalysisTest, RingBreaksWithTwoColluders) {
+  EXPECT_EQ(MinColludersToBreak(SecureSumProtocol::kMaskedRing, 5), 2u);
+  EXPECT_EQ(MinColludersToBreak(SecureSumProtocol::kMaskedRing, 10), 2u);
+}
+
+TEST(CollusionAnalysisTest, FullSharingNeedsAllOthers) {
+  EXPECT_EQ(MinColludersToBreak(SecureSumProtocol::kFullSharing, 5), 4u);
+  EXPECT_EQ(MinColludersToBreak(SecureSumProtocol::kFullSharing, 10), 9u);
+}
+
+class SecureSumPartyCountTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SecureSumPartyCountTest, BothProtocolsAgreeOnSum) {
+  const size_t p = GetParam();
+  Rng rng(p);
+  std::vector<uint64_t> inputs(p);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < p; ++i) {
+    inputs[i] = rng.NextUint64(1000);
+    expected += inputs[i];
+  }
+  auto ring = SecureSum(inputs, SecureSumProtocol::kMaskedRing, rng);
+  auto full = SecureSum(inputs, SecureSumProtocol::kFullSharing, rng);
+  ASSERT_TRUE(ring.ok() && full.ok());
+  EXPECT_EQ(ring->sum, expected);
+  EXPECT_EQ(full->sum, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, SecureSumPartyCountTest,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace pprl

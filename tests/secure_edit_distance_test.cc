@@ -1,0 +1,81 @@
+#include "crypto/secure_edit_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(PlainEditDistanceTest, KnownValues) {
+  EXPECT_EQ(PlainEditDistance("", ""), 0u);
+  EXPECT_EQ(PlainEditDistance("abc", ""), 3u);
+  EXPECT_EQ(PlainEditDistance("", "abc"), 3u);
+  EXPECT_EQ(PlainEditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(PlainEditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(PlainEditDistance("same", "same"), 0u);
+}
+
+TEST(SecureEditDistanceTest, MatchesPlainOnExamples) {
+  Rng rng(42);
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"peter", "pedro"}, {"ann", "anne"}, {"jo", "jo"}, {"a", "b"}, {"", "xy"},
+  };
+  for (const auto& [a, b] : cases) {
+    auto result = SecureEditDistance(a, b, rng, 96);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->distance, PlainEditDistance(a, b)) << a << " vs " << b;
+  }
+}
+
+TEST(SecureEditDistanceTest, MetersProtocolCost) {
+  Rng rng(1);
+  auto result = SecureEditDistance("smith", "smyth", rng, 96);
+  ASSERT_TRUE(result.ok());
+  // One one-hot vector per character of `a` (28 encryptions each) plus the
+  // DP row initialisations and the per-cell blinded mins.
+  EXPECT_GT(result->encryptions, 5u * 28u);
+  EXPECT_GT(result->decryptions, 25u * 3u);  // 3 per interior cell
+  EXPECT_GT(result->messages, 25u);
+  EXPECT_GT(result->bytes, 0u);
+}
+
+TEST(SecureEditDistanceTest, CostGrowsQuadratically) {
+  Rng rng(2);
+  auto small = SecureEditDistance("abcd", "abcd", rng, 96);
+  auto large = SecureEditDistance("abcdabcd", "abcdabcd", rng, 96);
+  ASSERT_TRUE(small.ok() && large.ok());
+  // 4x the cells -> roughly 4x the decryptions.
+  EXPECT_GT(large->decryptions, 3 * small->decryptions);
+}
+
+TEST(SecureEditDistanceTest, HandlesSpacesAndUnknownChars) {
+  Rng rng(3);
+  auto result = SecureEditDistance("de la cruz", "dela cruz!", rng, 96);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance, PlainEditDistance("de la cruz", "dela cruz!"));
+}
+
+/// Property sweep: random lowercase strings, secure == plain.
+class SecureEditDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SecureEditDistancePropertyTest, AgreesWithPlain) {
+  Rng rng(GetParam());
+  auto random_string = [&rng](size_t max_len) {
+    std::string s;
+    const size_t len = rng.NextUint64(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.NextUint64(26));
+    }
+    return s;
+  };
+  const std::string a = random_string(6);
+  const std::string b = random_string(6);
+  auto result = SecureEditDistance(a, b, rng, 80);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance, PlainEditDistance(a, b)) << "'" << a << "' vs '" << b << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStrings, SecureEditDistancePropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,99 @@
+#include "crypto/secure_vector.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+BitVector FromBits(const std::string& bits) { return BitVector::FromString(bits); }
+
+class SecureVectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(2024);
+    auto generated = Paillier::Generate(rng, 128);
+    ASSERT_TRUE(generated.ok());
+    paillier_ = std::make_unique<Paillier>(std::move(generated).value());
+    rng_ = std::make_unique<Rng>(5);
+  }
+
+  std::unique_ptr<Paillier> paillier_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_F(SecureVectorTest, DotProductMatchesPlain) {
+  const BitVector x = FromBits("1011010");
+  const BitVector y = FromBits("1110011");
+  auto encrypted = EncryptBitVector(*paillier_, x, *rng_);
+  ASSERT_TRUE(encrypted.ok());
+  const auto dot = HomomorphicDotProduct(*paillier_, encrypted.value(), y);
+  EXPECT_EQ(paillier_->Decrypt(dot).value().ToInt64(),
+            static_cast<int64_t>(x.AndCount(y)));
+}
+
+TEST_F(SecureVectorTest, DotProductWithEmptyY) {
+  const BitVector x = FromBits("111");
+  const BitVector y = FromBits("000");
+  auto encrypted = EncryptBitVector(*paillier_, x, *rng_);
+  ASSERT_TRUE(encrypted.ok());
+  const auto dot = HomomorphicDotProduct(*paillier_, encrypted.value(), y);
+  EXPECT_EQ(paillier_->Decrypt(dot).value().ToInt64(), 0);
+}
+
+TEST_F(SecureVectorTest, HammingMatchesPlain) {
+  const BitVector x = FromBits("10110100");
+  const BitVector y = FromBits("11100110");
+  auto encrypted = EncryptBitVector(*paillier_, x, *rng_);
+  ASSERT_TRUE(encrypted.ok());
+  const auto d = HomomorphicHammingDistance(*paillier_, encrypted.value(), y);
+  EXPECT_EQ(paillier_->Decrypt(d).value().ToInt64(),
+            static_cast<int64_t>(x.XorCount(y)));
+}
+
+TEST(SecureHammingDistanceTest, EndToEndMatchesPlain) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    BitVector x(40), y(40);
+    for (size_t i = 0; i < 40; ++i) {
+      if (rng.NextBool(0.4)) x.Set(i);
+      if (rng.NextBool(0.4)) y.Set(i);
+    }
+    auto result = SecureHammingDistance(x, y, rng, 96);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->distance, x.XorCount(y));
+    EXPECT_EQ(result->encryptions, 40u);
+    EXPECT_GT(result->bytes, 0u);
+  }
+}
+
+TEST(SecureHammingDistanceTest, RejectsLengthMismatch) {
+  Rng rng(1);
+  EXPECT_FALSE(SecureHammingDistance(BitVector(8), BitVector(9), rng, 64).ok());
+}
+
+/// Property sweep: the identity d = |y| + sum(x) - 2*dot holds for every
+/// random instance; decryption must agree with the plaintext XOR count.
+class SecureVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SecureVectorPropertyTest, RandomInstances) {
+  Rng rng(GetParam());
+  auto paillier = Paillier::Generate(rng, 96);
+  ASSERT_TRUE(paillier.ok());
+  const size_t n = 16 + rng.NextUint64(32);
+  BitVector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.5)) x.Set(i);
+    if (rng.NextBool(0.5)) y.Set(i);
+  }
+  auto encrypted = EncryptBitVector(*paillier, x, rng);
+  ASSERT_TRUE(encrypted.ok());
+  const auto d = HomomorphicHammingDistance(*paillier, encrypted.value(), y);
+  EXPECT_EQ(paillier->Decrypt(d).value().ToInt64(), static_cast<int64_t>(x.XorCount(y)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecureVectorPropertyTest, ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,176 @@
+#include "similarity/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pprl {
+namespace {
+
+BitVector FromBits(const std::string& bits) { return BitVector::FromString(bits); }
+
+TEST(DiceTest, KnownValues) {
+  // |a|=3, |b|=3, common=2 -> 2*2/6.
+  EXPECT_NEAR(DiceSimilarity(FromBits("111000"), FromBits("011100")), 4.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(DiceSimilarity(FromBits("1010"), FromBits("1010")), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity(FromBits("1100"), FromBits("0011")), 0.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity(FromBits("0000"), FromBits("0000")), 1.0);
+}
+
+TEST(DiceTest, MultiPartyGeneralizesTwoParty) {
+  const BitVector a = FromBits("111000");
+  const BitVector b = FromBits("011100");
+  EXPECT_NEAR(DiceSimilarity({&a, &b}), DiceSimilarity(a, b), 1e-12);
+}
+
+TEST(DiceTest, MultiPartyThreeFilters) {
+  const BitVector a = FromBits("1110");
+  const BitVector b = FromBits("0111");
+  const BitVector c = FromBits("0110");
+  // common = positions 1,2 -> c=2; total ones = 3+3+2 = 8; 3*2/8.
+  EXPECT_NEAR(DiceSimilarity({&a, &b, &c}), 0.75, 1e-12);
+}
+
+TEST(DiceTest, MultiPartyEdgeCases) {
+  const BitVector a = FromBits("10");
+  EXPECT_DOUBLE_EQ(DiceSimilarity(std::vector<const BitVector*>{}), 0.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({&a}), 1.0);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_NEAR(JaccardSimilarity(FromBits("111000"), FromBits("011100")), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(FromBits("0000"), FromBits("0000")), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(FromBits("1111"), FromBits("1111")), 1.0);
+}
+
+TEST(JaccardDiceRelation, HoldsForRandomFilters) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector a(64), b(64);
+    for (size_t i = 0; i < 64; ++i) {
+      if (rng.NextBool(0.4)) a.Set(i);
+      if (rng.NextBool(0.4)) b.Set(i);
+    }
+    const double j = JaccardSimilarity(a, b);
+    const double d = DiceSimilarity(a, b);
+    EXPECT_NEAR(d, 2 * j / (1 + j), 1e-9);
+  }
+}
+
+TEST(HammingTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(HammingSimilarity(FromBits("1010"), FromBits("1010")), 1.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(FromBits("1111"), FromBits("0000")), 0.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(FromBits("1100"), FromBits("1000")), 0.75);
+}
+
+TEST(OverlapTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(FromBits("1100"), FromBits("1110")), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(FromBits("0000"), FromBits("0000")), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(FromBits("0000"), FromBits("1000")), 0.0);
+}
+
+TEST(CosineTest, KnownValues) {
+  // common=2, |a|=3, |b|=3 -> 2/3.
+  EXPECT_NEAR(CosineSimilarity(FromBits("111000"), FromBits("011100")), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(FromBits("00"), FromBits("00")), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(FromBits("10"), FromBits("00")), 0.0);
+}
+
+TEST(EditSimilarityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(EditSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", ""), 0.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("dixon", "dicksonx"), 0.813333, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoostCapped) {
+  // Identical 4+ char prefix boosts, but never beyond 1.
+  const double jw = JaroWinklerSimilarity("michelle", "michaela");
+  EXPECT_GT(jw, JaroSimilarity("michelle", "michaela"));
+  EXPECT_LE(jw, 1.0);
+}
+
+TEST(QGramDiceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(QGramDiceSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramDiceSimilarity("", ""), 1.0);
+  EXPECT_GT(QGramDiceSimilarity("smith", "smyth"), 0.4);
+  EXPECT_LT(QGramDiceSimilarity("smith", "jones"), 0.2);
+}
+
+TEST(SmithWatermanTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", "abc"), 1.0);
+  // Full containment scores 1 regardless of the longer string.
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("anna", "anna-maria garcia"), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("maria", "anna-maria"), 1.0);
+  // Unrelated strings score low.
+  EXPECT_LT(SmithWatermanSimilarity("qqqq", "zzzz"), 0.3);
+}
+
+TEST(SmithWatermanTest, LocalAlignmentBeatsGlobalOnEmbeddedNames) {
+  // The property it exists for: an embedded name scores much higher under
+  // local alignment than under normalised edit distance.
+  const double sw = SmithWatermanSimilarity("smith", "dr john smith jr");
+  const double edit = EditSimilarity("smith", "dr john smith jr");
+  EXPECT_GT(sw, 0.95);
+  EXPECT_LT(edit, 0.45);
+}
+
+TEST(SmithWatermanTest, SymmetricAndBounded) {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"katherine", "catherine"}, {"ab", "ba"}, {"smith", "smyth"}};
+  for (const auto& [a, b] : pairs) {
+    const double ab = SmithWatermanSimilarity(a, b);
+    EXPECT_DOUBLE_EQ(ab, SmithWatermanSimilarity(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(NumericSimilarityTest, LinearDecay) {
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity(10, 10, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity(10, 12.5, 5), 0.5);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity(10, 15, 5), 0.0);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity(10, 100, 5), 0.0);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity(10, 10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity(10, 11, 0), 0.0);
+}
+
+/// Property: all bit-vector similarities are symmetric and bounded.
+TEST(SimilarityProperty, SymmetricAndBounded) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector a(128), b(128);
+    for (size_t i = 0; i < 128; ++i) {
+      if (rng.NextBool(0.3)) a.Set(i);
+      if (rng.NextBool(0.3)) b.Set(i);
+    }
+    using BinarySim = double (*)(const BitVector&, const BitVector&);
+    for (BinarySim fn : {static_cast<BinarySim>(&DiceSimilarity), &JaccardSimilarity,
+                         &HammingSimilarity, &OverlapSimilarity, &CosineSimilarity}) {
+      const double xy = fn(a, b);
+      const double yx = fn(b, a);
+      EXPECT_DOUBLE_EQ(xy, yx);
+      EXPECT_GE(xy, 0.0);
+      EXPECT_LE(xy, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pprl

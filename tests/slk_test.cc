@@ -1,0 +1,98 @@
+#include "encoding/slk.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+SlkInput Mary() {
+  SlkInput input;
+  input.first_name = "Mary";
+  input.last_name = "Poppins";
+  input.dob = "1964-08-27";
+  input.sex = "f";
+  return input;
+}
+
+TEST(Slk581Test, AihwLayout) {
+  // last name letters 2,3,5 = O,P,I; first name letters 2,3 = A,R;
+  // DOB DDMMYYYY = 27081964; female = 2.
+  auto key = Slk581(Mary());
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value(), "OPIAR270819642");
+}
+
+TEST(Slk581Test, ShortNamesUseTwoPlaceholder) {
+  SlkInput input = Mary();
+  input.first_name = "J";       // no 2nd/3rd letter
+  input.last_name = "Ng";       // no 3rd/5th letter
+  auto key = Slk581(input);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->substr(0, 5), "G22" "22");
+}
+
+TEST(Slk581Test, SexCoding) {
+  SlkInput input = Mary();
+  input.sex = "M";
+  EXPECT_EQ(Slk581(input)->back(), '1');
+  input.sex = "female";
+  EXPECT_EQ(Slk581(input)->back(), '2');
+  input.sex = "";
+  EXPECT_EQ(Slk581(input)->back(), '9');
+  input.sex = "x";
+  EXPECT_EQ(Slk581(input)->back(), '9');
+}
+
+TEST(Slk581Test, IgnoresCaseAndPunctuation) {
+  SlkInput a = Mary();
+  SlkInput b = Mary();
+  b.first_name = "MARY";
+  b.last_name = "  pop-pins ";
+  EXPECT_EQ(Slk581(a).value(), Slk581(b).value());
+}
+
+TEST(Slk581Test, RejectsBadDate) {
+  SlkInput input = Mary();
+  input.dob = "27/08/1964";
+  EXPECT_FALSE(Slk581(input).ok());
+  input.dob = "";
+  EXPECT_FALSE(Slk581(input).ok());
+}
+
+TEST(Slk581Test, SensitivityToTypos) {
+  // The known SLK weakness [31]: a typo in a sampled letter changes the key
+  // entirely, so near-matches are lost.
+  SlkInput clean = Mary();
+  SlkInput typo = Mary();
+  typo.last_name = "Pappins";  // letter 2 changes O -> A
+  EXPECT_NE(Slk581(clean).value(), Slk581(typo).value());
+}
+
+TEST(Slk581Test, CollisionsForDifferentPeople) {
+  // The privacy/utility flaw in the other direction: names agreeing on the
+  // sampled letters collide even though the people differ.
+  SlkInput a = Mary();
+  SlkInput b = Mary();
+  b.last_name = "Topkins";  // letters 2,3,5 = O,P,I too
+  b.first_name = "Gary";    // letters 2,3 = A,R too
+  EXPECT_EQ(Slk581(a).value(), Slk581(b).value());
+}
+
+TEST(HashedSlk581Test, KeyedAndStable) {
+  auto h1 = HashedSlk581(Mary(), "secret");
+  auto h2 = HashedSlk581(Mary(), "secret");
+  auto h3 = HashedSlk581(Mary(), "other");
+  ASSERT_TRUE(h1.ok() && h2.ok() && h3.ok());
+  EXPECT_EQ(h1.value(), h2.value());
+  EXPECT_NE(h1.value(), h3.value());
+  EXPECT_EQ(h1->size(), 64u);  // hex SHA-256
+}
+
+TEST(HashedSlk581Test, PropagatesValidationErrors) {
+  SlkInput bad = Mary();
+  bad.dob = "junk";
+  EXPECT_FALSE(HashedSlk581(bad, "secret").ok());
+}
+
+}  // namespace
+}  // namespace pprl

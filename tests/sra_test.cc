@@ -1,0 +1,106 @@
+#include "crypto/sra.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+class SraTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(11);
+    domain_ = new SraDomain(SraDomain::Generate(rng, 64));
+  }
+  static void TearDownTestSuite() {
+    delete domain_;
+    domain_ = nullptr;
+  }
+
+  static SraDomain* domain_;
+};
+
+SraDomain* SraTest::domain_ = nullptr;
+
+TEST_F(SraTest, DomainIsSafePrime) {
+  Rng rng(1);
+  EXPECT_TRUE(IsProbablePrime(domain_->p, rng));
+  EXPECT_TRUE(IsProbablePrime(domain_->q, rng));
+  EXPECT_EQ(domain_->q.ShiftLeft(1) + BigInt(1), domain_->p);
+}
+
+TEST_F(SraTest, EncryptDecryptRoundTrip) {
+  Rng rng(3);
+  auto cipher = SraCipher::Generate(*domain_, rng);
+  ASSERT_TRUE(cipher.ok());
+  for (int64_t v : {2, 17, 123456}) {
+    auto enc = cipher->Encrypt(BigInt(v));
+    ASSERT_TRUE(enc.ok());
+    auto dec = cipher->Decrypt(enc.value());
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value(), BigInt(v));
+  }
+}
+
+TEST_F(SraTest, Commutativity) {
+  Rng rng(5);
+  auto a = SraCipher::Generate(*domain_, rng);
+  auto b = SraCipher::Generate(*domain_, rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const BigInt x(987654);
+  const BigInt ab = b->Encrypt(a->Encrypt(x).value()).value();
+  const BigInt ba = a->Encrypt(b->Encrypt(x).value()).value();
+  EXPECT_EQ(ab, ba);
+}
+
+TEST_F(SraTest, EncryptStringDeterministicPerKey) {
+  Rng rng(7);
+  auto cipher = SraCipher::Generate(*domain_, rng);
+  ASSERT_TRUE(cipher.ok());
+  EXPECT_EQ(cipher->EncryptString("alice"), cipher->EncryptString("alice"));
+  EXPECT_NE(cipher->EncryptString("alice"), cipher->EncryptString("bob"));
+}
+
+TEST_F(SraTest, RejectsOutOfRange) {
+  Rng rng(9);
+  auto cipher = SraCipher::Generate(*domain_, rng);
+  ASSERT_TRUE(cipher.ok());
+  EXPECT_FALSE(cipher->Encrypt(BigInt(0)).ok());
+  EXPECT_FALSE(cipher->Encrypt(domain_->p).ok());
+  EXPECT_FALSE(cipher->Decrypt(BigInt(-1)).ok());
+}
+
+TEST_F(SraTest, PrivateSetIntersectionFindsExactMatches) {
+  Rng rng(13);
+  const std::vector<std::string> a = {"alice", "bob", "carol", "dave"};
+  const std::vector<std::string> b = {"eve", "carol", "alice", "mallory"};
+  size_t bytes = 0;
+  const auto matches = SraPrivateSetIntersection(a, b, *domain_, rng, &bytes);
+  // Indices into `a` whose value occurs in `b`: alice (0) and carol (2).
+  EXPECT_EQ(matches, (std::vector<size_t>{0, 2}));
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST_F(SraTest, PrivateSetIntersectionEmptySets) {
+  Rng rng(17);
+  EXPECT_TRUE(SraPrivateSetIntersection({}, {"x"}, *domain_, rng).empty());
+  EXPECT_TRUE(SraPrivateSetIntersection({"x"}, {}, *domain_, rng).empty());
+}
+
+TEST_F(SraTest, PrivateSetIntersectionNoOverlap) {
+  Rng rng(19);
+  const auto matches =
+      SraPrivateSetIntersection({"a", "b"}, {"c", "d"}, *domain_, rng);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(SraTest, CommunicationScalesWithInputs) {
+  Rng rng(23);
+  size_t small_bytes = 0, large_bytes = 0;
+  SraPrivateSetIntersection({"a"}, {"b"}, *domain_, rng, &small_bytes);
+  SraPrivateSetIntersection({"a", "b", "c", "d"}, {"e", "f", "g", "h"}, *domain_, rng,
+                            &large_bytes);
+  EXPECT_GT(large_bytes, small_bytes);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,72 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, StdDevMatchesRunningStats) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  EXPECT_NEAR(StdDev(xs), stats.stddev(), 1e-12);
+}
+
+TEST(StatsTest, Percentiles) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelationPerfect) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateCases) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1}), 0.0);      // size mismatch
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1}, {2, 3}), 0.0);   // zero variance
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);         // too short
+}
+
+TEST(StatsTest, EntropyOfUniformDistribution) {
+  EXPECT_NEAR(EntropyBits({10, 10, 10, 10}), 2.0, 1e-12);
+  EXPECT_NEAR(EntropyBits({7, 7}), 1.0, 1e-12);
+}
+
+TEST(StatsTest, EntropyOfPointMassIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyBits({42}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyBits({42, 0, 0}), 0.0);
+}
+
+TEST(StatsTest, EntropyEmptyIsZero) { EXPECT_DOUBLE_EQ(EntropyBits({}), 0.0); }
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad l");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad l");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad l");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ProtocolViolation("x").code(), StatusCode::kProtocolViolation);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace {
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  PPRL_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::Internal("reached end");
+}
+}  // namespace
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UsesReturnIfError(1).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace pprl

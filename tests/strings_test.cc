@@ -1,0 +1,121 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("\t\n hi \r"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"a", "", "b"};
+  EXPECT_EQ(Join(parts, ","), "a,,b");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, StripNonAlnum) {
+  EXPECT_EQ(StripNonAlnum("o'brien-smith 3rd"), "obriensmith3rd");
+  EXPECT_EQ(StripNonAlnum("!!!"), "");
+}
+
+TEST(StringsTest, NormalizeQid) {
+  EXPECT_EQ(NormalizeQid("  John   SMITH "), "john smith");
+  EXPECT_EQ(NormalizeQid("a\t\tb"), "a b");
+  EXPECT_EQ(NormalizeQid(""), "");
+}
+
+TEST(QGramsTest, PaddedBigrams) {
+  // "pete" padded -> _pete_ -> _p pe et te e_
+  const auto grams = QGrams("pete");
+  EXPECT_EQ(grams, (std::vector<std::string>{"_p", "pe", "et", "te", "e_"}));
+}
+
+TEST(QGramsTest, UnpaddedBigrams) {
+  QGramOptions opts;
+  opts.pad = false;
+  EXPECT_EQ(QGrams("pete", opts), (std::vector<std::string>{"pe", "et", "te"}));
+}
+
+TEST(QGramsTest, TrigramCount) {
+  QGramOptions opts;
+  opts.q = 3;
+  // padded length = 4 + 2*2 = 8 -> 6 trigrams
+  EXPECT_EQ(QGrams("pete", opts).size(), 6u);
+}
+
+TEST(QGramsTest, PositionalDedupMakesSet) {
+  QGramOptions opts;
+  opts.pad = false;
+  // "aaaa" -> aa, aa#1, aa#2 : all distinct
+  const auto grams = QGrams("aaaa", opts);
+  EXPECT_EQ(grams, (std::vector<std::string>{"aa", "aa#1", "aa#2"}));
+}
+
+TEST(QGramsTest, WithoutDedupRepeats) {
+  QGramOptions opts;
+  opts.pad = false;
+  opts.positional_dedup = false;
+  EXPECT_EQ(QGrams("aaaa", opts), (std::vector<std::string>{"aa", "aa", "aa"}));
+}
+
+TEST(QGramsTest, ShortAndEmptyInput) {
+  QGramOptions opts;
+  opts.pad = false;
+  EXPECT_TRUE(QGrams("", opts).empty());
+  EXPECT_EQ(QGrams("a", opts), (std::vector<std::string>{"a"}));
+  // With padding even one char yields q-grams: _a a_ for q=2.
+  EXPECT_EQ(QGrams("a").size(), 2u);
+}
+
+TEST(QGramsTest, ZeroQTreatedAsOne) {
+  QGramOptions opts;
+  opts.q = 0;
+  opts.pad = false;
+  EXPECT_EQ(QGrams("ab", opts).size(), 2u);
+}
+
+TEST(StringsTest, IsInteger) {
+  EXPECT_TRUE(IsInteger("0"));
+  EXPECT_TRUE(IsInteger("-15"));
+  EXPECT_TRUE(IsInteger("123456789"));
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_FALSE(IsInteger("-"));
+  EXPECT_FALSE(IsInteger("12a"));
+  EXPECT_FALSE(IsInteger("1.5"));
+}
+
+class QGramLengthTest : public ::testing::TestWithParam<size_t> {};
+
+/// Property: with padding, a string of length n yields n + q - 1 q-grams.
+TEST_P(QGramLengthTest, PaddedGramCount) {
+  const size_t q = GetParam();
+  QGramOptions opts;
+  opts.q = q;
+  const std::string input = "abcdefghij";
+  EXPECT_EQ(QGrams(input, opts).size(), input.size() + q - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, QGramLengthTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ParallelForTest, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, 1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int touched = 0;
+  ParallelFor(pool, 5, 5, [&touched](size_t) { ++touched; });
+  ParallelFor(pool, 7, 3, [&touched](size_t) { ++touched; });
+  EXPECT_EQ(touched, 0);
+}
+
+TEST(ParallelForTest, SumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<int64_t> values(5000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(pool, 0, values.size(),
+              [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), 5000LL * 4999 / 2);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,107 @@
+#include "tuning/tuner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pprl {
+namespace {
+
+/// A smooth 2-d objective with maximum 1.0 at (0.3, 0.7).
+double Bump(const ParamPoint& p) {
+  const double dx = p[0] - 0.3;
+  const double dy = p[1] - 0.7;
+  return std::exp(-(dx * dx + dy * dy) / 0.05);
+}
+
+std::vector<ParamSpec> UnitSquare() {
+  return {{"x", 0.0, 1.0, false}, {"y", 0.0, 1.0, false}};
+}
+
+TEST(GridSearchTest, CoversTheGrid) {
+  size_t evals = 0;
+  const Objective counter = [&evals](const ParamPoint&) {
+    ++evals;
+    return 0.0;
+  };
+  GridSearch(UnitSquare(), counter, 4);
+  EXPECT_EQ(evals, 16u);
+}
+
+TEST(GridSearchTest, FindsCoarseOptimum) {
+  const auto result = GridSearch(UnitSquare(), Bump, 11);
+  EXPECT_NEAR(result.best.point[0], 0.3, 0.05);
+  EXPECT_NEAR(result.best.point[1], 0.7, 0.05);
+  EXPECT_GT(result.best.value, 0.95);
+}
+
+TEST(GridSearchTest, SingleLevelUsesMidpoint) {
+  const auto result = GridSearch(UnitSquare(), Bump, 1);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.history[0].point[0], 0.5);
+}
+
+TEST(GridSearchTest, IntegerParamsRounded) {
+  const std::vector<ParamSpec> space = {{"k", 1, 10, true}};
+  const auto result = GridSearch(space, [](const ParamPoint& p) { return p[0]; }, 10);
+  for (const auto& eval : result.history) {
+    EXPECT_DOUBLE_EQ(eval.point[0], std::round(eval.point[0]));
+    EXPECT_GE(eval.point[0], 1.0);
+    EXPECT_LE(eval.point[0], 10.0);
+  }
+  EXPECT_DOUBLE_EQ(result.best.point[0], 10.0);
+}
+
+TEST(RandomSearchTest, RespectsBudgetAndBounds) {
+  Rng rng(1);
+  const std::vector<ParamSpec> space = {{"x", -5, 5, false}};
+  const auto result =
+      RandomSearch(space, [](const ParamPoint& p) { return -p[0] * p[0]; }, 50, rng);
+  EXPECT_EQ(result.history.size(), 50u);
+  for (const auto& eval : result.history) {
+    EXPECT_GE(eval.point[0], -5.0);
+    EXPECT_LE(eval.point[0], 5.0);
+  }
+  EXPECT_NEAR(result.best.point[0], 0.0, 1.5);
+}
+
+TEST(BayesianOptTest, FindsOptimum) {
+  Rng rng(3);
+  const auto result = BayesianOptimization(UnitSquare(), Bump, 40, rng);
+  EXPECT_EQ(result.history.size(), 40u);
+  EXPECT_GT(result.best.value, 0.9);
+}
+
+TEST(BayesianOptTest, BeatsRandomSearchOnSameBudget) {
+  // Averaged over seeds, BO should reach a better best value than random
+  // search with the same evaluation budget (the E10 claim).
+  double bo_total = 0, random_total = 0;
+  const size_t budget = 25;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng_bo(seed);
+    Rng rng_rs(seed + 100);
+    bo_total += BayesianOptimization(UnitSquare(), Bump, budget, rng_bo).best.value;
+    random_total += RandomSearch(UnitSquare(), Bump, budget, rng_rs).best.value;
+  }
+  EXPECT_GE(bo_total, random_total - 0.25);  // allow noise; BO must be competitive
+}
+
+TEST(BayesianOptTest, WarmupSmallerThanBudget) {
+  Rng rng(5);
+  BayesianOptOptions options;
+  options.initial_random = 100;  // larger than budget
+  const auto result = BayesianOptimization(UnitSquare(), Bump, 10, rng, options);
+  EXPECT_EQ(result.history.size(), 10u);
+}
+
+TEST(TuningResultTest, BestAfterIsPrefixMaximum) {
+  TuningResult result;
+  result.history = {{{0.1}, 0.3}, {{0.2}, 0.9}, {{0.3}, 0.5}};
+  EXPECT_DOUBLE_EQ(result.BestAfter(1), 0.3);
+  EXPECT_DOUBLE_EQ(result.BestAfter(2), 0.9);
+  EXPECT_DOUBLE_EQ(result.BestAfter(3), 0.9);
+  EXPECT_DOUBLE_EQ(result.BestAfter(100), 0.9);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,127 @@
+#include "linkage/two_party_iterative.h"
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "encoding/bloom_filter.h"
+#include "eval/metrics.h"
+#include "linkage/matching.h"
+#include "pipeline/pipeline.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+std::vector<BitVector> Encode(const std::vector<std::string>& names) {
+  const BloomFilterEncoder encoder({600, 15, BloomHashScheme::kDoubleHashing, ""});
+  std::vector<BitVector> out;
+  for (const auto& n : names) out.push_back(encoder.EncodeString(n));
+  return out;
+}
+
+TEST(IterativeProtocolTest, AgreesWithDirectThresholding) {
+  const auto fa = Encode({"katherine", "smith", "garcia", "wilson"});
+  const auto fb = Encode({"catherine", "smyth", "nguyen", "wilson"});
+  IterativeProtocolParams params;
+  params.dice_threshold = 0.7;
+  auto result = IterativeTwoPartyLink(fa, fb, FullPairs(4, 4), params);
+  ASSERT_TRUE(result.ok());
+  std::set<std::pair<uint32_t, uint32_t>> iterative;
+  for (const auto& m : result->matches) iterative.insert({m.a, m.b});
+  std::set<std::pair<uint32_t, uint32_t>> direct;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      if (DiceSimilarity(fa[i], fb[j]) + 1e-12 >= 0.7) direct.insert({i, j});
+    }
+  }
+  EXPECT_EQ(iterative, direct);
+}
+
+TEST(IterativeProtocolTest, MatchScoresAreExactDice) {
+  const auto fa = Encode({"smith"});
+  const auto fb = Encode({"smith"});
+  IterativeProtocolParams params;
+  params.dice_threshold = 0.5;
+  auto result = IterativeTwoPartyLink(fa, fb, {{0, 0}}, params);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->matches[0].score, 1.0);
+}
+
+TEST(IterativeProtocolTest, RevealsLessThanEverything) {
+  // Clearly matching and clearly non-matching pairs must be decided early,
+  // keeping the mean revealed fraction well below 1.
+  std::vector<std::string> a_names, b_names;
+  for (int i = 0; i < 20; ++i) {
+    a_names.push_back("name" + std::to_string(i * 31));
+    b_names.push_back(i % 2 == 0 ? a_names.back() : "other" + std::to_string(i * 17));
+  }
+  const auto fa = Encode(a_names);
+  const auto fb = Encode(b_names);
+  std::vector<CandidatePair> candidates;
+  for (uint32_t i = 0; i < 20; ++i) candidates.push_back({i, i});
+  IterativeProtocolParams params;
+  params.dice_threshold = 0.8;
+  params.num_rounds = 10;
+  auto result = IterativeTwoPartyLink(fa, fb, candidates, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matches.size(), 10u);
+  EXPECT_LT(result->mean_revealed_fraction, 0.7);
+  EXPECT_GT(result->mean_revealed_fraction, 0.0);
+  // Early rounds must decide something.
+  size_t early = 0;
+  for (size_t r = 0; r < 3 && r < result->decided_per_round.size(); ++r) {
+    early += result->decided_per_round[r];
+  }
+  EXPECT_GT(early, 0u);
+}
+
+TEST(IterativeProtocolTest, MetersCommunication) {
+  const auto fa = Encode({"smith", "jones"});
+  const auto fb = Encode({"smith", "jones"});
+  IterativeProtocolParams params;
+  auto result = IterativeTwoPartyLink(fa, fb, FullPairs(2, 2), params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->messages, 0u);
+  EXPECT_GT(result->bytes, 0u);
+}
+
+TEST(IterativeProtocolTest, ValidatesArguments) {
+  const auto fa = Encode({"a"});
+  IterativeProtocolParams zero_rounds;
+  zero_rounds.num_rounds = 0;
+  EXPECT_FALSE(IterativeTwoPartyLink(fa, fa, {{0, 0}}, zero_rounds).ok());
+  IterativeProtocolParams too_many;
+  too_many.num_rounds = 100000;
+  EXPECT_FALSE(IterativeTwoPartyLink(fa, fa, {{0, 0}}, too_many).ok());
+  // Mismatched lengths.
+  std::vector<BitVector> bad = {BitVector(10)};
+  EXPECT_FALSE(IterativeTwoPartyLink(fa, bad, {{0, 0}}, IterativeProtocolParams{}).ok());
+}
+
+TEST(IterativeProtocolTest, EndToEndQualityMatchesPipeline) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 150;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+  PipelineConfig config;
+  const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+  const auto fa = encoder.EncodeDatabase((*dbs)[0]).value();
+  const auto fb = encoder.EncodeDatabase((*dbs)[1]).value();
+  IterativeProtocolParams params;
+  params.dice_threshold = 0.8;
+  auto result =
+      IterativeTwoPartyLink(fa, fb, FullPairs(fa.size(), fb.size()), params);
+  ASSERT_TRUE(result.ok());
+  const GroundTruth truth((*dbs)[0], (*dbs)[1]);
+  const auto matches = GreedyOneToOne(result->matches);
+  EXPECT_GT(EvaluateMatches(matches, truth).F1(), 0.75);
+  // The privacy payoff: on average, far less than the whole filter leaked.
+  EXPECT_LT(result->mean_revealed_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace pprl
