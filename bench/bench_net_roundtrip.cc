@@ -1,0 +1,101 @@
+/// Networked linkage service vs in-process simulation (ROADMAP: production
+/// service). Runs the same 3-owner multi-party linkage twice — once through
+/// the in-process `Channel` simulation, once through `LinkageUnitServer`
+/// over loopback TCP — and prints both cost tables plus the real framing
+/// overhead. The metered columns must agree; the wire adds only the
+/// 12-byte frame headers and the handshake/ack/result messages.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "pipeline/party.h"
+#include "pipeline/pipeline.h"
+#include "service/client.h"
+#include "service/server.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+int main() {
+  std::printf("# Networked linkage: in-process channel vs loopback TCP\n");
+
+  GeneratorConfig gc;
+  gc.seed = 42;
+  DataGenerator gen(gc);
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 2000;
+  scenario.num_databases = 3;
+  scenario.overlap = 0.4;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  if (!dbs.ok()) return 1;
+
+  PipelineConfig shared;
+  const ClkEncoder encoder(shared.bloom, PprlPipeline::DefaultFieldConfigs());
+  const std::vector<std::string> names = {"hospital-a", "hospital-b", "registry-c"};
+  std::vector<DatabaseOwner> owners;
+  for (size_t d = 0; d < 3; ++d) {
+    owners.emplace_back(names[d], (*dbs)[d]);
+    if (!owners[d].Encode(encoder).ok()) return 1;
+  }
+  MultiPartyLinkageOptions options;
+  options.dice_threshold = 0.78;
+
+  // In-process path.
+  Channel local_channel;
+  LinkageUnitService local_unit("lu");
+  LocalLinkageUnitSink sink(local_channel, local_unit);
+  Timer local_timer;
+  for (auto& owner : owners) {
+    if (!owner.ShipEncodings(sink).ok()) return 1;
+  }
+  auto local_result = local_unit.Link(options);
+  const double local_ms = local_timer.ElapsedMillis();
+  if (!local_result.ok()) return 1;
+
+  // Socket path.
+  LinkageUnitServerConfig server_config;
+  server_config.name = "lu";
+  server_config.expected_owners = 3;
+  server_config.link_options = options;
+  LinkageUnitServer server(server_config);
+  if (!server.Start().ok()) return 1;
+  Channel client_channel;
+  Timer remote_timer;
+  std::vector<std::thread> sessions;
+  for (size_t d = 0; d < 3; ++d) {
+    sessions.emplace_back([&, d] {
+      RemoteOwnerClientConfig config;
+      config.port = server.port();
+      config.server_label = "lu";
+      RemoteOwnerClient client(config, &client_channel);
+      if (!owners[d].ShipEncodings(client).ok()) {
+        std::fprintf(stderr, "session %zu failed\n", d);
+      }
+    });
+  }
+  for (auto& t : sessions) t.join();
+  const double remote_ms = remote_timer.ElapsedMillis();
+  auto remote_result = server.result();
+  if (!remote_result.ok()) return 1;
+
+  PrintHeader({"path", "edges", "clusters", "comparisons", "wall ms"});
+  PrintRow({"in-process", Fmt(local_result->edges.size()),
+            Fmt(local_result->clusters.size()), Fmt(local_result->comparisons),
+            Fmt(local_ms, 1)});
+  PrintRow({"loopback TCP", Fmt(remote_result->edges.size()),
+            Fmt(remote_result->clusters.size()), Fmt(remote_result->comparisons),
+            Fmt(remote_ms, 1)});
+
+  PrintChannelCosts(local_channel, "in-process channel");
+  PrintChannelCosts(server.channel(), "linkage-unit daemon, metered");
+
+  const size_t metered = server.channel().total_bytes();
+  const size_t wire = server.wire_bytes_received() + server.wire_bytes_sent();
+  std::printf("\nwire bytes (headers included): %.1f KiB; framing overhead %.3f%%\n",
+              static_cast<double>(wire) / 1024.0,
+              100.0 * static_cast<double>(wire - metered) / static_cast<double>(wire));
+  server.Stop();
+  return 0;
+}

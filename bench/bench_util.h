@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "datagen/generator.h"
+#include "pipeline/channel.h"
 
 namespace pprl::bench {
 
@@ -34,6 +35,24 @@ inline std::string Fmt(double v, int precision = 3) {
 }
 
 inline std::string Fmt(size_t v) { return std::to_string(v); }
+
+/// Prints a channel's communication-cost breakdown as one table row per
+/// tag: messages and bytes. In-process and socket-transport runs meter
+/// into the same `Channel` interface, so their cost tables are directly
+/// comparable (the socket path's frame headers are excluded here and
+/// reported by the transport as wire bytes).
+inline void PrintChannelCosts(const Channel& channel, const std::string& label) {
+  std::printf("\ncommunication cost (%s): %zu messages, %.1f KiB\n", label.c_str(),
+              channel.total_messages(),
+              static_cast<double>(channel.total_bytes()) / 1024.0);
+  PrintHeader({"tag", "messages", "KiB"});
+  const auto messages = channel.messages_by_tag();
+  for (const auto& [tag, bytes] : channel.bytes_by_tag()) {
+    const auto it = messages.find(tag);
+    PrintRow({tag, Fmt(it == messages.end() ? size_t{0} : it->second),
+              Fmt(static_cast<double>(bytes) / 1024.0, 1)});
+  }
+}
 
 /// Standard two-database scenario used across benches.
 inline std::pair<Database, Database> TwoDatabases(size_t n, double corruption_mean,

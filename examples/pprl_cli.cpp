@@ -18,6 +18,10 @@
 ///   link-encoded <a_clks.csv> <b_clks.csv> <matches_out.csv> [threshold]
 ///       The linkage unit's step: match two interchange files without ever
 ///       seeing quasi-identifiers.
+///   ship <clks.csv> <party_name> <host:port> [matches_out.csv]
+///       Ships an interchange file to a running pprl_linkd daemon, waits
+///       for the multi-party linkage to finish, and prints (optionally
+///       writes) this owner's matched records.
 ///
 /// Examples:
 ///   ./build/examples/pprl_cli generate /tmp/a.csv /tmp/b.csv 1000 1.5
@@ -39,6 +43,7 @@
 #include "linkage/matching.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/schema_matching.h"
+#include "service/client.h"
 
 using namespace pprl;
 
@@ -52,7 +57,9 @@ int Usage() {
                "  pprl_cli schema <a.csv> <b.csv>\n"
                "  pprl_cli encode <in.csv> <out_clks.csv> [secret_key]\n"
                "  pprl_cli link-encoded <a_clks.csv> <b_clks.csv> <matches_out.csv>"
-               " [threshold]\n");
+               " [threshold]\n"
+               "  pprl_cli ship <clks.csv> <party_name> <host:port>"
+               " [matches_out.csv]\n");
   return 2;
 }
 
@@ -138,6 +145,65 @@ int LinkEncoded(int argc, char** argv) {
   }
   std::printf("%zu matches at dice >= %.2f -> %s (no QIDs were read)\n",
               matches.size(), threshold, argv[4]);
+  return 0;
+}
+
+int Ship(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto encoded = ReadEncodedDatabase(argv[2]);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "%s\n", encoded.status().ToString().c_str());
+    return 1;
+  }
+  const std::string party = argv[3];
+  const std::string endpoint = argv[4];
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "endpoint must be host:port, got %s\n", endpoint.c_str());
+    return 1;
+  }
+  RemoteOwnerClientConfig config;
+  config.host = endpoint.substr(0, colon);
+  config.port = static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1));
+
+  Channel meter;
+  RemoteOwnerClient client(config, &meter);
+  std::printf("shipping %zu encodings as '%s' to %s ...\n", encoded->size(),
+              party.c_str(), endpoint.c_str());
+  auto summary = client.ShipAndAwait(party, *encoded);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "linkage done at '%s': %llu clusters over all parties, %llu comparisons\n",
+      client.server_name().c_str(),
+      static_cast<unsigned long long>(summary->total_clusters),
+      static_cast<unsigned long long>(summary->comparisons));
+  std::printf("%zu of our %zu records matched records elsewhere\n",
+              summary->matches.size(), encoded->size());
+  // The hello is metered against the configured label, everything after
+  // the handshake against the server's self-reported name.
+  const size_t payload_bytes = meter.BytesBetween(party, config.server_label) +
+                               meter.BytesBetween(party, client.server_name());
+  std::printf("sent %.1f KiB payload (%.1f KiB on the wire with framing)\n",
+              static_cast<double>(payload_bytes) / 1024.0,
+              static_cast<double>(client.wire_bytes_sent()) / 1024.0);
+  if (argc > 5) {
+    CsvTable out;
+    out.header = {"record_id", "cluster_id", "cluster_size"};
+    for (const MatchedRecordSummary& m : summary->matches) {
+      out.rows.push_back({std::to_string(encoded->ids[m.record]),
+                          std::to_string(m.cluster_id),
+                          std::to_string(m.cluster_size)});
+    }
+    const Status status = WriteCsvFile(argv[5], out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("matched records -> %s\n", argv[5]);
+  }
   return 0;
 }
 
@@ -257,5 +323,6 @@ int main(int argc, char** argv) {
   if (command == "schema") return SchemaCmd(argc, argv);
   if (command == "encode") return Encode(argc, argv);
   if (command == "link-encoded") return LinkEncoded(argc, argv);
+  if (command == "ship") return Ship(argc, argv);
   return Usage();
 }

@@ -1,0 +1,79 @@
+/// pprl_linkd — the linkage unit as a standalone daemon.
+///
+/// Owners run `pprl_cli encode` locally, then `pprl_cli ship` their
+/// interchange files to this process; once the expected number of owners
+/// has shipped, the daemon links all databases and answers every owner
+/// with its per-owner match summary. One linkage run per invocation.
+///
+/// usage:
+///   pprl_linkd <port> <expected_owners> [dice_threshold] [--all-interfaces]
+///
+/// example (three terminals):
+///   ./build/examples/pprl_linkd 7001 2
+///   ./build/examples/pprl_cli ship /tmp/a_clks.csv hospital-a 127.0.0.1:7001
+///   ./build/examples/pprl_cli ship /tmp/b_clks.csv hospital-b 127.0.0.1:7001
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "service/server.h"
+
+using namespace pprl;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: pprl_linkd <port> <expected_owners> [dice_threshold]"
+                 " [--all-interfaces]\n");
+    return 2;
+  }
+  LinkageUnitServerConfig config;
+  config.name = "pprl-linkd";
+  config.port = static_cast<uint16_t>(std::atoi(argv[1]));
+  config.expected_owners = static_cast<size_t>(std::atoll(argv[2]));
+  if (argc > 3 && argv[3][0] != '-') {
+    config.link_options.dice_threshold = std::atof(argv[3]);
+  }
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--all-interfaces") config.loopback_only = false;
+  }
+
+  LinkageUnitServer server(config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("pprl_linkd: waiting on port %u for %zu owners (dice >= %.2f, %s)\n",
+              server.port(), config.expected_owners,
+              config.link_options.dice_threshold,
+              config.loopback_only ? "loopback only" : "all interfaces");
+
+  const Status done = server.WaitUntilDone(/*timeout_ms=*/0);
+  if (!done.ok()) {
+    std::fprintf(stderr, "linkage failed: %s\n", done.ToString().c_str());
+    server.Stop();
+    return 1;
+  }
+  auto result = server.result();
+  std::printf("\nlinked %zu databases: %zu clusters, %zu edges, %zu comparisons\n",
+              server.owner_order().size(), result->clusters.size(),
+              result->edges.size(), result->comparisons);
+  std::printf("metered traffic: %zu messages, %.1f KiB payload; wire %.1f KiB\n",
+              server.channel().total_messages(),
+              static_cast<double>(server.channel().total_bytes()) / 1024.0,
+              static_cast<double>(server.wire_bytes_received() +
+                                  server.wire_bytes_sent()) /
+                  1024.0);
+  const auto messages = server.channel().messages_by_tag();
+  for (const auto& [tag, bytes] : server.channel().bytes_by_tag()) {
+    const auto it = messages.find(tag);
+    std::printf("  %-16s %8zu msgs %10.1f KiB\n", tag.c_str(),
+                it == messages.end() ? size_t{0} : it->second,
+                static_cast<double>(bytes) / 1024.0);
+  }
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the whole tree as Debug with ASan+UBSan
+# (PPRL_SANITIZE=ON) into build-asan/ and runs the full test suite.
+# The networking/service code in particular must stay sanitizer-clean.
+#
+# usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPPRL_SANITIZE=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error makes ctest fail loudly on the first sanitizer report.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+echo "check.sh: all tests passed under ASan+UBSan"

@@ -1,0 +1,135 @@
+#ifndef PPRL_NET_FRAME_H_
+#define PPRL_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pprl {
+
+/// Length-prefixed binary framing for the linkage wire protocol.
+///
+/// Every message on a connection is one frame:
+///
+///   offset  size  field
+///   0       4     magic "PPRL" (0x50 0x50 0x52 0x4c)
+///   4       1     protocol version (kWireProtocolVersion)
+///   5       1     message type tag (service/protocol.h)
+///   6       2     reserved, must be zero
+///   8       4     payload length N, uint32 little-endian
+///   12      N     payload bytes
+///
+/// The decoder is strict: bad magic, unknown version, non-zero reserved
+/// bytes, or a declared length above the reader's limit are hard protocol
+/// errors. The declared length is validated *before* any allocation, so a
+/// hostile 4 GiB length prefix costs nothing.
+
+/// Version of the frame layout + message payloads. Bump on any
+/// incompatible change; the handshake rejects mismatches.
+inline constexpr uint8_t kWireProtocolVersion = 1;
+
+/// Frame header size on the wire.
+inline constexpr size_t kFrameHeaderSize = 12;
+
+/// Default cap on a single frame payload (64 MiB — a million 512-bit
+/// filters ship comfortably; anything larger should be chunked).
+inline constexpr size_t kDefaultMaxFramePayload = 64u << 20;
+
+/// One decoded protocol message.
+struct Frame {
+  uint8_t version = kWireProtocolVersion;
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+
+  size_t wire_size() const { return kFrameHeaderSize + payload.size(); }
+};
+
+/// Serialises `frame` (header + payload) into a contiguous buffer.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+/// Parses and validates a 12-byte frame header; returns the declared
+/// payload length. `header` must hold at least kFrameHeaderSize bytes.
+Result<size_t> DecodeFrameHeader(const uint8_t* header, size_t len, uint8_t* version_out,
+                                 uint8_t* type_out, size_t max_payload);
+
+/// Pull-based byte stream the frame reader consumes. Implemented by the
+/// TCP transport and by in-memory buffers in tests.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Reads up to `max` bytes into `buf`. Returns the number of bytes read;
+  /// 0 means clean end-of-stream. Errors (timeout, reset) come back as a
+  /// non-OK status.
+  virtual Result<size_t> Read(uint8_t* buf, size_t max) = 0;
+};
+
+/// Push-based byte stream the frame writer targets.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  /// Writes all `len` bytes or returns an error.
+  virtual Status Write(const uint8_t* buf, size_t len) = 0;
+};
+
+/// A ByteSource over an in-memory buffer (tests, replay).
+class BufferSource : public ByteSource {
+ public:
+  explicit BufferSource(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  Result<size_t> Read(uint8_t* buf, size_t max) override;
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// A ByteSink into an in-memory buffer (tests).
+class BufferSink : public ByteSink {
+ public:
+  Status Write(const uint8_t* buf, size_t len) override;
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Reads whole frames off a ByteSource, enforcing the payload cap.
+class FrameReader {
+ public:
+  explicit FrameReader(ByteSource& source, size_t max_payload = kDefaultMaxFramePayload)
+      : source_(source), max_payload_(max_payload) {}
+
+  /// Blocks until one full frame is read. Returns:
+  ///  - the frame on success,
+  ///  - kNotFound if the stream ended cleanly *between* frames,
+  ///  - kProtocolViolation / kOutOfRange on malformed or truncated frames,
+  ///  - the transport's error for I/O failures.
+  Result<Frame> ReadFrame();
+
+ private:
+  /// Reads exactly `len` bytes or fails (kOutOfRange on mid-object EOF).
+  Status ReadExact(uint8_t* buf, size_t len, bool* clean_eof_at_start);
+
+  ByteSource& source_;
+  size_t max_payload_;
+};
+
+/// Writes whole frames to a ByteSink.
+class FrameWriter {
+ public:
+  explicit FrameWriter(ByteSink& sink, size_t max_payload = kDefaultMaxFramePayload)
+      : sink_(sink), max_payload_(max_payload) {}
+
+  /// Serialises and writes one frame; rejects payloads above the cap
+  /// (keeps us honest about what peers will accept).
+  Status WriteFrame(uint8_t type, const std::vector<uint8_t>& payload);
+
+ private:
+  ByteSink& sink_;
+  size_t max_payload_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_NET_FRAME_H_

@@ -1,0 +1,152 @@
+#ifndef PPRL_NET_TRANSPORT_H_
+#define PPRL_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "pipeline/channel.h"
+
+namespace pprl {
+
+/// Connection establishment knobs. Retries use exponential backoff:
+/// attempt k sleeps `backoff_initial_ms * 2^k` (capped at
+/// `backoff_max_ms`) before re-dialling — the standard pattern for a
+/// client racing a daemon that is still binding its port.
+struct ConnectOptions {
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 30000;
+  int max_retries = 5;
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 2000;
+};
+
+/// A blocking TCP byte stream (POSIX sockets) with read/write timeouts.
+///
+/// Implements ByteSource/ByteSink so FrameReader/FrameWriter run directly
+/// on top, and counts raw wire bytes in each direction so framing overhead
+/// can be reported separately from the metered protocol payloads.
+class TcpConnection : public ByteSource, public ByteSink {
+ public:
+  /// Takes ownership of a connected socket fd (server side; Accept()).
+  explicit TcpConnection(int fd);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Dials `host:port`, retrying with exponential backoff per `options`.
+  static Result<std::unique_ptr<TcpConnection>> Connect(const std::string& host,
+                                                        uint16_t port,
+                                                        const ConnectOptions& options);
+
+  /// Applies `timeout_ms` to subsequent reads and writes (SO_RCVTIMEO /
+  /// SO_SNDTIMEO). <= 0 means block forever.
+  Status SetIoTimeout(int timeout_ms);
+
+  /// ByteSource: up to `max` bytes; 0 = peer closed. Timeouts surface as
+  /// kIoError mentioning "timed out".
+  Result<size_t> Read(uint8_t* buf, size_t max) override;
+
+  /// ByteSink: writes all `len` bytes or fails.
+  Status Write(const uint8_t* buf, size_t len) override;
+
+  /// Shuts down and closes the socket (idempotent).
+  void Close();
+
+  bool closed() const { return fd_ < 0; }
+
+  /// Raw wire bytes, including frame headers — the basis of the
+  /// framing-overhead column in benchmarks.
+  size_t wire_bytes_sent() const { return wire_bytes_sent_.load(); }
+  size_t wire_bytes_received() const { return wire_bytes_received_.load(); }
+
+ private:
+  int fd_ = -1;
+  std::atomic<size_t> wire_bytes_sent_{0};
+  std::atomic<size_t> wire_bytes_received_{0};
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (loopback service) or any
+/// interface.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port (see port()).
+  /// `loopback_only` binds 127.0.0.1, else INADDR_ANY.
+  Status Listen(uint16_t port, bool loopback_only = true, int backlog = 16);
+
+  /// Accepts one connection, waiting at most `timeout_ms` (<= 0 = forever).
+  /// Timeout returns kNotFound so pollers can distinguish it from failure.
+  Result<std::unique_ptr<TcpConnection>> Accept(int timeout_ms);
+
+  /// The bound port (resolved after Listen, also for ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  bool listening() const { return fd_ >= 0; }
+
+  /// Stops accepting (unblocks a blocked Accept with an error).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// A framed, metered protocol connection: FrameReader/FrameWriter over a
+/// TcpConnection, metering every frame into a `Channel` with the same
+/// (from, to, tag) accounting the in-process pipelines use.
+///
+/// Metering covers the *payload* bytes under the message-type's tag; the
+/// constant 12-byte frame header is deliberately excluded so byte totals
+/// line up with the in-process `Channel` path, and is recoverable as
+/// wire_bytes() - channel totals.
+class MeteredFrameConnection {
+ public:
+  /// `meter` may be null (no accounting). `self` names this endpoint;
+  /// `peer` is set after the handshake identifies the remote party. The
+  /// connection must outlive this wrapper (callers own it).
+  MeteredFrameConnection(TcpConnection& conn, Channel* meter, std::string self,
+                         size_t max_payload = kDefaultMaxFramePayload);
+
+  void set_peer(std::string peer) { peer_ = std::move(peer); }
+  const std::string& peer() const { return peer_; }
+
+  /// Sends one frame; meters payload bytes as self -> peer under `tag`.
+  Status Send(uint8_t type, const std::vector<uint8_t>& payload, const std::string& tag);
+
+  /// Receives one frame; meters payload bytes as peer -> self under the
+  /// tag derived from the received type by `tag_of` (may be null).
+  Result<Frame> Receive(const char* (*tag_of)(uint8_t));
+
+  /// Receives one frame without metering it — for the server's first read,
+  /// where the sender's name is only known once the hello is decoded. Pair
+  /// with MeterReceived() after set_peer().
+  Result<Frame> ReceiveUnmetered();
+
+  /// Meters an already-received frame as peer -> self (see
+  /// ReceiveUnmetered).
+  void MeterReceived(const Frame& frame, const char* (*tag_of)(uint8_t));
+
+  TcpConnection& socket() { return conn_; }
+
+ private:
+  TcpConnection& conn_;
+  FrameReader reader_;
+  FrameWriter writer_;
+  Channel* meter_;
+  std::string self_;
+  std::string peer_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_NET_TRANSPORT_H_

@@ -1,0 +1,77 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace pprl {
+
+void WireWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutBytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+Result<uint8_t> WireReader::ReadU8() {
+  if (remaining() < 1) return Status::OutOfRange("wire: truncated u8");
+  return data_[pos_++];
+}
+
+Result<uint16_t> WireReader::ReadU16() {
+  if (remaining() < 2) return Status::OutOfRange("wire: truncated u16");
+  uint16_t v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  if (remaining() < 4) return Status::OutOfRange("wire: truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  if (remaining() < 8) return Status::OutOfRange("wire: truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> WireReader::ReadString(size_t max_len) {
+  auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > max_len) {
+    return Status::OutOfRange("wire: declared string length " + std::to_string(*len) +
+                              " exceeds limit " + std::to_string(max_len));
+  }
+  if (remaining() < *len) return Status::OutOfRange("wire: truncated string body");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<std::vector<uint8_t>> WireReader::ReadBytes(size_t len) {
+  if (remaining() < len) return Status::OutOfRange("wire: truncated byte run");
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+}  // namespace pprl

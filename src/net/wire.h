@@ -1,0 +1,68 @@
+#ifndef PPRL_NET_WIRE_H_
+#define PPRL_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pprl {
+
+/// Little-endian binary serialisation helpers for the wire protocol.
+///
+/// `WireWriter` appends fixed-width integers, length-prefixed strings and
+/// raw byte runs to a growable buffer; `WireReader` is its bounds-checked
+/// inverse. Every read validates the remaining length first and returns a
+/// `Status` error on truncated input — the decoder never reads past the
+/// end of the buffer and never allocates more than the buffer could
+/// possibly hold, which is what makes the frame decoder safe against
+/// adversarial payloads (see tests/net_framing_test.cc).
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Raw bytes, no length prefix.
+  void PutBytes(const uint8_t* data, size_t len);
+  /// u32 length prefix + bytes.
+  void PutString(const std::string& s);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte buffer (does not own the bytes).
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit WireReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), len_(buf.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  /// Reads a u32 length prefix + that many bytes. `max_len` bounds the
+  /// declared length so a hostile prefix cannot trigger a huge allocation.
+  Result<std::string> ReadString(size_t max_len = 1 << 20);
+  /// Raw bytes, no prefix.
+  Result<std::vector<uint8_t>> ReadBytes(size_t len);
+
+  size_t remaining() const { return len_ - pos_; }
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_NET_WIRE_H_

@@ -4,23 +4,56 @@ namespace pprl {
 
 size_t Channel::Send(const std::string& from, const std::string& to,
                      size_t payload_bytes, const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++total_messages_;
   total_bytes_ += payload_bytes;
   bytes_by_route_[{from, to}] += payload_bytes;
+  messages_by_route_[{from, to}] += 1;
   bytes_by_tag_[tag] += payload_bytes;
+  messages_by_tag_[tag] += 1;
   return total_messages_;
 }
 
+size_t Channel::total_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_messages_;
+}
+
+size_t Channel::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
 size_t Channel::BytesBetween(const std::string& from, const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = bytes_by_route_.find({from, to});
   return it == bytes_by_route_.end() ? 0 : it->second;
 }
 
+size_t Channel::MessagesBetween(const std::string& from, const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = messages_by_route_.find({from, to});
+  return it == messages_by_route_.end() ? 0 : it->second;
+}
+
+std::map<std::string, size_t> Channel::bytes_by_tag() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_by_tag_;
+}
+
+std::map<std::string, size_t> Channel::messages_by_tag() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_by_tag_;
+}
+
 void Channel::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   total_messages_ = 0;
   total_bytes_ = 0;
   bytes_by_route_.clear();
+  messages_by_route_.clear();
   bytes_by_tag_.clear();
+  messages_by_tag_.clear();
 }
 
 }  // namespace pprl

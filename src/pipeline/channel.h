@@ -2,44 +2,65 @@
 #define PPRL_PIPELINE_CHANNEL_H_
 
 #include <cstddef>
-#include <utility>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pprl {
 
-/// An in-process stand-in for the network between parties.
+/// Meters the traffic between parties.
 ///
 /// Every protocol message is routed through a `Channel`, which meters the
-/// number of messages and bytes per sender/receiver pair — the
-/// communication-cost axis of the survey's evaluation model (§3.3). The
-/// channel also enforces the who-sees-what discipline: protocol code can
-/// only obtain another party's data by an explicit, metered Send.
+/// number of messages and bytes per sender/receiver pair and per tag — the
+/// communication-cost axis of the survey's evaluation model (§3.3). In the
+/// in-process pipelines the channel also enforces the who-sees-what
+/// discipline: protocol code can only obtain another party's data by an
+/// explicit, metered Send. The socket transport (`net/transport.h`) meters
+/// into the very same interface, so benchmarks report identical cost
+/// columns whether a run is simulated or goes over real TCP.
+///
+/// Send() is thread-safe (concurrent connection handlers meter into one
+/// channel); the map accessors return snapshots and may be called at any
+/// time.
 class Channel {
  public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
   /// Delivers `payload_bytes` worth of data from `from` to `to` under a
   /// human-readable `tag` (e.g. "encoded-filters"). Returns a message id.
   size_t Send(const std::string& from, const std::string& to, size_t payload_bytes,
               const std::string& tag);
 
-  size_t total_messages() const { return total_messages_; }
-  size_t total_bytes() const { return total_bytes_; }
+  size_t total_messages() const;
+  size_t total_bytes() const;
 
   /// Bytes sent from `from` to `to` so far.
   size_t BytesBetween(const std::string& from, const std::string& to) const;
 
+  /// Messages sent from `from` to `to` so far.
+  size_t MessagesBetween(const std::string& from, const std::string& to) const;
+
   /// Per-tag byte totals, for cost breakdowns in benchmark output.
-  const std::map<std::string, size_t>& bytes_by_tag() const { return bytes_by_tag_; }
+  std::map<std::string, size_t> bytes_by_tag() const;
+
+  /// Per-tag message counts, the companion of bytes_by_tag().
+  std::map<std::string, size_t> messages_by_tag() const;
 
   /// Forgets all metering (fresh protocol run).
   void Reset();
 
  private:
+  mutable std::mutex mutex_;
   size_t total_messages_ = 0;
   size_t total_bytes_ = 0;
   std::map<std::pair<std::string, std::string>, size_t> bytes_by_route_;
+  std::map<std::pair<std::string, std::string>, size_t> messages_by_route_;
   std::map<std::string, size_t> bytes_by_tag_;
+  std::map<std::string, size_t> messages_by_tag_;
 };
 
 }  // namespace pprl

@@ -17,6 +17,20 @@ Status DatabaseOwner::Encode(const ClkEncoder& encoder) {
   return Status::OK();
 }
 
+namespace {
+
+/// Bytes a shipment of `encoded` costs on any transport: one 8-byte id
+/// plus the packed filter per record. Both the in-process channel path and
+/// the wire serialisation (service/protocol.h) follow this formula, which
+/// is what keeps their metered totals identical.
+size_t ShipmentPayloadBytes(const EncodedDatabase& encoded) {
+  const size_t filter_bytes =
+      encoded.filters.empty() ? 0 : (encoded.filters[0].size() + 7) / 8;
+  return encoded.filters.size() * (filter_bytes + 8);
+}
+
+}  // namespace
+
 Result<EncodedDatabase> DatabaseOwner::ShipEncodings(Channel& channel,
                                                      const std::string& recipient) const {
   if (!encoded_) {
@@ -26,11 +40,19 @@ Result<EncodedDatabase> DatabaseOwner::ShipEncodings(Channel& channel,
   shipment.ids.reserve(database_.records.size());
   for (const Record& r : database_.records) shipment.ids.push_back(r.id);
   shipment.filters = filters_;
-  const size_t filter_bytes =
-      filters_.empty() ? 0 : (filters_[0].size() + 7) / 8;
-  channel.Send(name_, recipient, filters_.size() * (filter_bytes + 8),
-               "encoded-filters");
+  channel.Send(name_, recipient, ShipmentPayloadBytes(shipment), "encoded-filters");
   return shipment;
+}
+
+Status DatabaseOwner::ShipEncodings(EncodingSink& sink) const {
+  if (!encoded_) {
+    return Status::FailedPrecondition("owner '" + name_ + "' has not encoded yet");
+  }
+  EncodedDatabase shipment;
+  shipment.ids.reserve(database_.records.size());
+  for (const Record& r : database_.records) shipment.ids.push_back(r.id);
+  shipment.filters = filters_;
+  return sink.Deliver(name_, shipment);
 }
 
 std::vector<uint64_t> DatabaseOwner::EntityIdsForEvaluation() const {
@@ -101,6 +123,12 @@ Result<MultiPartyLinkageResult> LinkageUnitService::Link(
   result.clusters = options.use_star_clustering ? StarClustering(result.edges)
                                                 : ConnectedComponents(result.edges);
   return result;
+}
+
+Status LocalLinkageUnitSink::Deliver(const std::string& owner,
+                                     const EncodedDatabase& encoded) {
+  channel_.Send(owner, unit_.name(), ShipmentPayloadBytes(encoded), "encoded-filters");
+  return unit_.Receive(owner, encoded);
 }
 
 }  // namespace pprl

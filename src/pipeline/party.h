@@ -14,6 +14,22 @@
 
 namespace pprl {
 
+/// Where a database owner's encodings go when shipped.
+///
+/// The owner only ever hands its `EncodedDatabase` to a sink; whether the
+/// sink is the in-process linkage unit (`LocalLinkageUnitSink`) or a TCP
+/// client talking to a remote daemon (`RemoteOwnerClient` in
+/// service/client.h) is invisible to the owner. This keeps the dependency
+/// arrow pointing the right way: the networked service layer implements
+/// this interface, the pipeline never links against sockets.
+class EncodingSink {
+ public:
+  virtual ~EncodingSink() = default;
+
+  /// Accepts `owner`'s shipment. Implementations meter the transfer.
+  virtual Status Deliver(const std::string& owner, const EncodedDatabase& encoded) = 0;
+};
+
 /// A database owner in a simulated multi-party deployment.
 ///
 /// The class makes the survey's who-sees-what discipline *structural*: the
@@ -31,6 +47,10 @@ class DatabaseOwner {
   /// must have run.
   Result<EncodedDatabase> ShipEncodings(Channel& channel,
                                         const std::string& recipient) const;
+
+  /// Ships the encodings into `sink` — the transport-agnostic path; the
+  /// sink may be local (LocalLinkageUnitSink) or a remote socket client.
+  Status ShipEncodings(EncodingSink& sink) const;
 
   const std::string& name() const { return name_; }
   size_t size() const { return database_.records.size(); }
@@ -90,6 +110,22 @@ class LinkageUnitService {
   std::string name_;
   std::vector<std::string> owners_;
   std::vector<EncodedDatabase> databases_;
+};
+
+/// The in-process EncodingSink: delivers straight into a
+/// `LinkageUnitService`, metering through `channel` exactly as the
+/// Channel-based ShipEncodings overload does. The reference cost model
+/// that the socket path must reproduce byte-for-byte.
+class LocalLinkageUnitSink : public EncodingSink {
+ public:
+  LocalLinkageUnitSink(Channel& channel, LinkageUnitService& unit)
+      : channel_(channel), unit_(unit) {}
+
+  Status Deliver(const std::string& owner, const EncodedDatabase& encoded) override;
+
+ private:
+  Channel& channel_;
+  LinkageUnitService& unit_;
 };
 
 }  // namespace pprl

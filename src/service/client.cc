@@ -1,0 +1,137 @@
+#include "service/client.h"
+
+#include "common/logging.h"
+#include "net/frame.h"
+
+namespace pprl {
+
+namespace {
+
+/// Turns a received frame into the expected type's payload, translating
+/// kError frames into their transported status.
+Result<std::vector<uint8_t>> ExpectFrame(Result<Frame> frame, MessageType expected) {
+  if (!frame.ok()) return frame.status();
+  if (frame->type == static_cast<uint8_t>(MessageType::kError)) {
+    auto err = DecodeError(frame->payload);
+    if (!err.ok()) return err.status();
+    // Reconstruct the server's status by code.
+    const std::string msg = "server: " + err->message;
+    switch (err->code) {
+      case StatusCode::kInvalidArgument: return Status::InvalidArgument(msg);
+      case StatusCode::kOutOfRange: return Status::OutOfRange(msg);
+      case StatusCode::kNotFound: return Status::NotFound(msg);
+      case StatusCode::kAlreadyExists: return Status::AlreadyExists(msg);
+      case StatusCode::kFailedPrecondition: return Status::FailedPrecondition(msg);
+      case StatusCode::kProtocolViolation: return Status::ProtocolViolation(msg);
+      case StatusCode::kIoError: return Status::IoError(msg);
+      default: return Status::Internal(msg);
+    }
+  }
+  if (frame->type != static_cast<uint8_t>(expected)) {
+    return Status::ProtocolViolation(
+        "expected frame type " + std::to_string(static_cast<uint8_t>(expected)) +
+        ", got " + std::to_string(frame->type));
+  }
+  return std::move(frame->payload);
+}
+
+}  // namespace
+
+RemoteOwnerClient::RemoteOwnerClient(RemoteOwnerClientConfig config, Channel* meter)
+    : config_(std::move(config)), meter_(meter) {}
+
+Result<OwnerLinkageSummary> RemoteOwnerClient::ShipAndAwait(
+    const std::string& owner, const EncodedDatabase& encoded) {
+  if (encoded.ids.size() != encoded.filters.size()) {
+    return Status::InvalidArgument("shipment ids/filters size mismatch");
+  }
+  if (encoded.filters.empty() || encoded.filters[0].empty()) {
+    return Status::InvalidArgument("nothing to ship: empty encoding");
+  }
+
+  auto conn = TcpConnection::Connect(config_.host, config_.port, config_.connect);
+  if (!conn.ok()) return conn.status();
+  TcpConnection& socket = **conn;
+  MeteredFrameConnection mfc(socket, meter_, owner, config_.max_frame_payload);
+  mfc.set_peer(config_.server_label);
+
+  const auto record_wire_bytes = [&] {
+    wire_bytes_sent_ = socket.wire_bytes_sent();
+    wire_bytes_received_ = socket.wire_bytes_received();
+  };
+
+  // 1. Handshake.
+  HelloMessage hello;
+  hello.protocol_version = kWireProtocolVersion;
+  hello.party = owner;
+  hello.filter_bits = static_cast<uint32_t>(encoded.filters[0].size());
+  hello.record_count = static_cast<uint32_t>(encoded.size());
+  Status sent = mfc.Send(static_cast<uint8_t>(MessageType::kHello), EncodeHello(hello),
+                         MessageTypeTag(static_cast<uint8_t>(MessageType::kHello)));
+  if (!sent.ok()) {
+    record_wire_bytes();
+    return sent;
+  }
+  auto ack_payload = ExpectFrame(mfc.Receive(MessageTypeTag), MessageType::kHelloAck);
+  if (!ack_payload.ok()) {
+    record_wire_bytes();
+    return ack_payload.status();
+  }
+  auto ack = DecodeHelloAck(*ack_payload);
+  if (!ack.ok()) {
+    record_wire_bytes();
+    return ack.status();
+  }
+  if (ack->protocol_version != kWireProtocolVersion) {
+    record_wire_bytes();
+    return Status::ProtocolViolation("server speaks protocol version " +
+                                     std::to_string(ack->protocol_version) +
+                                     ", client speaks " +
+                                     std::to_string(kWireProtocolVersion));
+  }
+  server_name_ = ack->server;
+  mfc.set_peer(ack->server);
+
+  // 2. Shipment.
+  auto shipment_payload = EncodeShipment(encoded);
+  if (!shipment_payload.ok()) {
+    record_wire_bytes();
+    return shipment_payload.status();
+  }
+  sent = mfc.Send(static_cast<uint8_t>(MessageType::kShipment), *shipment_payload,
+                  MessageTypeTag(static_cast<uint8_t>(MessageType::kShipment)));
+  if (!sent.ok()) {
+    record_wire_bytes();
+    return sent;
+  }
+  auto ship_ack_payload =
+      ExpectFrame(mfc.Receive(MessageTypeTag), MessageType::kShipmentAck);
+  if (!ship_ack_payload.ok()) {
+    record_wire_bytes();
+    return ship_ack_payload.status();
+  }
+  auto ship_ack = DecodeShipmentAck(*ship_ack_payload);
+  if (!ship_ack.ok()) {
+    record_wire_bytes();
+    return ship_ack.status();
+  }
+  PPRL_LOG(kDebug) << "owner '" << owner << "' shipped (" << ship_ack->owners_shipped
+                   << "/" << ship_ack->expected_owners << " owners in)";
+
+  // 3. Results — the linkage waits for the slowest owner, so be patient.
+  socket.SetIoTimeout(config_.result_wait_timeout_ms);
+  auto results_payload = ExpectFrame(mfc.Receive(MessageTypeTag), MessageType::kResults);
+  record_wire_bytes();
+  if (!results_payload.ok()) return results_payload.status();
+  return DecodeResults(*results_payload);
+}
+
+Status RemoteOwnerClient::Deliver(const std::string& owner,
+                                  const EncodedDatabase& encoded) {
+  auto summary = ShipAndAwait(owner, encoded);
+  if (!summary.ok()) return summary.status();
+  summary_ = std::move(*summary);
+  return Status::OK();
+}
+
+}  // namespace pprl

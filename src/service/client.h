@@ -1,0 +1,75 @@
+#ifndef PPRL_SERVICE_CLIENT_H_
+#define PPRL_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "pipeline/party.h"
+#include "service/protocol.h"
+
+namespace pprl {
+
+/// How a database owner reaches a linkage-unit daemon.
+struct RemoteOwnerClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Label used for metering routes before the handshake confirms the
+  /// server's own name.
+  std::string server_label = "linkage-unit";
+  ConnectOptions connect;
+  /// After shipping, the linkage waits for the slowest owner; results can
+  /// take much longer than a normal read.
+  int result_wait_timeout_ms = 120000;
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+};
+
+/// A database owner's view of a remote linkage unit.
+///
+/// Implements `EncodingSink`, so `DatabaseOwner::ShipEncodings(sink)` works
+/// identically against an in-process unit or a daemon across the network.
+/// One Deliver() call performs a full session: connect (with retry +
+/// exponential backoff), handshake, shipment, and blocking receipt of the
+/// per-owner results.
+///
+/// Pass a `Channel` to meter traffic with the same route/tag accounting as
+/// the in-process path; frame-header overhead is excluded there and
+/// available via wire_bytes_sent()/received().
+class RemoteOwnerClient : public EncodingSink {
+ public:
+  explicit RemoteOwnerClient(RemoteOwnerClientConfig config, Channel* meter = nullptr);
+
+  /// Full protocol session for `owner`'s shipment; returns the owner's
+  /// linkage summary. Server-reported failures come back with the
+  /// server's status code and message.
+  Result<OwnerLinkageSummary> ShipAndAwait(const std::string& owner,
+                                           const EncodedDatabase& encoded);
+
+  /// EncodingSink: runs ShipAndAwait and stores the summary for
+  /// summary().
+  Status Deliver(const std::string& owner, const EncodedDatabase& encoded) override;
+
+  /// The summary of the last successful Deliver()/ShipAndAwait().
+  const std::optional<OwnerLinkageSummary>& summary() const { return summary_; }
+
+  /// The server's self-reported name (after a successful handshake).
+  const std::string& server_name() const { return server_name_; }
+
+  /// Raw socket bytes of the last session, frame headers included.
+  size_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  size_t wire_bytes_received() const { return wire_bytes_received_; }
+
+ private:
+  RemoteOwnerClientConfig config_;
+  Channel* meter_;
+  std::optional<OwnerLinkageSummary> summary_;
+  std::string server_name_;
+  size_t wire_bytes_sent_ = 0;
+  size_t wire_bytes_received_ = 0;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_SERVICE_CLIENT_H_

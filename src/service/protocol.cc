@@ -1,0 +1,263 @@
+#include "service/protocol.h"
+
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace pprl {
+
+namespace {
+
+/// Guard on name strings crossing the wire.
+constexpr size_t kMaxNameLen = 256;
+/// Guard on error text crossing the wire.
+constexpr size_t kMaxErrorLen = 4096;
+
+StatusCode StatusCodeFromWire(uint16_t v) {
+  switch (v) {
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kOutOfRange;
+    case 3: return StatusCode::kNotFound;
+    case 4: return StatusCode::kAlreadyExists;
+    case 5: return StatusCode::kFailedPrecondition;
+    case 6: return StatusCode::kProtocolViolation;
+    case 7: return StatusCode::kIoError;
+    default: return StatusCode::kInternal;
+  }
+}
+
+uint16_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kOutOfRange: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kAlreadyExists: return 4;
+    case StatusCode::kFailedPrecondition: return 5;
+    case StatusCode::kProtocolViolation: return 6;
+    case StatusCode::kIoError: return 7;
+    default: return 8;
+  }
+}
+
+}  // namespace
+
+const char* MessageTypeTag(uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kHello: return "hello";
+    case MessageType::kHelloAck: return "hello-ack";
+    case MessageType::kShipment: return "encoded-filters";
+    case MessageType::kShipmentAck: return "shipment-ack";
+    case MessageType::kResults: return "match-results";
+    case MessageType::kError: return "protocol-error";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> EncodeHello(const HelloMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.protocol_version);
+  w.PutString(msg.party);
+  w.PutU32(msg.filter_bits);
+  w.PutU32(msg.record_count);
+  return w.Take();
+}
+
+Result<HelloMessage> DecodeHello(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  HelloMessage msg;
+  auto version = r.ReadU32();
+  if (!version.ok()) return version.status();
+  msg.protocol_version = *version;
+  auto party = r.ReadString(kMaxNameLen);
+  if (!party.ok()) return party.status();
+  msg.party = std::move(*party);
+  auto bits = r.ReadU32();
+  if (!bits.ok()) return bits.status();
+  msg.filter_bits = *bits;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  msg.record_count = *count;
+  if (!r.exhausted()) return Status::ProtocolViolation("hello: trailing bytes");
+  if (msg.party.empty()) return Status::ProtocolViolation("hello: empty party name");
+  return msg;
+}
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAckMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.protocol_version);
+  w.PutString(msg.server);
+  w.PutU32(msg.expected_owners);
+  return w.Take();
+}
+
+Result<HelloAckMessage> DecodeHelloAck(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  HelloAckMessage msg;
+  auto version = r.ReadU32();
+  if (!version.ok()) return version.status();
+  msg.protocol_version = *version;
+  auto server = r.ReadString(kMaxNameLen);
+  if (!server.ok()) return server.status();
+  msg.server = std::move(*server);
+  auto expected = r.ReadU32();
+  if (!expected.ok()) return expected.status();
+  msg.expected_owners = *expected;
+  if (!r.exhausted()) return Status::ProtocolViolation("hello-ack: trailing bytes");
+  return msg;
+}
+
+std::vector<uint8_t> EncodeShipmentAck(const ShipmentAckMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.owners_shipped);
+  w.PutU32(msg.expected_owners);
+  return w.Take();
+}
+
+Result<ShipmentAckMessage> DecodeShipmentAck(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ShipmentAckMessage msg;
+  auto shipped = r.ReadU32();
+  if (!shipped.ok()) return shipped.status();
+  msg.owners_shipped = *shipped;
+  auto expected = r.ReadU32();
+  if (!expected.ok()) return expected.status();
+  msg.expected_owners = *expected;
+  if (!r.exhausted()) return Status::ProtocolViolation("shipment-ack: trailing bytes");
+  return msg;
+}
+
+Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded) {
+  if (encoded.ids.size() != encoded.filters.size()) {
+    return Status::InvalidArgument("shipment ids/filters size mismatch");
+  }
+  WireWriter w;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded.filters[i].size() != encoded.filters[0].size()) {
+      return Status::InvalidArgument("shipment filters must share one bit length");
+    }
+    w.PutU64(encoded.ids[i]);
+    const std::vector<uint8_t> bytes = BitVectorToBytes(encoded.filters[i]);
+    w.PutBytes(bytes.data(), bytes.size());
+  }
+  return w.Take();
+}
+
+Result<EncodedDatabase> DecodeShipment(const std::vector<uint8_t>& payload,
+                                       uint32_t filter_bits) {
+  if (filter_bits == 0) {
+    return Status::ProtocolViolation("shipment: filter bit length not negotiated");
+  }
+  const size_t filter_bytes = (static_cast<size_t>(filter_bits) + 7) / 8;
+  const size_t record_size = 8 + filter_bytes;
+  if (payload.size() % record_size != 0) {
+    return Status::ProtocolViolation(
+        "shipment: payload length " + std::to_string(payload.size()) +
+        " is not a multiple of the record size " + std::to_string(record_size));
+  }
+  const size_t count = payload.size() / record_size;
+  EncodedDatabase out;
+  out.ids.reserve(count);
+  out.filters.reserve(count);
+  WireReader r(payload);
+  for (size_t i = 0; i < count; ++i) {
+    auto id = r.ReadU64();
+    if (!id.ok()) return id.status();
+    auto bytes = r.ReadBytes(filter_bytes);
+    if (!bytes.ok()) return bytes.status();
+    auto filter = BitVectorFromBytes(*bytes, filter_bits);
+    if (!filter.ok()) return filter.status();
+    out.ids.push_back(*id);
+    out.filters.push_back(std::move(*filter));
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeResults(const OwnerLinkageSummary& summary) {
+  WireWriter w;
+  w.PutU64(summary.comparisons);
+  w.PutU64(summary.candidate_pairs);
+  w.PutU64(summary.total_edges);
+  w.PutU64(summary.total_clusters);
+  w.PutU32(static_cast<uint32_t>(summary.matches.size()));
+  for (const MatchedRecordSummary& m : summary.matches) {
+    w.PutU32(m.record);
+    w.PutU32(m.cluster_id);
+    w.PutU32(m.cluster_size);
+  }
+  return w.Take();
+}
+
+Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
+                                          size_t max_matches) {
+  WireReader r(payload);
+  OwnerLinkageSummary summary;
+  auto comparisons = r.ReadU64();
+  if (!comparisons.ok()) return comparisons.status();
+  summary.comparisons = *comparisons;
+  auto candidates = r.ReadU64();
+  if (!candidates.ok()) return candidates.status();
+  summary.candidate_pairs = *candidates;
+  auto edges = r.ReadU64();
+  if (!edges.ok()) return edges.status();
+  summary.total_edges = *edges;
+  auto clusters = r.ReadU64();
+  if (!clusters.ok()) return clusters.status();
+  summary.total_clusters = *clusters;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > max_matches || r.remaining() < static_cast<size_t>(*count) * 12) {
+    return Status::OutOfRange("results: declared match count " + std::to_string(*count) +
+                              " exceeds payload");
+  }
+  summary.matches.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    MatchedRecordSummary m;
+    m.record = r.ReadU32().value();
+    m.cluster_id = r.ReadU32().value();
+    m.cluster_size = r.ReadU32().value();
+    summary.matches.push_back(m);
+  }
+  if (!r.exhausted()) return Status::ProtocolViolation("results: trailing bytes");
+  return summary;
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  WireWriter w;
+  w.PutU16(StatusCodeToWire(status.code()));
+  std::string msg = status.message();
+  if (msg.size() > kMaxErrorLen) msg.resize(kMaxErrorLen);
+  w.PutString(msg);
+  return w.Take();
+}
+
+Result<ErrorMessage> DecodeError(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ErrorMessage out;
+  auto code = r.ReadU16();
+  if (!code.ok()) return code.status();
+  out.code = StatusCodeFromWire(*code);
+  auto msg = r.ReadString(kMaxErrorLen);
+  if (!msg.ok()) return msg.status();
+  out.message = std::move(*msg);
+  return out;
+}
+
+OwnerLinkageSummary SummarizeForOwner(const MultiPartyLinkageResult& result,
+                                      uint32_t database_index) {
+  OwnerLinkageSummary summary;
+  summary.comparisons = result.comparisons;
+  summary.candidate_pairs = result.candidate_pairs;
+  summary.total_edges = result.edges.size();
+  summary.total_clusters = result.clusters.size();
+  for (uint32_t c = 0; c < result.clusters.size(); ++c) {
+    const Cluster& cluster = result.clusters[c];
+    if (cluster.size() < 2) continue;
+    for (const RecordRef& ref : cluster) {
+      if (ref.database == database_index) {
+        summary.matches.push_back({ref.record, c, static_cast<uint32_t>(cluster.size())});
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace pprl

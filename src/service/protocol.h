@@ -1,0 +1,128 @@
+#ifndef PPRL_SERVICE_PROTOCOL_H_
+#define PPRL_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/clk_io.h"
+#include "pipeline/party.h"
+
+namespace pprl {
+
+/// The messages of the linkage-unit wire protocol, in the order a session
+/// uses them. Each value is the `type` tag of one frame (net/frame.h);
+/// payload layouts are little-endian and produced/validated by the
+/// Encode*/Decode* pairs below.
+///
+///   owner                          linkage unit
+///     │ ── kHello ───────────────────▶ │   version, party, filter bits, n
+///     │ ◀─────────────── kHelloAck ── │   server name, expected owners
+///     │ ── kShipment ────────────────▶ │   n × (u64 id + filter bytes)
+///     │ ◀─────────── kShipmentAck ── │   owners shipped so far
+///     │      (unit links once all owners have shipped)
+///     │ ◀─────────────── kResults ── │   per-owner match summary
+///
+/// Either side may send kError instead of the expected message; the
+/// payload carries a status code + text and the session ends.
+enum class MessageType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kShipment = 3,
+  kShipmentAck = 4,
+  kResults = 5,
+  kError = 6,
+};
+
+/// The channel-metering tag for a message type ("encoded-filters" for
+/// shipments, matching the in-process pipeline's accounting).
+const char* MessageTypeTag(uint8_t type);
+
+/// Opening message of a session: who is calling and what they will ship.
+struct HelloMessage {
+  uint32_t protocol_version = 0;
+  std::string party;
+  /// Bit length of every filter in the upcoming shipment. Fixed here so
+  /// the shipment payload itself needs no per-record length fields.
+  uint32_t filter_bits = 0;
+  uint32_t record_count = 0;
+};
+
+/// The unit's reply to a Hello.
+struct HelloAckMessage {
+  uint32_t protocol_version = 0;
+  std::string server;
+  uint32_t expected_owners = 0;
+};
+
+/// Acknowledges a stored shipment.
+struct ShipmentAckMessage {
+  uint32_t owners_shipped = 0;
+  uint32_t expected_owners = 0;
+};
+
+/// One matched record in an owner's result summary.
+struct MatchedRecordSummary {
+  uint32_t record = 0;        ///< index into the owner's shipment
+  uint32_t cluster_id = 0;    ///< cluster index in the unit's clustering
+  uint32_t cluster_size = 0;  ///< records in that cluster (across databases)
+
+  friend bool operator==(const MatchedRecordSummary& a, const MatchedRecordSummary& b) {
+    return a.record == b.record && a.cluster_id == b.cluster_id &&
+           a.cluster_size == b.cluster_size;
+  }
+};
+
+/// What a database owner learns from a linkage run: which of *its own*
+/// records were clustered with records elsewhere, plus global cost
+/// counters. No other party's record indices or similarities leak.
+struct OwnerLinkageSummary {
+  std::vector<MatchedRecordSummary> matches;
+  uint64_t comparisons = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t total_edges = 0;
+  uint64_t total_clusters = 0;
+};
+
+/// A transported error: the Status round-trips through the wire.
+struct ErrorMessage {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+std::vector<uint8_t> EncodeHello(const HelloMessage& msg);
+Result<HelloMessage> DecodeHello(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAckMessage& msg);
+Result<HelloAckMessage> DecodeHelloAck(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeShipmentAck(const ShipmentAckMessage& msg);
+Result<ShipmentAckMessage> DecodeShipmentAck(const std::vector<uint8_t>& payload);
+
+/// Serialises an encoded database as n × (u64 id + ceil(bits/8) filter
+/// bytes) — exactly the byte count the in-process `Channel` path meters
+/// for an "encoded-filters" shipment, so cost accounting matches.
+Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded);
+
+/// Inverse of EncodeShipment; `filter_bits` comes from the Hello. The
+/// payload length must be an exact multiple of the per-record size.
+Result<EncodedDatabase> DecodeShipment(const std::vector<uint8_t>& payload,
+                                       uint32_t filter_bits);
+
+std::vector<uint8_t> EncodeResults(const OwnerLinkageSummary& summary);
+Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
+                                          size_t max_matches = 16u << 20);
+
+std::vector<uint8_t> EncodeError(const Status& status);
+/// Reconstructs the transported Status (never OK).
+Result<ErrorMessage> DecodeError(const std::vector<uint8_t>& payload);
+
+/// Projects a multi-party linkage result onto one owner: every record of
+/// database `database_index` that landed in a cluster of size >= 2.
+OwnerLinkageSummary SummarizeForOwner(const MultiPartyLinkageResult& result,
+                                      uint32_t database_index);
+
+}  // namespace pprl
+
+#endif  // PPRL_SERVICE_PROTOCOL_H_

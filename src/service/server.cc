@@ -1,0 +1,273 @@
+#include "service/server.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "net/frame.h"
+
+namespace pprl {
+
+LinkageUnitServer::LinkageUnitServer(LinkageUnitServerConfig config)
+    : config_(std::move(config)), unit_(config_.name) {}
+
+LinkageUnitServer::~LinkageUnitServer() { Stop(); }
+
+Status LinkageUnitServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (config_.expected_owners < 2) {
+    return Status::InvalidArgument("a linkage unit needs >= 2 expected owners");
+  }
+  PPRL_RETURN_IF_ERROR(listener_.Listen(config_.port, config_.loopback_only));
+  pool_ = std::make_unique<ThreadPool>(config_.expected_owners + config_.extra_threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  PPRL_LOG(kInfo) << "linkage unit '" << config_.name << "' listening on port "
+                  << listener_.port() << " for " << config_.expected_owners
+                  << " owners";
+  return Status::OK();
+}
+
+void LinkageUnitServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.Close();
+  linkage_done_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Draining the pool joins every in-flight session handler.
+  pool_.reset();
+}
+
+void LinkageUnitServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.Accept(config_.accept_poll_ms);
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kNotFound) continue;  // poll timeout
+      if (stopping_.load()) break;
+      PPRL_LOG(kWarning) << "accept failed: " << conn.status().ToString();
+      continue;
+    }
+    // shared_ptr because ThreadPool tasks are copyable std::functions.
+    std::shared_ptr<TcpConnection> shared(std::move(*conn));
+    pool_->Submit([this, shared] { HandleSession(shared); });
+  }
+}
+
+void LinkageUnitServer::FailSession(MeteredFrameConnection& mfc, const Status& status) {
+  PPRL_LOG(kWarning) << "session with '"
+                     << (mfc.peer().empty() ? "<unknown>" : mfc.peer())
+                     << "' failed: " << status.ToString();
+  // Best effort: the peer may already be gone.
+  mfc.Send(static_cast<uint8_t>(MessageType::kError), EncodeError(status),
+           MessageTypeTag(static_cast<uint8_t>(MessageType::kError)));
+}
+
+void LinkageUnitServer::RunLinkageIfReady() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (linkage_ran_ || owner_order_.size() < config_.expected_owners) return;
+  auto result = unit_.Link(config_.link_options);
+  linkage_status_ = result.status();
+  if (result.ok()) linkage_result_ = std::move(*result);
+  linkage_ran_ = true;
+  PPRL_LOG(kInfo) << "linkage over " << owner_order_.size()
+                  << " databases: " << linkage_status_.ToString();
+  linkage_done_.notify_all();
+}
+
+void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
+  conn->SetIoTimeout(config_.io_timeout_ms);
+  MeteredFrameConnection mfc(*conn, &channel_, config_.name,
+                             config_.max_frame_payload);
+
+  const auto finish = [&] {
+    wire_bytes_received_ += conn->wire_bytes_received();
+    wire_bytes_sent_ += conn->wire_bytes_sent();
+    conn->Close();
+  };
+
+  // 1. Handshake. The first frame is metered only after it names the
+  // sender, so the hello lands on the right route.
+  auto hello_frame = mfc.ReceiveUnmetered();
+  if (!hello_frame.ok()) {
+    PPRL_LOG(kWarning) << "dropping connection before hello: "
+                       << hello_frame.status().ToString();
+    finish();
+    return;
+  }
+  if (hello_frame->type != static_cast<uint8_t>(MessageType::kHello)) {
+    FailSession(mfc, Status::ProtocolViolation("expected hello, got frame type " +
+                                               std::to_string(hello_frame->type)));
+    finish();
+    return;
+  }
+  auto hello = DecodeHello(hello_frame->payload);
+  if (!hello.ok()) {
+    FailSession(mfc, hello.status());
+    finish();
+    return;
+  }
+  mfc.set_peer(hello->party);
+  mfc.MeterReceived(*hello_frame, MessageTypeTag);
+  if (hello->protocol_version != kWireProtocolVersion) {
+    FailSession(mfc, Status::ProtocolViolation(
+                         "protocol version mismatch: server speaks " +
+                         std::to_string(kWireProtocolVersion) + ", owner sent " +
+                         std::to_string(hello->protocol_version)));
+    finish();
+    return;
+  }
+  if (hello->filter_bits == 0) {
+    FailSession(mfc, Status::ProtocolViolation("hello declared zero filter bits"));
+    finish();
+    return;
+  }
+  {
+    // First owner fixes the filter length for the whole run.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (expected_filter_bits_ == 0) expected_filter_bits_ = hello->filter_bits;
+    if (hello->filter_bits != expected_filter_bits_) {
+      const Status mismatch = Status::InvalidArgument(
+          "owner '" + hello->party + "' declared " + std::to_string(hello->filter_bits) +
+          "-bit filters; this linkage uses " + std::to_string(expected_filter_bits_));
+      FailSession(mfc, mismatch);
+      finish();
+      return;
+    }
+  }
+  HelloAckMessage ack;
+  ack.protocol_version = kWireProtocolVersion;
+  ack.server = config_.name;
+  ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
+  if (!mfc.Send(static_cast<uint8_t>(MessageType::kHelloAck), EncodeHelloAck(ack),
+                MessageTypeTag(static_cast<uint8_t>(MessageType::kHelloAck)))
+           .ok()) {
+    finish();
+    return;
+  }
+
+  // 2. Shipment.
+  auto shipment_frame = mfc.Receive(MessageTypeTag);
+  if (!shipment_frame.ok()) {
+    PPRL_LOG(kWarning) << "owner '" << hello->party
+                       << "' vanished before shipping: "
+                       << shipment_frame.status().ToString();
+    finish();
+    return;
+  }
+  if (shipment_frame->type != static_cast<uint8_t>(MessageType::kShipment)) {
+    FailSession(mfc, Status::ProtocolViolation("expected shipment, got frame type " +
+                                               std::to_string(shipment_frame->type)));
+    finish();
+    return;
+  }
+  auto shipment = DecodeShipment(shipment_frame->payload, hello->filter_bits);
+  if (!shipment.ok()) {
+    FailSession(mfc, shipment.status());
+    finish();
+    return;
+  }
+  if (shipment->size() != hello->record_count) {
+    FailSession(mfc, Status::ProtocolViolation(
+                         "hello declared " + std::to_string(hello->record_count) +
+                         " records but shipment carries " +
+                         std::to_string(shipment->size())));
+    finish();
+    return;
+  }
+
+  uint32_t database_index = 0;
+  ShipmentAckMessage ship_ack;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owner_order_.size() >= config_.expected_owners) {
+      FailSession(mfc, Status::FailedPrecondition("all expected owners already shipped"));
+      finish();
+      return;
+    }
+    const Status stored = unit_.Receive(hello->party, std::move(*shipment));
+    if (!stored.ok()) {
+      FailSession(mfc, stored);
+      finish();
+      return;
+    }
+    owner_order_.push_back(hello->party);
+    database_index = static_cast<uint32_t>(owner_order_.size() - 1);
+    ship_ack.owners_shipped = static_cast<uint32_t>(owner_order_.size());
+    ship_ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
+  }
+  if (!mfc.Send(static_cast<uint8_t>(MessageType::kShipmentAck),
+                EncodeShipmentAck(ship_ack),
+                MessageTypeTag(static_cast<uint8_t>(MessageType::kShipmentAck)))
+           .ok()) {
+    finish();
+    return;
+  }
+
+  // 3. Link once the last owner shipped, then answer everyone.
+  RunLinkageIfReady();
+  OwnerLinkageSummary summary;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    linkage_done_.wait(lock, [this] { return linkage_ran_ || stopping_.load(); });
+    if (!linkage_ran_) {
+      lock.unlock();
+      FailSession(mfc, Status::FailedPrecondition("server stopped before linkage ran"));
+      finish();
+      return;
+    }
+    if (!linkage_status_.ok()) {
+      const Status failed = linkage_status_;
+      lock.unlock();
+      FailSession(mfc, failed);
+      finish();
+      return;
+    }
+    summary = SummarizeForOwner(linkage_result_, database_index);
+  }
+  const bool delivered =
+      mfc.Send(static_cast<uint8_t>(MessageType::kResults), EncodeResults(summary),
+               MessageTypeTag(static_cast<uint8_t>(MessageType::kResults)))
+          .ok();
+  // Account the session's wire bytes before announcing delivery, so that
+  // once WaitUntilDone() returns the cost counters are final.
+  finish();
+  if (delivered) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++results_delivered_;
+    linkage_done_.notify_all();
+  }
+}
+
+Status LinkageUnitServer::WaitUntilDone(int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto done = [this] {
+    return linkage_ran_ && (!linkage_status_.ok() ||
+                            results_delivered_ >= config_.expected_owners);
+  };
+  if (timeout_ms > 0) {
+    if (!linkage_done_.wait_for(lock, std::chrono::milliseconds(timeout_ms), done)) {
+      return Status::IoError("timed out waiting for the linkage run to finish");
+    }
+  } else {
+    linkage_done_.wait(lock, done);
+  }
+  return linkage_status_;
+}
+
+Result<MultiPartyLinkageResult> LinkageUnitServer::result() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!linkage_ran_) {
+    return Status::FailedPrecondition("linkage has not run yet");
+  }
+  if (!linkage_status_.ok()) return linkage_status_;
+  return linkage_result_;
+}
+
+std::vector<std::string> LinkageUnitServer::owner_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return owner_order_;
+}
+
+}  // namespace pprl

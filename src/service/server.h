@@ -1,0 +1,123 @@
+#ifndef PPRL_SERVICE_SERVER_H_
+#define PPRL_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/transport.h"
+#include "pipeline/party.h"
+#include "service/protocol.h"
+
+namespace pprl {
+
+/// Configuration of a linkage-unit daemon.
+struct LinkageUnitServerConfig {
+  std::string name = "linkage-unit";
+  /// 0 binds an ephemeral port; read it back via port() after Start().
+  uint16_t port = 0;
+  /// Loopback-only by default: exposing a linkage unit beyond localhost is
+  /// a deployment decision, not a default.
+  bool loopback_only = true;
+  /// The unit links once exactly this many distinct owners have shipped.
+  size_t expected_owners = 2;
+  MultiPartyLinkageOptions link_options;
+  /// Extra pool threads beyond one per expected owner (each session holds
+  /// its thread while waiting for the linkage to finish).
+  size_t extra_threads = 1;
+  /// Per-socket read/write timeout while a session is active.
+  int io_timeout_ms = 30000;
+  /// How often the accept loop wakes to check for Stop().
+  int accept_poll_ms = 100;
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+};
+
+/// The linkage unit as a daemon: accepts owner connections over TCP,
+/// speaks the framed protocol (service/protocol.h), feeds shipments into
+/// the existing `LinkageUnitService`, runs the multi-party linkage once
+/// every expected owner has shipped, and answers each owner with its
+/// per-owner summary.
+///
+/// All traffic is metered into channel() with the same route/tag
+/// accounting as the in-process pipelines, so communication-cost columns
+/// in benchmarks are directly comparable. Frame headers are excluded from
+/// the channel and reported separately via wire_bytes_received()/sent().
+class LinkageUnitServer {
+ public:
+  explicit LinkageUnitServer(LinkageUnitServerConfig config);
+  ~LinkageUnitServer();
+
+  LinkageUnitServer(const LinkageUnitServer&) = delete;
+  LinkageUnitServer& operator=(const LinkageUnitServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. Non-blocking.
+  Status Start();
+
+  /// Stops accepting, closes the listener and joins all workers. Sessions
+  /// already past their shipment still receive results if the linkage can
+  /// run; waiting sessions are failed. Idempotent.
+  void Stop();
+
+  /// Blocks until the linkage has run and every owner got its results (or
+  /// `timeout_ms` elapsed; <= 0 waits forever). OK once done.
+  Status WaitUntilDone(int timeout_ms) const;
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return listener_.port(); }
+
+  const std::string& name() const { return config_.name; }
+
+  /// The metered protocol traffic (payload bytes by route and tag).
+  Channel& channel() { return channel_; }
+  const Channel& channel() const { return channel_; }
+
+  /// Raw socket bytes in each direction, frame headers included.
+  size_t wire_bytes_received() const { return wire_bytes_received_.load(); }
+  size_t wire_bytes_sent() const { return wire_bytes_sent_.load(); }
+
+  /// The linkage outcome; FailedPrecondition before the run happened.
+  Result<MultiPartyLinkageResult> result() const;
+
+  /// Owner names in shipment order (the database order of result()).
+  std::vector<std::string> owner_order() const;
+
+ private:
+  void AcceptLoop();
+  void HandleSession(std::shared_ptr<TcpConnection> conn);
+  /// Sends an error frame (best effort) and records the session failure.
+  void FailSession(MeteredFrameConnection& mfc, const Status& status);
+  /// Runs the linkage exactly once; callers hold no lock.
+  void RunLinkageIfReady();
+
+  LinkageUnitServerConfig config_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  Channel channel_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable linkage_done_;
+  LinkageUnitService unit_;
+  std::vector<std::string> owner_order_;
+  uint32_t expected_filter_bits_ = 0;
+  bool linkage_ran_ = false;
+  Status linkage_status_;
+  MultiPartyLinkageResult linkage_result_;
+  size_t results_delivered_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<size_t> wire_bytes_received_{0};
+  std::atomic<size_t> wire_bytes_sent_{0};
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_SERVICE_SERVER_H_

@@ -1,0 +1,196 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "net/wire.h"
+
+namespace pprl {
+namespace {
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> bytes) { return bytes; }
+
+TEST(WireTest, IntegerRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutString("linkage-unit");
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8().value(), 0xab);
+  EXPECT_EQ(r.ReadU16().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadString().value(), "linkage-unit");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WireTest, TruncatedReadsFail) {
+  WireWriter w;
+  w.PutU16(7);
+  WireReader r(w.buffer());
+  EXPECT_FALSE(r.ReadU32().ok());
+  WireReader r2(w.buffer());
+  EXPECT_TRUE(r2.ReadU16().ok());
+  EXPECT_FALSE(r2.ReadU8().ok());
+}
+
+TEST(WireTest, HostileStringLengthIsBounded) {
+  WireWriter w;
+  w.PutU32(0xffffffffu);  // declares a 4 GiB string with no body
+  WireReader r(w.buffer());
+  auto s = r.ReadString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameTest, RoundTripThroughBuffer) {
+  BufferSink sink;
+  FrameWriter writer(sink);
+  ASSERT_TRUE(writer.WriteFrame(3, Payload({1, 2, 3, 4, 5})).ok());
+  ASSERT_TRUE(writer.WriteFrame(5, {}).ok());  // zero-length payload is legal
+
+  BufferSource source(sink.Take());
+  FrameReader reader(source);
+  auto first = reader.ReadFrame();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, 3);
+  EXPECT_EQ(first->payload, Payload({1, 2, 3, 4, 5}));
+  auto second = reader.ReadFrame();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, 5);
+  EXPECT_TRUE(second->payload.empty());
+
+  // Clean end-of-stream between frames is kNotFound, not corruption.
+  auto eof = reader.ReadFrame();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FrameTest, TruncatedHeaderIsError) {
+  Frame frame;
+  frame.type = 1;
+  frame.payload = {9, 9, 9};
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  for (size_t cut = 1; cut < kFrameHeaderSize; ++cut) {
+    BufferSource source(std::vector<uint8_t>(bytes.begin(),
+                                             bytes.begin() + static_cast<long>(cut)));
+    FrameReader reader(source);
+    auto result = reader.ReadFrame();
+    ASSERT_FALSE(result.ok()) << "cut at " << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange) << "cut at " << cut;
+  }
+}
+
+TEST(FrameTest, TruncatedPayloadIsError) {
+  Frame frame;
+  frame.type = 2;
+  frame.payload.assign(100, 0x5a);
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes.resize(bytes.size() - 40);  // lose part of the payload
+  BufferSource source(std::move(bytes));
+  FrameReader reader(source);
+  auto result = reader.ReadFrame();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  Frame frame;
+  frame.type = 1;
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes[0] = 'X';
+  BufferSource source(std::move(bytes));
+  FrameReader reader(source);
+  auto result = reader.ReadFrame();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kProtocolViolation);
+}
+
+TEST(FrameTest, WrongVersionRejected) {
+  Frame frame;
+  frame.type = 1;
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes[4] = kWireProtocolVersion + 1;
+  BufferSource source(std::move(bytes));
+  FrameReader reader(source);
+  EXPECT_EQ(reader.ReadFrame().status().code(), StatusCode::kProtocolViolation);
+}
+
+TEST(FrameTest, NonZeroReservedRejected) {
+  Frame frame;
+  frame.type = 1;
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes[6] = 1;
+  BufferSource source(std::move(bytes));
+  FrameReader reader(source);
+  EXPECT_EQ(reader.ReadFrame().status().code(), StatusCode::kProtocolViolation);
+}
+
+TEST(FrameTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  // A 12-byte header declaring a 4 GiB payload. The reader's cap is tiny,
+  // so this must fail fast without trying to resize a buffer to 4 GiB.
+  Frame frame;
+  frame.type = 1;
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes[8] = 0xff;
+  bytes[9] = 0xff;
+  bytes[10] = 0xff;
+  bytes[11] = 0xff;
+  BufferSource source(std::move(bytes));
+  FrameReader reader(source, /*max_payload=*/1024);
+  auto result = reader.ReadFrame();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameTest, WriterEnforcesTheCapTheReaderWould) {
+  BufferSink sink;
+  FrameWriter writer(sink, /*max_payload=*/16);
+  std::vector<uint8_t> too_big(17, 0);
+  EXPECT_EQ(writer.WriteFrame(1, too_big).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(sink.bytes().empty());  // nothing partial went out
+}
+
+/// Fuzz-style sweep: random byte strings and randomly corrupted valid
+/// frames must never crash the decoder or make it allocate beyond its cap
+/// — every outcome is a frame or a Status error.
+TEST(FrameFuzzTest, RandomInputNeverCrashes) {
+  Rng rng(1234);
+  constexpr size_t kMaxPayload = 4096;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> bytes;
+    if (rng.NextBool(0.5)) {
+      // Start from a valid frame, then corrupt a few bytes.
+      Frame frame;
+      frame.type = static_cast<uint8_t>(rng.NextUint64(8));
+      frame.payload.resize(rng.NextUint64(256));
+      for (auto& b : frame.payload) b = static_cast<uint8_t>(rng.NextUint64(256));
+      bytes = EncodeFrame(frame);
+      const size_t flips = rng.NextUint64(4);
+      for (size_t f = 0; f < flips; ++f) {
+        bytes[rng.NextUint64(bytes.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextUint64(8));
+      }
+      // Sometimes also truncate.
+      if (rng.NextBool(0.3)) bytes.resize(rng.NextUint64(bytes.size() + 1));
+    } else {
+      // Pure noise.
+      bytes.resize(rng.NextUint64(64));
+      for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    BufferSource source(std::move(bytes));
+    FrameReader reader(source, kMaxPayload);
+    // Drain the stream; each step either yields a frame (within cap) or an
+    // error, and the loop always terminates.
+    for (int step = 0; step < 16; ++step) {
+      auto result = reader.ReadFrame();
+      if (!result.ok()) break;
+      EXPECT_LE(result->payload.size(), kMaxPayload);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pprl

@@ -1,0 +1,233 @@
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "pipeline/party.h"
+#include "pipeline/pipeline.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace pprl {
+namespace {
+
+ClkEncoder SharedEncoder() {
+  PipelineConfig config;
+  return ClkEncoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
+}
+
+std::vector<Cluster> Sorted(std::vector<Cluster> clusters) {
+  for (Cluster& c : clusters) std::sort(c.begin(), c.end());
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+/// The acceptance test of the networked subsystem: a 3-owner linkage
+/// through LinkageUnitServer over 127.0.0.1 must produce the same clusters
+/// and the same metered "encoded-filters" byte totals as the in-process
+/// Channel path; framing overhead is accounted for separately.
+TEST(ServiceRoundtripTest, ThreeOwnerLoopbackMatchesInProcessPath) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 120;
+  scenario.num_databases = 3;
+  scenario.overlap = 0.4;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+
+  const std::vector<std::string> names = {"hospital-a", "hospital-b", "registry-c"};
+  const ClkEncoder encoder = SharedEncoder();
+  MultiPartyLinkageOptions options;
+  options.dice_threshold = 0.78;
+
+  // Owners encode once; both paths ship the identical encodings.
+  std::vector<DatabaseOwner> owners;
+  for (size_t d = 0; d < 3; ++d) {
+    owners.emplace_back(names[d], (*dbs)[d]);
+    ASSERT_TRUE(owners[d].Encode(encoder).ok());
+  }
+
+  // ---- Path 1: in-process channel (the reference cost model). ----
+  Channel local_channel;
+  LinkageUnitService local_unit("lu");
+  LocalLinkageUnitSink sink(local_channel, local_unit);
+  for (size_t d = 0; d < 3; ++d) {
+    ASSERT_TRUE(owners[d].ShipEncodings(sink).ok());
+  }
+  auto local_result = local_unit.Link(options);
+  ASSERT_TRUE(local_result.ok());
+
+  // ---- Path 2: real sockets through the daemon. ----
+  LinkageUnitServerConfig server_config;
+  server_config.name = "lu";
+  server_config.expected_owners = 3;
+  server_config.link_options = options;
+  server_config.io_timeout_ms = 10000;
+  LinkageUnitServer server(server_config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  Channel client_channel;  // shared by all owners (thread-safe)
+  std::vector<std::thread> sessions;
+  std::vector<Status> session_status(3, Status::OK());
+  std::vector<OwnerLinkageSummary> summaries(3);
+  for (size_t d = 0; d < 3; ++d) {
+    // Stagger the sessions so shipment order (= database order at the
+    // unit) is deterministic and comparable with the in-process run.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.owner_order().size() < d &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(server.owner_order().size(), d) << "previous owner never registered";
+    sessions.emplace_back([&, d] {
+      RemoteOwnerClientConfig config;
+      config.port = server.port();
+      config.server_label = "lu";
+      RemoteOwnerClient client(config, &client_channel);
+      session_status[d] = owners[d].ShipEncodings(client);
+      if (client.summary().has_value()) summaries[d] = *client.summary();
+    });
+  }
+  for (auto& t : sessions) t.join();
+  ASSERT_TRUE(server.WaitUntilDone(15000).ok());
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_TRUE(session_status[d].ok()) << names[d] << ": "
+                                        << session_status[d].ToString();
+  }
+  ASSERT_EQ(server.owner_order(), names);
+
+  // Same clusters and edges as the in-process run.
+  auto remote_result = server.result();
+  ASSERT_TRUE(remote_result.ok());
+  EXPECT_EQ(Sorted(remote_result->clusters), Sorted(local_result->clusters));
+  EXPECT_EQ(remote_result->edges.size(), local_result->edges.size());
+  EXPECT_EQ(remote_result->comparisons, local_result->comparisons);
+  EXPECT_GT(remote_result->edges.size(), 30u);
+
+  // Same metered byte totals for the shipments, on both sides of the wire.
+  const auto local_bytes = local_channel.bytes_by_tag();
+  const auto server_bytes = server.channel().bytes_by_tag();
+  const auto client_bytes = client_channel.bytes_by_tag();
+  ASSERT_TRUE(local_bytes.count("encoded-filters"));
+  EXPECT_EQ(server_bytes.at("encoded-filters"), local_bytes.at("encoded-filters"));
+  EXPECT_EQ(client_bytes.at("encoded-filters"), local_bytes.at("encoded-filters"));
+  EXPECT_EQ(server.channel().messages_by_tag().at("encoded-filters"), 3u);
+  EXPECT_EQ(local_channel.messages_by_tag().at("encoded-filters"), 3u);
+  for (const std::string& owner : names) {
+    EXPECT_EQ(server.channel().MessagesBetween(owner, "lu"),
+              2u);  // hello + shipment
+  }
+
+  // Framing overhead: every inbound frame costs exactly one 12-byte
+  // header beyond its metered payload. Report it separately, as a real
+  // cost table would.
+  size_t inbound_payload = 0;
+  for (const auto& [tag, bytes] : server_bytes) {
+    if (tag == "hello" || tag == "encoded-filters") inbound_payload += bytes;
+  }
+  const size_t inbound_frames = 6;  // 3 × (hello + shipment)
+  EXPECT_EQ(server.wire_bytes_received(), inbound_payload + inbound_frames * 12);
+  std::printf("[ cost ] shipments %zu B, framing overhead %zu B (%.3f%%)\n",
+              server_bytes.at("encoded-filters"),
+              server.wire_bytes_received() - inbound_payload,
+              100.0 *
+                  static_cast<double>(server.wire_bytes_received() - inbound_payload) /
+                  static_cast<double>(inbound_payload));
+
+  // Each owner's summary matches a locally computed projection.
+  for (uint32_t d = 0; d < 3; ++d) {
+    const OwnerLinkageSummary expected = SummarizeForOwner(*local_result, d);
+    EXPECT_EQ(summaries[d].matches, expected.matches) << names[d];
+    EXPECT_EQ(summaries[d].comparisons, expected.comparisons);
+    EXPECT_EQ(summaries[d].total_clusters, expected.total_clusters);
+    EXPECT_GT(summaries[d].matches.size(), 10u) << names[d];
+  }
+
+  server.Stop();
+}
+
+TEST(ServiceRoundtripTest, MismatchedFilterLengthIsRejectedOverTheWire) {
+  LinkageUnitServerConfig server_config;
+  server_config.expected_owners = 2;
+  server_config.io_timeout_ms = 5000;
+  LinkageUnitServer server(server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  EncodedDatabase ship_512;
+  ship_512.ids = {1, 2};
+  ship_512.filters = {BitVector(512), BitVector(512)};
+  ship_512.filters[0].Set(3);
+  ship_512.filters[1].Set(5);
+
+  EncodedDatabase ship_256;
+  ship_256.ids = {7};
+  ship_256.filters = {BitVector(256)};
+
+  RemoteOwnerClientConfig config;
+  config.port = server.port();
+
+  // First owner fixes 512 bits; run it in the background because it will
+  // (correctly) block awaiting results that never come.
+  std::thread first([&] {
+    RemoteOwnerClient client(config);
+    (void)client.ShipAndAwait("owner-a", ship_512);
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.owner_order().empty() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(server.owner_order().size(), 1u);
+
+  RemoteOwnerClient second(config);
+  auto result = second.ShipAndAwait("owner-b", ship_256);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("256"), std::string::npos);
+
+  server.Stop();  // fails owner-a's pending session
+  first.join();
+}
+
+TEST(ServiceRoundtripTest, DuplicateOwnerNameIsRejectedOverTheWire) {
+  LinkageUnitServerConfig server_config;
+  server_config.expected_owners = 3;
+  server_config.io_timeout_ms = 5000;
+  LinkageUnitServer server(server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  EncodedDatabase shipment;
+  shipment.ids = {1};
+  shipment.filters = {BitVector(64)};
+  shipment.filters[0].Set(1);
+
+  RemoteOwnerClientConfig config;
+  config.port = server.port();
+
+  std::thread first([&] {
+    RemoteOwnerClient client(config);
+    (void)client.ShipAndAwait("owner-a", shipment);
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.owner_order().empty() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(server.owner_order().size(), 1u);
+
+  RemoteOwnerClient duplicate(config);
+  auto result = duplicate.ShipAndAwait("owner-a", shipment);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+
+  server.Stop();
+  first.join();
+}
+
+}  // namespace
+}  // namespace pprl
