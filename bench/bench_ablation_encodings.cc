@@ -22,8 +22,7 @@ namespace {
 
 double LinkF1(const std::vector<BitVector>& fa, const std::vector<BitVector>& fb,
               const GroundTruth& truth, double threshold) {
-  const ComparisonEngine engine(
-      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  const ComparisonEngine engine(SimilarityMeasure::kDice);
   auto scored = engine.Compare(fa, fb, FullPairs(fa.size(), fb.size()), threshold);
   auto matches = GreedyOneToOne(ThresholdClassifier(threshold, threshold).SelectMatches(scored));
   return EvaluateMatches(matches, truth).F1();

@@ -30,8 +30,7 @@ int main() {
     const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
     const auto fa = encoder.EncodeDatabase(a).value();
     const auto fb = encoder.EncodeDatabase(b).value();
-    const ComparisonEngine engine(
-        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    const ComparisonEngine engine(SimilarityMeasure::kDice);
     const auto scored = engine.Compare(fa, fb, FullPairs(n, n), 0.72);
 
     {
@@ -82,8 +81,7 @@ int main() {
 
   // Pairwise edges between all database pairs.
   std::vector<MatchEdge> edges;
-  const ComparisonEngine engine(
-      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  const ComparisonEngine engine(SimilarityMeasure::kDice);
   for (uint32_t d1 = 0; d1 < 3; ++d1) {
     for (uint32_t d2 = d1 + 1; d2 < 3; ++d2) {
       const auto scored = engine.Compare(filters[d1], filters[d2],

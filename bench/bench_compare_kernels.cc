@@ -1,0 +1,151 @@
+// Throughput of the comparison step (the pipeline bottleneck every
+// complexity-reduction technology in the survey exists to shrink):
+// the seed's std::function-over-BitVector path versus the devirtualized
+// batch kernels over contiguous BitMatrix storage, with and without the
+// Dice cardinality bound, across 1/2/4/8 threads and 500/1000-bit
+// filters. Optionally writes the numbers as JSON (BENCH_compare.json is
+// the committed baseline) so later PRs can track the trajectory.
+//
+// usage: bench_compare_kernels [out.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "encoding/bloom_filter.h"
+#include "linkage/comparison.h"
+#include "pipeline/pipeline.h"
+
+namespace pprl::bench {
+namespace {
+
+constexpr size_t kRecordsPerSide = 1000;
+constexpr double kPruneThreshold = 0.7;
+constexpr int kReps = 3;
+
+struct Measurement {
+  std::string name;
+  size_t bits = 0;
+  double pairs_per_sec = 0;
+  size_t pruned = 0;
+};
+
+/// Best-of-kReps pairs/sec for one configuration.
+template <typename Run>
+Measurement Measure(const std::string& name, size_t bits, size_t num_pairs, Run run,
+                    size_t* pruned_out = nullptr) {
+  Measurement m;
+  m.name = name;
+  m.bits = bits;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    const size_t pruned = run();
+    const double rate = static_cast<double>(num_pairs) / timer.ElapsedSeconds();
+    if (rate > m.pairs_per_sec) m.pairs_per_sec = rate;
+    m.pruned = pruned;
+  }
+  if (pruned_out != nullptr) *pruned_out = m.pruned;
+  return m;
+}
+
+std::vector<Measurement> BenchAtWidth(size_t bits, const Database& a, const Database& b) {
+  BloomFilterParams bloom;
+  bloom.num_bits = bits;
+  const ClkEncoder encoder(bloom, PprlPipeline::DefaultFieldConfigs());
+  const std::vector<BitVector> fa = encoder.EncodeDatabase(a).value();
+  const std::vector<BitVector> fb = encoder.EncodeDatabase(b).value();
+
+  std::vector<CandidatePair> candidates;
+  candidates.reserve(fa.size() * fb.size());
+  for (uint32_t i = 0; i < fa.size(); ++i) {
+    for (uint32_t j = 0; j < fb.size(); ++j) candidates.push_back({i, j});
+  }
+  const size_t n = candidates.size();
+
+  const ComparisonEngine scalar(MeasureFunction(SimilarityMeasure::kDice));
+  const ComparisonEngine kernel(SimilarityMeasure::kDice);
+  const BitMatrix ma = BitMatrix::FromVectors(fa);
+  const BitMatrix mb = BitMatrix::FromVectors(fb);
+
+  std::vector<Measurement> out;
+  out.push_back(Measure("scalar", bits, n, [&] {
+    scalar.Compare(fa, fb, candidates, 0.0);
+    return size_t{0};
+  }));
+  out.push_back(Measure("scalar-threshold", bits, n, [&] {
+    scalar.Compare(fa, fb, candidates, kPruneThreshold);
+    return size_t{0};
+  }));
+  // The vector-input path, so the timing includes the BitMatrix
+  // conversion the seed path never pays (it is O(records), amortized over
+  // O(pairs) scoring).
+  out.push_back(Measure("kernel", bits, n, [&] {
+    kernel.Compare(fa, fb, candidates, 0.0);
+    return kernel.last_pruned_count();
+  }));
+  out.push_back(Measure("kernel-pruned", bits, n, [&] {
+    kernel.Compare(fa, fb, candidates, kPruneThreshold);
+    return kernel.last_pruned_count();
+  }));
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    out.push_back(Measure("kernel-t" + std::to_string(threads), bits, n, [&] {
+      kernel.CompareMatricesParallel(ma, mb, candidates, 0.0, threads);
+      return kernel.last_pruned_count();
+    }));
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  auto [a, b] = TwoDatabases(kRecordsPerSide, 1.2);
+  const size_t num_pairs = kRecordsPerSide * kRecordsPerSide;
+  std::printf("comparison throughput, %zu x %zu records (%zu candidate pairs), "
+              "Dice, prune threshold %.2f\n\n",
+              kRecordsPerSide, kRecordsPerSide, num_pairs, kPruneThreshold);
+
+  std::vector<Measurement> all;
+  for (const size_t bits : {size_t{500}, size_t{1000}}) {
+    const auto rows = BenchAtWidth(bits, a, b);
+    all.insert(all.end(), rows.begin(), rows.end());
+  }
+
+  PrintHeader({"config", "bits", "Mpairs/s", "pruned", "vs scalar"});
+  double scalar_rate = 0;
+  for (const Measurement& m : all) {
+    if (m.name == "scalar") scalar_rate = m.pairs_per_sec;
+    PrintRow({m.name, Fmt(m.bits), Fmt(m.pairs_per_sec / 1e6, 2), Fmt(m.pruned),
+              Fmt(m.pairs_per_sec / scalar_rate, 2) + "x"});
+  }
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_compare_kernels\",\n");
+    std::fprintf(f, "  \"records_per_side\": %zu,\n  \"candidate_pairs\": %zu,\n",
+                 kRecordsPerSide, num_pairs);
+    std::fprintf(f, "  \"prune_threshold\": %.2f,\n  \"measurements\": [\n",
+                 kPruneThreshold);
+    for (size_t i = 0; i < all.size(); ++i) {
+      const Measurement& m = all[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"bits\": %zu, \"pairs_per_sec\": %.0f, "
+                   "\"pruned\": %zu}%s\n",
+                   m.name.c_str(), m.bits, m.pairs_per_sec, m.pruned,
+                   i + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", argv[1]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pprl::bench
+
+int main(int argc, char** argv) { return pprl::bench::Main(argc, argv); }

@@ -116,8 +116,7 @@ int main() {
     std::vector<BitVector> fa, fb;
     for (size_t i = 0; i < raw_fa.size(); ++i) fa.push_back(harden(raw_fa[i], i));
     for (size_t i = 0; i < raw_fb.size(); ++i) fb.push_back(harden(raw_fb[i], i));
-    const ComparisonEngine engine(
-        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    const ComparisonEngine engine(SimilarityMeasure::kDice);
     const auto scored = engine.Compare(fa, fb, FullPairs(n, n), 0.3);
     double best_f1 = 0, best_threshold = 0;
     for (double t = 0.4; t <= 0.95; t += 0.025) {

@@ -75,9 +75,8 @@ int main() {
         fb[f].push_back(encoder.EncodeString(r.values[static_cast<size_t>(idx)]));
       }
     }
-    const auto pairs = CompareFieldwise(
-        fa, fb, FullPairs(a.size(), b.size()),
-        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    const auto pairs = CompareFieldwise(fa, fb, FullPairs(a.size(), b.size()),
+                                        SimilarityMeasure::kDice);
     FellegiSunterClassifier::Params fs_params;
     fs_params.agreement_threshold = 0.65;
     fs_params.initial_prevalence = 0.01;

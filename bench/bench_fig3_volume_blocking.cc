@@ -33,8 +33,7 @@ int main() {
     const ClkEncoder encoder(config.bloom, PprlPipeline::DefaultFieldConfigs());
     const auto fa = encoder.EncodeDatabase(a).value();
     const auto fb = encoder.EncodeDatabase(b).value();
-    const ComparisonEngine engine(
-        [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+    const ComparisonEngine engine(SimilarityMeasure::kDice);
 
     // --- naive all pairs (skipped at the largest size to keep runtime sane,
     // the quadratic trend is already visible).

@@ -1,0 +1,107 @@
+#include "common/bit_matrix.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace pprl {
+
+namespace {
+
+constexpr size_t kWordBits = 64;
+constexpr size_t kAlignBytes = 64;
+constexpr size_t kAlignWords = kAlignBytes / sizeof(uint64_t);
+
+size_t CarryingWords(size_t num_bits) {
+  return (num_bits + kWordBits - 1) / kWordBits;
+}
+
+size_t StrideWords(size_t num_bits) {
+  const size_t words = CarryingWords(num_bits);
+  return (words + kAlignWords - 1) / kAlignWords * kAlignWords;
+}
+
+}  // namespace
+
+void BitMatrix::AlignedFree::operator()(uint64_t* p) const {
+  ::operator delete[](p, std::align_val_t{kAlignBytes});
+}
+
+BitMatrix::AlignedWords BitMatrix::Allocate(size_t total_words) {
+  if (total_words == 0) return nullptr;
+  auto* p = static_cast<uint64_t*>(
+      ::operator new[](total_words * sizeof(uint64_t), std::align_val_t{kAlignBytes}));
+  std::memset(p, 0, total_words * sizeof(uint64_t));
+  return AlignedWords(p);
+}
+
+BitMatrix::BitMatrix(size_t num_rows, size_t num_bits)
+    : num_rows_(num_rows),
+      num_bits_(num_bits),
+      words_per_row_(CarryingWords(num_bits)),
+      stride_words_(StrideWords(num_bits)),
+      data_(Allocate(num_rows * StrideWords(num_bits))),
+      counts_(num_rows, 0) {}
+
+BitMatrix::BitMatrix(const BitMatrix& other)
+    : num_rows_(other.num_rows_),
+      num_bits_(other.num_bits_),
+      words_per_row_(other.words_per_row_),
+      stride_words_(other.stride_words_),
+      data_(Allocate(other.num_rows_ * other.stride_words_)),
+      counts_(other.counts_) {
+  if (data_ != nullptr) {
+    std::memcpy(data_.get(), other.data_.get(),
+                num_rows_ * stride_words_ * sizeof(uint64_t));
+  }
+}
+
+BitMatrix& BitMatrix::operator=(const BitMatrix& other) {
+  if (this != &other) *this = BitMatrix(other);
+  return *this;
+}
+
+BitMatrix BitMatrix::FromVectors(const std::vector<BitVector>& rows) {
+  const size_t num_bits = rows.empty() ? 0 : rows[0].size();
+  BitMatrix out(rows.size(), num_bits);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].size() == num_bits);
+    const std::vector<uint64_t>& words = rows[i].words();
+    std::copy(words.begin(), words.end(), out.mutable_row(i));
+    out.counts_[i] = rows[i].Count();
+  }
+  return out;
+}
+
+std::vector<BitVector> BitMatrix::ToVectors() const {
+  std::vector<BitVector> out;
+  out.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    BitVector v(num_bits_);
+    const uint64_t* src = row(i);
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      uint64_t word = src[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        v.Set(w * kWordBits + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void BitMatrix::RecomputeCounts() {
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const uint64_t* r = row(i);
+    size_t count = 0;
+    for (size_t w = 0; w < words_per_row_; ++w) count += std::popcount(r[w]);
+    counts_[i] = count;
+  }
+}
+
+}  // namespace pprl

@@ -14,6 +14,43 @@ size_t NumWords(size_t num_bits) { return (num_bits + kWordBits - 1) / kWordBits
 BitVector::BitVector(size_t num_bits)
     : num_bits_(num_bits), words_(NumWords(num_bits), 0), cached_count_(0) {}
 
+BitVector::BitVector(const BitVector& other)
+    : num_bits_(other.num_bits_),
+      words_(other.words_),
+      cached_count_(other.cached_count_.load(std::memory_order_relaxed)) {}
+
+BitVector::BitVector(BitVector&& other) noexcept
+    : num_bits_(other.num_bits_),
+      words_(std::move(other.words_)),
+      cached_count_(other.cached_count_.load(std::memory_order_relaxed)) {
+  other.num_bits_ = 0;
+  other.words_.clear();
+  other.cached_count_.store(0, std::memory_order_relaxed);
+}
+
+BitVector& BitVector::operator=(const BitVector& other) {
+  if (this != &other) {
+    num_bits_ = other.num_bits_;
+    words_ = other.words_;
+    cached_count_.store(other.cached_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+BitVector& BitVector::operator=(BitVector&& other) noexcept {
+  if (this != &other) {
+    num_bits_ = other.num_bits_;
+    words_ = std::move(other.words_);
+    cached_count_.store(other.cached_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    other.num_bits_ = 0;
+    other.words_.clear();
+    other.cached_count_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void BitVector::Set(size_t pos, bool value) {
   assert(pos < num_bits_);
   const uint64_t mask = uint64_t{1} << (pos % kWordBits);
@@ -38,14 +75,15 @@ bool BitVector::Get(size_t pos) const {
 
 void BitVector::Clear() {
   words_.assign(words_.size(), 0);
-  cached_count_ = 0;
+  cached_count_.store(0, std::memory_order_relaxed);
 }
 
 size_t BitVector::Count() const {
-  if (cached_count_ != kNoCount) return cached_count_;
+  const size_t cached = cached_count_.load(std::memory_order_relaxed);
+  if (cached != kNoCount) return cached;
   size_t count = 0;
   for (uint64_t w : words_) count += std::popcount(w);
-  cached_count_ = count;
+  cached_count_.store(count, std::memory_order_relaxed);
   return count;
 }
 

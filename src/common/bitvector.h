@@ -1,6 +1,7 @@
 #ifndef PPRL_COMMON_BITVECTOR_H_
 #define PPRL_COMMON_BITVECTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -18,6 +19,13 @@ class BitVector {
  public:
   /// Creates an all-zero vector of `num_bits` bits.
   explicit BitVector(size_t num_bits = 0);
+
+  // The count cache is atomic (see below), so copies and moves are spelled
+  // out; they transfer the cached value.
+  BitVector(const BitVector& other);
+  BitVector(BitVector&& other) noexcept;
+  BitVector& operator=(const BitVector& other);
+  BitVector& operator=(BitVector&& other) noexcept;
 
   /// Number of addressable bits.
   size_t size() const { return num_bits_; }
@@ -38,7 +46,9 @@ class BitVector {
   void Clear();
 
   /// Number of set bits (the Hamming weight); cached after first call until
-  /// the vector is mutated.
+  /// the vector is mutated. Safe to call concurrently on a shared vector:
+  /// the cache is a relaxed atomic, so racing readers at worst both compute
+  /// the same value.
   size_t Count() const;
 
   /// Number of positions set in both `this` and `other`. Sizes must match.
@@ -82,13 +92,16 @@ class BitVector {
   }
 
  private:
-  void InvalidateCount() { cached_count_ = kNoCount; }
+  void InvalidateCount() { cached_count_.store(kNoCount, std::memory_order_relaxed); }
 
   static constexpr size_t kNoCount = static_cast<size_t>(-1);
 
   size_t num_bits_;
   std::vector<uint64_t> words_;
-  mutable size_t cached_count_ = kNoCount;
+  // Concurrent Count() calls on a shared filter (CompareParallel fan-out)
+  // may race to fill the cache; relaxed atomicity makes that benign — both
+  // threads store the same value. Mutation is single-threaded by contract.
+  mutable std::atomic<size_t> cached_count_{kNoCount};
 };
 
 }  // namespace pprl

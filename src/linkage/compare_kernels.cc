@@ -1,0 +1,275 @@
+#include "linkage/compare_kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <type_traits>
+
+#include "similarity/similarity.h"
+
+namespace pprl {
+
+namespace {
+
+/// Popcount of a AND b over `words` words, unrolled four wide; the word
+/// loop every measure reduces to.
+inline size_t AndCountWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  size_t count = 0;
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    count += static_cast<size_t>(std::popcount(a[w] & b[w])) +
+             static_cast<size_t>(std::popcount(a[w + 1] & b[w + 1])) +
+             static_cast<size_t>(std::popcount(a[w + 2] & b[w + 2])) +
+             static_cast<size_t>(std::popcount(a[w + 3] & b[w + 3]));
+  }
+  for (; w < words; ++w) {
+    count += static_cast<size_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+/// Score formulas, templated so each kernel instantiation folds its
+/// branch away. These reproduce the scalar functions in
+/// similarity/similarity.h operation for operation (same integer
+/// identities, same cast-then-divide order), which is what makes the
+/// kernel scores bitwise identical to the reference path.
+template <SimilarityMeasure M>
+inline double ScoreImpl(size_t ca, size_t cb, size_t c, size_t num_bits) {
+  if constexpr (M == SimilarityMeasure::kDice) {
+    if (ca + cb == 0) return 1.0;
+    return 2.0 * static_cast<double>(c) / static_cast<double>(ca + cb);
+  } else if constexpr (M == SimilarityMeasure::kJaccard) {
+    const size_t uni = ca + cb - c;
+    if (uni == 0) return 1.0;
+    return static_cast<double>(c) / static_cast<double>(uni);
+  } else if constexpr (M == SimilarityMeasure::kHamming) {
+    if (num_bits == 0) return 1.0;
+    return 1.0 - static_cast<double>(ca + cb - 2 * c) / static_cast<double>(num_bits);
+  } else if constexpr (M == SimilarityMeasure::kOverlap) {
+    const size_t smaller = std::min(ca, cb);
+    if (smaller == 0) return ca == cb ? 1.0 : 0.0;
+    return static_cast<double>(c) / static_cast<double>(smaller);
+  } else {
+    static_assert(M == SimilarityMeasure::kCosine);
+    if (ca == 0 && cb == 0) return 1.0;
+    if (ca == 0 || cb == 0) return 0.0;
+    return static_cast<double>(c) /
+           std::sqrt(static_cast<double>(ca) * static_cast<double>(cb));
+  }
+}
+
+/// ScoreImpl at the best-case intersection c = min(ca, cb); see the
+/// header for why this dominates every reachable score.
+template <SimilarityMeasure M>
+inline double BoundImpl(size_t ca, size_t cb, size_t num_bits) {
+  const size_t smaller = std::min(ca, cb);
+  if constexpr (M == SimilarityMeasure::kHamming) {
+    if (num_bits == 0) return 1.0;
+    const size_t diff = ca > cb ? ca - cb : cb - ca;
+    return 1.0 - static_cast<double>(diff) / static_cast<double>(num_bits);
+  } else if constexpr (M == SimilarityMeasure::kOverlap) {
+    if (smaller == 0) return ca == cb ? 1.0 : 0.0;
+    return 1.0;
+  } else {
+    return ScoreImpl<M>(ca, cb, smaller, num_bits);
+  }
+}
+
+/// One kernel body serves both pair layouts and both output shapes:
+/// KernelPair carries an explicit output slot (tiled execution order !=
+/// candidate order), a plain CandidatePair scored in caller order gets
+/// slot `slot_base + i`, and an Out of ScoredPair skips the slot
+/// indirection entirely and emits the finished pair. `min_score <= 0`
+/// hoists the bound check out of the loop — every score lands in [0, 1],
+/// so nothing can prune and the bound's division would be pure overhead.
+template <SimilarityMeasure M, typename Pair, typename Out>
+inline void KernelLoopBody(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
+                           size_t num_pairs, uint32_t slot_base, double min_score,
+                           std::vector<Out>& out, CompareKernelStats& stats) {
+  assert(a.num_bits() == b.num_bits());
+  const size_t words = a.words_per_row();
+  const size_t num_bits = a.num_bits();
+  const size_t* a_counts = a.row_counts().data();
+  const size_t* b_counts = b.row_counts().data();
+  const bool use_bound = min_score > 0;
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const Pair pair = pairs[i];
+    const size_t ca = a_counts[pair.a];
+    const size_t cb = b_counts[pair.b];
+    if (use_bound && BoundImpl<M>(ca, cb, num_bits) < min_score) {
+      ++stats.pruned;
+      continue;
+    }
+    const size_t c = AndCountWords(a.row(pair.a), b.row(pair.b), words);
+    ++stats.scored;
+    const double score = ScoreImpl<M>(ca, cb, c, num_bits);
+    if (score >= min_score) {
+      if constexpr (std::is_same_v<Out, ScoredPair>) {
+        out.push_back({pair.a, pair.b, score});
+      } else if constexpr (std::is_same_v<Pair, KernelPair>) {
+        out.push_back({pair.slot, score});
+      } else {
+        out.push_back({slot_base + static_cast<uint32_t>(i), score});
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PPRL_HAVE_POPCNT_CLONE 1
+/// Copy of the loop compiled with the POPCNT ISA extension: std::popcount
+/// becomes one instruction instead of the portable SWAR sequence. Chosen
+/// once per process via __builtin_cpu_supports, never per pair.
+template <SimilarityMeasure M, typename Pair, typename Out>
+__attribute__((target("popcnt"))) void KernelLoopPopcnt(
+    const BitMatrix& a, const BitMatrix& b, const Pair* pairs, size_t num_pairs,
+    uint32_t slot_base, double min_score, std::vector<Out>& out,
+    CompareKernelStats& stats) {
+  KernelLoopBody<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+}
+#endif
+
+template <SimilarityMeasure M, typename Pair, typename Out>
+void KernelLoopGeneric(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
+                       size_t num_pairs, uint32_t slot_base, double min_score,
+                       std::vector<Out>& out, CompareKernelStats& stats) {
+  KernelLoopBody<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+}
+
+template <SimilarityMeasure M, typename Pair, typename Out>
+void CompareKernelImpl(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
+                       size_t num_pairs, uint32_t slot_base, double min_score,
+                       std::vector<Out>& out, CompareKernelStats& stats) {
+#ifdef PPRL_HAVE_POPCNT_CLONE
+  static const bool have_popcnt = __builtin_cpu_supports("popcnt");
+  if (have_popcnt) {
+    KernelLoopPopcnt<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+    return;
+  }
+#endif
+  KernelLoopGeneric<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+}
+
+template <typename Pair, typename Out>
+void DispatchKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                    const Pair* pairs, size_t num_pairs, uint32_t slot_base,
+                    double min_score, std::vector<Out>& out,
+                    CompareKernelStats& stats) {
+  switch (measure) {
+    case SimilarityMeasure::kDice:
+      CompareKernelImpl<SimilarityMeasure::kDice>(a, b, pairs, num_pairs, slot_base,
+                                                  min_score, out, stats);
+      return;
+    case SimilarityMeasure::kJaccard:
+      CompareKernelImpl<SimilarityMeasure::kJaccard>(a, b, pairs, num_pairs, slot_base,
+                                                     min_score, out, stats);
+      return;
+    case SimilarityMeasure::kHamming:
+      CompareKernelImpl<SimilarityMeasure::kHamming>(a, b, pairs, num_pairs, slot_base,
+                                                     min_score, out, stats);
+      return;
+    case SimilarityMeasure::kOverlap:
+      CompareKernelImpl<SimilarityMeasure::kOverlap>(a, b, pairs, num_pairs, slot_base,
+                                                     min_score, out, stats);
+      return;
+    case SimilarityMeasure::kCosine:
+      CompareKernelImpl<SimilarityMeasure::kCosine>(a, b, pairs, num_pairs, slot_base,
+                                                    min_score, out, stats);
+      return;
+  }
+}
+
+}  // namespace
+
+const char* SimilarityMeasureName(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kDice:
+      return "dice";
+    case SimilarityMeasure::kJaccard:
+      return "jaccard";
+    case SimilarityMeasure::kHamming:
+      return "hamming";
+    case SimilarityMeasure::kOverlap:
+      return "overlap";
+    case SimilarityMeasure::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+std::function<double(const BitVector&, const BitVector&)> MeasureFunction(
+    SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kDice:
+      return [](const BitVector& a, const BitVector& b) { return DiceSimilarity(a, b); };
+    case SimilarityMeasure::kJaccard:
+      return
+          [](const BitVector& a, const BitVector& b) { return JaccardSimilarity(a, b); };
+    case SimilarityMeasure::kHamming:
+      return
+          [](const BitVector& a, const BitVector& b) { return HammingSimilarity(a, b); };
+    case SimilarityMeasure::kOverlap:
+      return
+          [](const BitVector& a, const BitVector& b) { return OverlapSimilarity(a, b); };
+    case SimilarityMeasure::kCosine:
+      return
+          [](const BitVector& a, const BitVector& b) { return CosineSimilarity(a, b); };
+  }
+  return nullptr;
+}
+
+double ScoreFromIntersection(SimilarityMeasure measure, size_t ca, size_t cb, size_t c,
+                             size_t num_bits) {
+  switch (measure) {
+    case SimilarityMeasure::kDice:
+      return ScoreImpl<SimilarityMeasure::kDice>(ca, cb, c, num_bits);
+    case SimilarityMeasure::kJaccard:
+      return ScoreImpl<SimilarityMeasure::kJaccard>(ca, cb, c, num_bits);
+    case SimilarityMeasure::kHamming:
+      return ScoreImpl<SimilarityMeasure::kHamming>(ca, cb, c, num_bits);
+    case SimilarityMeasure::kOverlap:
+      return ScoreImpl<SimilarityMeasure::kOverlap>(ca, cb, c, num_bits);
+    case SimilarityMeasure::kCosine:
+      return ScoreImpl<SimilarityMeasure::kCosine>(ca, cb, c, num_bits);
+  }
+  return 0;
+}
+
+double ScoreUpperBound(SimilarityMeasure measure, size_t ca, size_t cb,
+                       size_t num_bits) {
+  switch (measure) {
+    case SimilarityMeasure::kDice:
+      return BoundImpl<SimilarityMeasure::kDice>(ca, cb, num_bits);
+    case SimilarityMeasure::kJaccard:
+      return BoundImpl<SimilarityMeasure::kJaccard>(ca, cb, num_bits);
+    case SimilarityMeasure::kHamming:
+      return BoundImpl<SimilarityMeasure::kHamming>(ca, cb, num_bits);
+    case SimilarityMeasure::kOverlap:
+      return BoundImpl<SimilarityMeasure::kOverlap>(ca, cb, num_bits);
+    case SimilarityMeasure::kCosine:
+      return BoundImpl<SimilarityMeasure::kCosine>(ca, cb, num_bits);
+  }
+  return 0;
+}
+
+void CompareKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                   const KernelPair* pairs, size_t num_pairs, double min_score,
+                   std::vector<SlottedScore>& out, CompareKernelStats& stats) {
+  DispatchKernel(measure, a, b, pairs, num_pairs, 0, min_score, out, stats);
+}
+
+void CompareKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                   const CandidatePair* pairs, size_t num_pairs, uint32_t slot_base,
+                   double min_score, std::vector<SlottedScore>& out,
+                   CompareKernelStats& stats) {
+  DispatchKernel(measure, a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+}
+
+void CompareKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                   const CandidatePair* pairs, size_t num_pairs, double min_score,
+                   std::vector<ScoredPair>& out, CompareKernelStats& stats) {
+  DispatchKernel(measure, a, b, pairs, num_pairs, 0, min_score, out, stats);
+}
+
+}  // namespace pprl

@@ -1,0 +1,119 @@
+#ifndef PPRL_LINKAGE_COMPARE_KERNELS_H_
+#define PPRL_LINKAGE_COMPARE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "blocking/blocking.h"
+#include "common/bit_matrix.h"
+#include "common/bitvector.h"
+
+namespace pprl {
+
+/// The token-based similarity measures PPRL compares Bloom-filter
+/// encodings with (survey §3.4). Naming a measure instead of passing a
+/// `std::function` lets the comparison engine pick a devirtualized batch
+/// kernel: one fused word loop per pair, no indirect call, no re-derived
+/// cardinalities.
+enum class SimilarityMeasure {
+  kDice,     // 2c / (x1 + x2)
+  kJaccard,  // c / (x1 + x2 - c)
+  kHamming,  // 1 - (x1 + x2 - 2c) / m
+  kOverlap,  // c / min(x1, x2)
+  kCosine,   // c / sqrt(x1 * x2)
+};
+
+const char* SimilarityMeasureName(SimilarityMeasure measure);
+
+/// The scalar reference implementation of `measure` (the functions in
+/// similarity/similarity.h), wrapped for the engine's fallback path. The
+/// batch kernels below produce bitwise-identical scores.
+std::function<double(const BitVector&, const BitVector&)> MeasureFunction(
+    SimilarityMeasure measure);
+
+/// Score of a pair given the two set-bit counts `ca`, `cb`, the
+/// intersection count `c`, and the filter length `num_bits`. Every
+/// measure above is a function of only these four values — |a OR b| is
+/// ca + cb - c and the Hamming distance is ca + cb - 2c, both exact in
+/// integers — which is why the kernels only ever run one fused AND
+/// popcount loop. Degenerate cases (empty filters) follow the scalar
+/// conventions: two empty filters compare as 1.
+double ScoreFromIntersection(SimilarityMeasure measure, size_t ca, size_t cb,
+                             size_t c, size_t num_bits);
+
+/// Upper bound on the pair's score from cardinalities alone, i.e. the
+/// score at the best-case intersection c = min(ca, cb). Monotonicity of
+/// IEEE division guarantees ScoreFromIntersection(...) <=
+/// ScoreUpperBound(...) for every real intersection, so a pair whose
+/// bound falls strictly below a threshold can be skipped without running
+/// the word loop at all — the PPJoin-style length filter applied at the
+/// comparison step. (For Overlap the bound is the trivial 1, so only
+/// degenerate pairs prune.)
+double ScoreUpperBound(SimilarityMeasure measure, size_t ca, size_t cb,
+                       size_t num_bits);
+
+/// Counters a kernel run reports: how many candidate pairs ran the word
+/// loop and how many the cardinality bound answered without it.
+struct CompareKernelStats {
+  size_t scored = 0;
+  size_t pruned = 0;
+};
+
+/// A compared record pair with its similarity score.
+struct ScoredPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double score = 0;
+
+  friend bool operator==(const ScoredPair& x, const ScoredPair& y) {
+    return x.a == y.a && x.b == y.b && x.score == y.score;
+  }
+};
+
+/// A candidate pair prepared for the kernel: row indices plus the slot in
+/// the caller's candidate order the result belongs to (the engine tiles
+/// pairs for cache locality, so kernel execution order is not output
+/// order).
+struct KernelPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t slot = 0;
+};
+
+/// A scored pair tagged with its output slot.
+struct SlottedScore {
+  uint32_t slot = 0;
+  double score = 0;
+};
+
+/// Scores `pairs[begin, end)` of rows drawn from `a` x `b`, appending one
+/// SlottedScore per pair whose score is >= `min_score` to `out` (in
+/// execution order — callers sort by slot to recover candidate order).
+/// Pairs whose cardinality bound is strictly below `min_score` are
+/// skipped and counted in `stats.pruned`; everything else runs the fused
+/// word loop and counts in `stats.scored`.
+void CompareKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                   const KernelPair* pairs, size_t num_pairs, double min_score,
+                   std::vector<SlottedScore>& out, CompareKernelStats& stats);
+
+/// Same, over candidates in caller order: pair i is assigned slot
+/// `slot_base + i`, so hits arrive already sorted by slot and need no
+/// reorder. This is the path the engine takes when the matrices fit in
+/// cache and tiling would only add two O(n log n) sorts.
+void CompareKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                   const CandidatePair* pairs, size_t num_pairs, uint32_t slot_base,
+                   double min_score, std::vector<SlottedScore>& out,
+                   CompareKernelStats& stats);
+
+/// In-order scoring that emits finished ScoredPairs directly — the
+/// engine's hot path. Skipping the slot indirection saves a full pass of
+/// intermediate hits when every pair clears `min_score`.
+void CompareKernel(SimilarityMeasure measure, const BitMatrix& a, const BitMatrix& b,
+                   const CandidatePair* pairs, size_t num_pairs, double min_score,
+                   std::vector<ScoredPair>& out, CompareKernelStats& stats);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_COMPARE_KERNELS_H_

@@ -1,11 +1,75 @@
 #include "linkage/comparison.h"
 
-#include <atomic>
-#include <mutex>
+#include <algorithm>
+#include <cassert>
 
 #include "common/thread_pool.h"
 
 namespace pprl {
+
+namespace {
+
+/// Rows per cache tile. Pairs are sorted by (a-tile, b-tile) so the kernel
+/// keeps revisiting the same few hundred rows of each matrix while they
+/// are hot: 256 rows of a 1000-bit filter are ~32 KiB per side, which sits
+/// in L2 with room to spare.
+constexpr uint32_t kTileRows = 256;
+
+/// Tiling trades two O(n log n) sorts over the pair list for row reuse
+/// while rows are hot, so it only pays once random row access actually
+/// misses cache. Below this combined matrix footprint (comfortably inside
+/// a desktop LLC) the engine scores pairs in candidate order instead —
+/// hits then come out pre-sorted by slot and the sorts vanish.
+constexpr size_t kTileBytesThreshold = 16u << 20;
+
+bool WorthTiling(const BitMatrix& a, const BitMatrix& b) {
+  const size_t bytes = (a.num_rows() + b.num_rows()) * a.stride_words() * 8;
+  return bytes > kTileBytesThreshold;
+}
+
+/// Tags every candidate with its output slot and sorts into tile order.
+/// Ties break on slot so the ordering is deterministic.
+std::vector<KernelPair> TiledPairs(const std::vector<CandidatePair>& candidates) {
+  std::vector<KernelPair> pairs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    pairs[i] = {candidates[i].a, candidates[i].b, static_cast<uint32_t>(i)};
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const KernelPair& x, const KernelPair& y) {
+    const uint32_t xa = x.a / kTileRows;
+    const uint32_t ya = y.a / kTileRows;
+    if (xa != ya) return xa < ya;
+    const uint32_t xb = x.b / kTileRows;
+    const uint32_t yb = y.b / kTileRows;
+    if (xb != yb) return xb < yb;
+    return x.slot < y.slot;
+  });
+  return pairs;
+}
+
+/// Maps slot-sorted hits back to ScoredPairs in the caller's order.
+std::vector<ScoredPair> EmitSlotSorted(const std::vector<SlottedScore>& hits,
+                                       const std::vector<CandidatePair>& candidates) {
+  std::vector<ScoredPair> out;
+  out.reserve(hits.size());
+  for (const SlottedScore& hit : hits) {
+    const CandidatePair& pair = candidates[hit.slot];
+    out.push_back({pair.a, pair.b, hit.score});
+  }
+  return out;
+}
+
+/// Restores candidate order: hits arrive in kernel execution order, each
+/// slot at most once, so sorting by slot recovers the caller's order.
+std::vector<ScoredPair> EmitInCandidateOrder(std::vector<SlottedScore> hits,
+                                             const std::vector<CandidatePair>& candidates) {
+  std::sort(hits.begin(), hits.end(),
+            [](const SlottedScore& x, const SlottedScore& y) { return x.slot < y.slot; });
+  return EmitSlotSorted(hits, candidates);
+}
+
+}  // namespace
+
+ComparisonEngine::ComparisonEngine(SimilarityMeasure measure) : measure_(measure) {}
 
 ComparisonEngine::ComparisonEngine(PairSimilarityFunction similarity)
     : similarity_(std::move(similarity)) {}
@@ -13,6 +77,10 @@ ComparisonEngine::ComparisonEngine(PairSimilarityFunction similarity)
 std::vector<ScoredPair> ComparisonEngine::Compare(
     const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
     const std::vector<CandidatePair>& candidates, double min_score) const {
+  if (measure_.has_value()) {
+    return CompareMatrices(BitMatrix::FromVectors(a_filters),
+                           BitMatrix::FromVectors(b_filters), candidates, min_score);
+  }
   std::vector<ScoredPair> out;
   out.reserve(candidates.size());
   for (const CandidatePair& pair : candidates) {
@@ -20,6 +88,29 @@ std::vector<ScoredPair> ComparisonEngine::Compare(
     if (score >= min_score) out.push_back({pair.a, pair.b, score});
   }
   last_comparisons_ = candidates.size();
+  last_pruned_ = 0;
+  return out;
+}
+
+std::vector<ScoredPair> ComparisonEngine::CompareMatrices(
+    const BitMatrix& a_matrix, const BitMatrix& b_matrix,
+    const std::vector<CandidatePair>& candidates, double min_score) const {
+  assert(measure_.has_value());
+  CompareKernelStats stats;
+  last_comparisons_ = candidates.size();
+  if (WorthTiling(a_matrix, b_matrix)) {
+    const std::vector<KernelPair> pairs = TiledPairs(candidates);
+    std::vector<SlottedScore> hits;
+    CompareKernel(*measure_, a_matrix, b_matrix, pairs.data(), pairs.size(), min_score,
+                  hits, stats);
+    last_pruned_ = stats.pruned;
+    return EmitInCandidateOrder(std::move(hits), candidates);
+  }
+  std::vector<ScoredPair> out;
+  out.reserve(candidates.size());
+  CompareKernel(*measure_, a_matrix, b_matrix, candidates.data(), candidates.size(),
+                min_score, out, stats);
+  last_pruned_ = stats.pruned;
   return out;
 }
 
@@ -27,21 +118,91 @@ std::vector<ScoredPair> ComparisonEngine::CompareParallel(
     const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
     const std::vector<CandidatePair>& candidates, double min_score,
     size_t num_threads) const {
-  std::vector<ScoredPair> scored(candidates.size());
-  std::vector<uint8_t> keep(candidates.size(), 0);
-  ThreadPool pool(num_threads);
-  ParallelFor(pool, 0, candidates.size(), [&](size_t i) {
-    const CandidatePair& pair = candidates[i];
-    const double score = similarity_(a_filters[pair.a], b_filters[pair.b]);
-    scored[i] = {pair.a, pair.b, score};
-    keep[i] = score >= min_score ? 1 : 0;
-  });
-  std::vector<ScoredPair> out;
-  out.reserve(candidates.size());
-  for (size_t i = 0; i < scored.size(); ++i) {
-    if (keep[i]) out.push_back(scored[i]);
+  if (measure_.has_value()) {
+    return CompareMatricesParallel(BitMatrix::FromVectors(a_filters),
+                                   BitMatrix::FromVectors(b_filters), candidates,
+                                   min_score, num_threads);
   }
-  last_comparisons_ = candidates.size();
+  // Fallback path: per-thread hit buffers instead of full-size scored/keep
+  // arrays; kept pairs are typically a small fraction of the candidates.
+  const size_t n = candidates.size();
+  ThreadPool pool(num_threads);
+  const size_t num_chunks = std::max<size_t>(1, std::min(n, pool.num_threads() * 4));
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<SlottedScore>> buffers(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.Submit([this, &candidates, &a_filters, &b_filters, &buffers, c, begin, end,
+                 min_score] {
+      std::vector<SlottedScore>& hits = buffers[c];
+      for (size_t i = begin; i < end; ++i) {
+        const CandidatePair& pair = candidates[i];
+        const double score = similarity_(a_filters[pair.a], b_filters[pair.b]);
+        if (score >= min_score) hits.push_back({static_cast<uint32_t>(i), score});
+      }
+    });
+  }
+  pool.Wait();
+  std::vector<SlottedScore> hits;
+  for (const auto& buffer : buffers) hits.insert(hits.end(), buffer.begin(), buffer.end());
+  last_comparisons_ = n;
+  last_pruned_ = 0;
+  return EmitInCandidateOrder(std::move(hits), candidates);
+}
+
+std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
+    const BitMatrix& a_matrix, const BitMatrix& b_matrix,
+    const std::vector<CandidatePair>& candidates, double min_score,
+    size_t num_threads) const {
+  assert(measure_.has_value());
+  const size_t n = candidates.size();
+  ThreadPool pool(num_threads);
+  const size_t num_chunks = std::max<size_t>(1, std::min(n, pool.num_threads() * 4));
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<CompareKernelStats> stats(num_chunks);
+  last_comparisons_ = n;
+  if (WorthTiling(a_matrix, b_matrix)) {
+    const std::vector<KernelPair> pairs = TiledPairs(candidates);
+    std::vector<std::vector<SlottedScore>> buffers(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      pool.Submit([this, &a_matrix, &b_matrix, &pairs, &buffers, &stats, c, begin, end,
+                   min_score] {
+        CompareKernel(*measure_, a_matrix, b_matrix, pairs.data() + begin, end - begin,
+                      min_score, buffers[c], stats[c]);
+      });
+    }
+    pool.Wait();
+    std::vector<SlottedScore> hits;
+    for (const auto& buffer : buffers) {
+      hits.insert(hits.end(), buffer.begin(), buffer.end());
+    }
+    last_pruned_ = 0;
+    for (const CompareKernelStats& s : stats) last_pruned_ += s.pruned;
+    return EmitInCandidateOrder(std::move(hits), candidates);
+  }
+  // Untiled chunks cover ascending candidate ranges and emit finished
+  // ScoredPairs, so concatenating the buffers is already candidate order.
+  std::vector<std::vector<ScoredPair>> buffers(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.Submit([this, &a_matrix, &b_matrix, &candidates, &buffers, &stats, c, begin,
+                 end, min_score] {
+      CompareKernel(*measure_, a_matrix, b_matrix, candidates.data() + begin,
+                    end - begin, min_score, buffers[c], stats[c]);
+    });
+  }
+  pool.Wait();
+  std::vector<ScoredPair> out;
+  for (const auto& buffer : buffers) out.insert(out.end(), buffer.begin(), buffer.end());
+  last_pruned_ = 0;
+  for (const CompareKernelStats& s : stats) last_pruned_ += s.pruned;
   return out;
 }
 
@@ -63,6 +224,33 @@ std::vector<FieldwiseScoredPair> CompareFieldwise(
           similarity(a_field_filters[f][pair.a], b_field_filters[f][pair.b]));
     }
     out.push_back(std::move(fsp));
+  }
+  return out;
+}
+
+std::vector<FieldwiseScoredPair> CompareFieldwise(
+    const std::vector<std::vector<BitVector>>& a_field_filters,
+    const std::vector<std::vector<BitVector>>& b_field_filters,
+    const std::vector<CandidatePair>& candidates, SimilarityMeasure measure) {
+  std::vector<FieldwiseScoredPair> out(candidates.size());
+  const size_t num_fields = a_field_filters.size();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i].a = candidates[i].a;
+    out[i].b = candidates[i].b;
+    out[i].field_scores.reserve(num_fields);
+  }
+  std::vector<SlottedScore> hits;
+  hits.reserve(candidates.size());
+  for (size_t f = 0; f < num_fields; ++f) {
+    const BitMatrix ma = BitMatrix::FromVectors(a_field_filters[f]);
+    const BitMatrix mb = BitMatrix::FromVectors(b_field_filters[f]);
+    hits.clear();
+    CompareKernelStats stats;
+    // min_score 0 keeps every pair (all measures map into [0, 1]), so each
+    // slot receives exactly one score per field, appended in field order.
+    CompareKernel(measure, ma, mb, candidates.data(), candidates.size(),
+                  /*slot_base=*/0, 0.0, hits, stats);
+    for (const SlottedScore& hit : hits) out[hit.slot].field_scores.push_back(hit.score);
   }
   return out;
 }

@@ -3,23 +3,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "common/bit_matrix.h"
 #include "common/bitvector.h"
 #include "blocking/blocking.h"
+#include "linkage/compare_kernels.h"
 
 namespace pprl {
 
-/// A compared record pair with its similarity score.
-struct ScoredPair {
-  uint32_t a = 0;
-  uint32_t b = 0;
-  double score = 0;
-
-  friend bool operator==(const ScoredPair& x, const ScoredPair& y) {
-    return x.a == y.a && x.b == y.b && x.score == y.score;
-  }
-};
+// ScoredPair lives in compare_kernels.h (the kernels emit it directly).
 
 /// Similarity of two encoded records (e.g. Dice of Bloom filters).
 using PairSimilarityFunction = std::function<double(const BitVector&, const BitVector&)>;
@@ -28,8 +22,22 @@ using PairSimilarityFunction = std::function<double(const BitVector&, const BitV
 /// function on every candidate pair. This is the bottleneck the survey's
 /// complexity-reduction technologies exist to shrink, so the engine counts
 /// exactly how many comparisons it performs.
+///
+/// Constructed from a `SimilarityMeasure`, the engine runs the batch
+/// kernels of compare_kernels.h over contiguous `BitMatrix` storage:
+/// candidate pairs are tiled for cache locality, each pair costs one fused
+/// AND-popcount loop with no indirect call, and pairs whose cardinality
+/// upper bound falls below `min_score` skip the loop entirely (counted by
+/// last_pruned_count()). Scores are bitwise identical to the scalar
+/// functions in similarity/similarity.h and results stay in candidate
+/// order. The `std::function` constructor remains as the fully general
+/// fallback (custom measures, instrumented runs).
 class ComparisonEngine {
  public:
+  /// Fast path: devirtualized batch kernels for a named measure.
+  explicit ComparisonEngine(SimilarityMeasure measure);
+
+  /// Fallback path: arbitrary per-pair similarity, no pruning.
   explicit ComparisonEngine(PairSimilarityFunction similarity);
 
   /// Scores all candidate pairs; `min_score` drops pairs below it early
@@ -39,6 +47,13 @@ class ComparisonEngine {
                                   const std::vector<CandidatePair>& candidates,
                                   double min_score = 0) const;
 
+  /// Same, over already-packed matrices — lets callers amortize the
+  /// conversion across many calls. Measure-constructed engines only.
+  std::vector<ScoredPair> CompareMatrices(const BitMatrix& a_matrix,
+                                          const BitMatrix& b_matrix,
+                                          const std::vector<CandidatePair>& candidates,
+                                          double min_score = 0) const;
+
   /// Multi-threaded variant for the parallel-PPRL experiments; results are
   /// in candidate order, identical to Compare().
   std::vector<ScoredPair> CompareParallel(const std::vector<BitVector>& a_filters,
@@ -46,12 +61,28 @@ class ComparisonEngine {
                                           const std::vector<CandidatePair>& candidates,
                                           double min_score, size_t num_threads) const;
 
-  /// Comparisons performed by the last Compare*/ call.
+  /// Matrix variant of CompareParallel(); measure-constructed engines only.
+  std::vector<ScoredPair> CompareMatricesParallel(
+      const BitMatrix& a_matrix, const BitMatrix& b_matrix,
+      const std::vector<CandidatePair>& candidates, double min_score,
+      size_t num_threads) const;
+
+  /// Candidate pairs evaluated (attempted) by the last Compare*() call,
+  /// whether by the word loop or by the cardinality bound.
   size_t last_comparison_count() const { return last_comparisons_; }
 
+  /// Of those, pairs the cardinality bound rejected without running the
+  /// word loop. Always 0 on the `std::function` path.
+  size_t last_pruned_count() const { return last_pruned_; }
+
+  /// The measure this engine runs kernels for, if measure-constructed.
+  std::optional<SimilarityMeasure> measure() const { return measure_; }
+
  private:
+  std::optional<SimilarityMeasure> measure_;
   PairSimilarityFunction similarity_;
   mutable size_t last_comparisons_ = 0;
+  mutable size_t last_pruned_ = 0;
 };
 
 /// Per-field similarity vectors for multi-attribute classifiers: one
@@ -70,6 +101,14 @@ std::vector<FieldwiseScoredPair> CompareFieldwise(
     const std::vector<std::vector<BitVector>>& b_field_filters,
     const std::vector<CandidatePair>& candidates,
     const PairSimilarityFunction& similarity);
+
+/// Kernel-backed CompareFieldwise: packs each field into a BitMatrix once
+/// and scores every candidate with the fused word loop. Bitwise identical
+/// to the `std::function` overload over the matching scalar measure.
+std::vector<FieldwiseScoredPair> CompareFieldwise(
+    const std::vector<std::vector<BitVector>>& a_field_filters,
+    const std::vector<std::vector<BitVector>>& b_field_filters,
+    const std::vector<CandidatePair>& candidates, SimilarityMeasure measure);
 
 }  // namespace pprl
 

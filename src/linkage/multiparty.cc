@@ -14,8 +14,14 @@ std::vector<uint32_t> MaskedContribution(const BitVector& filter, uint32_t own_m
   std::vector<uint32_t> out(length, 0);
   Rng own(own_mask_seed);
   Rng prev(prev_mask_seed);
+  // Word-level bit extraction (no per-position Get() bounds dance); the rng
+  // streams are consumed one pair per position exactly as before, so the
+  // masked outputs are unchanged.
+  const std::vector<uint64_t>& words = filter.words();
   for (size_t i = 0; i < length; ++i) {
-    const uint32_t bit = i < filter.size() && filter.Get(i) ? 1 : 0;
+    const size_t w = i / 64;
+    const uint32_t bit =
+        i < filter.size() ? static_cast<uint32_t>((words[w] >> (i % 64)) & 1u) : 0;
     const uint32_t own_mask = static_cast<uint32_t>(own.NextUint64());
     const uint32_t prev_mask = static_cast<uint32_t>(prev.NextUint64());
     out[i] = bit + own_mask - prev_mask;  // mod 2^32

@@ -1,7 +1,9 @@
 #include "pipeline/party.h"
 
 #include "blocking/lsh_blocking.h"
+#include "common/bit_matrix.h"
 #include "common/random.h"
+#include "linkage/comparison.h"
 #include "similarity/similarity.h"
 
 namespace pprl {
@@ -98,24 +100,33 @@ Result<MultiPartyLinkageResult> LinkageUnitService::Link(
   Rng rng(options.lsh_seed);
   const HammingLshBlocker blocker(filter_bits, options.lsh_tables,
                                   options.lsh_bits_per_key, rng);
-  // Pre-build every database's LSH index once.
+  // Pre-build every database's LSH index and contiguous bit matrix once.
   std::vector<BlockIndex> indexes;
+  std::vector<BitMatrix> matrices;
   indexes.reserve(databases_.size());
+  matrices.reserve(databases_.size());
   for (const EncodedDatabase& db : databases_) {
     indexes.push_back(blocker.BuildIndex(db.filters));
+    matrices.push_back(BitMatrix::FromVectors(db.filters));
   }
 
+  // The kernel's min_score sits 2e-12 under the acceptance test below, so
+  // cardinality pruning can never skip a pair that `dice + 1e-12 >=
+  // threshold` would have kept; the final filter reproduces the exact
+  // tolerance semantics of the scalar path.
+  const ComparisonEngine engine(SimilarityMeasure::kDice);
   for (uint32_t d1 = 0; d1 < databases_.size(); ++d1) {
     for (uint32_t d2 = d1 + 1; d2 < databases_.size(); ++d2) {
       const auto candidates =
           HammingLshBlocker::CandidatePairs(indexes[d1], indexes[d2]);
       result.candidate_pairs += candidates.size();
-      for (const CandidatePair& pair : candidates) {
-        ++result.comparisons;
-        const double dice = DiceSimilarity(databases_[d1].filters[pair.a],
-                                           databases_[d2].filters[pair.b]);
-        if (dice + 1e-12 >= options.dice_threshold) {
-          result.edges.push_back({{d1, pair.a}, {d2, pair.b}, dice});
+      const std::vector<ScoredPair> scored = engine.CompareMatrices(
+          matrices[d1], matrices[d2], candidates, options.dice_threshold - 2e-12);
+      result.comparisons += engine.last_comparison_count();
+      result.pruned_comparisons += engine.last_pruned_count();
+      for (const ScoredPair& pair : scored) {
+        if (pair.score + 1e-12 >= options.dice_threshold) {
+          result.edges.push_back({{d1, pair.a}, {d2, pair.b}, pair.score});
         }
       }
     }

@@ -86,6 +86,9 @@ struct MultiPartyLinkageResult {
   std::vector<MatchEdge> edges;
   size_t comparisons = 0;
   size_t candidate_pairs = 0;
+  /// Of `comparisons`, pairs answered by the Dice cardinality bound alone
+  /// (the comparison kernels never ran their word loop for these).
+  size_t pruned_comparisons = 0;
 };
 
 /// The linkage unit of a star-topology deployment: owners ship encodings

@@ -163,11 +163,14 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
   timer.Reset();
 
   // --- Comparison + classification at the matcher. --------------------------
-  const ComparisonEngine engine(
-      [](const BitVector& x, const BitVector& y) { return DiceSimilarity(x, y); });
+  // The devirtualized Dice kernel over contiguous bit-matrix storage;
+  // scores are bitwise identical to DiceSimilarity(), and pairs whose
+  // cardinality bound already falls below the threshold skip the word loop.
+  const ComparisonEngine engine(SimilarityMeasure::kDice);
   std::vector<ScoredPair> scored =
       engine.Compare(fa, fb, candidates, config_.match_threshold);
   out.comparisons = engine.last_comparison_count();
+  out.pruned_comparisons = engine.last_pruned_count();
 
   const ThresholdClassifier classifier(config_.match_threshold, config_.match_threshold);
   std::vector<ScoredPair> matches = classifier.SelectMatches(scored);

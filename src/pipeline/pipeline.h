@@ -68,6 +68,9 @@ struct LinkageOutput {
   std::vector<ScoredPair> matches;
   size_t candidate_pairs = 0;
   size_t comparisons = 0;
+  /// Of `comparisons`, pairs the Dice cardinality bound rejected without
+  /// running the word loop.
+  size_t pruned_comparisons = 0;
   size_t messages = 0;
   size_t bytes = 0;
   double encode_seconds = 0;

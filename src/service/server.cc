@@ -71,8 +71,16 @@ void LinkageUnitServer::RunLinkageIfReady() {
   linkage_status_ = result.status();
   if (result.ok()) linkage_result_ = std::move(*result);
   linkage_ran_ = true;
-  PPRL_LOG(kInfo) << "linkage over " << owner_order_.size()
-                  << " databases: " << linkage_status_.ToString();
+  if (linkage_status_.ok()) {
+    PPRL_LOG(kInfo) << "linkage over " << owner_order_.size() << " databases: "
+                    << linkage_result_.comparisons << " comparisons ("
+                    << linkage_result_.pruned_comparisons
+                    << " answered by the cardinality bound), "
+                    << linkage_result_.edges.size() << " match edges";
+  } else {
+    PPRL_LOG(kInfo) << "linkage over " << owner_order_.size()
+                    << " databases: " << linkage_status_.ToString();
+  }
   linkage_done_.notify_all();
 }
 

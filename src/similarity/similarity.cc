@@ -1,6 +1,8 @@
 #include "similarity/similarity.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
@@ -21,10 +23,19 @@ double DiceSimilarity(const std::vector<const BitVector*>& filters) {
   size_t total = 0;
   for (const BitVector* f : filters) total += f->Count();
   if (total == 0) return 1.0;
-  // Common positions: AND of all filters.
-  BitVector common = *filters[0];
-  for (size_t i = 1; i < filters.size(); ++i) common &= *filters[i];
-  return static_cast<double>(filters.size()) * static_cast<double>(common.Count()) /
+  // Common positions: AND of all filters, accumulated in a word buffer
+  // reused across calls — no BitVector deep copy, no count-cache churn.
+  static thread_local std::vector<uint64_t> common;
+  const std::vector<uint64_t>& first = filters[0]->words();
+  common.assign(first.begin(), first.end());
+  for (size_t i = 1; i < filters.size(); ++i) {
+    assert(filters[i]->size() == filters[0]->size());
+    const std::vector<uint64_t>& words = filters[i]->words();
+    for (size_t w = 0; w < common.size(); ++w) common[w] &= words[w];
+  }
+  size_t intersection = 0;
+  for (uint64_t w : common) intersection += std::popcount(w);
+  return static_cast<double>(filters.size()) * static_cast<double>(intersection) /
          static_cast<double>(total);
 }
 
