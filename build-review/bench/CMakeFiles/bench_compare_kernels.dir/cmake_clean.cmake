@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compare_kernels.dir/bench_compare_kernels.cc.o"
+  "CMakeFiles/bench_compare_kernels.dir/bench_compare_kernels.cc.o.d"
+  "bench_compare_kernels"
+  "bench_compare_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compare_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

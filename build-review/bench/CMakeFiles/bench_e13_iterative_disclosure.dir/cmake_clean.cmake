@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_iterative_disclosure.dir/bench_e13_iterative_disclosure.cc.o"
+  "CMakeFiles/bench_e13_iterative_disclosure.dir/bench_e13_iterative_disclosure.cc.o.d"
+  "bench_e13_iterative_disclosure"
+  "bench_e13_iterative_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_iterative_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

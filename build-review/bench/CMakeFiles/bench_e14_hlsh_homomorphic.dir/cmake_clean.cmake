@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_hlsh_homomorphic.dir/bench_e14_hlsh_homomorphic.cc.o"
+  "CMakeFiles/bench_e14_hlsh_homomorphic.dir/bench_e14_hlsh_homomorphic.cc.o.d"
+  "bench_e14_hlsh_homomorphic"
+  "bench_e14_hlsh_homomorphic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_hlsh_homomorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

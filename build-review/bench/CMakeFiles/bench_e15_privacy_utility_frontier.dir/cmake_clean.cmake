@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_privacy_utility_frontier.dir/bench_e15_privacy_utility_frontier.cc.o"
+  "CMakeFiles/bench_e15_privacy_utility_frontier.dir/bench_e15_privacy_utility_frontier.cc.o.d"
+  "bench_e15_privacy_utility_frontier"
+  "bench_e15_privacy_utility_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_privacy_utility_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_crypto_vs_probabilistic.dir/bench_fig1_crypto_vs_probabilistic.cc.o"
+  "CMakeFiles/bench_fig1_crypto_vs_probabilistic.dir/bench_fig1_crypto_vs_probabilistic.cc.o.d"
+  "bench_fig1_crypto_vs_probabilistic"
+  "bench_fig1_crypto_vs_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_crypto_vs_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_metablocking.dir/bench_fig1_metablocking.cc.o"
+  "CMakeFiles/bench_fig1_metablocking.dir/bench_fig1_metablocking.cc.o.d"
+  "bench_fig1_metablocking"
+  "bench_fig1_metablocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_metablocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

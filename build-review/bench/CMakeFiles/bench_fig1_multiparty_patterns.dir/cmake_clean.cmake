@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_multiparty_patterns.dir/bench_fig1_multiparty_patterns.cc.o"
+  "CMakeFiles/bench_fig1_multiparty_patterns.dir/bench_fig1_multiparty_patterns.cc.o.d"
+  "bench_fig1_multiparty_patterns"
+  "bench_fig1_multiparty_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_multiparty_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_slk_vs_bf.dir/bench_fig1_slk_vs_bf.cc.o"
+  "CMakeFiles/bench_fig1_slk_vs_bf.dir/bench_fig1_slk_vs_bf.cc.o.d"
+  "bench_fig1_slk_vs_bf"
+  "bench_fig1_slk_vs_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_slk_vs_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

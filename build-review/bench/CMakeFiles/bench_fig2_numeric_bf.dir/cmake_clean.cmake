@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_numeric_bf.dir/bench_fig2_numeric_bf.cc.o"
+  "CMakeFiles/bench_fig2_numeric_bf.dir/bench_fig2_numeric_bf.cc.o.d"
+  "bench_fig2_numeric_bf"
+  "bench_fig2_numeric_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_numeric_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

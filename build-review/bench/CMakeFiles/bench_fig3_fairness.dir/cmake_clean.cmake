@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fairness.dir/bench_fig3_fairness.cc.o"
+  "CMakeFiles/bench_fig3_fairness.dir/bench_fig3_fairness.cc.o.d"
+  "bench_fig3_fairness"
+  "bench_fig3_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_privacy_attacks.dir/bench_fig3_privacy_attacks.cc.o"
+  "CMakeFiles/bench_fig3_privacy_attacks.dir/bench_fig3_privacy_attacks.cc.o.d"
+  "bench_fig3_privacy_attacks"
+  "bench_fig3_privacy_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_privacy_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

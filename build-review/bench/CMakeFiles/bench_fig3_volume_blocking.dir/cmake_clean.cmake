@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_volume_blocking.dir/bench_fig3_volume_blocking.cc.o"
+  "CMakeFiles/bench_fig3_volume_blocking.dir/bench_fig3_volume_blocking.cc.o.d"
+  "bench_fig3_volume_blocking"
+  "bench_fig3_volume_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_volume_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_roundtrip.dir/bench_net_roundtrip.cc.o"
+  "CMakeFiles/bench_net_roundtrip.dir/bench_net_roundtrip.cc.o.d"
+  "bench_net_roundtrip"
+  "bench_net_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

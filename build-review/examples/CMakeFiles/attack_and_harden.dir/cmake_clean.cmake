@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_and_harden.dir/attack_and_harden.cpp.o"
+  "CMakeFiles/attack_and_harden.dir/attack_and_harden.cpp.o.d"
+  "attack_and_harden"
+  "attack_and_harden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_and_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

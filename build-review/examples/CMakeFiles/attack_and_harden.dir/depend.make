@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_and_harden.
+# This may be replaced when dependencies are built.

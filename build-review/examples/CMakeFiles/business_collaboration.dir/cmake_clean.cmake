@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/business_collaboration.dir/business_collaboration.cpp.o"
+  "CMakeFiles/business_collaboration.dir/business_collaboration.cpp.o.d"
+  "business_collaboration"
+  "business_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/business_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

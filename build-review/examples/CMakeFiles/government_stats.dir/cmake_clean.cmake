@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/government_stats.dir/government_stats.cpp.o"
+  "CMakeFiles/government_stats.dir/government_stats.cpp.o.d"
+  "government_stats"
+  "government_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/government_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_registry_linkage.dir/health_registry_linkage.cpp.o"
+  "CMakeFiles/health_registry_linkage.dir/health_registry_linkage.cpp.o.d"
+  "health_registry_linkage"
+  "health_registry_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_registry_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

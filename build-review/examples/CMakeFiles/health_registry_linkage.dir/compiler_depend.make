@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for health_registry_linkage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/national_security_watchlist.dir/national_security_watchlist.cpp.o"
+  "CMakeFiles/national_security_watchlist.dir/national_security_watchlist.cpp.o.d"
+  "national_security_watchlist"
+  "national_security_watchlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/national_security_watchlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

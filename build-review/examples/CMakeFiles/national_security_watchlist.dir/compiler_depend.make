@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for national_security_watchlist.
+# This may be replaced when dependencies are built.

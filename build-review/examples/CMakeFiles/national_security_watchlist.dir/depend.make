@@ -1,0 +1,2 @@
+# Empty dependencies file for national_security_watchlist.
+# This may be replaced when dependencies are built.

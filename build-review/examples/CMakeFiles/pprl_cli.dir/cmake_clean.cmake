@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_cli.dir/pprl_cli.cpp.o"
+  "CMakeFiles/pprl_cli.dir/pprl_cli.cpp.o.d"
+  "pprl_cli"
+  "pprl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_linkd.dir/pprl_linkd.cpp.o"
+  "CMakeFiles/pprl_linkd.dir/pprl_linkd.cpp.o.d"
+  "pprl_linkd"
+  "pprl_linkd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_linkd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pprl_linkd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_parameters.dir/tune_parameters.cpp.o"
+  "CMakeFiles/tune_parameters.dir/tune_parameters.cpp.o.d"
+  "tune_parameters"
+  "tune_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

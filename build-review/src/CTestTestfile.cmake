@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("encoding")
+subdirs("similarity")
+subdirs("datagen")
+subdirs("blocking")
+subdirs("filtering")
+subdirs("linkage")
+subdirs("privacy")
+subdirs("eval")
+subdirs("tuning")
+subdirs("pipeline")
+subdirs("net")
+subdirs("service")

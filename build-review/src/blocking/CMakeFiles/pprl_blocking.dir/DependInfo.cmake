@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/blocking.cc" "src/blocking/CMakeFiles/pprl_blocking.dir/blocking.cc.o" "gcc" "src/blocking/CMakeFiles/pprl_blocking.dir/blocking.cc.o.d"
+  "/root/repo/src/blocking/canopy.cc" "src/blocking/CMakeFiles/pprl_blocking.dir/canopy.cc.o" "gcc" "src/blocking/CMakeFiles/pprl_blocking.dir/canopy.cc.o.d"
+  "/root/repo/src/blocking/lsh_blocking.cc" "src/blocking/CMakeFiles/pprl_blocking.dir/lsh_blocking.cc.o" "gcc" "src/blocking/CMakeFiles/pprl_blocking.dir/lsh_blocking.cc.o.d"
+  "/root/repo/src/blocking/metablocking.cc" "src/blocking/CMakeFiles/pprl_blocking.dir/metablocking.cc.o" "gcc" "src/blocking/CMakeFiles/pprl_blocking.dir/metablocking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/encoding/CMakeFiles/pprl_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

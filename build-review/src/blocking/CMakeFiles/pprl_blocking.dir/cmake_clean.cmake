@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_blocking.dir/blocking.cc.o"
+  "CMakeFiles/pprl_blocking.dir/blocking.cc.o.d"
+  "CMakeFiles/pprl_blocking.dir/canopy.cc.o"
+  "CMakeFiles/pprl_blocking.dir/canopy.cc.o.d"
+  "CMakeFiles/pprl_blocking.dir/lsh_blocking.cc.o"
+  "CMakeFiles/pprl_blocking.dir/lsh_blocking.cc.o.d"
+  "CMakeFiles/pprl_blocking.dir/metablocking.cc.o"
+  "CMakeFiles/pprl_blocking.dir/metablocking.cc.o.d"
+  "libpprl_blocking.a"
+  "libpprl_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/base64.cc" "src/common/CMakeFiles/pprl_common.dir/base64.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/base64.cc.o.d"
+  "/root/repo/src/common/bit_matrix.cc" "src/common/CMakeFiles/pprl_common.dir/bit_matrix.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/bit_matrix.cc.o.d"
+  "/root/repo/src/common/bitvector.cc" "src/common/CMakeFiles/pprl_common.dir/bitvector.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/bitvector.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/pprl_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/pprl_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/pprl_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/pprl_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/pprl_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/pprl_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/pprl_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/pprl_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

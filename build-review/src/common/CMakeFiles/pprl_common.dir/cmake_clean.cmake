@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_common.dir/base64.cc.o"
+  "CMakeFiles/pprl_common.dir/base64.cc.o.d"
+  "CMakeFiles/pprl_common.dir/bit_matrix.cc.o"
+  "CMakeFiles/pprl_common.dir/bit_matrix.cc.o.d"
+  "CMakeFiles/pprl_common.dir/bitvector.cc.o"
+  "CMakeFiles/pprl_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/pprl_common.dir/csv.cc.o"
+  "CMakeFiles/pprl_common.dir/csv.cc.o.d"
+  "CMakeFiles/pprl_common.dir/logging.cc.o"
+  "CMakeFiles/pprl_common.dir/logging.cc.o.d"
+  "CMakeFiles/pprl_common.dir/random.cc.o"
+  "CMakeFiles/pprl_common.dir/random.cc.o.d"
+  "CMakeFiles/pprl_common.dir/stats.cc.o"
+  "CMakeFiles/pprl_common.dir/stats.cc.o.d"
+  "CMakeFiles/pprl_common.dir/status.cc.o"
+  "CMakeFiles/pprl_common.dir/status.cc.o.d"
+  "CMakeFiles/pprl_common.dir/strings.cc.o"
+  "CMakeFiles/pprl_common.dir/strings.cc.o.d"
+  "CMakeFiles/pprl_common.dir/thread_pool.cc.o"
+  "CMakeFiles/pprl_common.dir/thread_pool.cc.o.d"
+  "libpprl_common.a"
+  "libpprl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/paillier.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/paillier.cc.o.d"
+  "/root/repo/src/crypto/secret_sharing.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/secret_sharing.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/secret_sharing.cc.o.d"
+  "/root/repo/src/crypto/secure_edit_distance.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/secure_edit_distance.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/secure_edit_distance.cc.o.d"
+  "/root/repo/src/crypto/secure_vector.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/secure_vector.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/secure_vector.cc.o.d"
+  "/root/repo/src/crypto/sra.cc" "src/crypto/CMakeFiles/pprl_crypto.dir/sra.cc.o" "gcc" "src/crypto/CMakeFiles/pprl_crypto.dir/sra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_crypto.dir/bigint.cc.o"
+  "CMakeFiles/pprl_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/pprl_crypto.dir/hash.cc.o"
+  "CMakeFiles/pprl_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/pprl_crypto.dir/paillier.cc.o"
+  "CMakeFiles/pprl_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/pprl_crypto.dir/secret_sharing.cc.o"
+  "CMakeFiles/pprl_crypto.dir/secret_sharing.cc.o.d"
+  "CMakeFiles/pprl_crypto.dir/secure_edit_distance.cc.o"
+  "CMakeFiles/pprl_crypto.dir/secure_edit_distance.cc.o.d"
+  "CMakeFiles/pprl_crypto.dir/secure_vector.cc.o"
+  "CMakeFiles/pprl_crypto.dir/secure_vector.cc.o.d"
+  "CMakeFiles/pprl_crypto.dir/sra.cc.o"
+  "CMakeFiles/pprl_crypto.dir/sra.cc.o.d"
+  "libpprl_crypto.a"
+  "libpprl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

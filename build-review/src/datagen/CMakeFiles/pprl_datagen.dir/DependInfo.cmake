@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corruptor.cc" "src/datagen/CMakeFiles/pprl_datagen.dir/corruptor.cc.o" "gcc" "src/datagen/CMakeFiles/pprl_datagen.dir/corruptor.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/datagen/CMakeFiles/pprl_datagen.dir/generator.cc.o" "gcc" "src/datagen/CMakeFiles/pprl_datagen.dir/generator.cc.o.d"
+  "/root/repo/src/datagen/io.cc" "src/datagen/CMakeFiles/pprl_datagen.dir/io.cc.o" "gcc" "src/datagen/CMakeFiles/pprl_datagen.dir/io.cc.o.d"
+  "/root/repo/src/datagen/lookup_data.cc" "src/datagen/CMakeFiles/pprl_datagen.dir/lookup_data.cc.o" "gcc" "src/datagen/CMakeFiles/pprl_datagen.dir/lookup_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/encoding/CMakeFiles/pprl_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_datagen.dir/corruptor.cc.o"
+  "CMakeFiles/pprl_datagen.dir/corruptor.cc.o.d"
+  "CMakeFiles/pprl_datagen.dir/generator.cc.o"
+  "CMakeFiles/pprl_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/pprl_datagen.dir/io.cc.o"
+  "CMakeFiles/pprl_datagen.dir/io.cc.o.d"
+  "CMakeFiles/pprl_datagen.dir/lookup_data.cc.o"
+  "CMakeFiles/pprl_datagen.dir/lookup_data.cc.o.d"
+  "libpprl_datagen.a"
+  "libpprl_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/bloom_filter.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/bloom_filter.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/encoding/clk_io.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/clk_io.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/clk_io.cc.o.d"
+  "/root/repo/src/encoding/counting_bloom_filter.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/counting_bloom_filter.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/counting_bloom_filter.cc.o.d"
+  "/root/repo/src/encoding/embedding.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/embedding.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/embedding.cc.o.d"
+  "/root/repo/src/encoding/hardening.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/hardening.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/hardening.cc.o.d"
+  "/root/repo/src/encoding/minhash.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/minhash.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/minhash.cc.o.d"
+  "/root/repo/src/encoding/numeric_encoding.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/numeric_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/numeric_encoding.cc.o.d"
+  "/root/repo/src/encoding/phonetic.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/phonetic.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/phonetic.cc.o.d"
+  "/root/repo/src/encoding/rbf.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/rbf.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/rbf.cc.o.d"
+  "/root/repo/src/encoding/slk.cc" "src/encoding/CMakeFiles/pprl_encoding.dir/slk.cc.o" "gcc" "src/encoding/CMakeFiles/pprl_encoding.dir/slk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

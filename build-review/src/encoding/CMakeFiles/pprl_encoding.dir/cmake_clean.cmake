@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_encoding.dir/bloom_filter.cc.o"
+  "CMakeFiles/pprl_encoding.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/clk_io.cc.o"
+  "CMakeFiles/pprl_encoding.dir/clk_io.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/counting_bloom_filter.cc.o"
+  "CMakeFiles/pprl_encoding.dir/counting_bloom_filter.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/embedding.cc.o"
+  "CMakeFiles/pprl_encoding.dir/embedding.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/hardening.cc.o"
+  "CMakeFiles/pprl_encoding.dir/hardening.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/minhash.cc.o"
+  "CMakeFiles/pprl_encoding.dir/minhash.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/numeric_encoding.cc.o"
+  "CMakeFiles/pprl_encoding.dir/numeric_encoding.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/phonetic.cc.o"
+  "CMakeFiles/pprl_encoding.dir/phonetic.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/rbf.cc.o"
+  "CMakeFiles/pprl_encoding.dir/rbf.cc.o.d"
+  "CMakeFiles/pprl_encoding.dir/slk.cc.o"
+  "CMakeFiles/pprl_encoding.dir/slk.cc.o.d"
+  "libpprl_encoding.a"
+  "libpprl_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

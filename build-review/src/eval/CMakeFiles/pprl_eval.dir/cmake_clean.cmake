@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_eval.dir/fairness.cc.o"
+  "CMakeFiles/pprl_eval.dir/fairness.cc.o.d"
+  "CMakeFiles/pprl_eval.dir/metrics.cc.o"
+  "CMakeFiles/pprl_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/pprl_eval.dir/quality_estimation.cc.o"
+  "CMakeFiles/pprl_eval.dir/quality_estimation.cc.o.d"
+  "libpprl_eval.a"
+  "libpprl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

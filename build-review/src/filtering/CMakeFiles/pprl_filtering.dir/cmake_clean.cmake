@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_filtering.dir/ppjoin.cc.o"
+  "CMakeFiles/pprl_filtering.dir/ppjoin.cc.o.d"
+  "libpprl_filtering.a"
+  "libpprl_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpprl_filtering.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkage/classifier.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/classifier.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/classifier.cc.o.d"
+  "/root/repo/src/linkage/clustering.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/clustering.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/clustering.cc.o.d"
+  "/root/repo/src/linkage/compare_kernels.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/compare_kernels.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/compare_kernels.cc.o.d"
+  "/root/repo/src/linkage/comparison.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/comparison.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/comparison.cc.o.d"
+  "/root/repo/src/linkage/interactive_review.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/interactive_review.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/interactive_review.cc.o.d"
+  "/root/repo/src/linkage/matching.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/matching.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/matching.cc.o.d"
+  "/root/repo/src/linkage/multiparty.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/multiparty.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/multiparty.cc.o.d"
+  "/root/repo/src/linkage/two_party_iterative.cc" "src/linkage/CMakeFiles/pprl_linkage.dir/two_party_iterative.cc.o" "gcc" "src/linkage/CMakeFiles/pprl_linkage.dir/two_party_iterative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/blocking/CMakeFiles/pprl_blocking.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/similarity/CMakeFiles/pprl_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/encoding/CMakeFiles/pprl_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_linkage.dir/classifier.cc.o"
+  "CMakeFiles/pprl_linkage.dir/classifier.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/clustering.cc.o"
+  "CMakeFiles/pprl_linkage.dir/clustering.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/compare_kernels.cc.o"
+  "CMakeFiles/pprl_linkage.dir/compare_kernels.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/comparison.cc.o"
+  "CMakeFiles/pprl_linkage.dir/comparison.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/interactive_review.cc.o"
+  "CMakeFiles/pprl_linkage.dir/interactive_review.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/matching.cc.o"
+  "CMakeFiles/pprl_linkage.dir/matching.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/multiparty.cc.o"
+  "CMakeFiles/pprl_linkage.dir/multiparty.cc.o.d"
+  "CMakeFiles/pprl_linkage.dir/two_party_iterative.cc.o"
+  "CMakeFiles/pprl_linkage.dir/two_party_iterative.cc.o.d"
+  "libpprl_linkage.a"
+  "libpprl_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

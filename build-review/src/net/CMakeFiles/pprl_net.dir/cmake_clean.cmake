@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_net.dir/frame.cc.o"
+  "CMakeFiles/pprl_net.dir/frame.cc.o.d"
+  "CMakeFiles/pprl_net.dir/transport.cc.o"
+  "CMakeFiles/pprl_net.dir/transport.cc.o.d"
+  "CMakeFiles/pprl_net.dir/wire.cc.o"
+  "CMakeFiles/pprl_net.dir/wire.cc.o.d"
+  "libpprl_net.a"
+  "libpprl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/channel.cc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/channel.cc.o" "gcc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/channel.cc.o.d"
+  "/root/repo/src/pipeline/party.cc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/party.cc.o" "gcc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/party.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/pipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/schema_matching.cc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/schema_matching.cc.o" "gcc" "src/pipeline/CMakeFiles/pprl_pipeline.dir/schema_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/encoding/CMakeFiles/pprl_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/similarity/CMakeFiles/pprl_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/blocking/CMakeFiles/pprl_blocking.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/filtering/CMakeFiles/pprl_filtering.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linkage/CMakeFiles/pprl_linkage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/pprl_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

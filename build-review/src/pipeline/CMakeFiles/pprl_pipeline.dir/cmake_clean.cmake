@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_pipeline.dir/channel.cc.o"
+  "CMakeFiles/pprl_pipeline.dir/channel.cc.o.d"
+  "CMakeFiles/pprl_pipeline.dir/party.cc.o"
+  "CMakeFiles/pprl_pipeline.dir/party.cc.o.d"
+  "CMakeFiles/pprl_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/pprl_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/pprl_pipeline.dir/schema_matching.cc.o"
+  "CMakeFiles/pprl_pipeline.dir/schema_matching.cc.o.d"
+  "libpprl_pipeline.a"
+  "libpprl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

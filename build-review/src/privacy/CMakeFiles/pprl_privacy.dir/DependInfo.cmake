@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/accountability.cc" "src/privacy/CMakeFiles/pprl_privacy.dir/accountability.cc.o" "gcc" "src/privacy/CMakeFiles/pprl_privacy.dir/accountability.cc.o.d"
+  "/root/repo/src/privacy/attacks.cc" "src/privacy/CMakeFiles/pprl_privacy.dir/attacks.cc.o" "gcc" "src/privacy/CMakeFiles/pprl_privacy.dir/attacks.cc.o.d"
+  "/root/repo/src/privacy/dp.cc" "src/privacy/CMakeFiles/pprl_privacy.dir/dp.cc.o" "gcc" "src/privacy/CMakeFiles/pprl_privacy.dir/dp.cc.o.d"
+  "/root/repo/src/privacy/dp_blocking.cc" "src/privacy/CMakeFiles/pprl_privacy.dir/dp_blocking.cc.o" "gcc" "src/privacy/CMakeFiles/pprl_privacy.dir/dp_blocking.cc.o.d"
+  "/root/repo/src/privacy/privacy_metrics.cc" "src/privacy/CMakeFiles/pprl_privacy.dir/privacy_metrics.cc.o" "gcc" "src/privacy/CMakeFiles/pprl_privacy.dir/privacy_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/encoding/CMakeFiles/pprl_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linkage/CMakeFiles/pprl_linkage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/blocking/CMakeFiles/pprl_blocking.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/similarity/CMakeFiles/pprl_similarity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

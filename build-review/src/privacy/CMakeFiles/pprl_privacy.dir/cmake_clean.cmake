@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_privacy.dir/accountability.cc.o"
+  "CMakeFiles/pprl_privacy.dir/accountability.cc.o.d"
+  "CMakeFiles/pprl_privacy.dir/attacks.cc.o"
+  "CMakeFiles/pprl_privacy.dir/attacks.cc.o.d"
+  "CMakeFiles/pprl_privacy.dir/dp.cc.o"
+  "CMakeFiles/pprl_privacy.dir/dp.cc.o.d"
+  "CMakeFiles/pprl_privacy.dir/dp_blocking.cc.o"
+  "CMakeFiles/pprl_privacy.dir/dp_blocking.cc.o.d"
+  "CMakeFiles/pprl_privacy.dir/privacy_metrics.cc.o"
+  "CMakeFiles/pprl_privacy.dir/privacy_metrics.cc.o.d"
+  "libpprl_privacy.a"
+  "libpprl_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_service.dir/client.cc.o"
+  "CMakeFiles/pprl_service.dir/client.cc.o.d"
+  "CMakeFiles/pprl_service.dir/protocol.cc.o"
+  "CMakeFiles/pprl_service.dir/protocol.cc.o.d"
+  "CMakeFiles/pprl_service.dir/server.cc.o"
+  "CMakeFiles/pprl_service.dir/server.cc.o.d"
+  "libpprl_service.a"
+  "libpprl_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

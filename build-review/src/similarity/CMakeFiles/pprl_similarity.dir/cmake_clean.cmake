@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_similarity.dir/similarity.cc.o"
+  "CMakeFiles/pprl_similarity.dir/similarity.cc.o.d"
+  "libpprl_similarity.a"
+  "libpprl_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprl_tuning.dir/tuner.cc.o"
+  "CMakeFiles/pprl_tuning.dir/tuner.cc.o.d"
+  "libpprl_tuning.a"
+  "libpprl_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprl_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accountability_test.dir/accountability_test.cc.o"
+  "CMakeFiles/accountability_test.dir/accountability_test.cc.o.d"
+  "accountability_test"
+  "accountability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accountability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base64_test.dir/base64_test.cc.o"
+  "CMakeFiles/base64_test.dir/base64_test.cc.o.d"
+  "base64_test"
+  "base64_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

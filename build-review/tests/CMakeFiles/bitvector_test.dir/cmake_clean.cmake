@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitvector_test.dir/bitvector_test.cc.o"
+  "CMakeFiles/bitvector_test.dir/bitvector_test.cc.o.d"
+  "bitvector_test"
+  "bitvector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

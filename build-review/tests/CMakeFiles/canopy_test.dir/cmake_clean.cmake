@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopy_test.dir/canopy_test.cc.o"
+  "CMakeFiles/canopy_test.dir/canopy_test.cc.o.d"
+  "canopy_test"
+  "canopy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clk_io_test.dir/clk_io_test.cc.o"
+  "CMakeFiles/clk_io_test.dir/clk_io_test.cc.o.d"
+  "clk_io_test"
+  "clk_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clk_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_kernels_test.dir/compare_kernels_test.cc.o"
+  "CMakeFiles/compare_kernels_test.dir/compare_kernels_test.cc.o.d"
+  "compare_kernels_test"
+  "compare_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_io_test.dir/datagen_io_test.cc.o"
+  "CMakeFiles/datagen_io_test.dir/datagen_io_test.cc.o.d"
+  "datagen_io_test"
+  "datagen_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

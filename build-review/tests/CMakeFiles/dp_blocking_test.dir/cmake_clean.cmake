@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_blocking_test.dir/dp_blocking_test.cc.o"
+  "CMakeFiles/dp_blocking_test.dir/dp_blocking_test.cc.o.d"
+  "dp_blocking_test"
+  "dp_blocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dp_test.cc" "tests/CMakeFiles/dp_test.dir/dp_test.cc.o" "gcc" "tests/CMakeFiles/dp_test.dir/dp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/service/CMakeFiles/pprl_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/pprl_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pipeline/CMakeFiles/pprl_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/pprl_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/privacy/CMakeFiles/pprl_privacy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tuning/CMakeFiles/pprl_tuning.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/datagen/CMakeFiles/pprl_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/filtering/CMakeFiles/pprl_filtering.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linkage/CMakeFiles/pprl_linkage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/blocking/CMakeFiles/pprl_blocking.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/similarity/CMakeFiles/pprl_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/encoding/CMakeFiles/pprl_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/pprl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pprl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_test.dir/fairness_test.cc.o"
+  "CMakeFiles/fairness_test.dir/fairness_test.cc.o.d"
+  "fairness_test"
+  "fairness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/households_test.dir/households_test.cc.o"
+  "CMakeFiles/households_test.dir/households_test.cc.o.d"
+  "households_test"
+  "households_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/households_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_review_test.dir/interactive_review_test.cc.o"
+  "CMakeFiles/interactive_review_test.dir/interactive_review_test.cc.o.d"
+  "interactive_review_test"
+  "interactive_review_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_review_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

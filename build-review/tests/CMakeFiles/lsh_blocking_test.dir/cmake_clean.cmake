@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_blocking_test.dir/lsh_blocking_test.cc.o"
+  "CMakeFiles/lsh_blocking_test.dir/lsh_blocking_test.cc.o.d"
+  "lsh_blocking_test"
+  "lsh_blocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablocking_test.dir/metablocking_test.cc.o"
+  "CMakeFiles/metablocking_test.dir/metablocking_test.cc.o.d"
+  "metablocking_test"
+  "metablocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiparty_test.dir/multiparty_test.cc.o"
+  "CMakeFiles/multiparty_test.dir/multiparty_test.cc.o.d"
+  "multiparty_test"
+  "multiparty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiparty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

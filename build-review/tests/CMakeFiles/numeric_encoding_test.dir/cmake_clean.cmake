@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_encoding_test.dir/numeric_encoding_test.cc.o"
+  "CMakeFiles/numeric_encoding_test.dir/numeric_encoding_test.cc.o.d"
+  "numeric_encoding_test"
+  "numeric_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

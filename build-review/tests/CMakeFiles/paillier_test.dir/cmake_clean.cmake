@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paillier_test.dir/paillier_test.cc.o"
+  "CMakeFiles/paillier_test.dir/paillier_test.cc.o.d"
+  "paillier_test"
+  "paillier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paillier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

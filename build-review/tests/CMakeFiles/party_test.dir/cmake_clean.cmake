@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/party_test.dir/party_test.cc.o"
+  "CMakeFiles/party_test.dir/party_test.cc.o.d"
+  "party_test"
+  "party_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/party_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_fuzz_test.dir/pipeline_fuzz_test.cc.o"
+  "CMakeFiles/pipeline_fuzz_test.dir/pipeline_fuzz_test.cc.o.d"
+  "pipeline_fuzz_test"
+  "pipeline_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

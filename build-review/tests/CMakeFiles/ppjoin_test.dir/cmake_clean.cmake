@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppjoin_test.dir/ppjoin_test.cc.o"
+  "CMakeFiles/ppjoin_test.dir/ppjoin_test.cc.o.d"
+  "ppjoin_test"
+  "ppjoin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

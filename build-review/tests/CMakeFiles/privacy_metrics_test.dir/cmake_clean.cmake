@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_metrics_test.dir/privacy_metrics_test.cc.o"
+  "CMakeFiles/privacy_metrics_test.dir/privacy_metrics_test.cc.o.d"
+  "privacy_metrics_test"
+  "privacy_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_estimation_test.dir/quality_estimation_test.cc.o"
+  "CMakeFiles/quality_estimation_test.dir/quality_estimation_test.cc.o.d"
+  "quality_estimation_test"
+  "quality_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_matching_test.dir/schema_matching_test.cc.o"
+  "CMakeFiles/schema_matching_test.dir/schema_matching_test.cc.o.d"
+  "schema_matching_test"
+  "schema_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secret_sharing_test.dir/secret_sharing_test.cc.o"
+  "CMakeFiles/secret_sharing_test.dir/secret_sharing_test.cc.o.d"
+  "secret_sharing_test"
+  "secret_sharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secret_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

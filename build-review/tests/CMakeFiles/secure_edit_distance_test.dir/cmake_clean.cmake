@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_edit_distance_test.dir/secure_edit_distance_test.cc.o"
+  "CMakeFiles/secure_edit_distance_test.dir/secure_edit_distance_test.cc.o.d"
+  "secure_edit_distance_test"
+  "secure_edit_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_edit_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_vector_test.dir/secure_vector_test.cc.o"
+  "CMakeFiles/secure_vector_test.dir/secure_vector_test.cc.o.d"
+  "secure_vector_test"
+  "secure_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_roundtrip_test.dir/service_roundtrip_test.cc.o"
+  "CMakeFiles/service_roundtrip_test.dir/service_roundtrip_test.cc.o.d"
+  "service_roundtrip_test"
+  "service_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slk_test.dir/slk_test.cc.o"
+  "CMakeFiles/slk_test.dir/slk_test.cc.o.d"
+  "slk_test"
+  "slk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sra_test.dir/sra_test.cc.o"
+  "CMakeFiles/sra_test.dir/sra_test.cc.o.d"
+  "sra_test"
+  "sra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

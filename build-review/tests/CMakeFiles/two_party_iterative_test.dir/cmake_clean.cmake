@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_party_iterative_test.dir/two_party_iterative_test.cc.o"
+  "CMakeFiles/two_party_iterative_test.dir/two_party_iterative_test.cc.o.d"
+  "two_party_iterative_test"
+  "two_party_iterative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_party_iterative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
