@@ -142,6 +142,7 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::printf("\nwrote %s\n", argv[1]);
   }
+  DumpMetricsIfRequested();
   return 0;
 }
 

@@ -97,5 +97,6 @@ int main() {
               static_cast<double>(wire) / 1024.0,
               100.0 * static_cast<double>(wire - metered) / static_cast<double>(wire));
   server.Stop();
+  DumpMetricsIfRequested();
   return 0;
 }

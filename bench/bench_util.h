@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "datagen/generator.h"
+#include "obs/export.h"
 #include "pipeline/channel.h"
 
 namespace pprl::bench {
@@ -53,6 +54,11 @@ inline void PrintChannelCosts(const Channel& channel, const std::string& label) 
               Fmt(static_cast<double>(bytes) / 1024.0, 1)});
   }
 }
+
+/// Dumps the global metrics registry as JSON when PPRL_METRICS_JSON is
+/// set; benches call this once at the end of main so a run's counters
+/// (pairs compared, pruned, kernel dispatches) land next to its timings.
+inline void DumpMetricsIfRequested() { obs::MaybeDumpMetricsJson(); }
 
 /// Standard two-database scenario used across benches.
 inline std::pair<Database, Database> TwoDatabases(size_t n, double corruption_mean,

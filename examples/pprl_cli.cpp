@@ -41,6 +41,7 @@
 #include "eval/metrics.h"
 #include "filtering/ppjoin.h"
 #include "linkage/matching.h"
+#include "obs/export.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/schema_matching.h"
 #include "service/client.h"
@@ -318,11 +319,15 @@ int SchemaCmd(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  if (command == "generate") return Generate(argc, argv);
-  if (command == "link") return Link(argc, argv);
-  if (command == "schema") return SchemaCmd(argc, argv);
-  if (command == "encode") return Encode(argc, argv);
-  if (command == "link-encoded") return LinkEncoded(argc, argv);
-  if (command == "ship") return Ship(argc, argv);
-  return Usage();
+  int rc = 2;
+  if (command == "generate") rc = Generate(argc, argv);
+  else if (command == "link") rc = Link(argc, argv);
+  else if (command == "schema") rc = SchemaCmd(argc, argv);
+  else if (command == "encode") rc = Encode(argc, argv);
+  else if (command == "link-encoded") rc = LinkEncoded(argc, argv);
+  else if (command == "ship") rc = Ship(argc, argv);
+  else return Usage();
+  // With PPRL_METRICS_JSON=<path|-> set, dump everything the run recorded.
+  obs::MaybeDumpMetricsJson();
+  return rc;
 }

@@ -7,6 +7,10 @@
 ///
 /// usage:
 ///   pprl_linkd <port> <expected_owners> [dice_threshold] [--all-interfaces]
+///              [--metrics <port>]
+///
+/// With --metrics, a Prometheus text endpoint (GET /metrics) is served on
+/// the given port (0 picks an ephemeral one; the bound port is printed).
 ///
 /// example (three terminals):
 ///   ./build/examples/pprl_linkd 7001 2
@@ -26,7 +30,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: pprl_linkd <port> <expected_owners> [dice_threshold]"
-                 " [--all-interfaces]\n");
+                 " [--all-interfaces] [--metrics <port>]\n");
     return 2;
   }
   LinkageUnitServerConfig config;
@@ -37,7 +41,11 @@ int main(int argc, char** argv) {
     config.link_options.dice_threshold = std::atof(argv[3]);
   }
   for (int i = 3; i < argc; ++i) {
-    if (std::string(argv[i]) == "--all-interfaces") config.loopback_only = false;
+    const std::string arg = argv[i];
+    if (arg == "--all-interfaces") config.loopback_only = false;
+    if (arg == "--metrics" && i + 1 < argc) {
+      config.metrics_port = std::atoi(argv[++i]);
+    }
   }
 
   LinkageUnitServer server(config);
@@ -50,6 +58,10 @@ int main(int argc, char** argv) {
               server.port(), config.expected_owners,
               config.link_options.dice_threshold,
               config.loopback_only ? "loopback only" : "all interfaces");
+  if (server.metrics_port() != 0) {
+    std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
+                server.metrics_port());
+  }
 
   const Status done = server.WaitUntilDone(/*timeout_ms=*/0);
   if (!done.ok()) {

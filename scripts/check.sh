@@ -20,17 +20,18 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 echo "check.sh: all tests passed under ASan+UBSan"
 
 # ThreadSanitizer gate for the concurrent paths: the parallel comparison
-# engine, the batch kernels it chunks across the pool, and the pool
-# itself. Scoped to those tests — TSan slows everything ~10x and the rest
-# of the suite is single-threaded.
+# engine, the batch kernels it chunks across the pool, the pool itself,
+# and the lock-free metrics registry they all report into. Scoped to
+# those tests — TSan slows everything ~10x and the rest of the suite is
+# single-threaded.
 TSAN_BUILD_DIR=build-tsan
 cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DPPRL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
-  --target comparison_test compare_kernels_test thread_pool_test
+  --target comparison_test compare_kernels_test thread_pool_test metrics_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-  -R 'comparison_test|compare_kernels_test|thread_pool_test'
+  -R '^(comparison_test|compare_kernels_test|thread_pool_test|metrics_test)$'
 echo "check.sh: concurrency tests passed under TSan"

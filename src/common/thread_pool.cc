@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace pprl {
+
+namespace {
+
+/// Pool metrics aggregate over every ThreadPool in the process (pools are
+/// short-lived in the comparison paths, long-lived in the daemon).
+struct PoolMetrics {
+  obs::Counter& tasks = obs::GlobalMetrics().GetCounter(
+      "pprl_threadpool_tasks_total", "Tasks executed by thread pool workers");
+  obs::Gauge& queue_depth = obs::GlobalMetrics().GetGauge(
+      "pprl_threadpool_queue_depth", "Tasks submitted but not yet started");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
@@ -27,6 +47,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  Metrics().queue_depth.Add(1);
   task_available_.notify_one();
 }
 
@@ -45,7 +66,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    Metrics().queue_depth.Sub(1);
     task();
+    Metrics().tasks.Increment();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

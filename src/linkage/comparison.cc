@@ -4,10 +4,43 @@
 #include <cassert>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace pprl {
 
 namespace {
+
+/// Comparison counters: one relaxed atomic add per Compare*() call (not
+/// per pair), so instrumentation cost is invisible next to the O(pairs)
+/// kernel work. The `path` label is the kernel-dispatch breakdown.
+struct CompareMetrics {
+  obs::Counter& pairs = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_pairs_total",
+      "Candidate pairs evaluated by ComparisonEngine (word loop or bound)");
+  obs::Counter& pruned = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_pairs_pruned_total",
+      "Pairs the cardinality bound rejected without running the word loop");
+  obs::Counter& scalar_calls = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_calls_total", "Compare*() dispatches by execution path",
+      {{"path", "scalar"}});
+  obs::Counter& kernel_calls = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_calls_total", "Compare*() dispatches by execution path",
+      {{"path", "kernel"}});
+  obs::Counter& scalar_parallel_calls = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_calls_total", "Compare*() dispatches by execution path",
+      {{"path", "scalar-parallel"}});
+  obs::Counter& kernel_parallel_calls = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_calls_total", "Compare*() dispatches by execution path",
+      {{"path", "kernel-parallel"}});
+  obs::Counter& fieldwise_calls = obs::GlobalMetrics().GetCounter(
+      "pprl_compare_calls_total", "Compare*() dispatches by execution path",
+      {{"path", "fieldwise"}});
+};
+
+CompareMetrics& Metrics() {
+  static CompareMetrics* m = new CompareMetrics();
+  return *m;
+}
 
 /// Rows per cache tile. Pairs are sorted by (a-tile, b-tile) so the kernel
 /// keeps revisiting the same few hundred rows of each matrix while they
@@ -89,6 +122,8 @@ std::vector<ScoredPair> ComparisonEngine::Compare(
   }
   last_comparisons_ = candidates.size();
   last_pruned_ = 0;
+  Metrics().scalar_calls.Increment();
+  Metrics().pairs.Increment(candidates.size());
   return out;
 }
 
@@ -98,12 +133,15 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatrices(
   assert(measure_.has_value());
   CompareKernelStats stats;
   last_comparisons_ = candidates.size();
+  Metrics().kernel_calls.Increment();
+  Metrics().pairs.Increment(candidates.size());
   if (WorthTiling(a_matrix, b_matrix)) {
     const std::vector<KernelPair> pairs = TiledPairs(candidates);
     std::vector<SlottedScore> hits;
     CompareKernel(*measure_, a_matrix, b_matrix, pairs.data(), pairs.size(), min_score,
                   hits, stats);
     last_pruned_ = stats.pruned;
+    Metrics().pruned.Increment(stats.pruned);
     return EmitInCandidateOrder(std::move(hits), candidates);
   }
   std::vector<ScoredPair> out;
@@ -111,6 +149,7 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatrices(
   CompareKernel(*measure_, a_matrix, b_matrix, candidates.data(), candidates.size(),
                 min_score, out, stats);
   last_pruned_ = stats.pruned;
+  Metrics().pruned.Increment(stats.pruned);
   return out;
 }
 
@@ -149,6 +188,8 @@ std::vector<ScoredPair> ComparisonEngine::CompareParallel(
   for (const auto& buffer : buffers) hits.insert(hits.end(), buffer.begin(), buffer.end());
   last_comparisons_ = n;
   last_pruned_ = 0;
+  Metrics().scalar_parallel_calls.Increment();
+  Metrics().pairs.Increment(n);
   return EmitInCandidateOrder(std::move(hits), candidates);
 }
 
@@ -163,6 +204,8 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
   std::vector<CompareKernelStats> stats(num_chunks);
   last_comparisons_ = n;
+  Metrics().kernel_parallel_calls.Increment();
+  Metrics().pairs.Increment(n);
   if (WorthTiling(a_matrix, b_matrix)) {
     const std::vector<KernelPair> pairs = TiledPairs(candidates);
     std::vector<std::vector<SlottedScore>> buffers(num_chunks);
@@ -183,6 +226,7 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
     }
     last_pruned_ = 0;
     for (const CompareKernelStats& s : stats) last_pruned_ += s.pruned;
+    Metrics().pruned.Increment(last_pruned_);
     return EmitInCandidateOrder(std::move(hits), candidates);
   }
   // Untiled chunks cover ascending candidate ranges and emit finished
@@ -203,6 +247,7 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
   for (const auto& buffer : buffers) out.insert(out.end(), buffer.begin(), buffer.end());
   last_pruned_ = 0;
   for (const CompareKernelStats& s : stats) last_pruned_ += s.pruned;
+  Metrics().pruned.Increment(last_pruned_);
   return out;
 }
 
@@ -234,6 +279,8 @@ std::vector<FieldwiseScoredPair> CompareFieldwise(
     const std::vector<CandidatePair>& candidates, SimilarityMeasure measure) {
   std::vector<FieldwiseScoredPair> out(candidates.size());
   const size_t num_fields = a_field_filters.size();
+  Metrics().fieldwise_calls.Increment();
+  Metrics().pairs.Increment(candidates.size() * num_fields);
   for (size_t i = 0; i < candidates.size(); ++i) {
     out[i].a = candidates[i].a;
     out[i].b = candidates[i].b;

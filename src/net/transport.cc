@@ -14,6 +14,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace pprl {
 
 namespace {
@@ -218,6 +220,30 @@ void TcpListener::Close() {
   }
 }
 
+namespace {
+
+/// Frame-level traffic counters, both directions, headers included —
+/// the wire view the channel's payload accounting deliberately excludes.
+struct FrameMetrics {
+  obs::Counter& frames_in = obs::GlobalMetrics().GetCounter(
+      "pprl_net_frames_total", "Protocol frames by direction", {{"direction", "in"}});
+  obs::Counter& frames_out = obs::GlobalMetrics().GetCounter(
+      "pprl_net_frames_total", "Protocol frames by direction", {{"direction", "out"}});
+  obs::Counter& bytes_in = obs::GlobalMetrics().GetCounter(
+      "pprl_net_frame_bytes_total", "Frame bytes (header + payload) by direction",
+      {{"direction", "in"}});
+  obs::Counter& bytes_out = obs::GlobalMetrics().GetCounter(
+      "pprl_net_frame_bytes_total", "Frame bytes (header + payload) by direction",
+      {{"direction", "out"}});
+};
+
+FrameMetrics& GlobalFrameMetrics() {
+  static FrameMetrics* m = new FrameMetrics();
+  return *m;
+}
+
+}  // namespace
+
 MeteredFrameConnection::MeteredFrameConnection(TcpConnection& conn, Channel* meter,
                                                std::string self, size_t max_payload)
     : conn_(conn),
@@ -229,6 +255,8 @@ MeteredFrameConnection::MeteredFrameConnection(TcpConnection& conn, Channel* met
 Status MeteredFrameConnection::Send(uint8_t type, const std::vector<uint8_t>& payload,
                                     const std::string& tag) {
   PPRL_RETURN_IF_ERROR(writer_.WriteFrame(type, payload));
+  GlobalFrameMetrics().frames_out.Increment();
+  GlobalFrameMetrics().bytes_out.Increment(kFrameHeaderSize + payload.size());
   if (meter_ != nullptr) {
     meter_->Send(self_, peer_.empty() ? "peer" : peer_, payload.size(), tag);
   }
@@ -236,13 +264,22 @@ Status MeteredFrameConnection::Send(uint8_t type, const std::vector<uint8_t>& pa
 }
 
 Result<Frame> MeteredFrameConnection::Receive(const char* (*tag_of)(uint8_t)) {
-  auto frame = reader_.ReadFrame();
+  auto frame = ReceiveUnmetered();  // counts the frame; channel metering below
   if (!frame.ok()) return frame.status();
   MeterReceived(*frame, tag_of);
   return frame;
 }
 
-Result<Frame> MeteredFrameConnection::ReceiveUnmetered() { return reader_.ReadFrame(); }
+Result<Frame> MeteredFrameConnection::ReceiveUnmetered() {
+  auto frame = reader_.ReadFrame();
+  if (frame.ok()) {
+    // Frame counters are independent of the channel's payload metering:
+    // even a frame whose sender is still unknown is wire traffic.
+    GlobalFrameMetrics().frames_in.Increment();
+    GlobalFrameMetrics().bytes_in.Increment(frame->wire_size());
+  }
+  return frame;
+}
 
 void MeteredFrameConnection::MeterReceived(const Frame& frame,
                                            const char* (*tag_of)(uint8_t)) {

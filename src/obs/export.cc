@@ -1,0 +1,194 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pprl::obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Formats a double the way Prometheus expects: integers without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Renders `{k1="v1",k2="v2"}` (empty string for no labels); `extra` (an
+/// already-formatted `le="..."` pair) is appended when non-empty.
+std::string LabelBlock(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : snapshot) {
+    // Snapshot() sorts by name, so series of one family are contiguous and
+    // the HELP/TYPE header is emitted once per family.
+    if (m.name != last_family) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + TypeName(m.type) + "\n";
+      last_family = m.name;
+    }
+    if (m.type == MetricType::kHistogram) {
+      for (size_t i = 0; i < m.cumulative_counts.size(); ++i) {
+        const std::string le =
+            i < m.bounds.size() ? FormatValue(m.bounds[i]) : "+Inf";
+        out += m.name + "_bucket" + LabelBlock(m.labels, "le=\"" + le + "\"") +
+               " " + std::to_string(m.cumulative_counts[i]) + "\n";
+      }
+      out += m.name + "_sum" + LabelBlock(m.labels) + " " + FormatValue(m.sum) + "\n";
+      out +=
+          m.name + "_count" + LabelBlock(m.labels) + " " + std::to_string(m.count) + "\n";
+    } else {
+      out += m.name + LabelBlock(m.labels) + " " + FormatValue(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const MetricSnapshot& m = snapshot[i];
+    out += "    {\"name\": \"" + EscapeJson(m.name) + "\", \"type\": \"" +
+           TypeName(m.type) + "\", \"labels\": {";
+    for (size_t j = 0; j < m.labels.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + EscapeJson(m.labels[j].first) + "\": \"" +
+             EscapeJson(m.labels[j].second) + "\"";
+    }
+    out += "}";
+    if (m.type == MetricType::kHistogram) {
+      out += ", \"count\": " + std::to_string(m.count) +
+             ", \"sum\": " + FormatValue(m.sum) + ", \"buckets\": [";
+      for (size_t j = 0; j < m.cumulative_counts.size(); ++j) {
+        if (j > 0) out += ", ";
+        const std::string le =
+            j < m.bounds.size() ? FormatValue(m.bounds[j]) : "\"+Inf\"";
+        out += "{\"le\": " + le +
+               ", \"cumulative_count\": " + std::to_string(m.cumulative_counts[j]) + "}";
+      }
+      out += "]";
+    } else {
+      out += ", \"value\": " + FormatValue(m.value);
+    }
+    out += "}";
+    if (i + 1 < snapshot.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool DumpMetricsJson(const std::string& path) {
+  if (path.empty()) return false;
+  const std::string body = RenderJson(GlobalMetrics().Snapshot());
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open metrics dump file %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool MaybeDumpMetricsJson() {
+  const char* path = std::getenv("PPRL_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return false;
+  return DumpMetricsJson(path);
+}
+
+}  // namespace pprl::obs

@@ -1,0 +1,38 @@
+#ifndef PPRL_OBS_EXPORT_H_
+#define PPRL_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pprl::obs {
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one `# HELP` / `# TYPE` block per metric family,
+/// histogram series expanded into `_bucket{le=...}` / `_sum` / `_count`.
+/// This is what the daemon's /metrics endpoint serves.
+std::string RenderPrometheusText(const std::vector<MetricSnapshot>& snapshot);
+
+/// Renders a snapshot as a JSON document:
+///   {"metrics": [{"name": ..., "type": ..., "labels": {...}, "value": N}
+///                | {..., "count": N, "sum": S, "buckets": [{"le": B,
+///                   "cumulative_count": N}, ...]}]}
+/// Used by pprl_cli and the bench harness to dump run metrics to a file.
+std::string RenderJson(const std::vector<MetricSnapshot>& snapshot);
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string EscapeLabelValue(const std::string& value);
+
+/// If the PPRL_METRICS_JSON environment variable is set, writes the
+/// global registry's snapshot as JSON to that path ("-" = stdout) and
+/// returns true. The hook every CLI/bench binary calls on exit so any run
+/// can be told to leave a machine-readable metrics dump behind.
+bool MaybeDumpMetricsJson();
+
+/// Same, to an explicit path (empty = do nothing, "-" = stdout).
+bool DumpMetricsJson(const std::string& path);
+
+}  // namespace pprl::obs
+
+#endif  // PPRL_OBS_EXPORT_H_

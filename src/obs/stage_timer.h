@@ -1,0 +1,58 @@
+#ifndef PPRL_OBS_STAGE_TIMER_H_
+#define PPRL_OBS_STAGE_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pprl::obs {
+
+/// Scoped wall-time span for one pipeline stage. Construction starts the
+/// clock; Stop() (or destruction) records the elapsed seconds into the
+/// `pprl_stage_seconds{stage="<name>"}` histogram of the registry, so the
+/// per-stage latency distribution the survey's velocity axis (Figure 3)
+/// asks about accumulates automatically across runs.
+///
+/// Stop() returns the elapsed seconds so callers that also report wall
+/// time through their own result structs (LinkageOutput) record the exact
+/// same number they exported.
+class StageTimer {
+ public:
+  explicit StageTimer(const std::string& stage,
+                      MetricsRegistry& registry = GlobalMetrics())
+      : histogram_(&registry.GetHistogram("pprl_stage_seconds",
+                                          "Wall time of one pipeline stage run",
+                                          DefaultLatencyBuckets(),
+                                          {{"stage", stage}})),
+        start_(Clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    if (!stopped_) Stop();
+  }
+
+  /// Records the span once and returns the elapsed seconds; later calls
+  /// return the recorded value without observing again.
+  double Stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_ = std::chrono::duration<double>(Clock::now() - start_).count();
+      histogram_->Observe(elapsed_);
+    }
+    return elapsed_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+  bool stopped_ = false;
+  double elapsed_ = 0;
+};
+
+}  // namespace pprl::obs
+
+#endif  // PPRL_OBS_STAGE_TIMER_H_

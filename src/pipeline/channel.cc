@@ -1,9 +1,22 @@
 #include "pipeline/channel.h"
 
+#include "obs/metrics.h"
+
 namespace pprl {
 
 size_t Channel::Send(const std::string& from, const std::string& to,
                      size_t payload_bytes, const std::string& tag) {
+  // Lift every send into the global registry as per-tag counters; sends
+  // are O(messages), not O(pairs), so the registry lookup is cheap here.
+  obs::GlobalMetrics()
+      .GetCounter("pprl_channel_messages_total",
+                  "Protocol messages metered through Channel::Send",
+                  {{"tag", tag}})
+      .Increment();
+  obs::GlobalMetrics()
+      .GetCounter("pprl_channel_bytes_total",
+                  "Payload bytes metered through Channel::Send", {{"tag", tag}})
+      .Increment(payload_bytes);
   std::lock_guard<std::mutex> lock(mutex_);
   ++total_messages_;
   total_bytes_ += payload_bytes;

@@ -4,6 +4,8 @@
 #include "common/bit_matrix.h"
 #include "common/random.h"
 #include "linkage/comparison.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "similarity/similarity.h"
 
 namespace pprl {
@@ -96,11 +98,16 @@ Result<MultiPartyLinkageResult> LinkageUnitService::Link(
     return Status::InvalidArgument("first shipment is empty");
   }
 
+  obs::GlobalMetrics()
+      .GetCounter("pprl_linkage_runs_total",
+                  "Multi-party linkage runs at a linkage unit")
+      .Increment();
   MultiPartyLinkageResult result;
   Rng rng(options.lsh_seed);
   const HammingLshBlocker blocker(filter_bits, options.lsh_tables,
                                   options.lsh_bits_per_key, rng);
   // Pre-build every database's LSH index and contiguous bit matrix once.
+  obs::StageTimer block_span("block");
   std::vector<BlockIndex> indexes;
   std::vector<BitMatrix> matrices;
   indexes.reserve(databases_.size());
@@ -109,12 +116,14 @@ Result<MultiPartyLinkageResult> LinkageUnitService::Link(
     indexes.push_back(blocker.BuildIndex(db.filters));
     matrices.push_back(BitMatrix::FromVectors(db.filters));
   }
+  block_span.Stop();
 
   // The kernel's min_score sits 2e-12 under the acceptance test below, so
   // cardinality pruning can never skip a pair that `dice + 1e-12 >=
   // threshold` would have kept; the final filter reproduces the exact
   // tolerance semantics of the scalar path.
   const ComparisonEngine engine(SimilarityMeasure::kDice);
+  obs::StageTimer compare_span("compare");
   for (uint32_t d1 = 0; d1 < databases_.size(); ++d1) {
     for (uint32_t d2 = d1 + 1; d2 < databases_.size(); ++d2) {
       const auto candidates =
@@ -131,8 +140,11 @@ Result<MultiPartyLinkageResult> LinkageUnitService::Link(
       }
     }
   }
+  compare_span.Stop();
+  obs::StageTimer cluster_span("cluster");
   result.clusters = options.use_star_clustering ? StarClustering(result.edges)
                                                 : ConnectedComponents(result.edges);
+  cluster_span.Stop();
   return result;
 }
 

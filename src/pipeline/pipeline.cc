@@ -4,11 +4,12 @@
 
 #include "blocking/blocking.h"
 #include "blocking/lsh_blocking.h"
-#include "common/timer.h"
 #include "eval/quality_estimation.h"
 #include "encoding/hardening.h"
 #include "linkage/classifier.h"
 #include "linkage/matching.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "similarity/similarity.h"
 
 namespace pprl {
@@ -91,17 +92,19 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
   PPRL_RETURN_IF_ERROR(config_.bloom.Validate());
   LinkageOutput out;
   Channel channel;
-  Timer timer;
+  obs::GlobalMetrics()
+      .GetCounter("pprl_pipeline_runs_total", "End-to-end PprlPipeline::Link runs")
+      .Increment();
 
   // --- Each database owner encodes locally. -------------------------------
+  obs::StageTimer encode_span("encode");
   auto a_encoded = EncodeDatabase(a, config_.seed ^ 0xA);
   if (!a_encoded.ok()) return a_encoded.status();
   auto b_encoded = EncodeDatabase(b, config_.seed ^ 0xB);
   if (!b_encoded.ok()) return b_encoded.status();
   const std::vector<BitVector>& fa = a_encoded.value();
   const std::vector<BitVector>& fb = b_encoded.value();
-  out.encode_seconds = timer.ElapsedSeconds();
-  timer.Reset();
+  out.encode_seconds = encode_span.Stop();
 
   const size_t filter_bytes = fa.empty() ? 0 : (fa[0].size() + 7) / 8;
   const std::string matcher =
@@ -120,6 +123,7 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
   }
 
   // --- Blocking. ------------------------------------------------------------
+  obs::StageTimer block_span("block");
   std::vector<CandidatePair> candidates;
   switch (config_.blocking) {
     case BlockingScheme::kNone:
@@ -159,23 +163,34 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
     channel.Send("lu-block", matcher, candidates.size() * 8, "candidate-pairs");
   }
   out.candidate_pairs = candidates.size();
-  out.block_seconds = timer.ElapsedSeconds();
-  timer.Reset();
+  out.block_seconds = block_span.Stop();
+  obs::GlobalMetrics()
+      .GetCounter("pprl_pipeline_candidate_pairs_total",
+                  "Candidate pairs produced by the blocking stage")
+      .Increment(candidates.size());
 
   // --- Comparison + classification at the matcher. --------------------------
   // The devirtualized Dice kernel over contiguous bit-matrix storage;
   // scores are bitwise identical to DiceSimilarity(), and pairs whose
   // cardinality bound already falls below the threshold skip the word loop.
+  obs::StageTimer compare_span("compare");
   const ComparisonEngine engine(SimilarityMeasure::kDice);
   std::vector<ScoredPair> scored =
       engine.Compare(fa, fb, candidates, config_.match_threshold);
   out.comparisons = engine.last_comparison_count();
   out.pruned_comparisons = engine.last_pruned_count();
+  const double compare_seconds = compare_span.Stop();
 
+  obs::StageTimer classify_span("classify");
   const ThresholdClassifier classifier(config_.match_threshold, config_.match_threshold);
   std::vector<ScoredPair> matches = classifier.SelectMatches(scored);
   if (config_.one_to_one) matches = GreedyOneToOne(std::move(matches));
-  out.compare_seconds = timer.ElapsedSeconds();
+  // compare_seconds keeps its historical meaning: comparison + classification.
+  out.compare_seconds = compare_seconds + classify_span.Stop();
+  obs::GlobalMetrics()
+      .GetCounter("pprl_pipeline_matches_total",
+                  "Matches emitted by the classification stage")
+      .Increment(matches.size());
 
   // Matcher announces the linked pair ids back to the owners.
   channel.Send(matcher, "party-a", matches.size() * 8, "match-ids");

@@ -4,8 +4,51 @@
 
 #include "common/logging.h"
 #include "net/frame.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace pprl {
+
+namespace {
+
+/// Daemon-side service metrics (see docs/OBSERVABILITY.md for the full
+/// catalogue). Message counters are labelled with the same tags the
+/// channel uses, so the two views cross-check.
+struct ServiceMetrics {
+  obs::Counter& sessions = obs::GlobalMetrics().GetCounter(
+      "pprl_service_sessions_total", "Owner sessions accepted by the daemon");
+  obs::Counter& sessions_failed = obs::GlobalMetrics().GetCounter(
+      "pprl_service_sessions_failed_total",
+      "Sessions ended with an error frame or lost peer");
+  obs::Gauge& active_sessions = obs::GlobalMetrics().GetGauge(
+      "pprl_service_active_sessions", "Sessions currently being handled");
+  obs::Counter& linkage_runs = obs::GlobalMetrics().GetCounter(
+      "pprl_service_linkage_runs_total", "Linkage runs triggered by the daemon");
+  obs::Counter& scrapes = obs::GlobalMetrics().GetCounter(
+      "pprl_metrics_scrapes_total", "Snapshots served by the /metrics endpoint");
+  obs::Histogram& session_seconds = obs::GlobalMetrics().GetHistogram(
+      "pprl_service_session_seconds",
+      "Wall time of one owner session, accept to close",
+      obs::DefaultLatencyBuckets());
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics* m = new ServiceMetrics();
+  return *m;
+}
+
+/// Counts one protocol message by its channel tag ("hello",
+/// "encoded-filters", ...), split by direction.
+void CountMessage(uint8_t type, const char* direction) {
+  obs::GlobalMetrics()
+      .GetCounter("pprl_service_messages_total",
+                  "Protocol messages handled by the daemon, by type",
+                  {{"type", MessageTypeTag(type)}, {"direction", direction}})
+      .Increment();
+}
+
+}  // namespace
 
 LinkageUnitServer::LinkageUnitServer(LinkageUnitServerConfig config)
     : config_(std::move(config)), unit_(config_.name) {}
@@ -20,6 +63,22 @@ Status LinkageUnitServer::Start() {
     return Status::InvalidArgument("a linkage unit needs >= 2 expected owners");
   }
   PPRL_RETURN_IF_ERROR(listener_.Listen(config_.port, config_.loopback_only));
+  if (config_.metrics_port >= 0) {
+    MetricsHttpServerConfig metrics_config;
+    metrics_config.port = static_cast<uint16_t>(config_.metrics_port);
+    metrics_config.loopback_only = config_.loopback_only;
+    metrics_server_ = std::make_unique<MetricsHttpServer>(metrics_config, [] {
+      Metrics().scrapes.Increment();
+      return obs::RenderPrometheusText(obs::GlobalMetrics().Snapshot());
+    });
+    const Status metrics_started = metrics_server_->Start();
+    if (!metrics_started.ok()) {
+      listener_.Close();
+      metrics_server_.reset();
+      started_.store(false);
+      return metrics_started;
+    }
+  }
   pool_ = std::make_unique<ThreadPool>(config_.expected_owners + config_.extra_threads);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   PPRL_LOG(kInfo) << "linkage unit '" << config_.name << "' listening on port "
@@ -38,6 +97,8 @@ void LinkageUnitServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   // Draining the pool joins every in-flight session handler.
   pool_.reset();
+  // Last, so operators can scrape right up to the daemon's end.
+  metrics_server_.reset();
 }
 
 void LinkageUnitServer::AcceptLoop() {
@@ -59,6 +120,8 @@ void LinkageUnitServer::FailSession(MeteredFrameConnection& mfc, const Status& s
   PPRL_LOG(kWarning) << "session with '"
                      << (mfc.peer().empty() ? "<unknown>" : mfc.peer())
                      << "' failed: " << status.ToString();
+  Metrics().sessions_failed.Increment();
+  CountMessage(static_cast<uint8_t>(MessageType::kError), "out");
   // Best effort: the peer may already be gone.
   mfc.Send(static_cast<uint8_t>(MessageType::kError), EncodeError(status),
            MessageTypeTag(static_cast<uint8_t>(MessageType::kError)));
@@ -67,6 +130,7 @@ void LinkageUnitServer::FailSession(MeteredFrameConnection& mfc, const Status& s
 void LinkageUnitServer::RunLinkageIfReady() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (linkage_ran_ || owner_order_.size() < config_.expected_owners) return;
+  Metrics().linkage_runs.Increment();
   auto result = unit_.Link(config_.link_options);
   linkage_status_ = result.status();
   if (result.ok()) linkage_result_ = std::move(*result);
@@ -88,11 +152,18 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
   conn->SetIoTimeout(config_.io_timeout_ms);
   MeteredFrameConnection mfc(*conn, &channel_, config_.name,
                              config_.max_frame_payload);
+  Metrics().sessions.Increment();
+  Metrics().active_sessions.Add(1);
+  const auto session_start = std::chrono::steady_clock::now();
 
   const auto finish = [&] {
     wire_bytes_received_ += conn->wire_bytes_received();
     wire_bytes_sent_ += conn->wire_bytes_sent();
     conn->Close();
+    Metrics().active_sessions.Sub(1);
+    Metrics().session_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - session_start)
+            .count());
   };
 
   // 1. Handshake. The first frame is metered only after it names the
@@ -118,6 +189,7 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
   }
   mfc.set_peer(hello->party);
   mfc.MeterReceived(*hello_frame, MessageTypeTag);
+  CountMessage(hello_frame->type, "in");
   if (hello->protocol_version != kWireProtocolVersion) {
     FailSession(mfc, Status::ProtocolViolation(
                          "protocol version mismatch: server speaks " +
@@ -148,6 +220,7 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
   ack.protocol_version = kWireProtocolVersion;
   ack.server = config_.name;
   ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
+  CountMessage(static_cast<uint8_t>(MessageType::kHelloAck), "out");
   if (!mfc.Send(static_cast<uint8_t>(MessageType::kHelloAck), EncodeHelloAck(ack),
                 MessageTypeTag(static_cast<uint8_t>(MessageType::kHelloAck)))
            .ok()) {
@@ -170,6 +243,7 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
     finish();
     return;
   }
+  CountMessage(shipment_frame->type, "in");
   auto shipment = DecodeShipment(shipment_frame->payload, hello->filter_bits);
   if (!shipment.ok()) {
     FailSession(mfc, shipment.status());
@@ -205,6 +279,7 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
     ship_ack.owners_shipped = static_cast<uint32_t>(owner_order_.size());
     ship_ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
   }
+  CountMessage(static_cast<uint8_t>(MessageType::kShipmentAck), "out");
   if (!mfc.Send(static_cast<uint8_t>(MessageType::kShipmentAck),
                 EncodeShipmentAck(ship_ack),
                 MessageTypeTag(static_cast<uint8_t>(MessageType::kShipmentAck)))
@@ -234,6 +309,7 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
     }
     summary = SummarizeForOwner(linkage_result_, database_index);
   }
+  CountMessage(static_cast<uint8_t>(MessageType::kResults), "out");
   const bool delivered =
       mfc.Send(static_cast<uint8_t>(MessageType::kResults), EncodeResults(summary),
                MessageTypeTag(static_cast<uint8_t>(MessageType::kResults)))

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "net/metrics_http.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
 #include "service/protocol.h"
@@ -37,6 +38,10 @@ struct LinkageUnitServerConfig {
   /// How often the accept loop wakes to check for Stop().
   int accept_poll_ms = 100;
   size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Port of the Prometheus /metrics side endpoint: -1 disables it, 0
+  /// binds an ephemeral port (read back via metrics_port()), anything else
+  /// binds that port. The endpoint honours loopback_only.
+  int metrics_port = -1;
 };
 
 /// The linkage unit as a daemon: accepts owner connections over TCP,
@@ -72,6 +77,11 @@ class LinkageUnitServer {
   /// The bound port (valid after Start()).
   uint16_t port() const { return listener_.port(); }
 
+  /// The bound port of the /metrics endpoint (0 when disabled).
+  uint16_t metrics_port() const {
+    return metrics_server_ ? metrics_server_->port() : 0;
+  }
+
   const std::string& name() const { return config_.name; }
 
   /// The metered protocol traffic (payload bytes by route and tag).
@@ -100,6 +110,7 @@ class LinkageUnitServer {
   TcpListener listener_;
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<MetricsHttpServer> metrics_server_;
   Channel channel_;
 
   mutable std::mutex mutex_;

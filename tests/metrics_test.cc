@@ -1,0 +1,271 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/stage_timer.h"
+
+namespace pprl::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(5);
+  g.Sub(7);
+  EXPECT_EQ(g.value(), 8);
+  g.Sub(20);
+  EXPECT_EQ(g.value(), -12);  // gauges may go negative
+}
+
+TEST(HistogramTest, ObservationsLandInLeBuckets) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // <= 0.1
+  h.Observe(0.1);    // le semantics: boundary belongs to its bucket
+  h.Observe(0.5);    // <= 1.0
+  h.Observe(10.0);   // <= 10.0
+  h.Observe(100.0);  // +Inf
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.05 + 0.1 + 0.5 + 10.0 + 100.0);
+}
+
+TEST(HistogramTest, NoBoundsMeansEverythingIsInf) {
+  Histogram h({});
+  h.Observe(1.0);
+  h.Observe(-3.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(RegistryTest, SameSeriesReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("pairs_total", "pairs");
+  Counter& b = registry.GetCounter("pairs_total", "pairs");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, LabelsDistinguishSeries) {
+  MetricsRegistry registry;
+  Counter& in = registry.GetCounter("frames", "frames", {{"direction", "in"}});
+  Counter& out = registry.GetCounter("frames", "frames", {{"direction", "out"}});
+  EXPECT_NE(&in, &out);
+  EXPECT_EQ(registry.size(), 2u);
+  in.Increment(3);
+  out.Increment(5);
+  EXPECT_EQ(in.value(), 3u);
+  EXPECT_EQ(out.value(), 5u);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsDetachedInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("depth", "a counter");
+  Gauge& orphan = registry.GetGauge("depth", "now a gauge?");
+  orphan.Set(99);  // must be safe to use...
+  EXPECT_EQ(registry.size(), 1u);
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].type, MetricType::kCounter);  // ...but never exported
+}
+
+TEST(RegistryTest, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("zzz", "last");
+  registry.GetCounter("aaa", "first", {{"tag", "b"}});
+  registry.GetCounter("aaa", "first", {{"tag", "a"}});
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "aaa");
+  EXPECT_EQ(snapshot[0].labels[0].second, "a");
+  EXPECT_EQ(snapshot[1].labels[0].second, "b");
+  EXPECT_EQ(snapshot[2].name, "zzz");
+}
+
+TEST(RegistryTest, HistogramSnapshotIsCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat", "latency", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(99.0);
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const auto& s = snapshot[0];
+  EXPECT_EQ(s.type, MetricType::kHistogram);
+  ASSERT_EQ(s.cumulative_counts.size(), 3u);
+  EXPECT_EQ(s.cumulative_counts[0], 1u);
+  EXPECT_EQ(s.cumulative_counts[1], 2u);
+  EXPECT_EQ(s.cumulative_counts[2], 3u);  // +Inf == count
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.5 + 99.0);
+}
+
+// The lock-free fast path must not lose updates under contention; run
+// under PPRL_SANITIZE=thread this also proves the data-race freedom the
+// header claims.
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Counter& counter = registry.GetCounter("hits", "hits");
+  Histogram& histogram = registry.GetHistogram("obs", "obs", {0.5});
+  Gauge& gauge = registry.GetGauge("depth", "depth");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Mix registration (locked) with updates (lock-free) on purpose.
+      Counter& local = registry.GetCounter("hits", "hits");
+      for (int i = 0; i < kPerThread; ++i) {
+        local.Increment();
+        gauge.Add(1);
+        gauge.Sub(1);
+        histogram.Observe(t % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(histogram.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  const auto buckets = histogram.bucket_counts();
+  EXPECT_EQ(buckets[0] + buckets[1], histogram.count());
+  EXPECT_DOUBLE_EQ(histogram.sum(),
+                   (kThreads / 2) * kPerThread * 0.25 + (kThreads / 2) * kPerThread * 0.75);
+}
+
+TEST(RegistryTest, SnapshotWhileWritersRun) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("live", "live");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) counter.Increment();
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto snapshot = registry.Snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    const auto v = static_cast<uint64_t>(snapshot[0].value);
+    EXPECT_GE(v, last);  // counters are monotone even mid-flight
+    last = v;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(PrometheusTextTest, RendersFamiliesBucketsAndEscapes) {
+  MetricsRegistry registry;
+  registry.GetCounter("pprl_pairs_total", "Pairs compared").Increment(7);
+  registry.GetCounter("pprl_bytes_total", "Bytes by tag", {{"tag", "clk\"v1\"\n"}})
+      .Increment(9);
+  registry.GetGauge("pprl_depth", "Queue depth").Set(-2);
+  registry.GetHistogram("pprl_lat_seconds", "Latency", {0.5, 1.0}).Observe(0.75);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+
+  EXPECT_NE(text.find("# HELP pprl_pairs_total Pairs compared\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pprl_pairs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_pairs_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_bytes_total{tag=\"clk\\\"v1\\\"\\n\"} 9\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pprl_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pprl_lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_lat_seconds_bucket{le=\"0.5\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_lat_seconds_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_lat_seconds_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("pprl_lat_seconds_sum 0.75\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HelpAndTypeOncePerFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("pprl_frames", "Frames", {{"direction", "in"}});
+  registry.GetCounter("pprl_frames", "Frames", {{"direction", "out"}});
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  size_t first = text.find("# TYPE pprl_frames counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE pprl_frames counter", first + 1), std::string::npos);
+}
+
+TEST(JsonTest, RendersValuesAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("pairs", "p", {{"path", "kernel"}}).Increment(12);
+  registry.GetHistogram("lat", "l", {1.0}).Observe(2.0);
+  const std::string json = RenderJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"name\": \"pairs\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"cumulative_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(JsonTest, DumpWritesFile) {
+  GlobalMetrics().GetCounter("pprl_test_dump_total", "test").Increment();
+  const std::string path = ::testing::TempDir() + "/metrics_dump.json";
+  ASSERT_TRUE(DumpMetricsJson(path));
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("pprl_test_dump_total"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StageTimerTest, RecordsIntoStageSecondsHistogram) {
+  MetricsRegistry registry;
+  double elapsed = 0;
+  {
+    StageTimer timer("encode", registry);
+    elapsed = timer.Stop();
+    timer.Stop();  // idempotent: must not observe twice
+  }  // destructor after Stop(): still one observation
+  EXPECT_GE(elapsed, 0.0);
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "pprl_stage_seconds");
+  ASSERT_EQ(snapshot[0].labels.size(), 1u);
+  EXPECT_EQ(snapshot[0].labels[0].first, "stage");
+  EXPECT_EQ(snapshot[0].labels[0].second, "encode");
+  EXPECT_EQ(snapshot[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot[0].sum, elapsed);
+}
+
+TEST(StageTimerTest, DestructorRecordsWhenNotStopped) {
+  MetricsRegistry registry;
+  { StageTimer timer("block", registry); }
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].count, 1u);
+}
+
+TEST(GlobalMetricsTest, IsSingleProcessWideRegistry) {
+  MetricsRegistry& a = GlobalMetrics();
+  MetricsRegistry& b = GlobalMetrics();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace pprl::obs

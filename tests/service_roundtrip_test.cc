@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "datagen/generator.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
 #include "pipeline/party.h"
 #include "pipeline/pipeline.h"
 #include "service/client.h"
@@ -15,6 +17,28 @@
 
 namespace pprl {
 namespace {
+
+/// One GET against the daemon's metrics endpoint; returns the raw HTTP
+/// response (headers + body).
+std::string Scrape(uint16_t port) {
+  ConnectOptions options;
+  options.io_timeout_ms = 5000;
+  auto conn = TcpConnection::Connect("127.0.0.1", port, options);
+  if (!conn.ok()) return "connect failed: " + conn.status().ToString();
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (!(*conn)->Write(reinterpret_cast<const uint8_t*>(request.data()), request.size())
+           .ok()) {
+    return "write failed";
+  }
+  std::string response;
+  uint8_t buf[4096];
+  while (true) {
+    auto n = (*conn)->Read(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    response.append(reinterpret_cast<const char*>(buf), *n);
+  }
+  return response;
+}
 
 ClkEncoder SharedEncoder() {
   PipelineConfig config;
@@ -69,9 +93,11 @@ TEST(ServiceRoundtripTest, ThreeOwnerLoopbackMatchesInProcessPath) {
   server_config.expected_owners = 3;
   server_config.link_options = options;
   server_config.io_timeout_ms = 10000;
+  server_config.metrics_port = 0;  // ephemeral Prometheus side endpoint
   LinkageUnitServer server(server_config);
   ASSERT_TRUE(server.Start().ok());
   ASSERT_GT(server.port(), 0);
+  ASSERT_GT(server.metrics_port(), 0);
 
   Channel client_channel;  // shared by all owners (thread-safe)
   std::vector<std::thread> sessions;
@@ -149,6 +175,42 @@ TEST(ServiceRoundtripTest, ThreeOwnerLoopbackMatchesInProcessPath) {
     EXPECT_EQ(summaries[d].total_clusters, expected.total_clusters);
     EXPECT_GT(summaries[d].matches.size(), 10u) << names[d];
   }
+
+  // The daemon's observability surface: a Prometheus scrape of the side
+  // endpoint must expose the per-stage latency histograms and the channel
+  // byte counters of the run that just finished.
+  const std::string scrape = Scrape(server.metrics_port());
+  EXPECT_NE(scrape.find("200 OK"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("# TYPE pprl_stage_seconds histogram"), std::string::npos);
+  for (const char* stage : {"block", "compare", "cluster"}) {
+    EXPECT_NE(scrape.find("pprl_stage_seconds_bucket{stage=\"" + std::string(stage) +
+                          "\",le=\"+Inf\"}"),
+              std::string::npos)
+        << "missing stage histogram: " << stage;
+  }
+  EXPECT_NE(scrape.find("pprl_channel_bytes_total{tag=\"encoded-filters\"}"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("pprl_service_session_seconds_count"), std::string::npos);
+
+  // And the global registry itself recorded the daemon's work: sessions
+  // served, frames moved, pairs compared.
+  auto& metrics = obs::GlobalMetrics();
+  EXPECT_GE(metrics.GetCounter("pprl_service_sessions_total",
+                               "Owner sessions accepted")
+                .value(),
+            3u);
+  EXPECT_GE(metrics
+                .GetCounter("pprl_net_frames_total", "Frames moved",
+                            {{"direction", "in"}})
+                .value(),
+            6u);  // 3 × (hello + shipment)
+  EXPECT_GT(metrics.GetCounter("pprl_compare_pairs_total", "Pairs compared").value(),
+            0u);
+  EXPECT_GE(metrics
+                .GetCounter("pprl_service_messages_total", "Protocol messages",
+                            {{"type", "encoded-filters"}, {"direction", "in"}})
+                .value(),
+            3u);
 
   server.Stop();
 }
