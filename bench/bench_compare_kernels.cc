@@ -6,7 +6,12 @@
 // filters. Optionally writes the numbers as JSON (BENCH_compare.json is
 // the committed baseline) so later PRs can track the trajectory.
 //
-// usage: bench_compare_kernels [out.json]
+// A second, larger sweep drives the end-to-end parallel path: 10k x 10k
+// candidates streamed in shards from blocking straight into the
+// work-stealing scheduler (linkage/parallel_linkage.h) at 1/2/4/8 workers.
+// BENCH_parallel.json is its committed baseline.
+//
+// usage: bench_compare_kernels [out.json [parallel_out.json]]
 
 #include <cstdio>
 #include <string>
@@ -16,13 +21,19 @@
 #include "common/timer.h"
 #include "encoding/bloom_filter.h"
 #include "linkage/comparison.h"
+#include "linkage/parallel_linkage.h"
 #include "pipeline/pipeline.h"
 
 namespace pprl::bench {
 namespace {
 
 constexpr size_t kRecordsPerSide = 1000;
+constexpr size_t kParallelRecordsPerSide = 10000;
 constexpr double kPruneThreshold = 0.7;
+/// The streaming sweep runs at a linkage-realistic threshold: at 0.7 most
+/// of the dense 500-bit cross product scores as a hit and the bench would
+/// time result materialization instead of the comparison path.
+constexpr double kParallelThreshold = 0.85;
 constexpr int kReps = 3;
 
 struct Measurement {
@@ -98,6 +109,51 @@ std::vector<Measurement> BenchAtWidth(size_t bits, const Database& a, const Data
   return out;
 }
 
+struct ParallelMeasurement {
+  size_t threads = 0;
+  size_t bits = 0;
+  double pairs_per_sec = 0;
+  size_t pruned = 0;
+};
+
+/// The streaming sweep: all 10k x 10k pairs flow from StreamFullPairs
+/// through the scheduler in 8192-pair shards — candidate generation,
+/// dispatch and merge are all inside the timed region, so this measures
+/// the pipeline's parallel path, not just the kernel loop.
+std::vector<ParallelMeasurement> BenchParallelAtWidth(size_t bits, const Database& a,
+                                                      const Database& b) {
+  BloomFilterParams bloom;
+  bloom.num_bits = bits;
+  const ClkEncoder encoder(bloom, PprlPipeline::DefaultFieldConfigs());
+  const std::vector<BitVector> fa = encoder.EncodeDatabase(a).value();
+  const std::vector<BitVector> fb = encoder.EncodeDatabase(b).value();
+  const BitMatrix ma = BitMatrix::FromVectors(fa);
+  const BitMatrix mb = BitMatrix::FromVectors(fb);
+  const size_t n = fa.size() * fb.size();
+
+  std::vector<ParallelMeasurement> out;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ParallelMeasurement m;
+    m.threads = threads;
+    m.bits = bits;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ParallelLinkageOptions options;
+      options.num_threads = threads;
+      Timer timer;
+      const StreamCompareResult result = StreamCompareShards(
+          SimilarityMeasure::kDice, ma, mb, kParallelThreshold, options,
+          [&](const CandidateShardFn& emit) {
+            StreamFullPairs(fa.size(), fb.size(), options.shard_size, emit);
+          });
+      const double rate = static_cast<double>(n) / timer.ElapsedSeconds();
+      if (rate > m.pairs_per_sec) m.pairs_per_sec = rate;
+      m.pruned = result.pruned;
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   auto [a, b] = TwoDatabases(kRecordsPerSide, 1.2);
   const size_t num_pairs = kRecordsPerSide * kRecordsPerSide;
@@ -141,6 +197,56 @@ int Main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", argv[1]);
+  }
+
+  // --- Streaming parallel sweep -------------------------------------------
+  auto [pa, pb] = TwoDatabases(kParallelRecordsPerSide, 1.2);
+  const size_t parallel_pairs = kParallelRecordsPerSide * kParallelRecordsPerSide;
+  std::printf("\nstreaming parallel path, %zu x %zu records (%zu candidate pairs), "
+              "Dice threshold %.2f, shard size %zu\n\n",
+              kParallelRecordsPerSide, kParallelRecordsPerSide, parallel_pairs,
+              kParallelThreshold, ParallelLinkageOptions{}.shard_size);
+
+  std::vector<ParallelMeasurement> parallel_all;
+  for (const size_t bits : {size_t{500}, size_t{1000}}) {
+    const auto rows = BenchParallelAtWidth(bits, pa, pb);
+    parallel_all.insert(parallel_all.end(), rows.begin(), rows.end());
+  }
+
+  PrintHeader({"config", "bits", "Mpairs/s", "pruned", "vs t1"});
+  double t1_rate = 0;
+  for (const ParallelMeasurement& m : parallel_all) {
+    if (m.threads == 1) t1_rate = m.pairs_per_sec;
+    PrintRow({"stream-t" + std::to_string(m.threads), Fmt(m.bits),
+              Fmt(m.pairs_per_sec / 1e6, 2), Fmt(m.pruned),
+              Fmt(m.pairs_per_sec / t1_rate, 2) + "x"});
+  }
+
+  if (argc > 2) {
+    std::FILE* f = std::fopen(argv[2], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_compare_kernels_parallel\",\n");
+    std::fprintf(f, "  \"records_per_side\": %zu,\n  \"candidate_pairs\": %zu,\n",
+                 kParallelRecordsPerSide, parallel_pairs);
+    std::fprintf(f, "  \"prune_threshold\": %.2f,\n  \"shard_size\": %zu,\n",
+                 kParallelThreshold, ParallelLinkageOptions{}.shard_size);
+    std::fprintf(f, "  \"measurements\": [\n");
+    for (size_t i = 0; i < parallel_all.size(); ++i) {
+      const ParallelMeasurement& m = parallel_all[i];
+      if (m.threads == 1) t1_rate = m.pairs_per_sec;
+      std::fprintf(f,
+                   "    {\"config\": \"stream-t%zu\", \"bits\": %zu, \"threads\": %zu, "
+                   "\"pairs_per_sec\": %.0f, \"pruned\": %zu, "
+                   "\"speedup_vs_t1\": %.2f}%s\n",
+                   m.threads, m.bits, m.threads, m.pairs_per_sec, m.pruned,
+                   m.pairs_per_sec / t1_rate, i + 1 < parallel_all.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", argv[2]);
   }
   DumpMetricsIfRequested();
   return 0;

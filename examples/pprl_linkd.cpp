@@ -7,10 +7,12 @@
 ///
 /// usage:
 ///   pprl_linkd <port> <expected_owners> [dice_threshold] [--all-interfaces]
-///              [--metrics <port>]
+///              [--metrics <port>] [--threads <n>]
 ///
 /// With --metrics, a Prometheus text endpoint (GET /metrics) is served on
 /// the given port (0 picks an ephemeral one; the bound port is printed).
+/// With --threads > 1, linkage runs stream candidate shards through a
+/// shared work-stealing scheduler; results are identical to serial runs.
 ///
 /// example (three terminals):
 ///   ./build/examples/pprl_linkd 7001 2
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: pprl_linkd <port> <expected_owners> [dice_threshold]"
-                 " [--all-interfaces] [--metrics <port>]\n");
+                 " [--all-interfaces] [--metrics <port>] [--threads <n>]\n");
     return 2;
   }
   LinkageUnitServerConfig config;
@@ -45,6 +47,9 @@ int main(int argc, char** argv) {
     if (arg == "--all-interfaces") config.loopback_only = false;
     if (arg == "--metrics" && i + 1 < argc) {
       config.metrics_port = std::atoi(argv[++i]);
+    }
+    if (arg == "--threads" && i + 1 < argc) {
+      config.link_threads = static_cast<size_t>(std::atoll(argv[++i]));
     }
   }
 

@@ -20,18 +20,44 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 echo "check.sh: all tests passed under ASan+UBSan"
 
 # ThreadSanitizer gate for the concurrent paths: the parallel comparison
-# engine, the batch kernels it chunks across the pool, the pool itself,
-# and the lock-free metrics registry they all report into. Scoped to
-# those tests — TSan slows everything ~10x and the rest of the suite is
+# engine, the batch kernels it chunks across the scheduler, the
+# work-stealing scheduler itself, the streaming parallel pipeline, and
+# the lock-free metrics registry they all report into. Scoped to those
+# tests — TSan slows everything ~10x and the rest of the suite is
 # single-threaded.
 TSAN_BUILD_DIR=build-tsan
 cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DPPRL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
-  --target comparison_test compare_kernels_test thread_pool_test metrics_test
+  --target comparison_test compare_kernels_test thread_pool_test \
+           parallel_pipeline_test metrics_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-  -R '^(comparison_test|compare_kernels_test|thread_pool_test|metrics_test)$'
+  -R '^(comparison_test|compare_kernels_test|thread_pool_test|parallel_pipeline_test|metrics_test)$'
 echo "check.sh: concurrency tests passed under TSan"
+
+# Scaling smoke: the streaming parallel path must actually scale. Run the
+# committed benchmark's parallel sweep from an optimized build and compare
+# stream-t4 against stream-t1 at 500 bits. On a multi-core box t4 below
+# 1.5x t1 fails the gate; on smaller machines (including this repo's
+# 1-core reference box, where extra workers can only help by overlapping
+# stalls) t4 merely must not collapse below 0.8x t1.
+PERF_BUILD_DIR=build
+cmake -B "${PERF_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${PERF_BUILD_DIR}" -j "$(nproc)" --target bench_compare_kernels
+SCALING_JSON=$(mktemp /tmp/pprl-parallel-XXXX.json)
+"${PERF_BUILD_DIR}"/bench/bench_compare_kernels /dev/null "${SCALING_JSON}" >/dev/null
+python3 - "${SCALING_JSON}" "$(nproc)" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+cores = int(sys.argv[2])
+rates = {m["threads"]: m["pairs_per_sec"] for m in data["measurements"] if m["bits"] == 500}
+ratio = rates[4] / rates[1]
+need = 1.5 if cores >= 4 else 0.8
+print(f"check.sh: stream-t4/t1 = {ratio:.2f}x at 500 bits ({cores} cores, need >= {need}x)")
+sys.exit(0 if ratio >= need else 1)
+EOF
+rm -f "${SCALING_JSON}"
+echo "check.sh: parallel scaling smoke passed"

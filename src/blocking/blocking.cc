@@ -117,4 +117,142 @@ std::vector<CandidatePair> FullPairs(size_t size_a, size_t size_b) {
   return pairs;
 }
 
+namespace {
+
+/// Accumulates pairs and hands full shards to the consumer; Flush() emits
+/// the trailing partial shard.
+class ShardEmitter {
+ public:
+  ShardEmitter(size_t shard_size, const CandidateShardFn& emit)
+      : shard_size_(shard_size), emit_(emit) {}
+
+  void Append(std::vector<CandidatePair>&& run) {
+    if (shard_size_ == 0) {
+      EmitShard(std::move(run));
+      return;
+    }
+    // Bulk copy in whole-chunk steps; the per-pair loop this replaces was
+    // the generation bottleneck once the kernels stopped dividing.
+    size_t off = 0;
+    while (off < run.size()) {
+      if (buffer_.empty()) buffer_.reserve(shard_size_);
+      const size_t chunk =
+          std::min(run.size() - off, shard_size_ - buffer_.size());
+      buffer_.insert(buffer_.end(), run.begin() + off, run.begin() + off + chunk);
+      off += chunk;
+      if (buffer_.size() >= shard_size_) EmitShard(std::move(buffer_));
+    }
+  }
+
+  void Flush() {
+    if (!buffer_.empty()) EmitShard(std::move(buffer_));
+  }
+
+ private:
+  void EmitShard(std::vector<CandidatePair>&& pairs) {
+    if (pairs.empty()) return;
+    CandidateShard shard;
+    shard.shard_id = next_id_++;
+    shard.pairs = std::move(pairs);
+    emit_(std::move(shard));
+    buffer_ = {};
+  }
+
+  size_t shard_size_;
+  const CandidateShardFn& emit_;
+  std::vector<CandidatePair> buffer_;
+  uint32_t next_id_ = 0;
+};
+
+}  // namespace
+
+void StreamBlockedPairs(const BlockIndex& a, const BlockIndex& b, size_t shard_size,
+                        const CandidateShardFn& emit) {
+  // Invert `a` into per-record lists of b-side collision lists: one
+  // b.find() per distinct shared key (exactly what the materializing path
+  // pays), O(a-side key occurrences) memory, no pair materialized yet.
+  uint32_t max_record = 0;
+  for (const auto& [key, a_records] : a) {
+    for (uint32_t r : a_records) max_record = std::max(max_record, r);
+  }
+  std::vector<std::vector<const std::vector<uint32_t>*>> hits_of(
+      a.empty() ? 0 : size_t{max_record} + 1);
+  for (const auto& [key, a_records] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) continue;
+    for (uint32_t r : a_records) hits_of[r].push_back(&it->second);
+  }
+
+  // Ascending a-record; each record's b-candidates sorted and deduplicated
+  // locally. Duplicates only arise within one a-record (a pair is the same
+  // (a, b) twice), so local dedup equals the global sort+unique.
+  ShardEmitter shards(shard_size, emit);
+  std::vector<CandidatePair> run;
+  for (uint32_t ra = 0; ra < hits_of.size(); ++ra) {
+    if (hits_of[ra].empty()) continue;
+    run.clear();
+    for (const std::vector<uint32_t>* b_records : hits_of[ra]) {
+      for (uint32_t rb : *b_records) run.push_back({ra, rb});
+    }
+    std::sort(run.begin(), run.end());
+    run.erase(std::unique(run.begin(), run.end()), run.end());
+    shards.Append(std::move(run));
+    run = {};
+  }
+  shards.Flush();
+}
+
+void StreamFullPairs(size_t size_a, size_t size_b, size_t shard_size,
+                     const CandidateShardFn& emit) {
+  if (size_a == 0 || size_b == 0) return;
+  if (shard_size == 0) {
+    // One shard per a-record, matching ShardEmitter's unsharded semantics.
+    uint32_t next_id = 0;
+    for (uint32_t i = 0; i < size_a; ++i) {
+      CandidateShard shard;
+      shard.shard_id = next_id++;
+      shard.pairs.reserve(size_b);
+      for (uint32_t j = 0; j < size_b; ++j) shard.pairs.push_back({i, j});
+      emit(std::move(shard));
+    }
+    return;
+  }
+  // The cross product is dense and its shard boundaries are computable, so
+  // write pairs straight into the shard buffer — no intermediate run, no
+  // per-pair size checks. Shard contents and order are identical to the
+  // ShardEmitter path: full shards of `shard_size`, then the remainder.
+  uint32_t next_id = 0;
+  std::vector<CandidatePair> buf(shard_size);
+  CandidatePair* p = buf.data();
+  const CandidatePair* end = p + shard_size;
+  for (uint32_t i = 0; i < size_a; ++i) {
+    uint32_t j = 0;
+    while (j < size_b) {
+      const size_t chunk =
+          std::min<size_t>(size_b - j, static_cast<size_t>(end - p));
+      for (size_t k = 0; k < chunk; ++k) {
+        p[k] = {i, j + static_cast<uint32_t>(k)};
+      }
+      p += chunk;
+      j += static_cast<uint32_t>(chunk);
+      if (p == end) {
+        CandidateShard shard;
+        shard.shard_id = next_id++;
+        shard.pairs = std::move(buf);
+        emit(std::move(shard));
+        buf.assign(shard_size, CandidatePair{});
+        p = buf.data();
+        end = p + shard_size;
+      }
+    }
+  }
+  if (p != buf.data()) {
+    buf.resize(static_cast<size_t>(p - buf.data()));
+    CandidateShard shard;
+    shard.shard_id = next_id++;
+    shard.pairs = std::move(buf);
+    emit(std::move(shard));
+  }
+}
+
 }  // namespace pprl

@@ -79,6 +79,40 @@ class SortedNeighborhoodBlocker {
 /// All |A| x |B| pairs — the naive baseline blocking is measured against.
 std::vector<CandidatePair> FullPairs(size_t size_a, size_t size_b);
 
+// --- Streaming candidate generation ---------------------------------------
+//
+// The materializing CandidatePairs() functions above build (and sort) one
+// global pair vector — O(candidates) memory before the first comparison
+// runs. The streaming API below instead emits bounded shards of pairs in a
+// deterministic order, so the comparison stage can consume candidates while
+// blocking is still producing them and memory stays O(shard), not O(pairs).
+
+/// A contiguous run of candidate pairs. Shard ids are dense and ascending
+/// in emission order; concatenating shards by id reproduces exactly the
+/// sorted, deduplicated list the materializing functions return.
+struct CandidateShard {
+  uint32_t shard_id = 0;
+  std::vector<CandidatePair> pairs;
+};
+
+/// Consumes one shard (ownership moves to the consumer).
+using CandidateShardFn = std::function<void(CandidateShard)>;
+
+/// Streams the candidate pairs of two block indexes in shards of at most
+/// `shard_size` pairs (the final shard may be shorter; a shard_size of 0
+/// means one shard per run of pairs sharing an a-record). Pair order is
+/// ascending (a, b) with duplicates removed — byte-identical to
+/// StandardBlocker::CandidatePairs(a, b) / HammingLshBlocker counterparts —
+/// but peak memory is O(index + densest a-record's candidates + shard)
+/// instead of O(total pairs).
+void StreamBlockedPairs(const BlockIndex& a, const BlockIndex& b, size_t shard_size,
+                        const CandidateShardFn& emit);
+
+/// Streams all |A| x |B| pairs in ascending (a, b) order — the streaming
+/// counterpart of FullPairs().
+void StreamFullPairs(size_t size_a, size_t size_b, size_t shard_size,
+                     const CandidateShardFn& emit);
+
 }  // namespace pprl
 
 #endif  // PPRL_BLOCKING_BLOCKING_H_

@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/timer.h"
 #include "obs/metrics.h"
 
 namespace pprl {
@@ -19,6 +21,24 @@ struct PoolMetrics {
 
 PoolMetrics& Metrics() {
   static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+/// Scheduler metrics aggregate over every WorkStealingScheduler in the
+/// process (per-call schedulers in benches, one long-lived instance in the
+/// daemon).
+struct SchedulerMetrics {
+  obs::Gauge& queue_depth = obs::GlobalMetrics().GetGauge(
+      "pprl_shard_queue_depth", "Shards submitted but not yet started");
+  obs::Counter& steals = obs::GlobalMetrics().GetCounter(
+      "pprl_steals_total", "Successful steal operations between workers");
+  obs::Histogram& shard_seconds = obs::GlobalMetrics().GetHistogram(
+      "pprl_shard_seconds", "Per-shard execution time on the scheduler",
+      obs::DefaultLatencyBuckets());
+};
+
+SchedulerMetrics& SchedMetrics() {
+  static SchedulerMetrics* m = new SchedulerMetrics();
   return *m;
 }
 
@@ -75,6 +95,136 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+WorkStealingScheduler::WorkStealingScheduler(Options options)
+    : max_pending_(options.max_pending) {
+  const size_t n = std::max<size_t>(1, options.num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkStealingScheduler::Submit(std::function<void()> task) {
+  SubmitTo(next_worker_.fetch_add(1, std::memory_order_relaxed), std::move(task));
+}
+
+void WorkStealingScheduler::SubmitTo(size_t worker, std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_available_.wait(lock, [this] {
+      return max_pending_ == 0 || pending_.load(std::memory_order_relaxed) < max_pending_;
+    });
+    ++in_flight_;
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Worker& w = *workers_[worker % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(w.m);
+    w.deque.push_back(std::move(task));
+  }
+  SchedMetrics().queue_depth.Add(1);
+  task_available_.notify_one();
+}
+
+void WorkStealingScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool WorkStealingScheduler::NextTask(size_t self, std::function<void()>& task) {
+  Worker& own = *workers_[self];
+  {
+    std::lock_guard<std::mutex> lock(own.m);
+    if (!own.deque.empty()) {
+      task = std::move(own.deque.front());
+      own.deque.pop_front();
+      return true;
+    }
+  }
+  // Own deque dry: steal the front half of the first non-empty victim,
+  // keeping the first stolen shard and queueing the rest locally. Victims
+  // are probed in ring order from self+1 so thieves spread out.
+  const size_t n = workers_.size();
+  for (size_t off = 1; off < n; ++off) {
+    Worker& victim = *workers_[(self + off) % n];
+    std::vector<std::function<void()>> loot;
+    {
+      std::lock_guard<std::mutex> lock(victim.m);
+      const size_t have = victim.deque.size();
+      if (have == 0) continue;
+      const size_t take = (have + 1) / 2;
+      loot.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        loot.push_back(std::move(victim.deque.front()));
+        victim.deque.pop_front();
+      }
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    SchedMetrics().steals.Increment();
+    task = std::move(loot.front());
+    if (loot.size() > 1) {
+      std::lock_guard<std::mutex> lock(own.m);
+      for (size_t i = 1; i < loot.size(); ++i) own.deque.push_back(std::move(loot[i]));
+    }
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingScheduler::WorkerLoop(size_t self) {
+  while (true) {
+    std::function<void()> task;
+    if (NextTask(self, task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      SchedMetrics().queue_depth.Sub(1);
+      space_available_.notify_one();
+      Timer timer;
+      task();
+      SchedMetrics().shard_seconds.Observe(timer.ElapsedSeconds());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+        if (in_flight_ == 0) all_done_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    task_available_.wait(lock, [this] {
+      return shutdown_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    // Drain-on-shutdown: exit only once no shard is waiting anywhere.
+    if (shutdown_ && pending_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  scheduler_.Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,

@@ -6,6 +6,10 @@
 #include <cmath>
 #include <type_traits>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "similarity/similarity.h"
 
 namespace pprl {
@@ -76,13 +80,27 @@ inline double BoundImpl(size_t ca, size_t cb, size_t num_bits) {
   }
 }
 
-/// One kernel body serves both pair layouts and both output shapes:
-/// KernelPair carries an explicit output slot (tiled execution order !=
-/// candidate order), a plain CandidatePair scored in caller order gets
-/// slot `slot_base + i`, and an Out of ScoredPair skips the slot
-/// indirection entirely and emits the finished pair. `min_score <= 0`
-/// hoists the bound check out of the loop — every score lands in [0, 1],
-/// so nothing can prune and the bound's division would be pure overhead.
+/// Appends one hit in whatever shape this instantiation emits: KernelPair
+/// carries an explicit output slot (tiled execution order != candidate
+/// order), a plain CandidatePair scored in caller order gets slot
+/// `slot_base + i`, and an Out of ScoredPair skips the slot indirection
+/// entirely.
+template <typename Pair, typename Out>
+inline void EmitScore(const Pair& pair, size_t i, uint32_t slot_base, double score,
+                      std::vector<Out>& out) {
+  if constexpr (std::is_same_v<Out, ScoredPair>) {
+    out.push_back({pair.a, pair.b, score});
+  } else if constexpr (std::is_same_v<Pair, KernelPair>) {
+    out.push_back({pair.slot, score});
+  } else {
+    out.push_back({slot_base + static_cast<uint32_t>(i), score});
+  }
+}
+
+/// One kernel body serves both pair layouts and both output shapes (see
+/// EmitScore). `min_score <= 0` hoists the bound check out of the loop —
+/// every score lands in [0, 1], so nothing can prune and the bound's
+/// division would be pure overhead.
 template <SimilarityMeasure M, typename Pair, typename Out>
 inline void KernelLoopBody(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
                            size_t num_pairs, uint32_t slot_base, double min_score,
@@ -104,19 +122,406 @@ inline void KernelLoopBody(const BitMatrix& a, const BitMatrix& b, const Pair* p
     const size_t c = AndCountWords(a.row(pair.a), b.row(pair.b), words);
     ++stats.scored;
     const double score = ScoreImpl<M>(ca, cb, c, num_bits);
-    if (score >= min_score) {
-      if constexpr (std::is_same_v<Out, ScoredPair>) {
-        out.push_back({pair.a, pair.b, score});
-      } else if constexpr (std::is_same_v<Pair, KernelPair>) {
-        out.push_back({pair.slot, score});
-      } else {
-        out.push_back({slot_base + static_cast<uint32_t>(i), score});
+    if (score >= min_score) EmitScore(pair, i, slot_base, score, out);
+  }
+}
+
+/// Division-free threshold comparisons for the Dice loop below.
+///
+/// Every Dice decision is "is RN(2x / sum) >= t" for exact small integers
+/// 2x, sum. Multiplying through: outside a narrow band around t * sum the
+/// comparison's outcome survives IEEE rounding, so the division is only
+/// needed inside the band (vanishingly rare) and for actual hits, whose
+/// emitted score must be the exactly-rounded quotient anyway. The band is
+/// +-2^-48 relative — ~32 ulps, far wider than the <= 3 ulps the two
+/// roundings (the t*sum products and the quotient) can move either side —
+/// so the certain-above / certain-below verdicts are never wrong and the
+/// kernel stays bitwise identical to the scalar path.
+struct DiceBand {
+  double hi = 0;  ///< t scaled up: 2x >= hi * sum proves the quotient >= t
+  double lo = 0;  ///< t scaled down: 2x <= lo * sum proves the quotient < t
+  explicit DiceBand(double t) : hi(t * (1.0 + 0x1p-48)), lo(t * (1.0 - 0x1p-48)) {}
+};
+
+/// The Dice kernel for thresholded runs (the comparison path every
+/// pipeline takes): same pairs, same stats, same emitted scores as
+/// KernelLoopBody<kDice>, but the two per-pair divisions (cardinality
+/// bound, score-vs-threshold) collapse into two multiplies and integer-ish
+/// compares via DiceBand. Only hits and band cases divide.
+template <typename Pair, typename Out>
+inline void DiceThresholdLoopBody(const BitMatrix& a, const BitMatrix& b,
+                                  const Pair* pairs, size_t num_pairs,
+                                  uint32_t slot_base, double min_score,
+                                  std::vector<Out>& out, CompareKernelStats& stats) {
+  assert(a.num_bits() == b.num_bits());
+  constexpr SimilarityMeasure M = SimilarityMeasure::kDice;
+  const size_t words = a.words_per_row();
+  const size_t num_bits = a.num_bits();
+  const size_t* a_counts = a.row_counts().data();
+  const size_t* b_counts = b.row_counts().data();
+  const DiceBand band(min_score);
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const Pair pair = pairs[i];
+    const size_t ca = a_counts[pair.a];
+    const size_t cb = b_counts[pair.b];
+    const size_t sum = ca + cb;
+    if (sum == 0) {  // two empty filters score 1.0 by convention
+      if (BoundImpl<M>(ca, cb, num_bits) < min_score) {
+        ++stats.pruned;
+        continue;
       }
+      ++stats.scored;
+      const double score = ScoreImpl<M>(ca, cb, 0, num_bits);
+      if (score >= min_score) EmitScore(pair, i, slot_base, score, out);
+      continue;
     }
+    const double dsum = static_cast<double>(sum);
+    const double above = band.hi * dsum;
+    const double below = band.lo * dsum;
+    const double m2 = static_cast<double>(2 * std::min(ca, cb));
+    if (m2 <= below ||
+        (m2 < above && BoundImpl<M>(ca, cb, num_bits) < min_score)) {
+      ++stats.pruned;
+      continue;
+    }
+    const size_t c = AndCountWords(a.row(pair.a), b.row(pair.b), words);
+    ++stats.scored;
+    if (static_cast<double>(2 * c) <= below) continue;  // certain miss, no division
+    const double score = ScoreImpl<M>(ca, cb, c, num_bits);
+    if (score >= min_score) EmitScore(pair, i, slot_base, score, out);
   }
 }
 
 #if defined(__x86_64__) && defined(__GNUC__)
+#define PPRL_HAVE_AVX512_CLONE 1
+/// Clone of the loop for AVX-512 VPOPCNTDQ machines: one 512-bit
+/// AND + lane popcount per 8 words. BitMatrix rows are 64-byte aligned and
+/// zero-padded to their stride, so the loop rounds the word count up to
+/// whole 512-bit blocks, uses aligned loads, and never needs a scalar
+/// tail. Selected once per process via __builtin_cpu_supports, like the
+/// POPCNT clone below.
+template <SimilarityMeasure M, typename Pair, typename Out>
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vpopcntdq"))) void
+KernelLoopAvx512(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
+                 size_t num_pairs, uint32_t slot_base, double min_score,
+                 std::vector<Out>& out, CompareKernelStats& stats) {
+  assert(a.num_bits() == b.num_bits());
+  const size_t blocks = (a.words_per_row() + 7) / 8;
+  const size_t num_bits = a.num_bits();
+  const size_t* a_counts = a.row_counts().data();
+  const size_t* b_counts = b.row_counts().data();
+  const bool use_bound = min_score > 0;
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const Pair pair = pairs[i];
+    const size_t ca = a_counts[pair.a];
+    const size_t cb = b_counts[pair.b];
+    if (use_bound && BoundImpl<M>(ca, cb, num_bits) < min_score) {
+      ++stats.pruned;
+      continue;
+    }
+    const uint64_t* ra = a.row(pair.a);
+    const uint64_t* rb = b.row(pair.b);
+    __m512i acc = _mm512_setzero_si512();
+    for (size_t w = 0; w < blocks; ++w) {
+      const __m512i va = _mm512_load_si512(ra + 8 * w);
+      const __m512i vb = _mm512_load_si512(rb + 8 * w);
+      acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+    }
+    const size_t c = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+    ++stats.scored;
+    const double score = ScoreImpl<M>(ca, cb, c, num_bits);
+    if (score >= min_score) EmitScore(pair, i, slot_base, score, out);
+  }
+}
+
+/// Horizontal sums of eight vectors at once: lane k of the result is the
+/// sum of all eight lanes of v<k>. A 3-level qword/128-bit-lane shuffle
+/// tree — ~21 ops for eight reductions where eight
+/// _mm512_reduce_add_epi64 calls would cost ~48 and serialize.
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vpopcntdq"))) inline __m512i
+HorizontalSum8(__m512i v0, __m512i v1, __m512i v2, __m512i v3, __m512i v4,
+               __m512i v5, __m512i v6, __m512i v7) {
+  // Level 1: adjacent-qword sums, two source vectors interleaved per result.
+  const __m512i s01 = _mm512_add_epi64(_mm512_unpacklo_epi64(v0, v1),
+                                       _mm512_unpackhi_epi64(v0, v1));
+  const __m512i s23 = _mm512_add_epi64(_mm512_unpacklo_epi64(v2, v3),
+                                       _mm512_unpackhi_epi64(v2, v3));
+  const __m512i s45 = _mm512_add_epi64(_mm512_unpacklo_epi64(v4, v5),
+                                       _mm512_unpackhi_epi64(v4, v5));
+  const __m512i s67 = _mm512_add_epi64(_mm512_unpacklo_epi64(v6, v7),
+                                       _mm512_unpackhi_epi64(v6, v7));
+  // Levels 2 and 3: fold 128-bit chunks (0x88 picks even chunks of both
+  // operands, 0xDD the odd ones) until lane k holds v<k>'s total.
+  const __m512i t0 = _mm512_add_epi64(_mm512_shuffle_i64x2(s01, s23, 0x88),
+                                      _mm512_shuffle_i64x2(s01, s23, 0xDD));
+  const __m512i t1 = _mm512_add_epi64(_mm512_shuffle_i64x2(s45, s67, 0x88),
+                                      _mm512_shuffle_i64x2(s45, s67, 0xDD));
+  return _mm512_add_epi64(_mm512_shuffle_i64x2(t0, t1, 0x88),
+                          _mm512_shuffle_i64x2(t0, t1, 0xDD));
+}
+
+/// One pair of the Dice threshold loop, AVX-512 popcount. The batched loop
+/// below falls back to this for groups touched by pruning or empty
+/// filters, and for the tail.
+template <typename Pair, typename Out>
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vpopcntdq"))) inline void
+DiceThresholdPairAvx512(const BitMatrix& a, const BitMatrix& b,
+                        const size_t* a_counts, const size_t* b_counts,
+                        size_t blocks, size_t num_bits, const DiceBand& band,
+                        double min_score, const Pair& pair, size_t i,
+                        uint32_t slot_base, std::vector<Out>& out,
+                        CompareKernelStats& stats) {
+  constexpr SimilarityMeasure M = SimilarityMeasure::kDice;
+  const size_t ca = a_counts[pair.a];
+  const size_t cb = b_counts[pair.b];
+  const size_t sum = ca + cb;
+  if (sum == 0) {  // two empty filters score 1.0 by convention
+    if (BoundImpl<M>(ca, cb, num_bits) < min_score) {
+      ++stats.pruned;
+      return;
+    }
+    ++stats.scored;
+    const double score = ScoreImpl<M>(ca, cb, 0, num_bits);
+    if (score >= min_score) EmitScore(pair, i, slot_base, score, out);
+    return;
+  }
+  const double dsum = static_cast<double>(sum);
+  const double above = band.hi * dsum;
+  const double below = band.lo * dsum;
+  const double m2 = static_cast<double>(2 * std::min(ca, cb));
+  if (m2 <= below || (m2 < above && BoundImpl<M>(ca, cb, num_bits) < min_score)) {
+    ++stats.pruned;
+    return;
+  }
+  const uint64_t* ra = a.row(pair.a);
+  const uint64_t* rb = b.row(pair.b);
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t w = 0; w < blocks; ++w) {
+    const __m512i va = _mm512_load_si512(ra + 8 * w);
+    const __m512i vb = _mm512_load_si512(rb + 8 * w);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  const size_t c = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+  ++stats.scored;
+  if (static_cast<double>(2 * c) <= below) return;
+  const double score = ScoreImpl<M>(ca, cb, c, num_bits);
+  if (score >= min_score) EmitScore(pair, i, slot_base, score, out);
+}
+
+/// Eight pairs {a0, b0..b0+7}: one a row against eight consecutive b rows
+/// — the shape StreamFullPairs emits, where BitMatrix rows b0..b0+7 are
+/// also adjacent in memory. The a row, its count and the band constants
+/// hoist out; the cardinality tests and the miss test run as 8-lane
+/// vector compares over the contiguous b_counts window. Returns false
+/// (touching nothing) when the group needs the scalar path: an empty
+/// filter, or a pair inside the rounding band whose prune decision needs
+/// the exact bound.
+template <typename Out>
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vpopcntdq"))) inline bool
+DiceThresholdDense8(const BitMatrix& a, const BitMatrix& b, const size_t* a_counts,
+                    const size_t* b_counts, size_t blocks, size_t num_bits,
+                    const DiceBand& band, double min_score,
+                    const CandidatePair* pairs, size_t i, uint32_t slot_base,
+                    std::vector<Out>& out, CompareKernelStats& stats) {
+  constexpr SimilarityMeasure M = SimilarityMeasure::kDice;
+  const uint32_t a0 = pairs[i].a;
+  const uint32_t b0 = pairs[i].b;
+  const size_t ca = a_counts[a0];
+  // Pass 1, vectorized: lane k decides pair (a0, b0 + k).
+  const __m512i ca_v = _mm512_set1_epi64(static_cast<long long>(ca));
+  const __m512i cb_v = _mm512_loadu_si512(b_counts + b0);
+  const __m512i sum_v = _mm512_add_epi64(ca_v, cb_v);
+  if (_mm512_cmpeq_epi64_mask(sum_v, _mm512_setzero_si512()) != 0) return false;
+  const __m512d dsum = _mm512_cvtepu64_pd(sum_v);
+  const __m512d above = _mm512_mul_pd(_mm512_set1_pd(band.hi), dsum);
+  const __m512d below = _mm512_mul_pd(_mm512_set1_pd(band.lo), dsum);
+  const __m512d m2 = _mm512_cvtepu64_pd(
+      _mm512_slli_epi64(_mm512_min_epu64(ca_v, cb_v), 1));
+  const __mmask8 certain_prune = _mm512_cmp_pd_mask(m2, below, _CMP_LE_OQ);
+  const __mmask8 in_band =
+      _mm512_cmp_pd_mask(m2, above, _CMP_LT_OQ) & static_cast<__mmask8>(~certain_prune);
+  if (in_band != 0) return false;
+  stats.pruned += static_cast<size_t>(__builtin_popcount(certain_prune));
+  const __mmask8 scored = static_cast<__mmask8>(~certain_prune);
+  stats.scored += static_cast<size_t>(__builtin_popcount(scored));
+  // Pass 2: popcounts against eight consecutive (adjacent) b rows; pruned
+  // lanes ride along — recomputing them is cheaper than masking them out.
+  __m512i v[8];
+  const uint64_t* ra = a.row(a0);
+  const uint64_t* rb = b.row(b0);
+  const size_t stride = b.stride_words();
+  if (blocks == 1) {
+    const __m512i va = _mm512_load_si512(ra);
+    for (size_t k = 0; k < 8; ++k) {
+      v[k] = _mm512_popcnt_epi64(
+          _mm512_and_si512(va, _mm512_load_si512(rb + k * stride)));
+    }
+  } else if (blocks == 2) {
+    const __m512i va0 = _mm512_load_si512(ra);
+    const __m512i va1 = _mm512_load_si512(ra + 8);
+    for (size_t k = 0; k < 8; ++k) {
+      const uint64_t* row = rb + k * stride;
+      v[k] = _mm512_add_epi64(
+          _mm512_popcnt_epi64(_mm512_and_si512(va0, _mm512_load_si512(row))),
+          _mm512_popcnt_epi64(_mm512_and_si512(va1, _mm512_load_si512(row + 8))));
+    }
+  } else {
+    for (size_t k = 0; k < 8; ++k) {
+      const uint64_t* row = rb + k * stride;
+      __m512i acc = _mm512_setzero_si512();
+      for (size_t w = 0; w < blocks; ++w) {
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_and_si512(
+                     _mm512_load_si512(ra + 8 * w), _mm512_load_si512(row + 8 * w))));
+      }
+      v[k] = acc;
+    }
+  }
+  const __m512i c_v =
+      HorizontalSum8(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]);
+  // Pass 3: lanes above the certain-miss line divide; everything else is
+  // done. At real thresholds the hit mask is almost always zero.
+  const __m512d two_c = _mm512_cvtepu64_pd(_mm512_slli_epi64(c_v, 1));
+  __mmask8 hits = _mm512_cmp_pd_mask(two_c, below, _CMP_GT_OQ) & scored;
+  if (hits != 0) {
+    alignas(64) uint64_t counts[8];
+    _mm512_store_si512(reinterpret_cast<__m512i*>(counts), c_v);
+    while (hits != 0) {
+      const size_t k = static_cast<size_t>(__builtin_ctz(hits));
+      hits = static_cast<__mmask8>(hits & (hits - 1));
+      const size_t cb = b_counts[b0 + k];
+      const double score = ScoreImpl<M>(ca, cb, counts[k], num_bits);
+      if (score >= min_score) {
+        EmitScore(pairs[i + k], i + k, slot_base, score, out);
+      }
+    }
+  }
+  return true;
+}
+
+/// AVX-512 clone of DiceThresholdLoopBody: the 512-bit popcount plus the
+/// division-free threshold tests, eight pairs per iteration. The hottest
+/// loop in the codebase.
+///
+/// Groups of eight run in three passes: cardinality band tests, then eight
+/// AND+VPOPCNT reductions sharing one HorizontalSum8 (the per-pair
+/// _mm512_reduce_add_epi64 was the bottleneck once the divisions were
+/// gone), then threshold decisions. Any group containing a prune or an
+/// empty filter replays pair-by-pair through DiceThresholdPairAvx512 —
+/// counters and emissions stay in pair order either way, so stats and
+/// output are identical to the scalar loop at every prune rate.
+template <typename Pair, typename Out>
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vpopcntdq"))) void
+DiceThresholdLoopAvx512(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
+                        size_t num_pairs, uint32_t slot_base, double min_score,
+                        std::vector<Out>& out, CompareKernelStats& stats) {
+  assert(a.num_bits() == b.num_bits());
+  constexpr SimilarityMeasure M = SimilarityMeasure::kDice;
+  const size_t blocks = (a.words_per_row() + 7) / 8;
+  const size_t num_bits = a.num_bits();
+  const size_t* a_counts = a.row_counts().data();
+  const size_t* b_counts = b.row_counts().data();
+  const DiceBand band(min_score);
+  alignas(64) uint64_t counts[8];
+  double below8[8];
+  size_t i = 0;
+  for (; i + 8 <= num_pairs; i += 8) {
+    // Dense-run detection: eight pairs {a0, b0..b0+7} (what StreamFullPairs
+    // and sorted per-record blocked runs emit) take the fully vectorized
+    // path. One 64-byte compare of the pair array against the expected
+    // arithmetic run decides.
+    if constexpr (std::is_same_v<Pair, CandidatePair> &&
+                  sizeof(CandidatePair) == 8) {
+      uint64_t first = 0;
+      __builtin_memcpy(&first, pairs + i, sizeof(first));
+      const __m512i kStep = _mm512_setr_epi64(
+          0, 1LL << 32, 2LL << 32, 3LL << 32, 4LL << 32, 5LL << 32, 6LL << 32,
+          7LL << 32);
+      const __m512i expect = _mm512_add_epi64(
+          _mm512_set1_epi64(static_cast<long long>(first)), kStep);
+      const __m512i pvec =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(pairs + i));
+      if (_mm512_cmpeq_epi64_mask(pvec, expect) == 0xFF &&
+          DiceThresholdDense8(a, b, a_counts, b_counts, blocks, num_bits, band,
+                              min_score, pairs, i, slot_base, out, stats)) {
+        continue;
+      }
+    }
+    // Pass 1: the division-free cardinality tests for the whole group.
+    bool slow = false;
+    for (size_t k = 0; k < 8; ++k) {
+      const Pair pair = pairs[i + k];
+      const size_t ca = a_counts[pair.a];
+      const size_t cb = b_counts[pair.b];
+      const size_t sum = ca + cb;
+      if (sum == 0) {
+        slow = true;
+        break;
+      }
+      const double dsum = static_cast<double>(sum);
+      const double above = band.hi * dsum;
+      const double below = band.lo * dsum;
+      const double m2 = static_cast<double>(2 * std::min(ca, cb));
+      if (m2 <= below ||
+          (m2 < above && BoundImpl<M>(ca, cb, num_bits) < min_score)) {
+        slow = true;
+        break;
+      }
+      below8[k] = below;
+    }
+    if (slow) {
+      for (size_t k = 0; k < 8; ++k) {
+        DiceThresholdPairAvx512(a, b, a_counts, b_counts, blocks, num_bits, band,
+                                min_score, pairs[i + k], i + k, slot_base, out,
+                                stats);
+      }
+      continue;
+    }
+    // Pass 2: eight AND+popcount accumulations, one shared reduction.
+    // Filters up to 512 bits (the common CLK config) are one block; that
+    // path drops the inner loop and the accumulator entirely.
+    __m512i v[8];
+    if (blocks == 1) {
+      for (size_t k = 0; k < 8; ++k) {
+        const Pair pair = pairs[i + k];
+        v[k] = _mm512_popcnt_epi64(
+            _mm512_and_si512(_mm512_load_si512(a.row(pair.a)),
+                             _mm512_load_si512(b.row(pair.b))));
+      }
+    } else {
+      for (size_t k = 0; k < 8; ++k) {
+        const Pair pair = pairs[i + k];
+        const uint64_t* ra = a.row(pair.a);
+        const uint64_t* rb = b.row(pair.b);
+        __m512i acc = _mm512_setzero_si512();
+        for (size_t w = 0; w < blocks; ++w) {
+          const __m512i va = _mm512_load_si512(ra + 8 * w);
+          const __m512i vb = _mm512_load_si512(rb + 8 * w);
+          acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+        }
+        v[k] = acc;
+      }
+    }
+    _mm512_store_si512(reinterpret_cast<__m512i*>(counts),
+                       HorizontalSum8(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]));
+    // Pass 3: threshold decisions; division only for hits and band cases.
+    for (size_t k = 0; k < 8; ++k) {
+      ++stats.scored;
+      const size_t c = counts[k];
+      if (static_cast<double>(2 * c) <= below8[k]) continue;
+      const Pair pair = pairs[i + k];
+      const size_t ca = a_counts[pair.a];
+      const size_t cb = b_counts[pair.b];
+      const double score = ScoreImpl<M>(ca, cb, c, num_bits);
+      if (score >= min_score) EmitScore(pair, i + k, slot_base, score, out);
+    }
+  }
+  for (; i < num_pairs; ++i) {
+    DiceThresholdPairAvx512(a, b, a_counts, b_counts, blocks, num_bits, band,
+                            min_score, pairs[i], i, slot_base, out, stats);
+  }
+}
+
 #define PPRL_HAVE_POPCNT_CLONE 1
 /// Copy of the loop compiled with the POPCNT ISA extension: std::popcount
 /// becomes one instruction instead of the portable SWAR sequence. Chosen
@@ -127,6 +532,14 @@ __attribute__((target("popcnt"))) void KernelLoopPopcnt(
     uint32_t slot_base, double min_score, std::vector<Out>& out,
     CompareKernelStats& stats) {
   KernelLoopBody<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+}
+
+template <typename Pair, typename Out>
+__attribute__((target("popcnt"))) void DiceThresholdLoopPopcnt(
+    const BitMatrix& a, const BitMatrix& b, const Pair* pairs, size_t num_pairs,
+    uint32_t slot_base, double min_score, std::vector<Out>& out,
+    CompareKernelStats& stats) {
+  DiceThresholdLoopBody(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
 }
 #endif
 
@@ -141,13 +554,42 @@ template <SimilarityMeasure M, typename Pair, typename Out>
 void CompareKernelImpl(const BitMatrix& a, const BitMatrix& b, const Pair* pairs,
                        size_t num_pairs, uint32_t slot_base, double min_score,
                        std::vector<Out>& out, CompareKernelStats& stats) {
+  constexpr bool kIsDice = M == SimilarityMeasure::kDice;
+#ifdef PPRL_HAVE_AVX512_CLONE
+  static const bool have_avx512 = __builtin_cpu_supports("avx512f") &&
+                                  __builtin_cpu_supports("avx512vpopcntdq");
+  if (have_avx512) {
+    if constexpr (kIsDice) {
+      if (min_score > 0) {
+        DiceThresholdLoopAvx512(a, b, pairs, num_pairs, slot_base, min_score, out,
+                                stats);
+        return;
+      }
+    }
+    KernelLoopAvx512<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+    return;
+  }
+#endif
 #ifdef PPRL_HAVE_POPCNT_CLONE
   static const bool have_popcnt = __builtin_cpu_supports("popcnt");
   if (have_popcnt) {
+    if constexpr (kIsDice) {
+      if (min_score > 0) {
+        DiceThresholdLoopPopcnt(a, b, pairs, num_pairs, slot_base, min_score, out,
+                                stats);
+        return;
+      }
+    }
     KernelLoopPopcnt<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
     return;
   }
 #endif
+  if constexpr (kIsDice) {
+    if (min_score > 0) {
+      DiceThresholdLoopBody(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
+      return;
+    }
+  }
   KernelLoopGeneric<M>(a, b, pairs, num_pairs, slot_base, min_score, out, stats);
 }
 

@@ -153,57 +153,107 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatrices(
   return out;
 }
 
+namespace {
+
+/// Chunking for the parallel paths. Shards must be big enough that a
+/// dispatch (one scheduler hop, one buffer move) amortizes over the word
+/// loop, and numerous enough that stealing can balance uneven pruning;
+/// `threads * 8` chunks with a floor of kMinChunkPairs satisfies both.
+constexpr size_t kMinChunkPairs = 8192;
+
+size_t ChunkSizeFor(size_t n, size_t num_threads) {
+  const size_t target_chunks = std::max<size_t>(1, num_threads * 8);
+  return std::max(kMinChunkPairs, (n + target_chunks - 1) / target_chunks);
+}
+
+/// Concatenates per-chunk buffers in chunk order (chunks cover ascending
+/// ranges, so this is deterministic no matter which worker ran what).
+template <typename T>
+std::vector<T> MergeChunks(std::vector<std::vector<T>>& buffers) {
+  size_t total = 0;
+  for (const auto& buffer : buffers) total += buffer.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& buffer : buffers) {
+    out.insert(out.end(), buffer.begin(), buffer.end());
+    buffer = {};
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<ScoredPair> ComparisonEngine::CompareParallel(
     const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
     const std::vector<CandidatePair>& candidates, double min_score,
     size_t num_threads) const {
+  WorkStealingScheduler scheduler(num_threads);
+  return CompareParallel(a_filters, b_filters, candidates, min_score, scheduler);
+}
+
+std::vector<ScoredPair> ComparisonEngine::CompareParallel(
+    const std::vector<BitVector>& a_filters, const std::vector<BitVector>& b_filters,
+    const std::vector<CandidatePair>& candidates, double min_score,
+    WorkStealingScheduler& scheduler) const {
   if (measure_.has_value()) {
     return CompareMatricesParallel(BitMatrix::FromVectors(a_filters),
                                    BitMatrix::FromVectors(b_filters), candidates,
-                                   min_score, num_threads);
+                                   min_score, scheduler);
   }
-  // Fallback path: per-thread hit buffers instead of full-size scored/keep
-  // arrays; kept pairs are typically a small fraction of the candidates.
+  // Fallback path: chunk results accumulate in a worker-local vector (one
+  // reserve, no reallocation churn) and land in the shared per-chunk slot
+  // with a single move, so workers never write interleaved cache lines.
   const size_t n = candidates.size();
-  ThreadPool pool(num_threads);
-  const size_t num_chunks = std::max<size_t>(1, std::min(n, pool.num_threads() * 4));
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  const size_t chunk = ChunkSizeFor(n, scheduler.num_threads());
+  const size_t num_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+  TaskGroup group(scheduler);
   std::vector<std::vector<SlottedScore>> buffers(num_chunks);
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.Submit([this, &candidates, &a_filters, &b_filters, &buffers, c, begin, end,
-                 min_score] {
-      std::vector<SlottedScore>& hits = buffers[c];
+    group.Submit([this, &candidates, &a_filters, &b_filters, &buffers, c, begin,
+                      end, min_score] {
+      std::vector<SlottedScore> hits;
+      hits.reserve(end - begin);
       for (size_t i = begin; i < end; ++i) {
         const CandidatePair& pair = candidates[i];
         const double score = similarity_(a_filters[pair.a], b_filters[pair.b]);
         if (score >= min_score) hits.push_back({static_cast<uint32_t>(i), score});
       }
+      buffers[c] = std::move(hits);
     });
   }
-  pool.Wait();
-  std::vector<SlottedScore> hits;
-  for (const auto& buffer : buffers) hits.insert(hits.end(), buffer.begin(), buffer.end());
-  last_comparisons_ = n;
-  last_pruned_ = 0;
+  group.Wait();
+  last_comparisons_.store(n, std::memory_order_relaxed);
+  last_pruned_.store(0, std::memory_order_relaxed);
   Metrics().scalar_parallel_calls.Increment();
   Metrics().pairs.Increment(n);
-  return EmitInCandidateOrder(std::move(hits), candidates);
+  return EmitInCandidateOrder(MergeChunks(buffers), candidates);
 }
 
 std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
     const BitMatrix& a_matrix, const BitMatrix& b_matrix,
     const std::vector<CandidatePair>& candidates, double min_score,
     size_t num_threads) const {
+  WorkStealingScheduler scheduler(num_threads);
+  return CompareMatricesParallel(a_matrix, b_matrix, candidates, min_score, scheduler);
+}
+
+std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
+    const BitMatrix& a_matrix, const BitMatrix& b_matrix,
+    const std::vector<CandidatePair>& candidates, double min_score,
+    WorkStealingScheduler& scheduler) const {
   assert(measure_.has_value());
   const size_t n = candidates.size();
-  ThreadPool pool(num_threads);
-  const size_t num_chunks = std::max<size_t>(1, std::min(n, pool.num_threads() * 4));
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<CompareKernelStats> stats(num_chunks);
-  last_comparisons_ = n;
+  const size_t chunk = ChunkSizeFor(n, scheduler.num_threads());
+  const size_t num_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+  // Chunk stats live on the worker's stack and fold into the shared
+  // atomics once per chunk; the old per-chunk stats array put four
+  // counters on each cache line and every scored pair bounced them
+  // between cores (the "t8 slower than t1" regression).
+  std::atomic<size_t> pruned_total{0};
+  TaskGroup group(scheduler);
+  last_comparisons_.store(n, std::memory_order_relaxed);
   Metrics().kernel_parallel_calls.Increment();
   Metrics().pairs.Increment(n);
   if (WorthTiling(a_matrix, b_matrix)) {
@@ -212,22 +262,22 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t begin = c * chunk;
       const size_t end = std::min(n, begin + chunk);
-      if (begin >= end) break;
-      pool.Submit([this, &a_matrix, &b_matrix, &pairs, &buffers, &stats, c, begin, end,
-                   min_score] {
+      group.Submit([this, &a_matrix, &b_matrix, &pairs, &buffers, &pruned_total, c,
+                        begin, end, min_score] {
+        CompareKernelStats stats;
+        std::vector<SlottedScore> hits;
+        hits.reserve(end - begin);
         CompareKernel(*measure_, a_matrix, b_matrix, pairs.data() + begin, end - begin,
-                      min_score, buffers[c], stats[c]);
+                      min_score, hits, stats);
+        buffers[c] = std::move(hits);
+        pruned_total.fetch_add(stats.pruned, std::memory_order_relaxed);
       });
     }
-    pool.Wait();
-    std::vector<SlottedScore> hits;
-    for (const auto& buffer : buffers) {
-      hits.insert(hits.end(), buffer.begin(), buffer.end());
-    }
-    last_pruned_ = 0;
-    for (const CompareKernelStats& s : stats) last_pruned_ += s.pruned;
-    Metrics().pruned.Increment(last_pruned_);
-    return EmitInCandidateOrder(std::move(hits), candidates);
+    group.Wait();
+    const size_t pruned = pruned_total.load(std::memory_order_relaxed);
+    last_pruned_.store(pruned, std::memory_order_relaxed);
+    Metrics().pruned.Increment(pruned);
+    return EmitInCandidateOrder(MergeChunks(buffers), candidates);
   }
   // Untiled chunks cover ascending candidate ranges and emit finished
   // ScoredPairs, so concatenating the buffers is already candidate order.
@@ -235,20 +285,22 @@ std::vector<ScoredPair> ComparisonEngine::CompareMatricesParallel(
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.Submit([this, &a_matrix, &b_matrix, &candidates, &buffers, &stats, c, begin,
-                 end, min_score] {
+    group.Submit([this, &a_matrix, &b_matrix, &candidates, &buffers, &pruned_total,
+                  c, begin, end, min_score] {
+      CompareKernelStats stats;
+      std::vector<ScoredPair> hits;
+      hits.reserve(end - begin);
       CompareKernel(*measure_, a_matrix, b_matrix, candidates.data() + begin,
-                    end - begin, min_score, buffers[c], stats[c]);
+                    end - begin, min_score, hits, stats);
+      buffers[c] = std::move(hits);
+      pruned_total.fetch_add(stats.pruned, std::memory_order_relaxed);
     });
   }
-  pool.Wait();
-  std::vector<ScoredPair> out;
-  for (const auto& buffer : buffers) out.insert(out.end(), buffer.begin(), buffer.end());
-  last_pruned_ = 0;
-  for (const CompareKernelStats& s : stats) last_pruned_ += s.pruned;
-  Metrics().pruned.Increment(last_pruned_);
-  return out;
+  group.Wait();
+  const size_t pruned = pruned_total.load(std::memory_order_relaxed);
+  last_pruned_.store(pruned, std::memory_order_relaxed);
+  Metrics().pruned.Increment(pruned);
+  return MergeChunks(buffers);
 }
 
 std::vector<FieldwiseScoredPair> CompareFieldwise(

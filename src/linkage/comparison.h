@@ -1,6 +1,7 @@
 #ifndef PPRL_LINKAGE_COMPARISON_H_
 #define PPRL_LINKAGE_COMPARISON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -8,6 +9,7 @@
 
 #include "common/bit_matrix.h"
 #include "common/bitvector.h"
+#include "common/thread_pool.h"
 #include "blocking/blocking.h"
 #include "linkage/compare_kernels.h"
 
@@ -55,11 +57,20 @@ class ComparisonEngine {
                                           double min_score = 0) const;
 
   /// Multi-threaded variant for the parallel-PPRL experiments; results are
-  /// in candidate order, identical to Compare().
+  /// in candidate order, identical to Compare(). Spins up a scheduler for
+  /// this one call — callers with a long-lived scheduler (the daemon, the
+  /// streaming pipeline) should use the scheduler overload instead.
   std::vector<ScoredPair> CompareParallel(const std::vector<BitVector>& a_filters,
                                           const std::vector<BitVector>& b_filters,
                                           const std::vector<CandidatePair>& candidates,
                                           double min_score, size_t num_threads) const;
+
+  /// Same, sharing `scheduler`'s workers (no per-call thread spawn).
+  std::vector<ScoredPair> CompareParallel(const std::vector<BitVector>& a_filters,
+                                          const std::vector<BitVector>& b_filters,
+                                          const std::vector<CandidatePair>& candidates,
+                                          double min_score,
+                                          WorkStealingScheduler& scheduler) const;
 
   /// Matrix variant of CompareParallel(); measure-constructed engines only.
   std::vector<ScoredPair> CompareMatricesParallel(
@@ -67,13 +78,25 @@ class ComparisonEngine {
       const std::vector<CandidatePair>& candidates, double min_score,
       size_t num_threads) const;
 
+  /// Same, sharing `scheduler`'s workers; measure-constructed engines only.
+  std::vector<ScoredPair> CompareMatricesParallel(
+      const BitMatrix& a_matrix, const BitMatrix& b_matrix,
+      const std::vector<CandidatePair>& candidates, double min_score,
+      WorkStealingScheduler& scheduler) const;
+
   /// Candidate pairs evaluated (attempted) by the last Compare*() call,
-  /// whether by the word loop or by the cardinality bound.
-  size_t last_comparison_count() const { return last_comparisons_; }
+  /// whether by the word loop or by the cardinality bound. Counters are
+  /// atomic so one engine may serve concurrent sessions; under concurrent
+  /// calls each reader sees the totals of some completed call.
+  size_t last_comparison_count() const {
+    return last_comparisons_.load(std::memory_order_relaxed);
+  }
 
   /// Of those, pairs the cardinality bound rejected without running the
   /// word loop. Always 0 on the `std::function` path.
-  size_t last_pruned_count() const { return last_pruned_; }
+  size_t last_pruned_count() const {
+    return last_pruned_.load(std::memory_order_relaxed);
+  }
 
   /// The measure this engine runs kernels for, if measure-constructed.
   std::optional<SimilarityMeasure> measure() const { return measure_; }
@@ -81,8 +104,8 @@ class ComparisonEngine {
  private:
   std::optional<SimilarityMeasure> measure_;
   PairSimilarityFunction similarity_;
-  mutable size_t last_comparisons_ = 0;
-  mutable size_t last_pruned_ = 0;
+  mutable std::atomic<size_t> last_comparisons_{0};
+  mutable std::atomic<size_t> last_pruned_{0};
 };
 
 /// Per-field similarity vectors for multi-attribute classifiers: one

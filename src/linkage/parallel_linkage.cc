@@ -1,0 +1,91 @@
+#include "linkage/parallel_linkage.h"
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace pprl {
+
+namespace {
+
+/// One shard's landing zone. Slots live in a deque so references stay valid
+/// while the producer keeps appending; only the owning worker writes a
+/// slot, and the merge pass reads it after TaskGroup::Wait().
+struct ShardSlot {
+  std::vector<ScoredPair> hits;
+  size_t comparisons = 0;
+  size_t pruned = 0;
+};
+
+}  // namespace
+
+StreamCompareResult StreamCompareShards(SimilarityMeasure measure,
+                                        const BitMatrix& a_matrix,
+                                        const BitMatrix& b_matrix, double min_score,
+                                        const ParallelLinkageOptions& options,
+                                        const ShardProducer& produce) {
+  // Either borrow the caller's long-lived scheduler or spin one up for this
+  // call. The owned scheduler's queue bound is what turns `emit` into
+  // backpressure on the blocking thread.
+  std::optional<WorkStealingScheduler> owned;
+  WorkStealingScheduler* scheduler = options.scheduler;
+  if (scheduler == nullptr) {
+    WorkStealingScheduler::Options sched_options;
+    sched_options.num_threads = options.num_threads;
+    sched_options.max_pending = options.max_pending_shards;
+    owned.emplace(sched_options);
+    scheduler = &*owned;
+  }
+
+  TaskGroup group(*scheduler);
+  std::deque<ShardSlot> slots;
+  produce([&](CandidateShard shard) {
+    slots.emplace_back();
+    ShardSlot* slot = &slots.back();
+    // The shard moves into the closure, so the window of pairs alive at
+    // once is bounded by the scheduler's max_pending plus one per worker.
+    group.Submit([&a_matrix, &b_matrix, measure, min_score, slot,
+                  shard = std::move(shard)] {
+      CompareKernelStats stats;
+      std::vector<ScoredPair> hits;
+      hits.reserve(shard.pairs.size());
+      CompareKernel(measure, a_matrix, b_matrix, shard.pairs.data(),
+                    shard.pairs.size(), min_score, hits, stats);
+      slot->hits = std::move(hits);
+      slot->comparisons = shard.pairs.size();
+      slot->pruned = stats.pruned;
+    });
+  });
+  group.Wait();
+
+  // Shards were emitted in global candidate order and slots sit in emission
+  // order, so concatenation restores the serial output exactly.
+  StreamCompareResult result;
+  size_t total_hits = 0;
+  for (const ShardSlot& slot : slots) total_hits += slot.hits.size();
+  result.hits.reserve(total_hits);
+  for (ShardSlot& slot : slots) {
+    result.hits.insert(result.hits.end(), slot.hits.begin(), slot.hits.end());
+    result.comparisons += slot.comparisons;
+    result.pruned += slot.pruned;
+    slot.hits = {};
+  }
+  return result;
+}
+
+StreamCompareResult StreamCompareBlocked(SimilarityMeasure measure,
+                                         const BitMatrix& a_matrix,
+                                         const BitMatrix& b_matrix,
+                                         const BlockIndex& a_index,
+                                         const BlockIndex& b_index, double min_score,
+                                         const ParallelLinkageOptions& options) {
+  return StreamCompareShards(
+      measure, a_matrix, b_matrix, min_score, options,
+      [&](const CandidateShardFn& emit) {
+        StreamBlockedPairs(a_index, b_index, options.shard_size, emit);
+      });
+}
+
+}  // namespace pprl

@@ -1,0 +1,81 @@
+#ifndef PPRL_LINKAGE_PARALLEL_LINKAGE_H_
+#define PPRL_LINKAGE_PARALLEL_LINKAGE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "blocking/blocking.h"
+#include "common/bit_matrix.h"
+#include "common/thread_pool.h"
+#include "linkage/compare_kernels.h"
+
+namespace pprl {
+
+/// The end-to-end parallel execution path (survey §3.4 "Parallel/distributed
+/// processing"): blocking streams candidate shards into a bounded window, a
+/// work-stealing scheduler scores them on every core, and per-shard result
+/// buffers merge back in shard order — so the output is byte-identical to
+/// the serial pipeline at any thread count while peak memory stays
+/// O(window), not O(candidates).
+struct ParallelLinkageOptions {
+  /// Workers in the scheduler this call spins up. Ignored when `scheduler`
+  /// is set.
+  size_t num_threads = 1;
+
+  /// Candidate pairs per shard. Shards must amortize a scheduler dispatch
+  /// over the fused word loop yet stay numerous enough for stealing to
+  /// balance skewed blocks; 8192 pairs (the comparison engine's chunk
+  /// floor) does both.
+  size_t shard_size = 8192;
+
+  /// Max shards submitted but not yet started before the producing
+  /// (blocking) thread blocks — the streaming memory bound. 0 disables
+  /// backpressure.
+  size_t max_pending_shards = 64;
+
+  /// Borrowed long-lived scheduler (e.g. the daemon's). When set, shards
+  /// run on its workers and completion is tracked per call with a
+  /// TaskGroup, so concurrent sessions can share it safely.
+  WorkStealingScheduler* scheduler = nullptr;
+};
+
+/// What a streaming comparison run produced.
+struct StreamCompareResult {
+  /// Pairs scoring >= min_score, in the global candidate order (identical
+  /// to materializing the pairs and calling ComparisonEngine::Compare).
+  std::vector<ScoredPair> hits;
+  /// Candidate pairs evaluated (word loop or cardinality bound).
+  size_t comparisons = 0;
+  /// Of those, pairs the cardinality bound rejected without the word loop.
+  size_t pruned = 0;
+};
+
+/// A producer that drives any candidate stream (StreamBlockedPairs,
+/// StreamFullPairs, a custom generator) into the consumer callback. It runs
+/// on the calling thread and blocks inside `emit` when the shard window is
+/// full.
+using ShardProducer = std::function<void(const CandidateShardFn& emit)>;
+
+/// Runs `produce`'s candidate stream through the comparison kernels on a
+/// work-stealing scheduler. Shard results land in per-shard buffers and are
+/// concatenated in shard order after the last shard finishes, so `hits` is
+/// deterministic for every (options.num_threads, scheduler) choice.
+StreamCompareResult StreamCompareShards(SimilarityMeasure measure,
+                                        const BitMatrix& a_matrix,
+                                        const BitMatrix& b_matrix, double min_score,
+                                        const ParallelLinkageOptions& options,
+                                        const ShardProducer& produce);
+
+/// Convenience: streams the blocked candidates of two indexes (same pairs
+/// as StandardBlocker::CandidatePairs) straight into StreamCompareShards.
+StreamCompareResult StreamCompareBlocked(SimilarityMeasure measure,
+                                         const BitMatrix& a_matrix,
+                                         const BitMatrix& b_matrix,
+                                         const BlockIndex& a_index,
+                                         const BlockIndex& b_index, double min_score,
+                                         const ParallelLinkageOptions& options);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_PARALLEL_LINKAGE_H_

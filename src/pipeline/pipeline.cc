@@ -6,8 +6,10 @@
 #include "blocking/lsh_blocking.h"
 #include "eval/quality_estimation.h"
 #include "encoding/hardening.h"
+#include "common/thread_pool.h"
 #include "linkage/classifier.h"
 #include "linkage/matching.h"
+#include "linkage/parallel_linkage.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
 #include "similarity/similarity.h"
@@ -123,23 +125,30 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
   }
 
   // --- Blocking. ------------------------------------------------------------
+  // With num_threads > 1 the indexes are built here but candidate pairs are
+  // never materialized: the comparison stage below streams them in shards
+  // (blocking/blocking.h) straight into the scheduler. The pair order — and
+  // hence the matches — is identical either way.
+  const bool streaming = config_.num_threads > 1;
   obs::StageTimer block_span("block");
   std::vector<CandidatePair> candidates;
+  BlockIndex index_a;
+  BlockIndex index_b;
   switch (config_.blocking) {
     case BlockingScheme::kNone:
-      candidates = FullPairs(a.records.size(), b.records.size());
+      if (!streaming) candidates = FullPairs(a.records.size(), b.records.size());
       break;
     case BlockingScheme::kSoundex: {
       const StandardBlocker blocker(SoundexNameKey(config_.secret_key));
-      const BlockIndex ia = blocker.BuildIndex(a);
-      const BlockIndex ib = blocker.BuildIndex(b);
+      index_a = blocker.BuildIndex(a);
+      index_b = blocker.BuildIndex(b);
       // In the dual-LU model the blocking keys go to a separate LU that
       // never sees the encodings.
       if (config_.model == LinkageModel::kDualLinkageUnit) {
         channel.Send("party-a", "lu-block", a.records.size() * 16, "blocking-keys");
         channel.Send("party-b", "lu-block", b.records.size() * 16, "blocking-keys");
       }
-      candidates = StandardBlocker::CandidatePairs(ia, ib);
+      if (!streaming) candidates = StandardBlocker::CandidatePairs(index_a, index_b);
       break;
     }
     case BlockingScheme::kHammingLsh: {
@@ -154,31 +163,57 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
         channel.Send("party-b", "lu-block", b.records.size() * config_.lsh_tables * key_bytes,
                      "lsh-keys");
       }
-      candidates =
-          HammingLshBlocker::CandidatePairs(blocker.BuildIndex(fa), blocker.BuildIndex(fb));
+      index_a = blocker.BuildIndex(fa);
+      index_b = blocker.BuildIndex(fb);
+      if (!streaming) candidates = HammingLshBlocker::CandidatePairs(index_a, index_b);
       break;
     }
   }
-  if (config_.model == LinkageModel::kDualLinkageUnit) {
-    channel.Send("lu-block", matcher, candidates.size() * 8, "candidate-pairs");
-  }
-  out.candidate_pairs = candidates.size();
   out.block_seconds = block_span.Stop();
-  obs::GlobalMetrics()
-      .GetCounter("pprl_pipeline_candidate_pairs_total",
-                  "Candidate pairs produced by the blocking stage")
-      .Increment(candidates.size());
 
   // --- Comparison + classification at the matcher. --------------------------
   // The devirtualized Dice kernel over contiguous bit-matrix storage;
   // scores are bitwise identical to DiceSimilarity(), and pairs whose
   // cardinality bound already falls below the threshold skip the word loop.
   obs::StageTimer compare_span("compare");
-  const ComparisonEngine engine(SimilarityMeasure::kDice);
-  std::vector<ScoredPair> scored =
-      engine.Compare(fa, fb, candidates, config_.match_threshold);
-  out.comparisons = engine.last_comparison_count();
-  out.pruned_comparisons = engine.last_pruned_count();
+  std::vector<ScoredPair> scored;
+  if (streaming) {
+    WorkStealingScheduler::Options sched_options;
+    sched_options.num_threads = config_.num_threads;
+    sched_options.max_pending = 64;
+    WorkStealingScheduler scheduler(sched_options);
+    ParallelLinkageOptions parallel_options;
+    parallel_options.scheduler = &scheduler;
+    const BitMatrix ma = BitMatrix::FromVectors(fa);
+    const BitMatrix mb = BitMatrix::FromVectors(fb);
+    StreamCompareResult streamed = StreamCompareShards(
+        SimilarityMeasure::kDice, ma, mb, config_.match_threshold, parallel_options,
+        [&](const CandidateShardFn& emit) {
+          if (config_.blocking == BlockingScheme::kNone) {
+            StreamFullPairs(a.records.size(), b.records.size(),
+                            parallel_options.shard_size, emit);
+          } else {
+            StreamBlockedPairs(index_a, index_b, parallel_options.shard_size, emit);
+          }
+        });
+    scored = std::move(streamed.hits);
+    out.comparisons = streamed.comparisons;
+    out.pruned_comparisons = streamed.pruned;
+    out.candidate_pairs = streamed.comparisons;
+  } else {
+    const ComparisonEngine engine(SimilarityMeasure::kDice);
+    scored = engine.Compare(fa, fb, candidates, config_.match_threshold);
+    out.comparisons = engine.last_comparison_count();
+    out.pruned_comparisons = engine.last_pruned_count();
+    out.candidate_pairs = candidates.size();
+  }
+  if (config_.model == LinkageModel::kDualLinkageUnit) {
+    channel.Send("lu-block", matcher, out.candidate_pairs * 8, "candidate-pairs");
+  }
+  obs::GlobalMetrics()
+      .GetCounter("pprl_pipeline_candidate_pairs_total",
+                  "Candidate pairs produced by the blocking stage")
+      .Increment(out.candidate_pairs);
   const double compare_seconds = compare_span.Stop();
 
   obs::StageTimer classify_span("classify");

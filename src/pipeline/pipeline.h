@@ -56,6 +56,13 @@ struct PipelineConfig {
   double match_threshold = 0.8;             ///< Dice threshold for a match
   bool one_to_one = true;                   ///< de-duplicated databases
 
+  // --- execution ------------------------------------------------------------
+  /// Workers for the comparison/classification stages. 1 keeps the serial
+  /// path; >1 streams candidate shards from blocking into a work-stealing
+  /// scheduler (linkage/parallel_linkage.h). Matches are identical at any
+  /// thread count.
+  size_t num_threads = 1;
+
   // --- protocol ------------------------------------------------------------
   LinkageModel model = LinkageModel::kTwoPartyLinkageUnit;
   std::string secret_key = "shared-secret"; ///< HMAC key shared by the DOs

@@ -80,6 +80,12 @@ Status LinkageUnitServer::Start() {
     }
   }
   pool_ = std::make_unique<ThreadPool>(config_.expected_owners + config_.extra_threads);
+  if (config_.link_threads > 1) {
+    WorkStealingScheduler::Options sched_options;
+    sched_options.num_threads = config_.link_threads;
+    sched_options.max_pending = 64;
+    link_scheduler_ = std::make_unique<WorkStealingScheduler>(sched_options);
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   PPRL_LOG(kInfo) << "linkage unit '" << config_.name << "' listening on port "
                   << listener_.port() << " for " << config_.expected_owners
@@ -95,8 +101,10 @@ void LinkageUnitServer::Stop() {
   listener_.Close();
   linkage_done_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Draining the pool joins every in-flight session handler.
+  // Draining the pool joins every in-flight session handler; only then is
+  // no linkage left to submit shards, so the scheduler can drain too.
   pool_.reset();
+  link_scheduler_.reset();
   // Last, so operators can scrape right up to the daemon's end.
   metrics_server_.reset();
 }
@@ -131,7 +139,9 @@ void LinkageUnitServer::RunLinkageIfReady() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (linkage_ran_ || owner_order_.size() < config_.expected_owners) return;
   Metrics().linkage_runs.Increment();
-  auto result = unit_.Link(config_.link_options);
+  MultiPartyLinkageOptions link_options = config_.link_options;
+  if (link_scheduler_) link_options.scheduler = link_scheduler_.get();
+  auto result = unit_.Link(link_options);
   linkage_status_ = result.status();
   if (result.ok()) linkage_result_ = std::move(*result);
   linkage_ran_ = true;

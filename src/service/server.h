@@ -33,6 +33,12 @@ struct LinkageUnitServerConfig {
   /// Extra pool threads beyond one per expected owner (each session holds
   /// its thread while waiting for the linkage to finish).
   size_t extra_threads = 1;
+  /// Workers in the daemon's shared work-stealing scheduler. >1 runs every
+  /// linkage's comparison/clustering stages on it (overriding
+  /// link_options.num_threads/scheduler); concurrent linkage runs share the
+  /// same workers, each tracking its own completion. 1 keeps linkage
+  /// serial.
+  size_t link_threads = 1;
   /// Per-socket read/write timeout while a session is active.
   int io_timeout_ms = 30000;
   /// How often the accept loop wakes to check for Stop().
@@ -110,6 +116,8 @@ class LinkageUnitServer {
   TcpListener listener_;
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Shared shard scheduler for parallel linkage (set when link_threads > 1).
+  std::unique_ptr<WorkStealingScheduler> link_scheduler_;
   std::unique_ptr<MetricsHttpServer> metrics_server_;
   Channel channel_;
 

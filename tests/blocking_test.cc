@@ -83,6 +83,75 @@ TEST(FullPairsTest, CrossProduct) {
   EXPECT_TRUE(FullPairs(0, 5).empty());
 }
 
+/// Collects a shard stream back into one vector, checking shard ids are
+/// sequential and every shard except the last respects `shard_size`.
+std::vector<CandidatePair> CollectShards(size_t shard_size,
+                                         const std::function<void(const CandidateShardFn&)>& produce) {
+  std::vector<CandidatePair> all;
+  uint32_t next_id = 0;
+  bool saw_short_shard = false;
+  produce([&](CandidateShard shard) {
+    EXPECT_EQ(shard.shard_id, next_id++) << "shard ids must be sequential";
+    EXPECT_FALSE(shard.pairs.empty()) << "empty shards must not be emitted";
+    if (shard_size != 0) {
+      EXPECT_FALSE(saw_short_shard) << "only the final shard may be short";
+      EXPECT_LE(shard.pairs.size(), shard_size);
+      if (shard.pairs.size() < shard_size) saw_short_shard = true;
+    }
+    all.insert(all.end(), shard.pairs.begin(), shard.pairs.end());
+  });
+  return all;
+}
+
+/// The streaming generators must reproduce their materializing
+/// counterparts byte for byte at any shard size — that equivalence is what
+/// makes the parallel pipeline's output independent of sharding.
+TEST(StreamFullPairsTest, MatchesFullPairsAtEveryShardSize) {
+  const auto expected = FullPairs(23, 17);
+  for (const size_t shard_size : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                                  size_t{1000}}) {
+    const auto streamed = CollectShards(shard_size, [&](const CandidateShardFn& emit) {
+      StreamFullPairs(23, 17, shard_size, emit);
+    });
+    ASSERT_EQ(expected.size(), streamed.size()) << "shard_size=" << shard_size;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], streamed[i]) << "shard_size=" << shard_size;
+    }
+  }
+  // Degenerate sides stream nothing.
+  size_t shards_seen = 0;
+  StreamFullPairs(0, 5, 8, [&](CandidateShard) { ++shards_seen; });
+  StreamFullPairs(5, 0, 8, [&](CandidateShard) { ++shards_seen; });
+  EXPECT_EQ(shards_seen, 0u);
+}
+
+TEST(StreamBlockedPairsTest, MatchesCandidatePairsAtEveryShardSize) {
+  // Overlapping multi-key blocks so deduplication and cross-key merges are
+  // actually exercised.
+  const BlockingKeyFunction keys = [](const Schema&, const Record& r) {
+    const std::string& name = r.values.at(0);
+    std::vector<std::string> out = {name.substr(0, 1)};
+    if (name.size() > 1) out.push_back(name.substr(0, 2));
+    return out;
+  };
+  const Database a = MakeDb({{"ada", "x"}, {"adam", "y"}, {"bob", "z"}, {"ben", "w"}});
+  const Database b = MakeDb({{"ada", "p"}, {"beth", "q"}, {"adele", "r"}});
+  const StandardBlocker blocker(keys);
+  const BlockIndex ia = blocker.BuildIndex(a);
+  const BlockIndex ib = blocker.BuildIndex(b);
+  const auto expected = StandardBlocker::CandidatePairs(ia, ib);
+  ASSERT_FALSE(expected.empty());
+  for (const size_t shard_size : {size_t{0}, size_t{1}, size_t{3}, size_t{100}}) {
+    const auto streamed = CollectShards(shard_size, [&](const CandidateShardFn& emit) {
+      StreamBlockedPairs(ia, ib, shard_size, emit);
+    });
+    ASSERT_EQ(expected.size(), streamed.size()) << "shard_size=" << shard_size;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], streamed[i]) << "shard_size=" << shard_size;
+    }
+  }
+}
+
 TEST(SortedNeighborhoodTest, WindowCoversAdjacentKeys) {
   const Database a = MakeDb({{"aaa", "aaa"}, {"zzz", "zzz"}});
   const Database b = MakeDb({{"aab", "aab"}, {"zzy", "zzy"}});

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/bit_matrix.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "linkage/comparison.h"
 #include "similarity/similarity.h"
 
@@ -173,6 +175,74 @@ TEST(CompareKernelsTest, ParallelMatchesSequentialKernel) {
       EXPECT_EQ(kernel.last_pruned_count(), sequential_pruned);
     }
   }
+}
+
+/// Thresholded runs through the Dice fast path (division-free band tests,
+/// dense-run vectorization) and the chunked parallel engine: scores, kept
+/// pairs, order, and the pruned/comparison accounting must all be
+/// identical to the sequential kernel at every thread count.
+TEST(CompareKernelsTest, ThresholdedParallelAccountingMatchesSequential) {
+  Rng rng(31);
+  for (const size_t bits : {size_t{127}, size_t{500}}) {
+    const auto fa = RandomFilters(64, bits, rng);
+    const auto fb = RandomFilters(64, bits, rng);
+    const auto candidates = AllPairs(fa.size(), fb.size());
+    const BitMatrix ma = BitMatrix::FromVectors(fa);
+    const BitMatrix mb = BitMatrix::FromVectors(fb);
+    const ComparisonEngine kernel(SimilarityMeasure::kDice);
+    for (const double min_score : {0.5, 0.7, 0.85, 0.95}) {
+      const auto sequential = kernel.CompareMatrices(ma, mb, candidates, min_score);
+      const size_t sequential_pruned = kernel.last_pruned_count();
+      for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        const auto parallel =
+            kernel.CompareMatricesParallel(ma, mb, candidates, min_score, threads);
+        ASSERT_EQ(sequential.size(), parallel.size())
+            << "bits=" << bits << " min=" << min_score << " threads=" << threads;
+        for (size_t i = 0; i < sequential.size(); ++i) {
+          EXPECT_EQ(sequential[i], parallel[i]);
+        }
+        EXPECT_EQ(kernel.last_comparison_count(), candidates.size())
+            << "bits=" << bits << " min=" << min_score << " threads=" << threads;
+        EXPECT_EQ(kernel.last_pruned_count(), sequential_pruned)
+            << "bits=" << bits << " min=" << min_score << " threads=" << threads;
+      }
+    }
+  }
+}
+
+/// One engine, one shared scheduler, several callers at once — the shape
+/// the daemon runs. Every caller must get its own correct result while
+/// the counters, being per-engine, settle to some completed call's totals.
+TEST(CompareKernelsTest, ConcurrentCallersShareEngineAndScheduler) {
+  Rng rng(37);
+  const auto fa = RandomFilters(48, 500, rng);
+  const auto fb = RandomFilters(48, 500, rng);
+  const auto candidates = AllPairs(fa.size(), fb.size());
+  const BitMatrix ma = BitMatrix::FromVectors(fa);
+  const BitMatrix mb = BitMatrix::FromVectors(fb);
+  const ComparisonEngine kernel(SimilarityMeasure::kDice);
+  const auto expected = kernel.CompareMatrices(ma, mb, candidates, 0.7);
+  const size_t expected_pruned = kernel.last_pruned_count();
+
+  WorkStealingScheduler scheduler(4);
+  constexpr int kCallers = 4;
+  std::vector<std::vector<ScoredPair>> results(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      results[t] = kernel.CompareMatricesParallel(ma, mb, candidates, 0.7, scheduler);
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int t = 0; t < kCallers; ++t) {
+    ASSERT_EQ(expected.size(), results[t].size()) << "caller " << t;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], results[t][i]) << "caller " << t << " pair " << i;
+    }
+  }
+  EXPECT_EQ(kernel.last_comparison_count(), candidates.size());
+  EXPECT_EQ(kernel.last_pruned_count(), expected_pruned);
 }
 
 TEST(CompareKernelsTest, ZeroLengthFiltersCompareDegenerate) {

@@ -1,0 +1,186 @@
+// Determinism of the parallel linkage path: the same datasets linked at
+// 1, 2 and 8 worker threads must produce byte-identical matches, edges
+// and clusters. Shard boundaries, steal order and merge timing may vary
+// freely underneath — none of it may reach the output.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "datagen/generator.h"
+#include "linkage/classifier.h"
+#include "linkage/clustering.h"
+#include "pipeline/party.h"
+#include "pipeline/pipeline.h"
+
+namespace pprl {
+namespace {
+
+std::pair<Database, Database> OverlappingDatabases(size_t records_each) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = records_each;
+  scenario.overlap = 0.5;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  EXPECT_TRUE(dbs.ok());
+  return {std::move((*dbs)[0]), std::move((*dbs)[1])};
+}
+
+void ExpectSameOutput(const LinkageOutput& expected, const LinkageOutput& actual,
+                      size_t threads) {
+  ASSERT_EQ(expected.matches.size(), actual.matches.size()) << threads << " threads";
+  for (size_t i = 0; i < expected.matches.size(); ++i) {
+    EXPECT_EQ(expected.matches[i], actual.matches[i])
+        << threads << " threads, match " << i;
+  }
+  EXPECT_EQ(expected.candidate_pairs, actual.candidate_pairs) << threads;
+  EXPECT_EQ(expected.comparisons, actual.comparisons) << threads;
+  EXPECT_EQ(expected.pruned_comparisons, actual.pruned_comparisons) << threads;
+}
+
+TEST(ParallelPipelineTest, MatchesIdenticalAtEveryThreadCount) {
+  const auto [a, b] = OverlappingDatabases(200);
+  PipelineConfig config;
+  config.bloom.num_bits = 500;
+  config.match_threshold = 0.8;
+  const auto serial = PprlPipeline(config).Link(a, b);
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  EXPECT_FALSE(serial->matches.empty());
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    PipelineConfig parallel_config = config;
+    parallel_config.num_threads = threads;
+    const auto parallel = PprlPipeline(parallel_config).Link(a, b);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+    ExpectSameOutput(*serial, *parallel, threads);
+  }
+}
+
+TEST(ParallelPipelineTest, FullPairsBlockingAlsoDeterministic) {
+  const auto [a, b] = OverlappingDatabases(80);
+  PipelineConfig config;
+  config.bloom.num_bits = 500;
+  config.blocking = BlockingScheme::kNone;
+  config.match_threshold = 0.8;
+  const auto serial = PprlPipeline(config).Link(a, b);
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    PipelineConfig parallel_config = config;
+    parallel_config.num_threads = threads;
+    const auto parallel = PprlPipeline(parallel_config).Link(a, b);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+    ExpectSameOutput(*serial, *parallel, threads);
+  }
+}
+
+/// The multi-party service path: serial Link() versus worker counts and a
+/// borrowed shared scheduler must agree on edges, clusters and counters.
+TEST(ParallelPipelineTest, MultiPartyLinkIdenticalAcrossWorkerCounts) {
+  DataGenerator gen(GeneratorConfig{});
+  LinkageScenarioConfig scenario;
+  scenario.records_per_database = 120;
+  scenario.num_databases = 3;
+  scenario.overlap = 0.4;
+  scenario.corruption.mean_corruptions = 1.0;
+  auto dbs = gen.GenerateScenario(scenario);
+  ASSERT_TRUE(dbs.ok());
+
+  PipelineConfig encoder_config;
+  const ClkEncoder encoder(encoder_config.bloom, PprlPipeline::DefaultFieldConfigs());
+  Channel channel;
+  LinkageUnitService unit("lu");
+  for (size_t d = 0; d < dbs->size(); ++d) {
+    DatabaseOwner owner("owner-" + std::to_string(d), std::move((*dbs)[d]));
+    ASSERT_TRUE(owner.Encode(encoder).ok());
+    auto shipment = owner.ShipEncodings(channel, unit.name());
+    ASSERT_TRUE(shipment.ok());
+    ASSERT_TRUE(unit.Receive(owner.name(), std::move(shipment).value()).ok());
+  }
+
+  MultiPartyLinkageOptions options;
+  options.dice_threshold = 0.8;
+  options.use_star_clustering = false;  // exercise parallel union-find
+  const auto serial = unit.Link(options);
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  EXPECT_FALSE(serial->edges.empty());
+
+  auto expect_same = [&](const MultiPartyLinkageResult& actual, const std::string& label) {
+    ASSERT_EQ(serial->edges.size(), actual.edges.size()) << label;
+    for (size_t i = 0; i < serial->edges.size(); ++i) {
+      EXPECT_EQ(serial->edges[i].x, actual.edges[i].x) << label << ", edge " << i;
+      EXPECT_EQ(serial->edges[i].y, actual.edges[i].y) << label << ", edge " << i;
+      EXPECT_EQ(serial->edges[i].score, actual.edges[i].score) << label << ", edge " << i;
+    }
+    ASSERT_EQ(serial->clusters.size(), actual.clusters.size()) << label;
+    for (size_t i = 0; i < serial->clusters.size(); ++i) {
+      EXPECT_EQ(serial->clusters[i], actual.clusters[i]) << label << ", cluster " << i;
+    }
+    EXPECT_EQ(serial->comparisons, actual.comparisons) << label;
+    EXPECT_EQ(serial->pruned_comparisons, actual.pruned_comparisons) << label;
+  };
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    MultiPartyLinkageOptions parallel_options = options;
+    parallel_options.num_threads = threads;
+    const auto parallel = unit.Link(parallel_options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+    expect_same(*parallel, std::to_string(threads) + " threads");
+  }
+
+  WorkStealingScheduler shared(4);
+  MultiPartyLinkageOptions shared_options = options;
+  shared_options.scheduler = &shared;
+  const auto borrowed = unit.Link(shared_options);
+  ASSERT_TRUE(borrowed.ok()) << borrowed.status().message();
+  expect_same(*borrowed, "borrowed scheduler");
+}
+
+TEST(ParallelClusteringTest, ConnectedComponentsParity) {
+  Rng rng(41);
+  std::vector<MatchEdge> edges;
+  for (int i = 0; i < 5000; ++i) {
+    MatchEdge e;
+    e.x = {static_cast<uint32_t>(rng.NextUint64(3)),
+           static_cast<uint32_t>(rng.NextUint64(800))};
+    e.y = {static_cast<uint32_t>(rng.NextUint64(3)),
+           static_cast<uint32_t>(rng.NextUint64(800))};
+    e.score = 0.8 + 0.2 * rng.NextDouble();
+    edges.push_back(e);
+  }
+  const auto serial = ConnectedComponents(edges);
+  ASSERT_FALSE(serial.empty());
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    WorkStealingScheduler scheduler(threads);
+    const auto parallel = ParallelConnectedComponents(edges, scheduler);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << threads << " threads, cluster " << i;
+    }
+  }
+}
+
+TEST(ParallelClassifierTest, SelectMatchesParity) {
+  Rng rng(43);
+  std::vector<ScoredPair> scored;
+  scored.reserve(300000);
+  for (uint32_t i = 0; i < 300000; ++i) {
+    scored.push_back({i % 997, i % 991, rng.NextDouble()});
+  }
+  const ThresholdClassifier classifier(0.8, 0.8);
+  const auto serial = classifier.SelectMatches(scored);
+  ASSERT_FALSE(serial.empty());
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    WorkStealingScheduler scheduler(threads);
+    const auto parallel = classifier.ParallelSelectMatches(scored, scheduler);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << threads << " threads, pair " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pprl
