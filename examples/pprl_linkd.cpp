@@ -8,11 +8,20 @@
 /// usage:
 ///   pprl_linkd <port> <expected_owners> [dice_threshold] [--all-interfaces]
 ///              [--metrics <port>] [--threads <n>]
+///              [--io-timeout-ms <ms>] [--max-sessions <n>]
+///              [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]
 ///
 /// With --metrics, a Prometheus text endpoint (GET /metrics) is served on
 /// the given port (0 picks an ephemeral one; the bound port is printed).
 /// With --threads > 1, linkage runs stream candidate shards through a
 /// shared work-stealing scheduler; results are identical to serial runs.
+///
+/// Robustness knobs: --io-timeout-ms bounds every socket read/write;
+/// --max-sessions caps concurrent connections (excess is shed with a BUSY
+/// frame); --session-ttl-ms sweeps idle partial shipments; --min-owners
+/// arms the quorum option (link with fewer owners after a quiet period,
+/// flagged as degraded in every summary). --chaos wraps every accepted
+/// connection in the seeded fault injector — for drills, never production.
 ///
 /// example (three terminals):
 ///   ./build/examples/pprl_linkd 7001 2
@@ -32,7 +41,9 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: pprl_linkd <port> <expected_owners> [dice_threshold]"
-                 " [--all-interfaces] [--metrics <port>] [--threads <n>]\n");
+                 " [--all-interfaces] [--metrics <port>] [--threads <n>]"
+                 " [--io-timeout-ms <ms>] [--max-sessions <n>]"
+                 " [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]\n");
     return 2;
   }
   LinkageUnitServerConfig config;
@@ -51,6 +62,25 @@ int main(int argc, char** argv) {
     if (arg == "--threads" && i + 1 < argc) {
       config.link_threads = static_cast<size_t>(std::atoll(argv[++i]));
     }
+    if (arg == "--io-timeout-ms" && i + 1 < argc) {
+      config.io_timeout_ms = std::atoi(argv[++i]);
+    }
+    if (arg == "--max-sessions" && i + 1 < argc) {
+      config.max_sessions = static_cast<size_t>(std::atoll(argv[++i]));
+    }
+    if (arg == "--session-ttl-ms" && i + 1 < argc) {
+      config.session_ttl_ms = std::atoi(argv[++i]);
+    }
+    if (arg == "--min-owners" && i + 1 < argc) {
+      config.min_owners = static_cast<size_t>(std::atoll(argv[++i]));
+    }
+    if (arg == "--chaos" && i + 1 < argc) {
+      config.chaos.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      config.chaos.close_rate = 0.01;
+      config.chaos.delay_rate = 0.05;
+      config.chaos.truncate_rate = 0.005;
+      config.chaos.corrupt_rate = 0.005;
+    }
   }
 
   LinkageUnitServer server(config);
@@ -63,6 +93,23 @@ int main(int argc, char** argv) {
               server.port(), config.expected_owners,
               config.link_options.dice_threshold,
               config.loopback_only ? "loopback only" : "all interfaces");
+  // The effective robustness configuration, defaults resolved — what an
+  // operator needs to predict the daemon's behaviour under faults.
+  std::printf(
+      "pprl_linkd: robustness: io timeout %d ms, max %zu sessions, "
+      "session ttl %d ms, deadline %d ms, buffer cap %.1f MiB\n",
+      config.io_timeout_ms, server.max_sessions(), config.session_ttl_ms,
+      config.session_deadline_ms,
+      static_cast<double>(config.max_buffered_bytes) / (1024.0 * 1024.0));
+  if (config.min_owners >= 2 && config.min_owners < config.expected_owners) {
+    std::printf("pprl_linkd: quorum armed: will link with >= %zu owners after "
+                "%d ms without a new shipment (degraded result)\n",
+                config.min_owners, config.quorum_wait_ms);
+  }
+  if (config.chaos.enabled()) {
+    std::printf("pprl_linkd: CHAOS MODE: injecting faults with seed %llu\n",
+                static_cast<unsigned long long>(config.chaos.seed));
+  }
   if (server.metrics_port() != 0) {
     std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
                 server.metrics_port());
@@ -75,6 +122,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto result = server.result();
+  if (server.linkage_degraded()) {
+    std::printf("\nWARNING: degraded run — linked %zu of %zu expected owners "
+                "(quorum option)\n",
+                server.owner_order().size(), config.expected_owners);
+  }
   std::printf("\nlinked %zu databases: %zu clusters, %zu edges, %zu comparisons\n",
               server.owner_order().size(), result->clusters.size(),
               result->edges.size(), result->comparisons);

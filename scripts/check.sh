@@ -38,6 +38,16 @@ ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
   -R '^(comparison_test|compare_kernels_test|thread_pool_test|parallel_pipeline_test|metrics_test)$'
 echo "check.sh: concurrency tests passed under TSan"
 
+# Chaos gate: the fault-tolerant linkage service under TSan. Seeded fault
+# injection forces connection loss, resumes and shedding across the
+# daemon's accept/session/sweeper threads — exactly the interleavings
+# TSan exists to check. Budgeted at 60 s so a deadlock in the resume or
+# quorum path fails the gate instead of hanging it.
+cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" --target service_chaos_test
+ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure --timeout 60 \
+  -R '^service_chaos_test$'
+echo "check.sh: chaos suite passed under TSan"
+
 # Scaling smoke: the streaming parallel path must actually scale. Run the
 # committed benchmark's parallel sweep from an optimized build and compare
 # stream-t4 against stream-t1 at 500 bits. On a multi-core box t4 below

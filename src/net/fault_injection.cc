@@ -1,0 +1,89 @@
+#include "net/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pprl {
+
+FaultInjectingConnection::FaultInjectingConnection(Connection& inner,
+                                                   const FaultSpec& spec)
+    : inner_(inner), spec_(spec), rng_(spec.seed) {}
+
+void FaultInjectingConnection::CountFault(const char* kind) {
+  ++faults_injected_;
+  obs::GlobalMetrics()
+      .GetCounter("pprl_faults_injected_total",
+                  "Faults injected by FaultInjectingConnection, by kind",
+                  {{"kind", kind}})
+      .Increment();
+}
+
+Status FaultInjectingConnection::InjectClose(const char* what) {
+  CountFault("close");
+  inner_.Close();
+  return Status::IoError(std::string("injected fault: ") + what);
+}
+
+Result<size_t> FaultInjectingConnection::Read(uint8_t* buf, size_t max) {
+  if (spec_.delay_rate > 0.0 && rng_.NextBool(spec_.delay_rate)) {
+    CountFault("delay");
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
+  }
+  if (spec_.close_rate > 0.0 && rng_.NextBool(spec_.close_rate)) {
+    return InjectClose("connection dropped before read");
+  }
+  if (bytes_in_ >= spec_.close_after_bytes_received) {
+    return InjectClose("read byte point reached");
+  }
+  // Cap the read so the deterministic byte point lands exactly where the
+  // spec says, even mid-frame.
+  const size_t budget = spec_.close_after_bytes_received - bytes_in_;
+  auto n = inner_.Read(buf, std::min(max, budget));
+  if (n.ok()) bytes_in_ += *n;
+  return n;
+}
+
+Status FaultInjectingConnection::Write(const uint8_t* buf, size_t len) {
+  if (spec_.delay_rate > 0.0 && rng_.NextBool(spec_.delay_rate)) {
+    CountFault("delay");
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
+  }
+  if (spec_.close_rate > 0.0 && rng_.NextBool(spec_.close_rate)) {
+    return InjectClose("connection dropped before write");
+  }
+  if (bytes_out_ + len > spec_.close_after_bytes_sent) {
+    // Deliver exactly up to the byte point, then cut — the peer sees a
+    // stream truncated mid-frame.
+    const size_t prefix = spec_.close_after_bytes_sent - bytes_out_;
+    if (prefix > 0) {
+      const Status s = inner_.Write(buf, prefix);
+      bytes_out_ += prefix;
+      if (!s.ok()) return s;
+    }
+    return InjectClose("write byte point reached");
+  }
+  if (spec_.truncate_rate > 0.0 && len > 1 && rng_.NextBool(spec_.truncate_rate)) {
+    CountFault("truncate");
+    const size_t prefix = 1 + rng_.NextUint64(len - 1);
+    const Status s = inner_.Write(buf, prefix);
+    bytes_out_ += prefix;
+    if (!s.ok()) return s;
+    return InjectClose("write truncated");
+  }
+  if (spec_.corrupt_rate > 0.0 && len > 0 && rng_.NextBool(spec_.corrupt_rate)) {
+    CountFault("corrupt");
+    std::vector<uint8_t> corrupted(buf, buf + len);
+    corrupted[rng_.NextUint64(len)] ^= static_cast<uint8_t>(1u << rng_.NextUint64(8));
+    const Status s = inner_.Write(corrupted.data(), len);
+    if (s.ok()) bytes_out_ += len;
+    return s;
+  }
+  const Status s = inner_.Write(buf, len);
+  if (s.ok()) bytes_out_ += len;
+  return s;
+}
+
+}  // namespace pprl

@@ -1,0 +1,98 @@
+#ifndef PPRL_NET_FAULT_INJECTION_H_
+#define PPRL_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace pprl {
+
+/// What a FaultInjectingConnection may do to the stream, and how often.
+///
+/// All randomness is drawn from one seeded Rng per connection, so a given
+/// (spec, seed, operation sequence) replays the same faults — chaos runs
+/// are reproducible, and a failing seed can be committed as a regression
+/// test. The byte-point triggers are fully deterministic: the connection
+/// hard-closes the first time the running byte count crosses the
+/// threshold, which is how tests cut a session mid-frame at an exact
+/// offset and prove the resume path continues from the last acked chunk.
+struct FaultSpec {
+  static constexpr size_t kNever = std::numeric_limits<size_t>::max();
+
+  uint64_t seed = 0;
+  /// Per-I/O-operation probability of dropping the connection (hard close).
+  double close_rate = 0.0;
+  /// Per-I/O-operation probability of sleeping `delay_ms` first.
+  double delay_rate = 0.0;
+  int delay_ms = 2;
+  /// Per-write probability of writing only a prefix, then hard-closing.
+  double truncate_rate = 0.0;
+  /// Per-write probability of flipping one bit of the outgoing bytes.
+  double corrupt_rate = 0.0;
+  /// Deterministic byte points: hard-close once this many bytes have gone
+  /// out / come in through this connection.
+  size_t close_after_bytes_sent = kNever;
+  size_t close_after_bytes_received = kNever;
+
+  bool enabled() const {
+    return close_rate > 0.0 || delay_rate > 0.0 || truncate_rate > 0.0 ||
+           corrupt_rate > 0.0 || close_after_bytes_sent != kNever ||
+           close_after_bytes_received != kNever;
+  }
+
+  /// The same fault mix with an independent random stream — each accepted
+  /// or re-dialled connection gets its own derived seed.
+  FaultSpec WithSeed(uint64_t derived_seed) const {
+    FaultSpec spec = *this;
+    spec.seed = derived_seed;
+    return spec;
+  }
+};
+
+/// Chaos decorator over any Connection (net/transport.h).
+///
+/// Sits between the protocol layers and the real socket and injects the
+/// faults a deployed linkage service actually sees: connections dropped
+/// mid-frame, deliveries delayed, writes truncated at arbitrary byte
+/// points, payload bytes corrupted in flight. Injected failures surface
+/// through the normal Status channel (kIoError mentioning "injected"), so
+/// the code under test cannot tell them from real network trouble.
+///
+/// Not thread-safe — like the connections it wraps, one session handler
+/// drives it. Counts every injected fault into
+/// `pprl_faults_injected_total{kind}` and locally via faults_injected().
+class FaultInjectingConnection : public Connection {
+ public:
+  /// `inner` must outlive this wrapper (callers own it).
+  FaultInjectingConnection(Connection& inner, const FaultSpec& spec);
+
+  Result<size_t> Read(uint8_t* buf, size_t max) override;
+  Status Write(const uint8_t* buf, size_t len) override;
+  Status SetIoTimeout(int timeout_ms) override { return inner_.SetIoTimeout(timeout_ms); }
+  void Close() override { inner_.Close(); }
+  bool closed() const override { return inner_.closed(); }
+  size_t wire_bytes_sent() const override { return inner_.wire_bytes_sent(); }
+  size_t wire_bytes_received() const override { return inner_.wire_bytes_received(); }
+
+  /// Faults injected on this connection so far.
+  size_t faults_injected() const { return faults_injected_; }
+
+ private:
+  /// Hard-closes the inner connection and reports the injected fault.
+  Status InjectClose(const char* what);
+  void CountFault(const char* kind);
+
+  Connection& inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  size_t bytes_in_ = 0;
+  size_t bytes_out_ = 0;
+  size_t faults_injected_ = 0;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_NET_FAULT_INJECTION_H_

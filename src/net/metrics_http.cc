@@ -75,7 +75,11 @@ void MetricsHttpServer::ServeLoop() {
   while (!stopping_.load()) {
     auto conn = listener_.Accept(config_.accept_poll_ms);
     if (!conn.ok()) {
-      if (conn.status().code() == StatusCode::kNotFound) continue;  // poll timeout
+      // kNotFound is a poll timeout — keep polling. kFailedPrecondition is
+      // the listener being torn down (Stop() from another thread) — leave
+      // the loop even if the stopping flag write hasn't been observed yet.
+      if (conn.status().code() == StatusCode::kNotFound) continue;
+      if (conn.status().code() == StatusCode::kFailedPrecondition) break;
       if (stopping_.load()) break;
       PPRL_LOG(kWarning) << "metrics accept failed: " << conn.status().ToString();
       continue;

@@ -196,27 +196,43 @@ Status TcpListener::Listen(uint16_t port, bool loopback_only, int backlog) {
 }
 
 Result<std::unique_ptr<TcpConnection>> TcpListener::Accept(int timeout_ms) {
-  if (fd_ < 0) return Status::FailedPrecondition("listener not bound");
-  pollfd pfd{fd_, POLLIN, 0};
+  // Snapshot the fd once: a concurrent Close() swaps fd_ to -1 and shuts
+  // the socket down, which makes the poll/accept below fail with the
+  // distinct teardown code instead of racing on the member.
+  const int fd = fd_.load();
+  if (fd < 0) return Status::FailedPrecondition("listener shut down");
+  pollfd pfd{fd, POLLIN, 0};
   const int rc = poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
   if (rc == 0) return Status::NotFound("accept timed out");
   if (rc < 0) {
     if (errno == EINTR) return Status::NotFound("accept interrupted");
     return Errno("poll(accept)");
   }
-  const int conn_fd = accept(fd_, nullptr, nullptr);
-  if (conn_fd < 0) return Errno("accept");
+  // A Close() from another thread shuts the listening socket down, which
+  // wakes the poll with an error event rather than a pending connection.
+  // Surface that as the distinct teardown code so accept loops can stop
+  // polling instead of mistaking it for a timeout.
+  if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return Status::FailedPrecondition("listener shut down");
+  }
+  const int conn_fd = accept(fd, nullptr, nullptr);
+  if (conn_fd < 0) {
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::FailedPrecondition("listener shut down");
+    }
+    return Errno("accept");
+  }
   const int one = 1;
   setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::make_unique<TcpConnection>(conn_fd);
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown() unblocks any thread parked in poll/accept.
-    shutdown(fd_, SHUT_RDWR);
-    close(fd_);
-    fd_ = -1;
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
   }
 }
 
@@ -244,7 +260,7 @@ FrameMetrics& GlobalFrameMetrics() {
 
 }  // namespace
 
-MeteredFrameConnection::MeteredFrameConnection(TcpConnection& conn, Channel* meter,
+MeteredFrameConnection::MeteredFrameConnection(Connection& conn, Channel* meter,
                                                std::string self, size_t max_payload)
     : conn_(conn),
       reader_(conn, max_payload),
@@ -253,12 +269,14 @@ MeteredFrameConnection::MeteredFrameConnection(TcpConnection& conn, Channel* met
       self_(std::move(self)) {}
 
 Status MeteredFrameConnection::Send(uint8_t type, const std::vector<uint8_t>& payload,
-                                    const std::string& tag) {
+                                    const std::string& tag, size_t metered_bytes) {
   PPRL_RETURN_IF_ERROR(writer_.WriteFrame(type, payload));
   GlobalFrameMetrics().frames_out.Increment();
   GlobalFrameMetrics().bytes_out.Increment(kFrameHeaderSize + payload.size());
   if (meter_ != nullptr) {
-    meter_->Send(self_, peer_.empty() ? "peer" : peer_, payload.size(), tag);
+    const size_t bytes =
+        metered_bytes == kMeterWholePayload ? payload.size() : metered_bytes;
+    meter_->Send(self_, peer_.empty() ? "peer" : peer_, bytes, tag);
   }
   return Status::OK();
 }
@@ -286,6 +304,11 @@ void MeteredFrameConnection::MeterReceived(const Frame& frame,
   if (meter_ == nullptr) return;
   const char* tag = tag_of != nullptr ? tag_of(frame.type) : "frame";
   meter_->Send(peer_.empty() ? "peer" : peer_, self_, frame.payload.size(), tag);
+}
+
+void MeteredFrameConnection::MeterReceivedBytes(size_t bytes, const std::string& tag) {
+  if (meter_ == nullptr) return;
+  meter_->Send(peer_.empty() ? "peer" : peer_, self_, bytes, tag);
 }
 
 }  // namespace pprl

@@ -24,12 +24,36 @@ struct ConnectOptions {
   int backoff_max_ms = 2000;
 };
 
+/// A bidirectional byte-stream endpoint: ByteSource + ByteSink plus the
+/// lifecycle and accounting the framed protocol layers need. TcpConnection
+/// is the real socket; FaultInjectingConnection (net/fault_injection.h)
+/// decorates any Connection with deterministic injected faults, which is
+/// how the chaos tests and `pprl_linkd --chaos` exercise the resume path
+/// without special-casing the protocol code.
+class Connection : public ByteSource, public ByteSink {
+ public:
+  ~Connection() override = default;
+
+  /// Applies `timeout_ms` to subsequent reads and writes; <= 0 blocks
+  /// forever.
+  virtual Status SetIoTimeout(int timeout_ms) = 0;
+
+  /// Shuts the stream down (idempotent).
+  virtual void Close() = 0;
+
+  virtual bool closed() const = 0;
+
+  /// Raw wire bytes in each direction, frame headers included.
+  virtual size_t wire_bytes_sent() const = 0;
+  virtual size_t wire_bytes_received() const = 0;
+};
+
 /// A blocking TCP byte stream (POSIX sockets) with read/write timeouts.
 ///
 /// Implements ByteSource/ByteSink so FrameReader/FrameWriter run directly
 /// on top, and counts raw wire bytes in each direction so framing overhead
 /// can be reported separately from the metered protocol payloads.
-class TcpConnection : public ByteSource, public ByteSink {
+class TcpConnection : public Connection {
  public:
   /// Takes ownership of a connected socket fd (server side; Accept()).
   explicit TcpConnection(int fd);
@@ -45,7 +69,7 @@ class TcpConnection : public ByteSource, public ByteSink {
 
   /// Applies `timeout_ms` to subsequent reads and writes (SO_RCVTIMEO /
   /// SO_SNDTIMEO). <= 0 means block forever.
-  Status SetIoTimeout(int timeout_ms);
+  Status SetIoTimeout(int timeout_ms) override;
 
   /// ByteSource: up to `max` bytes; 0 = peer closed. Timeouts surface as
   /// kIoError mentioning "timed out".
@@ -55,14 +79,14 @@ class TcpConnection : public ByteSource, public ByteSink {
   Status Write(const uint8_t* buf, size_t len) override;
 
   /// Shuts down and closes the socket (idempotent).
-  void Close();
+  void Close() override;
 
-  bool closed() const { return fd_ < 0; }
+  bool closed() const override { return fd_ < 0; }
 
   /// Raw wire bytes, including frame headers — the basis of the
   /// framing-overhead column in benchmarks.
-  size_t wire_bytes_sent() const { return wire_bytes_sent_.load(); }
-  size_t wire_bytes_received() const { return wire_bytes_received_.load(); }
+  size_t wire_bytes_sent() const override { return wire_bytes_sent_.load(); }
+  size_t wire_bytes_received() const override { return wire_bytes_received_.load(); }
 
  private:
   int fd_ = -1;
@@ -85,19 +109,26 @@ class TcpListener {
   Status Listen(uint16_t port, bool loopback_only = true, int backlog = 16);
 
   /// Accepts one connection, waiting at most `timeout_ms` (<= 0 = forever).
-  /// Timeout returns kNotFound so pollers can distinguish it from failure.
+  /// The error code tells pollers what happened:
+  ///   - kNotFound: poll timeout or a transient interruption — poll again;
+  ///   - kFailedPrecondition: the listener was shut down (Close() from
+  ///     another thread, or never bound) — stop polling;
+  ///   - kIoError: a real accept failure.
   Result<std::unique_ptr<TcpConnection>> Accept(int timeout_ms);
 
   /// The bound port (resolved after Listen, also for ephemeral binds).
   uint16_t port() const { return port_; }
 
-  bool listening() const { return fd_ >= 0; }
+  bool listening() const { return fd_.load() >= 0; }
 
-  /// Stops accepting (unblocks a blocked Accept with an error).
+  /// Stops accepting (unblocks a blocked Accept with an error). Safe to
+  /// call from a different thread than the one parked in Accept — that
+  /// is how accept loops are torn down.
   void Close();
 
  private:
-  int fd_ = -1;
+  /// Atomic because Close() races a concurrent Accept() by design.
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 
@@ -114,14 +145,19 @@ class MeteredFrameConnection {
   /// `meter` may be null (no accounting). `self` names this endpoint;
   /// `peer` is set after the handshake identifies the remote party. The
   /// connection must outlive this wrapper (callers own it).
-  MeteredFrameConnection(TcpConnection& conn, Channel* meter, std::string self,
+  MeteredFrameConnection(Connection& conn, Channel* meter, std::string self,
                          size_t max_payload = kDefaultMaxFramePayload);
 
   void set_peer(std::string peer) { peer_ = std::move(peer); }
   const std::string& peer() const { return peer_; }
 
   /// Sends one frame; meters payload bytes as self -> peer under `tag`.
-  Status Send(uint8_t type, const std::vector<uint8_t>& payload, const std::string& tag);
+  /// `metered_bytes` overrides the byte count handed to the channel —
+  /// shipment chunks pass only their data length, so the per-chunk session
+  /// header stays wire-level overhead (like the frame header) and the
+  /// "encoded-filters" cost column matches the in-process path exactly.
+  Status Send(uint8_t type, const std::vector<uint8_t>& payload, const std::string& tag,
+              size_t metered_bytes = kMeterWholePayload);
 
   /// Receives one frame; meters payload bytes as peer -> self under the
   /// tag derived from the received type by `tag_of` (may be null).
@@ -136,10 +172,17 @@ class MeteredFrameConnection {
   /// ReceiveUnmetered).
   void MeterReceived(const Frame& frame, const char* (*tag_of)(uint8_t));
 
-  TcpConnection& socket() { return conn_; }
+  /// Meters `bytes` as peer -> self under `tag` — for frames whose metered
+  /// size differs from the payload size (applied shipment-chunk data).
+  void MeterReceivedBytes(size_t bytes, const std::string& tag);
+
+  Connection& socket() { return conn_; }
+
+  /// Sentinel for Send(): meter payload.size().
+  static constexpr size_t kMeterWholePayload = static_cast<size_t>(-1);
 
  private:
-  TcpConnection& conn_;
+  Connection& conn_;
   FrameReader reader_;
   FrameWriter writer_;
   Channel* meter_;

@@ -1,16 +1,64 @@
 #include "service/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/logging.h"
+#include "common/random.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 
 namespace pprl {
 
 namespace {
 
+void CountRetry(const char* reason) {
+  obs::GlobalMetrics()
+      .GetCounter("pprl_retries_total",
+                  "Client session retries, by trigger", {{"reason", reason}})
+      .Increment();
+}
+
+/// Errors retrying cannot fix: the server rejected the request itself,
+/// not this attempt at delivering it.
+bool Terminal(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Turns a received frame into the expected type's payload, translating
-/// kError frames into their transported status.
-Result<std::vector<uint8_t>> ExpectFrame(Result<Frame> frame, MessageType expected) {
-  if (!frame.ok()) return frame.status();
+/// kError frames into their transported status and kBusy frames into a
+/// retryable kIoError carrying the server's retry-after hint.
+Result<std::vector<uint8_t>> ExpectFrame(Result<Frame> frame, MessageType expected,
+                                         int* busy_retry_after_ms) {
+  if (!frame.ok()) {
+    // The frame reader's kNotFound is a *clean EOF between frames* — the
+    // peer hung up mid-session, which is an ordinary connection loss. It
+    // must not be confused with a server-sent kError(kNotFound) ("unknown
+    // session"), the only kNotFound that should make the client abandon
+    // its resume cursor and start over.
+    if (frame.status().code() == StatusCode::kNotFound) {
+      return Status::IoError("connection closed mid-session (" +
+                             frame.status().message() + ")");
+    }
+    return frame.status();
+  }
+  if (frame->type == static_cast<uint8_t>(MessageType::kBusy)) {
+    auto busy = DecodeBusy(frame->payload);
+    if (!busy.ok()) return busy.status();
+    if (busy_retry_after_ms != nullptr) {
+      *busy_retry_after_ms = static_cast<int>(busy->retry_after_ms);
+    }
+    return Status::IoError("server busy: " + busy->reason);
+  }
   if (frame->type == static_cast<uint8_t>(MessageType::kError)) {
     auto err = DecodeError(frame->payload);
     if (!err.ok()) return err.status();
@@ -35,6 +83,17 @@ Result<std::vector<uint8_t>> ExpectFrame(Result<Frame> frame, MessageType expect
   return std::move(frame->payload);
 }
 
+/// The owner-side cursor of one delivery, carried across attempts.
+struct SessionCursor {
+  uint64_t session_id = 0;
+  uint64_t acked = 0;
+  bool shipment_complete = false;
+  /// Shipment bytes already metered into the channel; retransmissions
+  /// below this cursor are not metered again.
+  uint64_t metered_up_to = 0;
+  size_t max_chunk = 0;
+};
+
 }  // namespace
 
 RemoteOwnerClient::RemoteOwnerClient(RemoteOwnerClientConfig config, Channel* meter)
@@ -48,82 +107,205 @@ Result<OwnerLinkageSummary> RemoteOwnerClient::ShipAndAwait(
   if (encoded.filters.empty() || encoded.filters[0].empty()) {
     return Status::InvalidArgument("nothing to ship: empty encoding");
   }
+  auto shipment_payload = EncodeShipment(encoded);
+  if (!shipment_payload.ok()) return shipment_payload.status();
+  const std::vector<uint8_t>& shipment = *shipment_payload;
 
-  auto conn = TcpConnection::Connect(config_.host, config_.port, config_.connect);
-  if (!conn.ok()) return conn.status();
-  TcpConnection& socket = **conn;
-  MeteredFrameConnection mfc(socket, meter_, owner, config_.max_frame_payload);
-  mfc.set_peer(config_.server_label);
+  wire_bytes_sent_ = 0;
+  wire_bytes_received_ = 0;
+  retries_ = 0;
 
-  const auto record_wire_bytes = [&] {
-    wire_bytes_sent_ = socket.wire_bytes_sent();
-    wire_bytes_received_ = socket.wire_bytes_received();
+  SessionCursor cursor;
+  cursor.max_chunk = std::max<size_t>(config_.chunk_bytes, 1);
+  Rng jitter_rng(config_.retry.jitter_seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.retry.deadline_ms);
+
+  // Set (>= 0) when an attempt ended on a kBusy frame: the server's
+  // retry-after hint, which replaces the exponential backoff.
+  int busy_hint_ms = -1;
+
+  // One attempt = one connection lifetime: handshake (hello or resume),
+  // chunk loop from the acked cursor, then the results wait. Returns the
+  // summary or the error that ended the connection.
+  const auto attempt_session =
+      [&](int attempt) -> Result<OwnerLinkageSummary> {
+    auto conn = TcpConnection::Connect(config_.host, config_.port, config_.connect);
+    if (!conn.ok()) return conn.status();
+    TcpConnection& socket = **conn;
+    std::unique_ptr<FaultInjectingConnection> chaos;
+    Connection* wire = &socket;
+    if (config_.fault.enabled()) {
+      chaos = std::make_unique<FaultInjectingConnection>(
+          socket, config_.fault.WithSeed(config_.fault.seed +
+                                         0x9e3779b97f4a7c15ULL *
+                                             static_cast<uint64_t>(attempt + 1)));
+      wire = chaos.get();
+    }
+    MeteredFrameConnection mfc(*wire, meter_, owner, config_.max_frame_payload);
+    mfc.set_peer(server_name_.empty() ? config_.server_label : server_name_);
+
+    struct WireTally {
+      TcpConnection& socket;
+      size_t& sent;
+      size_t& received;
+      ~WireTally() {
+        sent += socket.wire_bytes_sent();
+        received += socket.wire_bytes_received();
+      }
+    } tally{socket, wire_bytes_sent_, wire_bytes_received_};
+
+    // 1. Handshake: a fresh hello, or a resume of the server-side session.
+    if (cursor.session_id == 0) {
+      HelloMessage hello;
+      hello.protocol_version = kWireProtocolVersion;
+      hello.party = owner;
+      hello.filter_bits = static_cast<uint32_t>(encoded.filters[0].size());
+      hello.record_count = static_cast<uint32_t>(encoded.size());
+      PPRL_RETURN_IF_ERROR(mfc.Send(static_cast<uint8_t>(MessageType::kHello),
+                                    EncodeHello(hello),
+                                    MessageTypeTag(static_cast<uint8_t>(MessageType::kHello))));
+      auto ack_payload = ExpectFrame(mfc.Receive(MessageTypeTag),
+                                     MessageType::kHelloAck, &busy_hint_ms);
+      if (!ack_payload.ok()) return ack_payload.status();
+      auto ack = DecodeHelloAck(*ack_payload);
+      if (!ack.ok()) return ack.status();
+      if (ack->protocol_version != kWireProtocolVersion) {
+        return Status::ProtocolViolation("server speaks protocol version " +
+                                         std::to_string(ack->protocol_version) +
+                                         ", client speaks " +
+                                         std::to_string(kWireProtocolVersion));
+      }
+      server_name_ = ack->server;
+      mfc.set_peer(ack->server);
+      cursor.session_id = ack->session_id;
+      cursor.max_chunk = std::min<size_t>(std::max<size_t>(config_.chunk_bytes, 1),
+                                          ack->max_chunk_bytes);
+    } else {
+      ResumeMessage resume;
+      resume.protocol_version = kWireProtocolVersion;
+      resume.party = owner;
+      resume.session_id = cursor.session_id;
+      PPRL_RETURN_IF_ERROR(
+          mfc.Send(static_cast<uint8_t>(MessageType::kResume), EncodeResume(resume),
+                   MessageTypeTag(static_cast<uint8_t>(MessageType::kResume))));
+      auto rack_payload = ExpectFrame(mfc.Receive(MessageTypeTag),
+                                      MessageType::kResumeAck, &busy_hint_ms);
+      if (!rack_payload.ok()) return rack_payload.status();
+      auto rack = DecodeResumeAck(*rack_payload);
+      if (!rack.ok()) return rack.status();
+      if (rack->session_id != cursor.session_id ||
+          rack->acked_bytes > shipment.size()) {
+        return Status::ProtocolViolation("resume-ack does not match the session");
+      }
+      cursor.acked = rack->acked_bytes;
+      cursor.shipment_complete = rack->shipment_complete;
+      PPRL_LOG(kDebug) << "owner '" << owner << "' resumed session "
+                       << cursor.session_id << " at byte " << cursor.acked;
+    }
+
+    // 2. Chunked shipment from the acked cursor (stop-and-wait: each
+    // chunk is acked before the next, so the resume point is always the
+    // server's last ack).
+    while (!cursor.shipment_complete) {
+      const size_t n =
+          std::min<size_t>(cursor.max_chunk, shipment.size() - cursor.acked);
+      ShipmentChunkMessage chunk;
+      chunk.session_id = cursor.session_id;
+      chunk.offset = cursor.acked;
+      chunk.last = cursor.acked + n == shipment.size();
+      chunk.data.assign(shipment.begin() + static_cast<ptrdiff_t>(cursor.acked),
+                        shipment.begin() + static_cast<ptrdiff_t>(cursor.acked + n));
+      // Meter only bytes never metered before, mirroring the server's
+      // applied-bytes accounting across retransmissions.
+      const uint64_t end = cursor.acked + n;
+      const size_t fresh =
+          end > cursor.metered_up_to
+              ? static_cast<size_t>(end - std::max(cursor.acked, cursor.metered_up_to))
+              : 0;
+      PPRL_RETURN_IF_ERROR(
+          mfc.Send(static_cast<uint8_t>(MessageType::kShipmentChunk),
+                   EncodeShipmentChunk(chunk),
+                   MessageTypeTag(static_cast<uint8_t>(MessageType::kShipmentChunk)),
+                   fresh));
+      cursor.metered_up_to = std::max<uint64_t>(cursor.metered_up_to, end);
+      auto ack_payload = ExpectFrame(mfc.Receive(MessageTypeTag),
+                                     MessageType::kShipmentAck, &busy_hint_ms);
+      if (!ack_payload.ok()) return ack_payload.status();
+      auto ack = DecodeShipmentAck(*ack_payload);
+      if (!ack.ok()) return ack.status();
+      if (ack->session_id != cursor.session_id || ack->acked_bytes < cursor.acked ||
+          ack->acked_bytes > shipment.size()) {
+        return Status::ProtocolViolation("shipment-ack does not match the session");
+      }
+      cursor.acked = ack->acked_bytes;
+      cursor.shipment_complete = ack->complete;
+      if (!ack->complete && cursor.acked >= shipment.size()) {
+        return Status::ProtocolViolation(
+            "server acked the whole shipment without completing it");
+      }
+      if (ack->complete) {
+        PPRL_LOG(kDebug) << "owner '" << owner << "' shipped ("
+                         << ack->owners_shipped << "/" << ack->expected_owners
+                         << " owners in)";
+      }
+    }
+
+    // 3. Results — the linkage waits for the slowest owner, so be patient.
+    wire->SetIoTimeout(config_.result_wait_timeout_ms);
+    auto results_payload = ExpectFrame(mfc.Receive(MessageTypeTag),
+                                       MessageType::kResults, &busy_hint_ms);
+    if (!results_payload.ok()) return results_payload.status();
+    return DecodeResults(*results_payload);
   };
 
-  // 1. Handshake.
-  HelloMessage hello;
-  hello.protocol_version = kWireProtocolVersion;
-  hello.party = owner;
-  hello.filter_bits = static_cast<uint32_t>(encoded.filters[0].size());
-  hello.record_count = static_cast<uint32_t>(encoded.size());
-  Status sent = mfc.Send(static_cast<uint8_t>(MessageType::kHello), EncodeHello(hello),
-                         MessageTypeTag(static_cast<uint8_t>(MessageType::kHello)));
-  if (!sent.ok()) {
-    record_wire_bytes();
-    return sent;
+  Status last_error = Status::IoError("no delivery attempt made");
+  for (int attempt = 0; attempt < std::max(config_.retry.max_attempts, 1);
+       ++attempt) {
+    busy_hint_ms = -1;
+    {
+      auto outcome = attempt_session(attempt);
+      if (outcome.ok()) return outcome;
+      last_error = outcome.status();
+    }
+    if (Terminal(last_error)) return last_error;
+    if (last_error.code() == StatusCode::kNotFound) {
+      // The server no longer knows the session (swept, or restarted):
+      // start over with a fresh hello and re-meter from scratch.
+      PPRL_LOG(kWarning) << "owner '" << owner << "' session "
+                         << cursor.session_id << " lost on the server ("
+                         << last_error.message() << "); starting over";
+      cursor = SessionCursor{};
+      cursor.max_chunk = std::max<size_t>(config_.chunk_bytes, 1);
+    }
+    const bool busy = busy_hint_ms >= 0;
+    // Exponential backoff with multiplicative jitter; kBusy replaces the
+    // backoff with the server's own hint.
+    int delay_ms = std::min(config_.retry.backoff_max_ms,
+                            config_.retry.backoff_initial_ms * (1 << std::min(attempt, 10)));
+    if (busy) delay_ms = std::max(1, busy_hint_ms);
+    const int jitter_span = static_cast<int>(delay_ms * config_.retry.jitter);
+    if (jitter_span > 0) {
+      delay_ms += static_cast<int>(jitter_rng.NextUint64(
+                      static_cast<uint64_t>(2 * jitter_span + 1))) -
+                  jitter_span;
+    }
+    CountRetry(busy ? "busy" : "io");
+    ++retries_;
+    if (std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms) >
+        deadline) {
+      return Status::IoError("delivery deadline exceeded after " +
+                             std::to_string(attempt + 1) +
+                             " attempts; last error: " + last_error.message());
+    }
+    PPRL_LOG(kDebug) << "owner '" << owner << "' retrying in " << delay_ms
+                     << " ms: " << last_error.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
-  auto ack_payload = ExpectFrame(mfc.Receive(MessageTypeTag), MessageType::kHelloAck);
-  if (!ack_payload.ok()) {
-    record_wire_bytes();
-    return ack_payload.status();
-  }
-  auto ack = DecodeHelloAck(*ack_payload);
-  if (!ack.ok()) {
-    record_wire_bytes();
-    return ack.status();
-  }
-  if (ack->protocol_version != kWireProtocolVersion) {
-    record_wire_bytes();
-    return Status::ProtocolViolation("server speaks protocol version " +
-                                     std::to_string(ack->protocol_version) +
-                                     ", client speaks " +
-                                     std::to_string(kWireProtocolVersion));
-  }
-  server_name_ = ack->server;
-  mfc.set_peer(ack->server);
-
-  // 2. Shipment.
-  auto shipment_payload = EncodeShipment(encoded);
-  if (!shipment_payload.ok()) {
-    record_wire_bytes();
-    return shipment_payload.status();
-  }
-  sent = mfc.Send(static_cast<uint8_t>(MessageType::kShipment), *shipment_payload,
-                  MessageTypeTag(static_cast<uint8_t>(MessageType::kShipment)));
-  if (!sent.ok()) {
-    record_wire_bytes();
-    return sent;
-  }
-  auto ship_ack_payload =
-      ExpectFrame(mfc.Receive(MessageTypeTag), MessageType::kShipmentAck);
-  if (!ship_ack_payload.ok()) {
-    record_wire_bytes();
-    return ship_ack_payload.status();
-  }
-  auto ship_ack = DecodeShipmentAck(*ship_ack_payload);
-  if (!ship_ack.ok()) {
-    record_wire_bytes();
-    return ship_ack.status();
-  }
-  PPRL_LOG(kDebug) << "owner '" << owner << "' shipped (" << ship_ack->owners_shipped
-                   << "/" << ship_ack->expected_owners << " owners in)";
-
-  // 3. Results — the linkage waits for the slowest owner, so be patient.
-  socket.SetIoTimeout(config_.result_wait_timeout_ms);
-  auto results_payload = ExpectFrame(mfc.Receive(MessageTypeTag), MessageType::kResults);
-  record_wire_bytes();
-  if (!results_payload.ok()) return results_payload.status();
-  return DecodeResults(*results_payload);
+  return Status::IoError("delivery failed after " +
+                         std::to_string(config_.retry.max_attempts) +
+                         " attempts; last error: " + last_error.message());
 }
 
 Status RemoteOwnerClient::Deliver(const std::string& owner,

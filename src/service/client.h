@@ -6,11 +6,31 @@
 #include <string>
 
 #include "common/status.h"
+#include "net/fault_injection.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
 #include "service/protocol.h"
 
 namespace pprl {
+
+/// Session-level retry policy: how hard a Deliver() tries before giving
+/// up. Connection loss, timeouts, corrupted frames and kBusy shedding are
+/// all retried (resuming the server-side session where it left off);
+/// errors that retrying cannot fix — kInvalidArgument, kAlreadyExists,
+/// kFailedPrecondition, kInternal — end the delivery at once.
+struct SessionRetryPolicy {
+  int max_attempts = 10;
+  /// Exponential backoff between attempts, with multiplicative jitter so
+  /// shed owners do not re-dial in lockstep. kBusy frames override the
+  /// backoff with the server's retry-after hint.
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 2000;
+  double jitter = 0.2;
+  /// Seed of the jitter stream (deterministic tests).
+  uint64_t jitter_seed = 7;
+  /// Wall-clock bound over all attempts of one Deliver().
+  int deadline_ms = 180000;
+};
 
 /// How a database owner reaches a linkage-unit daemon.
 struct RemoteOwnerClientConfig {
@@ -24,19 +44,29 @@ struct RemoteOwnerClientConfig {
   /// take much longer than a normal read.
   int result_wait_timeout_ms = 120000;
   size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Preferred shipment chunk size; the effective size is capped by the
+  /// server's advertised max_chunk_bytes.
+  size_t chunk_bytes = 4u << 20;
+  SessionRetryPolicy retry;
+  /// Chaos mode: when enabled(), every dialled connection is wrapped in a
+  /// FaultInjectingConnection with a per-attempt derived seed.
+  FaultSpec fault;
 };
 
 /// A database owner's view of a remote linkage unit.
 ///
 /// Implements `EncodingSink`, so `DatabaseOwner::ShipEncodings(sink)` works
 /// identically against an in-process unit or a daemon across the network.
-/// One Deliver() call performs a full session: connect (with retry +
-/// exponential backoff), handshake, shipment, and blocking receipt of the
-/// per-owner results.
+/// One Deliver() call performs a full fault-tolerant session: connect,
+/// handshake, chunked shipment with acked offsets, and blocking receipt
+/// of the per-owner results — reconnecting and resuming the server-side
+/// session (per `retry`) whenever the connection fails along the way.
 ///
 /// Pass a `Channel` to meter traffic with the same route/tag accounting as
-/// the in-process path; frame-header overhead is excluded there and
-/// available via wire_bytes_sent()/received().
+/// the in-process path; frame-header and chunk-header overhead is excluded
+/// there and available via wire_bytes_sent()/received(). Shipment bytes
+/// are metered against a high-water cursor, so retransmitted spans are
+/// counted once — mirroring the server's applied-bytes accounting.
 class RemoteOwnerClient : public EncodingSink {
  public:
   explicit RemoteOwnerClient(RemoteOwnerClientConfig config, Channel* meter = nullptr);
@@ -57,9 +87,13 @@ class RemoteOwnerClient : public EncodingSink {
   /// The server's self-reported name (after a successful handshake).
   const std::string& server_name() const { return server_name_; }
 
-  /// Raw socket bytes of the last session, frame headers included.
+  /// Raw socket bytes of the last Deliver(), frame headers included,
+  /// summed over every attempt.
   size_t wire_bytes_sent() const { return wire_bytes_sent_; }
   size_t wire_bytes_received() const { return wire_bytes_received_; }
+
+  /// Retries the last Deliver() needed beyond its first attempt.
+  size_t retries() const { return retries_; }
 
  private:
   RemoteOwnerClientConfig config_;
@@ -68,6 +102,7 @@ class RemoteOwnerClient : public EncodingSink {
   std::string server_name_;
   size_t wire_bytes_sent_ = 0;
   size_t wire_bytes_received_ = 0;
+  size_t retries_ = 0;
 };
 
 }  // namespace pprl

@@ -11,6 +11,8 @@ namespace {
 constexpr size_t kMaxNameLen = 256;
 /// Guard on error text crossing the wire.
 constexpr size_t kMaxErrorLen = 4096;
+/// Guard on busy-reason text crossing the wire.
+constexpr size_t kMaxReasonLen = 512;
 
 StatusCode StatusCodeFromWire(uint16_t v) {
   switch (v) {
@@ -44,10 +46,13 @@ const char* MessageTypeTag(uint8_t type) {
   switch (static_cast<MessageType>(type)) {
     case MessageType::kHello: return "hello";
     case MessageType::kHelloAck: return "hello-ack";
-    case MessageType::kShipment: return "encoded-filters";
+    case MessageType::kShipmentChunk: return "encoded-filters";
     case MessageType::kShipmentAck: return "shipment-ack";
     case MessageType::kResults: return "match-results";
     case MessageType::kError: return "protocol-error";
+    case MessageType::kResume: return "resume";
+    case MessageType::kResumeAck: return "resume-ack";
+    case MessageType::kBusy: return "busy";
   }
   return "unknown";
 }
@@ -86,6 +91,8 @@ std::vector<uint8_t> EncodeHelloAck(const HelloAckMessage& msg) {
   w.PutU32(msg.protocol_version);
   w.PutString(msg.server);
   w.PutU32(msg.expected_owners);
+  w.PutU64(msg.session_id);
+  w.PutU32(msg.max_chunk_bytes);
   return w.Take();
 }
 
@@ -101,12 +108,53 @@ Result<HelloAckMessage> DecodeHelloAck(const std::vector<uint8_t>& payload) {
   auto expected = r.ReadU32();
   if (!expected.ok()) return expected.status();
   msg.expected_owners = *expected;
+  auto session = r.ReadU64();
+  if (!session.ok()) return session.status();
+  msg.session_id = *session;
+  auto chunk = r.ReadU32();
+  if (!chunk.ok()) return chunk.status();
+  msg.max_chunk_bytes = *chunk;
   if (!r.exhausted()) return Status::ProtocolViolation("hello-ack: trailing bytes");
+  if (msg.session_id == 0) return Status::ProtocolViolation("hello-ack: zero session id");
+  if (msg.max_chunk_bytes == 0) {
+    return Status::ProtocolViolation("hello-ack: zero max chunk size");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> EncodeShipmentChunk(const ShipmentChunkMessage& msg) {
+  WireWriter w;
+  w.PutU64(msg.session_id);
+  w.PutU64(msg.offset);
+  w.PutU8(msg.last ? 1 : 0);
+  w.PutU64(ShipmentChunkChecksum(msg.data.data(), msg.data.size()));
+  w.PutBytes(msg.data.data(), msg.data.size());
+  return w.Take();
+}
+
+Result<ShipmentChunkMessage> DecodeShipmentChunk(const std::vector<uint8_t>& payload) {
+  if (payload.size() < kShipmentChunkOverheadBytes) {
+    return Status::ProtocolViolation("shipment-chunk: payload shorter than header");
+  }
+  WireReader r(payload);
+  ShipmentChunkMessage msg;
+  msg.session_id = r.ReadU64().value();
+  msg.offset = r.ReadU64().value();
+  auto last = r.ReadU8();
+  if (*last > 1) return Status::ProtocolViolation("shipment-chunk: bad last flag");
+  msg.last = *last == 1;
+  msg.checksum = r.ReadU64().value();
+  auto data = r.ReadBytes(r.remaining());
+  if (!data.ok()) return data.status();
+  msg.data = std::move(*data);
   return msg;
 }
 
 std::vector<uint8_t> EncodeShipmentAck(const ShipmentAckMessage& msg) {
   WireWriter w;
+  w.PutU64(msg.session_id);
+  w.PutU64(msg.acked_bytes);
+  w.PutU8(msg.complete ? 1 : 0);
   w.PutU32(msg.owners_shipped);
   w.PutU32(msg.expected_owners);
   return w.Take();
@@ -115,6 +163,16 @@ std::vector<uint8_t> EncodeShipmentAck(const ShipmentAckMessage& msg) {
 Result<ShipmentAckMessage> DecodeShipmentAck(const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   ShipmentAckMessage msg;
+  auto session = r.ReadU64();
+  if (!session.ok()) return session.status();
+  msg.session_id = *session;
+  auto acked = r.ReadU64();
+  if (!acked.ok()) return acked.status();
+  msg.acked_bytes = *acked;
+  auto complete = r.ReadU8();
+  if (!complete.ok()) return complete.status();
+  if (*complete > 1) return Status::ProtocolViolation("shipment-ack: bad complete flag");
+  msg.complete = *complete == 1;
   auto shipped = r.ReadU32();
   if (!shipped.ok()) return shipped.status();
   msg.owners_shipped = *shipped;
@@ -123,6 +181,88 @@ Result<ShipmentAckMessage> DecodeShipmentAck(const std::vector<uint8_t>& payload
   msg.expected_owners = *expected;
   if (!r.exhausted()) return Status::ProtocolViolation("shipment-ack: trailing bytes");
   return msg;
+}
+
+std::vector<uint8_t> EncodeResume(const ResumeMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.protocol_version);
+  w.PutString(msg.party);
+  w.PutU64(msg.session_id);
+  return w.Take();
+}
+
+Result<ResumeMessage> DecodeResume(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ResumeMessage msg;
+  auto version = r.ReadU32();
+  if (!version.ok()) return version.status();
+  msg.protocol_version = *version;
+  auto party = r.ReadString(kMaxNameLen);
+  if (!party.ok()) return party.status();
+  msg.party = std::move(*party);
+  auto session = r.ReadU64();
+  if (!session.ok()) return session.status();
+  msg.session_id = *session;
+  if (!r.exhausted()) return Status::ProtocolViolation("resume: trailing bytes");
+  if (msg.party.empty()) return Status::ProtocolViolation("resume: empty party name");
+  if (msg.session_id == 0) return Status::ProtocolViolation("resume: zero session id");
+  return msg;
+}
+
+std::vector<uint8_t> EncodeResumeAck(const ResumeAckMessage& msg) {
+  WireWriter w;
+  w.PutU64(msg.session_id);
+  w.PutU64(msg.acked_bytes);
+  w.PutU8(msg.shipment_complete ? 1 : 0);
+  return w.Take();
+}
+
+Result<ResumeAckMessage> DecodeResumeAck(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ResumeAckMessage msg;
+  auto session = r.ReadU64();
+  if (!session.ok()) return session.status();
+  msg.session_id = *session;
+  auto acked = r.ReadU64();
+  if (!acked.ok()) return acked.status();
+  msg.acked_bytes = *acked;
+  auto complete = r.ReadU8();
+  if (!complete.ok()) return complete.status();
+  if (*complete > 1) return Status::ProtocolViolation("resume-ack: bad complete flag");
+  msg.shipment_complete = *complete == 1;
+  if (!r.exhausted()) return Status::ProtocolViolation("resume-ack: trailing bytes");
+  return msg;
+}
+
+std::vector<uint8_t> EncodeBusy(const BusyMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.retry_after_ms);
+  std::string reason = msg.reason;
+  if (reason.size() > kMaxReasonLen) reason.resize(kMaxReasonLen);
+  w.PutString(reason);
+  return w.Take();
+}
+
+Result<BusyMessage> DecodeBusy(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  BusyMessage msg;
+  auto retry = r.ReadU32();
+  if (!retry.ok()) return retry.status();
+  msg.retry_after_ms = *retry;
+  auto reason = r.ReadString(kMaxReasonLen);
+  if (!reason.ok()) return reason.status();
+  msg.reason = std::move(*reason);
+  if (!r.exhausted()) return Status::ProtocolViolation("busy: trailing bytes");
+  return msg;
+}
+
+uint64_t ShipmentChunkChecksum(const uint8_t* data, size_t len) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return hash;
 }
 
 Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded) {
@@ -171,12 +311,69 @@ Result<EncodedDatabase> DecodeShipment(const std::vector<uint8_t>& payload,
   return out;
 }
 
+ShipmentAssembler::ShipmentAssembler(uint32_t filter_bits, uint32_t record_count)
+    : filter_bits_(filter_bits),
+      expected_(static_cast<uint64_t>(record_count) *
+                (8 + (static_cast<uint64_t>(filter_bits) + 7) / 8)) {
+  buffer_.reserve(expected_);
+}
+
+Result<bool> ShipmentAssembler::Apply(const ShipmentChunkMessage& chunk) {
+  if (filter_bits_ == 0) {
+    return Status::FailedPrecondition("assembler not initialised by a hello");
+  }
+  // Checksum first: a corrupted chunk must never be mistaken for a
+  // duplicate or applied, whatever its claimed offset.
+  if (ShipmentChunkChecksum(chunk.data.data(), chunk.data.size()) != chunk.checksum) {
+    return Status::IoError("shipment chunk checksum mismatch (corrupted in flight)");
+  }
+  if (chunk.data.empty() && !chunk.last) {
+    return Status::ProtocolViolation("empty non-final shipment chunk");
+  }
+  if (chunk.offset + chunk.data.size() > expected_) {
+    return Status::OutOfRange("shipment chunk extends past the declared shipment size");
+  }
+  if (chunk.offset + chunk.data.size() <= acked_) {
+    // Full duplicate of an already-applied span: the retransmit of a
+    // chunk whose ack was lost. Idempotent no-op.
+    return false;
+  }
+  if (chunk.offset > acked_) {
+    return Status::ProtocolViolation("shipment chunk leaves a gap before offset " +
+                                     std::to_string(chunk.offset));
+  }
+  if (chunk.offset < acked_) {
+    return Status::ProtocolViolation("shipment chunk partially overlaps applied bytes");
+  }
+  const uint64_t new_acked = chunk.offset + chunk.data.size();
+  if (chunk.last != (new_acked == expected_)) {
+    return Status::ProtocolViolation("shipment chunk last flag disagrees with size");
+  }
+  buffer_.insert(buffer_.end(), chunk.data.begin(), chunk.data.end());
+  acked_ = new_acked;
+  if (acked_ == expected_) complete_ = true;
+  return true;
+}
+
+Result<EncodedDatabase> ShipmentAssembler::Finish() const {
+  if (!complete_) {
+    return Status::FailedPrecondition("shipment is not complete");
+  }
+  return DecodeShipment(buffer_, filter_bits_);
+}
+
+void ShipmentAssembler::Discard() {
+  std::vector<uint8_t>().swap(buffer_);
+}
+
 std::vector<uint8_t> EncodeResults(const OwnerLinkageSummary& summary) {
   WireWriter w;
   w.PutU64(summary.comparisons);
   w.PutU64(summary.candidate_pairs);
   w.PutU64(summary.total_edges);
   w.PutU64(summary.total_clusters);
+  w.PutU32(summary.owners_linked);
+  w.PutU32(summary.owners_expected);
   w.PutU32(static_cast<uint32_t>(summary.matches.size()));
   for (const MatchedRecordSummary& m : summary.matches) {
     w.PutU32(m.record);
@@ -202,6 +399,12 @@ Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
   auto clusters = r.ReadU64();
   if (!clusters.ok()) return clusters.status();
   summary.total_clusters = *clusters;
+  auto linked = r.ReadU32();
+  if (!linked.ok()) return linked.status();
+  summary.owners_linked = *linked;
+  auto owners_expected = r.ReadU32();
+  if (!owners_expected.ok()) return owners_expected.status();
+  summary.owners_expected = *owners_expected;
   auto count = r.ReadU32();
   if (!count.ok()) return count.status();
   if (*count > max_matches || r.remaining() < static_cast<size_t>(*count) * 12) {

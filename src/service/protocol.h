@@ -11,32 +11,46 @@
 
 namespace pprl {
 
-/// The messages of the linkage-unit wire protocol, in the order a session
-/// uses them. Each value is the `type` tag of one frame (net/frame.h);
-/// payload layouts are little-endian and produced/validated by the
-/// Encode*/Decode* pairs below.
+/// The messages of the linkage-unit wire protocol (version 2), in the
+/// order a session uses them. Each value is the `type` tag of one frame
+/// (net/frame.h); payload layouts are little-endian and produced /
+/// validated by the Encode*/Decode* pairs below.
 ///
 ///   owner                          linkage unit
 ///     │ ── kHello ───────────────────▶ │   version, party, filter bits, n
-///     │ ◀─────────────── kHelloAck ── │   server name, expected owners
-///     │ ── kShipment ────────────────▶ │   n × (u64 id + filter bytes)
-///     │ ◀─────────── kShipmentAck ── │   owners shipped so far
+///     │ ◀─────────────── kHelloAck ── │   server, expected owners,
+///     │                                │   session id, max chunk bytes
+///     │ ── kShipmentChunk ───────────▶ │   session, offset, checksum, data
+///     │ ◀─────────── kShipmentAck ── │   acked bytes, complete flag
+///     │        ... more chunks until the shipment is complete ...
 ///     │      (unit links once all owners have shipped)
 ///     │ ◀─────────────── kResults ── │   per-owner match summary
 ///
+/// If the connection dies mid-shipment, the owner dials again and sends
+/// kResume with the session id from the HelloAck; the unit replies
+/// kResumeAck carrying the byte offset it has durably applied, and the
+/// owner continues chunking from there. Chunk application is idempotent:
+/// a re-delivered chunk at or below the acked offset is acknowledged
+/// again without being applied twice.
+///
 /// Either side may send kError instead of the expected message; the
-/// payload carries a status code + text and the session ends.
+/// payload carries a status code + text and the session ends. An
+/// overloaded unit instead sends kBusy (retry-after hint) and closes —
+/// the session state, if any, survives for a later resume.
 enum class MessageType : uint8_t {
   kHello = 1,
   kHelloAck = 2,
-  kShipment = 3,
+  kShipmentChunk = 3,
   kShipmentAck = 4,
   kResults = 5,
   kError = 6,
+  kResume = 7,
+  kResumeAck = 8,
+  kBusy = 9,
 };
 
 /// The channel-metering tag for a message type ("encoded-filters" for
-/// shipments, matching the in-process pipeline's accounting).
+/// shipment chunks, matching the in-process pipeline's accounting).
 const char* MessageTypeTag(uint8_t type);
 
 /// Opening message of a session: who is calling and what they will ship.
@@ -49,17 +63,64 @@ struct HelloMessage {
   uint32_t record_count = 0;
 };
 
-/// The unit's reply to a Hello.
+/// The unit's reply to a Hello. The session id names the server-side
+/// shipment state for later kResume; max_chunk_bytes is the largest data
+/// span the unit will accept in one kShipmentChunk.
 struct HelloAckMessage {
   uint32_t protocol_version = 0;
   std::string server;
   uint32_t expected_owners = 0;
+  uint64_t session_id = 0;
+  uint32_t max_chunk_bytes = 0;
 };
 
-/// Acknowledges a stored shipment.
+/// One span of the encoded shipment. `offset` is the byte position within
+/// the full shipment payload (EncodeShipment output); `checksum` is
+/// ShipmentChunkChecksum(data) and guards against in-flight corruption,
+/// which plain length-prefixed frames cannot detect. `last` marks the
+/// chunk that completes the shipment.
+struct ShipmentChunkMessage {
+  uint64_t session_id = 0;
+  uint64_t offset = 0;
+  bool last = false;
+  uint64_t checksum = 0;
+  std::vector<uint8_t> data;
+};
+
+/// Fixed wire overhead of one shipment chunk beyond its data bytes:
+/// u64 session + u64 offset + u8 last + u64 checksum.
+inline constexpr size_t kShipmentChunkOverheadBytes = 8 + 8 + 1 + 8;
+
+/// Acknowledges applied shipment bytes. `acked_bytes` is the resume
+/// cursor: everything below it is durable on the unit. `complete` flips
+/// once the whole shipment has been applied and registered.
 struct ShipmentAckMessage {
+  uint64_t session_id = 0;
+  uint64_t acked_bytes = 0;
+  bool complete = false;
   uint32_t owners_shipped = 0;
   uint32_t expected_owners = 0;
+};
+
+/// Re-attaches a new connection to an existing session after a fault.
+struct ResumeMessage {
+  uint32_t protocol_version = 0;
+  std::string party;
+  uint64_t session_id = 0;
+};
+
+/// The unit's reply to a Resume: where to continue from.
+struct ResumeAckMessage {
+  uint64_t session_id = 0;
+  uint64_t acked_bytes = 0;
+  bool shipment_complete = false;
+};
+
+/// Load-shedding reply: try again after the hinted delay. Sent instead of
+/// HelloAck/ResumeAck when the unit is at its session or buffer limit.
+struct BusyMessage {
+  uint32_t retry_after_ms = 0;
+  std::string reason;
 };
 
 /// One matched record in an owner's result summary.
@@ -77,12 +138,18 @@ struct MatchedRecordSummary {
 /// What a database owner learns from a linkage run: which of *its own*
 /// records were clustered with records elsewhere, plus global cost
 /// counters. No other party's record indices or similarities leak.
+/// owners_linked < owners_expected means the unit invoked its quorum
+/// option and linked without every invited owner — a degraded result.
 struct OwnerLinkageSummary {
   std::vector<MatchedRecordSummary> matches;
   uint64_t comparisons = 0;
   uint64_t candidate_pairs = 0;
   uint64_t total_edges = 0;
   uint64_t total_clusters = 0;
+  uint32_t owners_linked = 0;
+  uint32_t owners_expected = 0;
+
+  bool degraded() const { return owners_linked < owners_expected; }
 };
 
 /// A transported error: the Status round-trips through the wire.
@@ -97,18 +164,79 @@ Result<HelloMessage> DecodeHello(const std::vector<uint8_t>& payload);
 std::vector<uint8_t> EncodeHelloAck(const HelloAckMessage& msg);
 Result<HelloAckMessage> DecodeHelloAck(const std::vector<uint8_t>& payload);
 
+/// Encodes a chunk; the checksum field is ignored and recomputed from
+/// `msg.data` so an encoded chunk is always self-consistent.
+std::vector<uint8_t> EncodeShipmentChunk(const ShipmentChunkMessage& msg);
+Result<ShipmentChunkMessage> DecodeShipmentChunk(const std::vector<uint8_t>& payload);
+
 std::vector<uint8_t> EncodeShipmentAck(const ShipmentAckMessage& msg);
 Result<ShipmentAckMessage> DecodeShipmentAck(const std::vector<uint8_t>& payload);
 
+std::vector<uint8_t> EncodeResume(const ResumeMessage& msg);
+Result<ResumeMessage> DecodeResume(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeResumeAck(const ResumeAckMessage& msg);
+Result<ResumeAckMessage> DecodeResumeAck(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeBusy(const BusyMessage& msg);
+Result<BusyMessage> DecodeBusy(const std::vector<uint8_t>& payload);
+
+/// FNV-1a 64 over a chunk's data bytes. Cheap, order-sensitive, and good
+/// enough to catch the single-bit flips a faulty transport introduces.
+uint64_t ShipmentChunkChecksum(const uint8_t* data, size_t len);
+
 /// Serialises an encoded database as n × (u64 id + ceil(bits/8) filter
 /// bytes) — exactly the byte count the in-process `Channel` path meters
-/// for an "encoded-filters" shipment, so cost accounting matches.
+/// for an "encoded-filters" shipment, so cost accounting matches. The
+/// chunk layer ships contiguous spans of this buffer.
 Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded);
 
 /// Inverse of EncodeShipment; `filter_bits` comes from the Hello. The
 /// payload length must be an exact multiple of the per-record size.
 Result<EncodedDatabase> DecodeShipment(const std::vector<uint8_t>& payload,
                                        uint32_t filter_bits);
+
+/// Reassembles a chunked shipment on the linkage unit, enforcing the
+/// resume contract: chunks apply exactly once, in order, each guarded by
+/// its checksum. Duplicates (full re-deliveries of already-acked spans)
+/// are detected and skipped, which is what makes client retries safe.
+class ShipmentAssembler {
+ public:
+  /// A default-constructed assembler accepts nothing until it is replaced
+  /// by one initialised from a Hello.
+  ShipmentAssembler() = default;
+  ShipmentAssembler(uint32_t filter_bits, uint32_t record_count);
+
+  /// Applies one chunk. Returns true if the chunk advanced the shipment,
+  /// false for a harmless duplicate (offset + size entirely at or below
+  /// the acked cursor). Errors:
+  ///  - kIoError: checksum mismatch (corrupted in flight) — retryable,
+  ///  - kOutOfRange: chunk extends past the declared shipment size,
+  ///  - kProtocolViolation: gaps, partial overlaps, empty non-final
+  ///    chunks, or a `last` flag that disagrees with the byte count.
+  Result<bool> Apply(const ShipmentChunkMessage& chunk);
+
+  /// Decodes the fully assembled shipment. Requires complete().
+  Result<EncodedDatabase> Finish() const;
+
+  /// Frees the assembly buffer (after the shipment has been handed to the
+  /// linkage unit) while keeping acked_bytes()/complete() answerable for
+  /// resumes that arrive after registration.
+  void Discard();
+
+  uint64_t acked_bytes() const { return acked_; }
+  bool complete() const { return complete_; }
+  uint64_t expected_bytes() const { return expected_; }
+  /// Bytes currently held in the assembly buffer.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  uint32_t filter_bits_ = 0;
+  uint64_t expected_ = 0;
+  uint64_t acked_ = 0;
+  bool complete_ = false;
+  std::vector<uint8_t> buffer_;
+};
 
 std::vector<uint8_t> EncodeResults(const OwnerLinkageSummary& summary);
 Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
@@ -120,6 +248,8 @@ Result<ErrorMessage> DecodeError(const std::vector<uint8_t>& payload);
 
 /// Projects a multi-party linkage result onto one owner: every record of
 /// database `database_index` that landed in a cluster of size >= 2.
+/// owners_linked/owners_expected are filled in by the caller, which knows
+/// whether the run was degraded.
 OwnerLinkageSummary SummarizeForOwner(const MultiPartyLinkageResult& result,
                                       uint32_t database_index);
 

@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.h"
@@ -17,25 +18,56 @@ namespace {
 /// channel uses, so the two views cross-check.
 struct ServiceMetrics {
   obs::Counter& sessions = obs::GlobalMetrics().GetCounter(
-      "pprl_service_sessions_total", "Owner sessions accepted by the daemon");
+      "pprl_service_sessions_total", "Owner connections accepted by the daemon");
   obs::Counter& sessions_failed = obs::GlobalMetrics().GetCounter(
       "pprl_service_sessions_failed_total",
       "Sessions ended with an error frame or lost peer");
   obs::Gauge& active_sessions = obs::GlobalMetrics().GetGauge(
-      "pprl_service_active_sessions", "Sessions currently being handled");
+      "pprl_service_active_sessions", "Connections currently being handled");
   obs::Counter& linkage_runs = obs::GlobalMetrics().GetCounter(
       "pprl_service_linkage_runs_total", "Linkage runs triggered by the daemon");
+  obs::Counter& degraded_linkages = obs::GlobalMetrics().GetCounter(
+      "pprl_service_degraded_linkages_total",
+      "Linkage runs that proceeded on quorum without every expected owner");
   obs::Counter& scrapes = obs::GlobalMetrics().GetCounter(
       "pprl_metrics_scrapes_total", "Snapshots served by the /metrics endpoint");
   obs::Histogram& session_seconds = obs::GlobalMetrics().GetHistogram(
       "pprl_service_session_seconds",
-      "Wall time of one owner session, accept to close",
+      "Wall time of one owner connection, accept to close",
       obs::DefaultLatencyBuckets());
+
+  // Resumable-session bookkeeping.
+  obs::Counter& session_created = obs::GlobalMetrics().GetCounter(
+      "pprl_session_created_total", "Sessions opened by a hello");
+  obs::Counter& session_resumed = obs::GlobalMetrics().GetCounter(
+      "pprl_session_resumed_total",
+      "Successful session re-attachments after connection loss");
+  obs::Counter& session_expired = obs::GlobalMetrics().GetCounter(
+      "pprl_session_expired_total", "Idle partial sessions swept by the TTL");
+  obs::Counter& session_completed = obs::GlobalMetrics().GetCounter(
+      "pprl_session_completed_total",
+      "Sessions whose shipment registered with the linkage unit");
+  obs::Counter& session_chunks = obs::GlobalMetrics().GetCounter(
+      "pprl_session_chunks_total", "Shipment chunks applied");
+  obs::Counter& session_duplicate_chunks = obs::GlobalMetrics().GetCounter(
+      "pprl_session_duplicate_chunks_total",
+      "Re-delivered shipment chunks skipped idempotently");
+  obs::Gauge& session_open = obs::GlobalMetrics().GetGauge(
+      "pprl_session_open", "Sessions currently tracked (attached or resumable)");
+  obs::Gauge& session_buffered_bytes = obs::GlobalMetrics().GetGauge(
+      "pprl_session_buffered_bytes",
+      "Bytes reserved by in-flight shipment buffers");
 };
 
 ServiceMetrics& Metrics() {
   static ServiceMetrics* m = new ServiceMetrics();
   return *m;
+}
+
+obs::Counter& ShedCounter(const std::string& reason) {
+  return obs::GlobalMetrics().GetCounter(
+      "pprl_shed_total", "Work refused to protect the daemon, by reason",
+      {{"reason", reason}});
 }
 
 /// Counts one protocol message by its channel tag ("hello",
@@ -48,6 +80,11 @@ void CountMessage(uint8_t type, const char* direction) {
       .Increment();
 }
 
+uint64_t ExpectedShipmentBytes(uint32_t filter_bits, uint32_t record_count) {
+  return static_cast<uint64_t>(record_count) *
+         (8 + (static_cast<uint64_t>(filter_bits) + 7) / 8);
+}
+
 }  // namespace
 
 LinkageUnitServer::LinkageUnitServer(LinkageUnitServerConfig config)
@@ -55,12 +92,21 @@ LinkageUnitServer::LinkageUnitServer(LinkageUnitServerConfig config)
 
 LinkageUnitServer::~LinkageUnitServer() { Stop(); }
 
+size_t LinkageUnitServer::max_sessions() const {
+  // Default leaves room for every owner plus a resumed straggler each.
+  return config_.max_sessions != 0 ? config_.max_sessions
+                                   : 2 * config_.expected_owners + 2;
+}
+
 Status LinkageUnitServer::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("server already started");
   }
   if (config_.expected_owners < 2) {
     return Status::InvalidArgument("a linkage unit needs >= 2 expected owners");
+  }
+  if (config_.min_owners == 1) {
+    return Status::InvalidArgument("quorum of 1 owner cannot produce a linkage");
   }
   PPRL_RETURN_IF_ERROR(listener_.Listen(config_.port, config_.loopback_only));
   if (config_.metrics_port >= 0) {
@@ -79,7 +125,9 @@ Status LinkageUnitServer::Start() {
       return metrics_started;
     }
   }
-  pool_ = std::make_unique<ThreadPool>(config_.expected_owners + config_.extra_threads);
+  // One thread per admitted connection: shedding happens before Submit,
+  // so a full pool can never starve a resumed session of a handler.
+  pool_ = std::make_unique<ThreadPool>(max_sessions() + config_.extra_threads);
   if (config_.link_threads > 1) {
     WorkStealingScheduler::Options sched_options;
     sched_options.num_threads = config_.link_threads;
@@ -90,6 +138,9 @@ Status LinkageUnitServer::Start() {
   PPRL_LOG(kInfo) << "linkage unit '" << config_.name << "' listening on port "
                   << listener_.port() << " for " << config_.expected_owners
                   << " owners";
+  if (config_.chaos.enabled()) {
+    PPRL_LOG(kInfo) << "chaos mode on: fault injection seed " << config_.chaos.seed;
+  }
   return Status::OK();
 }
 
@@ -111,17 +162,51 @@ void LinkageUnitServer::Stop() {
 
 void LinkageUnitServer::AcceptLoop() {
   while (!stopping_.load()) {
+    SweepSessions();
     auto conn = listener_.Accept(config_.accept_poll_ms);
     if (!conn.ok()) {
-      if (conn.status().code() == StatusCode::kNotFound) continue;  // poll timeout
+      // kNotFound is the poll timing out; kFailedPrecondition is the
+      // listener being torn down by Stop().
+      if (conn.status().code() == StatusCode::kNotFound) continue;
+      if (conn.status().code() == StatusCode::kFailedPrecondition) break;
       if (stopping_.load()) break;
       PPRL_LOG(kWarning) << "accept failed: " << conn.status().ToString();
       continue;
     }
+    const uint64_t conn_index = accepted_connections_.fetch_add(1) + 1;
+    if (active_connections_.load() >= max_sessions()) {
+      ShedOnAccept(**conn, "sessions");
+      continue;
+    }
+    active_connections_.fetch_add(1);
     // shared_ptr because ThreadPool tasks are copyable std::functions.
     std::shared_ptr<TcpConnection> shared(std::move(*conn));
-    pool_->Submit([this, shared] { HandleSession(shared); });
+    pool_->Submit([this, shared, conn_index] { HandleSession(shared, conn_index); });
   }
+}
+
+void LinkageUnitServer::ShedOnAccept(TcpConnection& conn, const std::string& reason) {
+  ShedCounter(reason).Increment();
+  BusyMessage busy;
+  busy.retry_after_ms = static_cast<uint32_t>(config_.busy_retry_after_ms);
+  busy.reason = reason;
+  // Best effort straight from the accept thread — no handler is spent on
+  // a connection we are refusing.
+  FrameWriter writer(conn, config_.max_frame_payload);
+  writer.WriteFrame(static_cast<uint8_t>(MessageType::kBusy), EncodeBusy(busy));
+  CountMessage(static_cast<uint8_t>(MessageType::kBusy), "out");
+  wire_bytes_sent_ += conn.wire_bytes_sent();
+  conn.Close();
+}
+
+void LinkageUnitServer::SendBusy(MeteredFrameConnection& mfc, const std::string& reason) {
+  ShedCounter(reason).Increment();
+  BusyMessage busy;
+  busy.retry_after_ms = static_cast<uint32_t>(config_.busy_retry_after_ms);
+  busy.reason = reason;
+  CountMessage(static_cast<uint8_t>(MessageType::kBusy), "out");
+  mfc.Send(static_cast<uint8_t>(MessageType::kBusy), EncodeBusy(busy),
+           MessageTypeTag(static_cast<uint8_t>(MessageType::kBusy)));
 }
 
 void LinkageUnitServer::FailSession(MeteredFrameConnection& mfc, const Status& status) {
@@ -135,10 +220,75 @@ void LinkageUnitServer::FailSession(MeteredFrameConnection& mfc, const Status& s
            MessageTypeTag(static_cast<uint8_t>(MessageType::kError)));
 }
 
-void LinkageUnitServer::RunLinkageIfReady() {
+void LinkageUnitServer::EraseSessionLocked(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  if (!it->second.registered) {
+    const uint64_t reserved =
+        ExpectedShipmentBytes(it->second.filter_bits, it->second.record_count);
+    buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, reserved);
+  }
+  sessions_.erase(it);
+  Metrics().session_open.Set(static_cast<int64_t>(sessions_.size()));
+  Metrics().session_buffered_bytes.Set(static_cast<int64_t>(buffered_bytes_));
+}
+
+void LinkageUnitServer::SweepSessions() {
+  const auto now = std::chrono::steady_clock::now();
+  bool fire_quorum = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      ServerSession& s = it->second;
+      // Registered sessions are kept until the server stops: their owner
+      // may still resume to collect results. Only partial shipments age
+      // out.
+      if (!s.attached && !s.registered &&
+          now - s.last_activity >
+              std::chrono::milliseconds(config_.session_ttl_ms)) {
+        PPRL_LOG(kInfo) << "sweeping idle session " << s.id << " of '" << s.party
+                        << "' (" << s.assembler.acked_bytes() << "/"
+                        << s.assembler.expected_bytes() << " bytes shipped)";
+        Metrics().session_expired.Increment();
+        const uint64_t reserved = ExpectedShipmentBytes(s.filter_bits, s.record_count);
+        buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, reserved);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Metrics().session_open.Set(static_cast<int64_t>(sessions_.size()));
+    Metrics().session_buffered_bytes.Set(static_cast<int64_t>(buffered_bytes_));
+    // Quorum option: enough owners registered, the rest silent too long.
+    if (!linkage_ran_ && config_.min_owners >= 2 &&
+        config_.min_owners < config_.expected_owners &&
+        owner_order_.size() >= config_.min_owners &&
+        owner_order_.size() < config_.expected_owners &&
+        last_registration_ != std::chrono::steady_clock::time_point{} &&
+        now - last_registration_ >
+            std::chrono::milliseconds(config_.quorum_wait_ms)) {
+      fire_quorum = true;
+    }
+  }
+  if (fire_quorum) RunLinkage(/*allow_partial=*/true);
+}
+
+void LinkageUnitServer::RunLinkage(bool allow_partial) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (linkage_ran_ || owner_order_.size() < config_.expected_owners) return;
+  if (linkage_ran_) return;
+  if (!allow_partial && owner_order_.size() < config_.expected_owners) return;
+  if (allow_partial && owner_order_.size() < std::max<size_t>(config_.min_owners, 2)) {
+    return;
+  }
   Metrics().linkage_runs.Increment();
+  linked_owners_ = owner_order_.size();
+  linkage_degraded_ = linked_owners_ < config_.expected_owners;
+  if (linkage_degraded_) {
+    Metrics().degraded_linkages.Increment();
+    PPRL_LOG(kWarning) << "quorum linkage: proceeding with " << linked_owners_
+                       << " of " << config_.expected_owners
+                       << " expected owners (degraded result)";
+  }
   MultiPartyLinkageOptions link_options = config_.link_options;
   if (link_scheduler_) link_options.scheduler = link_scheduler_.get();
   auto result = unit_.Link(link_options);
@@ -158,148 +308,357 @@ void LinkageUnitServer::RunLinkageIfReady() {
   linkage_done_.notify_all();
 }
 
-void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
+void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
+                                      uint64_t conn_index) {
   conn->SetIoTimeout(config_.io_timeout_ms);
-  MeteredFrameConnection mfc(*conn, &channel_, config_.name,
+  // Chaos mode wraps the socket so every byte this handler moves can be
+  // dropped, delayed, truncated or corrupted — deterministically per
+  // connection, so failing runs replay.
+  std::unique_ptr<FaultInjectingConnection> chaos;
+  Connection* wire = conn.get();
+  if (config_.chaos.enabled()) {
+    chaos = std::make_unique<FaultInjectingConnection>(
+        *conn, config_.chaos.WithSeed(config_.chaos.seed +
+                                      0x9e3779b97f4a7c15ULL * conn_index));
+    wire = chaos.get();
+  }
+  MeteredFrameConnection mfc(*wire, &channel_, config_.name,
                              config_.max_frame_payload);
   Metrics().sessions.Increment();
   Metrics().active_sessions.Add(1);
   const auto session_start = std::chrono::steady_clock::now();
+  uint64_t attached_sid = 0;
 
   const auto finish = [&] {
+    if (attached_sid != 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sessions_.find(attached_sid);
+      if (it != sessions_.end()) {
+        it->second.attached = false;
+        it->second.last_activity = std::chrono::steady_clock::now();
+      }
+    }
     wire_bytes_received_ += conn->wire_bytes_received();
     wire_bytes_sent_ += conn->wire_bytes_sent();
     conn->Close();
     Metrics().active_sessions.Sub(1);
+    active_connections_.fetch_sub(1);
     Metrics().session_seconds.Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - session_start)
             .count());
   };
 
-  // 1. Handshake. The first frame is metered only after it names the
-  // sender, so the hello lands on the right route.
-  auto hello_frame = mfc.ReceiveUnmetered();
-  if (!hello_frame.ok()) {
-    PPRL_LOG(kWarning) << "dropping connection before hello: "
-                       << hello_frame.status().ToString();
-    finish();
-    return;
-  }
-  if (hello_frame->type != static_cast<uint8_t>(MessageType::kHello)) {
-    FailSession(mfc, Status::ProtocolViolation("expected hello, got frame type " +
-                                               std::to_string(hello_frame->type)));
-    finish();
-    return;
-  }
-  auto hello = DecodeHello(hello_frame->payload);
-  if (!hello.ok()) {
-    FailSession(mfc, hello.status());
-    finish();
-    return;
-  }
-  mfc.set_peer(hello->party);
-  mfc.MeterReceived(*hello_frame, MessageTypeTag);
-  CountMessage(hello_frame->type, "in");
-  if (hello->protocol_version != kWireProtocolVersion) {
-    FailSession(mfc, Status::ProtocolViolation(
-                         "protocol version mismatch: server speaks " +
-                         std::to_string(kWireProtocolVersion) + ", owner sent " +
-                         std::to_string(hello->protocol_version)));
-    finish();
-    return;
-  }
-  if (hello->filter_bits == 0) {
-    FailSession(mfc, Status::ProtocolViolation("hello declared zero filter bits"));
-    finish();
-    return;
-  }
-  {
-    // First owner fixes the filter length for the whole run.
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (expected_filter_bits_ == 0) expected_filter_bits_ = hello->filter_bits;
-    if (hello->filter_bits != expected_filter_bits_) {
-      const Status mismatch = Status::InvalidArgument(
-          "owner '" + hello->party + "' declared " + std::to_string(hello->filter_bits) +
-          "-bit filters; this linkage uses " + std::to_string(expected_filter_bits_));
-      FailSession(mfc, mismatch);
-      finish();
-      return;
-    }
-  }
-  HelloAckMessage ack;
-  ack.protocol_version = kWireProtocolVersion;
-  ack.server = config_.name;
-  ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
-  CountMessage(static_cast<uint8_t>(MessageType::kHelloAck), "out");
-  if (!mfc.Send(static_cast<uint8_t>(MessageType::kHelloAck), EncodeHelloAck(ack),
-                MessageTypeTag(static_cast<uint8_t>(MessageType::kHelloAck)))
-           .ok()) {
+  // 1. Handshake: a new session (hello) or a re-attachment (resume). The
+  // first frame is metered only after it names the sender, so it lands on
+  // the right channel route.
+  auto first = mfc.ReceiveUnmetered();
+  if (!first.ok()) {
+    PPRL_LOG(kWarning) << "dropping connection before handshake: "
+                       << first.status().ToString();
     finish();
     return;
   }
 
-  // 2. Shipment.
-  auto shipment_frame = mfc.Receive(MessageTypeTag);
-  if (!shipment_frame.ok()) {
-    PPRL_LOG(kWarning) << "owner '" << hello->party
-                       << "' vanished before shipping: "
-                       << shipment_frame.status().ToString();
-    finish();
-    return;
-  }
-  if (shipment_frame->type != static_cast<uint8_t>(MessageType::kShipment)) {
-    FailSession(mfc, Status::ProtocolViolation("expected shipment, got frame type " +
-                                               std::to_string(shipment_frame->type)));
-    finish();
-    return;
-  }
-  CountMessage(shipment_frame->type, "in");
-  auto shipment = DecodeShipment(shipment_frame->payload, hello->filter_bits);
-  if (!shipment.ok()) {
-    FailSession(mfc, shipment.status());
-    finish();
-    return;
-  }
-  if (shipment->size() != hello->record_count) {
+  uint64_t sid = 0;
+  bool shipment_complete = false;
+
+  if (first->type == static_cast<uint8_t>(MessageType::kHello)) {
+    auto hello = DecodeHello(first->payload);
+    if (!hello.ok()) {
+      FailSession(mfc, hello.status());
+      finish();
+      return;
+    }
+    mfc.set_peer(hello->party);
+    mfc.MeterReceived(*first, MessageTypeTag);
+    CountMessage(first->type, "in");
+    if (hello->protocol_version != kWireProtocolVersion) {
+      FailSession(mfc, Status::ProtocolViolation(
+                           "protocol version mismatch: server speaks " +
+                           std::to_string(kWireProtocolVersion) + ", owner sent " +
+                           std::to_string(hello->protocol_version)));
+      finish();
+      return;
+    }
+    if (hello->filter_bits == 0) {
+      FailSession(mfc, Status::ProtocolViolation("hello declared zero filter bits"));
+      finish();
+      return;
+    }
+    if (hello->record_count == 0) {
+      FailSession(mfc, Status::ProtocolViolation("hello declared zero records"));
+      finish();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (linkage_ran_) {
+        const Status late = Status::FailedPrecondition(
+            "linkage already ran; owner '" + hello->party + "' is too late to join");
+        FailSession(mfc, late);
+        finish();
+        return;
+      }
+      // First owner fixes the filter length for the whole run.
+      if (expected_filter_bits_ == 0) expected_filter_bits_ = hello->filter_bits;
+      if (hello->filter_bits != expected_filter_bits_) {
+        const Status mismatch = Status::InvalidArgument(
+            "owner '" + hello->party + "' declared " +
+            std::to_string(hello->filter_bits) + "-bit filters; this linkage uses " +
+            std::to_string(expected_filter_bits_));
+        FailSession(mfc, mismatch);
+        finish();
+        return;
+      }
+      const uint64_t expected_bytes =
+          ExpectedShipmentBytes(hello->filter_bits, hello->record_count);
+      if (buffered_bytes_ + expected_bytes > config_.max_buffered_bytes) {
+        SendBusy(mfc, "buffer");
+        finish();
+        return;
+      }
+      sid = next_session_id_++;
+      ServerSession session;
+      session.id = sid;
+      session.party = hello->party;
+      session.filter_bits = hello->filter_bits;
+      session.record_count = hello->record_count;
+      session.assembler = ShipmentAssembler(hello->filter_bits, hello->record_count);
+      session.attached = true;
+      session.last_activity = std::chrono::steady_clock::now();
+      session.deadline = session.last_activity +
+                         std::chrono::milliseconds(config_.session_deadline_ms);
+      buffered_bytes_ += expected_bytes;
+      sessions_.emplace(sid, std::move(session));
+      Metrics().session_created.Increment();
+      Metrics().session_open.Set(static_cast<int64_t>(sessions_.size()));
+      Metrics().session_buffered_bytes.Set(static_cast<int64_t>(buffered_bytes_));
+    }
+    attached_sid = sid;
+    HelloAckMessage ack;
+    ack.protocol_version = kWireProtocolVersion;
+    ack.server = config_.name;
+    ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
+    ack.session_id = sid;
+    ack.max_chunk_bytes = config_.max_chunk_bytes;
+    CountMessage(static_cast<uint8_t>(MessageType::kHelloAck), "out");
+    if (!mfc.Send(static_cast<uint8_t>(MessageType::kHelloAck), EncodeHelloAck(ack),
+                  MessageTypeTag(static_cast<uint8_t>(MessageType::kHelloAck)))
+             .ok()) {
+      finish();
+      return;
+    }
+  } else if (first->type == static_cast<uint8_t>(MessageType::kResume)) {
+    auto resume = DecodeResume(first->payload);
+    if (!resume.ok()) {
+      FailSession(mfc, resume.status());
+      finish();
+      return;
+    }
+    mfc.set_peer(resume->party);
+    mfc.MeterReceived(*first, MessageTypeTag);
+    CountMessage(first->type, "in");
+    if (resume->protocol_version != kWireProtocolVersion) {
+      FailSession(mfc, Status::ProtocolViolation(
+                           "protocol version mismatch on resume"));
+      finish();
+      return;
+    }
+    ResumeAckMessage rack;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sessions_.find(resume->session_id);
+      if (it == sessions_.end()) {
+        // Swept or never existed: the owner must start over with a hello.
+        const Status unknown = Status::NotFound(
+            "unknown session " + std::to_string(resume->session_id) +
+            " (expired or never opened); start a new hello");
+        FailSession(mfc, unknown);
+        finish();
+        return;
+      }
+      if (it->second.party != resume->party) {
+        FailSession(mfc, Status::InvalidArgument(
+                             "session " + std::to_string(resume->session_id) +
+                             " belongs to another party"));
+        finish();
+        return;
+      }
+      if (it->second.attached) {
+        // The previous connection has not noticed its peer died yet. The
+        // owner retries shortly instead of us closing sockets across
+        // threads.
+        SendBusy(mfc, "attached");
+        finish();
+        return;
+      }
+      it->second.attached = true;
+      it->second.last_activity = std::chrono::steady_clock::now();
+      sid = resume->session_id;
+      shipment_complete = it->second.registered;
+      rack.session_id = sid;
+      rack.acked_bytes = it->second.assembler.acked_bytes();
+      rack.shipment_complete = shipment_complete;
+      Metrics().session_resumed.Increment();
+    }
+    attached_sid = sid;
+    CountMessage(static_cast<uint8_t>(MessageType::kResumeAck), "out");
+    if (!mfc.Send(static_cast<uint8_t>(MessageType::kResumeAck), EncodeResumeAck(rack),
+                  MessageTypeTag(static_cast<uint8_t>(MessageType::kResumeAck)))
+             .ok()) {
+      finish();
+      return;
+    }
+  } else {
     FailSession(mfc, Status::ProtocolViolation(
-                         "hello declared " + std::to_string(hello->record_count) +
-                         " records but shipment carries " +
-                         std::to_string(shipment->size())));
+                         "expected hello or resume, got frame type " +
+                         std::to_string(first->type)));
     finish();
     return;
   }
 
-  uint32_t database_index = 0;
-  ShipmentAckMessage ship_ack;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (owner_order_.size() >= config_.expected_owners) {
-      FailSession(mfc, Status::FailedPrecondition("all expected owners already shipped"));
-      finish();
-      return;
-    }
-    const Status stored = unit_.Receive(hello->party, std::move(*shipment));
-    if (!stored.ok()) {
-      FailSession(mfc, stored);
-      finish();
-      return;
-    }
-    owner_order_.push_back(hello->party);
-    database_index = static_cast<uint32_t>(owner_order_.size() - 1);
-    ship_ack.owners_shipped = static_cast<uint32_t>(owner_order_.size());
-    ship_ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
-  }
-  CountMessage(static_cast<uint8_t>(MessageType::kShipmentAck), "out");
-  if (!mfc.Send(static_cast<uint8_t>(MessageType::kShipmentAck),
-                EncodeShipmentAck(ship_ack),
-                MessageTypeTag(static_cast<uint8_t>(MessageType::kShipmentAck)))
-           .ok()) {
+  // 2. Shipment (chunked, resumable, idempotent).
+  if (!shipment_complete && !ReceiveShipment(mfc, sid)) {
     finish();
     return;
   }
 
   // 3. Link once the last owner shipped, then answer everyone.
-  RunLinkageIfReady();
+  RunLinkage(/*allow_partial=*/false);
+  const bool delivered = DeliverResults(mfc, sid);
+  // Account the session's wire bytes before announcing delivery, so that
+  // once WaitUntilDone() returns the cost counters are final.
+  finish();
+  if (delivered) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(sid);
+    if (it != sessions_.end() && !it->second.results_delivered) {
+      it->second.results_delivered = true;
+      ++results_delivered_;
+      linkage_done_.notify_all();
+    }
+  }
+}
+
+bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
+                                        uint64_t session_id) {
+  for (;;) {
+    auto frame = mfc.ReceiveUnmetered();
+    if (!frame.ok()) {
+      PPRL_LOG(kWarning) << "owner '" << mfc.peer() << "' lost mid-shipment: "
+                         << frame.status().ToString() << " (session "
+                         << session_id << " stays resumable)";
+      return false;
+    }
+    CountMessage(frame->type, "in");
+    if (frame->type != static_cast<uint8_t>(MessageType::kShipmentChunk)) {
+      FailSession(mfc, Status::ProtocolViolation(
+                           "expected shipment chunk, got frame type " +
+                           std::to_string(frame->type)));
+      return false;
+    }
+    auto chunk = DecodeShipmentChunk(frame->payload);
+    if (!chunk.ok()) {
+      FailSession(mfc, chunk.status());
+      return false;
+    }
+    if (chunk->session_id != session_id) {
+      FailSession(mfc, Status::ProtocolViolation("chunk names a different session"));
+      return false;
+    }
+    if (chunk->data.size() > config_.max_chunk_bytes) {
+      FailSession(mfc, Status::ProtocolViolation(
+                           "chunk of " + std::to_string(chunk->data.size()) +
+                           " bytes exceeds the advertised maximum of " +
+                           std::to_string(config_.max_chunk_bytes)));
+      return false;
+    }
+
+    ShipmentAckMessage ack;
+    Status failure = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sessions_.find(session_id);
+      if (it == sessions_.end()) {
+        failure = Status::NotFound("session swept while shipping; start over");
+      } else if (std::chrono::steady_clock::now() > it->second.deadline) {
+        ShedCounter("deadline").Increment();
+        failure = Status::FailedPrecondition(
+            "session deadline exceeded before the shipment completed");
+        EraseSessionLocked(session_id);
+      } else {
+        ServerSession& session = it->second;
+        auto applied = session.assembler.Apply(*chunk);
+        if (!applied.ok()) {
+          // Keep the session: the acked cursor is untouched, so the owner
+          // can resume and retransmit from it.
+          failure = applied.status();
+        } else {
+          session.last_activity = std::chrono::steady_clock::now();
+          if (*applied) {
+            // Only fresh bytes count as shipped payload; duplicates and
+            // the fixed chunk header are wire overhead, not shipment.
+            mfc.MeterReceivedBytes(chunk->data.size(), "encoded-filters");
+            Metrics().session_chunks.Increment();
+          } else {
+            Metrics().session_duplicate_chunks.Increment();
+          }
+          if (session.assembler.complete() && !session.registered) {
+            if (linkage_ran_) {
+              failure = Status::FailedPrecondition(
+                  "linkage already ran without owner '" + session.party + "'");
+              EraseSessionLocked(session_id);
+            } else {
+              auto encoded = session.assembler.Finish();
+              Status stored = encoded.ok()
+                                  ? unit_.Receive(session.party, std::move(*encoded))
+                                  : encoded.status();
+              if (!stored.ok()) {
+                failure = stored;
+                EraseSessionLocked(session_id);
+              } else {
+                owner_order_.push_back(session.party);
+                session.database_index =
+                    static_cast<uint32_t>(owner_order_.size() - 1);
+                session.registered = true;
+                const uint64_t reserved = ExpectedShipmentBytes(
+                    session.filter_bits, session.record_count);
+                buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, reserved);
+                session.assembler.Discard();
+                last_registration_ = std::chrono::steady_clock::now();
+                Metrics().session_completed.Increment();
+                Metrics().session_buffered_bytes.Set(
+                    static_cast<int64_t>(buffered_bytes_));
+              }
+            }
+          }
+          if (failure.ok()) {
+            ack.session_id = session_id;
+            ack.acked_bytes = session.assembler.acked_bytes();
+            ack.complete = session.registered;
+            ack.owners_shipped = static_cast<uint32_t>(owner_order_.size());
+            ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
+          }
+        }
+      }
+    }
+    if (!failure.ok()) {
+      FailSession(mfc, failure);
+      return false;
+    }
+    CountMessage(static_cast<uint8_t>(MessageType::kShipmentAck), "out");
+    if (!mfc.Send(static_cast<uint8_t>(MessageType::kShipmentAck),
+                  EncodeShipmentAck(ack),
+                  MessageTypeTag(static_cast<uint8_t>(MessageType::kShipmentAck)))
+             .ok()) {
+      return false;
+    }
+    if (ack.complete) return true;
+  }
+}
+
+bool LinkageUnitServer::DeliverResults(MeteredFrameConnection& mfc,
+                                       uint64_t session_id) {
   OwnerLinkageSummary summary;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -307,38 +666,37 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn) {
     if (!linkage_ran_) {
       lock.unlock();
       FailSession(mfc, Status::FailedPrecondition("server stopped before linkage ran"));
-      finish();
-      return;
+      return false;
     }
     if (!linkage_status_.ok()) {
       const Status failed = linkage_status_;
       lock.unlock();
       FailSession(mfc, failed);
-      finish();
-      return;
+      return false;
     }
-    summary = SummarizeForOwner(linkage_result_, database_index);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || !it->second.registered) {
+      lock.unlock();
+      FailSession(mfc, Status::FailedPrecondition(
+                           "linkage ran without this owner's shipment"));
+      return false;
+    }
+    summary = SummarizeForOwner(linkage_result_, it->second.database_index);
+    summary.owners_linked = static_cast<uint32_t>(linked_owners_);
+    summary.owners_expected = static_cast<uint32_t>(config_.expected_owners);
   }
   CountMessage(static_cast<uint8_t>(MessageType::kResults), "out");
-  const bool delivered =
-      mfc.Send(static_cast<uint8_t>(MessageType::kResults), EncodeResults(summary),
-               MessageTypeTag(static_cast<uint8_t>(MessageType::kResults)))
-          .ok();
-  // Account the session's wire bytes before announcing delivery, so that
-  // once WaitUntilDone() returns the cost counters are final.
-  finish();
-  if (delivered) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++results_delivered_;
-    linkage_done_.notify_all();
-  }
+  return mfc
+      .Send(static_cast<uint8_t>(MessageType::kResults), EncodeResults(summary),
+            MessageTypeTag(static_cast<uint8_t>(MessageType::kResults)))
+      .ok();
 }
 
 Status LinkageUnitServer::WaitUntilDone(int timeout_ms) const {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto done = [this] {
-    return linkage_ran_ && (!linkage_status_.ok() ||
-                            results_delivered_ >= config_.expected_owners);
+    return linkage_ran_ &&
+           (!linkage_status_.ok() || results_delivered_ >= linked_owners_);
   };
   if (timeout_ms > 0) {
     if (!linkage_done_.wait_for(lock, std::chrono::milliseconds(timeout_ms), done)) {
@@ -362,6 +720,11 @@ Result<MultiPartyLinkageResult> LinkageUnitServer::result() const {
 std::vector<std::string> LinkageUnitServer::owner_order() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return owner_order_;
+}
+
+bool LinkageUnitServer::linkage_degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return linkage_degraded_;
 }
 
 }  // namespace pprl

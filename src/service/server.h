@@ -2,8 +2,10 @@
 #define PPRL_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "net/fault_injection.h"
 #include "net/metrics_http.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
@@ -27,11 +30,12 @@ struct LinkageUnitServerConfig {
   /// Loopback-only by default: exposing a linkage unit beyond localhost is
   /// a deployment decision, not a default.
   bool loopback_only = true;
-  /// The unit links once exactly this many distinct owners have shipped.
+  /// The unit links once exactly this many distinct owners have shipped
+  /// (unless the quorum option below kicks in first).
   size_t expected_owners = 2;
   MultiPartyLinkageOptions link_options;
-  /// Extra pool threads beyond one per expected owner (each session holds
-  /// its thread while waiting for the linkage to finish).
+  /// Extra pool threads beyond the session limit (each session holds its
+  /// thread while waiting for the linkage to finish).
   size_t extra_threads = 1;
   /// Workers in the daemon's shared work-stealing scheduler. >1 runs every
   /// linkage's comparison/clustering stages on it (overriding
@@ -41,13 +45,46 @@ struct LinkageUnitServerConfig {
   size_t link_threads = 1;
   /// Per-socket read/write timeout while a session is active.
   int io_timeout_ms = 30000;
-  /// How often the accept loop wakes to check for Stop().
+  /// How often the accept loop wakes to check for Stop(), sweep expired
+  /// sessions and evaluate the quorum option.
   int accept_poll_ms = 100;
   size_t max_frame_payload = kDefaultMaxFramePayload;
   /// Port of the Prometheus /metrics side endpoint: -1 disables it, 0
   /// binds an ephemeral port (read back via metrics_port()), anything else
   /// binds that port. The endpoint honours loopback_only.
   int metrics_port = -1;
+
+  // --- Robustness (session resume + overload shedding) ---
+
+  /// Concurrent connections the daemon will serve; arrivals beyond this
+  /// are shed with a kBusy frame. 0 derives 2 * expected_owners + 2,
+  /// which leaves room for every owner plus a resumed straggler each.
+  size_t max_sessions = 0;
+  /// An unattached session that has not registered its shipment is swept
+  /// after this much idle time — its partial buffer is freed and a later
+  /// kResume is answered with kNotFound (the owner starts over).
+  int session_ttl_ms = 60000;
+  /// Hard wall-clock bound from a session's creation to its shipment
+  /// completing, across any number of resumes.
+  int session_deadline_ms = 120000;
+  /// Cap on bytes reserved for in-flight shipment buffers. A hello whose
+  /// declared shipment would exceed it is shed with kBusy.
+  size_t max_buffered_bytes = 256u << 20;
+  /// Retry hint carried in kBusy frames.
+  int busy_retry_after_ms = 200;
+  /// Largest data span accepted in one kShipmentChunk (advertised in the
+  /// HelloAck).
+  uint32_t max_chunk_bytes = 4u << 20;
+  /// Quorum option: when 2 <= min_owners < expected_owners, the unit
+  /// links with the owners it has once quorum_wait_ms passes with no new
+  /// registration — a degraded run, flagged in every result summary.
+  /// 0 (or >= expected_owners) disables the option: all owners required.
+  size_t min_owners = 0;
+  int quorum_wait_ms = 5000;
+  /// Chaos mode: when enabled(), every accepted connection is wrapped in
+  /// a FaultInjectingConnection with a seed derived from `chaos.seed` and
+  /// the connection's accept index, so runs replay deterministically.
+  FaultSpec chaos;
 };
 
 /// The linkage unit as a daemon: accepts owner connections over TCP,
@@ -56,10 +93,19 @@ struct LinkageUnitServerConfig {
 /// every expected owner has shipped, and answers each owner with its
 /// per-owner summary.
 ///
+/// Fault tolerance: each hello opens a server-side *session* that
+/// outlives its TCP connection. Shipments arrive as checksummed chunks
+/// applied idempotently at acked offsets; if the connection dies the
+/// owner resumes the session on a fresh connection and continues from
+/// the acked cursor. Overload is shed with kBusy frames rather than
+/// stalled accepts, and the quorum option lets the unit degrade to a
+/// partial linkage instead of waiting forever for a lost owner.
+///
 /// All traffic is metered into channel() with the same route/tag
 /// accounting as the in-process pipelines, so communication-cost columns
-/// in benchmarks are directly comparable. Frame headers are excluded from
-/// the channel and reported separately via wire_bytes_received()/sent().
+/// in benchmarks are directly comparable. Frame headers and the fixed
+/// per-chunk header are excluded from the channel and reported separately
+/// via wire_bytes_received()/sent().
 class LinkageUnitServer {
  public:
   explicit LinkageUnitServer(LinkageUnitServerConfig config);
@@ -76,8 +122,8 @@ class LinkageUnitServer {
   /// run; waiting sessions are failed. Idempotent.
   void Stop();
 
-  /// Blocks until the linkage has run and every owner got its results (or
-  /// `timeout_ms` elapsed; <= 0 waits forever). OK once done.
+  /// Blocks until the linkage has run and every *linked* owner got its
+  /// results (or `timeout_ms` elapsed; <= 0 waits forever). OK once done.
   Status WaitUntilDone(int timeout_ms) const;
 
   /// The bound port (valid after Start()).
@@ -89,6 +135,9 @@ class LinkageUnitServer {
   }
 
   const std::string& name() const { return config_.name; }
+
+  /// The concurrent-session limit in effect (config or derived default).
+  size_t max_sessions() const;
 
   /// The metered protocol traffic (payload bytes by route and tag).
   Channel& channel() { return channel_; }
@@ -104,13 +153,50 @@ class LinkageUnitServer {
   /// Owner names in shipment order (the database order of result()).
   std::vector<std::string> owner_order() const;
 
+  /// True once the linkage ran without the full owner complement (quorum).
+  bool linkage_degraded() const;
+
  private:
+  /// One owner's server-side shipment state. Lives in sessions_ under
+  /// mutex_ and survives connection loss until swept or the server stops.
+  struct ServerSession {
+    uint64_t id = 0;
+    std::string party;
+    uint32_t filter_bits = 0;
+    uint32_t record_count = 0;
+    ShipmentAssembler assembler;
+    /// Shipment handed to the linkage unit (assembler buffer discarded).
+    bool registered = false;
+    bool results_delivered = false;
+    uint32_t database_index = 0;
+    /// A connection is currently serving this session.
+    bool attached = false;
+    std::chrono::steady_clock::time_point last_activity;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
   void AcceptLoop();
-  void HandleSession(std::shared_ptr<TcpConnection> conn);
+  void HandleSession(std::shared_ptr<TcpConnection> conn, uint64_t conn_index);
+  /// Receives shipment chunks for `session_id` until the shipment is
+  /// registered. Returns false if the session cannot proceed (fault,
+  /// protocol error, deadline) — the caller just closes the connection.
+  bool ReceiveShipment(MeteredFrameConnection& mfc, uint64_t session_id);
+  /// Waits for the linkage and delivers this session's results. Returns
+  /// true once the results frame reached the wire.
+  bool DeliverResults(MeteredFrameConnection& mfc, uint64_t session_id);
   /// Sends an error frame (best effort) and records the session failure.
   void FailSession(MeteredFrameConnection& mfc, const Status& status);
-  /// Runs the linkage exactly once; callers hold no lock.
-  void RunLinkageIfReady();
+  /// Sends a kBusy frame (best effort) and counts the shed.
+  void SendBusy(MeteredFrameConnection& mfc, const std::string& reason);
+  /// Sheds a connection from the accept thread before it gets a handler.
+  void ShedOnAccept(TcpConnection& conn, const std::string& reason);
+  /// Drops expired sessions and fires the quorum option when armed.
+  void SweepSessions();
+  /// Runs the linkage exactly once; callers hold no lock. With
+  /// `allow_partial`, runs with the quorum the unit currently has.
+  void RunLinkage(bool allow_partial);
+  /// Erases a session and releases its buffer reservation. mutex_ held.
+  void EraseSessionLocked(uint64_t session_id);
 
   LinkageUnitServerConfig config_;
   TcpListener listener_;
@@ -124,15 +210,25 @@ class LinkageUnitServer {
   mutable std::mutex mutex_;
   mutable std::condition_variable linkage_done_;
   LinkageUnitService unit_;
+  std::map<uint64_t, ServerSession> sessions_;
+  uint64_t next_session_id_ = 1;
+  /// Bytes reserved by in-flight shipment buffers (admission control).
+  size_t buffered_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_registration_;
   std::vector<std::string> owner_order_;
   uint32_t expected_filter_bits_ = 0;
   bool linkage_ran_ = false;
+  /// Owners included in the linkage run (== owner_order_.size() then).
+  size_t linked_owners_ = 0;
+  bool linkage_degraded_ = false;
   Status linkage_status_;
   MultiPartyLinkageResult linkage_result_;
   size_t results_delivered_ = 0;
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> accepted_connections_{0};
   std::atomic<size_t> wire_bytes_received_{0};
   std::atomic<size_t> wire_bytes_sent_{0};
 };

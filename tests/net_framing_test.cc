@@ -1,9 +1,15 @@
 #include "net/frame.h"
 
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "net/fault_injection.h"
+#include "net/transport.h"
 #include "net/wire.h"
+#include "service/protocol.h"
 
 namespace pprl {
 namespace {
@@ -189,6 +195,308 @@ TEST(FrameFuzzTest, RandomInputNeverCrashes) {
       if (!result.ok()) break;
       EXPECT_LE(result->payload.size(), kMaxPayload);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real-socket robustness: timeouts and dead peers must surface as decodable
+// Status errors, never as hangs.
+
+/// A connected loopback socket pair for transport tests.
+struct SocketPair {
+  TcpListener listener;
+  std::unique_ptr<TcpConnection> client;
+  std::unique_ptr<TcpConnection> server;
+
+  explicit SocketPair(int client_io_timeout_ms) {
+    EXPECT_TRUE(listener.Listen(0, /*loopback_only=*/true).ok());
+    ConnectOptions options;
+    options.io_timeout_ms = client_io_timeout_ms;
+    auto dialled = TcpConnection::Connect("127.0.0.1", listener.port(), options);
+    EXPECT_TRUE(dialled.ok());
+    client = std::move(*dialled);
+    auto accepted = listener.Accept(2000);
+    EXPECT_TRUE(accepted.ok());
+    server = std::move(*accepted);
+  }
+};
+
+TEST(TcpTransportTest, ReadTimesOutWithDecodableError) {
+  SocketPair pair(/*client_io_timeout_ms=*/200);
+  uint8_t buf[16];
+  const auto start = std::chrono::steady_clock::now();
+  auto n = pair.client->Read(buf, sizeof(buf));  // nobody ever writes
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kIoError);
+  EXPECT_NE(n.status().message().find("timed out"), std::string::npos)
+      << n.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "SO_RCVTIMEO did not fire";
+}
+
+TEST(TcpTransportTest, WriteTimesOutWhenPeerStopsReading) {
+  SocketPair pair(/*client_io_timeout_ms=*/200);
+  // The peer never reads: once both socket buffers fill, the next write
+  // must expire via SO_SNDTIMEO instead of blocking forever.
+  std::vector<uint8_t> block(8u << 20, 0x7f);
+  Status status = Status::OK();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = pair.client->Write(block.data(), block.size());
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("timed out"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(TcpTransportTest, PeerClosingMidFrameYieldsDecodableError) {
+  SocketPair pair(/*client_io_timeout_ms=*/2000);
+  // The peer sends a frame header promising 100 payload bytes, delivers
+  // 10, and dies. The reader must report truncation, not hang or crash.
+  Frame frame;
+  frame.type = 3;
+  frame.payload.assign(100, 0xab);
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes.resize(kFrameHeaderSize + 10);
+  ASSERT_TRUE(pair.server->Write(bytes.data(), bytes.size()).ok());
+  pair.server->Close();
+
+  FrameReader reader(*pair.client);
+  auto result = reader.ReadFrame();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TcpTransportTest, AcceptDistinguishesTimeoutFromTeardown) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0, /*loopback_only=*/true).ok());
+  // A quiet listener is a timeout (keep polling)...
+  auto timeout = listener.Accept(50);
+  ASSERT_FALSE(timeout.ok());
+  EXPECT_EQ(timeout.status().code(), StatusCode::kNotFound);
+  // ...but a concurrent Close() is a teardown (stop polling), even while
+  // a thread is parked inside Accept.
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.Close();
+  });
+  auto torn = listener.Accept(5000);
+  closer.join();
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kFailedPrecondition)
+      << torn.status().ToString();
+  // And a closed listener refuses immediately with the same code.
+  EXPECT_EQ(listener.Accept(10).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultInjectionTest, WriteBytePointCutsExactlyThere) {
+  SocketPair pair(/*client_io_timeout_ms=*/2000);
+  FaultSpec spec;
+  spec.seed = 1;
+  spec.close_after_bytes_sent = 30;
+  FaultInjectingConnection faulty(*pair.client, spec);
+
+  std::vector<uint8_t> data(100, 0x5a);
+  const Status status = faulty.Write(data.data(), data.size());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("injected"), std::string::npos);
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+
+  // The peer sees exactly the 30-byte prefix, then a clean end-of-stream —
+  // the cut lands mid-frame at a reproducible offset.
+  std::vector<uint8_t> got;
+  uint8_t buf[64];
+  for (;;) {
+    auto n = pair.server->Read(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    got.insert(got.end(), buf, buf + *n);
+  }
+  EXPECT_EQ(got.size(), 30u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-message fuzzing: mutated and truncated v2 handshake/resume/busy
+// payloads must never crash a decoder, and the shipment assembler must stay
+// idempotent under duplicated, re-ordered and corrupted chunks.
+
+TEST(ProtocolFuzzTest, HandshakeAndResumeDecodersNeverCrash) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::vector<uint8_t> bytes;
+    switch (rng.NextUint64(7)) {
+      case 0: {
+        HelloMessage m;
+        m.protocol_version = static_cast<uint32_t>(rng.NextUint64(4));
+        m.party = "owner-" + std::to_string(rng.NextUint64(10));
+        m.filter_bits = static_cast<uint32_t>(rng.NextUint64(1024));
+        m.record_count = static_cast<uint32_t>(rng.NextUint64(100));
+        bytes = EncodeHello(m);
+        break;
+      }
+      case 1: {
+        HelloAckMessage m;
+        m.protocol_version = kWireProtocolVersion;
+        m.server = "lu";
+        m.expected_owners = 3;
+        m.session_id = rng.NextUint64(1u << 20);
+        m.max_chunk_bytes = static_cast<uint32_t>(rng.NextUint64(1u << 20));
+        bytes = EncodeHelloAck(m);
+        break;
+      }
+      case 2: {
+        ResumeMessage m;
+        m.protocol_version = kWireProtocolVersion;
+        m.party = "owner";
+        m.session_id = rng.NextUint64(1u << 20);
+        bytes = EncodeResume(m);
+        break;
+      }
+      case 3: {
+        ResumeAckMessage m;
+        m.session_id = rng.NextUint64(1u << 20);
+        m.acked_bytes = rng.NextUint64(1u << 20);
+        m.shipment_complete = rng.NextBool(0.5);
+        bytes = EncodeResumeAck(m);
+        break;
+      }
+      case 4: {
+        BusyMessage m;
+        m.retry_after_ms = static_cast<uint32_t>(rng.NextUint64(1000));
+        m.reason = "sessions";
+        bytes = EncodeBusy(m);
+        break;
+      }
+      case 5: {
+        ShipmentAckMessage m;
+        m.session_id = rng.NextUint64(1u << 20);
+        m.acked_bytes = rng.NextUint64(1u << 20);
+        m.complete = rng.NextBool(0.5);
+        m.owners_shipped = 1;
+        m.expected_owners = 3;
+        bytes = EncodeShipmentAck(m);
+        break;
+      }
+      default: {
+        ShipmentChunkMessage m;
+        m.session_id = rng.NextUint64(1u << 20);
+        m.offset = rng.NextUint64(1u << 20);
+        m.last = rng.NextBool(0.5);
+        m.data.resize(rng.NextUint64(64));
+        for (auto& b : m.data) b = static_cast<uint8_t>(rng.NextUint64(256));
+        bytes = EncodeShipmentChunk(m);
+        break;
+      }
+    }
+    // Mutate: bit flips, truncation, or random extension.
+    const size_t flips = rng.NextUint64(4);
+    for (size_t f = 0; f < flips && !bytes.empty(); ++f) {
+      bytes[rng.NextUint64(bytes.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextUint64(8));
+    }
+    if (rng.NextBool(0.3)) bytes.resize(rng.NextUint64(bytes.size() + 1));
+    if (rng.NextBool(0.2)) bytes.push_back(static_cast<uint8_t>(rng.NextUint64(256)));
+
+    // Every decoder must return a message or a Status — never crash,
+    // never allocate absurdly.
+    (void)DecodeHello(bytes);
+    (void)DecodeHelloAck(bytes);
+    (void)DecodeResume(bytes);
+    (void)DecodeResumeAck(bytes);
+    (void)DecodeBusy(bytes);
+    (void)DecodeShipmentAck(bytes);
+    (void)DecodeError(bytes);
+    (void)DecodeResults(bytes);
+    auto chunk = DecodeShipmentChunk(bytes);
+    if (chunk.ok()) {
+      EXPECT_LE(chunk->data.size(), bytes.size());
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, AssemblerIsIdempotentUnderDuplicatesGapsAndCorruption) {
+  Rng rng(777);
+  constexpr uint32_t kBits = 64;
+  for (int iter = 0; iter < 100; ++iter) {
+    const uint32_t records = 1 + static_cast<uint32_t>(rng.NextUint64(16));
+    EncodedDatabase original;
+    for (uint32_t i = 0; i < records; ++i) {
+      original.ids.push_back(1000 + i);
+      BitVector filter(kBits);
+      for (size_t b = 0; b < kBits; ++b) {
+        if (rng.NextBool(0.3)) filter.Set(b);
+      }
+      original.filters.push_back(std::move(filter));
+    }
+    auto shipment = EncodeShipment(original);
+    ASSERT_TRUE(shipment.ok());
+    const uint64_t total = shipment->size();
+
+    ShipmentAssembler assembler(kBits, records);
+    ASSERT_EQ(assembler.expected_bytes(), total);
+
+    const auto make_chunk = [&](uint64_t offset, size_t len) {
+      ShipmentChunkMessage chunk;
+      chunk.session_id = 1;
+      chunk.offset = offset;
+      chunk.last = offset + len == total;
+      chunk.data.assign(shipment->begin() + static_cast<ptrdiff_t>(offset),
+                        shipment->begin() + static_cast<ptrdiff_t>(offset + len));
+      chunk.checksum = ShipmentChunkChecksum(chunk.data.data(), chunk.data.size());
+      return chunk;
+    };
+
+    int guard = 0;
+    while (!assembler.complete()) {
+      ASSERT_LT(++guard, 10000) << "assembler failed to converge";
+      const uint64_t acked = assembler.acked_bytes();
+      const uint64_t action = rng.NextUint64(5);
+      if (action == 0 && acked > 0) {
+        // Exact re-delivery of an already-applied span: must be a no-op.
+        const uint64_t off = rng.NextUint64(acked);
+        const size_t len = 1 + static_cast<size_t>(rng.NextUint64(acked - off));
+        auto applied = assembler.Apply(make_chunk(off, len));
+        ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+        EXPECT_FALSE(*applied) << "duplicate was applied";
+        EXPECT_EQ(assembler.acked_bytes(), acked) << "duplicate moved the cursor";
+      } else if (action == 1 && acked + 2 <= total) {
+        // A gap must be rejected and leave the cursor alone.
+        auto gap = make_chunk(acked + 1, static_cast<size_t>(total - acked - 1));
+        auto applied = assembler.Apply(gap);
+        ASSERT_FALSE(applied.ok());
+        EXPECT_EQ(applied.status().code(), StatusCode::kProtocolViolation);
+        EXPECT_EQ(assembler.acked_bytes(), acked);
+      } else if (action == 2 && acked < total) {
+        // A corrupted chunk must be rejected by its checksum.
+        auto bad = make_chunk(acked, 1 + static_cast<size_t>(rng.NextUint64(
+                                          std::min<uint64_t>(total - acked, 32))));
+        bad.data[rng.NextUint64(bad.data.size())] ^= 0x10;  // checksum now stale
+        auto applied = assembler.Apply(bad);
+        ASSERT_FALSE(applied.ok());
+        EXPECT_EQ(applied.status().code(), StatusCode::kIoError);
+        EXPECT_EQ(assembler.acked_bytes(), acked);
+      } else {
+        // The correct next chunk advances the cursor by exactly its size.
+        const size_t len = 1 + static_cast<size_t>(rng.NextUint64(
+                                   std::min<uint64_t>(total - acked, 32)));
+        auto applied = assembler.Apply(make_chunk(acked, len));
+        ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+        EXPECT_TRUE(*applied);
+        EXPECT_EQ(assembler.acked_bytes(), acked + len);
+      }
+    }
+    // In-order completion reproduces the original shipment bit-for-bit.
+    auto finished = assembler.Finish();
+    ASSERT_TRUE(finished.ok()) << finished.status().ToString();
+    auto reencoded = EncodeShipment(*finished);
+    ASSERT_TRUE(reencoded.ok());
+    EXPECT_EQ(*reencoded, *shipment);
+
+    // Discard() frees the buffer but keeps the resume cursor answerable.
+    assembler.Discard();
+    EXPECT_EQ(assembler.buffered_bytes(), 0u);
+    EXPECT_TRUE(assembler.complete());
+    EXPECT_EQ(assembler.acked_bytes(), total);
   }
 }
 

@@ -148,18 +148,21 @@ TEST(ServiceRoundtripTest, ThreeOwnerLoopbackMatchesInProcessPath) {
   EXPECT_EQ(local_channel.messages_by_tag().at("encoded-filters"), 3u);
   for (const std::string& owner : names) {
     EXPECT_EQ(server.channel().MessagesBetween(owner, "lu"),
-              2u);  // hello + shipment
+              2u);  // hello + one shipment chunk
   }
 
   // Framing overhead: every inbound frame costs exactly one 12-byte
-  // header beyond its metered payload. Report it separately, as a real
-  // cost table would.
+  // header beyond its metered payload, and every shipment chunk a fixed
+  // session/offset/checksum header on top. Report it separately, as a
+  // real cost table would.
   size_t inbound_payload = 0;
   for (const auto& [tag, bytes] : server_bytes) {
     if (tag == "hello" || tag == "encoded-filters") inbound_payload += bytes;
   }
-  const size_t inbound_frames = 6;  // 3 × (hello + shipment)
-  EXPECT_EQ(server.wire_bytes_received(), inbound_payload + inbound_frames * 12);
+  const size_t inbound_frames = 6;  // 3 × (hello + shipment chunk)
+  const size_t chunk_headers = 3 * kShipmentChunkOverheadBytes;
+  EXPECT_EQ(server.wire_bytes_received(),
+            inbound_payload + inbound_frames * 12 + chunk_headers);
   std::printf("[ cost ] shipments %zu B, framing overhead %zu B (%.3f%%)\n",
               server_bytes.at("encoded-filters"),
               server.wire_bytes_received() - inbound_payload,
@@ -174,6 +177,9 @@ TEST(ServiceRoundtripTest, ThreeOwnerLoopbackMatchesInProcessPath) {
     EXPECT_EQ(summaries[d].comparisons, expected.comparisons);
     EXPECT_EQ(summaries[d].total_clusters, expected.total_clusters);
     EXPECT_GT(summaries[d].matches.size(), 10u) << names[d];
+    EXPECT_EQ(summaries[d].owners_linked, 3u);
+    EXPECT_EQ(summaries[d].owners_expected, 3u);
+    EXPECT_FALSE(summaries[d].degraded());
   }
 
   // The daemon's observability surface: a Prometheus scrape of the side
