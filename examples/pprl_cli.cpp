@@ -11,16 +11,18 @@
 ///       entity_id columns, linkage quality is printed as well.
 ///   schema <a.csv> <b.csv>
 ///       Prints the inferred schema correspondences between two files.
-///   encode <in.csv> <out_clks.csv> [secret_key]
-///       A database owner's local step: CLK-encode the records and write
-///       the interchange file (id, bits, base64 clk). With a key, the
-///       encoding is HMAC-keyed — this file is what leaves the owner.
-///   link-encoded <a_clks.csv> <b_clks.csv> <matches_out.csv> [threshold]
-///       The linkage unit's step: match two interchange files without ever
-///       seeing quasi-identifiers.
-///   ship <clks.csv> <party_name> <host:port> [matches_out.csv]
-///       Ships an interchange file to a running pprl_linkd daemon, waits
-///       for the multi-party linkage to finish, and prints (optionally
+///   encode <in.csv> <out_clks.{csv|pclk}> [secret_key]
+///       A database owner's local step: stream the CSV through the CLK
+///       encoder (one pass, no in-memory Database) and write the encodings
+///       — the interchange CSV (id, bits, base64 clk), or the binary
+///       columnar PCLK shard when the output ends in ".pclk". With a key,
+///       the encoding is HMAC-keyed — this file is what leaves the owner.
+///   link-encoded <a_clks> <b_clks> <matches_out.csv> [threshold]
+///       The linkage unit's step: match two encoded files (either format,
+///       sniffed by content) without ever seeing quasi-identifiers.
+///   ship <clks.{csv|pclk}> <party_name> <host:port> [matches_out.csv]
+///       Ships an encoded file to a running pprl_linkd daemon, waits for
+///       the multi-party linkage to finish, and prints (optionally
 ///       writes) this owner's matched records.
 ///
 /// Examples:
@@ -40,6 +42,7 @@
 #include "encoding/clk_io.h"
 #include "eval/metrics.h"
 #include "filtering/ppjoin.h"
+#include "io/ingest.h"
 #include "linkage/matching.h"
 #include "obs/export.h"
 #include "pipeline/pipeline.h"
@@ -56,10 +59,10 @@ int Usage() {
                "  pprl_cli generate <out_a.csv> <out_b.csv> [n] [corruptions]\n"
                "  pprl_cli link <a.csv> <b.csv> <matches_out.csv> [threshold]\n"
                "  pprl_cli schema <a.csv> <b.csv>\n"
-               "  pprl_cli encode <in.csv> <out_clks.csv> [secret_key]\n"
-               "  pprl_cli link-encoded <a_clks.csv> <b_clks.csv> <matches_out.csv>"
+               "  pprl_cli encode <in.csv> <out_clks.{csv|pclk}> [secret_key]\n"
+               "  pprl_cli link-encoded <a_clks> <b_clks> <matches_out.csv>"
                " [threshold]\n"
-               "  pprl_cli ship <clks.csv> <party_name> <host:port>"
+               "  pprl_cli ship <clks.{csv|pclk}> <party_name> <host:port>"
                " [matches_out.csv]\n");
   return 2;
 }
@@ -79,44 +82,55 @@ PipelineConfig ConfigForSchema(const Schema& schema, const std::string& secret_k
 
 int Encode(int argc, char** argv) {
   if (argc < 4) return Usage();
-  auto db = ReadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+  // Header-only peek: the encoder's field set depends on the schema.
+  auto schema = io::ReadCsvSchema(argv[2]);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
     return 1;
   }
   const std::string secret_key = argc > 4 ? argv[4] : "";
-  const PipelineConfig config = ConfigForSchema(db->schema, secret_key);
+  const PipelineConfig config = ConfigForSchema(*schema, secret_key);
   if (config.fields.empty()) {
     std::fprintf(stderr, "no encodable fields in %s\n", argv[2]);
     return 1;
   }
+  // One streaming pass: CSV bytes -> field views -> CLK matrix rows.
   const ClkEncoder encoder(config.bloom, config.fields);
-  auto filters = encoder.EncodeDatabase(*db);
-  if (!filters.ok()) {
-    std::fprintf(stderr, "%s\n", filters.status().ToString().c_str());
+  io::IngestStats stats;
+  auto shard = io::EncodeCsvToShard(argv[2], encoder, {}, &stats);
+  if (!shard.ok()) {
+    std::fprintf(stderr, "%s\n", shard.status().ToString().c_str());
     return 1;
   }
-  EncodedDatabase encoded;
-  encoded.filters = std::move(filters).value();
-  for (const Record& r : db->records) encoded.ids.push_back(r.id);
-  const Status status = WriteEncodedDatabase(argv[3], encoded);
+  const Status status = io::WriteShardFile(argv[3], *shard);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("encoded %zu records (%s hashing) -> %s\n", encoded.size(),
-              secret_key.empty() ? "double" : "keyed HMAC", argv[3]);
+  std::printf("encoded %zu records (%s hashing, %s format) -> %s\n",
+              shard->size(), secret_key.empty() ? "double" : "keyed HMAC",
+              io::ShardFileFormatName(io::DetectShardFileFormat(argv[3])), argv[3]);
+  std::printf("  ingest: %.1f MB/s, %.0f records/s\n", stats.mb_per_second(),
+              stats.records_per_second());
   return 0;
 }
 
 int LinkEncoded(int argc, char** argv) {
   if (argc < 5) return Usage();
-  auto a = ReadEncodedDatabase(argv[2]);
-  auto b = ReadEncodedDatabase(argv[3]);
-  if (!a.ok() || !b.ok()) {
-    std::fprintf(stderr, "failed to read encoded inputs\n");
+  // Either format loads (PCLK magic sniffed); the join below wants
+  // per-record vectors, so unpack the batch layout.
+  auto a_shard = io::ReadShardAuto(argv[2]);
+  auto b_shard = io::ReadShardAuto(argv[3]);
+  if (!a_shard.ok() || !b_shard.ok()) {
+    std::fprintf(stderr, "failed to read encoded inputs: %s / %s\n",
+                 a_shard.status().ToString().c_str(),
+                 b_shard.status().ToString().c_str());
     return 1;
   }
+  const EncodedDatabase a_db = EncodedDatabaseFromShard(*a_shard);
+  const EncodedDatabase b_db = EncodedDatabaseFromShard(*b_shard);
+  const EncodedDatabase* a = &a_db;
+  const EncodedDatabase* b = &b_db;
   const double threshold = argc > 5 ? std::atof(argv[5]) : 0.8;
   if (a->size() == 0 || b->size() == 0 ||
       a->filters[0].size() != b->filters[0].size()) {
@@ -151,7 +165,9 @@ int LinkEncoded(int argc, char** argv) {
 
 int Ship(int argc, char** argv) {
   if (argc < 5) return Usage();
-  auto encoded = ReadEncodedDatabase(argv[2]);
+  // Loads either shard format; the wire payload is built from the batch
+  // rows directly, so no per-record vectors exist on this path.
+  auto encoded = io::ReadShardAuto(argv[2]);
   if (!encoded.ok()) {
     std::fprintf(stderr, "%s\n", encoded.status().ToString().c_str());
     return 1;
@@ -171,7 +187,7 @@ int Ship(int argc, char** argv) {
   RemoteOwnerClient client(config, &meter);
   std::printf("shipping %zu encodings as '%s' to %s ...\n", encoded->size(),
               party.c_str(), endpoint.c_str());
-  auto summary = client.ShipAndAwait(party, *encoded);
+  auto summary = client.ShipShardAndAwait(party, *encoded);
   if (!summary.ok()) {
     std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
     return 1;

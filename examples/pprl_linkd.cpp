@@ -10,6 +10,7 @@
 ///              [--metrics <port>] [--threads <n>]
 ///              [--io-timeout-ms <ms>] [--max-sessions <n>]
 ///              [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]
+///              [--spool <dir>] [--spool-format csv|pclk]
 ///
 /// With --metrics, a Prometheus text endpoint (GET /metrics) is served on
 /// the given port (0 picks an ephemeral one; the bound port is printed).
@@ -22,6 +23,10 @@
 /// arms the quorum option (link with fewer owners after a quiet period,
 /// flagged as degraded in every summary). --chaos wraps every accepted
 /// connection in the seeded fault injector — for drills, never production.
+///
+/// With --spool, every registered shipment is also persisted to the given
+/// (existing) directory as "<party>.pclk" (or ".csv" with --spool-format
+/// csv) — an audit/replay trail of exactly what each owner shipped.
 ///
 /// example (three terminals):
 ///   ./build/examples/pprl_linkd 7001 2
@@ -43,7 +48,8 @@ int main(int argc, char** argv) {
                  "usage: pprl_linkd <port> <expected_owners> [dice_threshold]"
                  " [--all-interfaces] [--metrics <port>] [--threads <n>]"
                  " [--io-timeout-ms <ms>] [--max-sessions <n>]"
-                 " [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]\n");
+                 " [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]"
+                 " [--spool <dir>] [--spool-format csv|pclk]\n");
     return 2;
   }
   LinkageUnitServerConfig config;
@@ -74,6 +80,21 @@ int main(int argc, char** argv) {
     if (arg == "--min-owners" && i + 1 < argc) {
       config.min_owners = static_cast<size_t>(std::atoll(argv[++i]));
     }
+    if (arg == "--spool" && i + 1 < argc) {
+      config.spool_dir = argv[++i];
+    }
+    if (arg == "--spool-format" && i + 1 < argc) {
+      const std::string format = argv[++i];
+      if (format == "csv") {
+        config.spool_format = io::ShardFileFormat::kCsv;
+      } else if (format == "pclk") {
+        config.spool_format = io::ShardFileFormat::kPclk;
+      } else {
+        std::fprintf(stderr, "--spool-format must be csv or pclk, got %s\n",
+                     format.c_str());
+        return 2;
+      }
+    }
     if (arg == "--chaos" && i + 1 < argc) {
       config.chaos.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
       config.chaos.close_rate = 0.01;
@@ -101,6 +122,16 @@ int main(int argc, char** argv) {
       config.io_timeout_ms, server.max_sessions(), config.session_ttl_ms,
       config.session_deadline_ms,
       static_cast<double>(config.max_buffered_bytes) / (1024.0 * 1024.0));
+  // Ingest side of the effective config: which shard formats the daemon
+  // accepts on the wire path, and where (and how) shipments are spooled.
+  if (config.spool_dir.empty()) {
+    std::printf("pprl_linkd: ingest formats: csv, pclk (spooling off)\n");
+  } else {
+    std::printf("pprl_linkd: ingest formats: csv, pclk; spooling shipments to "
+                "%s as %s\n",
+                config.spool_dir.c_str(),
+                io::ShardFileFormatName(config.spool_format));
+  }
   if (config.min_owners >= 2 && config.min_owners < config.expected_owners) {
     std::printf("pprl_linkd: quorum armed: will link with >= %zu owners after "
                 "%d ms without a new shipment (degraded result)\n",

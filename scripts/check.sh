@@ -71,3 +71,27 @@ sys.exit(0 if ratio >= need else 1)
 EOF
 rm -f "${SCALING_JSON}"
 echo "check.sh: parallel scaling smoke passed"
+
+# Ingest smoke: the I/O subsystem's two promises, on a small corpus from an
+# optimized build. (1) Dialect parity — csv_stream_test runs the SIMD and
+# scalar scanners against each other and the legacy parser; here it runs
+# from the Release build, where the AVX2 path is actually dispatched.
+# (2) Format speedup — PCLK must load encoded CLKs at >= 5x the records/s
+# of the legacy text CSV reader (the committed BENCH_ingest.json holds the
+# 1M-row figure; 100k keeps the gate fast). bench_ingest exits non-zero
+# below 5x, and the JSON is re-checked here so the gate survives exit-code
+# refactors.
+cmake --build "${PERF_BUILD_DIR}" -j "$(nproc)" --target bench_ingest csv_stream_test
+ctest --test-dir "${PERF_BUILD_DIR}" --output-on-failure -R '^csv_stream_test$'
+INGEST_JSON=$(mktemp /tmp/pprl-ingest-XXXX.json)
+"${PERF_BUILD_DIR}"/bench/bench_ingest 100000 1024 "${INGEST_JSON}" >/dev/null
+python3 - "${INGEST_JSON}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+rates = {m["config"]: m["records_per_sec"] for m in data["measurements"]}
+ratio = rates["load-clks-pclk"] / rates["load-clks-csv-legacy"]
+print(f"check.sh: PCLK/legacy-CSV load = {ratio:.1f}x records/s (need >= 5x)")
+sys.exit(0 if ratio >= 5.0 else 1)
+EOF
+rm -f "${INGEST_JSON}"
+echo "check.sh: ingest smoke passed"

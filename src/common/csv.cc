@@ -51,8 +51,9 @@ Result<CsvTable> ParseCsv(const std::string& text) {
         end_field();
       } else if (c == '\n') {
         end_record();
-      } else if (c == '\r') {
-        // Swallow; handles CRLF line endings.
+      } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+        // CRLF record terminator; the LF on the next iteration ends the
+        // record. A CR not followed by LF falls through as literal data.
       } else {
         field += c;
         field_started = true;

@@ -21,7 +21,9 @@ struct CsvTable {
 };
 
 /// Parses RFC-4180-style CSV text (quoted fields, embedded commas/quotes and
-/// newlines inside quotes). The first record is treated as the header.
+/// newlines inside quotes; records end at LF or CRLF — a CR not followed by
+/// LF is field data). The first record is treated as the header. The
+/// streaming reader in io/csv_stream.h parses the identical dialect.
 Result<CsvTable> ParseCsv(const std::string& text);
 
 /// Serialises `table` to CSV, quoting fields that contain separators.

@@ -23,6 +23,26 @@ struct FieldSpec {
   FieldType type = FieldType::kString;
 };
 
+/// The column-name → field-type convention shared by every CSV importer
+/// (datagen/io and the streaming ingest path): well-known person-data
+/// column names get their survey type, everything else is a string QID.
+inline FieldType GuessFieldTypeFromName(const std::string& column_name) {
+  std::string name = column_name;
+  for (char& c : name) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (name == "dob" || name == "date_of_birth" || name == "birth_date") {
+    return FieldType::kDate;
+  }
+  if (name == "sex" || name == "gender" || name == "state") {
+    return FieldType::kCategorical;
+  }
+  if (name == "age" || name == "income" || name == "weight" || name == "height") {
+    return FieldType::kNumeric;
+  }
+  return FieldType::kString;
+}
+
 /// The common schema agreed between database owners before linkage.
 struct Schema {
   std::vector<FieldSpec> fields;

@@ -3,26 +3,9 @@
 #include <cstdlib>
 
 #include "common/strings.h"
+#include "io/ingest.h"
 
 namespace pprl {
-
-namespace {
-
-FieldType GuessType(const std::string& column_name) {
-  const std::string name = ToLower(column_name);
-  if (name == "dob" || name == "date_of_birth" || name == "birth_date") {
-    return FieldType::kDate;
-  }
-  if (name == "sex" || name == "gender" || name == "state") {
-    return FieldType::kCategorical;
-  }
-  if (name == "age" || name == "income" || name == "weight" || name == "height") {
-    return FieldType::kNumeric;
-  }
-  return FieldType::kString;
-}
-
-}  // namespace
 
 Result<Database> DatabaseFromCsv(const CsvTable& table) {
   const int id_col = table.ColumnIndex("id");
@@ -31,7 +14,8 @@ Result<Database> DatabaseFromCsv(const CsvTable& table) {
   Database db;
   for (size_t c = 0; c < table.header.size(); ++c) {
     if (static_cast<int>(c) == id_col || static_cast<int>(c) == entity_col) continue;
-    db.schema.fields.push_back({table.header[c], GuessType(table.header[c])});
+    db.schema.fields.push_back(
+        {table.header[c], GuessFieldTypeFromName(table.header[c])});
   }
   if (db.schema.fields.empty()) {
     return Status::InvalidArgument("CSV has no QID columns");
@@ -61,9 +45,11 @@ Result<Database> DatabaseFromCsv(const CsvTable& table) {
 }
 
 Result<Database> ReadDatabaseCsv(const std::string& path) {
-  auto table = ReadCsvFile(path);
-  if (!table.ok()) return table.status();
-  return DatabaseFromCsv(table.value());
+  // The streaming reader parses the identical dialect and applies the
+  // identical schema/bookkeeping rules as DatabaseFromCsv, one buffered
+  // window at a time (io/ingest.h); datagen_io_test holds the two paths to
+  // identical results.
+  return io::ReadDatabaseCsvStream(path);
 }
 
 CsvTable DatabaseToCsv(const Database& db, bool include_entity_ids) {

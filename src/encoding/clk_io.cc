@@ -8,6 +8,20 @@
 
 namespace pprl {
 
+EncodedShard ShardFromEncodedDatabase(const EncodedDatabase& encoded) {
+  EncodedShard shard;
+  shard.ids = encoded.ids;
+  shard.bits = BitMatrix::FromVectors(encoded.filters);
+  return shard;
+}
+
+EncodedDatabase EncodedDatabaseFromShard(const EncodedShard& shard) {
+  EncodedDatabase encoded;
+  encoded.ids = shard.ids;
+  encoded.filters = shard.bits.ToVectors();
+  return encoded;
+}
+
 std::vector<uint8_t> BitVectorToBytes(const BitVector& bv) {
   std::vector<uint8_t> out((bv.size() + 7) / 8, 0);
   for (uint32_t pos : bv.SetPositions()) {

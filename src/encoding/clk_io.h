@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bit_matrix.h"
 #include "common/bitvector.h"
 #include "common/status.h"
 
@@ -25,6 +26,25 @@ struct EncodedDatabase {
 
   size_t size() const { return filters.size(); }
 };
+
+/// The batch-layout twin of `EncodedDatabase`: the same ids, with the
+/// filters packed as contiguous `BitMatrix` rows instead of one heap
+/// allocation per record. This is the type the streaming ingest path
+/// (io/ingest.h) produces, the PCLK shard format (io/pclk.h) stores, and
+/// the comparison kernels consume — a million-record shipment never has
+/// to exist as a million `BitVector`s.
+struct EncodedShard {
+  std::vector<uint64_t> ids;
+  BitMatrix bits;
+
+  size_t size() const { return bits.num_rows(); }
+};
+
+/// Packs per-record filters into the batch layout (lossless).
+EncodedShard ShardFromEncodedDatabase(const EncodedDatabase& encoded);
+
+/// Unpacks back into per-record filters; inverse of ShardFromEncodedDatabase.
+EncodedDatabase EncodedDatabaseFromShard(const EncodedShard& shard);
 
 /// Serialises a filter to its byte form (little-endian, bit 0 = LSB of
 /// byte 0; trailing bits zero).

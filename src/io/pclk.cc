@@ -1,0 +1,474 @@
+#include "io/pclk.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace pprl::io {
+
+namespace {
+
+/// Geometry sanity caps: far above any real shard (a 2^32-row shard of
+/// 64-Mbit filters would be a 32-PB file) but low enough that a fuzzed
+/// header can never overflow the offset arithmetic below.
+constexpr uint64_t kMaxRows = 1ull << 32;
+constexpr uint32_t kMaxFilterBits = 1u << 26;
+constexpr uint32_t kMaxStrideBytes = 1u << 24;
+
+constexpr size_t kHeaderChecksumOffset = 56;
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+/// Serialises `count` u64 values little-endian into `out`. On a
+/// little-endian host this is a memcpy; the explicit loop only exists for
+/// portability.
+void PutU64Span(uint8_t* out, const uint64_t* values, size_t count) {
+  if (count == 0) return;  // empty vector data() may be null; memcpy forbids it
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, values, count * 8);
+  } else {
+    for (size_t i = 0; i < count; ++i) PutU64(out + i * 8, values[i]);
+  }
+}
+
+void GetU64Span(uint64_t* out, const uint8_t* bytes, size_t count) {
+  if (count == 0) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, bytes, count * 8);
+  } else {
+    for (size_t i = 0; i < count; ++i) out[i] = GetU64(bytes + i * 8);
+  }
+}
+
+size_t CarryingBytes(uint32_t bits) { return (static_cast<size_t>(bits) + 7) / 8; }
+
+/// Validates the loaded matrix against the format contract: no stray bits
+/// past filter_bits, and the popcount column (when present) agreeing with
+/// the rows. Fills the matrix's count cache as a side effect.
+Status ValidateRows(BitMatrix& bits, const PclkInfo& info, const uint8_t* popcounts) {
+  const size_t tail_bits = info.filter_bits % 64;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? ~0ull : (1ull << tail_bits) - 1;
+  for (size_t r = 0; r < bits.num_rows(); ++r) {
+    const uint64_t* row = bits.row(r);
+    if (bits.words_per_row() > 0 &&
+        (row[bits.words_per_row() - 1] & ~tail_mask) != 0) {
+      return Status::ProtocolViolation("PCLK row " + std::to_string(r) +
+                                       " has bits set past filter_bits");
+    }
+  }
+  bits.RecomputeCounts();
+  if (popcounts != nullptr) {
+    for (size_t r = 0; r < bits.num_rows(); ++r) {
+      if (GetU32(popcounts + r * 4) != bits.row_count(r)) {
+        return Status::IoError("PCLK popcount column disagrees with row " +
+                               std::to_string(r) + " (corrupted shard)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Copies one file row (carrying bytes only) into a matrix row and checks
+/// the file's padding bytes past the carrying span are zero.
+Status LoadRow(BitMatrix& bits, size_t r, const uint8_t* row_bytes,
+               uint32_t file_stride) {
+  const size_t carry = bits.words_per_row() * 8;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(bits.mutable_row(r), row_bytes, carry);
+  } else {
+    GetU64Span(bits.mutable_row(r), row_bytes, bits.words_per_row());
+  }
+  for (size_t b = carry; b < file_stride; ++b) {
+    if (row_bytes[b] != 0) {
+      return Status::ProtocolViolation("PCLK row " + std::to_string(r) +
+                                       " has nonzero stride padding");
+    }
+  }
+  return Status::OK();
+}
+
+bool ReadExact(std::FILE* f, void* out, size_t n) {
+  return n == 0 || std::fread(out, 1, n, f) == n;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+uint64_t PclkInfo::rows_offset() const {
+  const uint64_t after_pop =
+      popcounts_offset() + (has_popcounts() ? row_count * 4 : 0);
+  return (after_pop + 63) / 64 * 64;
+}
+
+Result<PclkInfo> DecodePclkHeader(const uint8_t* data, size_t size) {
+  if (size < kPclkHeaderBytes) {
+    return Status::OutOfRange("PCLK header truncated: " + std::to_string(size) +
+                              " of " + std::to_string(kPclkHeaderBytes) + " bytes");
+  }
+  if (GetU32(data) != kPclkMagic) {
+    return Status::InvalidArgument("not a PCLK shard (bad magic)");
+  }
+  PclkInfo info;
+  info.version = GetU32(data + 4);
+  if (info.version != kPclkVersion) {
+    return Status::InvalidArgument("unsupported PCLK version " +
+                                   std::to_string(info.version));
+  }
+  info.flags = GetU32(data + 8);
+  info.filter_bits = GetU32(data + 12);
+  info.row_count = GetU64(data + 16);
+  info.row_stride_bytes = GetU32(data + 24);
+  if (GetU32(data + 28) != 0) {
+    return Status::ProtocolViolation("PCLK reserved header field is nonzero");
+  }
+  if ((info.flags & ~kPclkFlagPopcounts) != 0) {
+    return Status::ProtocolViolation("PCLK header has unknown flag bits");
+  }
+  if (GetU64(data + kHeaderChecksumOffset) !=
+      Fnv1a64(data, kHeaderChecksumOffset)) {
+    return Status::IoError("PCLK header checksum mismatch");
+  }
+  if (info.row_count > kMaxRows || info.filter_bits > kMaxFilterBits ||
+      info.row_stride_bytes > kMaxStrideBytes) {
+    return Status::InvalidArgument("PCLK header declares implausible geometry");
+  }
+  if (info.row_count > 0) {
+    if (info.filter_bits == 0) {
+      return Status::InvalidArgument("PCLK shard with rows but zero filter bits");
+    }
+    if (info.row_stride_bytes % 64 != 0 ||
+        info.row_stride_bytes < CarryingBytes(info.filter_bits)) {
+      return Status::InvalidArgument(
+          "PCLK row stride must be a 64-byte multiple covering filter_bits");
+    }
+  }
+  return info;
+}
+
+std::vector<uint8_t> EncodePclk(const EncodedShard& shard, bool include_popcounts) {
+  const BitMatrix& bits = shard.bits;
+  const uint64_t n = bits.num_rows();
+  PclkInfo info;
+  info.version = kPclkVersion;
+  info.flags = include_popcounts ? kPclkFlagPopcounts : 0;
+  info.filter_bits = static_cast<uint32_t>(bits.num_bits());
+  info.row_count = n;
+  info.row_stride_bytes = static_cast<uint32_t>(bits.stride_words() * 8);
+  std::vector<uint8_t> out(info.total_bytes(), 0);
+
+  // Sections first, so their checksums exist before the header is sealed.
+  PutU64Span(out.data() + info.ids_offset(), shard.ids.data(), n);
+  if (include_popcounts) {
+    uint8_t* pop = out.data() + info.popcounts_offset();
+    for (uint64_t r = 0; r < n; ++r) {
+      PutU32(pop + r * 4, static_cast<uint32_t>(bits.row_count(r)));
+    }
+  }
+  uint8_t* rows = out.data() + info.rows_offset();
+  if (n > 0) {
+    // Matrix rows are contiguous at exactly the file stride.
+    PutU64Span(rows, bits.row(0), n * bits.stride_words());
+  }
+
+  uint8_t* h = out.data();
+  PutU32(h, kPclkMagic);
+  PutU32(h + 4, info.version);
+  PutU32(h + 8, info.flags);
+  PutU32(h + 12, info.filter_bits);
+  PutU64(h + 16, info.row_count);
+  PutU32(h + 24, info.row_stride_bytes);
+  PutU32(h + 28, 0);
+  PutU64(h + 32, Fnv1a64(out.data() + info.ids_offset(), n * 8));
+  PutU64(h + 40, include_popcounts
+                     ? Fnv1a64(out.data() + info.popcounts_offset(), n * 4)
+                     : 0);
+  PutU64(h + 48, Fnv1a64(rows, n * info.row_stride_bytes));
+  PutU64(h + kHeaderChecksumOffset, Fnv1a64(h, kHeaderChecksumOffset));
+  return out;
+}
+
+Result<EncodedShard> DecodePclk(const uint8_t* data, size_t size) {
+  auto header = DecodePclkHeader(data, size);
+  if (!header.ok()) return header.status();
+  const PclkInfo& info = *header;
+  const uint64_t n = info.row_count;
+  if (size < info.total_bytes()) {
+    return Status::OutOfRange("PCLK shard truncated: " + std::to_string(size) +
+                              " of " + std::to_string(info.total_bytes()) +
+                              " bytes");
+  }
+  if (size > info.total_bytes()) {
+    return Status::ProtocolViolation("PCLK shard has trailing bytes");
+  }
+
+  const uint8_t* ids = data + info.ids_offset();
+  if (GetU64(data + 32) != Fnv1a64(ids, n * 8)) {
+    return Status::IoError("PCLK ids section checksum mismatch");
+  }
+  const uint8_t* pop = nullptr;
+  if (info.has_popcounts()) {
+    pop = data + info.popcounts_offset();
+    if (GetU64(data + 40) != Fnv1a64(pop, n * 4)) {
+      return Status::IoError("PCLK popcount section checksum mismatch");
+    }
+  }
+  const uint64_t pad_begin =
+      info.popcounts_offset() + (info.has_popcounts() ? n * 4 : 0);
+  for (uint64_t b = pad_begin; b < info.rows_offset(); ++b) {
+    if (data[b] != 0) {
+      return Status::ProtocolViolation("PCLK section padding is nonzero");
+    }
+  }
+  const uint8_t* rows = data + info.rows_offset();
+  if (GetU64(data + 48) != Fnv1a64(rows, n * info.row_stride_bytes)) {
+    return Status::IoError("PCLK rows section checksum mismatch");
+  }
+
+  EncodedShard shard;
+  shard.ids.resize(n);
+  GetU64Span(shard.ids.data(), ids, n);
+  shard.bits = BitMatrix(n, info.filter_bits);
+  for (uint64_t r = 0; r < n; ++r) {
+    PPRL_RETURN_IF_ERROR(
+        LoadRow(shard.bits, r, rows + r * info.row_stride_bytes,
+                info.row_stride_bytes));
+  }
+  PPRL_RETURN_IF_ERROR(ValidateRows(shard.bits, info, pop));
+  return shard;
+}
+
+Status WritePclkFile(const std::string& path, const EncodedShard& shard,
+                     bool include_popcounts) {
+  const std::vector<uint8_t> bytes = EncodePclk(shard, include_popcounts);
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for writing");
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return Status::IoError("write to " + path + " failed");
+  }
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<PclkInfo> ReadHeaderFrom(std::FILE* f, const std::string& path) {
+  uint8_t header[kPclkHeaderBytes];
+  const size_t got = std::fread(header, 1, sizeof(header), f);
+  auto info = DecodePclkHeader(header, got);
+  if (!info.ok() && got < sizeof(header)) {
+    return Status::OutOfRange(path + ": PCLK header truncated");
+  }
+  return info;
+}
+
+}  // namespace
+
+Result<PclkInfo> ReadPclkInfo(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  return ReadHeaderFrom(f.get(), path);
+}
+
+Result<EncodedShard> ReadPclkFile(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  auto header = ReadHeaderFrom(f.get(), path);
+  if (!header.ok()) return header.status();
+  const PclkInfo& info = *header;
+  const uint64_t n = info.row_count;
+
+  // ids + optional popcounts + padding arrive as one contiguous span.
+  const uint64_t mid_bytes = info.rows_offset() - info.ids_offset();
+  std::vector<uint8_t> mid(mid_bytes);
+  if (!ReadExact(f.get(), mid.data(), mid.size())) {
+    return Status::OutOfRange(path + ": PCLK sections truncated");
+  }
+  const uint8_t* ids = mid.data();
+  const uint8_t* pop = info.has_popcounts() ? mid.data() + n * 8 : nullptr;
+
+  EncodedShard shard;
+  shard.ids.resize(n);
+  GetU64Span(shard.ids.data(), ids, n);
+  shard.bits = BitMatrix(n, info.filter_bits);
+
+  const uint64_t expect_ids = Fnv1a64(ids, n * 8);
+  const uint64_t expect_pop = pop != nullptr ? Fnv1a64(pop, n * 4) : 0;
+  const uint64_t pad_begin = n * 8 + (pop != nullptr ? n * 4 : 0);
+  for (uint64_t b = pad_begin; b < mid_bytes; ++b) {
+    if (mid[b] != 0) {
+      return Status::ProtocolViolation(path + ": PCLK section padding is nonzero");
+    }
+  }
+
+  uint64_t rows_checksum = 0xcbf29ce484222325ULL;
+  if (n > 0 &&
+      info.row_stride_bytes == shard.bits.stride_words() * 8 &&
+      std::endian::native == std::endian::little) {
+    // The file stride matches the in-memory stride: stream the whole rows
+    // section straight into the matrix — the zero-re-packing fast path.
+    uint8_t* dst = reinterpret_cast<uint8_t*>(shard.bits.mutable_row(0));
+    if (!ReadExact(f.get(), dst, n * info.row_stride_bytes)) {
+      return Status::OutOfRange(path + ": PCLK rows truncated");
+    }
+    rows_checksum = Fnv1a64(dst, n * info.row_stride_bytes);
+  } else {
+    std::vector<uint8_t> row(info.row_stride_bytes);
+    for (uint64_t r = 0; r < n; ++r) {
+      if (!ReadExact(f.get(), row.data(), row.size())) {
+        return Status::OutOfRange(path + ": PCLK rows truncated");
+      }
+      for (uint8_t b : row) {
+        rows_checksum = (rows_checksum ^ b) * 0x100000001b3ULL;
+      }
+      PPRL_RETURN_IF_ERROR(LoadRow(shard.bits, r, row.data(), info.row_stride_bytes));
+    }
+  }
+  uint8_t trailing = 0;
+  if (std::fread(&trailing, 1, 1, f.get()) != 0) {
+    return Status::ProtocolViolation(path + ": PCLK shard has trailing bytes");
+  }
+
+  // Verify sections after the single pass over the file.
+  uint8_t header_raw[kPclkHeaderBytes];
+  std::rewind(f.get());
+  if (!ReadExact(f.get(), header_raw, sizeof(header_raw))) {
+    return Status::IoError(path + ": reread of PCLK header failed");
+  }
+  if (GetU64(header_raw + 32) != expect_ids) {
+    return Status::IoError(path + ": PCLK ids section checksum mismatch");
+  }
+  if (pop != nullptr && GetU64(header_raw + 40) != expect_pop) {
+    return Status::IoError(path + ": PCLK popcount section checksum mismatch");
+  }
+  if (n > 0 && GetU64(header_raw + 48) != rows_checksum) {
+    return Status::IoError(path + ": PCLK rows section checksum mismatch");
+  }
+
+  // The fast path copied stride padding into the matrix; it must be zero
+  // and ValidateRows only checks the carrying words, so check here.
+  if (info.row_stride_bytes == shard.bits.stride_words() * 8) {
+    for (uint64_t r = 0; r < n; ++r) {
+      const uint64_t* row_words = shard.bits.row(r);
+      for (size_t w = shard.bits.words_per_row(); w < shard.bits.stride_words();
+           ++w) {
+        if (row_words[w] != 0) {
+          return Status::ProtocolViolation(
+              path + ": PCLK row " + std::to_string(r) +
+              " has nonzero stride padding");
+        }
+      }
+    }
+  }
+  PPRL_RETURN_IF_ERROR(ValidateRows(shard.bits, info, pop));
+  return shard;
+}
+
+Result<EncodedShard> ReadPclkSlice(const std::string& path, uint64_t row_begin,
+                                   uint64_t row_count) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  auto header = ReadHeaderFrom(f.get(), path);
+  if (!header.ok()) return header.status();
+  const PclkInfo& info = *header;
+  if (row_begin > info.row_count || row_count > info.row_count - row_begin) {
+    return Status::OutOfRange("PCLK slice [" + std::to_string(row_begin) + ", " +
+                              std::to_string(row_begin + row_count) +
+                              ") out of range for " +
+                              std::to_string(info.row_count) + " rows");
+  }
+
+  EncodedShard shard;
+  shard.ids.resize(row_count);
+  shard.bits = BitMatrix(row_count, info.filter_bits);
+  if (row_count == 0) return shard;
+
+  if (std::fseek(f.get(), static_cast<long>(info.ids_offset() + row_begin * 8),
+                 SEEK_SET) != 0) {
+    return Status::IoError(path + ": seek failed");
+  }
+  std::vector<uint8_t> id_bytes(row_count * 8);
+  if (!ReadExact(f.get(), id_bytes.data(), id_bytes.size())) {
+    return Status::OutOfRange(path + ": PCLK ids truncated");
+  }
+  GetU64Span(shard.ids.data(), id_bytes.data(), row_count);
+
+  std::vector<uint8_t> pop_bytes;
+  if (info.has_popcounts()) {
+    if (std::fseek(f.get(),
+                   static_cast<long>(info.popcounts_offset() + row_begin * 4),
+                   SEEK_SET) != 0) {
+      return Status::IoError(path + ": seek failed");
+    }
+    pop_bytes.resize(row_count * 4);
+    if (!ReadExact(f.get(), pop_bytes.data(), pop_bytes.size())) {
+      return Status::OutOfRange(path + ": PCLK popcounts truncated");
+    }
+  }
+
+  if (std::fseek(f.get(),
+                 static_cast<long>(info.rows_offset() +
+                                   row_begin * info.row_stride_bytes),
+                 SEEK_SET) != 0) {
+    return Status::IoError(path + ": seek failed");
+  }
+  std::vector<uint8_t> row(info.row_stride_bytes);
+  for (uint64_t r = 0; r < row_count; ++r) {
+    if (!ReadExact(f.get(), row.data(), row.size())) {
+      return Status::OutOfRange(path + ": PCLK rows truncated");
+    }
+    PPRL_RETURN_IF_ERROR(LoadRow(shard.bits, r, row.data(), info.row_stride_bytes));
+  }
+  PPRL_RETURN_IF_ERROR(ValidateRows(
+      shard.bits, info, pop_bytes.empty() ? nullptr : pop_bytes.data()));
+  return shard;
+}
+
+bool LooksLikePclkFile(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  uint8_t magic[4];
+  return ReadExact(f.get(), magic, sizeof(magic)) && GetU32(magic) == kPclkMagic;
+}
+
+}  // namespace pprl::io

@@ -109,8 +109,29 @@ Result<OwnerLinkageSummary> RemoteOwnerClient::ShipAndAwait(
   }
   auto shipment_payload = EncodeShipment(encoded);
   if (!shipment_payload.ok()) return shipment_payload.status();
-  const std::vector<uint8_t>& shipment = *shipment_payload;
+  return DeliverPayload(owner, *shipment_payload,
+                        static_cast<uint32_t>(encoded.filters[0].size()),
+                        static_cast<uint32_t>(encoded.size()));
+}
 
+Result<OwnerLinkageSummary> RemoteOwnerClient::ShipShardAndAwait(
+    const std::string& owner, const EncodedShard& shard) {
+  if (shard.ids.size() != shard.bits.num_rows()) {
+    return Status::InvalidArgument("shipment ids/filters size mismatch");
+  }
+  if (shard.size() == 0 || shard.bits.num_bits() == 0) {
+    return Status::InvalidArgument("nothing to ship: empty encoding");
+  }
+  auto shipment_payload = EncodeShipment(shard);
+  if (!shipment_payload.ok()) return shipment_payload.status();
+  return DeliverPayload(owner, *shipment_payload,
+                        static_cast<uint32_t>(shard.bits.num_bits()),
+                        static_cast<uint32_t>(shard.size()));
+}
+
+Result<OwnerLinkageSummary> RemoteOwnerClient::DeliverPayload(
+    const std::string& owner, const std::vector<uint8_t>& shipment,
+    uint32_t filter_bits, uint32_t record_count) {
   wire_bytes_sent_ = 0;
   wire_bytes_received_ = 0;
   retries_ = 0;
@@ -161,8 +182,8 @@ Result<OwnerLinkageSummary> RemoteOwnerClient::ShipAndAwait(
       HelloMessage hello;
       hello.protocol_version = kWireProtocolVersion;
       hello.party = owner;
-      hello.filter_bits = static_cast<uint32_t>(encoded.filters[0].size());
-      hello.record_count = static_cast<uint32_t>(encoded.size());
+      hello.filter_bits = filter_bits;
+      hello.record_count = record_count;
       PPRL_RETURN_IF_ERROR(mfc.Send(static_cast<uint8_t>(MessageType::kHello),
                                     EncodeHello(hello),
                                     MessageTypeTag(static_cast<uint8_t>(MessageType::kHello))));

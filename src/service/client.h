@@ -77,6 +77,12 @@ class RemoteOwnerClient : public EncodingSink {
   Result<OwnerLinkageSummary> ShipAndAwait(const std::string& owner,
                                            const EncodedDatabase& encoded);
 
+  /// Same session, shipping a batch-layout shard (the streaming-ingest
+  /// type): the wire payload is built straight from the `BitMatrix` rows,
+  /// byte-identical to shipping the equivalent `EncodedDatabase`.
+  Result<OwnerLinkageSummary> ShipShardAndAwait(const std::string& owner,
+                                                const EncodedShard& shard);
+
   /// EncodingSink: runs ShipAndAwait and stores the summary for
   /// summary().
   Status Deliver(const std::string& owner, const EncodedDatabase& encoded) override;
@@ -96,6 +102,14 @@ class RemoteOwnerClient : public EncodingSink {
   size_t retries() const { return retries_; }
 
  private:
+  /// The fault-tolerant delivery loop shared by both Ship* entry points:
+  /// `shipment` is a full EncodeShipment payload, `filter_bits` and
+  /// `record_count` fill the Hello.
+  Result<OwnerLinkageSummary> DeliverPayload(const std::string& owner,
+                                             const std::vector<uint8_t>& shipment,
+                                             uint32_t filter_bits,
+                                             uint32_t record_count);
+
   RemoteOwnerClientConfig config_;
   Channel* meter_;
   std::optional<OwnerLinkageSummary> summary_;

@@ -281,6 +281,27 @@ Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded) {
   return w.Take();
 }
 
+Result<std::vector<uint8_t>> EncodeShipment(const EncodedShard& shard) {
+  if (shard.ids.size() != shard.bits.num_rows()) {
+    return Status::InvalidArgument("shipment ids/filters size mismatch");
+  }
+  const size_t filter_bytes = (shard.bits.num_bits() + 7) / 8;
+  WireWriter w;
+  std::vector<uint8_t> row_bytes(filter_bytes);
+  for (size_t i = 0; i < shard.size(); ++i) {
+    w.PutU64(shard.ids[i]);
+    const uint64_t* row = shard.bits.row(i);
+    // Little-endian byte b of the row is byte b%8 of word b/8 — the same
+    // layout BitVectorToBytes produces (bits past num_bits are zero by
+    // the BitMatrix invariant).
+    for (size_t b = 0; b < filter_bytes; ++b) {
+      row_bytes[b] = static_cast<uint8_t>(row[b / 8] >> (8 * (b % 8)));
+    }
+    w.PutBytes(row_bytes.data(), row_bytes.size());
+  }
+  return w.Take();
+}
+
 Result<EncodedDatabase> DecodeShipment(const std::vector<uint8_t>& payload,
                                        uint32_t filter_bits) {
   if (filter_bits == 0) {

@@ -191,6 +191,13 @@ uint64_t ShipmentChunkChecksum(const uint8_t* data, size_t len);
 /// chunk layer ships contiguous spans of this buffer.
 Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded);
 
+/// Same wire layout, straight from a shard's `BitMatrix` rows: the filter
+/// bytes are extracted word-wise without materializing per-record
+/// `BitVector`s, so a streamed ingest (io/ingest.h) goes CSV -> CLK rows
+/// -> wire bytes with no intermediate vectors. Byte-identical to encoding
+/// `EncodedDatabaseFromShard(shard)`.
+Result<std::vector<uint8_t>> EncodeShipment(const EncodedShard& shard);
+
 /// Inverse of EncodeShipment; `filter_bits` comes from the Hello. The
 /// payload length must be an exact multiple of the per-record size.
 Result<EncodedDatabase> DecodeShipment(const std::vector<uint8_t>& payload,

@@ -273,6 +273,36 @@ void LinkageUnitServer::SweepSessions() {
   if (fire_quorum) RunLinkage(/*allow_partial=*/true);
 }
 
+void LinkageUnitServer::SpoolShipment(const std::string& party,
+                                      const EncodedDatabase& encoded) {
+  io::ShardFileFormat format = config_.spool_format;
+  if (format == io::ShardFileFormat::kAuto) format = io::ShardFileFormat::kPclk;
+  // Party names come off the wire: keep only filesystem-safe characters.
+  std::string stem;
+  for (char c : party) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    stem += safe ? c : '_';
+  }
+  if (stem.empty()) stem = "owner";
+  const std::string path = config_.spool_dir + "/" + stem + "." +
+                           io::ShardFileFormatName(format);
+  const Status written =
+      io::WriteShardFile(path, ShardFromEncodedDatabase(encoded), format);
+  obs::GlobalMetrics()
+      .GetCounter("pprl_spool_shipments_total",
+                  "Registered shipments persisted to the spool directory",
+                  {{"format", io::ShardFileFormatName(format)},
+                   {"outcome", written.ok() ? "ok" : "error"}})
+      .Increment();
+  if (!written.ok()) {
+    PPRL_LOG(kWarning) << "failed to spool shipment of owner '" << party
+                       << "' to " << path << ": " << written.ToString();
+  } else {
+    PPRL_LOG(kInfo) << "spooled shipment of owner '" << party << "' to " << path;
+  }
+}
+
 void LinkageUnitServer::RunLinkage(bool allow_partial) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (linkage_ran_) return;
@@ -610,6 +640,9 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
               EraseSessionLocked(session_id);
             } else {
               auto encoded = session.assembler.Finish();
+              if (encoded.ok() && !config_.spool_dir.empty()) {
+                SpoolShipment(session.party, *encoded);
+              }
               Status stored = encoded.ok()
                                   ? unit_.Receive(session.party, std::move(*encoded))
                                   : encoded.status();

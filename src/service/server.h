@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/fault_injection.h"
+#include "io/ingest.h"
 #include "net/metrics_http.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
@@ -75,6 +76,14 @@ struct LinkageUnitServerConfig {
   /// Largest data span accepted in one kShipmentChunk (advertised in the
   /// HelloAck).
   uint32_t max_chunk_bytes = 4u << 20;
+  /// When non-empty, every registered shipment is also persisted to this
+  /// directory (which must exist) as "<party>.pclk" or "<party>.csv" per
+  /// spool_format, before the linkage consumes it — an audit/replay trail
+  /// of exactly what each owner shipped. Spooling is best-effort: a failed
+  /// write is logged and counted, never fails the session.
+  std::string spool_dir;
+  /// On-disk format of spooled shipments (kAuto means kPclk).
+  io::ShardFileFormat spool_format = io::ShardFileFormat::kPclk;
   /// Quorum option: when 2 <= min_owners < expected_owners, the unit
   /// links with the owners it has once quorum_wait_ms passes with no new
   /// registration — a degraded run, flagged in every result summary.
@@ -195,6 +204,8 @@ class LinkageUnitServer {
   /// Runs the linkage exactly once; callers hold no lock. With
   /// `allow_partial`, runs with the quorum the unit currently has.
   void RunLinkage(bool allow_partial);
+  /// Persists a registered shipment to config_.spool_dir (best effort).
+  void SpoolShipment(const std::string& party, const EncodedDatabase& encoded);
   /// Erases a session and releases its buffer reservation. mutex_ held.
   void EraseSessionLocked(uint64_t session_id);
 

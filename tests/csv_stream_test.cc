@@ -1,0 +1,349 @@
+#include "io/csv_stream.h"
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace pprl {
+namespace {
+
+using io::CsvCursor;
+using io::CsvCursorOptions;
+using io::CsvScanMode;
+
+using Rows = std::vector<std::vector<std::string>>;
+
+/// Drains a cursor into materialized rows; fails the test on a non-OK
+/// terminal status unless `expect_error`.
+Rows Drain(CsvCursor& cursor, bool expect_error = false) {
+  Rows rows;
+  while (cursor.Next()) {
+    std::vector<std::string> row;
+    row.reserve(cursor.field_count());
+    for (size_t i = 0; i < cursor.field_count(); ++i) {
+      row.emplace_back(cursor.field(i));
+    }
+    rows.push_back(std::move(row));
+  }
+  EXPECT_EQ(cursor.status().ok(), !expect_error) << cursor.status().ToString();
+  return rows;
+}
+
+Rows ParseWith(std::string_view text, CsvScanMode mode,
+               bool expect_error = false) {
+  CsvCursorOptions options;
+  options.scan = mode;
+  CsvCursor cursor = CsvCursor::FromMemory(text, options);
+  return Drain(cursor, expect_error);
+}
+
+/// Asserts the scalar and auto (SIMD when available) scanners parse `text`
+/// into identical records, and returns that parse.
+Rows ParseBothModes(std::string_view text, bool expect_error = false) {
+  Rows scalar = ParseWith(text, CsvScanMode::kScalar, expect_error);
+  Rows simd = ParseWith(text, CsvScanMode::kAuto, expect_error);
+  EXPECT_EQ(scalar, simd) << "scalar and SIMD parses disagree on: " << text;
+  return scalar;
+}
+
+TEST(CsvStreamTest, SimpleRecords) {
+  Rows rows = ParseBothModes("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvStreamTest, FinalRecordWithoutNewline) {
+  Rows rows = ParseBothModes("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvStreamTest, CrLfTerminators) {
+  Rows rows = ParseBothModes("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvStreamTest, LoneCarriageReturnIsData) {
+  Rows rows = ParseBothModes("a\rb,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\rb", "c"}));
+}
+
+TEST(CsvStreamTest, QuotedFieldWithDelimiterAndNewline) {
+  Rows rows = ParseBothModes("\"smith, john\",\"line1\nline2\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "smith, john");
+  EXPECT_EQ(rows[0][1], "line1\nline2");
+}
+
+TEST(CsvStreamTest, EscapedQuotes) {
+  Rows rows = ParseBothModes("\"said \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "said \"hi\"");
+}
+
+TEST(CsvStreamTest, BytesAfterClosingQuoteAreVerbatim) {
+  // The legacy dialect appends anything between the closing quote and the
+  // next delimiter as-is.
+  Rows rows = ParseBothModes("\"ab\"cd,e\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "abcd");
+}
+
+TEST(CsvStreamTest, QuoteInsideUnquotedFieldIsLiteral) {
+  Rows rows = ParseBothModes("ab\"cd,e\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "ab\"cd");
+}
+
+TEST(CsvStreamTest, TrailingDelimiterYieldsEmptyField) {
+  Rows rows = ParseBothModes("a,b,\n1,,3");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "", "3"}));
+}
+
+TEST(CsvStreamTest, EmptyLineIsSingleEmptyField) {
+  Rows rows = ParseBothModes("a\n\nb\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{""}));
+}
+
+TEST(CsvStreamTest, EmptyInputHasNoRecords) {
+  EXPECT_TRUE(ParseBothModes("").empty());
+}
+
+TEST(CsvStreamTest, UnterminatedQuoteIsError) {
+  Rows rows = ParseBothModes("a,b\n\"oops,2\n", /*expect_error=*/true);
+  EXPECT_EQ(rows.size(), 1u);  // the first record still parses
+}
+
+TEST(CsvStreamTest, CustomDelimiter) {
+  CsvCursorOptions options;
+  options.delimiter = '\t';
+  CsvCursor cursor = CsvCursor::FromMemory("a\tb\n1,5\t2\n", options);
+  Rows rows = Drain(cursor);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1,5", "2"}));
+}
+
+TEST(CsvStreamTest, RecordIndexAndBytesConsumed) {
+  const std::string text = "a,b\n1,2\n3,4\n";
+  CsvCursor cursor = CsvCursor::FromMemory(text, {});
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.record_index(), 0u);
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.record_index(), 1u);
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.record_index(), 2u);
+  EXPECT_FALSE(cursor.Next());
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_EQ(cursor.bytes_consumed(), text.size());
+}
+
+TEST(CsvStreamTest, FieldViewsAreZeroCopyForUnquotedMemoryInput) {
+  const std::string text = "hello,world\n";
+  CsvCursor cursor = CsvCursor::FromMemory(text, {});
+  ASSERT_TRUE(cursor.Next());
+  // Unquoted fields of a memory-backed cursor must alias the input buffer.
+  EXPECT_EQ(cursor.field(0).data(), text.data());
+  EXPECT_EQ(cursor.field(1).data(), text.data() + 6);
+}
+
+/// Builds a CSV from explicit field values with RFC-4180 quoting, so the
+/// expected parse is known by construction.
+std::string BuildCsv(const Rows& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      const std::string& value = row[i];
+      const bool needs_quotes =
+          value.find_first_of(",\"\n\r") != std::string::npos;
+      if (!needs_quotes) {
+        out += value;
+        continue;
+      }
+      out.push_back('"');
+      for (char c : value) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(CsvStreamTest, RandomizedFieldsRoundTrip) {
+  std::mt19937 rng(20260808);
+  const std::string alphabet = "ab,\"\n\r x";
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    Rows expected;
+    const size_t num_rows = 1 + rng() % 5;
+    const size_t num_cols = 1 + rng() % 4;
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < num_cols; ++c) {
+        std::string value;
+        const size_t len = rng() % 8;
+        for (size_t k = 0; k < len; ++k) {
+          value.push_back(alphabet[rng() % alphabet.size()]);
+        }
+        row.push_back(std::move(value));
+      }
+      expected.push_back(std::move(row));
+    }
+    const std::string text = BuildCsv(expected);
+    EXPECT_EQ(ParseBothModes(text), expected) << "input: " << text;
+  }
+}
+
+TEST(CsvStreamTest, RandomizedBytesParseIdenticallyInBothModes) {
+  // Arbitrary byte soup: the two scanners must agree on records AND
+  // terminal status, even for malformed inputs.
+  std::mt19937 rng(4180);
+  const std::string alphabet = "a,\"\n\r";
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string text;
+    const size_t len = rng() % 64;
+    for (size_t k = 0; k < len; ++k) {
+      text.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    CsvCursorOptions scalar_options, simd_options;
+    scalar_options.scan = CsvScanMode::kScalar;
+    simd_options.scan = CsvScanMode::kAuto;
+    CsvCursor scalar = CsvCursor::FromMemory(text, scalar_options);
+    CsvCursor simd = CsvCursor::FromMemory(text, simd_options);
+    Rows scalar_rows, simd_rows;
+    while (scalar.Next()) {
+      std::vector<std::string> row;
+      for (size_t i = 0; i < scalar.field_count(); ++i) {
+        row.emplace_back(scalar.field(i));
+      }
+      scalar_rows.push_back(std::move(row));
+    }
+    while (simd.Next()) {
+      std::vector<std::string> row;
+      for (size_t i = 0; i < simd.field_count(); ++i) {
+        row.emplace_back(simd.field(i));
+      }
+      simd_rows.push_back(std::move(row));
+    }
+    EXPECT_EQ(scalar_rows, simd_rows) << "input: " << text;
+    EXPECT_EQ(scalar.status().ok(), simd.status().ok()) << "input: " << text;
+  }
+}
+
+/// Conformance against the legacy parser: for any rectangular table the
+/// streaming cursor and ParseCsv must produce the same header and rows.
+TEST(CsvStreamTest, MatchesLegacyParserOnRectangularTables) {
+  const std::vector<std::string> inputs = {
+      "a,b,c\n1,2,3\n4,5,6\n",
+      "a,b\r\n1,2\r\n3,4",
+      "name,notes\n\"smith, john\",\"said \"\"hi\"\"\"\n",
+      "a,b\n\"line1\nline2\",x\n",
+      "h\nplain\n\"\"\n\"\"tail\n",
+      "x,y\n\"a\"b,\"c\"\"d\"\n",
+      "k\na\rb\n",
+      "a,b\n,\n",
+  };
+  for (const std::string& text : inputs) {
+    auto table = ParseCsv(text);
+    ASSERT_TRUE(table.ok()) << text;
+    Rows rows = ParseBothModes(text);
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows[0], table->header) << "input: " << text;
+    EXPECT_EQ(Rows(rows.begin() + 1, rows.end()), table->rows)
+        << "input: " << text;
+  }
+}
+
+TEST(CsvStreamTest, LegacyParserAgreesOnRandomizedTables) {
+  std::mt19937 rng(7);
+  const std::string alphabet = "ab,\"\n x";
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    Rows expected;
+    const size_t num_rows = 2 + rng() % 4;
+    const size_t num_cols = 1 + rng() % 3;
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < num_cols; ++c) {
+        std::string value;
+        const size_t len = rng() % 6;
+        for (size_t k = 0; k < len; ++k) {
+          value.push_back(alphabet[rng() % alphabet.size()]);
+        }
+        row.push_back(std::move(value));
+      }
+      expected.push_back(std::move(row));
+    }
+    const std::string text = BuildCsv(expected);
+    auto table = ParseCsv(text);
+    ASSERT_TRUE(table.ok()) << text;
+    EXPECT_EQ(table->header, expected[0]) << text;
+    Rows streamed = ParseBothModes(text);
+    ASSERT_EQ(streamed.size(), expected.size());
+    EXPECT_EQ(streamed[0], table->header);
+    EXPECT_EQ(Rows(streamed.begin() + 1, streamed.end()), table->rows);
+  }
+}
+
+/// File-backed streaming with the smallest allowed buffer, so records and
+/// quoted fields straddle refill boundaries many times.
+TEST(CsvStreamTest, FileStreamingAcrossChunkBoundaries) {
+  Rows expected;
+  std::mt19937 rng(99);
+  for (int r = 0; r < 500; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < 3; ++c) {
+      // ~60-byte values, some with quotes/commas/newlines to force the
+      // quoted path across boundaries.
+      std::string value;
+      const size_t len = 40 + rng() % 40;
+      const std::string alphabet = "abcdefgh,\"\n";
+      for (size_t k = 0; k < len; ++k) {
+        value.push_back(alphabet[rng() % alphabet.size()]);
+      }
+      row.push_back(std::move(value));
+    }
+    expected.push_back(std::move(row));
+  }
+  const std::string text = BuildCsv(expected);
+  ASSERT_GT(text.size(), 16u * 4096u);  // many refills at a 4 KiB window
+
+  const std::string path = ::testing::TempDir() + "/pprl_csv_stream_test.csv";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+
+  for (CsvScanMode mode : {CsvScanMode::kScalar, CsvScanMode::kAuto}) {
+    CsvCursorOptions options;
+    options.scan = mode;
+    options.buffer_bytes = 1;  // clamped up to the 4 KiB minimum
+    auto cursor = CsvCursor::OpenFile(path, options);
+    ASSERT_TRUE(cursor.ok());
+    Rows rows = Drain(*cursor);
+    EXPECT_EQ(rows, expected);
+    EXPECT_EQ(cursor->bytes_consumed(), text.size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamTest, OpenMissingFileFails) {
+  auto cursor = CsvCursor::OpenFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_EQ(cursor.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pprl

@@ -34,6 +34,27 @@ TEST(CsvTest, HandlesCrLf) {
   EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
 }
 
+TEST(CsvTest, LoneCarriageReturnIsData) {
+  // A CR not followed by LF is field data, not a record terminator (and
+  // must round-trip identically through the streaming reader's dialect).
+  auto table = ParseCsv("a,b\n1\r5,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1\r5", "2"}));
+}
+
+TEST(CsvTest, CrLfWithoutFinalNewline) {
+  auto table = ParseCsv("a,b\r\n1,2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, QuotedFieldThenCrLf) {
+  auto table = ParseCsv("a,b\r\n\"x,y\",\"z\"\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"x,y", "z"}));
+}
+
 TEST(CsvTest, MissingFinalNewlineOk) {
   auto table = ParseCsv("a,b\n1,2");
   ASSERT_TRUE(table.ok());
