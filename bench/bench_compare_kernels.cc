@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -114,12 +115,22 @@ struct ParallelMeasurement {
   size_t bits = 0;
   double pairs_per_sec = 0;
   size_t pruned = 0;
+  /// pairs_per_sec / (t1 rate x threads) at the same width: 1.0 is perfect
+  /// scaling, and anything flat across thread counts means a serial stage
+  /// or shared bottleneck is capping the path.
+  double scaling_efficiency = 0;
+  size_t shard_size = 0;
+  size_t tile_a_rows = 0;
+  size_t tile_b_rows = 0;
 };
 
-/// The streaming sweep: all 10k x 10k pairs flow from StreamFullPairs
-/// through the scheduler in 8192-pair shards — candidate generation,
-/// dispatch and merge are all inside the timed region, so this measures
-/// the pipeline's parallel path, not just the kernel loop.
+/// The streaming sweep: all 10k x 10k candidates flow from
+/// StreamFullPairRuns through the scheduler into the tiled compare path —
+/// candidate generation, dispatch, tiling and merge are all inside the
+/// timed region, so this measures the pipeline's parallel path, not just
+/// the kernel loop. Shard and tile sizes are the auto-resolved values a
+/// production run would use; they ride along in the JSON so regressions
+/// can be traced to tuning changes.
 std::vector<ParallelMeasurement> BenchParallelAtWidth(size_t bits, const Database& a,
                                                       const Database& b) {
   BloomFilterParams bloom;
@@ -132,23 +143,33 @@ std::vector<ParallelMeasurement> BenchParallelAtWidth(size_t bits, const Databas
   const size_t n = fa.size() * fb.size();
 
   std::vector<ParallelMeasurement> out;
+  double t1_rate = 0;
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ParallelLinkageOptions options;
+    options.num_threads = threads;
+    const ResolvedParallelTuning tuning = ResolveParallelTuning(options, bits);
     ParallelMeasurement m;
     m.threads = threads;
     m.bits = bits;
+    m.shard_size = tuning.shard_size;
+    m.tile_a_rows = tuning.tile_a_rows;
+    m.tile_b_rows = tuning.tile_b_rows;
     for (int rep = 0; rep < kReps; ++rep) {
-      ParallelLinkageOptions options;
-      options.num_threads = threads;
       Timer timer;
       const StreamCompareResult result = StreamCompareShards(
           SimilarityMeasure::kDice, ma, mb, kParallelThreshold, options,
           [&](const CandidateShardFn& emit) {
-            StreamFullPairs(fa.size(), fb.size(), options.shard_size, emit);
+            StreamFullPairRuns(fa.size(), fb.size(), tuning.shard_size, emit);
           });
       const double rate = static_cast<double>(n) / timer.ElapsedSeconds();
       if (rate > m.pairs_per_sec) m.pairs_per_sec = rate;
       m.pruned = result.pruned;
     }
+    if (threads == 1) t1_rate = m.pairs_per_sec;
+    // Fraction of perfect scaling: 1.0 means N threads deliver N x the
+    // single-thread rate; the committed baseline's t8 sat at ~0.14.
+    m.scaling_efficiency =
+        m.pairs_per_sec / (t1_rate * static_cast<double>(threads));
     out.push_back(m);
   }
   return out;
@@ -202,10 +223,15 @@ int Main(int argc, char** argv) {
   // --- Streaming parallel sweep -------------------------------------------
   auto [pa, pb] = TwoDatabases(kParallelRecordsPerSide, 1.2);
   const size_t parallel_pairs = kParallelRecordsPerSide * kParallelRecordsPerSide;
+  const size_t cores = std::thread::hardware_concurrency();
+  const ResolvedParallelTuning shown_tuning =
+      ResolveParallelTuning(ParallelLinkageOptions{}, 500);
   std::printf("\nstreaming parallel path, %zu x %zu records (%zu candidate pairs), "
-              "Dice threshold %.2f, shard size %zu\n\n",
+              "Dice threshold %.2f, %zu cores,\n"
+              "auto tuning @500 bits: shard %zu pairs, tiles %zu x %zu rows\n\n",
               kParallelRecordsPerSide, kParallelRecordsPerSide, parallel_pairs,
-              kParallelThreshold, ParallelLinkageOptions{}.shard_size);
+              kParallelThreshold, cores, shown_tuning.shard_size,
+              shown_tuning.tile_a_rows, shown_tuning.tile_b_rows);
 
   std::vector<ParallelMeasurement> parallel_all;
   for (const size_t bits : {size_t{500}, size_t{1000}}) {
@@ -213,13 +239,14 @@ int Main(int argc, char** argv) {
     parallel_all.insert(parallel_all.end(), rows.begin(), rows.end());
   }
 
-  PrintHeader({"config", "bits", "Mpairs/s", "pruned", "vs t1"});
+  PrintHeader({"config", "bits", "Mpairs/s", "pruned", "vs t1", "efficiency"});
   double t1_rate = 0;
   for (const ParallelMeasurement& m : parallel_all) {
     if (m.threads == 1) t1_rate = m.pairs_per_sec;
     PrintRow({"stream-t" + std::to_string(m.threads), Fmt(m.bits),
               Fmt(m.pairs_per_sec / 1e6, 2), Fmt(m.pruned),
-              Fmt(m.pairs_per_sec / t1_rate, 2) + "x"});
+              Fmt(m.pairs_per_sec / t1_rate, 2) + "x",
+              Fmt(m.scaling_efficiency, 2)});
   }
 
   if (argc > 2) {
@@ -231,8 +258,8 @@ int Main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"bench\": \"bench_compare_kernels_parallel\",\n");
     std::fprintf(f, "  \"records_per_side\": %zu,\n  \"candidate_pairs\": %zu,\n",
                  kParallelRecordsPerSide, parallel_pairs);
-    std::fprintf(f, "  \"prune_threshold\": %.2f,\n  \"shard_size\": %zu,\n",
-                 kParallelThreshold, ParallelLinkageOptions{}.shard_size);
+    std::fprintf(f, "  \"prune_threshold\": %.2f,\n  \"cores\": %zu,\n",
+                 kParallelThreshold, cores);
     std::fprintf(f, "  \"measurements\": [\n");
     for (size_t i = 0; i < parallel_all.size(); ++i) {
       const ParallelMeasurement& m = parallel_all[i];
@@ -240,9 +267,13 @@ int Main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"config\": \"stream-t%zu\", \"bits\": %zu, \"threads\": %zu, "
                    "\"pairs_per_sec\": %.0f, \"pruned\": %zu, "
-                   "\"speedup_vs_t1\": %.2f}%s\n",
+                   "\"speedup_vs_t1\": %.2f, \"scaling_efficiency\": %.3f, "
+                   "\"shard_size\": %zu, \"tile_a_rows\": %zu, "
+                   "\"tile_b_rows\": %zu}%s\n",
                    m.threads, m.bits, m.threads, m.pairs_per_sec, m.pruned,
-                   m.pairs_per_sec / t1_rate, i + 1 < parallel_all.size() ? "," : "");
+                   m.pairs_per_sec / t1_rate, m.scaling_efficiency, m.shard_size,
+                   m.tile_a_rows, m.tile_b_rows,
+                   i + 1 < parallel_all.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -37,7 +37,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/cache_info.h"
 #include "common/logging.h"
+#include "linkage/parallel_linkage.h"
 #include "service/server.h"
 
 using namespace pprl;
@@ -131,6 +133,30 @@ int main(int argc, char** argv) {
                 "%s as %s\n",
                 config.spool_dir.c_str(),
                 io::ShardFileFormatName(config.spool_format));
+  }
+  // Parallel-compare side of the effective config: worker count plus the
+  // auto-resolved shard/tile sizes (printed for the common 500- and
+  // 1000-bit filter widths — the actual run resolves against the width of
+  // the filters that arrive) and the cache hierarchy they were derived
+  // from. Zeroes in the config mean "auto"; this is what auto picked.
+  {
+    const CacheInfo& cache = DetectCacheInfo();
+    ParallelLinkageOptions link_tuning_options;
+    link_tuning_options.num_threads = config.link_threads;
+    std::printf(
+        "pprl_linkd: parallel compare: %zu thread%s; caches l1d %zu KiB, "
+        "l2 %zu KiB, llc %zu MiB\n",
+        config.link_threads, config.link_threads == 1 ? "" : "s",
+        cache.l1d_bytes >> 10, cache.l2_bytes >> 10, cache.llc_bytes >> 20);
+    for (const size_t bits : {size_t{500}, size_t{1000}}) {
+      const ResolvedParallelTuning tuning =
+          ResolveParallelTuning(link_tuning_options, bits);
+      std::printf(
+          "pprl_linkd:   @%zu bits: shard %zu pairs, tiles %zu x %zu rows, "
+          "window %zu shards\n",
+          bits, tuning.shard_size, tuning.tile_a_rows, tuning.tile_b_rows,
+          tuning.max_pending_shards);
+    }
   }
   if (config.min_owners >= 2 && config.min_owners < config.expected_owners) {
     std::printf("pprl_linkd: quorum armed: will link with >= %zu owners after "

@@ -48,12 +48,17 @@ ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure --timeout 60 \
   -R '^service_chaos_test$'
 echo "check.sh: chaos suite passed under TSan"
 
-# Scaling smoke: the streaming parallel path must actually scale. Run the
-# committed benchmark's parallel sweep from an optimized build and compare
-# stream-t4 against stream-t1 at 500 bits. On a multi-core box t4 below
-# 1.5x t1 fails the gate; on smaller machines (including this repo's
-# 1-core reference box, where extra workers can only help by overlapping
-# stalls) t4 merely must not collapse below 0.8x t1.
+# Scaling gate: the streaming parallel path must actually scale, and the
+# gate prints the measured numbers so a failure is diagnosable from the
+# log. Run the committed benchmark's parallel sweep from an optimized
+# build and check, at 500 bits:
+#   * >= 4 cores: stream-t4 >= 2.5x stream-t1 (the cache-blocked path's
+#     floor; the old shard scheme plateaued near 1.1x), and on >= 8 cores
+#     additionally stream-t8 >= stream-t4 (no inversion — more workers
+#     must never make the run slower).
+#   * fewer cores (including this repo's 1-core reference box, where
+#     extra workers cannot speed anything up): t4 merely must not
+#     collapse below 0.8x t1.
 PERF_BUILD_DIR=build
 cmake -B "${PERF_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${PERF_BUILD_DIR}" -j "$(nproc)" --target bench_compare_kernels
@@ -64,13 +69,26 @@ import json, sys
 data = json.load(open(sys.argv[1]))
 cores = int(sys.argv[2])
 rates = {m["threads"]: m["pairs_per_sec"] for m in data["measurements"] if m["bits"] == 500}
-ratio = rates[4] / rates[1]
-need = 1.5 if cores >= 4 else 0.8
-print(f"check.sh: stream-t4/t1 = {ratio:.2f}x at 500 bits ({cores} cores, need >= {need}x)")
-sys.exit(0 if ratio >= need else 1)
+for t in sorted(rates):
+    print(f"check.sh: stream-t{t} = {rates[t] / 1e6:.1f} Mpairs/s at 500 bits "
+          f"({rates[t] / (rates[1] * t):.2f} scaling efficiency)")
+ok = True
+if cores >= 4:
+    ratio = rates[4] / rates[1]
+    print(f"check.sh: stream-t4/t1 = {ratio:.2f}x ({cores} cores, need >= 2.5x)")
+    ok &= ratio >= 2.5
+    if cores >= 8:
+        ratio8 = rates[8] / rates[4]
+        print(f"check.sh: stream-t8/t4 = {ratio8:.2f}x (need >= 1.0x, no inversion)")
+        ok &= ratio8 >= 1.0
+else:
+    ratio = rates[4] / rates[1]
+    print(f"check.sh: stream-t4/t1 = {ratio:.2f}x ({cores} cores, need >= 0.8x)")
+    ok &= ratio >= 0.8
+sys.exit(0 if ok else 1)
 EOF
 rm -f "${SCALING_JSON}"
-echo "check.sh: parallel scaling smoke passed"
+echo "check.sh: parallel scaling gate passed"
 
 # Ingest smoke: the I/O subsystem's two promises, on a small corpus from an
 # optimized build. (1) Dialect parity — csv_stream_test runs the SIMD and

@@ -87,12 +87,42 @@ std::vector<CandidatePair> FullPairs(size_t size_a, size_t size_b);
 // deterministic order, so the comparison stage can consume candidates while
 // blocking is still producing them and memory stays O(shard), not O(pairs).
 
+/// A dense run of candidate pairs: record `a` of database A against every
+/// b in [b_begin, b_end) of database B. Streaming producers emit runs
+/// instead of pairs wherever candidates are contiguous — 12 bytes per
+/// run instead of 8 bytes per pair is what keeps a single producer thread
+/// from serializing 8 consumer threads behind pair materialization.
+struct PairRun {
+  uint32_t a = 0;
+  uint32_t b_begin = 0;
+  uint32_t b_end = 0;
+
+  friend bool operator==(const PairRun& x, const PairRun& y) {
+    return x.a == y.a && x.b_begin == y.b_begin && x.b_end == y.b_end;
+  }
+};
+
 /// A contiguous run of candidate pairs. Shard ids are dense and ascending
 /// in emission order; concatenating shards by id reproduces exactly the
 /// sorted, deduplicated list the materializing functions return.
+///
+/// A shard carries its candidates either materialized (`pairs`) or as
+/// dense runs (`runs`) — never both. A run shard's candidate sequence is
+/// its runs expanded in order: for each run, (a, b) for b in
+/// [b_begin, b_end); run producers guarantee that sequence is ascending
+/// (a, b), which the tiled comparison path relies on to restore candidate
+/// order after cache-blocked execution.
 struct CandidateShard {
   uint32_t shard_id = 0;
   std::vector<CandidatePair> pairs;
+  std::vector<PairRun> runs;
+
+  /// Candidate pairs this shard covers, whichever representation it uses.
+  size_t num_pairs() const;
+
+  /// Expands `runs` into `pairs` (no-op for pair shards) — for consumers
+  /// that want the materialized form.
+  void MaterializePairs();
 };
 
 /// Consumes one shard (ownership moves to the consumer).
@@ -112,6 +142,18 @@ void StreamBlockedPairs(const BlockIndex& a, const BlockIndex& b, size_t shard_s
 /// counterpart of FullPairs().
 void StreamFullPairs(size_t size_a, size_t size_b, size_t shard_size,
                      const CandidateShardFn& emit);
+
+/// Run-shard variants: the same candidate sequence, shard boundaries and
+/// shard ids as their materializing counterparts above, but each shard
+/// carries PairRuns instead of pairs. Producer work drops from O(pairs)
+/// to O(runs) — for the full cross product, O(a-rows) — so candidate
+/// generation stops being the serial stage of the parallel compare path;
+/// consumers expand (or tile) runs on their own worker threads.
+void StreamBlockedPairRuns(const BlockIndex& a, const BlockIndex& b,
+                           size_t shard_size, const CandidateShardFn& emit);
+
+void StreamFullPairRuns(size_t size_a, size_t size_b, size_t shard_size,
+                        const CandidateShardFn& emit);
 
 }  // namespace pprl
 

@@ -44,6 +44,7 @@ BitMatrix::BitMatrix(size_t num_rows, size_t num_bits)
       words_per_row_(CarryingWords(num_bits)),
       stride_words_(StrideWords(num_bits)),
       data_(Allocate(num_rows * StrideWords(num_bits))),
+      capacity_words_(num_rows * StrideWords(num_bits)),
       counts_(num_rows, 0) {}
 
 BitMatrix::BitMatrix(const BitMatrix& other)
@@ -52,6 +53,7 @@ BitMatrix::BitMatrix(const BitMatrix& other)
       words_per_row_(other.words_per_row_),
       stride_words_(other.stride_words_),
       data_(Allocate(other.num_rows_ * other.stride_words_)),
+      capacity_words_(other.num_rows_ * other.stride_words_),
       counts_(other.counts_) {
   if (data_ != nullptr) {
     std::memcpy(data_.get(), other.data_.get(),
@@ -93,6 +95,27 @@ std::vector<BitVector> BitMatrix::ToVectors() const {
     out.push_back(std::move(v));
   }
   return out;
+}
+
+void BitMatrix::AssignRowSlice(const BitMatrix& src, size_t row_begin,
+                               size_t row_end) {
+  assert(row_begin <= row_end && row_end <= src.num_rows_);
+  const size_t rows = row_end - row_begin;
+  const size_t needed = rows * src.stride_words_;
+  if (capacity_words_ < needed) {
+    data_ = Allocate(needed);
+    capacity_words_ = needed;
+  }
+  num_rows_ = rows;
+  num_bits_ = src.num_bits_;
+  words_per_row_ = src.words_per_row_;
+  stride_words_ = src.stride_words_;
+  if (rows > 0) {
+    std::memcpy(data_.get(), src.row(row_begin),
+                rows * stride_words_ * sizeof(uint64_t));
+  }
+  counts_.assign(src.counts_.begin() + static_cast<ptrdiff_t>(row_begin),
+                 src.counts_.begin() + static_cast<ptrdiff_t>(row_end));
 }
 
 void BitMatrix::RecomputeCounts() {

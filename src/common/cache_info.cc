@@ -1,0 +1,85 @@
+#include "common/cache_info.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace pprl {
+
+namespace {
+
+/// Parses a sysfs cache size string ("48K", "2048K", "260M") to bytes;
+/// 0 when unparsable.
+size_t ParseCacheSize(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || value == 0) return 0;
+  switch (*end) {
+    case 'K':
+      return static_cast<size_t>(value) << 10;
+    case 'M':
+      return static_cast<size_t>(value) << 20;
+    case 'G':
+      return static_cast<size_t>(value) << 30;
+    default:
+      return static_cast<size_t>(value);
+  }
+}
+
+/// One short sysfs attribute read ("48K\n", "Data\n", "2\n").
+bool ReadAttr(const std::string& path, char* buf, size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  const size_t n = std::fread(buf, 1, len - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buf[n] = '\0';
+  return true;
+}
+
+CacheInfo DetectOnce() {
+  CacheInfo info;
+  // cpu0's cache hierarchy stands in for every worker's: tiles sized for
+  // the smallest core are merely conservative on asymmetric parts.
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int index = 0; index < 8; ++index) {
+    const std::string dir = base + std::to_string(index) + "/";
+    char level[16], type[32], size[32];
+    if (!ReadAttr(dir + "level", level, sizeof(level)) ||
+        !ReadAttr(dir + "type", type, sizeof(type)) ||
+        !ReadAttr(dir + "size", size, sizeof(size))) {
+      continue;
+    }
+    const size_t bytes = ParseCacheSize(size);
+    if (bytes == 0) continue;
+    const bool data = std::strncmp(type, "Data", 4) == 0 ||
+                      std::strncmp(type, "Unified", 7) == 0;
+    if (!data) continue;
+    switch (std::atoi(level)) {
+      case 1:
+        info.l1d_bytes = bytes;
+        break;
+      case 2:
+        info.l2_bytes = bytes;
+        break;
+      default:
+        // Deepest unified level wins (L3, or L4 where present).
+        info.llc_bytes = bytes;
+        break;
+    }
+  }
+  // Some single-level topologies report no L3; treat L2 as the LLC then,
+  // never smaller than the default floor's L2.
+  if (info.llc_bytes < info.l2_bytes) info.llc_bytes = info.l2_bytes;
+  return info;
+}
+
+}  // namespace
+
+const CacheInfo& DetectCacheInfo() {
+  static const CacheInfo info = DetectOnce();
+  return info;
+}
+
+}  // namespace pprl

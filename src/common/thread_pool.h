@@ -15,6 +15,10 @@
 
 namespace pprl {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// A fixed-size worker pool for the parallel/distributed complexity-reduction
 /// branch of the taxonomy (survey §3.4 "Parallel/distributed processing").
 ///
@@ -118,19 +122,39 @@ class WorkStealingScheduler {
   /// Shards submitted but not yet started (for tests; racy by nature).
   size_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
+  /// Failed steal sweeps (a worker probed every victim and found nothing)
+  /// across all workers. Also exported per worker as pprl_steal_fail_total.
+  uint64_t steal_fail_count() const {
+    return steal_fails_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One worker's deque plus the small mutex guarding it (locked only for
-  /// push/pop/steal pointer shuffling, never while a shard runs). Aligned
-  /// to its own cache line(s) so deque bookkeeping of neighbouring workers
-  /// never false-shares.
-  struct alignas(64) Worker {
+  /// push/pop/steal pointer shuffling, never while a shard runs). Padded
+  /// to two cache lines so deque bookkeeping of neighbouring workers never
+  /// false-shares — 64 bytes is not enough once the adjacent-line
+  /// prefetcher pairs lines, and the mutex + deque + counter already
+  /// straddle the first line.
+  struct alignas(128) Worker {
     std::mutex m;
     std::deque<std::function<void()>> deque;
+    /// deque.size(), maintained under `m` but readable without it: steal
+    /// sweeps probe this and skip empty victims without ever touching
+    /// their mutex, which is what kept 8 thieves off 8 mutexes.
+    std::atomic<size_t> approx_size{0};
+    /// Completions not yet folded into the scheduler's in_flight_
+    /// (batched accounting; owning worker thread only).
+    size_t unflushed_done = 0;
+    /// This worker's pprl_steal_fail_total{worker=i} series.
+    obs::Counter* steal_fail_metric = nullptr;
   };
 
   void WorkerLoop(size_t self);
-  /// Pops locally (front) or steals half of the fullest victim's deque.
+  /// Pops locally (front) or steals half of the first non-empty victim's
+  /// deque (probed via approx_size, locked only on a hit).
   bool NextTask(size_t self, std::function<void()>& task);
+  /// Folds `n` completions into in_flight_ and wakes Wait()ers on zero.
+  void FlushDone(size_t n);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -139,12 +163,15 @@ class WorkStealingScheduler {
   std::condition_variable task_available_;  // workers sleep here
   std::condition_variable all_done_;        // Wait() sleeps here
   std::condition_variable space_available_; // Submit() backpressure
-  size_t in_flight_ = 0;   // submitted, not finished (guarded by mutex_)
-  bool shutdown_ = false;
+  bool shutdown_ = false;                   // guarded by mutex_
 
   size_t max_pending_ = 0;
-  std::atomic<size_t> pending_{0};  // submitted, not started
+  std::atomic<size_t> in_flight_{0};  // submitted, not finished
+  std::atomic<size_t> pending_{0};    // submitted, not started
+  std::atomic<size_t> sleepers_{0};   // workers parked on task_available_
+  std::atomic<size_t> waiters_{0};    // producers parked on space_available_
   std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> steal_fails_{0};
   std::atomic<size_t> next_worker_{0};
 };
 
@@ -171,7 +198,9 @@ class TaskGroup {
   WorkStealingScheduler& scheduler_;
   std::mutex mutex_;
   std::condition_variable done_;
-  size_t outstanding_ = 0;
+  /// Atomic so completions stay off the mutex except for the last one,
+  /// which takes it to hand off to Wait().
+  std::atomic<size_t> outstanding_{0};
 };
 
 }  // namespace pprl

@@ -18,27 +18,69 @@ namespace pprl {
 /// buffers merge back in shard order — so the output is byte-identical to
 /// the serial pipeline at any thread count while peak memory stays
 /// O(window), not O(candidates).
+///
+/// Workers execute run shards cache-blocked: a shard's candidates are
+/// bucketed into (a-row-tile, b-row-tile) tiles sized so a tile's B rows
+/// fit in L2, each tile's B rows are optionally copied into a worker-local
+/// (first-touch NUMA-local) scratch matrix, and the tile's hits are sorted
+/// back into candidate order afterwards. Every tuning knob below defaults
+/// to 0 = auto-size from the filter width and the detected cache hierarchy
+/// (common/cache_info.h); ResolveParallelTuning() is the single place the
+/// defaults, validation and clamping live.
 struct ParallelLinkageOptions {
   /// Workers in the scheduler this call spins up. Ignored when `scheduler`
   /// is set.
   size_t num_threads = 1;
 
-  /// Candidate pairs per shard. Shards must amortize a scheduler dispatch
-  /// over the fused word loop yet stay numerous enough for stealing to
-  /// balance skewed blocks; 8192 pairs (the comparison engine's chunk
-  /// floor) does both.
-  size_t shard_size = 8192;
+  /// Candidate pairs per shard — the scheduling unit. 0 auto-sizes so a
+  /// shard amortizes dispatch and spans enough A rows for B-tile reuse
+  /// while staying numerous enough for stealing to balance skewed blocks.
+  size_t shard_size = 0;
 
   /// Max shards submitted but not yet started before the producing
-  /// (blocking) thread blocks — the streaming memory bound. 0 disables
-  /// backpressure.
-  size_t max_pending_shards = 64;
+  /// (blocking) thread blocks — the streaming memory bound. 0 auto-sizes
+  /// to a few shards per worker.
+  size_t max_pending_shards = 0;
+
+  /// B rows per cache tile inside a shard. 0 auto-sizes the tile's rows
+  /// to half of L2.
+  size_t tile_b_rows = 0;
+
+  /// A rows per tile bucket. 0 auto-sizes.
+  size_t tile_a_rows = 0;
+
+  /// Copy a tile's B rows into the worker-local scratch matrix when the
+  /// tile touches each row at least this many times on average (and more
+  /// than one worker is running). 0 disables copies.
+  size_t b_copy_min_reuse = 8;
 
   /// Borrowed long-lived scheduler (e.g. the daemon's). When set, shards
   /// run on its workers and completion is tracked per call with a
   /// TaskGroup, so concurrent sessions can share it safely.
   WorkStealingScheduler* scheduler = nullptr;
 };
+
+/// The effective (validated, clamped, auto-sized) tuning a streaming run
+/// executes with. Exposed so operators (daemon effective-config printout)
+/// and benches can see — and record — what "auto" resolved to.
+struct ResolvedParallelTuning {
+  size_t num_threads = 1;
+  size_t shard_size = 0;
+  size_t max_pending_shards = 0;
+  size_t tile_b_rows = 0;
+  size_t tile_a_rows = 0;
+  size_t b_copy_min_reuse = 0;
+  /// Bytes one matrix row occupies (stride), the unit of the sizing math.
+  size_t row_bytes = 0;
+};
+
+/// Validates `options` against the filter width and fills every auto (0)
+/// knob from the detected cache sizes. Out-of-range explicit values are
+/// clamped with a logged warning rather than silently accepted — a
+/// shard_size of 3 would drown the scheduler in dispatch, a
+/// max_pending_shards of 10^9 would defeat the streaming memory bound.
+ResolvedParallelTuning ResolveParallelTuning(const ParallelLinkageOptions& options,
+                                             size_t bits_per_row);
 
 /// What a streaming comparison run produced.
 struct StreamCompareResult {
@@ -51,16 +93,22 @@ struct StreamCompareResult {
   size_t pruned = 0;
 };
 
-/// A producer that drives any candidate stream (StreamBlockedPairs,
-/// StreamFullPairs, a custom generator) into the consumer callback. It runs
-/// on the calling thread and blocks inside `emit` when the shard window is
-/// full.
+/// A producer that drives any candidate stream (StreamBlockedPairRuns,
+/// StreamFullPairRuns, the materializing variants, a custom generator)
+/// into the consumer callback. It runs on the calling thread and blocks
+/// inside `emit` when the shard window is full.
 using ShardProducer = std::function<void(const CandidateShardFn& emit)>;
 
 /// Runs `produce`'s candidate stream through the comparison kernels on a
 /// work-stealing scheduler. Shard results land in per-shard buffers and are
 /// concatenated in shard order after the last shard finishes, so `hits` is
 /// deterministic for every (options.num_threads, scheduler) choice.
+///
+/// Run shards (CandidateShard::runs) take the cache-blocked tiled path;
+/// their expanded candidate sequence must be ascending (a, b) within the
+/// shard — which every Stream*PairRuns producer guarantees — so hits can
+/// be restored to candidate order by an (a, b) sort. Materialized pair
+/// shards may use any order and are scored in place, untiled.
 StreamCompareResult StreamCompareShards(SimilarityMeasure measure,
                                         const BitMatrix& a_matrix,
                                         const BitMatrix& b_matrix, double min_score,

@@ -178,22 +178,23 @@ Result<LinkageOutput> PprlPipeline::Link(const Database& a, const Database& b) c
   obs::StageTimer compare_span("compare");
   std::vector<ScoredPair> scored;
   if (streaming) {
-    WorkStealingScheduler::Options sched_options;
-    sched_options.num_threads = config_.num_threads;
-    sched_options.max_pending = 64;
-    WorkStealingScheduler scheduler(sched_options);
     ParallelLinkageOptions parallel_options;
-    parallel_options.scheduler = &scheduler;
+    parallel_options.num_threads = config_.num_threads;
     const BitMatrix ma = BitMatrix::FromVectors(fa);
     const BitMatrix mb = BitMatrix::FromVectors(fb);
+    // Resolve the auto-sized tuning once: the run-shard producers need the
+    // effective shard size, and StreamCompareShards resolves to the same
+    // values internally (same options, same filter width).
+    const ResolvedParallelTuning tuning =
+        ResolveParallelTuning(parallel_options, ma.num_bits());
     StreamCompareResult streamed = StreamCompareShards(
         SimilarityMeasure::kDice, ma, mb, config_.match_threshold, parallel_options,
         [&](const CandidateShardFn& emit) {
           if (config_.blocking == BlockingScheme::kNone) {
-            StreamFullPairs(a.records.size(), b.records.size(),
-                            parallel_options.shard_size, emit);
+            StreamFullPairRuns(a.records.size(), b.records.size(),
+                               tuning.shard_size, emit);
           } else {
-            StreamBlockedPairs(index_a, index_b, parallel_options.shard_size, emit);
+            StreamBlockedPairRuns(index_a, index_b, tuning.shard_size, emit);
           }
         });
     scored = std::move(streamed.hits);

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include "blocking/blocking.h"
+#include "common/bit_matrix.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "datagen/generator.h"
 #include "linkage/classifier.h"
 #include "linkage/clustering.h"
+#include "linkage/parallel_linkage.h"
 #include "pipeline/party.h"
 #include "pipeline/pipeline.h"
 
@@ -136,6 +139,125 @@ TEST(ParallelPipelineTest, MultiPartyLinkIdenticalAcrossWorkerCounts) {
   const auto borrowed = unit.Link(shared_options);
   ASSERT_TRUE(borrowed.ok()) << borrowed.status().message();
   expect_same(*borrowed, "borrowed scheduler");
+}
+
+/// The tiled compare path re-orders kernel execution by (a-tile, b-tile)
+/// and optionally scores against worker-local B-row copies. None of that
+/// may reach the output: hits (values, order, scores — bitwise), counters
+/// and the clusters derived from the hits must be identical for every
+/// thread count and every tile geometry, including degenerate ones.
+TEST(ParallelPipelineTest, TiledExecutionDeterministicAcrossThreadsAndTiles) {
+  Rng rng(97);
+  const size_t kBits = 600;
+  auto random_filters = [&](size_t n) {
+    std::vector<BitVector> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      BitVector v(kBits);
+      for (size_t bit = 0; bit < kBits; ++bit) {
+        if (rng.NextDouble() < 0.3) v.Set(bit);
+      }
+      rows.push_back(std::move(v));
+    }
+    return rows;
+  };
+  const BitMatrix ma = BitMatrix::FromVectors(random_filters(300));
+  const BitMatrix mb = BitMatrix::FromVectors(random_filters(300));
+
+  // Skewed blocks: key k holds every record with i % 13 == k plus, for
+  // k == 0, a giant block of half of each side — the shape stealing and
+  // tiling have to keep balanced without reordering output.
+  BlockIndex index_a;
+  BlockIndex index_b;
+  for (uint32_t i = 0; i < ma.num_rows(); ++i) {
+    index_a["k" + std::to_string(i % 13)].push_back(i);
+    if (i < ma.num_rows() / 2) index_a["k0"].push_back(i);
+  }
+  for (uint32_t i = 0; i < mb.num_rows(); ++i) {
+    index_b["k" + std::to_string(i % 13)].push_back(i);
+    if (i >= mb.num_rows() / 2) index_b["k0"].push_back(i);
+  }
+
+  ParallelLinkageOptions reference_options;
+  reference_options.num_threads = 1;
+  // 0.40 sits ~2.6 sigma above the mean Dice of independent 0.3-density
+  // filters: enough hits to make the equality assertions meaningful,
+  // rare enough that the prune and threshold paths stay exercised.
+  const StreamCompareResult reference = StreamCompareBlocked(
+      SimilarityMeasure::kDice, ma, mb, index_a, index_b, 0.40, reference_options);
+  ASSERT_FALSE(reference.hits.empty());
+  const auto reference_clusters = ConnectedComponents([&] {
+    std::vector<MatchEdge> edges;
+    for (const ScoredPair& hit : reference.hits) {
+      edges.push_back({{0, hit.a}, {1, hit.b}, hit.score});
+    }
+    return edges;
+  }());
+
+  struct TileGeometry {
+    const char* label;
+    size_t tile_a_rows;
+    size_t tile_b_rows;
+    size_t shard_size;
+  };
+  const TileGeometry geometries[] = {
+      {"tiny", 1, 8, 1024},          // every bucket a handful of pairs
+      {"default", 0, 0, 0},          // auto-sized from the cache hierarchy
+      {"huge", 1 << 20, 1 << 20, 1 << 22},  // one bucket per shard
+  };
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    for (const TileGeometry& geometry : geometries) {
+      ParallelLinkageOptions options;
+      options.num_threads = threads;
+      options.tile_a_rows = geometry.tile_a_rows;
+      options.tile_b_rows = geometry.tile_b_rows;
+      options.shard_size = geometry.shard_size;
+      options.b_copy_min_reuse = 1;  // force the copy path wherever legal
+      const StreamCompareResult actual = StreamCompareBlocked(
+          SimilarityMeasure::kDice, ma, mb, index_a, index_b, 0.40, options);
+      const std::string label =
+          std::string(geometry.label) + " tiles, " + std::to_string(threads) + " threads";
+      ASSERT_EQ(reference.hits.size(), actual.hits.size()) << label;
+      for (size_t i = 0; i < reference.hits.size(); ++i) {
+        EXPECT_EQ(reference.hits[i], actual.hits[i]) << label << ", hit " << i;
+      }
+      EXPECT_EQ(reference.comparisons, actual.comparisons) << label;
+      EXPECT_EQ(reference.pruned, actual.pruned) << label;
+      std::vector<MatchEdge> edges;
+      for (const ScoredPair& hit : actual.hits) {
+        edges.push_back({{0, hit.a}, {1, hit.b}, hit.score});
+      }
+      const auto clusters = ConnectedComponents(edges);
+      ASSERT_EQ(reference_clusters.size(), clusters.size()) << label;
+      for (size_t i = 0; i < reference_clusters.size(); ++i) {
+        EXPECT_EQ(reference_clusters[i], clusters[i]) << label << ", cluster " << i;
+      }
+    }
+  }
+}
+
+/// Out-of-range tuning must clamp, not crash or silently misbehave — and
+/// auto (0) knobs must resolve to something sane for the filter width.
+TEST(ParallelPipelineTest, TuningValidationClampsAbsurdValues) {
+  ParallelLinkageOptions absurd;
+  absurd.num_threads = 0;
+  absurd.shard_size = 3;
+  absurd.max_pending_shards = 1000000000;
+  absurd.tile_b_rows = 2;
+  const ResolvedParallelTuning clamped = ResolveParallelTuning(absurd, 500);
+  EXPECT_EQ(clamped.num_threads, 1u);
+  EXPECT_EQ(clamped.shard_size, 1024u);
+  EXPECT_EQ(clamped.max_pending_shards, 1024u);
+  EXPECT_EQ(clamped.tile_b_rows, 8u);
+
+  const ResolvedParallelTuning automatic =
+      ResolveParallelTuning(ParallelLinkageOptions{}, 500);
+  EXPECT_GE(automatic.shard_size, 16384u);
+  EXPECT_LE(automatic.shard_size, 524288u);
+  EXPECT_GE(automatic.tile_b_rows, 64u);
+  EXPECT_GE(automatic.tile_a_rows, 16u);
+  EXPECT_GE(automatic.max_pending_shards, 8u);
+  EXPECT_EQ(automatic.row_bytes, 64u);  // 500 bits -> 8 words -> one line
 }
 
 TEST(ParallelClusteringTest, ConnectedComponentsParity) {

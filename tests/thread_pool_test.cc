@@ -148,6 +148,39 @@ TEST(WorkStealingSchedulerTest, IdleWorkersStealFromLoadedDeque) {
   EXPECT_GT(scheduler.steal_count(), 0u);
 }
 
+/// Heavy steal contention: one worker's deque holds all the work while
+/// seven thieves hammer it. Exercises the padded per-worker deque state
+/// and the approx_size probe (thieves skip empty victims without locking
+/// them); every shard must still run exactly once, and the failed-sweep
+/// counter must tick for workers that found nothing anywhere.
+TEST(WorkStealingSchedulerTest, StealStormRunsEveryShardOnce) {
+  WorkStealingScheduler scheduler(8);
+  constexpr int kShards = 4000;
+  std::vector<std::atomic<int>> runs(kShards);
+  // Gate worker 0 until a thief has finished a shard (same trick as
+  // IdleWorkersStealFromLoadedDeque): on a box with fewer cores than
+  // workers, worker 0 could otherwise drain all 4000 shards before any
+  // thief thread is ever scheduled, and the storm would steal nothing.
+  std::atomic<int> done{0};
+  scheduler.SubmitTo(0, [&done] {
+    while (done.load() == 0) std::this_thread::yield();
+  });
+  for (int i = 0; i < kShards; ++i) {
+    scheduler.SubmitTo(0, [&runs, &done, i] {
+      runs[i].fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  scheduler.Wait();
+  for (int i = 0; i < kShards; ++i) {
+    ASSERT_EQ(runs[i].load(), 1) << "shard " << i;
+  }
+  EXPECT_GT(scheduler.steal_count(), 0u);
+  // With 8 workers and one loaded deque, some sweep must have come up dry
+  // (workers park only after a full failed sweep).
+  EXPECT_GT(scheduler.steal_fail_count(), 0u);
+}
+
 TEST(WorkStealingSchedulerTest, DestructorDrainsInFlightShards) {
   std::atomic<int> counter{0};
   {
