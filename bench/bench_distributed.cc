@@ -1,0 +1,203 @@
+/// Weak-scaling benchmark of the sharded linkage unit (ROADMAP: horizontal
+/// scale-out). For W in {1, 2, 4} loopback workers the per-database record
+/// count grows with sqrt(W), holding each worker's compare work roughly
+/// constant — the weak-scaling regime a real ring is sized for. Every run
+/// is parity-checked against the in-process single-machine linkage: the
+/// merged clusters, edges and counters must be bitwise-identical, so the
+/// numbers below measure orchestration cost, never approximation.
+///
+/// On a single-core host all workers share the CPU, so wall-clock weak
+/// scaling is flat at best; the interesting columns are the scatter bytes
+/// (re-shipment cost grows linearly with W) and the per-worker compare
+/// share. Emits a JSON block for BENCH_distributed.json at the end.
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "pipeline/party.h"
+#include "pipeline/pipeline.h"
+#include "service/client.h"
+#include "service/coordinator.h"
+#include "service/server.h"
+
+using namespace pprl;
+using namespace pprl::bench;
+
+namespace {
+
+struct RunRow {
+  size_t workers = 0;
+  size_t records_per_db = 0;
+  size_t comparisons = 0;
+  size_t edges = 0;
+  size_t clusters = 0;
+  double link_ms = 0;
+  double scatter_kib = 0;
+  size_t worker_retries = 0;
+  bool parity = false;
+};
+
+bool Identical(const MultiPartyLinkageResult& a, const MultiPartyLinkageResult& b) {
+  if (a.clusters != b.clusters || a.edges.size() != b.edges.size() ||
+      a.comparisons != b.comparisons || a.candidate_pairs != b.candidate_pairs ||
+      a.pruned_comparisons != b.pruned_comparisons) {
+    return false;
+  }
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    if (!(a.edges[i].x == b.edges[i].x) || !(a.edges[i].y == b.edges[i].y) ||
+        a.edges[i].score != b.edges[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Sharded linkage unit: coordinator + W loopback workers, "
+              "weak scaling (records ~ sqrt(W))\n");
+
+  constexpr size_t kBaseRecords = 700;
+  constexpr size_t kOwners = 3;
+  MultiPartyLinkageOptions options;
+  options.dice_threshold = 0.78;
+
+  PrintHeader({"workers", "records/db", "comparisons", "edges", "clusters",
+               "link ms", "scatter KiB", "retries", "parity"});
+
+  std::vector<RunRow> rows;
+  for (const size_t num_workers : {1u, 2u, 4u}) {
+    const size_t records = static_cast<size_t>(
+        static_cast<double>(kBaseRecords) * std::sqrt(static_cast<double>(num_workers)));
+
+    GeneratorConfig gc;
+    gc.seed = 42;
+    DataGenerator gen(gc);
+    LinkageScenarioConfig scenario;
+    scenario.records_per_database = records;
+    scenario.num_databases = kOwners;
+    scenario.overlap = 0.4;
+    scenario.corruption.mean_corruptions = 1.0;
+    auto dbs = gen.GenerateScenario(scenario);
+    if (!dbs.ok()) return 1;
+
+    PipelineConfig shared;
+    const ClkEncoder encoder(shared.bloom, PprlPipeline::DefaultFieldConfigs());
+    std::vector<DatabaseOwner> owners;
+    for (size_t d = 0; d < kOwners; ++d) {
+      owners.emplace_back("owner-" + std::to_string(d), (*dbs)[d]);
+      if (!owners[d].Encode(encoder).ok()) return 1;
+    }
+
+    // The in-process reference this worker count must reproduce exactly.
+    Channel local_channel;
+    LinkageUnitService local_unit("lu");
+    LocalLinkageUnitSink sink(local_channel, local_unit);
+    for (auto& owner : owners) {
+      if (!owner.ShipEncodings(sink).ok()) return 1;
+    }
+    auto reference = local_unit.Link(options);
+    if (!reference.ok()) return 1;
+
+    std::vector<std::unique_ptr<LinkageUnitServer>> workers;
+    for (size_t w = 0; w < num_workers; ++w) {
+      LinkageUnitServerConfig config;
+      config.name = "worker-" + std::to_string(w);
+      config.expected_owners = kOwners;
+      config.worker_mode = true;
+      config.io_timeout_ms = 120000;
+      workers.push_back(std::make_unique<LinkageUnitServer>(config));
+      if (!workers.back()->Start().ok()) return 1;
+    }
+
+    LinkageUnitServerConfig server_config;
+    server_config.name = "coord";
+    server_config.expected_owners = kOwners;
+    server_config.link_options = options;
+    server_config.io_timeout_ms = 120000;
+    CoordinatorConfig coordinator_config;
+    for (const auto& worker : workers) {
+      coordinator_config.workers.push_back(WorkerEndpoint{"127.0.0.1", worker->port()});
+    }
+    CoordinatorServer coordinator(server_config, coordinator_config);
+    if (!coordinator.Start().ok()) return 1;
+
+    std::vector<std::thread> sessions;
+    for (size_t d = 0; d < kOwners; ++d) {
+      while (coordinator.server().owner_order().size() < d) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      sessions.emplace_back([&, d] {
+        RemoteOwnerClientConfig config;
+        config.port = coordinator.port();
+        config.connect.io_timeout_ms = 120000;
+        config.result_wait_timeout_ms = 600000;
+        RemoteOwnerClient client(config);
+        (void)owners[d].ShipEncodings(client);
+      });
+    }
+    // Time from the moment every owner has registered (the scatter can
+    // begin) to completed results — shipping, assignment, worker compare
+    // and the merge all included.
+    while (coordinator.server().owner_order().size() < kOwners) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Timer link_timer;
+    for (auto& t : sessions) t.join();
+    if (!coordinator.WaitUntilDone(600000).ok()) return 1;
+    const double link_ms = link_timer.ElapsedMillis();
+
+    auto result = coordinator.server().result();
+    if (!result.ok()) return 1;
+
+    RunRow row;
+    row.workers = num_workers;
+    row.records_per_db = records;
+    row.comparisons = result->comparisons;
+    row.edges = result->edges.size();
+    row.clusters = result->clusters.size();
+    row.link_ms = link_ms;
+    row.scatter_kib =
+        static_cast<double>(coordinator.worker_channel().total_bytes()) / 1024.0;
+    row.worker_retries = coordinator.worker_retries();
+    row.parity = Identical(*result, *reference);
+    rows.push_back(row);
+
+    PrintRow({Fmt(row.workers), Fmt(row.records_per_db), Fmt(row.comparisons),
+              Fmt(row.edges), Fmt(row.clusters), Fmt(row.link_ms, 1),
+              Fmt(row.scatter_kib, 1), Fmt(row.worker_retries),
+              row.parity ? "bitwise" : "MISMATCH"});
+    if (!row.parity) {
+      std::fprintf(stderr, "PARITY FAILURE at %zu workers\n", num_workers);
+      return 1;
+    }
+
+    coordinator.Stop();
+    for (auto& worker : workers) worker->Stop();
+  }
+
+  std::printf("\n# JSON for BENCH_distributed.json\n{\n");
+  std::printf("  \"bench\": \"bench_distributed\",\n");
+  std::printf("  \"owners\": %zu,\n", kOwners);
+  std::printf("  \"dice_threshold\": %.2f,\n", options.dice_threshold);
+  std::printf("  \"scaling\": \"weak (records_per_db ~ sqrt(workers))\",\n");
+  std::printf("  \"measurements\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    std::printf("    {\"workers\": %zu, \"records_per_db\": %zu, "
+                "\"comparisons\": %zu, \"edges\": %zu, \"clusters\": %zu, "
+                "\"link_ms\": %.1f, \"scatter_kib\": %.1f, \"retries\": %zu, "
+                "\"bitwise_parity\": %s}%s\n",
+                r.workers, r.records_per_db, r.comparisons, r.edges, r.clusters,
+                r.link_ms, r.scatter_kib, r.worker_retries,
+                r.parity ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  DumpMetricsIfRequested();
+  return 0;
+}

@@ -63,7 +63,8 @@ int Usage() {
                "  pprl_cli link-encoded <a_clks> <b_clks> <matches_out.csv>"
                " [threshold]\n"
                "  pprl_cli ship <clks.{csv|pclk}> <party_name> <host:port>"
-               " [matches_out.csv]\n");
+               " [matches_out.csv]\n"
+               "  pprl_cli --help\n");
   return 2;
 }
 
@@ -335,6 +336,10 @@ int SchemaCmd(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    Usage();
+    return 0;
+  }
   int rc = 2;
   if (command == "generate") rc = Generate(argc, argv);
   else if (command == "link") rc = Link(argc, argv);

@@ -44,6 +44,7 @@ int Usage() {
                "  pprl_clk sample  <shard> [n] [seed]\n"
                "  pprl_clk tocsv   <shard> <out.csv>\n"
                "  pprl_clk fromcsv <in.csv> <out.pclk>\n"
+               "  pprl_clk --help\n"
                "shard files may be PCLK (io/pclk.h) or interchange CSV\n"
                "(id, bits, clk); the format is sniffed from the content.\n");
   return 2;
@@ -214,6 +215,11 @@ int CmdConvert(const std::string& in, const std::string& out,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    Usage();
+    return 0;
+  }
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   const std::string path = argv[2];

@@ -5,12 +5,17 @@
 /// has shipped, the daemon links all databases and answers every owner
 /// with its per-owner match summary. One linkage run per invocation.
 ///
-/// usage:
-///   pprl_linkd <port> <expected_owners> [dice_threshold] [--all-interfaces]
-///              [--metrics <port>] [--threads <n>]
-///              [--io-timeout-ms <ms>] [--max-sessions <n>]
-///              [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]
-///              [--spool <dir>] [--spool-format csv|pclk]
+/// Three roles (docs/OPERATIONS.md):
+///   default       single daemon: blocks, compares and clusters locally.
+///   --workers     coordinator: re-ships every owner database to the given
+///                 worker daemons, assigns each its slice of the candidate
+///                 space (consistent block-key partitioning), merges the
+///                 gathered partitions and clusters globally. Results are
+///                 bitwise-identical to a single daemon's at any worker
+///                 count.
+///   --worker      worker: holds shipments and answers a coordinator's
+///                 partition assignments; never links on its own and never
+///                 answers owners with results.
 ///
 /// With --metrics, a Prometheus text endpoint (GET /metrics) is served on
 /// the given port (0 picks an ephemeral one; the bound port is printed).
@@ -21,8 +26,10 @@
 /// --max-sessions caps concurrent connections (excess is shed with a BUSY
 /// frame); --session-ttl-ms sweeps idle partial shipments; --min-owners
 /// arms the quorum option (link with fewer owners after a quiet period,
-/// flagged as degraded in every summary). --chaos wraps every accepted
-/// connection in the seeded fault injector — for drills, never production.
+/// flagged as degraded in every summary); --min-worker-quorum is the
+/// coordinator-side analogue over worker partitions. --chaos wraps every
+/// accepted connection (and, on a coordinator, every worker link) in the
+/// seeded fault injector — for drills, never production.
 ///
 /// With --spool, every registered shipment is also persisted to the given
 /// (existing) directory as "<party>.pclk" (or ".csv" with --spool-format
@@ -35,26 +42,154 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/cache_info.h"
 #include "common/logging.h"
 #include "linkage/parallel_linkage.h"
+#include "service/coordinator.h"
 #include "service/server.h"
 
 using namespace pprl;
 
-int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: pprl_linkd <port> <expected_owners> [dice_threshold]"
-                 " [--all-interfaces] [--metrics <port>] [--threads <n>]"
-                 " [--io-timeout-ms <ms>] [--max-sessions <n>]"
-                 " [--session-ttl-ms <ms>] [--min-owners <n>] [--chaos <seed>]"
-                 " [--spool <dir>] [--spool-format csv|pclk]\n");
-    return 2;
+namespace {
+
+int Usage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: pprl_linkd <port> <expected_owners> [dice_threshold] [options]\n"
+      "\n"
+      "roles:\n"
+      "  (default)                  single daemon: link locally once every\n"
+      "                             expected owner has shipped\n"
+      "  --workers <host:port,...>  coordinator: shard the compare across the\n"
+      "                             listed worker daemons (order matters: it\n"
+      "                             is the partition geometry)\n"
+      "  --coordinator              explicit coordinator role (implied by\n"
+      "                             --workers)\n"
+      "  --worker                   worker: answer partition assignments from\n"
+      "                             a coordinator; never link alone\n"
+      "\n"
+      "coordinator options:\n"
+      "  --partition-scheme <s>     block-key partitioning: auto | rendezvous\n"
+      "                             | ring (auto: rendezvous up to 8 workers,\n"
+      "                             consistent-hash ring beyond)\n"
+      "  --min-worker-quorum <n>    proceed (degraded) once >= n worker\n"
+      "                             partitions gathered; 0 = all required\n"
+      "  --assign-timeout-ms <ms>   socket wait for one worker's partition\n"
+      "                             result (default 120000)\n"
+      "\n"
+      "options:\n"
+      "  --all-interfaces           bind 0.0.0.0 instead of loopback\n"
+      "  --metrics <port>           serve Prometheus text at /metrics\n"
+      "  --threads <n>              parallel compare/cluster workers\n"
+      "  --io-timeout-ms <ms>       per-socket read/write timeout\n"
+      "  --max-sessions <n>         concurrent connection cap (excess shed)\n"
+      "  --session-ttl-ms <ms>      idle partial-shipment sweep age\n"
+      "  --min-owners <n>           owner quorum: link with fewer owners\n"
+      "                             after a quiet period (degraded)\n"
+      "  --chaos <seed>             deterministic fault injection (drills)\n"
+      "  --spool <dir>              persist registered shipments to <dir>\n"
+      "  --spool-format csv|pclk    spool file format (default pclk)\n"
+      "  --help                     this text\n");
+  return out == stdout ? 0 : 2;
+}
+
+/// The effective parallel-compare configuration, defaults resolved — what
+/// an operator needs to predict memory/cache behaviour. Printed for every
+/// role: workers compare partitions, coordinators cluster, single daemons
+/// do both.
+void PrintParallelTuning(const LinkageUnitServerConfig& config) {
+  const CacheInfo& cache = DetectCacheInfo();
+  ParallelLinkageOptions link_tuning_options;
+  link_tuning_options.num_threads = config.link_threads;
+  std::printf(
+      "pprl_linkd: parallel compare: %zu thread%s; caches l1d %zu KiB, "
+      "l2 %zu KiB, llc %zu MiB\n",
+      config.link_threads, config.link_threads == 1 ? "" : "s",
+      cache.l1d_bytes >> 10, cache.l2_bytes >> 10, cache.llc_bytes >> 20);
+  // The auto-resolved shard/tile geometry at the common 500- and 1000-bit
+  // filter widths — the actual run resolves against the width that
+  // arrives. Zeroes in the config mean "auto"; this is what auto picked.
+  for (const size_t bits : {size_t{500}, size_t{1000}}) {
+    const ResolvedParallelTuning tuning =
+        ResolveParallelTuning(link_tuning_options, bits);
+    std::printf(
+        "pprl_linkd:   @%zu bits: shard %zu pairs, tiles %zu x %zu rows, "
+        "window %zu shards\n",
+        bits, tuning.shard_size, tuning.tile_a_rows, tuning.tile_b_rows,
+        tuning.max_pending_shards);
   }
+}
+
+void PrintCommonConfig(const LinkageUnitServerConfig& config,
+                       size_t effective_max_sessions) {
+  std::printf(
+      "pprl_linkd: robustness: io timeout %d ms, max %zu sessions, "
+      "session ttl %d ms, deadline %d ms, buffer cap %.1f MiB\n",
+      config.io_timeout_ms, effective_max_sessions, config.session_ttl_ms,
+      config.session_deadline_ms,
+      static_cast<double>(config.max_buffered_bytes) / (1024.0 * 1024.0));
+  if (config.spool_dir.empty()) {
+    std::printf("pprl_linkd: ingest formats: csv, pclk (spooling off)\n");
+  } else {
+    std::printf("pprl_linkd: ingest formats: csv, pclk; spooling shipments to "
+                "%s as %s\n",
+                config.spool_dir.c_str(),
+                io::ShardFileFormatName(config.spool_format));
+  }
+  PrintParallelTuning(config);
+  if (config.chaos.enabled()) {
+    std::printf("pprl_linkd: CHAOS MODE: injecting faults with seed %llu\n",
+                static_cast<unsigned long long>(config.chaos.seed));
+  }
+}
+
+void PrintTraffic(const LinkageUnitServer& server) {
+  std::printf("metered traffic: %zu messages, %.1f KiB payload; wire %.1f KiB\n",
+              server.channel().total_messages(),
+              static_cast<double>(server.channel().total_bytes()) / 1024.0,
+              static_cast<double>(server.wire_bytes_received() +
+                                  server.wire_bytes_sent()) /
+                  1024.0);
+  const auto messages = server.channel().messages_by_tag();
+  for (const auto& [tag, bytes] : server.channel().bytes_by_tag()) {
+    const auto it = messages.find(tag);
+    std::printf("  %-16s %8zu msgs %10.1f KiB\n", tag.c_str(),
+                it == messages.end() ? size_t{0} : it->second,
+                static_cast<double>(bytes) / 1024.0);
+  }
+}
+
+void PrintResult(const LinkageUnitServer& server, size_t expected_owners) {
+  auto result = server.result();
+  if (server.linkage_degraded()) {
+    std::printf("\nWARNING: degraded run — linked %zu of %zu expected owners, "
+                "%u of %u worker partitions\n",
+                server.owner_order().size(), expected_owners,
+                server.workers_linked(), server.workers_expected());
+  }
+  std::printf("\nlinked %zu databases: %zu clusters, %zu edges, %zu comparisons\n",
+              server.owner_order().size(), result->clusters.size(),
+              result->edges.size(), result->comparisons);
+  PrintTraffic(server);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return Usage(stdout);
+    }
+  }
+  if (argc < 3) return Usage(stderr);
+
   LinkageUnitServerConfig config;
+  CoordinatorConfig coordinator_config;
+  bool worker_role = false;
+  bool coordinator_role = false;
   config.name = "pprl-linkd";
   config.port = static_cast<uint16_t>(std::atoi(argv[1]));
   config.expected_owners = static_cast<size_t>(std::atoll(argv[2]));
@@ -64,6 +199,40 @@ int main(int argc, char** argv) {
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--all-interfaces") config.loopback_only = false;
+    if (arg == "--worker") worker_role = true;
+    if (arg == "--coordinator") coordinator_role = true;
+    if (arg == "--workers" && i + 1 < argc) {
+      coordinator_role = true;
+      auto workers = ParseWorkerList(argv[++i]);
+      if (!workers.ok()) {
+        std::fprintf(stderr, "%s\n", workers.status().ToString().c_str());
+        return 2;
+      }
+      coordinator_config.workers = std::move(*workers);
+    }
+    if (arg == "--partition-scheme" && i + 1 < argc) {
+      const std::string scheme = argv[++i];
+      if (scheme == "auto") {
+        coordinator_config.scheme = PartitionScheme::kAuto;
+      } else if (scheme == "rendezvous") {
+        coordinator_config.scheme = PartitionScheme::kRendezvous;
+      } else if (scheme == "ring") {
+        coordinator_config.scheme = PartitionScheme::kConsistentRing;
+      } else {
+        std::fprintf(stderr,
+                     "--partition-scheme must be auto, rendezvous or ring, "
+                     "got %s\n",
+                     scheme.c_str());
+        return 2;
+      }
+    }
+    if (arg == "--min-worker-quorum" && i + 1 < argc) {
+      coordinator_config.min_worker_partitions =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    }
+    if (arg == "--assign-timeout-ms" && i + 1 < argc) {
+      coordinator_config.assign_timeout_ms = std::atoi(argv[++i]);
+    }
     if (arg == "--metrics" && i + 1 < argc) {
       config.metrics_port = std::atoi(argv[++i]);
     }
@@ -105,6 +274,87 @@ int main(int argc, char** argv) {
       config.chaos.corrupt_rate = 0.005;
     }
   }
+  if (worker_role && coordinator_role) {
+    std::fprintf(stderr, "--worker and --coordinator are mutually exclusive\n");
+    return 2;
+  }
+  if (coordinator_role && coordinator_config.workers.empty()) {
+    std::fprintf(stderr, "--coordinator needs --workers <host:port,...>\n");
+    return 2;
+  }
+
+  if (worker_role) {
+    config.name = "pprl-linkd-worker";
+    config.worker_mode = true;
+    LinkageUnitServer server(config);
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("pprl_linkd: WORKER on port %u, holding shipments of %zu owners "
+                "for a coordinator (%s)\n",
+                server.port(), config.expected_owners,
+                config.loopback_only ? "loopback only" : "all interfaces");
+    PrintCommonConfig(config, server.max_sessions());
+    if (server.metrics_port() != 0) {
+      std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
+                  server.metrics_port());
+    }
+    // A worker serves assignments until its operator stops it; there is no
+    // "done" state of its own.
+    server.WaitUntilDone(/*timeout_ms=*/0);
+    server.Stop();
+    return 0;
+  }
+
+  if (coordinator_role) {
+    config.name = "pprl-linkd-coord";
+    // Chaos on a coordinator drills both sides: accepted owner connections
+    // (server config) and the outbound worker links.
+    coordinator_config.chaos = config.chaos;
+    CoordinatorServer coordinator(config, coordinator_config);
+    const Status started = coordinator.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("pprl_linkd: COORDINATOR on port %u for %zu owners, sharding "
+                "across %zu workers (dice >= %.2f, %s)\n",
+                coordinator.port(), config.expected_owners,
+                coordinator.num_workers(), config.link_options.dice_threshold,
+                config.loopback_only ? "loopback only" : "all interfaces");
+    for (const WorkerEndpoint& worker : coordinator_config.workers) {
+      std::printf("pprl_linkd:   worker %s\n", worker.Label().c_str());
+    }
+    if (coordinator_config.min_worker_partitions > 0) {
+      std::printf("pprl_linkd: worker quorum armed: will merge >= %zu of %zu "
+                  "partitions (degraded result below %zu)\n",
+                  coordinator_config.min_worker_partitions,
+                  coordinator.num_workers(), coordinator.num_workers());
+    }
+    PrintCommonConfig(config, coordinator.server().max_sessions());
+    if (coordinator.metrics_port() != 0) {
+      std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
+                  coordinator.metrics_port());
+    }
+    const Status done = coordinator.WaitUntilDone(/*timeout_ms=*/0);
+    if (!done.ok()) {
+      std::fprintf(stderr, "linkage failed: %s\n", done.ToString().c_str());
+      coordinator.Stop();
+      return 1;
+    }
+    PrintResult(coordinator.server(), config.expected_owners);
+    std::printf("worker links: %.1f KiB payload, wire %.1f KiB, %zu retries\n",
+                static_cast<double>(coordinator.worker_channel().total_bytes()) /
+                    1024.0,
+                static_cast<double>(coordinator.worker_wire_bytes_sent() +
+                                    coordinator.worker_wire_bytes_received()) /
+                    1024.0,
+                coordinator.worker_retries());
+    coordinator.Stop();
+    return 0;
+  }
 
   LinkageUnitServer server(config);
   const Status started = server.Start();
@@ -116,56 +366,11 @@ int main(int argc, char** argv) {
               server.port(), config.expected_owners,
               config.link_options.dice_threshold,
               config.loopback_only ? "loopback only" : "all interfaces");
-  // The effective robustness configuration, defaults resolved — what an
-  // operator needs to predict the daemon's behaviour under faults.
-  std::printf(
-      "pprl_linkd: robustness: io timeout %d ms, max %zu sessions, "
-      "session ttl %d ms, deadline %d ms, buffer cap %.1f MiB\n",
-      config.io_timeout_ms, server.max_sessions(), config.session_ttl_ms,
-      config.session_deadline_ms,
-      static_cast<double>(config.max_buffered_bytes) / (1024.0 * 1024.0));
-  // Ingest side of the effective config: which shard formats the daemon
-  // accepts on the wire path, and where (and how) shipments are spooled.
-  if (config.spool_dir.empty()) {
-    std::printf("pprl_linkd: ingest formats: csv, pclk (spooling off)\n");
-  } else {
-    std::printf("pprl_linkd: ingest formats: csv, pclk; spooling shipments to "
-                "%s as %s\n",
-                config.spool_dir.c_str(),
-                io::ShardFileFormatName(config.spool_format));
-  }
-  // Parallel-compare side of the effective config: worker count plus the
-  // auto-resolved shard/tile sizes (printed for the common 500- and
-  // 1000-bit filter widths — the actual run resolves against the width of
-  // the filters that arrive) and the cache hierarchy they were derived
-  // from. Zeroes in the config mean "auto"; this is what auto picked.
-  {
-    const CacheInfo& cache = DetectCacheInfo();
-    ParallelLinkageOptions link_tuning_options;
-    link_tuning_options.num_threads = config.link_threads;
-    std::printf(
-        "pprl_linkd: parallel compare: %zu thread%s; caches l1d %zu KiB, "
-        "l2 %zu KiB, llc %zu MiB\n",
-        config.link_threads, config.link_threads == 1 ? "" : "s",
-        cache.l1d_bytes >> 10, cache.l2_bytes >> 10, cache.llc_bytes >> 20);
-    for (const size_t bits : {size_t{500}, size_t{1000}}) {
-      const ResolvedParallelTuning tuning =
-          ResolveParallelTuning(link_tuning_options, bits);
-      std::printf(
-          "pprl_linkd:   @%zu bits: shard %zu pairs, tiles %zu x %zu rows, "
-          "window %zu shards\n",
-          bits, tuning.shard_size, tuning.tile_a_rows, tuning.tile_b_rows,
-          tuning.max_pending_shards);
-    }
-  }
+  PrintCommonConfig(config, server.max_sessions());
   if (config.min_owners >= 2 && config.min_owners < config.expected_owners) {
     std::printf("pprl_linkd: quorum armed: will link with >= %zu owners after "
                 "%d ms without a new shipment (degraded result)\n",
                 config.min_owners, config.quorum_wait_ms);
-  }
-  if (config.chaos.enabled()) {
-    std::printf("pprl_linkd: CHAOS MODE: injecting faults with seed %llu\n",
-                static_cast<unsigned long long>(config.chaos.seed));
   }
   if (server.metrics_port() != 0) {
     std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
@@ -178,28 +383,7 @@ int main(int argc, char** argv) {
     server.Stop();
     return 1;
   }
-  auto result = server.result();
-  if (server.linkage_degraded()) {
-    std::printf("\nWARNING: degraded run — linked %zu of %zu expected owners "
-                "(quorum option)\n",
-                server.owner_order().size(), config.expected_owners);
-  }
-  std::printf("\nlinked %zu databases: %zu clusters, %zu edges, %zu comparisons\n",
-              server.owner_order().size(), result->clusters.size(),
-              result->edges.size(), result->comparisons);
-  std::printf("metered traffic: %zu messages, %.1f KiB payload; wire %.1f KiB\n",
-              server.channel().total_messages(),
-              static_cast<double>(server.channel().total_bytes()) / 1024.0,
-              static_cast<double>(server.wire_bytes_received() +
-                                  server.wire_bytes_sent()) /
-                  1024.0);
-  const auto messages = server.channel().messages_by_tag();
-  for (const auto& [tag, bytes] : server.channel().bytes_by_tag()) {
-    const auto it = messages.find(tag);
-    std::printf("  %-16s %8zu msgs %10.1f KiB\n", tag.c_str(),
-                it == messages.end() ? size_t{0} : it->second,
-                static_cast<double>(bytes) / 1024.0);
-  }
+  PrintResult(server, config.expected_owners);
   server.Stop();
   return 0;
 }

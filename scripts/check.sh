@@ -113,3 +113,61 @@ sys.exit(0 if ratio >= 5.0 else 1)
 EOF
 rm -f "${INGEST_JSON}"
 echo "check.sh: ingest smoke passed"
+
+# Docs freshness gate: scripts/check_docs.sh proves docs/OBSERVABILITY.md
+# lists exactly the metrics the code registers (both directions) and that
+# every flag documented in docs/OPERATIONS.md exists in the binaries'
+# --help (and vice versa). Docs that drift from the code fail CI.
+cmake --build "${PERF_BUILD_DIR}" -j "$(nproc)" --target pprl_linkd pprl_cli pprl_clk
+scripts/check_docs.sh "${PERF_BUILD_DIR}"
+echo "check.sh: docs lint passed"
+
+# README smoke + sharded parity gate: the two quickstart paths from the
+# README run end to end with real processes, and the sharded one — a
+# coordinator scattering over two --worker daemons, with chaos injection
+# on — must hand every owner byte-identical match files and print the
+# same cluster/edge/comparison counts as the single daemon. This is the
+# operator-visible form of the bitwise-determinism contract that
+# tests/coordinator_test.cc checks in-process.
+SMOKE=$(mktemp -d /tmp/pprl-smoke-XXXXXX)
+LINKD="${PERF_BUILD_DIR}/examples/pprl_linkd"
+CLI="${PERF_BUILD_DIR}/examples/pprl_cli"
+"${CLI}" generate "${SMOKE}/a.csv" "${SMOKE}/b.csv" 400 >/dev/null
+"${CLI}" encode "${SMOKE}/a.csv" "${SMOKE}/a.pclk" shared-secret >/dev/null
+"${CLI}" encode "${SMOKE}/b.csv" "${SMOKE}/b.pclk" shared-secret >/dev/null
+
+# Path 1: single daemon (README "networked quickstart").
+"${LINKD}" 18901 2 0.8 > "${SMOKE}/single.log" &
+SINGLE_PID=$!
+sleep 0.5
+"${CLI}" ship "${SMOKE}/a.pclk" clinic-a 127.0.0.1:18901 "${SMOKE}/a_single.csv" >/dev/null &
+SHIP_A=$!
+"${CLI}" ship "${SMOKE}/b.pclk" clinic-b 127.0.0.1:18901 "${SMOKE}/b_single.csv" >/dev/null
+wait "${SHIP_A}" "${SINGLE_PID}"
+
+# Path 2: coordinator + two workers (docs/OPERATIONS.md walkthrough),
+# with deterministic chaos on every link.
+"${LINKD}" 18911 2 --worker > "${SMOKE}/worker1.log" &
+WORKER1_PID=$!
+"${LINKD}" 18912 2 --worker > "${SMOKE}/worker2.log" &
+WORKER2_PID=$!
+sleep 0.5
+"${LINKD}" 18902 2 0.8 --workers 18911,18912 --chaos 99 > "${SMOKE}/coord.log" &
+COORD_PID=$!
+sleep 0.5
+"${CLI}" ship "${SMOKE}/a.pclk" clinic-a 127.0.0.1:18902 "${SMOKE}/a_coord.csv" >/dev/null &
+SHIP_A=$!
+"${CLI}" ship "${SMOKE}/b.pclk" clinic-b 127.0.0.1:18902 "${SMOKE}/b_coord.csv" >/dev/null
+wait "${SHIP_A}" "${COORD_PID}"
+kill "${WORKER1_PID}" "${WORKER2_PID}" 2>/dev/null || true
+wait "${WORKER1_PID}" "${WORKER2_PID}" 2>/dev/null || true
+
+cmp "${SMOKE}/a_single.csv" "${SMOKE}/a_coord.csv"
+cmp "${SMOKE}/b_single.csv" "${SMOKE}/b_coord.csv"
+SINGLE_COUNTS=$(grep '^linked ' "${SMOKE}/single.log")
+COORD_COUNTS=$(grep '^linked ' "${SMOKE}/coord.log")
+echo "check.sh: single daemon : ${SINGLE_COUNTS}"
+echo "check.sh: sharded+chaos : ${COORD_COUNTS}"
+[ "${SINGLE_COUNTS}" = "${COORD_COUNTS}" ]
+rm -rf "${SMOKE}"
+echo "check.sh: sharded linkage parity gate passed (chaos seed 99)"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Stale-docs linter: the operator documentation must match the code.
+#
+#  1. Metric parity — every pprl_* metric registered in src/ is documented
+#     in docs/OBSERVABILITY.md, and every pprl_* metric the doc mentions
+#     exists in src/ (so the doc can't rot in either direction).
+#  2. Flag parity — every --flag documented inside the marker-delimited
+#     sections of docs/OPERATIONS.md appears in the binary's --help
+#     output (binaries from $BUILD_DIR, default ./build).
+#
+# Run from the repo root: scripts/check_docs.sh [build_dir]
+# Wired into scripts/check.sh; CI fails on any drift.
+set -u
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-${BUILD_DIR:-build}}"
+
+python3 - "$BUILD_DIR" <<'EOF'
+import pathlib, re, subprocess, sys
+
+build_dir = sys.argv[1]
+root = pathlib.Path(".")
+fail = []
+
+# ---- 1. Metric parity: src/ <-> docs/OBSERVABILITY.md ----------------
+src_metrics = set()
+for path in root.glob("src/**/*"):
+    if path.suffix not in (".cc", ".h"):
+        continue
+    src_metrics.update(re.findall(r'"(pprl_[a-z0-9_]+)"', path.read_text()))
+
+obs = (root / "docs/OBSERVABILITY.md").read_text()
+doc_tokens = set(re.findall(r"\bpprl_[a-z0-9_]+\b", obs))
+
+# Binary names and the "Adding a metric" how-to example are not metrics;
+# Prometheus exposition suffixes map back to their base instrument.
+ALLOW = {"pprl_linkd", "pprl_cli", "pprl_clk", "pprl_mymodule_pairs_total",
+         "pprl_metrics_json"}  # the last: a section anchor, not a metric
+def base(token):
+    return re.sub(r"_(bucket|count|sum)$", "", token)
+
+doc_metrics = {base(t) for t in doc_tokens if t not in ALLOW}
+
+for name in sorted(src_metrics - doc_metrics):
+    fail.append(f"metric registered in src/ but undocumented in "
+                f"docs/OBSERVABILITY.md: {name}")
+for name in sorted(doc_metrics - src_metrics):
+    fail.append(f"metric documented in docs/OBSERVABILITY.md but not "
+                f"registered anywhere in src/: {name}")
+
+# ---- 2. Flag parity: docs/OPERATIONS.md <-> binary --help ------------
+ops = (root / "docs/OPERATIONS.md").read_text()
+sections = re.findall(
+    r"<!-- flags:([a-z_]+):start -->(.*?)<!-- flags:\1:end -->", ops, re.S)
+if not sections:
+    fail.append("docs/OPERATIONS.md: no <!-- flags:NAME:start/end --> "
+                "sections found — markers renamed or deleted?")
+
+for binary, body in sections:
+    exe = pathlib.Path(build_dir) / "examples" / binary
+    if not exe.exists():
+        fail.append(f"{binary}: {exe} not built — build first or pass the "
+                    f"build dir (scripts/check_docs.sh <build_dir>)")
+        continue
+    try:
+        proc = subprocess.run([str(exe), "--help"], capture_output=True,
+                              text=True, timeout=30)
+    except Exception as e:  # noqa: BLE001 — report, don't crash the lint
+        fail.append(f"{binary} --help failed to run: {e}")
+        continue
+    help_text = proc.stdout + proc.stderr
+    if proc.returncode != 0:
+        fail.append(f"{binary} --help exited {proc.returncode} (expected 0)")
+    documented = set(re.findall(r"(?<!-)--[a-z][a-z-]*", body))
+    for flag in sorted(documented):
+        if flag not in help_text:
+            fail.append(f"{binary}: flag {flag} documented in "
+                        f"docs/OPERATIONS.md but absent from --help")
+    # And the reverse: --help must not grow flags the doc doesn't cover.
+    advertised = set(re.findall(r"(?<!-)--[a-z][a-z-]*", help_text))
+    for flag in sorted(advertised - documented):
+        fail.append(f"{binary}: flag {flag} in --help but undocumented in "
+                    f"docs/OPERATIONS.md flag reference")
+
+if fail:
+    print("check_docs: FAIL")
+    for line in fail:
+        print(f"  - {line}")
+    sys.exit(1)
+print(f"check_docs: OK ({len(src_metrics)} metrics, "
+      f"{len(sections)} flag sections in sync)")
+EOF

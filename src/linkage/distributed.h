@@ -1,0 +1,45 @@
+#ifndef PPRL_LINKAGE_DISTRIBUTED_H_
+#define PPRL_LINKAGE_DISTRIBUTED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linkage/clustering.h"
+
+namespace pprl {
+
+/// One worker's gathered partition output, as decoded off the wire (or
+/// produced in-process for tests). Mirrors PartitionLinkResult but is
+/// independent of the pipeline layer so the merge stays a pure linkage
+/// concern.
+struct WorkerPartitionResult {
+  uint32_t worker_index = 0;
+  uint64_t comparisons = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t pruned_comparisons = 0;
+  std::vector<MatchEdge> edges;
+};
+
+/// The coordinator-side merge of a gathered ring.
+struct MergedPartitions {
+  /// All workers' edges in the single-daemon path's canonical order:
+  /// ascending (x.database, y.database, x.record, y.record). Because the
+  /// canonical-key partition rule makes per-worker candidate sets
+  /// disjoint, this is bitwise-identical to the edge list Link() produces
+  /// over the same shipments.
+  std::vector<MatchEdge> edges;
+  uint64_t comparisons = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t pruned_comparisons = 0;
+};
+
+/// Merges gathered worker results deterministically: concatenates the edge
+/// lists, sorts them into the canonical single-path order, and sums the
+/// counters. Input order does not matter — workers may be gathered in any
+/// order (retries reorder them in practice).
+MergedPartitions MergeWorkerPartitions(std::vector<WorkerPartitionResult> parts);
+
+}  // namespace pprl
+
+#endif  // PPRL_LINKAGE_DISTRIBUTED_H_

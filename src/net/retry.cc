@@ -1,0 +1,32 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace pprl {
+
+RetryBackoff::RetryBackoff(const RetryPolicy& policy)
+    : policy_(policy),
+      jitter_rng_(policy.jitter_seed),
+      deadline_(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(policy.deadline_ms)) {}
+
+int RetryBackoff::NextDelayMs(int attempt, int server_hint_ms) {
+  int delay_ms =
+      std::min(policy_.backoff_max_ms,
+               policy_.backoff_initial_ms * (1 << std::min(attempt, 10)));
+  if (server_hint_ms >= 0) delay_ms = std::max(1, server_hint_ms);
+  const int jitter_span = static_cast<int>(delay_ms * policy_.jitter);
+  if (jitter_span > 0) {
+    delay_ms += static_cast<int>(jitter_rng_.NextUint64(
+                    static_cast<uint64_t>(2 * jitter_span + 1))) -
+                jitter_span;
+  }
+  return delay_ms;
+}
+
+bool RetryBackoff::DeadlineExceededAfter(int delay_ms) const {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms) >
+         deadline_;
+}
+
+}  // namespace pprl

@@ -1,0 +1,54 @@
+#ifndef PPRL_NET_RETRY_H_
+#define PPRL_NET_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace pprl {
+
+/// Session-level retry policy: how hard a fault-tolerant delivery tries
+/// before giving up. Connection loss, timeouts, corrupted frames and BUSY
+/// shedding are all retried (resuming server-side state where it left
+/// off); errors that retrying cannot fix end the delivery at once. Shared
+/// by the owner -> unit client (service/client.h) and every
+/// coordinator -> worker link (service/coordinator.h).
+struct RetryPolicy {
+  int max_attempts = 10;
+  /// Exponential backoff between attempts, with multiplicative jitter so
+  /// shed peers do not re-dial in lockstep. BUSY frames override the
+  /// backoff with the server's retry-after hint.
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 2000;
+  double jitter = 0.2;
+  /// Seed of the jitter stream (deterministic tests).
+  uint64_t jitter_seed = 7;
+  /// Wall-clock bound over all attempts of one delivery.
+  int deadline_ms = 180000;
+};
+
+/// The per-delivery backoff state a retry loop carries across attempts:
+/// one jitter stream, one deadline. NextDelayMs() computes the sleep
+/// before attempt `attempt + 1`; a non-negative `server_hint_ms` (from a
+/// BUSY frame) replaces the exponential schedule with the server's own
+/// hint (jitter still applies).
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(const RetryPolicy& policy);
+
+  int NextDelayMs(int attempt, int server_hint_ms);
+
+  /// True when sleeping `delay_ms` would cross the delivery deadline —
+  /// the loop should return the last error instead of retrying.
+  bool DeadlineExceededAfter(int delay_ms) const;
+
+ private:
+  RetryPolicy policy_;
+  Rng jitter_rng_;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_NET_RETRY_H_

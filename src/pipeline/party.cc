@@ -185,6 +185,70 @@ Result<MultiPartyLinkageResult> LinkageUnitService::Link(
   return result;
 }
 
+Result<PartitionLinkResult> LinkageUnitService::LinkPartition(
+    const MultiPartyLinkageOptions& options, const PartitionSpec& spec) const {
+  if (databases_.size() < 2) {
+    return Status::FailedPrecondition("linkage needs >= 2 shipped databases");
+  }
+  if (spec.num_workers == 0 || spec.worker_index >= spec.num_workers) {
+    return Status::InvalidArgument(
+        "partition worker " + std::to_string(spec.worker_index) +
+        " outside ring of " + std::to_string(spec.num_workers));
+  }
+  const size_t filter_bits =
+      databases_[0].filters.empty() ? 0 : databases_[0].filters[0].size();
+  if (filter_bits == 0) {
+    return Status::InvalidArgument("first shipment is empty");
+  }
+
+  obs::GlobalMetrics()
+      .GetCounter("pprl_partition_runs_total",
+                  "Partition compare runs at a worker linkage unit")
+      .Increment();
+  // Same seeded blocker as Link(): every worker holding the same
+  // shipments derives the same indexes, so the partition rule needs no
+  // coordination beyond the ring geometry in `spec`.
+  Rng rng(options.lsh_seed);
+  const HammingLshBlocker blocker(filter_bits, options.lsh_tables,
+                                  options.lsh_bits_per_key, rng);
+  obs::StageTimer block_span("block");
+  std::vector<BlockIndex> indexes;
+  std::vector<BitMatrix> matrices;
+  indexes.reserve(databases_.size());
+  matrices.reserve(databases_.size());
+  for (const EncodedDatabase& db : databases_) {
+    indexes.push_back(blocker.BuildIndex(db.filters));
+    matrices.push_back(BitMatrix::FromVectors(db.filters));
+  }
+  block_span.Stop();
+
+  const BlockPartitioner partitioner(spec.num_workers, spec.scheme);
+  const ComparisonEngine engine(SimilarityMeasure::kDice);
+  PartitionLinkResult result;
+  obs::StageTimer compare_span("compare");
+  for (uint32_t d1 = 0; d1 < databases_.size(); ++d1) {
+    for (uint32_t d2 = d1 + 1; d2 < databases_.size(); ++d2) {
+      const auto owned = OwnedCandidatePairs(indexes[d1], indexes[d2], partitioner,
+                                             spec.worker_index);
+      result.candidate_pairs += owned.size();
+      // Identical threshold tolerance to Link(): the kernel's min_score
+      // sits 2e-12 under the acceptance test so pruning never skips a
+      // pair the `+ 1e-12` filter would have kept.
+      const auto scored = engine.CompareMatrices(
+          matrices[d1], matrices[d2], owned, options.dice_threshold - 2e-12);
+      result.comparisons += engine.last_comparison_count();
+      result.pruned_comparisons += engine.last_pruned_count();
+      for (const ScoredPair& pair : scored) {
+        if (pair.score + 1e-12 >= options.dice_threshold) {
+          result.edges.push_back({{d1, pair.a}, {d2, pair.b}, pair.score});
+        }
+      }
+    }
+  }
+  compare_span.Stop();
+  return result;
+}
+
 Status LocalLinkageUnitSink::Deliver(const std::string& owner,
                                      const EncodedDatabase& encoded) {
   channel_.Send(owner, unit_.name(), ShipmentPayloadBytes(encoded), "encoded-filters");

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "blocking/partitioner.h"
 #include "common/record.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -100,6 +101,27 @@ struct MultiPartyLinkageResult {
   size_t pruned_comparisons = 0;
 };
 
+/// One worker's slice of a horizontally sharded linkage run: which index
+/// it holds in a ring of how many, under which block-id partition scheme.
+struct PartitionSpec {
+  uint32_t worker_index = 0;
+  uint32_t num_workers = 1;
+  PartitionScheme scheme = PartitionScheme::kAuto;
+};
+
+/// The compare+classify output of one worker's partition: every scored
+/// edge of the candidate pairs this worker owns (threshold applied, same
+/// tolerance semantics as Link()), sorted by (database pair, a, b), plus
+/// the partition's share of the global counters. Summing the counters and
+/// merging the edge lists over a full ring reproduces Link()'s totals and
+/// edge order exactly (see linkage/distributed.h).
+struct PartitionLinkResult {
+  std::vector<MatchEdge> edges;
+  size_t comparisons = 0;
+  size_t candidate_pairs = 0;
+  size_t pruned_comparisons = 0;
+};
+
 /// The linkage unit of a star-topology deployment: owners ship encodings
 /// in; the unit blocks, compares, and clusters across all databases. It
 /// never sees a quasi-identifier.
@@ -115,8 +137,22 @@ class LinkageUnitService {
   /// databases. Needs >= 2 shipments.
   Result<MultiPartyLinkageResult> Link(const MultiPartyLinkageOptions& options) const;
 
+  /// Worker-role step of a sharded run: compares only the candidate pairs
+  /// this worker owns under the canonical-key partition rule
+  /// (blocking/partitioner.h) and returns their scored edges — no
+  /// clustering, which stays global at the coordinator. Deterministic:
+  /// the LSH index is rebuilt from options.lsh_seed, so every process
+  /// holding the same shipments computes the same partition.
+  Result<PartitionLinkResult> LinkPartition(const MultiPartyLinkageOptions& options,
+                                            const PartitionSpec& spec) const;
+
   const std::string& name() const { return name_; }
   size_t num_databases() const { return owners_.size(); }
+
+  /// Owner names in registration order, and their shipments in the same
+  /// order — the coordinator reads these to scatter databases to workers.
+  const std::vector<std::string>& owners() const { return owners_; }
+  const std::vector<EncodedDatabase>& databases() const { return databases_; }
 
  private:
   std::string name_;

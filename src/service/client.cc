@@ -5,8 +5,8 @@
 #include <thread>
 
 #include "common/logging.h"
-#include "common/random.h"
 #include "net/frame.h"
+#include "net/retry.h"
 #include "obs/metrics.h"
 
 namespace pprl {
@@ -138,10 +138,7 @@ Result<OwnerLinkageSummary> RemoteOwnerClient::DeliverPayload(
 
   SessionCursor cursor;
   cursor.max_chunk = std::max<size_t>(config_.chunk_bytes, 1);
-  Rng jitter_rng(config_.retry.jitter_seed);
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(config_.retry.deadline_ms);
+  RetryBackoff backoff(config_.retry);
 
   // Set (>= 0) when an attempt ended on a kBusy frame: the server's
   // retry-after hint, which replaces the exponential backoff.
@@ -274,6 +271,9 @@ Result<OwnerLinkageSummary> RemoteOwnerClient::DeliverPayload(
     }
 
     // 3. Results — the linkage waits for the slowest owner, so be patient.
+    // Re-shipment mode (coordinator -> worker) ends here: workers never
+    // send a results frame for an owner session.
+    if (!config_.wait_for_results) return OwnerLinkageSummary{};
     wire->SetIoTimeout(config_.result_wait_timeout_ms);
     auto results_payload = ExpectFrame(mfc.Receive(MessageTypeTag),
                                        MessageType::kResults, &busy_hint_ms);
@@ -301,21 +301,12 @@ Result<OwnerLinkageSummary> RemoteOwnerClient::DeliverPayload(
       cursor.max_chunk = std::max<size_t>(config_.chunk_bytes, 1);
     }
     const bool busy = busy_hint_ms >= 0;
-    // Exponential backoff with multiplicative jitter; kBusy replaces the
-    // backoff with the server's own hint.
-    int delay_ms = std::min(config_.retry.backoff_max_ms,
-                            config_.retry.backoff_initial_ms * (1 << std::min(attempt, 10)));
-    if (busy) delay_ms = std::max(1, busy_hint_ms);
-    const int jitter_span = static_cast<int>(delay_ms * config_.retry.jitter);
-    if (jitter_span > 0) {
-      delay_ms += static_cast<int>(jitter_rng.NextUint64(
-                      static_cast<uint64_t>(2 * jitter_span + 1))) -
-                  jitter_span;
-    }
+    // Exponential backoff with multiplicative jitter (net/retry.h); kBusy
+    // replaces the backoff with the server's own hint.
+    const int delay_ms = backoff.NextDelayMs(attempt, busy_hint_ms);
     CountRetry(busy ? "busy" : "io");
     ++retries_;
-    if (std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms) >
-        deadline) {
+    if (backoff.DeadlineExceededAfter(delay_ms)) {
       return Status::IoError("delivery deadline exceeded after " +
                              std::to_string(attempt + 1) +
                              " attempts; last error: " + last_error.message());

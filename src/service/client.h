@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "net/fault_injection.h"
+#include "net/retry.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
 #include "service/protocol.h"
@@ -17,20 +18,10 @@ namespace pprl {
 /// up. Connection loss, timeouts, corrupted frames and kBusy shedding are
 /// all retried (resuming the server-side session where it left off);
 /// errors that retrying cannot fix — kInvalidArgument, kAlreadyExists,
-/// kFailedPrecondition, kInternal — end the delivery at once.
-struct SessionRetryPolicy {
-  int max_attempts = 10;
-  /// Exponential backoff between attempts, with multiplicative jitter so
-  /// shed owners do not re-dial in lockstep. kBusy frames override the
-  /// backoff with the server's retry-after hint.
-  int backoff_initial_ms = 20;
-  int backoff_max_ms = 2000;
-  double jitter = 0.2;
-  /// Seed of the jitter stream (deterministic tests).
-  uint64_t jitter_seed = 7;
-  /// Wall-clock bound over all attempts of one Deliver().
-  int deadline_ms = 180000;
-};
+/// kFailedPrecondition, kInternal — end the delivery at once. The policy
+/// itself (attempts, backoff, jitter, deadline) lives in net/retry.h so
+/// the coordinator's worker links share it.
+using SessionRetryPolicy = RetryPolicy;
 
 /// How a database owner reaches a linkage-unit daemon.
 struct RemoteOwnerClientConfig {
@@ -43,6 +34,10 @@ struct RemoteOwnerClientConfig {
   /// After shipping, the linkage waits for the slowest owner; results can
   /// take much longer than a normal read.
   int result_wait_timeout_ms = 120000;
+  /// When false, Deliver() returns as soon as the server acks the
+  /// shipment complete, with an empty summary — the coordinator's
+  /// re-shipment mode, where worker daemons never send a results frame.
+  bool wait_for_results = true;
   size_t max_frame_payload = kDefaultMaxFramePayload;
   /// Preferred shipment chunk size; the effective size is capped by the
   /// server's advertised max_chunk_bytes.

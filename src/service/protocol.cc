@@ -1,5 +1,7 @@
 #include "service/protocol.h"
 
+#include <cstring>
+
 #include "net/frame.h"
 #include "net/wire.h"
 
@@ -53,6 +55,8 @@ const char* MessageTypeTag(uint8_t type) {
     case MessageType::kResume: return "resume";
     case MessageType::kResumeAck: return "resume-ack";
     case MessageType::kBusy: return "busy";
+    case MessageType::kAssignPartition: return "assign-partition";
+    case MessageType::kPartitionResult: return "partition-result";
   }
   return "unknown";
 }
@@ -256,6 +260,137 @@ Result<BusyMessage> DecodeBusy(const std::vector<uint8_t>& payload) {
   return msg;
 }
 
+std::vector<uint8_t> EncodeAssignPartition(const AssignPartitionMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.protocol_version);
+  w.PutString(msg.coordinator);
+  w.PutU32(msg.worker_index);
+  w.PutU32(msg.num_workers);
+  w.PutU8(msg.scheme);
+  w.PutU32(msg.expected_owners);
+  uint64_t threshold_bits = 0;
+  static_assert(sizeof(threshold_bits) == sizeof(msg.dice_threshold));
+  std::memcpy(&threshold_bits, &msg.dice_threshold, sizeof(threshold_bits));
+  w.PutU64(threshold_bits);
+  w.PutU32(msg.lsh_tables);
+  w.PutU32(msg.lsh_bits_per_key);
+  w.PutU64(msg.lsh_seed);
+  return w.Take();
+}
+
+Result<AssignPartitionMessage> DecodeAssignPartition(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  AssignPartitionMessage msg;
+  auto version = r.ReadU32();
+  if (!version.ok()) return version.status();
+  msg.protocol_version = *version;
+  auto coordinator = r.ReadString(kMaxNameLen);
+  if (!coordinator.ok()) return coordinator.status();
+  msg.coordinator = std::move(*coordinator);
+  auto worker = r.ReadU32();
+  if (!worker.ok()) return worker.status();
+  msg.worker_index = *worker;
+  auto workers = r.ReadU32();
+  if (!workers.ok()) return workers.status();
+  msg.num_workers = *workers;
+  auto scheme = r.ReadU8();
+  if (!scheme.ok()) return scheme.status();
+  if (*scheme > 2) {
+    return Status::ProtocolViolation("assign-partition: unknown scheme");
+  }
+  msg.scheme = *scheme;
+  auto owners = r.ReadU32();
+  if (!owners.ok()) return owners.status();
+  msg.expected_owners = *owners;
+  auto threshold_bits = r.ReadU64();
+  if (!threshold_bits.ok()) return threshold_bits.status();
+  std::memcpy(&msg.dice_threshold, &*threshold_bits, sizeof(msg.dice_threshold));
+  auto tables = r.ReadU32();
+  if (!tables.ok()) return tables.status();
+  msg.lsh_tables = *tables;
+  auto bits_per_key = r.ReadU32();
+  if (!bits_per_key.ok()) return bits_per_key.status();
+  msg.lsh_bits_per_key = *bits_per_key;
+  auto seed = r.ReadU64();
+  if (!seed.ok()) return seed.status();
+  msg.lsh_seed = *seed;
+  if (!r.exhausted()) {
+    return Status::ProtocolViolation("assign-partition: trailing bytes");
+  }
+  if (msg.coordinator.empty()) {
+    return Status::ProtocolViolation("assign-partition: empty coordinator name");
+  }
+  if (msg.num_workers == 0 || msg.worker_index >= msg.num_workers) {
+    return Status::ProtocolViolation(
+        "assign-partition: worker index " + std::to_string(msg.worker_index) +
+        " outside ring of " + std::to_string(msg.num_workers));
+  }
+  if (!(msg.dice_threshold > 0.0 && msg.dice_threshold <= 1.0)) {
+    return Status::ProtocolViolation("assign-partition: threshold outside (0, 1]");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> EncodePartitionResult(const PartitionResultMessage& msg) {
+  WireWriter w;
+  w.PutU32(msg.worker_index);
+  w.PutU64(msg.comparisons);
+  w.PutU64(msg.candidate_pairs);
+  w.PutU64(msg.pruned_comparisons);
+  w.PutU32(static_cast<uint32_t>(msg.edges.size()));
+  for (const MatchEdge& e : msg.edges) {
+    w.PutU32(e.x.database);
+    w.PutU32(e.x.record);
+    w.PutU32(e.y.database);
+    w.PutU32(e.y.record);
+    uint64_t score_bits = 0;
+    std::memcpy(&score_bits, &e.score, sizeof(score_bits));
+    w.PutU64(score_bits);
+  }
+  return w.Take();
+}
+
+Result<PartitionResultMessage> DecodePartitionResult(
+    const std::vector<uint8_t>& payload, size_t max_edges) {
+  WireReader r(payload);
+  PartitionResultMessage msg;
+  auto worker = r.ReadU32();
+  if (!worker.ok()) return worker.status();
+  msg.worker_index = *worker;
+  auto comparisons = r.ReadU64();
+  if (!comparisons.ok()) return comparisons.status();
+  msg.comparisons = *comparisons;
+  auto candidates = r.ReadU64();
+  if (!candidates.ok()) return candidates.status();
+  msg.candidate_pairs = *candidates;
+  auto pruned = r.ReadU64();
+  if (!pruned.ok()) return pruned.status();
+  msg.pruned_comparisons = *pruned;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  // 4 x u32 refs + u64 score bits per edge.
+  if (*count > max_edges || r.remaining() < static_cast<size_t>(*count) * 24) {
+    return Status::OutOfRange("partition-result: declared edge count " +
+                              std::to_string(*count) + " exceeds payload");
+  }
+  msg.edges.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    MatchEdge e;
+    e.x.database = r.ReadU32().value();
+    e.x.record = r.ReadU32().value();
+    e.y.database = r.ReadU32().value();
+    e.y.record = r.ReadU32().value();
+    const uint64_t score_bits = r.ReadU64().value();
+    std::memcpy(&e.score, &score_bits, sizeof(e.score));
+    msg.edges.push_back(e);
+  }
+  if (!r.exhausted()) {
+    return Status::ProtocolViolation("partition-result: trailing bytes");
+  }
+  return msg;
+}
+
 uint64_t ShipmentChunkChecksum(const uint8_t* data, size_t len) {
   uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
   for (size_t i = 0; i < len; ++i) {
@@ -395,6 +530,8 @@ std::vector<uint8_t> EncodeResults(const OwnerLinkageSummary& summary) {
   w.PutU64(summary.total_clusters);
   w.PutU32(summary.owners_linked);
   w.PutU32(summary.owners_expected);
+  w.PutU32(summary.workers_linked);
+  w.PutU32(summary.workers_expected);
   w.PutU32(static_cast<uint32_t>(summary.matches.size()));
   for (const MatchedRecordSummary& m : summary.matches) {
     w.PutU32(m.record);
@@ -426,6 +563,12 @@ Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
   auto owners_expected = r.ReadU32();
   if (!owners_expected.ok()) return owners_expected.status();
   summary.owners_expected = *owners_expected;
+  auto workers_linked = r.ReadU32();
+  if (!workers_linked.ok()) return workers_linked.status();
+  summary.workers_linked = *workers_linked;
+  auto workers_expected = r.ReadU32();
+  if (!workers_expected.ok()) return workers_expected.status();
+  summary.workers_expected = *workers_expected;
   auto count = r.ReadU32();
   if (!count.ok()) return count.status();
   if (*count > max_matches || r.remaining() < static_cast<size_t>(*count) * 12) {

@@ -37,6 +37,24 @@ namespace pprl {
 /// payload carries a status code + text and the session ends. An
 /// overloaded unit instead sends kBusy (retry-after hint) and closes —
 /// the session state, if any, survives for a later resume.
+///
+/// Version 3 adds the scatter/gather pair for horizontally sharded
+/// linkage units (docs/PROTOCOLS.md §14). A coordinator first ships every
+/// owner's registered database to each worker daemon with the ordinary
+/// hello/chunk session machinery above, then assigns the worker its slice
+/// of the candidate space:
+///
+///   coordinator                       worker
+///     │ ── kAssignPartition ─────────▶ │   ring size, worker index,
+///     │                                │   blocking + threshold params
+///     │ ◀──────── kPartitionResult ── │   scored edges of the partition,
+///     │                                │   comparison/pruning counters
+///
+/// The assignment is idempotent: re-sending it (after a lost connection)
+/// makes the worker recompute the same deterministic result. A worker
+/// that has not received every owner shipment answers kError
+/// (kFailedPrecondition); an overloaded worker sheds with kBusy exactly
+/// like an owner-facing daemon.
 enum class MessageType : uint8_t {
   kHello = 1,
   kHelloAck = 2,
@@ -47,6 +65,8 @@ enum class MessageType : uint8_t {
   kResume = 7,
   kResumeAck = 8,
   kBusy = 9,
+  kAssignPartition = 10,
+  kPartitionResult = 11,
 };
 
 /// The channel-metering tag for a message type ("encoded-filters" for
@@ -139,7 +159,10 @@ struct MatchedRecordSummary {
 /// records were clustered with records elsewhere, plus global cost
 /// counters. No other party's record indices or similarities leak.
 /// owners_linked < owners_expected means the unit invoked its quorum
-/// option and linked without every invited owner — a degraded result.
+/// option and linked without every invited owner; workers_linked <
+/// workers_expected means a sharded run proceeded without every worker
+/// partition (straggler quorum) — either way a degraded result. A
+/// non-distributed run reports workers 0/0.
 struct OwnerLinkageSummary {
   std::vector<MatchedRecordSummary> matches;
   uint64_t comparisons = 0;
@@ -148,14 +171,51 @@ struct OwnerLinkageSummary {
   uint64_t total_clusters = 0;
   uint32_t owners_linked = 0;
   uint32_t owners_expected = 0;
+  uint32_t workers_linked = 0;
+  uint32_t workers_expected = 0;
 
-  bool degraded() const { return owners_linked < owners_expected; }
+  bool degraded() const {
+    return owners_linked < owners_expected || workers_linked < workers_expected;
+  }
 };
 
 /// A transported error: the Status round-trips through the wire.
 struct ErrorMessage {
   StatusCode code = StatusCode::kInternal;
   std::string message;
+};
+
+/// Coordinator -> worker: which slice of the candidate space this worker
+/// owns, and the exact blocking/threshold parameters to recompute it
+/// with. Workers rebuild the seeded LSH index from their shipped copies
+/// of the databases, so only the ring geometry crosses the wire, never a
+/// key -> worker map.
+struct AssignPartitionMessage {
+  uint32_t protocol_version = 0;
+  std::string coordinator;
+  uint32_t worker_index = 0;
+  uint32_t num_workers = 0;
+  /// PartitionScheme as its wire value (0 auto, 1 rendezvous, 2 ring).
+  uint8_t scheme = 0;
+  /// Shipments the worker must have registered before it can compare.
+  uint32_t expected_owners = 0;
+  double dice_threshold = 0.0;
+  uint32_t lsh_tables = 0;
+  uint32_t lsh_bits_per_key = 0;
+  uint64_t lsh_seed = 0;
+};
+
+/// Worker -> coordinator: every scored edge of the worker's partition
+/// (threshold already applied), sorted by (database pair, a, b), plus the
+/// partition's share of the comparison counters. Scores travel as raw
+/// IEEE-754 bit patterns, so the merged edge list is bitwise-identical to
+/// a single-machine run.
+struct PartitionResultMessage {
+  uint32_t worker_index = 0;
+  uint64_t comparisons = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t pruned_comparisons = 0;
+  std::vector<MatchEdge> edges;
 };
 
 std::vector<uint8_t> EncodeHello(const HelloMessage& msg);
@@ -180,6 +240,14 @@ Result<ResumeAckMessage> DecodeResumeAck(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeBusy(const BusyMessage& msg);
 Result<BusyMessage> DecodeBusy(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeAssignPartition(const AssignPartitionMessage& msg);
+Result<AssignPartitionMessage> DecodeAssignPartition(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodePartitionResult(const PartitionResultMessage& msg);
+Result<PartitionResultMessage> DecodePartitionResult(
+    const std::vector<uint8_t>& payload, size_t max_edges = 16u << 20);
 
 /// FNV-1a 64 over a chunk's data bytes. Cheap, order-sensitive, and good
 /// enough to catch the single-bit flips a faulty transport introduces.

@@ -137,7 +137,7 @@ Status LinkageUnitServer::Start() {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   PPRL_LOG(kInfo) << "linkage unit '" << config_.name << "' listening on port "
                   << listener_.port() << " for " << config_.expected_owners
-                  << " owners";
+                  << " owners" << (config_.worker_mode ? " (worker role)" : "");
   if (config_.chaos.enabled()) {
     PPRL_LOG(kInfo) << "chaos mode on: fault injection seed " << config_.chaos.seed;
   }
@@ -260,7 +260,9 @@ void LinkageUnitServer::SweepSessions() {
     Metrics().session_open.Set(static_cast<int64_t>(sessions_.size()));
     Metrics().session_buffered_bytes.Set(static_cast<int64_t>(buffered_bytes_));
     // Quorum option: enough owners registered, the rest silent too long.
-    if (!linkage_ran_ && config_.min_owners >= 2 &&
+    // Workers never self-trigger a linkage — their coordinator owns that
+    // decision (and its own straggler quorum).
+    if (!config_.worker_mode && !linkage_ran_ && config_.min_owners >= 2 &&
         config_.min_owners < config_.expected_owners &&
         owner_order_.size() >= config_.min_owners &&
         owner_order_.size() < config_.expected_owners &&
@@ -304,6 +306,7 @@ void LinkageUnitServer::SpoolShipment(const std::string& party,
 }
 
 void LinkageUnitServer::RunLinkage(bool allow_partial) {
+  if (config_.worker_mode) return;  // a coordinator assigns partitions instead
   std::lock_guard<std::mutex> lock(mutex_);
   if (linkage_ran_) return;
   if (!allow_partial && owner_order_.size() < config_.expected_owners) return;
@@ -312,18 +315,29 @@ void LinkageUnitServer::RunLinkage(bool allow_partial) {
   }
   Metrics().linkage_runs.Increment();
   linked_owners_ = owner_order_.size();
-  linkage_degraded_ = linked_owners_ < config_.expected_owners;
-  if (linkage_degraded_) {
-    Metrics().degraded_linkages.Increment();
-    PPRL_LOG(kWarning) << "quorum linkage: proceeding with " << linked_owners_
-                       << " of " << config_.expected_owners
-                       << " expected owners (degraded result)";
-  }
   MultiPartyLinkageOptions link_options = config_.link_options;
   if (link_scheduler_) link_options.scheduler = link_scheduler_.get();
-  auto result = unit_.Link(link_options);
-  linkage_status_ = result.status();
-  if (result.ok()) linkage_result_ = std::move(*result);
+  if (config_.distributed_linker) {
+    auto outcome = config_.distributed_linker(unit_, link_options);
+    linkage_status_ = outcome.status();
+    if (outcome.ok()) {
+      linkage_result_ = std::move(outcome->result);
+      workers_linked_ = outcome->workers_linked;
+      workers_expected_ = outcome->workers_expected;
+    }
+  } else {
+    auto result = unit_.Link(link_options);
+    linkage_status_ = result.status();
+    if (result.ok()) linkage_result_ = std::move(*result);
+  }
+  linkage_degraded_ = linked_owners_ < config_.expected_owners ||
+                      workers_linked_ < workers_expected_;
+  if (linkage_degraded_) {
+    Metrics().degraded_linkages.Increment();
+    PPRL_LOG(kWarning) << "degraded linkage: " << linked_owners_ << "/"
+                       << config_.expected_owners << " owners, " << workers_linked_
+                       << "/" << workers_expected_ << " worker partitions";
+  }
   linkage_ran_ = true;
   if (linkage_status_.ok()) {
     PPRL_LOG(kInfo) << "linkage over " << owner_order_.size() << " databases: "
@@ -539,9 +553,15 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
       finish();
       return;
     }
+  } else if (first->type == static_cast<uint8_t>(MessageType::kAssignPartition)) {
+    // A coordinator's control connection, not an owner session: answer
+    // the partition assignment and close.
+    HandleAssignPartition(mfc, *first);
+    finish();
+    return;
   } else {
     FailSession(mfc, Status::ProtocolViolation(
-                         "expected hello or resume, got frame type " +
+                         "expected hello, resume or assign-partition, got frame type " +
                          std::to_string(first->type)));
     finish();
     return;
@@ -553,7 +573,15 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
     return;
   }
 
-  // 3. Link once the last owner shipped, then answer everyone.
+  // 3. Worker role ends here: the shipment is registered and acked, and
+  // results (if any) belong to the coordinator's owners, not to the
+  // coordinator's re-shipment session.
+  if (config_.worker_mode) {
+    finish();
+    return;
+  }
+
+  // 4. Link once the last owner shipped, then answer everyone.
   RunLinkage(/*allow_partial=*/false);
   const bool delivered = DeliverResults(mfc, sid);
   // Account the session's wire bytes before announcing delivery, so that
@@ -690,6 +718,84 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
   }
 }
 
+void LinkageUnitServer::HandleAssignPartition(MeteredFrameConnection& mfc,
+                                              const Frame& first) {
+  auto& assignments = obs::GlobalMetrics();
+  const auto count_outcome = [&assignments](const char* outcome) {
+    assignments
+        .GetCounter("pprl_worker_assignments_total",
+                    "Partition assignments handled by a worker daemon, by outcome",
+                    {{"outcome", outcome}})
+        .Increment();
+  };
+  auto assign = DecodeAssignPartition(first.payload);
+  if (!assign.ok()) {
+    count_outcome("error");
+    FailSession(mfc, assign.status());
+    return;
+  }
+  mfc.set_peer(assign->coordinator);
+  mfc.MeterReceived(first, MessageTypeTag);
+  CountMessage(first.type, "in");
+  if (!config_.worker_mode) {
+    count_outcome("error");
+    FailSession(mfc, Status::FailedPrecondition(
+                         "daemon '" + config_.name +
+                         "' is not a worker; start it with --worker"));
+    return;
+  }
+  if (assign->protocol_version != kWireProtocolVersion) {
+    count_outcome("error");
+    FailSession(mfc, Status::ProtocolViolation(
+                         "protocol version mismatch on assign-partition"));
+    return;
+  }
+
+  // The partition compute reads the unit's shipments, so it runs under
+  // the session mutex: a coordinator retry can never race a still-arriving
+  // re-shipment. Missing shipments shed with kBusy (retryable) — the
+  // coordinator may legitimately be re-driving this worker after a fault
+  // killed an earlier shipment session.
+  PartitionResultMessage reply;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owner_order_.size() < assign->expected_owners) {
+      count_outcome("awaiting-shipments");
+      SendBusy(mfc, "awaiting-shipments");
+      return;
+    }
+    MultiPartyLinkageOptions options = config_.link_options;
+    options.dice_threshold = assign->dice_threshold;
+    options.lsh_tables = assign->lsh_tables;
+    options.lsh_bits_per_key = assign->lsh_bits_per_key;
+    options.lsh_seed = assign->lsh_seed;
+    PartitionSpec spec;
+    spec.worker_index = assign->worker_index;
+    spec.num_workers = assign->num_workers;
+    spec.scheme = static_cast<PartitionScheme>(assign->scheme);
+    auto partition = unit_.LinkPartition(options, spec);
+    if (!partition.ok()) {
+      count_outcome("error");
+      FailSession(mfc, partition.status());
+      return;
+    }
+    reply.worker_index = assign->worker_index;
+    reply.comparisons = partition->comparisons;
+    reply.candidate_pairs = partition->candidate_pairs;
+    reply.pruned_comparisons = partition->pruned_comparisons;
+    reply.edges = std::move(partition->edges);
+  }
+  count_outcome("ok");
+  PPRL_LOG(kInfo) << "worker '" << config_.name << "' computed partition "
+                  << reply.worker_index << "/" << assign->num_workers << ": "
+                  << reply.comparisons << " comparisons, " << reply.edges.size()
+                  << " edges";
+  CountMessage(static_cast<uint8_t>(MessageType::kPartitionResult), "out");
+  mfc.Send(static_cast<uint8_t>(MessageType::kPartitionResult),
+           EncodePartitionResult(reply),
+           MessageTypeTag(static_cast<uint8_t>(MessageType::kPartitionResult)));
+}
+
 bool LinkageUnitServer::DeliverResults(MeteredFrameConnection& mfc,
                                        uint64_t session_id) {
   OwnerLinkageSummary summary;
@@ -717,6 +823,8 @@ bool LinkageUnitServer::DeliverResults(MeteredFrameConnection& mfc,
     summary = SummarizeForOwner(linkage_result_, it->second.database_index);
     summary.owners_linked = static_cast<uint32_t>(linked_owners_);
     summary.owners_expected = static_cast<uint32_t>(config_.expected_owners);
+    summary.workers_linked = workers_linked_;
+    summary.workers_expected = workers_expected_;
   }
   CountMessage(static_cast<uint8_t>(MessageType::kResults), "out");
   return mfc
@@ -758,6 +866,16 @@ std::vector<std::string> LinkageUnitServer::owner_order() const {
 bool LinkageUnitServer::linkage_degraded() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return linkage_degraded_;
+}
+
+uint32_t LinkageUnitServer::workers_linked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_linked_;
+}
+
+uint32_t LinkageUnitServer::workers_expected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_expected_;
 }
 
 }  // namespace pprl

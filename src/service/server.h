@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,23 @@
 #include "service/protocol.h"
 
 namespace pprl {
+
+/// Outcome of a pluggable (distributed) linkage strategy: the linkage
+/// result plus the worker complement that actually contributed.
+/// workers_linked < workers_expected marks a straggler-quorum run whose
+/// result is degraded (some partitions' pairs are missing).
+struct DistributedLinkOutcome {
+  MultiPartyLinkageResult result;
+  uint32_t workers_linked = 0;
+  uint32_t workers_expected = 0;
+};
+
+/// Pluggable linkage strategy: given the unit's registered shipments and
+/// the effective link options, produce the linkage result. The
+/// coordinator role (service/coordinator.h) installs its scatter/gather
+/// linker here, reusing the daemon's whole session machinery unchanged.
+using DistributedLinker = std::function<Result<DistributedLinkOutcome>(
+    const LinkageUnitService&, const MultiPartyLinkageOptions&)>;
 
 /// Configuration of a linkage-unit daemon.
 struct LinkageUnitServerConfig {
@@ -94,6 +112,20 @@ struct LinkageUnitServerConfig {
   /// a FaultInjectingConnection with a seed derived from `chaos.seed` and
   /// the connection's accept index, so runs replay deterministically.
   FaultSpec chaos;
+
+  // --- Horizontal sharding (coordinator/worker roles) ---
+
+  /// Worker role: the daemon accepts shipments exactly like an
+  /// owner-facing unit but never links on its own (the quorum option is
+  /// ignored). It answers kAssignPartition control frames from a
+  /// coordinator by computing the assigned slice of the candidate space
+  /// (LinkageUnitService::LinkPartition) and replying kPartitionResult.
+  /// Owner sessions get their shipment acks but no results frame.
+  bool worker_mode = false;
+  /// When set, RunLinkage delegates to this strategy instead of calling
+  /// unit_.Link() directly; the outcome's worker complement flows into
+  /// every owner's result summary.
+  DistributedLinker distributed_linker;
 };
 
 /// The linkage unit as a daemon: accepts owner connections over TCP,
@@ -162,8 +194,13 @@ class LinkageUnitServer {
   /// Owner names in shipment order (the database order of result()).
   std::vector<std::string> owner_order() const;
 
-  /// True once the linkage ran without the full owner complement (quorum).
+  /// True once the linkage ran without the full owner complement (quorum)
+  /// or, for a distributed run, without the full worker complement.
   bool linkage_degraded() const;
+
+  /// Worker complement of a distributed run (0/0 for single-daemon runs).
+  uint32_t workers_linked() const;
+  uint32_t workers_expected() const;
 
  private:
   /// One owner's server-side shipment state. Lives in sessions_ under
@@ -193,6 +230,10 @@ class LinkageUnitServer {
   /// Waits for the linkage and delivers this session's results. Returns
   /// true once the results frame reached the wire.
   bool DeliverResults(MeteredFrameConnection& mfc, uint64_t session_id);
+  /// Worker role: answers a coordinator's kAssignPartition control frame
+  /// with the partition's kPartitionResult (or kBusy while owner
+  /// shipments are still missing).
+  void HandleAssignPartition(MeteredFrameConnection& mfc, const Frame& first);
   /// Sends an error frame (best effort) and records the session failure.
   void FailSession(MeteredFrameConnection& mfc, const Status& status);
   /// Sends a kBusy frame (best effort) and counts the shed.
@@ -231,6 +272,9 @@ class LinkageUnitServer {
   bool linkage_ran_ = false;
   /// Owners included in the linkage run (== owner_order_.size() then).
   size_t linked_owners_ = 0;
+  /// Worker complement of a distributed run (both 0 when single-daemon).
+  uint32_t workers_linked_ = 0;
+  uint32_t workers_expected_ = 0;
   bool linkage_degraded_ = false;
   Status linkage_status_;
   MultiPartyLinkageResult linkage_result_;
