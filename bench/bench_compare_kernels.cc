@@ -196,6 +196,7 @@ int Main(int argc, char** argv) {
               Fmt(m.pairs_per_sec / scalar_rate, 2) + "x"});
   }
 
+  const size_t cores = std::thread::hardware_concurrency();
   if (argc > 1) {
     std::FILE* f = std::fopen(argv[1], "w");
     if (f == nullptr) {
@@ -205,8 +206,9 @@ int Main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"bench\": \"bench_compare_kernels\",\n");
     std::fprintf(f, "  \"records_per_side\": %zu,\n  \"candidate_pairs\": %zu,\n",
                  kRecordsPerSide, num_pairs);
-    std::fprintf(f, "  \"prune_threshold\": %.2f,\n  \"measurements\": [\n",
-                 kPruneThreshold);
+    std::fprintf(f, "  \"prune_threshold\": %.2f,\n  \"cores\": %zu,\n",
+                 kPruneThreshold, cores);
+    std::fprintf(f, "  \"measurements\": [\n");
     for (size_t i = 0; i < all.size(); ++i) {
       const Measurement& m = all[i];
       std::fprintf(f,
@@ -223,7 +225,6 @@ int Main(int argc, char** argv) {
   // --- Streaming parallel sweep -------------------------------------------
   auto [pa, pb] = TwoDatabases(kParallelRecordsPerSide, 1.2);
   const size_t parallel_pairs = kParallelRecordsPerSide * kParallelRecordsPerSide;
-  const size_t cores = std::thread::hardware_concurrency();
   const ResolvedParallelTuning shown_tuning =
       ResolveParallelTuning(ParallelLinkageOptions{}, 500);
   std::printf("\nstreaming parallel path, %zu x %zu records (%zu candidate pairs), "

@@ -24,6 +24,17 @@
 ///       Ships an encoded file to a running pprl_linkd daemon, waits for
 ///       the multi-party linkage to finish, and prints (optionally
 ///       writes) this owner's matched records.
+///   append <clks.{csv|pclk}> <party_name> <host:port>
+///       Ships an encoded file to an online daemon (pprl_linkd --online)
+///       and returns as soon as it is absorbed into the live index — no
+///       batch linkage, no results frame.
+///   query <clks.{csv|pclk}> <party_name> <host:port> [matches_out.csv]
+///       Link-queries every record of an encoded file against an online
+///       daemon's live index (matches of the caller's own party are
+///       suppressed) and writes the records found in multi-record
+///       clusters as (record_id, cluster_id, cluster_size) — the same
+///       rows, in the same order, that `ship` against a batch daemon
+///       run with --clustering cc would produce.
 ///
 /// Examples:
 ///   ./build/examples/pprl_cli generate /tmp/a.csv /tmp/b.csv 1000 1.5
@@ -33,9 +44,12 @@
 ///   ./build/examples/pprl_cli link-encoded /tmp/a_clks.csv /tmp/b_clks.csv
 ///       out: /tmp/matches.csv at threshold 0.8
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "datagen/generator.h"
 #include "datagen/io.h"
@@ -63,6 +77,9 @@ int Usage() {
                "  pprl_cli link-encoded <a_clks> <b_clks> <matches_out.csv>"
                " [threshold]\n"
                "  pprl_cli ship <clks.{csv|pclk}> <party_name> <host:port>"
+               " [matches_out.csv]\n"
+               "  pprl_cli append <clks.{csv|pclk}> <party_name> <host:port>\n"
+               "  pprl_cli query <clks.{csv|pclk}> <party_name> <host:port>"
                " [matches_out.csv]\n"
                "  pprl_cli --help\n");
   return 2;
@@ -225,6 +242,134 @@ int Ship(int argc, char** argv) {
   return 0;
 }
 
+int Append(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto encoded = io::ReadShardAuto(argv[2]);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "%s\n", encoded.status().ToString().c_str());
+    return 1;
+  }
+  const std::string party = argv[3];
+  const std::string endpoint = argv[4];
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "endpoint must be host:port, got %s\n", endpoint.c_str());
+    return 1;
+  }
+  RemoteOwnerClientConfig config;
+  config.host = endpoint.substr(0, colon);
+  config.port = static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1));
+  // An online daemon absorbs the shipment into its live index and never
+  // sends a results frame: return at the shipment-complete ack.
+  config.wait_for_results = false;
+
+  RemoteOwnerClient client(config);
+  std::printf("appending %zu encodings as '%s' to %s ...\n", encoded->size(),
+              party.c_str(), endpoint.c_str());
+  auto summary = client.ShipShardAndAwait(party, *encoded);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("appended %zu records at '%s' (%.1f KiB on the wire)\n",
+              encoded->size(), client.server_name().c_str(),
+              static_cast<double>(client.wire_bytes_sent()) / 1024.0);
+  return 0;
+}
+
+int Query(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto encoded = io::ReadShardAuto(argv[2]);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "%s\n", encoded.status().ToString().c_str());
+    return 1;
+  }
+  if (encoded->size() == 0) {
+    std::fprintf(stderr, "nothing to query: empty encoding\n");
+    return 1;
+  }
+  const std::string party = argv[3];
+  const std::string endpoint = argv[4];
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "endpoint must be host:port, got %s\n", endpoint.c_str());
+    return 1;
+  }
+  OnlineLinkClientConfig config;
+  config.host = endpoint.substr(0, colon);
+  config.port = static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1));
+
+  OnlineLinkClient client(config);
+  const Status connected =
+      client.Connect(party, static_cast<uint32_t>(encoded->bits.num_bits()));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+  std::printf("querying %zu records as '%s' against %s ...\n", encoded->size(),
+              party.c_str(), client.server_name().c_str());
+
+  // Wire-batched queries: one round trip per batch, one result per record.
+  constexpr size_t kBatch = 512;
+  struct Row {
+    uint32_t cluster_id;
+    size_t record;  ///< row index in the queried shard
+    uint32_t cluster_size;
+  };
+  std::vector<Row> rows;
+  size_t matched_records = 0;
+  uint64_t index_size = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t begin = 0; begin < encoded->size(); begin += kBatch) {
+    const size_t end = std::min(encoded->size(), begin + kBatch);
+    auto result = client.QueryRows(*encoded, begin, end,
+                                   /*want_clusters=*/true, /*top_k=*/0);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    index_size = result->index_size;
+    for (size_t i = 0; i < result->records.size(); ++i) {
+      const QueryRecordResult& record = result->records[i];
+      if (!record.matches.empty()) ++matched_records;
+      if (record.cluster_size >= 2) {
+        rows.push_back(Row{record.cluster_id, begin + i, record.cluster_size});
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("queried %zu records against %llu indexed in %.3f s "
+              "(%.0f link-queries/s)\n",
+              encoded->size(), static_cast<unsigned long long>(index_size),
+              seconds, static_cast<double>(encoded->size()) / seconds);
+  std::printf("%zu of our %zu records matched records elsewhere\n",
+              matched_records, encoded->size());
+
+  if (argc > 5) {
+    // Same row order as a batch `ship` summary: clusters ascending, then
+    // our records ascending within a cluster — byte-for-byte comparable.
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a.cluster_id != b.cluster_id ? a.cluster_id < b.cluster_id
+                                          : a.record < b.record;
+    });
+    CsvTable out;
+    out.header = {"record_id", "cluster_id", "cluster_size"};
+    for (const Row& row : rows) {
+      out.rows.push_back({std::to_string(encoded->ids[row.record]),
+                          std::to_string(row.cluster_id),
+                          std::to_string(row.cluster_size)});
+    }
+    const Status status = WriteCsvFile(argv[5], out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("matched records -> %s\n", argv[5]);
+  }
+  return 0;
+}
+
 int Generate(int argc, char** argv) {
   if (argc < 4) return Usage();
   const size_t n = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 1000;
@@ -347,6 +492,8 @@ int main(int argc, char** argv) {
   else if (command == "encode") rc = Encode(argc, argv);
   else if (command == "link-encoded") rc = LinkEncoded(argc, argv);
   else if (command == "ship") rc = Ship(argc, argv);
+  else if (command == "append") rc = Append(argc, argv);
+  else if (command == "query") rc = Query(argc, argv);
   else return Usage();
   // With PPRL_METRICS_JSON=<path|-> set, dump everything the run recorded.
   obs::MaybeDumpMetricsJson();

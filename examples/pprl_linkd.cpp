@@ -16,6 +16,11 @@
 ///   --worker      worker: holds shipments and answers a coordinator's
 ///                 partition assignments; never links on its own and never
 ///                 answers owners with results.
+///   --online      serving: every shipment feeds an incrementally
+///                 maintained LSH index + cluster partition, and sessions
+///                 then serve record appends and link queries (protocol
+///                 v4, `pprl_cli append` / `pprl_cli query`) until the
+///                 daemon is stopped. No batch linkage run.
 ///
 /// With --metrics, a Prometheus text endpoint (GET /metrics) is served on
 /// the given port (0 picks an ephemeral one; the bound port is printed).
@@ -70,6 +75,9 @@ int Usage(FILE* out) {
       "                             --workers)\n"
       "  --worker                   worker: answer partition assignments from\n"
       "                             a coordinator; never link alone\n"
+      "  --online                   serving: maintain a live LSH index and\n"
+      "                             cluster partition; sessions append and\n"
+      "                             link-query records until stopped\n"
       "\n"
       "coordinator options:\n"
       "  --partition-scheme <s>     block-key partitioning: auto | rendezvous\n"
@@ -89,6 +97,8 @@ int Usage(FILE* out) {
       "  --session-ttl-ms <ms>      idle partial-shipment sweep age\n"
       "  --min-owners <n>           owner quorum: link with fewer owners\n"
       "                             after a quiet period (degraded)\n"
+      "  --clustering star|cc       cluster materialization: star clustering\n"
+      "                             (default) or connected components\n"
       "  --chaos <seed>             deterministic fault injection (drills)\n"
       "  --spool <dir>              persist registered shipments to <dir>\n"
       "  --spool-format csv|pclk    spool file format (default pclk)\n"
@@ -190,6 +200,7 @@ int main(int argc, char** argv) {
   CoordinatorConfig coordinator_config;
   bool worker_role = false;
   bool coordinator_role = false;
+  bool online_role = false;
   config.name = "pprl-linkd";
   config.port = static_cast<uint16_t>(std::atoi(argv[1]));
   config.expected_owners = static_cast<size_t>(std::atoll(argv[2]));
@@ -201,6 +212,19 @@ int main(int argc, char** argv) {
     if (arg == "--all-interfaces") config.loopback_only = false;
     if (arg == "--worker") worker_role = true;
     if (arg == "--coordinator") coordinator_role = true;
+    if (arg == "--online") online_role = true;
+    if (arg == "--clustering" && i + 1 < argc) {
+      const std::string clustering = argv[++i];
+      if (clustering == "star") {
+        config.link_options.use_star_clustering = true;
+      } else if (clustering == "cc") {
+        config.link_options.use_star_clustering = false;
+      } else {
+        std::fprintf(stderr, "--clustering must be star or cc, got %s\n",
+                     clustering.c_str());
+        return 2;
+      }
+    }
     if (arg == "--workers" && i + 1 < argc) {
       coordinator_role = true;
       auto workers = ParseWorkerList(argv[++i]);
@@ -278,9 +302,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--worker and --coordinator are mutually exclusive\n");
     return 2;
   }
+  if (online_role && (worker_role || coordinator_role)) {
+    std::fprintf(stderr,
+                 "--online is a serving role; it combines with neither "
+                 "--worker nor --coordinator\n");
+    return 2;
+  }
   if (coordinator_role && coordinator_config.workers.empty()) {
     std::fprintf(stderr, "--coordinator needs --workers <host:port,...>\n");
     return 2;
+  }
+
+  if (online_role) {
+    config.name = "pprl-linkd-online";
+    config.online_mode = true;
+    LinkageUnitServer server(config);
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("pprl_linkd: ONLINE on port %u, serving appends and link "
+                "queries (dice >= %.2f, %zu LSH tables x %zu bits, %s)\n",
+                server.port(), config.link_options.dice_threshold,
+                config.link_options.lsh_tables,
+                config.link_options.lsh_bits_per_key,
+                config.loopback_only ? "loopback only" : "all interfaces");
+    PrintCommonConfig(config, server.max_sessions());
+    if (server.metrics_port() != 0) {
+      std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
+                  server.metrics_port());
+    }
+    // An online daemon serves until its operator stops it; there is no
+    // "done" state of its own.
+    server.WaitUntilDone(/*timeout_ms=*/0);
+    server.Stop();
+    return 0;
   }
 
   if (worker_role) {

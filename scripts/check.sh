@@ -31,11 +31,11 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DPPRL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
   --target comparison_test compare_kernels_test thread_pool_test \
-           parallel_pipeline_test metrics_test
+           parallel_pipeline_test metrics_test online_linkage_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-  -R '^(comparison_test|compare_kernels_test|thread_pool_test|parallel_pipeline_test|metrics_test)$'
+  -R '^(comparison_test|compare_kernels_test|thread_pool_test|parallel_pipeline_test|metrics_test|online_linkage_test)$'
 echo "check.sh: concurrency tests passed under TSan"
 
 # Chaos gate: the fault-tolerant linkage service under TSan. Seeded fault
@@ -136,12 +136,28 @@ CLI="${PERF_BUILD_DIR}/examples/pprl_cli"
 "${CLI}" encode "${SMOKE}/a.csv" "${SMOKE}/a.pclk" shared-secret >/dev/null
 "${CLI}" encode "${SMOKE}/b.csv" "${SMOKE}/b.pclk" shared-secret >/dev/null
 
+# Owner registration order IS the database-index order that the
+# canonical cluster ids depend on: every daemon in these gates must see
+# clinic-a register first, or the byte-parity cmps below would compare
+# different (isomorphic, but differently numbered) cluster labelings.
+# The daemons log each registration on stderr; ship the second owner
+# only once the first one is in.
+wait_registered() { # <stderr log> <party>
+  for _ in $(seq 200); do
+    grep -q "registered shipment of owner '$2'" "$1" && return 0
+    sleep 0.05
+  done
+  echo "check.sh: owner '$2' never registered (see $1)" >&2
+  return 1
+}
+
 # Path 1: single daemon (README "networked quickstart").
-"${LINKD}" 18901 2 0.8 > "${SMOKE}/single.log" &
+"${LINKD}" 18901 2 0.8 > "${SMOKE}/single.log" 2> "${SMOKE}/single.err" &
 SINGLE_PID=$!
 sleep 0.5
 "${CLI}" ship "${SMOKE}/a.pclk" clinic-a 127.0.0.1:18901 "${SMOKE}/a_single.csv" >/dev/null &
 SHIP_A=$!
+wait_registered "${SMOKE}/single.err" clinic-a
 "${CLI}" ship "${SMOKE}/b.pclk" clinic-b 127.0.0.1:18901 "${SMOKE}/b_single.csv" >/dev/null
 wait "${SHIP_A}" "${SINGLE_PID}"
 
@@ -152,11 +168,12 @@ WORKER1_PID=$!
 "${LINKD}" 18912 2 --worker > "${SMOKE}/worker2.log" &
 WORKER2_PID=$!
 sleep 0.5
-"${LINKD}" 18902 2 0.8 --workers 18911,18912 --chaos 99 > "${SMOKE}/coord.log" &
+"${LINKD}" 18902 2 0.8 --workers 18911,18912 --chaos 99 > "${SMOKE}/coord.log" 2> "${SMOKE}/coord.err" &
 COORD_PID=$!
 sleep 0.5
 "${CLI}" ship "${SMOKE}/a.pclk" clinic-a 127.0.0.1:18902 "${SMOKE}/a_coord.csv" >/dev/null &
 SHIP_A=$!
+wait_registered "${SMOKE}/coord.err" clinic-a
 "${CLI}" ship "${SMOKE}/b.pclk" clinic-b 127.0.0.1:18902 "${SMOKE}/b_coord.csv" >/dev/null
 wait "${SHIP_A}" "${COORD_PID}"
 kill "${WORKER1_PID}" "${WORKER2_PID}" 2>/dev/null || true
@@ -169,5 +186,44 @@ COORD_COUNTS=$(grep '^linked ' "${SMOKE}/coord.log")
 echo "check.sh: single daemon : ${SINGLE_COUNTS}"
 echo "check.sh: sharded+chaos : ${COORD_COUNTS}"
 [ "${SINGLE_COUNTS}" = "${COORD_COUNTS}" ]
-rm -rf "${SMOKE}"
 echo "check.sh: sharded linkage parity gate passed (chaos seed 99)"
+
+# Online serving parity gate: a 5k+5k corpus (10k appended records)
+# through the protocol-v4 serving path. A batch daemon with
+# connected-components clustering ships both parties and writes each
+# owner's match file; an online daemon absorbs the same shards via
+# `pprl_cli append` and answers `pprl_cli query` for each party. The
+# query CSVs must be BYTE-IDENTICAL to the batch match files (the
+# stream/batch equivalence contract of linkage/online_linkage.h,
+# operator-visible), and the query loop must clear a conservative
+# single-core throughput floor.
+"${CLI}" generate "${SMOKE}/c.csv" "${SMOKE}/d.csv" 5000 >/dev/null
+"${CLI}" encode "${SMOKE}/c.csv" "${SMOKE}/c.pclk" shared-secret >/dev/null
+"${CLI}" encode "${SMOKE}/d.csv" "${SMOKE}/d.pclk" shared-secret >/dev/null
+"${LINKD}" 18921 2 0.8 --clustering cc > "${SMOKE}/batchcc.log" 2> "${SMOKE}/batchcc.err" &
+BATCH_PID=$!
+sleep 0.5
+"${CLI}" ship "${SMOKE}/c.pclk" clinic-a 127.0.0.1:18921 "${SMOKE}/c_batchcc.csv" >/dev/null &
+SHIP_A=$!
+wait_registered "${SMOKE}/batchcc.err" clinic-a
+"${CLI}" ship "${SMOKE}/d.pclk" clinic-b 127.0.0.1:18921 "${SMOKE}/d_batchcc.csv" >/dev/null
+wait "${SHIP_A}" "${BATCH_PID}"
+
+"${LINKD}" 18922 2 0.8 --online > "${SMOKE}/online.log" &
+ONLINE_PID=$!
+sleep 0.5
+"${CLI}" append "${SMOKE}/c.pclk" clinic-a 127.0.0.1:18922 >/dev/null
+"${CLI}" append "${SMOKE}/d.pclk" clinic-b 127.0.0.1:18922 >/dev/null
+"${CLI}" query "${SMOKE}/c.pclk" clinic-a 127.0.0.1:18922 "${SMOKE}/c_online.csv" \
+  | tee "${SMOKE}/query_c.out"
+"${CLI}" query "${SMOKE}/d.pclk" clinic-b 127.0.0.1:18922 "${SMOKE}/d_online.csv" >/dev/null
+kill "${ONLINE_PID}" 2>/dev/null || true
+wait "${ONLINE_PID}" 2>/dev/null || true
+
+cmp "${SMOKE}/c_batchcc.csv" "${SMOKE}/c_online.csv"
+cmp "${SMOKE}/d_batchcc.csv" "${SMOKE}/d_online.csv"
+QPS=$(sed -n 's/.*(\([0-9]*\) link-queries\/s).*/\1/p' "${SMOKE}/query_c.out")
+echo "check.sh: online query throughput = ${QPS} link-queries/s (need >= 2000)"
+[ "${QPS}" -ge 2000 ]
+rm -rf "${SMOKE}"
+echo "check.sh: online serving parity gate passed"

@@ -45,6 +45,12 @@ class HammingLshBlocker {
 
   size_t num_tables() const { return positions_.size(); }
   size_t bits_per_key() const { return positions_.empty() ? 0 : positions_[0].size(); }
+  size_t filter_bits() const { return filter_bits_; }
+
+  /// The sampled bit positions, [table][sampled bit]. Exposed so an
+  /// incremental index (blocking/lsh_index.h) can hash the exact same band
+  /// geometry without re-deriving keys through strings.
+  const std::vector<std::vector<uint32_t>>& positions() const { return positions_; }
 
  private:
   size_t filter_bits_;

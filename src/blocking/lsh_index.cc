@@ -1,0 +1,123 @@
+#include "blocking/lsh_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pprl {
+
+namespace {
+
+/// splitmix64 finalizer — full-avalanche mix of a band fingerprint into a
+/// table slot. Fingerprints are highly structured (packed filter bits), so
+/// the raw value would cluster badly under power-of-two masking.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+uint32_t LshBandIndex::BandTable::Find(uint64_t fp) const {
+  if (heads.empty()) return kNoRow;
+  const size_t mask = heads.size() - 1;
+  size_t i = MixHash(fp) & mask;
+  while (heads[i] != kNoRow) {
+    if (fingerprints[i] == fp) return heads[i];
+    i = (i + 1) & mask;
+  }
+  return kNoRow;
+}
+
+void LshBandIndex::BandTable::Insert(uint64_t fp, uint32_t row) {
+  assert(next.size() == row && "rows must be inserted in order");
+  next.push_back(kNoRow);
+  if (heads.empty() || (used + 1) * 2 > heads.size()) Grow();
+  const size_t mask = heads.size() - 1;
+  size_t i = MixHash(fp) & mask;
+  while (heads[i] != kNoRow) {
+    if (fingerprints[i] == fp) {
+      next[row] = heads[i];
+      heads[i] = row;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  fingerprints[i] = fp;
+  heads[i] = row;
+  ++used;
+}
+
+void LshBandIndex::BandTable::Grow() {
+  const size_t capacity = heads.empty() ? 1024 : heads.size() * 2;
+  std::vector<uint64_t> old_fps = std::move(fingerprints);
+  std::vector<uint32_t> old_heads = std::move(heads);
+  fingerprints.assign(capacity, 0);
+  heads.assign(capacity, kNoRow);
+  const size_t mask = capacity - 1;
+  for (size_t s = 0; s < old_heads.size(); ++s) {
+    if (old_heads[s] == kNoRow) continue;
+    size_t i = MixHash(old_fps[s]) & mask;
+    while (heads[i] != kNoRow) i = (i + 1) & mask;
+    fingerprints[i] = old_fps[s];
+    heads[i] = old_heads[s];
+  }
+}
+
+LshBandIndex::LshBandIndex(size_t filter_bits, size_t num_tables,
+                           size_t bits_per_key, uint64_t seed)
+    : rng_(seed),
+      blocker_(filter_bits, num_tables, bits_per_key, rng_),
+      tables_(num_tables),
+      rows_(0, filter_bits) {}
+
+uint64_t LshBandIndex::BandFingerprint(const BitVector& bf,
+                                       size_t table) const {
+  const std::vector<uint32_t>& positions = blocker_.positions()[table];
+  if (positions.size() <= 64) {
+    // Packed sampled bits: injective, so fingerprint equality IS string-key
+    // equality of HammingLshBlocker::Keys for this table.
+    uint64_t fp = 0;
+    for (size_t i = 0; i < positions.size(); ++i) {
+      fp |= static_cast<uint64_t>(bf.Get(positions[i]) ? 1 : 0) << i;
+    }
+    return fp;
+  }
+  uint64_t h = kFnvOffset;
+  for (uint32_t pos : positions) {
+    h = (h ^ static_cast<uint64_t>(bf.Get(pos) ? 1 : 0)) * kFnvPrime;
+  }
+  return h;
+}
+
+uint32_t LshBandIndex::Append(const BitVector& filter) {
+  assert(filter.size() == filter_bits());
+  const uint32_t row = static_cast<uint32_t>(rows_.AppendRow(filter));
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    tables_[t].Insert(BandFingerprint(filter, t), row);
+  }
+  return row;
+}
+
+void LshBandIndex::Probe(const BitVector& probe,
+                         std::vector<uint32_t>* out) const {
+  out->clear();
+  uint64_t scanned = 0;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const BandTable& table = tables_[t];
+    for (uint32_t row = table.Find(BandFingerprint(probe, t)); row != kNoRow;
+         row = table.next[row]) {
+      out->push_back(row);
+      ++scanned;
+    }
+  }
+  probed_entries_.fetch_add(scanned, std::memory_order_relaxed);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace pprl

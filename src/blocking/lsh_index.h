@@ -1,0 +1,104 @@
+#ifndef PPRL_BLOCKING_LSH_INDEX_H_
+#define PPRL_BLOCKING_LSH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "blocking/lsh_blocking.h"
+#include "common/bit_matrix.h"
+#include "common/bitvector.h"
+#include "common/random.h"
+
+namespace pprl {
+
+/// An incrementally-maintainable Hamming-LSH blocking index.
+///
+/// `HammingLshBlocker` answers the batch question — all candidate pairs
+/// between two fully-materialized databases — by building string-keyed
+/// `BlockIndex` maps and intersecting them. The online serving path asks a
+/// different question thousands of times per second: given ONE new filter,
+/// which already-indexed rows collide with it in at least one band table?
+/// This class answers that in O(tables + candidates) per probe and supports
+/// append-without-rebuild, which is what turns "link one new record" from a
+/// batch job into a sub-millisecond query (ROADMAP "velocity" item).
+///
+/// Design:
+///  - Band geometry is the `HammingLshBlocker`'s own sampled positions
+///    (constructed from the same seed), so the collision relation is
+///    IDENTICAL to the batch blocker's: two rows collide here iff their
+///    string keys in `HammingLshBlocker::Keys` are equal for some table.
+///    For bits_per_key <= 64 the band fingerprint packs the sampled bits
+///    into a u64 (injective, hence exact); wider bands fall back to
+///    FNV-1a-64 over the sampled bits.
+///  - Each table is an open-addressing fingerprint -> bucket-head map with
+///    per-row chain links ("next" array), so an append touches O(tables)
+///    cache lines and never reallocates per-bucket storage.
+///  - Row payloads live in one growable `BitMatrix`, so the fused
+///    AND-popcount comparison kernels (linkage/compare_kernels.h) run
+///    unchanged over candidate sets.
+class LshBandIndex {
+ public:
+  /// Samples band geometry from `Rng(seed)` exactly like the batch path in
+  /// pipeline/party.cc does, so a batch `Link()` with the same
+  /// (filter_bits, num_tables, bits_per_key, seed) sees the same collisions.
+  LshBandIndex(size_t filter_bits, size_t num_tables, size_t bits_per_key,
+               uint64_t seed);
+
+  /// Appends `filter` as the next row and indexes it in every band table.
+  /// O(tables) map operations + one O(row words) copy. Returns the row id.
+  uint32_t Append(const BitVector& filter);
+
+  /// All distinct indexed rows that collide with `probe` in at least one
+  /// band table, ascending row order. Does not insert. `out` is cleared.
+  void Probe(const BitVector& probe, std::vector<uint32_t>* out) const;
+
+  /// Band fingerprint of `bf` in `table` — equal fingerprints are exactly
+  /// the string-key collisions of `HammingLshBlocker::Keys` when
+  /// bits_per_key <= 64.
+  uint64_t BandFingerprint(const BitVector& bf, size_t table) const;
+
+  size_t size() const { return rows_.num_rows(); }
+  size_t filter_bits() const { return blocker_.filter_bits(); }
+
+  /// The backing row storage; row i is the filter passed to the i-th
+  /// Append(). Pointers are invalidated by Append() (geometric growth).
+  const BitMatrix& rows() const { return rows_; }
+
+  const HammingLshBlocker& blocker() const { return blocker_; }
+
+  /// Total bucket-chain entries scanned by all Probe() calls so far
+  /// (pre-dedup candidate volume; cost observability for tuning).
+  uint64_t probed_entries() const {
+    return probed_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One band table: open-addressing fingerprint -> head row, with bucket
+  /// membership chained through `next` (row id == position; kNoRow ends the
+  /// chain). Power-of-two capacity, linear probing, grown at 50% load.
+  struct BandTable {
+    std::vector<uint64_t> fingerprints;
+    std::vector<uint32_t> heads;   ///< kNoRow marks an empty slot
+    std::vector<uint32_t> next;    ///< per indexed row, previous head or kNoRow
+    size_t used = 0;
+
+    uint32_t Find(uint64_t fp) const;          ///< head row or kNoRow
+    void Insert(uint64_t fp, uint32_t row);    ///< prepends `row` to fp's chain
+    void Grow();
+  };
+
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+
+  Rng rng_;  ///< consumed by blocker_'s construction; kept for init order
+  HammingLshBlocker blocker_;
+  std::vector<BandTable> tables_;
+  BitMatrix rows_;
+  /// Relaxed atomic so concurrent Probe() calls (readers under a shared
+  /// lock in OnlineLinkageEngine) stay race-free.
+  mutable std::atomic<uint64_t> probed_entries_{0};
+};
+
+}  // namespace pprl
+
+#endif  // PPRL_BLOCKING_LSH_INDEX_H_

@@ -118,6 +118,48 @@ void BitMatrix::AssignRowSlice(const BitMatrix& src, size_t row_begin,
                  src.counts_.begin() + static_cast<ptrdiff_t>(row_end));
 }
 
+void BitMatrix::RecountRow(size_t i) {
+  assert(i < num_rows_);
+  const uint64_t* r = row(i);
+  size_t count = 0;
+  for (size_t w = 0; w < words_per_row_; ++w) count += std::popcount(r[w]);
+  counts_[i] = count;
+}
+
+void BitMatrix::ReserveRows(size_t rows) {
+  assert(stride_words_ > 0 || rows == 0);
+  const size_t needed = rows * stride_words_;
+  if (needed <= capacity_words_) return;
+  AlignedWords grown = Allocate(needed);
+  if (num_rows_ > 0) {
+    std::memcpy(grown.get(), data_.get(),
+                num_rows_ * stride_words_ * sizeof(uint64_t));
+  }
+  data_ = std::move(grown);
+  capacity_words_ = needed;
+  counts_.reserve(rows);
+}
+
+size_t BitMatrix::AppendRow() {
+  assert(stride_words_ > 0 && "append needs a fixed row width; construct with BitMatrix(0, bits)");
+  if ((num_rows_ + 1) * stride_words_ > capacity_words_) {
+    ReserveRows(std::max<size_t>(num_rows_ * 2, 1024));
+  }
+  const size_t i = num_rows_++;
+  std::memset(mutable_row(i), 0, stride_words_ * sizeof(uint64_t));
+  counts_.push_back(0);
+  return i;
+}
+
+size_t BitMatrix::AppendRow(const BitVector& row) {
+  assert(row.size() == num_bits_);
+  const size_t i = AppendRow();
+  const std::vector<uint64_t>& words = row.words();
+  std::memcpy(mutable_row(i), words.data(), words.size() * sizeof(uint64_t));
+  counts_[i] = row.Count();
+  return i;
+}
+
 void BitMatrix::RecomputeCounts() {
   for (size_t i = 0; i < num_rows_; ++i) {
     const uint64_t* r = row(i);

@@ -73,6 +73,29 @@ class BitMatrix {
   /// Re-derives every per-row popcount from the current words.
   void RecomputeCounts();
 
+  /// Re-derives the popcount of row `i` only; for callers that wrote a
+  /// single row through mutable_row() and want to keep appends O(row).
+  void RecountRow(size_t i);
+
+  /// Ensures capacity for at least `rows` rows without changing num_rows().
+  /// Grows by copy; existing row pointers are invalidated.
+  void ReserveRows(size_t rows);
+
+  /// Rows the current allocation can hold without growing.
+  size_t row_capacity() const {
+    return stride_words_ == 0 ? 0 : capacity_words_ / stride_words_;
+  }
+
+  /// Appends one all-zero row (amortized O(row) via geometric growth) and
+  /// returns its index. Callers fill it through mutable_row() and then
+  /// call RecountRow().
+  size_t AppendRow();
+
+  /// Appends a row holding `row`'s bits; `row.size()` must equal
+  /// num_bits(). Returns the new row's index. The popcount is taken from
+  /// the vector's cached count, so the append is O(words_per_row()).
+  size_t AppendRow(const BitVector& row);
+
   /// Makes this matrix a copy of rows [row_begin, row_end) of `src` —
   /// same num_bits, row i holds src row row_begin + i, counts copied, not
   /// recomputed. Reuses the existing allocation when it is large enough

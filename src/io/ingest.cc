@@ -119,18 +119,8 @@ const char* ShardFileFormatName(ShardFileFormat format) {
   return "auto";
 }
 
-ShardBuilder::ShardBuilder(size_t filter_bits) : filter_bits_(filter_bits) {}
-
-void ShardBuilder::Reserve(size_t rows) {
-  if (rows <= capacity_) return;
-  BitMatrix grown(rows, filter_bits_);
-  if (!ids_.empty()) {
-    std::memcpy(grown.mutable_row(0), bits_.row(0),
-                ids_.size() * bits_.stride_words() * 8);
-  }
-  bits_ = std::move(grown);
-  capacity_ = rows;
-}
+ShardBuilder::ShardBuilder(size_t filter_bits)
+    : filter_bits_(filter_bits), bits_(0, filter_bits) {}
 
 Status ShardBuilder::Append(uint64_t id, const BitVector& filter) {
   if (filter.size() != filter_bits_) {
@@ -138,9 +128,7 @@ Status ShardBuilder::Append(uint64_t id, const BitVector& filter) {
         "filter has " + std::to_string(filter.size()) + " bits, shard takes " +
         std::to_string(filter_bits_));
   }
-  if (ids_.size() == capacity_) Reserve(capacity_ == 0 ? 1024 : capacity_ * 2);
-  std::memcpy(bits_.mutable_row(ids_.size()), filter.words().data(),
-              bits_.words_per_row() * 8);
+  bits_.AppendRow(filter);
   ids_.push_back(id);
   return Status::OK();
 }
@@ -150,8 +138,8 @@ Status ShardBuilder::AppendBytes(uint64_t id, const uint8_t* bytes, size_t len) 
   if (len < carry) {
     return Status::InvalidArgument("byte buffer shorter than declared bit length");
   }
-  if (ids_.size() == capacity_) Reserve(capacity_ == 0 ? 1024 : capacity_ * 2);
-  uint64_t* row = bits_.mutable_row(ids_.size());
+  const size_t r = bits_.AppendRow();
+  uint64_t* row = bits_.mutable_row(r);
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(row, bytes, carry);
   } else {
@@ -165,26 +153,17 @@ Status ShardBuilder::AppendBytes(uint64_t id, const uint8_t* bytes, size_t len) 
   if (tail != 0 && bits_.words_per_row() > 0) {
     row[bits_.words_per_row() - 1] &= (1ull << tail) - 1;
   }
+  bits_.RecountRow(r);
   ids_.push_back(id);
   return Status::OK();
 }
 
 EncodedShard ShardBuilder::Finish() {
   EncodedShard shard;
-  if (ids_.size() == capacity_) {
-    shard.bits = std::move(bits_);
-  } else {
-    shard.bits = BitMatrix(ids_.size(), filter_bits_);
-    if (!ids_.empty()) {
-      std::memcpy(shard.bits.mutable_row(0), bits_.row(0),
-                  ids_.size() * bits_.stride_words() * 8);
-    }
-  }
-  shard.bits.RecomputeCounts();
+  shard.bits = std::move(bits_);
   shard.ids = std::move(ids_);
   ids_ = {};
-  bits_ = BitMatrix();
-  capacity_ = 0;
+  bits_ = BitMatrix(0, filter_bits_);
   return shard;
 }
 

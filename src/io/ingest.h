@@ -77,12 +77,9 @@ class ShardBuilder {
   EncodedShard Finish();
 
  private:
-  void Reserve(size_t rows);
-
   size_t filter_bits_;
   std::vector<uint64_t> ids_;
-  BitMatrix bits_;  ///< capacity_ rows; rows [0, ids_.size()) are live
-  size_t capacity_ = 0;
+  BitMatrix bits_;  ///< grows geometrically via BitMatrix::AppendRow
 };
 
 /// Reads only the header row of a QID CSV and returns the schema the

@@ -209,28 +209,62 @@ void IncrementalClusterer::UpdateRepresentative(size_t cluster_index,
   representatives_[cluster_index] = std::move(rep);
 }
 
+bool IncrementalClusterer::ConsiderCluster(size_t c, const RecordRef& ref,
+                                           const BitVector& encoding,
+                                           double* best_score,
+                                           size_t* best_cluster) {
+  if (one_per_database_) {
+    bool database_taken = false;
+    for (const RecordRef& member : clusters_[c]) {
+      if (member.database == ref.database) {
+        database_taken = true;
+        break;
+      }
+    }
+    if (database_taken) return false;
+  }
+  if (representatives_[c].size() != encoding.size()) return false;
+  ++comparisons_;
+  const double score = similarity_(representatives_[c], encoding);
+  // Strictly better only: ties keep the earlier (lowest-index) cluster,
+  // the determinism rule documented in the header.
+  if (score > *best_score) {
+    *best_score = score;
+    *best_cluster = c;
+  }
+  return true;
+}
+
 size_t IncrementalClusterer::Insert(const RecordRef& ref, const BitVector& encoding) {
   double best_score = -1;
   size_t best_cluster = clusters_.size();
   for (size_t c = 0; c < clusters_.size(); ++c) {
-    if (one_per_database_) {
-      bool database_taken = false;
-      for (const RecordRef& member : clusters_[c]) {
-        if (member.database == ref.database) {
-          database_taken = true;
-          break;
-        }
-      }
-      if (database_taken) continue;
-    }
-    if (representatives_[c].size() != encoding.size()) continue;
-    ++comparisons_;
-    const double score = similarity_(representatives_[c], encoding);
-    if (score > best_score) {
-      best_score = score;
-      best_cluster = c;
-    }
+    ConsiderCluster(c, ref, encoding, &best_score, &best_cluster);
   }
+  return Attach(ref, encoding, best_score, best_cluster);
+}
+
+size_t IncrementalClusterer::Insert(const RecordRef& ref,
+                                    const BitVector& encoding,
+                                    const std::vector<size_t>& candidate_clusters) {
+  // Ascending order + dedup preserve the lowest-index tie rule no matter
+  // how the caller's blocking index ordered its candidates.
+  std::vector<size_t> candidates = candidate_clusters;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  double best_score = -1;
+  size_t best_cluster = clusters_.size();
+  for (size_t c : candidates) {
+    if (c >= clusters_.size()) continue;
+    ConsiderCluster(c, ref, encoding, &best_score, &best_cluster);
+  }
+  return Attach(ref, encoding, best_score, best_cluster);
+}
+
+size_t IncrementalClusterer::Attach(const RecordRef& ref,
+                                    const BitVector& encoding,
+                                    double best_score, size_t best_cluster) {
   if (best_cluster == clusters_.size() || best_score < threshold_) {
     clusters_.push_back({ref});
     representatives_.push_back(encoding);

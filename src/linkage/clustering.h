@@ -61,7 +61,23 @@ class IncrementalClusterer {
   IncrementalClusterer(double threshold, PairSimilarityFunction similarity);
 
   /// Inserts one encoded record; returns the cluster index it joined.
+  ///
+  /// Determinism rule (both overloads): candidate clusters are scanned in
+  /// ascending cluster index and only a strictly better score displaces the
+  /// current best, so ties on score join the LOWEST cluster index. Stream
+  /// replays therefore reproduce the same assignment regardless of how the
+  /// candidate set was produced, as long as it contains the best cluster.
   size_t Insert(const RecordRef& ref, const BitVector& encoding);
+
+  /// Candidate-restricted insert: compares `encoding` only against the
+  /// listed cluster indices (out-of-range entries ignored, duplicates
+  /// deduplicated) instead of scanning every cluster — O(candidates), not
+  /// O(clusters). Callers obtain candidates from a blocking index over the
+  /// cluster representatives or members (e.g. blocking/lsh_index.h). When
+  /// the candidate set contains the would-be winner of the full scan, the
+  /// result is identical to the unrestricted overload.
+  size_t Insert(const RecordRef& ref, const BitVector& encoding,
+                const std::vector<size_t>& candidate_clusters);
 
   /// A cluster may only contain one record per database when
   /// `one_per_database` is set (entities appear at most once per source).
@@ -75,6 +91,17 @@ class IncrementalClusterer {
 
  private:
   void UpdateRepresentative(size_t cluster_index, const BitVector& encoding);
+
+  /// Scores cluster `c` against `encoding` and updates the running best
+  /// (strictly-better-only; see the determinism rule on Insert). Returns
+  /// whether the cluster was actually compared.
+  bool ConsiderCluster(size_t c, const RecordRef& ref, const BitVector& encoding,
+                       double* best_score, size_t* best_cluster);
+
+  /// Joins `best_cluster` when `best_score` clears the threshold, else
+  /// founds a new cluster. Returns the cluster index.
+  size_t Attach(const RecordRef& ref, const BitVector& encoding,
+                double best_score, size_t best_cluster);
 
   double threshold_;
   PairSimilarityFunction similarity_;

@@ -27,7 +27,7 @@ namespace pprl {
 
 /// Version of the frame layout + message payloads. Bump on any
 /// incompatible change; the handshake rejects mismatches.
-inline constexpr uint8_t kWireProtocolVersion = 3;
+inline constexpr uint8_t kWireProtocolVersion = 4;
 
 /// Frame header size on the wire.
 inline constexpr size_t kFrameHeaderSize = 12;

@@ -328,4 +328,224 @@ Status RemoteOwnerClient::Deliver(const std::string& owner,
   return Status::OK();
 }
 
+OnlineLinkClient::OnlineLinkClient(OnlineLinkClientConfig config, Channel* meter)
+    : config_(std::move(config)), meter_(meter) {}
+
+OnlineLinkClient::~OnlineLinkClient() { Close(); }
+
+void OnlineLinkClient::Close() {
+  mfc_.reset();
+  if (conn_) conn_->Close();
+  conn_.reset();
+}
+
+Status OnlineLinkClient::Connect(const std::string& party, uint32_t filter_bits) {
+  if (party.empty()) return Status::InvalidArgument("party name missing");
+  if (filter_bits == 0) return Status::InvalidArgument("filter bit length missing");
+  Close();
+  party_ = party;
+  filter_bits_ = filter_bits;
+  session_id_ = 0;
+  appended_ = 0;
+  return EnsureConnected();
+}
+
+Status OnlineLinkClient::EnsureConnected() {
+  if (mfc_) return Status::OK();
+  if (party_.empty()) return Status::FailedPrecondition("Connect() first");
+  auto conn = TcpConnection::Connect(config_.host, config_.port, config_.connect);
+  if (!conn.ok()) return conn.status();
+  conn_ = std::move(*conn);
+  conn_->SetIoTimeout(config_.io_timeout_ms);
+  mfc_ = std::make_unique<MeteredFrameConnection>(*conn_, meter_, party_,
+                                                  config_.max_frame_payload);
+  mfc_->set_peer(server_name_.empty() ? config_.server_label : server_name_);
+
+  int busy_hint = -1;
+  if (session_id_ == 0) {
+    // Fresh session: the online query-only handshake (zero records —
+    // appends are still allowed, cursored by the engine).
+    HelloMessage hello;
+    hello.protocol_version = kWireProtocolVersion;
+    hello.party = party_;
+    hello.filter_bits = filter_bits_;
+    hello.record_count = 0;
+    Status sent =
+        mfc_->Send(static_cast<uint8_t>(MessageType::kHello), EncodeHello(hello),
+                   MessageTypeTag(static_cast<uint8_t>(MessageType::kHello)));
+    if (!sent.ok()) {
+      Close();
+      return sent;
+    }
+    auto ack_payload = ExpectFrame(mfc_->Receive(MessageTypeTag),
+                                   MessageType::kHelloAck, &busy_hint);
+    if (!ack_payload.ok()) {
+      Close();
+      return ack_payload.status();
+    }
+    auto ack = DecodeHelloAck(*ack_payload);
+    if (!ack.ok()) {
+      Close();
+      return ack.status();
+    }
+    if (ack->protocol_version != kWireProtocolVersion) {
+      Close();
+      return Status::ProtocolViolation(
+          "server speaks protocol version " + std::to_string(ack->protocol_version) +
+          ", client speaks " + std::to_string(kWireProtocolVersion));
+    }
+    server_name_ = ack->server;
+    mfc_->set_peer(ack->server);
+    session_id_ = ack->session_id;
+    return Status::OK();
+  }
+
+  // Re-attach the server-side session after a connection loss.
+  ResumeMessage resume;
+  resume.protocol_version = kWireProtocolVersion;
+  resume.party = party_;
+  resume.session_id = session_id_;
+  Status sent =
+      mfc_->Send(static_cast<uint8_t>(MessageType::kResume), EncodeResume(resume),
+                 MessageTypeTag(static_cast<uint8_t>(MessageType::kResume)));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  auto rack_payload = ExpectFrame(mfc_->Receive(MessageTypeTag),
+                                  MessageType::kResumeAck, &busy_hint);
+  if (!rack_payload.ok()) {
+    Close();
+    if (rack_payload.status().code() == StatusCode::kNotFound) {
+      // Swept on the server: start a fresh session. The record cursor
+      // lives in the engine, not the session, so appends stay idempotent.
+      session_id_ = 0;
+      return EnsureConnected();
+    }
+    return rack_payload.status();
+  }
+  auto rack = DecodeResumeAck(*rack_payload);
+  if (!rack.ok()) {
+    Close();
+    return rack.status();
+  }
+  if (rack->session_id != session_id_) {
+    Close();
+    return Status::ProtocolViolation("resume-ack does not match the session");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> OnlineLinkClient::Roundtrip(
+    MessageType send_type,
+    const std::function<std::vector<uint8_t>()>& make_payload,
+    MessageType expected) {
+  RetryBackoff backoff(config_.retry);
+  Status last_error = Status::IoError("no attempt made");
+  for (int attempt = 0; attempt < std::max(config_.retry.max_attempts, 1);
+       ++attempt) {
+    int busy_hint = -1;
+    Status ready = EnsureConnected();
+    if (ready.ok()) {
+      Status sent =
+          mfc_->Send(static_cast<uint8_t>(send_type), make_payload(),
+                     MessageTypeTag(static_cast<uint8_t>(send_type)));
+      if (sent.ok()) {
+        auto reply =
+            ExpectFrame(mfc_->Receive(MessageTypeTag), expected, &busy_hint);
+        if (reply.ok()) return reply;
+        last_error = reply.status();
+      } else {
+        last_error = sent;
+      }
+      // Failed mid-exchange: drop the connection, redial next attempt.
+      Close();
+    } else {
+      last_error = ready;
+    }
+    if (Terminal(last_error)) return last_error;
+    if (last_error.code() == StatusCode::kNotFound) {
+      session_id_ = 0;  // swept on the server: fresh hello next attempt
+    }
+    const bool busy = busy_hint >= 0;
+    const int delay_ms = backoff.NextDelayMs(attempt, busy_hint);
+    CountRetry(busy ? "busy" : "io");
+    ++retries_;
+    if (backoff.DeadlineExceededAfter(delay_ms)) break;
+    PPRL_LOG(kDebug) << "owner '" << party_ << "' retrying online round trip in "
+                     << delay_ms << " ms: " << last_error.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return Status::IoError("online round trip failed: " + last_error.message());
+}
+
+Result<uint64_t> OnlineLinkClient::AppendRows(const EncodedShard& shard,
+                                              size_t row_begin, size_t row_end) {
+  if (filter_bits_ == 0) return Status::FailedPrecondition("Connect() first");
+  if (shard.bits.num_bits() != filter_bits_) {
+    return Status::InvalidArgument("shard filter bits do not match the session");
+  }
+  auto data = EncodeShipmentRows(shard, row_begin, row_end);
+  if (!data.ok()) return data.status();
+  const uint32_t count = static_cast<uint32_t>(row_end - row_begin);
+  const uint64_t base = appended_;
+  auto reply = Roundtrip(
+      MessageType::kAppendRecords,
+      [&] {
+        AppendRecordsMessage msg;
+        msg.session_id = session_id_;
+        msg.base_index = base;
+        msg.filter_bits = filter_bits_;
+        msg.count = count;
+        msg.data = *data;
+        return EncodeAppendRecords(msg);
+      },
+      MessageType::kShipmentAck);
+  if (!reply.ok()) return reply.status();
+  auto ack = DecodeShipmentAck(*reply);
+  if (!ack.ok()) return ack.status();
+  if (ack->session_id != session_id_ || ack->acked_bytes < base + count) {
+    return Status::ProtocolViolation("append ack does not cover the batch");
+  }
+  appended_ = ack->acked_bytes;
+  return appended_;
+}
+
+Result<QueryResultMessage> OnlineLinkClient::QueryRows(
+    const EncodedShard& shard, size_t row_begin, size_t row_end,
+    bool want_clusters, uint32_t top_k) {
+  if (filter_bits_ == 0) return Status::FailedPrecondition("Connect() first");
+  if (shard.bits.num_bits() != filter_bits_) {
+    return Status::InvalidArgument("shard filter bits do not match the session");
+  }
+  auto data = EncodeShipmentRows(shard, row_begin, row_end);
+  if (!data.ok()) return data.status();
+  const uint32_t count = static_cast<uint32_t>(row_end - row_begin);
+  const uint64_t query_id = next_query_id_++;
+  auto reply = Roundtrip(
+      MessageType::kQuery,
+      [&] {
+        QueryMessage msg;
+        msg.session_id = session_id_;
+        msg.query_id = query_id;
+        msg.want_clusters = want_clusters;
+        msg.top_k = top_k;
+        msg.filter_bits = filter_bits_;
+        msg.count = count;
+        msg.data = *data;
+        return EncodeQuery(msg);
+      },
+      MessageType::kQueryResult);
+  if (!reply.ok()) return reply.status();
+  auto result = DecodeQueryResult(*reply);
+  if (!result.ok()) return result.status();
+  if (result->query_id != query_id) {
+    return Status::ProtocolViolation("query-result answers a different query");
+  }
+  if (result->records.size() != count) {
+    return Status::ProtocolViolation("query-result record count mismatch");
+  }
+  return result;
+}
+
 }  // namespace pprl

@@ -2,8 +2,11 @@
 #define PPRL_SERVICE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/fault_injection.h"
@@ -112,6 +115,88 @@ class RemoteOwnerClient : public EncodingSink {
   size_t wire_bytes_sent_ = 0;
   size_t wire_bytes_received_ = 0;
   size_t retries_ = 0;
+};
+
+/// How an owner reaches an online (protocol v4) linkage unit.
+struct OnlineLinkClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Label used for metering routes before the handshake confirms the
+  /// server's own name.
+  std::string server_label = "linkage-unit";
+  ConnectOptions connect;
+  int io_timeout_ms = 30000;
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+  SessionRetryPolicy retry;
+};
+
+/// An owner's persistent session against an online linkage unit
+/// (`LinkageUnitServerConfig::online_mode`): one connection carries any
+/// number of kAppendRecords / kQuery round trips.
+///
+/// Fault tolerance mirrors RemoteOwnerClient: a lost connection is
+/// redialled and the server-side session resumed (fresh hello if it was
+/// swept). Appends are idempotent by the session's record cursor, queries
+/// are stateless, so every operation is safe to retry.
+///
+/// AppendRows assumes this client is its party's only writer and that it
+/// appends from the party's current server-side cursor (record 0 on a
+/// fresh daemon): batches the server has already applied are skipped
+/// idempotently, which is exactly what makes retries safe.
+class OnlineLinkClient {
+ public:
+  explicit OnlineLinkClient(OnlineLinkClientConfig config, Channel* meter = nullptr);
+  ~OnlineLinkClient();
+
+  OnlineLinkClient(const OnlineLinkClient&) = delete;
+  OnlineLinkClient& operator=(const OnlineLinkClient&) = delete;
+
+  /// Opens a session as `party` (hello with record_count = 0 — the online
+  /// query-only handshake; appends are still allowed on it).
+  Status Connect(const std::string& party, uint32_t filter_bits);
+
+  /// Appends rows [row_begin, row_end) of `shard` and returns the party's
+  /// record cursor after the ack.
+  Result<uint64_t> AppendRows(const EncodedShard& shard, size_t row_begin,
+                              size_t row_end);
+
+  /// Link-queries rows [row_begin, row_end) of `shard`; one result per
+  /// row, in row order. `top_k = 0` means the server's default cap.
+  Result<QueryResultMessage> QueryRows(const EncodedShard& shard, size_t row_begin,
+                                       size_t row_end, bool want_clusters,
+                                       uint32_t top_k);
+
+  /// Closes the connection (the server-side session stays resumable).
+  void Close();
+
+  /// The party's record cursor as of the last append ack.
+  uint64_t appended() const { return appended_; }
+  const std::string& server_name() const { return server_name_; }
+  size_t retries() const { return retries_; }
+
+ private:
+  /// Dials and handshakes (resume when a session exists, else hello).
+  Status EnsureConnected();
+  /// Sends `make_payload()` and awaits `expected`, redialling per the
+  /// retry policy on connection loss or kBusy. The payload is rebuilt per
+  /// attempt so it names the session id in effect after any re-handshake.
+  Result<std::vector<uint8_t>> Roundtrip(
+      MessageType send_type,
+      const std::function<std::vector<uint8_t>()>& make_payload,
+      MessageType expected);
+
+  OnlineLinkClientConfig config_;
+  Channel* meter_;
+  std::string party_;
+  uint32_t filter_bits_ = 0;
+  uint64_t session_id_ = 0;
+  uint64_t appended_ = 0;
+  uint64_t next_query_id_ = 1;
+  std::string server_name_;
+  size_t retries_ = 0;
+
+  std::unique_ptr<TcpConnection> conn_;
+  std::unique_ptr<MeteredFrameConnection> mfc_;
 };
 
 }  // namespace pprl

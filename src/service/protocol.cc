@@ -57,6 +57,9 @@ const char* MessageTypeTag(uint8_t type) {
     case MessageType::kBusy: return "busy";
     case MessageType::kAssignPartition: return "assign-partition";
     case MessageType::kPartitionResult: return "partition-result";
+    case MessageType::kAppendRecords: return "append-records";
+    case MessageType::kQuery: return "link-query";
+    case MessageType::kQueryResult: return "query-result";
   }
   return "unknown";
 }
@@ -420,15 +423,24 @@ Result<std::vector<uint8_t>> EncodeShipment(const EncodedShard& shard) {
   if (shard.ids.size() != shard.bits.num_rows()) {
     return Status::InvalidArgument("shipment ids/filters size mismatch");
   }
+  // Little-endian byte b of a row is byte b%8 of word b/8 — the same
+  // layout BitVectorToBytes produces (bits past num_bits are zero by the
+  // BitMatrix invariant).
+  return EncodeShipmentRows(shard, 0, shard.size());
+}
+
+Result<std::vector<uint8_t>> EncodeShipmentRows(const EncodedShard& shard,
+                                                size_t row_begin,
+                                                size_t row_end) {
+  if (row_begin > row_end || row_end > shard.size()) {
+    return Status::InvalidArgument("shipment row range out of bounds");
+  }
   const size_t filter_bytes = (shard.bits.num_bits() + 7) / 8;
   WireWriter w;
   std::vector<uint8_t> row_bytes(filter_bytes);
-  for (size_t i = 0; i < shard.size(); ++i) {
+  for (size_t i = row_begin; i < row_end; ++i) {
     w.PutU64(shard.ids[i]);
     const uint64_t* row = shard.bits.row(i);
-    // Little-endian byte b of the row is byte b%8 of word b/8 — the same
-    // layout BitVectorToBytes produces (bits past num_bits are zero by
-    // the BitMatrix invariant).
     for (size_t b = 0; b < filter_bytes; ++b) {
       row_bytes[b] = static_cast<uint8_t>(row[b / 8] >> (8 * (b % 8)));
     }
@@ -585,6 +597,195 @@ Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
   }
   if (!r.exhausted()) return Status::ProtocolViolation("results: trailing bytes");
   return summary;
+}
+
+namespace {
+
+/// Guard on declared record counts in online batches (a 1M-record batch of
+/// 1000-bit filters is ~133 MB, already past the default frame cap).
+constexpr uint32_t kMaxBatchRecords = 16u << 20;
+
+/// Shared layout check of the online batch messages: `data` must hold
+/// exactly `count` records of (u64 id + ceil(filter_bits/8) bytes).
+Status CheckBatchLayout(const char* what, uint32_t filter_bits, uint32_t count,
+                        size_t data_len) {
+  if (filter_bits == 0) {
+    return Status::ProtocolViolation(std::string(what) +
+                                     ": filter bit length missing");
+  }
+  if (count > kMaxBatchRecords) {
+    return Status::OutOfRange(std::string(what) + ": declared record count " +
+                              std::to_string(count) + " exceeds limit");
+  }
+  const size_t record_size = 8 + (static_cast<size_t>(filter_bits) + 7) / 8;
+  if (data_len != static_cast<size_t>(count) * record_size) {
+    return Status::ProtocolViolation(
+        std::string(what) + ": data length " + std::to_string(data_len) +
+        " does not match " + std::to_string(count) + " records of " +
+        std::to_string(record_size) + " bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeAppendRecords(const AppendRecordsMessage& msg) {
+  WireWriter w;
+  w.PutU64(msg.session_id);
+  w.PutU64(msg.base_index);
+  w.PutU32(msg.filter_bits);
+  w.PutU32(msg.count);
+  w.PutBytes(msg.data.data(), msg.data.size());
+  return w.Take();
+}
+
+Result<AppendRecordsMessage> DecodeAppendRecords(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  AppendRecordsMessage msg;
+  auto session = r.ReadU64();
+  if (!session.ok()) return session.status();
+  msg.session_id = *session;
+  auto base = r.ReadU64();
+  if (!base.ok()) return base.status();
+  msg.base_index = *base;
+  auto bits = r.ReadU32();
+  if (!bits.ok()) return bits.status();
+  msg.filter_bits = *bits;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  msg.count = *count;
+  Status layout = CheckBatchLayout("append-records", msg.filter_bits,
+                                   msg.count, r.remaining());
+  if (!layout.ok()) return layout;
+  auto data = r.ReadBytes(r.remaining());
+  if (!data.ok()) return data.status();
+  msg.data = std::move(*data);
+  return msg;
+}
+
+std::vector<uint8_t> EncodeQuery(const QueryMessage& msg) {
+  WireWriter w;
+  w.PutU64(msg.session_id);
+  w.PutU64(msg.query_id);
+  w.PutU8(msg.want_clusters ? 1 : 0);
+  w.PutU32(msg.top_k);
+  w.PutU32(msg.filter_bits);
+  w.PutU32(msg.count);
+  w.PutBytes(msg.data.data(), msg.data.size());
+  return w.Take();
+}
+
+Result<QueryMessage> DecodeQuery(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  QueryMessage msg;
+  auto session = r.ReadU64();
+  if (!session.ok()) return session.status();
+  msg.session_id = *session;
+  auto query = r.ReadU64();
+  if (!query.ok()) return query.status();
+  msg.query_id = *query;
+  auto want = r.ReadU8();
+  if (!want.ok()) return want.status();
+  msg.want_clusters = *want != 0;
+  auto top_k = r.ReadU32();
+  if (!top_k.ok()) return top_k.status();
+  msg.top_k = *top_k;
+  auto bits = r.ReadU32();
+  if (!bits.ok()) return bits.status();
+  msg.filter_bits = *bits;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  msg.count = *count;
+  Status layout =
+      CheckBatchLayout("link-query", msg.filter_bits, msg.count, r.remaining());
+  if (!layout.ok()) return layout;
+  auto data = r.ReadBytes(r.remaining());
+  if (!data.ok()) return data.status();
+  msg.data = std::move(*data);
+  return msg;
+}
+
+std::vector<uint8_t> EncodeQueryResult(const QueryResultMessage& msg) {
+  WireWriter w;
+  w.PutU64(msg.query_id);
+  w.PutU64(msg.index_size);
+  w.PutU32(static_cast<uint32_t>(msg.records.size()));
+  for (const QueryRecordResult& rec : msg.records) {
+    w.PutU64(rec.id);
+    w.PutU32(rec.cluster_id);
+    w.PutU32(rec.cluster_size);
+    w.PutU32(rec.candidates);
+    w.PutU32(static_cast<uint32_t>(rec.matches.size()));
+    for (const QueryMatch& m : rec.matches) {
+      w.PutU32(m.database);
+      w.PutU32(m.record);
+      w.PutU64(m.id);
+      uint64_t score_bits = 0;
+      std::memcpy(&score_bits, &m.score, sizeof(score_bits));
+      w.PutU64(score_bits);
+    }
+  }
+  return w.Take();
+}
+
+Result<QueryResultMessage> DecodeQueryResult(const std::vector<uint8_t>& payload,
+                                             size_t max_matches) {
+  WireReader r(payload);
+  QueryResultMessage msg;
+  auto query = r.ReadU64();
+  if (!query.ok()) return query.status();
+  msg.query_id = *query;
+  auto index_size = r.ReadU64();
+  if (!index_size.ok()) return index_size.status();
+  msg.index_size = *index_size;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  // u64 id + 4 x u32 per record, before its matches.
+  if (*count > max_matches || r.remaining() < static_cast<size_t>(*count) * 24) {
+    return Status::OutOfRange("query-result: declared record count " +
+                              std::to_string(*count) + " exceeds payload");
+  }
+  msg.records.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    QueryRecordResult rec;
+    auto id = r.ReadU64();
+    if (!id.ok()) return id.status();
+    rec.id = *id;
+    auto cluster_id = r.ReadU32();
+    if (!cluster_id.ok()) return cluster_id.status();
+    rec.cluster_id = *cluster_id;
+    auto cluster_size = r.ReadU32();
+    if (!cluster_size.ok()) return cluster_size.status();
+    rec.cluster_size = *cluster_size;
+    auto candidates = r.ReadU32();
+    if (!candidates.ok()) return candidates.status();
+    rec.candidates = *candidates;
+    auto match_count = r.ReadU32();
+    if (!match_count.ok()) return match_count.status();
+    // u32 db + u32 record + u64 id + u64 score bits per match.
+    if (*match_count > max_matches ||
+        r.remaining() < static_cast<size_t>(*match_count) * 24) {
+      return Status::OutOfRange("query-result: declared match count " +
+                                std::to_string(*match_count) +
+                                " exceeds payload");
+    }
+    rec.matches.reserve(*match_count);
+    for (uint32_t j = 0; j < *match_count; ++j) {
+      QueryMatch m;
+      m.database = r.ReadU32().value();
+      m.record = r.ReadU32().value();
+      m.id = r.ReadU64().value();
+      const uint64_t score_bits = r.ReadU64().value();
+      std::memcpy(&m.score, &score_bits, sizeof(m.score));
+      rec.matches.push_back(m);
+    }
+    msg.records.push_back(std::move(rec));
+  }
+  if (!r.exhausted()) {
+    return Status::ProtocolViolation("query-result: trailing bytes");
+  }
+  return msg;
 }
 
 std::vector<uint8_t> EncodeError(const Status& status) {

@@ -55,6 +55,21 @@ namespace pprl {
 /// that has not received every owner shipment answers kError
 /// (kFailedPrecondition); an overloaded worker sheds with kBusy exactly
 /// like an owner-facing daemon.
+///
+/// Version 4 adds the online serving pair for an incrementally-linked unit
+/// (`pprl_linkd --online`, docs/PROTOCOLS.md §15). Sessions open with the
+/// same hello/resume machinery (a record_count of 0 opens a query-only
+/// session); after registration the session stays open and loops:
+///
+///   owner                          linkage unit
+///     │ ── kAppendRecords ───────────▶ │   base index + id/filter batch
+///     │ ◀─────────── kShipmentAck ── │   acked records (resume cursor)
+///     │ ── kQuery ───────────────────▶ │   query id + filter batch
+///     │ ◀──────────── kQueryResult ── │   per-record matches + cluster
+///
+/// Appends are idempotent by base index (a batch at or below the acked
+/// record cursor is re-acked without being applied), queries are
+/// stateless, so both replay safely over a kResume'd connection.
 enum class MessageType : uint8_t {
   kHello = 1,
   kHelloAck = 2,
@@ -67,6 +82,9 @@ enum class MessageType : uint8_t {
   kBusy = 9,
   kAssignPartition = 10,
   kPartitionResult = 11,
+  kAppendRecords = 12,
+  kQuery = 13,
+  kQueryResult = 14,
 };
 
 /// The channel-metering tag for a message type ("encoded-filters" for
@@ -218,6 +236,67 @@ struct PartitionResultMessage {
   std::vector<MatchEdge> edges;
 };
 
+/// Owner -> online unit: a batch of records to link into the population.
+/// `base_index` is the number of this party's records already applied on
+/// the unit as the client last knew it — the idempotency cursor. A batch
+/// whose records all lie at or below the unit's cursor is acknowledged
+/// without being applied; a batch starting beyond it is a protocol
+/// violation (a gap). `data` is the EncodeShipment layout: count ×
+/// (u64 id + ceil(filter_bits/8) filter bytes). The reply is a
+/// kShipmentAck whose `acked_bytes` carries the party's RECORD cursor
+/// (records applied), not bytes, and `complete` is always true.
+struct AppendRecordsMessage {
+  uint64_t session_id = 0;
+  uint64_t base_index = 0;
+  uint32_t filter_bits = 0;
+  uint32_t count = 0;
+  std::vector<uint8_t> data;
+};
+
+/// Owner -> online unit: link queries for a batch of filters (same data
+/// layout as a shipment; the ids are echoed back in the result). Nothing
+/// is inserted. `want_clusters` asks the unit to resolve each best match's
+/// cluster id/size; `top_k` caps matches per record (0 = server default).
+struct QueryMessage {
+  uint64_t session_id = 0;
+  uint64_t query_id = 0;  ///< echoed in the result; client correlation
+  bool want_clusters = false;
+  uint32_t top_k = 0;
+  uint32_t filter_bits = 0;
+  uint32_t count = 0;
+  std::vector<uint8_t> data;
+};
+
+/// One match inside a query result. Scores travel as raw IEEE-754 bits,
+/// like kPartitionResult edges.
+struct QueryMatch {
+  uint32_t database = 0;
+  uint32_t record = 0;
+  uint64_t id = 0;
+  double score = 0;
+
+  friend bool operator==(const QueryMatch& a, const QueryMatch& b) {
+    return a.database == b.database && a.record == b.record && a.id == b.id &&
+           a.score == b.score;
+  }
+};
+
+/// Per-queried-record slice of a kQueryResult.
+struct QueryRecordResult {
+  uint64_t id = 0;               ///< the id sent with the query record
+  uint32_t cluster_id = UINT32_MAX;  ///< best match's cluster; UINT32_MAX none
+  uint32_t cluster_size = 0;
+  uint32_t candidates = 0;       ///< LSH candidates scored for this record
+  std::vector<QueryMatch> matches;  ///< best first, top_k-capped
+};
+
+/// Online unit -> owner: answers one kQuery.
+struct QueryResultMessage {
+  uint64_t query_id = 0;
+  uint64_t index_size = 0;  ///< records indexed when the query was answered
+  std::vector<QueryRecordResult> records;
+};
+
 std::vector<uint8_t> EncodeHello(const HelloMessage& msg);
 Result<HelloMessage> DecodeHello(const std::vector<uint8_t>& payload);
 
@@ -265,6 +344,12 @@ Result<std::vector<uint8_t>> EncodeShipment(const EncodedDatabase& encoded);
 /// -> wire bytes with no intermediate vectors. Byte-identical to encoding
 /// `EncodedDatabaseFromShard(shard)`.
 Result<std::vector<uint8_t>> EncodeShipment(const EncodedShard& shard);
+
+/// Rows [row_begin, row_end) of a shard in the same wire layout — the
+/// batching primitive of the online append/query path.
+Result<std::vector<uint8_t>> EncodeShipmentRows(const EncodedShard& shard,
+                                                size_t row_begin,
+                                                size_t row_end);
 
 /// Inverse of EncodeShipment; `filter_bits` comes from the Hello. The
 /// payload length must be an exact multiple of the per-record size.
@@ -316,6 +401,17 @@ class ShipmentAssembler {
 std::vector<uint8_t> EncodeResults(const OwnerLinkageSummary& summary);
 Result<OwnerLinkageSummary> DecodeResults(const std::vector<uint8_t>& payload,
                                           size_t max_matches = 16u << 20);
+
+std::vector<uint8_t> EncodeAppendRecords(const AppendRecordsMessage& msg);
+Result<AppendRecordsMessage> DecodeAppendRecords(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQuery(const QueryMessage& msg);
+Result<QueryMessage> DecodeQuery(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQueryResult(const QueryResultMessage& msg);
+Result<QueryResultMessage> DecodeQueryResult(const std::vector<uint8_t>& payload,
+                                             size_t max_matches = 16u << 20);
 
 std::vector<uint8_t> EncodeError(const Status& status);
 /// Reconstructs the transported Status (never OK).

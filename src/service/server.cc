@@ -102,7 +102,12 @@ Status LinkageUnitServer::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("server already started");
   }
-  if (config_.expected_owners < 2) {
+  if (config_.online_mode && (config_.worker_mode || config_.distributed_linker)) {
+    return Status::InvalidArgument(
+        "online mode is a serving role; it combines with neither the worker "
+        "role nor a distributed linker");
+  }
+  if (!config_.online_mode && config_.expected_owners < 2) {
     return Status::InvalidArgument("a linkage unit needs >= 2 expected owners");
   }
   if (config_.min_owners == 1) {
@@ -137,7 +142,10 @@ Status LinkageUnitServer::Start() {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   PPRL_LOG(kInfo) << "linkage unit '" << config_.name << "' listening on port "
                   << listener_.port() << " for " << config_.expected_owners
-                  << " owners" << (config_.worker_mode ? " (worker role)" : "");
+                  << " owners"
+                  << (config_.worker_mode
+                          ? " (worker role)"
+                          : config_.online_mode ? " (online serving role)" : "");
   if (config_.chaos.enabled()) {
     PPRL_LOG(kInfo) << "chaos mode on: fault injection seed " << config_.chaos.seed;
   }
@@ -262,7 +270,8 @@ void LinkageUnitServer::SweepSessions() {
     // Quorum option: enough owners registered, the rest silent too long.
     // Workers never self-trigger a linkage — their coordinator owns that
     // decision (and its own straggler quorum).
-    if (!config_.worker_mode && !linkage_ran_ && config_.min_owners >= 2 &&
+    if (!config_.worker_mode && !config_.online_mode && !linkage_ran_ &&
+        config_.min_owners >= 2 &&
         config_.min_owners < config_.expected_owners &&
         owner_order_.size() >= config_.min_owners &&
         owner_order_.size() < config_.expected_owners &&
@@ -307,6 +316,7 @@ void LinkageUnitServer::SpoolShipment(const std::string& party,
 
 void LinkageUnitServer::RunLinkage(bool allow_partial) {
   if (config_.worker_mode) return;  // a coordinator assigns partitions instead
+  if (config_.online_mode) return;  // the engine links incrementally instead
   std::lock_guard<std::mutex> lock(mutex_);
   if (linkage_ran_) return;
   if (!allow_partial && owner_order_.size() < config_.expected_owners) return;
@@ -429,7 +439,9 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
       finish();
       return;
     }
-    if (hello->record_count == 0) {
+    if (hello->record_count == 0 && !config_.online_mode) {
+      // Query-only sessions are an online-mode feature; a batch linkage
+      // unit has nothing to offer an owner without a shipment.
       FailSession(mfc, Status::ProtocolViolation("hello declared zero records"));
       finish();
       return;
@@ -453,6 +465,17 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
         FailSession(mfc, mismatch);
         finish();
         return;
+      }
+      // The first hello fixes the filter length, so the online engine can
+      // be built here; it serves every later session.
+      if (config_.online_mode && !online_) {
+        OnlineLinkageOptions engine_options;
+        engine_options.dice_threshold = config_.link_options.dice_threshold;
+        engine_options.lsh_tables = config_.link_options.lsh_tables;
+        engine_options.lsh_bits_per_key = config_.link_options.lsh_bits_per_key;
+        engine_options.lsh_seed = config_.link_options.lsh_seed;
+        online_ = std::make_unique<OnlineLinkageEngine>(hello->filter_bits,
+                                                        engine_options);
       }
       const uint64_t expected_bytes =
           ExpectedShipmentBytes(hello->filter_bits, hello->record_count);
@@ -479,6 +502,9 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
       Metrics().session_buffered_bytes.Set(static_cast<int64_t>(buffered_bytes_));
     }
     attached_sid = sid;
+    // A zero-record hello in online mode opens a query-only session:
+    // there is no shipment phase to run.
+    shipment_complete = config_.online_mode && hello->record_count == 0;
     HelloAckMessage ack;
     ack.protocol_version = kWireProtocolVersion;
     ack.server = config_.name;
@@ -539,7 +565,8 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
       it->second.attached = true;
       it->second.last_activity = std::chrono::steady_clock::now();
       sid = resume->session_id;
-      shipment_complete = it->second.registered;
+      shipment_complete = it->second.registered ||
+                          (config_.online_mode && it->second.record_count == 0);
       rack.session_id = sid;
       rack.acked_bytes = it->second.assembler.acked_bytes();
       rack.shipment_complete = shipment_complete;
@@ -573,7 +600,16 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
     return;
   }
 
-  // 3. Worker role ends here: the shipment is registered and acked, and
+  // 3. Online role: the session now serves kAppendRecords / kQuery frames
+  // on this connection until the owner leaves. There is no batch linkage
+  // run and no results frame.
+  if (config_.online_mode) {
+    ServeOnline(mfc, sid);
+    finish();
+    return;
+  }
+
+  // 4. Worker role ends here: the shipment is registered and acked, and
   // results (if any) belong to the coordinator's owners, not to the
   // coordinator's re-shipment session.
   if (config_.worker_mode) {
@@ -581,7 +617,7 @@ void LinkageUnitServer::HandleSession(std::shared_ptr<TcpConnection> conn,
     return;
   }
 
-  // 4. Link once the last owner shipped, then answer everyone.
+  // 5. Link once the last owner shipped, then answer everyone.
   RunLinkage(/*allow_partial=*/false);
   const bool delivered = DeliverResults(mfc, sid);
   // Account the session's wire bytes before announcing delivery, so that
@@ -634,6 +670,9 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
 
     ShipmentAckMessage ack;
     Status failure = Status::OK();
+    bool absorb_pending = false;
+    EncodedDatabase absorb;
+    std::string absorb_party;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = sessions_.find(session_id);
@@ -671,13 +710,23 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
               if (encoded.ok() && !config_.spool_dir.empty()) {
                 SpoolShipment(session.party, *encoded);
               }
-              Status stored = encoded.ok()
-                                  ? unit_.Receive(session.party, std::move(*encoded))
-                                  : encoded.status();
+              Status stored = encoded.status();
+              if (encoded.ok() && config_.online_mode) {
+                // The engine absorb is per-record indexed work (LSH probe
+                // + kernel compare each) that runs for seconds on a large
+                // shipment; defer it until mutex_ is released so hellos,
+                // resumes, acks and the sweeper keep flowing. The session
+                // registers below, once the absorb succeeded.
+                absorb = std::move(*encoded);
+                absorb_party = session.party;
+                absorb_pending = true;
+              } else if (encoded.ok()) {
+                stored = unit_.Receive(session.party, std::move(*encoded));
+              }
               if (!stored.ok()) {
                 failure = stored;
                 EraseSessionLocked(session_id);
-              } else {
+              } else if (!absorb_pending) {
                 owner_order_.push_back(session.party);
                 session.database_index =
                     static_cast<uint32_t>(owner_order_.size() - 1);
@@ -690,10 +739,17 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
                 Metrics().session_completed.Increment();
                 Metrics().session_buffered_bytes.Set(
                     static_cast<int64_t>(buffered_bytes_));
+                // Registration order IS the database index order the
+                // canonical cluster ids depend on; log it so operators
+                // (and the check.sh parity gates) can sequence on it.
+                PPRL_LOG(kInfo) << "registered shipment of owner '"
+                                << session.party << "' ("
+                                << owner_order_.size() << "/"
+                                << config_.expected_owners << ")";
               }
             }
           }
-          if (failure.ok()) {
+          if (failure.ok() && !absorb_pending) {
             ack.session_id = session_id;
             ack.acked_bytes = session.assembler.acked_bytes();
             ack.complete = session.registered;
@@ -701,6 +757,47 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
             ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
           }
         }
+      }
+    }
+    if (failure.ok() && absorb_pending) {
+      // Engine work runs lock-free with respect to mutex_; only the
+      // registration bookkeeping below re-acquires it.
+      uint32_t database_index = 0;
+      const Status stored =
+          AbsorbShipmentOnline(absorb_party, absorb, &database_index);
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sessions_.find(session_id);
+      if (it == sessions_.end()) {
+        // Swept mid-absorb (TTL or deadline). The absorbed records stay —
+        // a retry re-ships them as a prefix and skips them idempotently.
+        failure = Status::NotFound("session swept while absorbing; start over");
+      } else if (!stored.ok()) {
+        failure = stored;
+        EraseSessionLocked(session_id);
+      } else {
+        ServerSession& session = it->second;
+        session.database_index = database_index;
+        // A repeat shipment of one party registers only once.
+        if (std::find(owner_order_.begin(), owner_order_.end(), session.party) ==
+            owner_order_.end()) {
+          owner_order_.push_back(session.party);
+        }
+        session.registered = true;
+        const uint64_t reserved =
+            ExpectedShipmentBytes(session.filter_bits, session.record_count);
+        buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, reserved);
+        session.assembler.Discard();
+        last_registration_ = std::chrono::steady_clock::now();
+        Metrics().session_completed.Increment();
+        Metrics().session_buffered_bytes.Set(static_cast<int64_t>(buffered_bytes_));
+        PPRL_LOG(kInfo) << "registered shipment of owner '" << session.party
+                        << "' (" << owner_order_.size() << "/"
+                        << config_.expected_owners << ")";
+        ack.session_id = session_id;
+        ack.acked_bytes = session.assembler.acked_bytes();
+        ack.complete = true;
+        ack.owners_shipped = static_cast<uint32_t>(owner_order_.size());
+        ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
       }
     }
     if (!failure.ok()) {
@@ -715,6 +812,206 @@ bool LinkageUnitServer::ReceiveShipment(MeteredFrameConnection& mfc,
       return false;
     }
     if (ack.complete) return true;
+  }
+}
+
+Status LinkageUnitServer::AbsorbShipmentOnline(const std::string& party,
+                                               const EncodedDatabase& encoded,
+                                               uint32_t* database_index) {
+  // One bulk absorb at a time: the cursor rule below reads the party's
+  // record count and then appends, which must not interleave with another
+  // shipment of the same party. Queries and v4 appends are not held up —
+  // they go straight to the internally thread-safe engine.
+  std::lock_guard<std::mutex> absorb_lock(absorb_mutex_);
+  const uint32_t db = online_->RegisterDatabase(party);
+  *database_index = db;
+  // A re-shipment from an already-indexed party arrives on a fresh hello
+  // session, so chunk idempotency cannot see the earlier delivery. Treat
+  // it as a retransmit of the party's prefix — the shipment-granular twin
+  // of the kAppendRecords record cursor: skip what the index already
+  // holds and append only the tail, so re-running an append is
+  // idempotent.
+  const size_t skip = std::min(online_->record_count(db), encoded.size());
+  for (size_t i = skip; i < encoded.size(); ++i) {
+    auto appended = online_->Append(db, encoded.ids[i], encoded.filters[i]);
+    if (!appended.ok()) return appended.status();
+  }
+  if (skip > 0) {
+    Metrics().session_duplicate_chunks.Increment();
+    PPRL_LOG(kInfo) << "online: skipped " << skip
+                    << " already-indexed records re-shipped by owner '" << party
+                    << "'";
+  }
+  PPRL_LOG(kInfo) << "online: absorbed " << (encoded.size() - skip)
+                  << " records of owner '" << party << "' (database " << db
+                  << ", " << online_->record_count(db) << " indexed)";
+  return Status::OK();
+}
+
+void LinkageUnitServer::ServeOnline(MeteredFrameConnection& mfc,
+                                    uint64_t session_id) {
+  // The engine exists by construction: this session's hello (or the
+  // session it resumed) created it, and the pointer never changes until
+  // the daemon stops.
+  OnlineLinkageEngine& engine = *online_;
+  for (;;) {
+    auto frame = mfc.ReceiveUnmetered();
+    if (!frame.ok()) {
+      // kNotFound is the owner hanging up cleanly between frames — the
+      // normal end of an online session. Anything else leaves the session
+      // resumable.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        PPRL_LOG(kInfo) << "online session " << session_id << " with '"
+                        << mfc.peer() << "' detached: "
+                        << frame.status().ToString() << " (stays resumable)";
+      }
+      return;
+    }
+    mfc.MeterReceived(*frame, MessageTypeTag);
+    CountMessage(frame->type, "in");
+
+    // Touch the session so the idle sweep sees live traffic.
+    std::string party;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sessions_.find(session_id);
+      if (it == sessions_.end()) {
+        party.clear();
+      } else {
+        it->second.last_activity = std::chrono::steady_clock::now();
+        party = it->second.party;
+      }
+    }
+    if (party.empty()) {
+      FailSession(mfc, Status::NotFound("session swept; start a new hello"));
+      return;
+    }
+
+    if (frame->type == static_cast<uint8_t>(MessageType::kAppendRecords)) {
+      auto append = DecodeAppendRecords(frame->payload);
+      if (!append.ok()) {
+        FailSession(mfc, append.status());
+        return;
+      }
+      if (append->session_id != session_id) {
+        FailSession(mfc,
+                    Status::ProtocolViolation("append names a different session"));
+        return;
+      }
+      if (append->filter_bits != engine.filter_bits()) {
+        FailSession(mfc, Status::InvalidArgument(
+                             "append declared " + std::to_string(append->filter_bits) +
+                             "-bit filters; this index uses " +
+                             std::to_string(engine.filter_bits())));
+        return;
+      }
+      auto decoded = DecodeShipment(append->data, append->filter_bits);
+      if (!decoded.ok()) {
+        FailSession(mfc, decoded.status());
+        return;
+      }
+      const uint32_t db = engine.RegisterDatabase(party);
+      const uint64_t have = engine.record_count(db);
+      if (append->base_index > have) {
+        FailSession(mfc, Status::ProtocolViolation(
+                             "append gap: base index " +
+                             std::to_string(append->base_index) +
+                             " is beyond the record cursor " + std::to_string(have)));
+        return;
+      }
+      // Records at or below the cursor are retransmits (the ack for an
+      // earlier delivery was lost): skip them, append only the tail. This
+      // is the record-granular twin of the shipment chunk idempotency.
+      const uint64_t skip = have - append->base_index;
+      bool applied_fresh = false;
+      for (size_t i = skip; i < decoded->size(); ++i) {
+        auto appended = engine.Append(db, decoded->ids[i], decoded->filters[i]);
+        if (!appended.ok()) {
+          FailSession(mfc, appended.status());
+          return;
+        }
+        applied_fresh = true;
+      }
+      if (!applied_fresh && decoded->size() != 0) {
+        Metrics().session_duplicate_chunks.Increment();
+      }
+      ShipmentAckMessage ack;
+      ack.session_id = session_id;
+      // In online mode the ack cursor counts RECORDS, not bytes: the
+      // owner's next base_index.
+      ack.acked_bytes = engine.record_count(db);
+      ack.complete = true;
+      ack.owners_shipped = static_cast<uint32_t>(engine.database_count());
+      ack.expected_owners = static_cast<uint32_t>(config_.expected_owners);
+      CountMessage(static_cast<uint8_t>(MessageType::kShipmentAck), "out");
+      if (!mfc.Send(static_cast<uint8_t>(MessageType::kShipmentAck),
+                    EncodeShipmentAck(ack),
+                    MessageTypeTag(static_cast<uint8_t>(MessageType::kShipmentAck)))
+               .ok()) {
+        return;
+      }
+    } else if (frame->type == static_cast<uint8_t>(MessageType::kQuery)) {
+      auto query = DecodeQuery(frame->payload);
+      if (!query.ok()) {
+        FailSession(mfc, query.status());
+        return;
+      }
+      if (query->session_id != session_id) {
+        FailSession(mfc,
+                    Status::ProtocolViolation("query names a different session"));
+        return;
+      }
+      if (query->filter_bits != engine.filter_bits()) {
+        FailSession(mfc, Status::InvalidArgument(
+                             "query declared " + std::to_string(query->filter_bits) +
+                             "-bit filters; this index uses " +
+                             std::to_string(engine.filter_bits())));
+        return;
+      }
+      auto decoded = DecodeShipment(query->data, query->filter_bits);
+      if (!decoded.ok()) {
+        FailSession(mfc, decoded.status());
+        return;
+      }
+      // Matches against the querier's own database are suppressed,
+      // mirroring the batch path's cross-database-only comparisons.
+      const uint32_t exclude = engine.FindDatabase(party).value_or(
+          OnlineLinkageEngine::kNoDatabase);
+      QueryResultMessage reply;
+      reply.query_id = query->query_id;
+      reply.records.reserve(decoded->size());
+      for (size_t i = 0; i < decoded->size(); ++i) {
+        auto result = engine.Query(decoded->filters[i], exclude,
+                                   query->want_clusters, query->top_k);
+        if (!result.ok()) {
+          FailSession(mfc, result.status());
+          return;
+        }
+        QueryRecordResult record;
+        record.id = decoded->ids[i];
+        record.cluster_id = result->cluster_id;
+        record.cluster_size = result->cluster_size;
+        record.candidates = result->candidates;
+        record.matches.reserve(result->matches.size());
+        for (const OnlineMatch& m : result->matches) {
+          record.matches.push_back(QueryMatch{m.database, m.record, m.id, m.score});
+        }
+        reply.records.push_back(std::move(record));
+      }
+      reply.index_size = engine.size();
+      CountMessage(static_cast<uint8_t>(MessageType::kQueryResult), "out");
+      if (!mfc.Send(static_cast<uint8_t>(MessageType::kQueryResult),
+                    EncodeQueryResult(reply),
+                    MessageTypeTag(static_cast<uint8_t>(MessageType::kQueryResult)))
+               .ok()) {
+        return;
+      }
+    } else {
+      FailSession(mfc, Status::ProtocolViolation(
+                           "expected append-records or link-query, got frame type " +
+                           std::to_string(frame->type)));
+      return;
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "net/fault_injection.h"
 #include "io/ingest.h"
+#include "linkage/online_linkage.h"
 #include "net/metrics_http.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
@@ -126,6 +127,20 @@ struct LinkageUnitServerConfig {
   /// unit_.Link() directly; the outcome's worker complement flows into
   /// every owner's result summary.
   DistributedLinker distributed_linker;
+
+  // --- Online serving (protocol v4) ---
+
+  /// Online role: instead of the one-shot ship -> link -> results
+  /// lifecycle, the daemon feeds every shipment into an incrementally
+  /// maintained `OnlineLinkageEngine` and then serves kAppendRecords /
+  /// kQuery frames on the same session until the owner disconnects. There
+  /// is no batch linkage run and no kResults frame; the daemon runs until
+  /// stopped. A hello with record_count = 0 opens a query-only session.
+  /// Incompatible with worker_mode and distributed_linker. The engine's
+  /// threshold and LSH geometry come from link_options, so query scores
+  /// and the served partition match what a batch run over the same
+  /// shipments would produce (connected-components clustering).
+  bool online_mode = false;
 };
 
 /// The linkage unit as a daemon: accepts owner connections over TCP,
@@ -234,6 +249,22 @@ class LinkageUnitServer {
   /// with the partition's kPartitionResult (or kBusy while owner
   /// shipments are still missing).
   void HandleAssignPartition(MeteredFrameConnection& mfc, const Frame& first);
+  /// Online role: serves kAppendRecords / kQuery frames on an established
+  /// session until the connection closes (session stays resumable) or a
+  /// protocol error fails it.
+  void ServeOnline(MeteredFrameConnection& mfc, uint64_t session_id);
+  /// Online role: registers `party` with the engine and appends the tail
+  /// of `encoded` past the party's record cursor — a re-shipment from an
+  /// already-indexed party is a retransmit of its prefix, so re-running a
+  /// bulk append is idempotent (the shipment-granular twin of the
+  /// kAppendRecords cursor rule). Called WITHOUT mutex_ held: the absorb
+  /// is per-record indexed work that can run for seconds on a large
+  /// shipment, and the engine is internally thread-safe. absorb_mutex_
+  /// serializes bulk absorbs so the cursor rule stays exact when one
+  /// party re-ships concurrently.
+  Status AbsorbShipmentOnline(const std::string& party,
+                              const EncodedDatabase& encoded,
+                              uint32_t* database_index);
   /// Sends an error frame (best effort) and records the session failure.
   void FailSession(MeteredFrameConnection& mfc, const Status& status);
   /// Sends a kBusy frame (best effort) and counts the shed.
@@ -262,6 +293,16 @@ class LinkageUnitServer {
   mutable std::mutex mutex_;
   mutable std::condition_variable linkage_done_;
   LinkageUnitService unit_;
+  /// Online role only; created at the first hello (which fixes the filter
+  /// length). Thread-safe internally — ServeOnline calls it WITHOUT
+  /// holding mutex_, so queries from concurrent sessions never serialize
+  /// behind each other.
+  std::unique_ptr<OnlineLinkageEngine> online_;
+  /// Serializes bulk shipment absorbs into online_ (NOT v4 appends or
+  /// queries) so AbsorbShipmentOnline's read-cursor-then-append sequence
+  /// cannot interleave for a party that ships twice at once. Never held
+  /// together with mutex_.
+  std::mutex absorb_mutex_;
   std::map<uint64_t, ServerSession> sessions_;
   uint64_t next_session_id_ = 1;
   /// Bytes reserved by in-flight shipment buffers (admission control).

@@ -1,0 +1,453 @@
+#include "linkage/online_linkage.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/lsh_blocking.h"
+#include "blocking/lsh_index.h"
+#include "common/random.h"
+#include "encoding/clk_io.h"
+#include "linkage/clustering.h"
+#include "pipeline/party.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "similarity/similarity.h"
+
+namespace pprl {
+namespace {
+
+constexpr size_t kFilterBits = 512;
+
+/// A random ~30%-density filter, the ballpark a CLK encoder produces.
+BitVector RandomFilter(Rng& rng) {
+  BitVector bv(kFilterBits);
+  for (size_t i = 0; i < kFilterBits; ++i) {
+    if (rng.NextBool(0.3)) bv.Set(i);
+  }
+  return bv;
+}
+
+/// `filter` with `flips` random bits toggled — a corrupted re-observation
+/// of the same entity, still well above the 0.8 Dice threshold.
+BitVector Perturb(const BitVector& filter, size_t flips, Rng& rng) {
+  BitVector out = filter;
+  for (size_t i = 0; i < flips; ++i) out.Flip(rng.NextUint64(kFilterBits));
+  return out;
+}
+
+/// Synthetic multi-database scenario: `entities` base filters; each
+/// database holds a perturbed copy of a sliding window of them plus some
+/// records of its own, so databases overlap pairwise without being equal.
+std::vector<EncodedDatabase> MakeDatabases(size_t num_databases, size_t entities,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVector> base;
+  base.reserve(entities);
+  for (size_t e = 0; e < entities; ++e) base.push_back(RandomFilter(rng));
+  std::vector<EncodedDatabase> dbs(num_databases);
+  for (size_t d = 0; d < num_databases; ++d) {
+    // Window of 60% of the entities, shifted per database.
+    const size_t window = entities * 6 / 10;
+    for (size_t i = 0; i < window; ++i) {
+      const size_t e = (d * entities / 4 + i) % entities;
+      dbs[d].ids.push_back(1000 * (d + 1) + i);
+      dbs[d].filters.push_back(Perturb(base[e], 4, rng));
+    }
+    // Plus unique records that should stay singletons.
+    for (size_t i = 0; i < entities / 5; ++i) {
+      dbs[d].ids.push_back(9000000 + 1000 * (d + 1) + i);
+      dbs[d].filters.push_back(RandomFilter(rng));
+    }
+  }
+  return dbs;
+}
+
+MultiPartyLinkageOptions BatchOptions() {
+  MultiPartyLinkageOptions options;
+  options.use_star_clustering = false;  // connected components, like the engine
+  return options;
+}
+
+Result<MultiPartyLinkageResult> BatchLink(const std::vector<EncodedDatabase>& dbs) {
+  LinkageUnitService unit("batch");
+  for (size_t d = 0; d < dbs.size(); ++d) {
+    Status received = unit.Receive("db-" + std::to_string(d), dbs[d]);
+    if (!received.ok()) return received;
+  }
+  return unit.Link(BatchOptions());
+}
+
+/// Appends every database's records to `engine` in an arrival order that
+/// interleaves databases by `shuffle_seed` while preserving each
+/// database's internal record order (which is what defines record ids).
+void AppendShuffled(OnlineLinkageEngine& engine,
+                    const std::vector<EncodedDatabase>& dbs,
+                    uint64_t shuffle_seed) {
+  std::vector<uint32_t> arrivals;  // one entry per record: its database
+  std::vector<uint32_t> db_index;
+  for (size_t d = 0; d < dbs.size(); ++d) {
+    db_index.push_back(engine.RegisterDatabase("db-" + std::to_string(d)));
+    arrivals.insert(arrivals.end(), dbs[d].size(), static_cast<uint32_t>(d));
+  }
+  std::mt19937 shuffle(static_cast<uint32_t>(shuffle_seed));
+  std::shuffle(arrivals.begin(), arrivals.end(), shuffle);
+  std::vector<size_t> cursor(dbs.size(), 0);
+  for (const uint32_t d : arrivals) {
+    const size_t r = cursor[d]++;
+    auto appended = engine.Append(db_index[d], dbs[d].ids[r], dbs[d].filters[r]);
+    ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+    EXPECT_EQ(*appended, r);
+  }
+}
+
+/// The tentpole guarantee: any interleaved stream order produces the exact
+/// batch partition (connected components, sorted materialization).
+TEST(OnlineLinkageEngineTest, ShuffledStreamMatchesBatchPartition) {
+  const auto dbs = MakeDatabases(3, 60, /*seed=*/7);
+  auto batch = BatchLink(dbs);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_GT(batch->clusters.size(), 10u);
+
+  for (const uint64_t shuffle_seed : {1u, 2u, 3u}) {
+    OnlineLinkageEngine engine(kFilterBits);
+    AppendShuffled(engine, dbs, shuffle_seed);
+    EXPECT_EQ(engine.Clusters(), batch->clusters)
+        << "stream order (seed " << shuffle_seed
+        << ") changed the served partition";
+    EXPECT_EQ(engine.edges(), batch->edges.size());
+  }
+}
+
+/// Queries must reproduce the batch edge set for a record's content: every
+/// match is an accepted batch edge and the best match resolves the
+/// record's own cluster.
+TEST(OnlineLinkageEngineTest, QueryResolvesTheBatchCluster) {
+  const auto dbs = MakeDatabases(2, 50, /*seed=*/11);
+  auto batch = BatchLink(dbs);
+  ASSERT_TRUE(batch.ok());
+
+  OnlineLinkageEngine engine(kFilterBits);
+  AppendShuffled(engine, dbs, /*shuffle_seed=*/5);
+  const auto clusters = engine.Clusters();
+  ASSERT_EQ(clusters, batch->clusters);
+
+  // Cluster id of each database-0 record under the canonical partition.
+  std::vector<uint32_t> expected(dbs[0].size(), OnlineLinkageEngine::kNoCluster);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (const RecordRef& ref : clusters[c]) {
+      if (ref.database == 0) expected[ref.record] = static_cast<uint32_t>(c);
+    }
+  }
+
+  size_t clustered = 0;
+  for (size_t r = 0; r < dbs[0].size(); ++r) {
+    auto result = engine.Query(dbs[0].filters[r], /*exclude_database=*/0,
+                               /*want_clusters=*/true, /*top_k=*/0);
+    ASSERT_TRUE(result.ok());
+    if (expected[r] == OnlineLinkageEngine::kNoCluster) {
+      EXPECT_TRUE(result->matches.empty())
+          << "singleton record " << r << " matched something";
+      EXPECT_EQ(result->cluster_size, 0u);
+    } else {
+      ++clustered;
+      ASSERT_FALSE(result->matches.empty());
+      EXPECT_EQ(result->cluster_id, expected[r]);
+      EXPECT_EQ(result->cluster_size, clusters[expected[r]].size());
+      // Every match is cross-database and in this record's own cluster.
+      for (const OnlineMatch& m : result->matches) {
+        EXPECT_NE(m.database, 0u);
+        const RecordRef ref{m.database, m.record};
+        EXPECT_TRUE(std::find(clusters[expected[r]].begin(),
+                              clusters[expected[r]].end(),
+                              ref) != clusters[expected[r]].end());
+      }
+    }
+  }
+  EXPECT_GT(clustered, 10u);
+}
+
+/// The incremental index must collide exactly like the batch blocker's
+/// string-keyed index at equal geometry and seed.
+TEST(LshBandIndexTest, ProbeMatchesBlockerCollisions) {
+  const size_t tables = 8, bits_per_key = 12;
+  const uint64_t seed = 99;
+  Rng data_rng(3);
+  std::vector<BitVector> rows;
+  for (size_t i = 0; i < 200; ++i) rows.push_back(RandomFilter(data_rng));
+  // Add near-duplicates so collisions actually happen.
+  for (size_t i = 0; i < 50; ++i) rows.push_back(Perturb(rows[i], 3, data_rng));
+
+  LshBandIndex index(kFilterBits, tables, bits_per_key, seed);
+  for (const BitVector& row : rows) index.Append(row);
+
+  Rng blocker_rng(seed);
+  HammingLshBlocker blocker(kFilterBits, tables, bits_per_key, blocker_rng);
+  const BlockIndex blocks = blocker.BuildIndex(rows);
+
+  std::vector<uint32_t> probed;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // Reference collision set: union over this row's block keys.
+    std::vector<uint32_t> expected;
+    for (const std::string& key : blocker.Keys(rows[i])) {
+      const auto it = blocks.find(key);
+      if (it != blocks.end()) {
+        expected.insert(expected.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()), expected.end());
+
+    index.Probe(rows[i], &probed);
+    EXPECT_EQ(probed, expected) << "row " << i;
+  }
+  EXPECT_GT(index.probed_entries(), 0u);
+}
+
+/// Appending incrementally must index identically to building fresh.
+TEST(LshBandIndexTest, AppendMatchesRebuild) {
+  Rng rng(17);
+  std::vector<BitVector> rows;
+  for (size_t i = 0; i < 300; ++i) rows.push_back(RandomFilter(rng));
+
+  LshBandIndex incremental(kFilterBits, 6, 10, 5);
+  for (size_t i = 0; i < 150; ++i) incremental.Append(rows[i]);
+  // Interleave probes with appends: probing must not disturb the index.
+  std::vector<uint32_t> scratch;
+  for (size_t i = 0; i < 150; ++i) incremental.Probe(rows[i], &scratch);
+  for (size_t i = 150; i < rows.size(); ++i) incremental.Append(rows[i]);
+
+  LshBandIndex fresh(kFilterBits, 6, 10, 5);
+  for (const BitVector& row : rows) fresh.Append(row);
+
+  ASSERT_EQ(incremental.size(), fresh.size());
+  std::vector<uint32_t> a, b;
+  for (const BitVector& row : rows) {
+    incremental.Probe(row, &a);
+    fresh.Probe(row, &b);
+    EXPECT_EQ(a, b);
+  }
+}
+
+/// The candidate-restricted insert must agree with the full scan whenever
+/// the candidate set contains the winner, at a fraction of the
+/// comparisons.
+TEST(IncrementalClustererTest, RestrictedInsertMatchesFullScan) {
+  Rng rng(23);
+  std::vector<BitVector> encodings;
+  for (size_t i = 0; i < 40; ++i) encodings.push_back(RandomFilter(rng));
+  for (size_t i = 0; i < 40; ++i) encodings.push_back(Perturb(encodings[i], 4, rng));
+
+  const auto similarity = [](const BitVector& a, const BitVector& b) {
+    return DiceSimilarity(a, b);
+  };
+
+  IncrementalClusterer full(0.8, similarity);
+  std::vector<size_t> assigned;
+  for (size_t i = 0; i < encodings.size(); ++i) {
+    assigned.push_back(
+        full.Insert(RecordRef{0, static_cast<uint32_t>(i)}, encodings[i]));
+  }
+
+  // All clusters as candidates: trivially contains the winner.
+  IncrementalClusterer superset(0.8, similarity);
+  for (size_t i = 0; i < encodings.size(); ++i) {
+    std::vector<size_t> all(superset.clusters().size());
+    std::iota(all.begin(), all.end(), 0);
+    EXPECT_EQ(superset.Insert(RecordRef{0, static_cast<uint32_t>(i)},
+                              encodings[i], all),
+              assigned[i]);
+  }
+  EXPECT_EQ(superset.comparisons(), full.comparisons());
+
+  // Only the known winner as candidate: same assignments, fewer
+  // comparisons (this is the O(candidates) path the online engine uses).
+  IncrementalClusterer restricted(0.8, similarity);
+  for (size_t i = 0; i < encodings.size(); ++i) {
+    std::vector<size_t> candidates;
+    if (assigned[i] < restricted.clusters().size()) {
+      candidates.push_back(assigned[i]);  // joined an existing cluster
+    }
+    EXPECT_EQ(restricted.Insert(RecordRef{0, static_cast<uint32_t>(i)},
+                                encodings[i], candidates),
+              assigned[i]);
+  }
+  EXPECT_EQ(restricted.clusters(), full.clusters());
+  EXPECT_LT(restricted.comparisons(), full.comparisons());
+
+  // Out-of-range and duplicate candidates are tolerated.
+  IncrementalClusterer messy(0.8, similarity);
+  EXPECT_EQ(messy.Insert(RecordRef{0, 0}, encodings[0],
+                         std::vector<size_t>{7, 7, 123456}),
+            0u);
+}
+
+/// TSan-scoped: concurrent appends (different databases) and queries
+/// (shared-lock reads and cluster-resolving exclusive reads) must be
+/// race-free, and the final partition must equal a batch re-link of
+/// whatever arrived.
+TEST(OnlineLinkageEngineTest, ConcurrentAppendsAndQueriesAreSafe) {
+  const auto dbs = MakeDatabases(2, 40, /*seed=*/31);
+  OnlineLinkageEngine engine(kFilterBits);
+  const uint32_t a = engine.RegisterDatabase("db-0");
+  const uint32_t b = engine.RegisterDatabase("db-1");
+
+  std::thread append_a([&] {
+    for (size_t r = 0; r < dbs[0].size(); ++r) {
+      ASSERT_TRUE(engine.Append(a, dbs[0].ids[r], dbs[0].filters[r]).ok());
+    }
+  });
+  std::thread append_b([&] {
+    for (size_t r = 0; r < dbs[1].size(); ++r) {
+      ASSERT_TRUE(engine.Append(b, dbs[1].ids[r], dbs[1].filters[r]).ok());
+    }
+  });
+  std::thread query_fast([&] {
+    for (size_t r = 0; r < dbs[0].size(); ++r) {
+      ASSERT_TRUE(engine
+                      .Query(dbs[0].filters[r], a, /*want_clusters=*/false,
+                             /*top_k=*/4)
+                      .ok());
+    }
+  });
+  std::thread query_clustered([&] {
+    for (size_t r = 0; r < dbs[1].size(); ++r) {
+      ASSERT_TRUE(engine
+                      .Query(dbs[1].filters[r], b, /*want_clusters=*/true,
+                             /*top_k=*/0)
+                      .ok());
+    }
+  });
+  append_a.join();
+  append_b.join();
+  query_fast.join();
+  query_clustered.join();
+
+  auto batch = BatchLink(dbs);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(engine.Clusters(), batch->clusters);
+}
+
+/// End-to-end protocol v4: an online daemon absorbs one bulk shipment,
+/// accepts cursored appends idempotently, and answers link queries that
+/// agree record-for-record with a local engine over the same data.
+TEST(OnlineServiceTest, AppendAndQueryRoundtrip) {
+  const auto dbs = MakeDatabases(2, 40, /*seed=*/43);
+
+  LinkageUnitServerConfig config;
+  config.name = "online-lu";
+  config.online_mode = true;
+  config.expected_owners = 2;
+  config.io_timeout_ms = 10000;
+  LinkageUnitServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Owner A bulk-ships through the ordinary shipment path (no results
+  // frame in online mode: return at the completion ack).
+  {
+    RemoteOwnerClientConfig owner_config;
+    owner_config.port = server.port();
+    owner_config.wait_for_results = false;
+    RemoteOwnerClient owner(owner_config);
+    auto shipped = owner.ShipAndAwait("db-0", dbs[0]);
+    ASSERT_TRUE(shipped.ok()) << shipped.status().ToString();
+
+    // Re-running the whole bulk append (a fresh hello session, so chunk
+    // idempotency cannot apply) is a retransmit of the party's prefix:
+    // the index must not grow. Verified below via index_size.
+    RemoteOwnerClient again(owner_config);
+    auto reshipped = again.ShipAndAwait("db-0", dbs[0]);
+    ASSERT_TRUE(reshipped.ok()) << reshipped.status().ToString();
+  }
+
+  // Owner B appends over the v4 session, in two cursored batches.
+  const EncodedShard b_shard = ShardFromEncodedDatabase(dbs[1]);
+  OnlineLinkClientConfig client_config;
+  client_config.port = server.port();
+  OnlineLinkClient client(client_config);
+  ASSERT_TRUE(client.Connect("db-1", kFilterBits).ok());
+  const size_t half = b_shard.size() / 2;
+  auto first = client.AppendRows(b_shard, 0, half);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, half);
+  auto second = client.AppendRows(b_shard, half, b_shard.size());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, b_shard.size());
+
+  // A retransmit of an already-applied batch is skipped idempotently: the
+  // cursor comes back unchanged and no records are duplicated.
+  OnlineLinkClient replayer(client_config);
+  ASSERT_TRUE(replayer.Connect("db-1", kFilterBits).ok());
+  auto replay = replayer.AppendRows(b_shard, 0, half);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(*replay, b_shard.size());
+
+  // Local reference engine over the same data, same defaults.
+  OnlineLinkageEngine reference(kFilterBits);
+  const uint32_t ra = reference.RegisterDatabase("db-0");
+  const uint32_t rb = reference.RegisterDatabase("db-1");
+  for (size_t r = 0; r < dbs[0].size(); ++r) {
+    ASSERT_TRUE(reference.Append(ra, dbs[0].ids[r], dbs[0].filters[r]).ok());
+  }
+  for (size_t r = 0; r < dbs[1].size(); ++r) {
+    ASSERT_TRUE(reference.Append(rb, dbs[1].ids[r], dbs[1].filters[r]).ok());
+  }
+
+  // Queries as db-1 (own matches suppressed) agree with the reference.
+  auto result = client.QueryRows(b_shard, 0, b_shard.size(),
+                                 /*want_clusters=*/true, /*top_k=*/0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->records.size(), b_shard.size());
+  EXPECT_EQ(result->index_size, reference.size());
+  size_t matched = 0;
+  for (size_t r = 0; r < b_shard.size(); ++r) {
+    auto expected = reference.Query(dbs[1].filters[r], rb,
+                                    /*want_clusters=*/true, /*top_k=*/0);
+    ASSERT_TRUE(expected.ok());
+    const QueryRecordResult& got = result->records[r];
+    EXPECT_EQ(got.id, dbs[1].ids[r]);
+    EXPECT_EQ(got.cluster_id, expected->cluster_id);
+    EXPECT_EQ(got.cluster_size, expected->cluster_size);
+    EXPECT_EQ(got.candidates, expected->candidates);
+    ASSERT_EQ(got.matches.size(), expected->matches.size());
+    for (size_t m = 0; m < got.matches.size(); ++m) {
+      EXPECT_EQ(got.matches[m].database, expected->matches[m].database);
+      EXPECT_EQ(got.matches[m].record, expected->matches[m].record);
+      EXPECT_EQ(got.matches[m].id, expected->matches[m].id);
+      EXPECT_DOUBLE_EQ(got.matches[m].score, expected->matches[m].score);
+    }
+    if (!got.matches.empty()) ++matched;
+  }
+  EXPECT_GT(matched, 10u);
+
+  // Hang up before stopping so the serve loops see EOF instead of sitting
+  // out their read timeout.
+  client.Close();
+  replayer.Close();
+  server.Stop();
+}
+
+/// A batch daemon must keep refusing zero-record hellos (the query-only
+/// handshake is an online-mode feature).
+TEST(OnlineServiceTest, BatchDaemonRejectsQueryOnlyHello) {
+  LinkageUnitServerConfig config;
+  config.name = "batch-lu";
+  config.expected_owners = 2;
+  LinkageUnitServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  OnlineLinkClientConfig client_config;
+  client_config.port = server.port();
+  client_config.retry.max_attempts = 1;
+  OnlineLinkClient client(client_config);
+  const Status connected = client.Connect("probe", kFilterBits);
+  EXPECT_FALSE(connected.ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pprl
