@@ -28,8 +28,10 @@
 #include <vector>
 
 #include "encoding/clk_io.h"
+#include "io/checkpoint.h"
 #include "io/ingest.h"
 #include "io/pclk.h"
+#include "io/wal.h"
 
 using namespace pprl;
 
@@ -44,9 +46,15 @@ int Usage() {
                "  pprl_clk sample  <shard> [n] [seed]\n"
                "  pprl_clk tocsv   <shard> <out.csv>\n"
                "  pprl_clk fromcsv <in.csv> <out.pclk>\n"
+               "  pprl_clk verify  <file>\n"
                "  pprl_clk --help\n"
                "shard files may be PCLK (io/pclk.h) or interchange CSV\n"
-               "(id, bits, clk); the format is sniffed from the content.\n");
+               "(id, bits, clk); the format is sniffed from the content.\n"
+               "verify checks every checksum of a PCLK shard, PCKP\n"
+               "checkpoint or PWAL write-ahead-log segment offline and\n"
+               "reports the first corrupt offset; a torn WAL tail (the\n"
+               "normal post-crash artifact) is reported but passes.\n"
+               "verify exits 0 (valid), 1 (corrupt) or 2 (usage).\n");
   return 2;
 }
 
@@ -212,6 +220,77 @@ int CmdConvert(const std::string& in, const std::string& out,
   return 0;
 }
 
+/// Offline checksum validation of the durable formats. Sniffs the magic,
+/// runs the format's full decoder (the same typed-error paths the daemon
+/// refuses startup with), and reports what it found. The decoders name
+/// the first corrupt offset in their error text.
+int CmdVerify(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  uint32_t magic = 0;
+  const size_t got = std::fread(&magic, 1, sizeof(magic), file);
+  std::fclose(file);
+  if (got != sizeof(magic)) {
+    std::fprintf(stderr, "%s: too short to hold any known magic\n",
+                 path.c_str());
+    return 1;
+  }
+
+  if (magic == io::kPclkMagic) {
+    auto shard = io::ReadPclkFile(path);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "CORRUPT pclk: %s\n",
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("pclk OK: %zu rows x %zu bits, all checksums verified\n",
+                shard->size(), shard->bits.num_bits());
+    return 0;
+  }
+  if (magic == io::kCheckpointMagic) {
+    auto snapshot = io::ReadCheckpointFile(path);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "CORRUPT checkpoint: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint OK: %zu records of %zu databases, covers WAL "
+                "sequence %" PRIu64 ", all checksums verified\n",
+                snapshot->rows.size(), snapshot->database_names.size(),
+                snapshot->wal_sequence);
+    return 0;
+  }
+  if (magic == io::kWalMagic) {
+    auto segment = io::ReadWalFile(path);
+    if (!segment.ok()) {
+      std::fprintf(stderr, "CORRUPT wal: %s\n",
+                   segment.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wal OK: %zu records (sequences %" PRIu64 "..%" PRIu64
+                "), all checksums verified\n",
+                segment->records.size(), segment->start_sequence,
+                segment->records.empty()
+                    ? segment->start_sequence
+                    : segment->records.back().sequence);
+    if (segment->torn_bytes > 0) {
+      // Normal after a crash mid-append: recovery drops the same bytes.
+      std::printf("wal note: torn tail of %" PRIu64 " bytes at offset %" PRIu64
+                  " (incomplete final append; dropped on recovery)\n",
+                  segment->torn_bytes, segment->torn_offset);
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "%s: magic 0x%08x is none of pclk/checkpoint/wal "
+               "(csv files have no checksums to verify)\n",
+               path.c_str(), magic);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +304,7 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
 
   if (command == "info") return CmdInfo(path);
+  if (command == "verify") return CmdVerify(path);
   if (command == "head" || command == "tail") {
     const uint64_t n =
         argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 10;

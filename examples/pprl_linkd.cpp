@@ -45,6 +45,7 @@
 ///   ./build/examples/pprl_cli ship /tmp/a_clks.csv hospital-a 127.0.0.1:7001
 ///   ./build/examples/pprl_cli ship /tmp/b_clks.csv hospital-b 127.0.0.1:7001
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +60,29 @@
 using namespace pprl;
 
 namespace {
+
+/// Set by the SIGTERM/SIGINT handler; the serving roles poll it and shut
+/// down gracefully (drain sessions, final checkpoint, exit 0).
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleShutdownSignal(int signum) { g_signal = signum; }
+
+/// Blocks until the operator stops the daemon. WaitUntilDone never
+/// completes for a serving role (there is no linkage-done state), so wait
+/// in short slices and poll the signal flag between them — a handler
+/// cannot wake a condition variable safely on its own.
+void ServeUntilSignalled(LinkageUnitServer& server) {
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  // Operators (and the check.sh gates) watch the daemon's log file for the
+  // startup and recovery lines; push them out before blocking.
+  std::fflush(stdout);
+  while (g_signal == 0) {
+    server.WaitUntilDone(/*timeout_ms=*/200);
+  }
+  std::printf("pprl_linkd: received %s, draining sessions and stopping\n",
+              g_signal == SIGTERM ? "SIGTERM" : "SIGINT");
+}
 
 int Usage(FILE* out) {
   std::fprintf(
@@ -102,6 +126,19 @@ int Usage(FILE* out) {
       "  --chaos <seed>             deterministic fault injection (drills)\n"
       "  --spool <dir>              persist registered shipments to <dir>\n"
       "  --spool-format csv|pclk    spool file format (default pclk)\n"
+      "\n"
+      "durability (online role, docs/OPERATIONS.md runbook):\n"
+      "  --wal-dir <dir>            journal every absorbed record to a WAL\n"
+      "                             in <dir> before acking, and recover\n"
+      "                             checkpoint + WAL replay on startup\n"
+      "  --checkpoint-dir <dir>     checkpoint directory (default: --wal-dir)\n"
+      "  --wal-sync-ms <ms>         WAL fsync group-commit window; <= 0\n"
+      "                             fsyncs every append (default 50)\n"
+      "  --checkpoint-every-n <n>   checkpoint after n journaled operations;\n"
+      "                             0 checkpoints only on shutdown\n"
+      "                             (default 100000)\n"
+      "  --chaos-crash-after <n>    crash drill: die (SIGKILL-equivalent)\n"
+      "                             right after the n-th journaled operation\n"
       "  --help                     this text\n");
   return out == stdout ? 0 : 2;
 }
@@ -290,6 +327,21 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    if (arg == "--wal-dir" && i + 1 < argc) {
+      config.wal_dir = argv[++i];
+    }
+    if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      config.checkpoint_dir = argv[++i];
+    }
+    if (arg == "--wal-sync-ms" && i + 1 < argc) {
+      config.wal_sync_ms = std::atoi(argv[++i]);
+    }
+    if (arg == "--checkpoint-every-n" && i + 1 < argc) {
+      config.checkpoint_every_n = static_cast<uint64_t>(std::atoll(argv[++i]));
+    }
+    if (arg == "--chaos-crash-after" && i + 1 < argc) {
+      config.chaos.crash_after_ops = static_cast<uint64_t>(std::atoll(argv[++i]));
+    }
     if (arg == "--chaos" && i + 1 < argc) {
       config.chaos.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
       config.chaos.close_rate = 0.01;
@@ -328,6 +380,22 @@ int main(int argc, char** argv) {
                 config.link_options.lsh_tables,
                 config.link_options.lsh_bits_per_key,
                 config.loopback_only ? "loopback only" : "all interfaces");
+    if (server.durable()) {
+      const RecoveryReport& rec = server.recovery_report();
+      std::printf("pprl_linkd: durable: WAL in %s (fsync window %d ms), "
+                  "checkpoint every %llu ops in %s\n",
+                  config.wal_dir.c_str(), config.wal_sync_ms,
+                  static_cast<unsigned long long>(config.checkpoint_every_n),
+                  (config.checkpoint_dir.empty() ? config.wal_dir
+                                                 : config.checkpoint_dir)
+                      .c_str());
+      std::printf("pprl_linkd: recovery: %llu checkpointed + %llu replayed "
+                  "records (%llu torn bytes dropped) in %.3f s\n",
+                  static_cast<unsigned long long>(rec.checkpoint_records),
+                  static_cast<unsigned long long>(rec.replayed_records),
+                  static_cast<unsigned long long>(rec.torn_bytes_dropped),
+                  rec.seconds);
+    }
     PrintCommonConfig(config, server.max_sessions());
     if (server.metrics_port() != 0) {
       std::printf("pprl_linkd: metrics at http://127.0.0.1:%u/metrics\n",
@@ -335,7 +403,7 @@ int main(int argc, char** argv) {
     }
     // An online daemon serves until its operator stops it; there is no
     // "done" state of its own.
-    server.WaitUntilDone(/*timeout_ms=*/0);
+    ServeUntilSignalled(server);
     server.Stop();
     return 0;
   }
@@ -360,7 +428,7 @@ int main(int argc, char** argv) {
     }
     // A worker serves assignments until its operator stops it; there is no
     // "done" state of its own.
-    server.WaitUntilDone(/*timeout_ms=*/0);
+    ServeUntilSignalled(server);
     server.Stop();
     return 0;
   }

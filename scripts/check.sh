@@ -31,11 +31,12 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DPPRL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
   --target comparison_test compare_kernels_test thread_pool_test \
-           parallel_pipeline_test metrics_test online_linkage_test
+           parallel_pipeline_test metrics_test online_linkage_test \
+           wal_test recovery_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-  -R '^(comparison_test|compare_kernels_test|thread_pool_test|parallel_pipeline_test|metrics_test|online_linkage_test)$'
+  -R '^(comparison_test|compare_kernels_test|thread_pool_test|parallel_pipeline_test|metrics_test|online_linkage_test|wal_test|recovery_test)$'
 echo "check.sh: concurrency tests passed under TSan"
 
 # Chaos gate: the fault-tolerant linkage service under TSan. Seeded fault
@@ -225,5 +226,79 @@ cmp "${SMOKE}/d_batchcc.csv" "${SMOKE}/d_online.csv"
 QPS=$(sed -n 's/.*(\([0-9]*\) link-queries\/s).*/\1/p' "${SMOKE}/query_c.out")
 echo "check.sh: online query throughput = ${QPS} link-queries/s (need >= 2000)"
 [ "${QPS}" -ge 2000 ]
-rm -rf "${SMOKE}"
 echo "check.sh: online serving parity gate passed"
+
+# Crash-recovery parity gate: the same 10k-record corpus through a
+# DURABLE online daemon that is crash-injected mid-ingest
+# (--chaos-crash-after fires _Exit after a seeded journaled-op count — no
+# destructors, no final checkpoint, exactly a SIGKILL). A second daemon
+# recovers from the WAL, the owners re-drive their appends from base 0
+# (the cursored v4 protocol makes the re-drive idempotent), and the
+# recovered daemon's query CSVs must be BYTE-IDENTICAL to the batch
+# reference files from the gate above. The recovery line doubles as the
+# restart-latency printout.
+SEED=$(( $(date +%s) % 1000 ))
+CRASH_N=$(( SEED % 30 + 5 ))
+DUR_DIR="${SMOKE}/durable"
+CLK="${PERF_BUILD_DIR}/examples/pprl_clk"
+"${LINKD}" 18933 2 0.8 --online --wal-dir "${DUR_DIR}" --wal-sync-ms 0 \
+  --chaos-crash-after "${CRASH_N}" > "${SMOKE}/crash.log" 2> "${SMOKE}/crash.err" &
+CRASH_PID=$!
+sleep 0.5
+"${CLI}" append "${SMOKE}/c.pclk" clinic-a 127.0.0.1:18933 >/dev/null 2>&1 || true
+"${CLI}" append "${SMOKE}/d.pclk" clinic-b 127.0.0.1:18933 >/dev/null 2>&1 || true
+if kill -0 "${CRASH_PID}" 2>/dev/null; then
+  # Seeded crash point landed beyond the ingest's op count: hard-kill
+  # instead, which exercises the crash-after-full-absorb recovery path.
+  kill -9 "${CRASH_PID}" 2>/dev/null || true
+fi
+wait "${CRASH_PID}" 2>/dev/null || true
+
+"${LINKD}" 18934 2 0.8 --online --wal-dir "${DUR_DIR}" --wal-sync-ms 0 \
+  > "${SMOKE}/recovered.log" 2> "${SMOKE}/recovered.err" &
+RECOVERED_PID=$!
+for _ in $(seq 200); do
+  grep -q 'pprl_linkd: recovery:' "${SMOKE}/recovered.log" && break
+  sleep 0.05
+done
+RESTART_LINE=$(grep 'pprl_linkd: recovery:' "${SMOKE}/recovered.log" || true)
+[ -n "${RESTART_LINE}" ]
+echo "check.sh: ${RESTART_LINE} [crash after op ${CRASH_N}, seed ${SEED}]"
+"${CLI}" append "${SMOKE}/c.pclk" clinic-a 127.0.0.1:18934 >/dev/null
+"${CLI}" append "${SMOKE}/d.pclk" clinic-b 127.0.0.1:18934 >/dev/null
+"${CLI}" query "${SMOKE}/c.pclk" clinic-a 127.0.0.1:18934 "${SMOKE}/c_recovered.csv" >/dev/null
+"${CLI}" query "${SMOKE}/d.pclk" clinic-b 127.0.0.1:18934 "${SMOKE}/d_recovered.csv" >/dev/null
+cmp "${SMOKE}/c_batchcc.csv" "${SMOKE}/c_recovered.csv"
+cmp "${SMOKE}/d_batchcc.csv" "${SMOKE}/d_recovered.csv"
+echo "check.sh: crash-recovery parity gate passed (byte-identical query CSVs)"
+
+# Graceful-shutdown smoke: SIGTERM drains sessions, writes the final
+# checkpoint and exits 0 (the bare `wait` propagates a non-zero status
+# into set -e).
+kill -TERM "${RECOVERED_PID}"
+wait "${RECOVERED_PID}"
+grep -q 'final checkpoint written' "${SMOKE}/recovered.err" "${SMOKE}/recovered.log"
+echo "check.sh: graceful shutdown smoke passed (exit 0, final checkpoint)"
+
+# Offline artifact audit: `pprl_clk verify` vouches for the checkpoint the
+# shutdown left behind and for a PCLK shard, and rejects a corrupted copy
+# with a typed error.
+CKPT=$(ls "${DUR_DIR}"/checkpoint-*.pckp | head -1)
+"${CLK}" verify "${CKPT}"
+"${CLK}" verify "${SMOKE}/c.pclk" >/dev/null
+cp "${CKPT}" "${SMOKE}/corrupt.pckp"
+python3 - "${SMOKE}/corrupt.pckp" <<'EOF'
+import sys
+with open(sys.argv[1], "r+b") as f:
+    f.seek(200)
+    byte = f.read(1)[0]
+    f.seek(200)
+    f.write(bytes([byte ^ 0x40]))
+EOF
+if "${CLK}" verify "${SMOKE}/corrupt.pckp" > "${SMOKE}/verify.out" 2>&1; then
+  echo "check.sh: verify accepted a corrupt checkpoint" >&2
+  exit 1
+fi
+grep -qi 'corrupt' "${SMOKE}/verify.out"
+rm -rf "${SMOKE}"
+echo "check.sh: durable artifact verify smoke passed"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace pprl {
 
@@ -73,33 +74,59 @@ LshBandIndex::LshBandIndex(size_t filter_bits, size_t num_tables,
     : rng_(seed),
       blocker_(filter_bits, num_tables, bits_per_key, rng_),
       tables_(num_tables),
-      rows_(0, filter_bits) {}
+      rows_(0, filter_bits),
+      band_checksum_(kFnvOffset) {}
 
-uint64_t LshBandIndex::BandFingerprint(const BitVector& bf,
-                                       size_t table) const {
+uint64_t LshBandIndex::FingerprintWords(const uint64_t* words,
+                                        size_t table) const {
   const std::vector<uint32_t>& positions = blocker_.positions()[table];
   if (positions.size() <= 64) {
     // Packed sampled bits: injective, so fingerprint equality IS string-key
     // equality of HammingLshBlocker::Keys for this table.
     uint64_t fp = 0;
     for (size_t i = 0; i < positions.size(); ++i) {
-      fp |= static_cast<uint64_t>(bf.Get(positions[i]) ? 1 : 0) << i;
+      fp |= ((words[positions[i] >> 6] >> (positions[i] & 63)) & 1) << i;
     }
     return fp;
   }
   uint64_t h = kFnvOffset;
   for (uint32_t pos : positions) {
-    h = (h ^ static_cast<uint64_t>(bf.Get(pos) ? 1 : 0)) * kFnvPrime;
+    h = (h ^ ((words[pos >> 6] >> (pos & 63)) & 1)) * kFnvPrime;
   }
   return h;
+}
+
+uint64_t LshBandIndex::BandFingerprint(const BitVector& bf,
+                                       size_t table) const {
+  assert(bf.size() == filter_bits());
+  return FingerprintWords(bf.words().data(), table);
+}
+
+void LshBandIndex::IndexRow(uint32_t row) {
+  const uint64_t* words = rows_.row(row);
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const uint64_t fp = FingerprintWords(words, t);
+    tables_[t].Insert(fp, row);
+    for (int b = 0; b < 8; ++b) {
+      band_checksum_ = (band_checksum_ ^ ((fp >> (8 * b)) & 0xff)) * kFnvPrime;
+    }
+  }
 }
 
 uint32_t LshBandIndex::Append(const BitVector& filter) {
   assert(filter.size() == filter_bits());
   const uint32_t row = static_cast<uint32_t>(rows_.AppendRow(filter));
-  for (size_t t = 0; t < tables_.size(); ++t) {
-    tables_[t].Insert(BandFingerprint(filter, t), row);
-  }
+  IndexRow(row);
+  return row;
+}
+
+uint32_t LshBandIndex::AppendFrom(const BitMatrix& src, size_t src_row) {
+  assert(src.num_bits() == rows_.num_bits());
+  const uint32_t row = static_cast<uint32_t>(rows_.AppendRow());
+  std::memcpy(rows_.mutable_row(row), src.row(src_row),
+              rows_.words_per_row() * sizeof(uint64_t));
+  rows_.RecountRow(row);
+  IndexRow(row);
   return row;
 }
 

@@ -49,6 +49,13 @@ class LshBandIndex {
   /// O(tables) map operations + one O(row words) copy. Returns the row id.
   uint32_t Append(const BitVector& filter);
 
+  /// Append() without the BitVector detour: copies row `src_row` of `src`
+  /// (same bit length) straight into the backing matrix and indexes it.
+  /// This is the checkpoint-recovery bulk path — band tables are a
+  /// deterministic function of the row sequence, so restoring an index is
+  /// re-appending its rows (docs/PROTOCOLS.md Appendix B).
+  uint32_t AppendFrom(const BitMatrix& src, size_t src_row);
+
   /// All distinct indexed rows that collide with `probe` in at least one
   /// band table, ascending row order. Does not insert. `out` is cleared.
   void Probe(const BitVector& probe, std::vector<uint32_t>* out) const;
@@ -73,6 +80,14 @@ class LshBandIndex {
     return probed_entries_.load(std::memory_order_relaxed);
   }
 
+  /// FNV-1a-64 over the little-endian band fingerprints of every indexed
+  /// row in (row, table) order, maintained incrementally by appends. Two
+  /// indexes with equal checksums over the same row count collide
+  /// identically, so a checkpoint stores this instead of the band tables
+  /// and recovery verifies the rebuild against it (seed or geometry drift
+  /// cannot silently change the collision relation).
+  uint64_t band_checksum() const { return band_checksum_; }
+
  private:
   /// One band table: open-addressing fingerprint -> head row, with bucket
   /// membership chained through `next` (row id == position; kNoRow ends the
@@ -90,10 +105,18 @@ class LshBandIndex {
 
   static constexpr uint32_t kNoRow = UINT32_MAX;
 
+  /// BandFingerprint over raw row words (bit i of the filter is bit i%64
+  /// of word i/64, the BitVector/BitMatrix layout).
+  uint64_t FingerprintWords(const uint64_t* words, size_t table) const;
+  /// Indexes an already-stored row in every band table and folds its
+  /// fingerprints into band_checksum_.
+  void IndexRow(uint32_t row);
+
   Rng rng_;  ///< consumed by blocker_'s construction; kept for init order
   HammingLshBlocker blocker_;
   std::vector<BandTable> tables_;
   BitMatrix rows_;
+  uint64_t band_checksum_;
   /// Relaxed atomic so concurrent Probe() calls (readers under a shared
   /// lock in OnlineLinkageEngine) stay race-free.
   mutable std::atomic<uint64_t> probed_entries_{0};

@@ -284,4 +284,77 @@ uint64_t OnlineLinkageEngine::comparisons() const {
   return comparisons_;
 }
 
+io::OnlineSnapshot OnlineLinkageEngine::ExportSnapshot(
+    uint64_t wal_sequence) const {
+  std::shared_lock lock(mutex_);
+  io::OnlineSnapshot snapshot;
+  snapshot.filter_bits = static_cast<uint32_t>(filter_bits());
+  snapshot.lsh_tables = static_cast<uint32_t>(options_.lsh_tables);
+  snapshot.lsh_bits_per_key = static_cast<uint32_t>(options_.lsh_bits_per_key);
+  snapshot.lsh_seed = options_.lsh_seed;
+  snapshot.dice_threshold = options_.dice_threshold;
+  snapshot.wal_sequence = wal_sequence;
+  snapshot.database_names = database_names_;
+  snapshot.database_sizes = database_sizes_;
+  snapshot.rows.ids.reserve(meta_.size());
+  snapshot.row_database.reserve(meta_.size());
+  snapshot.linked.reserve(meta_.size());
+  for (const RowMeta& m : meta_) {
+    snapshot.rows.ids.push_back(m.id);
+    snapshot.row_database.push_back(m.database);
+  }
+  snapshot.rows.bits = index_.rows();
+  snapshot.parent = parent_;
+  for (const bool l : linked_) snapshot.linked.push_back(l ? 1 : 0);
+  snapshot.edges = edges_;
+  snapshot.comparisons = comparisons_;
+  snapshot.band_checksum = index_.band_checksum();
+  return snapshot;
+}
+
+Result<std::unique_ptr<OnlineLinkageEngine>> OnlineLinkageEngine::FromSnapshot(
+    const io::OnlineSnapshot& snapshot, const OnlineLinkageOptions& serving) {
+  OnlineLinkageOptions options = serving;
+  options.dice_threshold = snapshot.dice_threshold;
+  options.lsh_tables = snapshot.lsh_tables;
+  options.lsh_bits_per_key = snapshot.lsh_bits_per_key;
+  options.lsh_seed = snapshot.lsh_seed;
+  auto engine = std::make_unique<OnlineLinkageEngine>(snapshot.filter_bits,
+                                                      options);
+  std::unique_lock lock(engine->mutex_);
+  engine->database_names_ = snapshot.database_names;
+  engine->database_sizes_.assign(snapshot.database_names.size(), 0);
+  const size_t rows = snapshot.rows.size();
+  engine->meta_.reserve(rows);
+  engine->linked_.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    // DecodeCheckpoint validated row_database against the registry; the
+    // per-database record index is recomputed from arrival order, which is
+    // exactly how Append() assigned it.
+    const uint32_t db = snapshot.row_database[i];
+    engine->index_.AppendFrom(snapshot.rows.bits, i);
+    engine->meta_.push_back({db, engine->database_sizes_[db]++,
+                             snapshot.rows.ids[i]});
+    engine->linked_.push_back(snapshot.linked[i] != 0);
+  }
+  if (engine->index_.band_checksum() != snapshot.band_checksum) {
+    return Status::IoError(
+        "checkpoint LSH band checksum mismatch: rebuilt tables disagree "
+        "with the snapshot (geometry or seed drift?)");
+  }
+  for (size_t d = 0; d < engine->database_sizes_.size(); ++d) {
+    if (engine->database_sizes_[d] != snapshot.database_sizes[d]) {
+      return Status::ProtocolViolation(
+          "checkpoint database '" + snapshot.database_names[d] +
+          "' size disagrees with its rows");
+    }
+  }
+  engine->parent_ = snapshot.parent;
+  engine->edges_ = snapshot.edges;
+  engine->comparisons_ = snapshot.comparisons;
+  engine->partition_dirty_ = engine->edges_ > 0;
+  engine->index_size_.Set(static_cast<int64_t>(engine->meta_.size()));
+  return engine;
+}
+
 }  // namespace pprl

@@ -7,9 +7,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "blocking/lsh_index.h"
 #include "common/bitvector.h"
 #include "common/status.h"
+#include "io/checkpoint.h"
 #include "linkage/clustering.h"
 #include "linkage/comparison.h"
 #include "obs/metrics.h"
@@ -131,6 +134,23 @@ class OnlineLinkageEngine {
 
   uint64_t edges() const;        ///< accepted match edges so far
   uint64_t comparisons() const;  ///< candidate pairs scored by appends
+
+  /// Serializes the engine's full durable state — rows, database registry,
+  /// union-find partition, LSH band checksum — as a checkpoint snapshot
+  /// covering WAL records up to `wal_sequence`. Takes the shared lock:
+  /// concurrent queries proceed; appends wait only for the memory copy,
+  /// never for the checkpoint file write.
+  io::OnlineSnapshot ExportSnapshot(uint64_t wal_sequence) const;
+
+  /// Rebuilds an engine from a decoded checkpoint: restores the registry
+  /// and partition and re-appends every row into a fresh LSH index (band
+  /// tables are a deterministic function of the row sequence), verifying
+  /// the rebuild against the snapshot's band checksum so geometry or seed
+  /// drift fails loudly instead of silently changing the collision
+  /// relation. Engine options (threshold, LSH geometry) come from the
+  /// snapshot; `serving` carries the non-durable serving knobs.
+  static Result<std::unique_ptr<OnlineLinkageEngine>> FromSnapshot(
+      const io::OnlineSnapshot& snapshot, const OnlineLinkageOptions& serving);
 
  private:
   struct RowMeta {

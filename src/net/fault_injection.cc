@@ -1,12 +1,21 @@
 #include "net/fault_injection.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 
 namespace pprl {
+
+void InjectedCrash(const char* what) {
+  // stderr is unbuffered, so the marker reaches the log even though
+  // _Exit() flushes nothing — the crash gate greps for it.
+  std::fprintf(stderr, "pprl: injected crash: %s\n", what);
+  std::_Exit(137);
+}
 
 FaultInjectingConnection::FaultInjectingConnection(Connection& inner,
                                                    const FaultSpec& spec)

@@ -36,6 +36,12 @@ struct FaultSpec {
   /// out / come in through this connection.
   size_t close_after_bytes_sent = kNever;
   size_t close_after_bytes_received = kNever;
+  /// Deterministic crash point for the durability layer: the PROCESS dies
+  /// (SIGKILL-equivalent, see InjectedCrash) right after the n-th journaled
+  /// operation reaches the OS — i.e. after the WAL write, before the
+  /// in-memory apply and the ack. 0 = never. Not a connection fault, so it
+  /// does not arm enabled()/connection wrapping.
+  uint64_t crash_after_ops = 0;
 
   bool enabled() const {
     return close_rate > 0.0 || delay_rate > 0.0 || truncate_rate > 0.0 ||
@@ -51,6 +57,13 @@ struct FaultSpec {
     return spec;
   }
 };
+
+/// Kills the process at a crash point: logs `what` to stderr, then
+/// `_Exit(137)` — no destructors, no atexit hooks, no stream flushes, the
+/// same abrupt end as `kill -9`. The durability gates in check.sh restart
+/// the daemon afterwards and assert byte-identical query output, which is
+/// only honest if nothing "graceful" happens on the way down.
+[[noreturn]] void InjectedCrash(const char* what);
 
 /// Chaos decorator over any Connection (net/transport.h).
 ///

@@ -511,6 +511,31 @@ Result<uint64_t> OnlineLinkClient::AppendRows(const EncodedShard& shard,
   return appended_;
 }
 
+Result<uint64_t> OnlineLinkClient::ServerCursor() {
+  if (filter_bits_ == 0) return Status::FailedPrecondition("Connect() first");
+  auto reply = Roundtrip(
+      MessageType::kAppendRecords,
+      [&] {
+        AppendRecordsMessage msg;
+        msg.session_id = session_id_;
+        // base_index 0 always passes the server's gap check, and an empty
+        // batch appends nothing — the ack is purely the cursor readback.
+        msg.base_index = 0;
+        msg.filter_bits = filter_bits_;
+        msg.count = 0;
+        return EncodeAppendRecords(msg);
+      },
+      MessageType::kShipmentAck);
+  if (!reply.ok()) return reply.status();
+  auto ack = DecodeShipmentAck(*reply);
+  if (!ack.ok()) return ack.status();
+  if (ack->session_id != session_id_) {
+    return Status::ProtocolViolation("cursor ack names a different session");
+  }
+  appended_ = ack->acked_bytes;
+  return appended_;
+}
+
 Result<QueryResultMessage> OnlineLinkClient::QueryRows(
     const EncodedShard& shard, size_t row_begin, size_t row_end,
     bool want_clusters, uint32_t top_k) {

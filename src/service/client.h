@@ -160,6 +160,13 @@ class OnlineLinkClient {
   Result<uint64_t> AppendRows(const EncodedShard& shard, size_t row_begin,
                               size_t row_end);
 
+  /// Re-derives the party's record cursor from the server: a zero-record
+  /// append probe whose ack carries the server-side count. Resyncs
+  /// appended() — after a server crash + recovery this is how an owner
+  /// learns where its re-drive must continue (registers the party on
+  /// first contact, like any append).
+  Result<uint64_t> ServerCursor();
+
   /// Link-queries rows [row_begin, row_end) of `shard`; one result per
   /// row, in row order. `top_k = 0` means the server's default cap.
   Result<QueryResultMessage> QueryRows(const EncodedShard& shard, size_t row_begin,

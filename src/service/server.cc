@@ -113,6 +113,55 @@ Status LinkageUnitServer::Start() {
   if (config_.min_owners == 1) {
     return Status::InvalidArgument("quorum of 1 owner cannot produce a linkage");
   }
+  if (!config_.wal_dir.empty() && !config_.online_mode) {
+    return Status::InvalidArgument(
+        "--wal-dir is an online-serving knob; batch runs persist shipments "
+        "via the spool directory instead");
+  }
+  // Recovery runs BEFORE the listener binds: no connection is accepted
+  // until the engine holds the exact pre-crash state, and corrupt durable
+  // state refuses startup instead of serving wrong answers.
+  recovery_report_ = RecoveryReport();
+  if (config_.online_mode && !config_.wal_dir.empty()) {
+    DurabilityConfig dconfig;
+    dconfig.wal_dir = config_.wal_dir;
+    dconfig.checkpoint_dir = config_.checkpoint_dir;
+    dconfig.wal_sync_ms = config_.wal_sync_ms;
+    dconfig.checkpoint_every_n = config_.checkpoint_every_n;
+    dconfig.crash_after_ops = config_.chaos.crash_after_ops;
+    dconfig.serving_options.dice_threshold = config_.link_options.dice_threshold;
+    dconfig.serving_options.lsh_tables = config_.link_options.lsh_tables;
+    dconfig.serving_options.lsh_bits_per_key = config_.link_options.lsh_bits_per_key;
+    dconfig.serving_options.lsh_seed = config_.link_options.lsh_seed;
+    durability_ = std::make_unique<OnlineDurability>(std::move(dconfig));
+    std::unique_ptr<OnlineLinkageEngine> recovered;
+    const Status recovery = durability_->Recover(&recovered, &recovery_report_);
+    if (!recovery.ok()) {
+      durability_.reset();
+      started_.store(false);
+      return recovery;
+    }
+    if (recovered) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      online_ = std::move(recovered);
+      expected_filter_bits_ = static_cast<uint32_t>(online_->filter_bits());
+      // Registration order is durable state; re-derive the owner order the
+      // result summaries and parity gates sequence on.
+      owner_order_.clear();
+      for (size_t db = 0; db < online_->database_count(); ++db) {
+        owner_order_.push_back(online_->database_name(static_cast<uint32_t>(db)));
+      }
+    }
+    PPRL_LOG(kInfo) << "recovery: checkpoint "
+                    << (recovery_report_.checkpoint_loaded
+                            ? recovery_report_.checkpoint_path
+                            : std::string("(none)"))
+                    << ", " << recovery_report_.checkpoint_records
+                    << " checkpointed + " << recovery_report_.replayed_records
+                    << " replayed records, " << recovery_report_.torn_bytes_dropped
+                    << " torn WAL bytes dropped, " << recovery_report_.seconds
+                    << " s";
+  }
   PPRL_RETURN_IF_ERROR(listener_.Listen(config_.port, config_.loopback_only));
   if (config_.metrics_port >= 0) {
     MetricsHttpServerConfig metrics_config;
@@ -164,6 +213,19 @@ void LinkageUnitServer::Stop() {
   // no linkage left to submit shards, so the scheduler can drain too.
   pool_.reset();
   link_scheduler_.reset();
+  // Every session handler has drained, so the engine is quiescent: write
+  // the final checkpoint and truncate the WAL. A failure here loses
+  // nothing — the WAL still holds everything — so log and keep stopping.
+  if (durability_ && online_) {
+    const Status final_checkpoint = durability_->Checkpoint(*online_);
+    if (final_checkpoint.ok()) {
+      PPRL_LOG(kInfo) << "final checkpoint written; WAL truncated";
+    } else {
+      PPRL_LOG(kWarning) << "final checkpoint failed (WAL remains "
+                            "authoritative): "
+                         << final_checkpoint.ToString();
+    }
+  }
   // Last, so operators can scrape right up to the daemon's end.
   metrics_server_.reset();
 }
@@ -823,19 +885,33 @@ Status LinkageUnitServer::AbsorbShipmentOnline(const std::string& party,
   // shipment of the same party. Queries and v4 appends are not held up —
   // they go straight to the internally thread-safe engine.
   std::lock_guard<std::mutex> absorb_lock(absorb_mutex_);
-  const uint32_t db = online_->RegisterDatabase(party);
-  *database_index = db;
   // A re-shipment from an already-indexed party arrives on a fresh hello
   // session, so chunk idempotency cannot see the earlier delivery. Treat
   // it as a retransmit of the party's prefix — the shipment-granular twin
   // of the kAppendRecords record cursor: skip what the index already
   // holds and append only the tail, so re-running an append is
-  // idempotent.
-  const size_t skip = std::min(online_->record_count(db), encoded.size());
-  for (size_t i = skip; i < encoded.size(); ++i) {
-    auto appended = online_->Append(db, encoded.ids[i], encoded.filters[i]);
-    if (!appended.ok()) return appended.status();
+  // idempotent. In durable mode the cursor is read without registering:
+  // registration is journaled state, owned by DurableAppend.
+  size_t skip = 0;
+  uint32_t db = OnlineLinkageEngine::kNoDatabase;
+  if (auto existing = online_->FindDatabase(party)) {
+    db = *existing;
+    skip = std::min(online_->record_count(db), encoded.size());
   }
+  if (durability_) {
+    auto cursor = durability_->DurableAppend(*online_, party, encoded, skip,
+                                             encoded.size(), &db);
+    if (!cursor.ok()) return cursor.status();
+  } else {
+    if (db == OnlineLinkageEngine::kNoDatabase) {
+      db = online_->RegisterDatabase(party);
+    }
+    for (size_t i = skip; i < encoded.size(); ++i) {
+      auto appended = online_->Append(db, encoded.ids[i], encoded.filters[i]);
+      if (!appended.ok()) return appended.status();
+    }
+  }
+  *database_index = db;
   if (skip > 0) {
     Metrics().session_duplicate_chunks.Increment();
     PPRL_LOG(kInfo) << "online: skipped " << skip
@@ -910,8 +986,18 @@ void LinkageUnitServer::ServeOnline(MeteredFrameConnection& mfc,
         FailSession(mfc, decoded.status());
         return;
       }
-      const uint32_t db = engine.RegisterDatabase(party);
-      const uint64_t have = engine.record_count(db);
+      // In durable mode registration is journaled state, so the cursor is
+      // read without registering; DurableAppend journals the hello on a
+      // party's first append (a zero-record probe registers too, matching
+      // the in-memory path's RegisterDatabase-on-append).
+      uint32_t db = OnlineLinkageEngine::kNoDatabase;
+      uint64_t have = 0;
+      if (auto existing = engine.FindDatabase(party)) {
+        db = *existing;
+        have = engine.record_count(db);
+      } else if (!durability_) {
+        db = engine.RegisterDatabase(party);
+      }
       if (append->base_index > have) {
         FailSession(mfc, Status::ProtocolViolation(
                              "append gap: base index " +
@@ -924,13 +1010,24 @@ void LinkageUnitServer::ServeOnline(MeteredFrameConnection& mfc,
       // is the record-granular twin of the shipment chunk idempotency.
       const uint64_t skip = have - append->base_index;
       bool applied_fresh = false;
-      for (size_t i = skip; i < decoded->size(); ++i) {
-        auto appended = engine.Append(db, decoded->ids[i], decoded->filters[i]);
-        if (!appended.ok()) {
-          FailSession(mfc, appended.status());
+      if (durability_) {
+        auto cursor = durability_->DurableAppend(
+            engine, party, *decoded, std::min<size_t>(skip, decoded->size()),
+            decoded->size(), &db);
+        if (!cursor.ok()) {
+          FailSession(mfc, cursor.status());
           return;
         }
-        applied_fresh = true;
+        applied_fresh = skip < decoded->size();
+      } else {
+        for (size_t i = skip; i < decoded->size(); ++i) {
+          auto appended = engine.Append(db, decoded->ids[i], decoded->filters[i]);
+          if (!appended.ok()) {
+            FailSession(mfc, appended.status());
+            return;
+          }
+          applied_fresh = true;
+        }
       }
       if (!applied_fresh && decoded->size() != 0) {
         Metrics().session_duplicate_chunks.Increment();

@@ -21,6 +21,7 @@
 #include "net/metrics_http.h"
 #include "net/transport.h"
 #include "pipeline/party.h"
+#include "service/durability.h"
 #include "service/protocol.h"
 
 namespace pprl {
@@ -141,6 +142,21 @@ struct LinkageUnitServerConfig {
   /// and the served partition match what a batch run over the same
   /// shipments would produce (connected-components clustering).
   bool online_mode = false;
+
+  // --- Durability (online role only) ---
+
+  /// When non-empty, the online engine becomes durable: every absorbed
+  /// record is journaled to a WAL segment in this directory before it is
+  /// applied and acked, Start() recovers checkpoint + WAL replay, and
+  /// Stop() writes a final checkpoint. Empty keeps the engine purely
+  /// in-memory (pre-durability behaviour).
+  std::string wal_dir;
+  /// Checkpoint directory; empty defaults to wal_dir.
+  std::string checkpoint_dir;
+  /// Group-commit window for WAL fsyncs (<= 0 syncs every append).
+  int wal_sync_ms = 50;
+  /// Checkpoint after this many journaled operations (0 = only on Stop()).
+  uint64_t checkpoint_every_n = 100000;
 };
 
 /// The linkage unit as a daemon: accepts owner connections over TCP,
@@ -216,6 +232,13 @@ class LinkageUnitServer {
   /// Worker complement of a distributed run (0/0 for single-daemon runs).
   uint32_t workers_linked() const;
   uint32_t workers_expected() const;
+
+  /// True when the online engine journals to a WAL (config_.wal_dir set).
+  bool durable() const { return durability_ != nullptr; }
+
+  /// What Start()'s recovery found (all-zero when durability is off or no
+  /// prior state existed). Valid after Start() returned OK.
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
 
  private:
   /// One owner's server-side shipment state. Lives in sessions_ under
@@ -298,6 +321,11 @@ class LinkageUnitServer {
   /// holding mutex_, so queries from concurrent sessions never serialize
   /// behind each other.
   std::unique_ptr<OnlineLinkageEngine> online_;
+  /// Online durability layer (set iff config_.wal_dir is non-empty).
+  /// Serializes journal+apply internally; never held together with mutex_.
+  std::unique_ptr<OnlineDurability> durability_;
+  /// Recovery outcome of the last Start() (valid when durability_ is set).
+  RecoveryReport recovery_report_;
   /// Serializes bulk shipment absorbs into online_ (NOT v4 appends or
   /// queries) so AbsorbShipmentOnline's read-cursor-then-append sequence
   /// cannot interleave for a party that ships twice at once. Never held
